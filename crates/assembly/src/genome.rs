@@ -1,0 +1,87 @@
+//! Synthetic genomes and reads.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One sequencing read: a window of the genome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Read {
+    /// Bases as 0..4 (A, C, G, T).
+    pub bases: Vec<u8>,
+}
+
+/// Deterministic random genome of `len` bases (0..4 codes).
+pub fn random_genome(len: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(0..4u8)).collect()
+}
+
+/// Sample `n` error-free reads of `read_len` bases. The first reads tile
+/// the genome end to end (guaranteeing full coverage so assembly can
+/// reconstruct it); the rest start at random positions.
+pub fn sample_reads(genome: &[u8], n: usize, read_len: usize, seed: u64) -> Vec<Read> {
+    assert!(genome.len() >= read_len, "genome shorter than a read");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let last_start = genome.len() - read_len;
+    let mut reads = Vec::with_capacity(n);
+    // Tiling pass: consecutive tiled reads must overlap by more than the
+    // assembler's k (k <= 2*read_len/3 in this workspace), so every
+    // consecutive k-mer pair appears within some single read and no
+    // de Bruijn edge is missed at read junctions.
+    let stride = (read_len / 3).max(1);
+    let mut pos = 0usize;
+    while reads.len() < n {
+        reads.push(Read { bases: genome[pos..pos + read_len].to_vec() });
+        if pos == last_start {
+            break;
+        }
+        pos = (pos + stride).min(last_start);
+    }
+    while reads.len() < n {
+        let p = rng.gen_range(0..=last_start);
+        reads.push(Read { bases: genome[p..p + read_len].to_vec() });
+    }
+    reads
+}
+
+/// Render bases as an ASCII string (tests/debugging).
+pub fn to_ascii(bases: &[u8]) -> String {
+    bases.iter().map(|&b| ['A', 'C', 'G', 'T'][b as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn genome_deterministic_and_in_range() {
+        let g = random_genome(1000, 7);
+        assert_eq!(g, random_genome(1000, 7));
+        assert_ne!(g, random_genome(1000, 8));
+        assert!(g.iter().all(|&b| b < 4));
+    }
+
+    #[test]
+    fn reads_cover_genome() {
+        let g = random_genome(500, 1);
+        let reads = sample_reads(&g, 60, 36, 1);
+        assert_eq!(reads.len(), 60);
+        let mut covered = vec![false; g.len()];
+        for r in &reads {
+            assert_eq!(r.bases.len(), 36);
+            // Find where this read came from (error-free, so it must
+            // occur in the genome).
+            let found = g.windows(36).position(|w| w == &r.bases[..]);
+            let p = found.expect("read must be a genome window");
+            for c in covered.iter_mut().skip(p).take(36) {
+                *c = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c), "tiling pass must cover the genome");
+    }
+
+    #[test]
+    fn ascii_roundtrip() {
+        assert_eq!(to_ascii(&[0, 1, 2, 3]), "ACGT");
+    }
+}

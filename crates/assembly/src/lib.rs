@@ -1,0 +1,33 @@
+//! SWAP-style distributed genome assembly (the paper's §6.3 application).
+//!
+//! The SWAP-Assembler abstracts assembly as a distributed bidirected
+//! k-mer graph processed by a "small world asynchronous parallel"
+//! framework: every MPI process runs **two communication threads — one
+//! sending, one receiving — using blocking `MPI_Send`/`MPI_Recv`**, which
+//! is exactly the structure reproduced here (and the reason the paper's
+//! Fig 12b shows a flat ≈2× win for fair locks: two threads per process
+//! contend on the runtime's critical section for the entire run).
+//!
+//! Pipeline (all deterministic per seed):
+//!
+//! 1. [`genome`] — synthetic genome + error-free reads (paper: 1 M reads
+//!    of 36 nucleotides; scaled down per experiment, documented there);
+//! 2. **k-mer distribution** — each worker extracts (k-mer, successor,
+//!    predecessor, count) records from its read share and ships them to
+//!    the k-mer's owner (hash-partitioned) in batches; the peer's
+//!    receiver thread builds the local [`graph::KmerGraph`];
+//! 3. **contig walking** — each worker walks maximal non-branching paths
+//!    (unitigs) starting from its owned start k-mers, issuing remote
+//!    k-mer queries answered by the target's receiver thread — the
+//!    fine-grained asynchronous message pattern SWAP is named for.
+//!
+//! On an error-free, repeat-free genome the assembler reconstructs the
+//! genome as a single contig, which the tests assert.
+
+pub mod genome;
+pub mod graph;
+pub mod swap;
+
+pub use genome::{random_genome, sample_reads, Read};
+pub use graph::{KmerGraph, KmerInfo};
+pub use swap::{assembly_receiver, assembly_worker, AssemblyConfig, AssemblyShared, ContigStats};

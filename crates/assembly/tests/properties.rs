@@ -1,0 +1,69 @@
+//! Property tests of the assembly substrate.
+
+use mtmpi_assembly::graph::{
+    first_base, last_base, owner_of, pack_kmer, shift_kmer, unpack_kmer, KmerGraph,
+};
+use mtmpi_assembly::{random_genome, sample_reads};
+use proptest::prelude::*;
+
+proptest! {
+    /// pack/unpack round-trips for any base window and k.
+    #[test]
+    fn pack_unpack_roundtrip(bases in proptest::collection::vec(0u8..4, 1..32)) {
+        let k = bases.len();
+        let km = pack_kmer(&bases, k);
+        prop_assert_eq!(unpack_kmer(km, k), bases.clone());
+        prop_assert_eq!(first_base(km, k), bases[0]);
+        prop_assert_eq!(last_base(km), bases[k - 1]);
+    }
+
+    /// Shifting matches repacking the shifted window.
+    #[test]
+    fn shift_equals_repack(bases in proptest::collection::vec(0u8..4, 2..32)) {
+        let k = bases.len() - 1;
+        let a = pack_kmer(&bases, k);
+        let shifted = shift_kmer(a, bases[k], k);
+        prop_assert_eq!(shifted, pack_kmer(&bases[1..], k));
+    }
+
+    /// Graph absorb is order-independent (counts and masks commute).
+    #[test]
+    fn absorb_commutes(
+        records in proptest::collection::vec((0u64..100, 1u32..4, 0u8..16, 0u8..16), 1..60),
+        seed in 0u64..100,
+    ) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut a = KmerGraph::new();
+        for &(k, c, s, p) in &records {
+            a.absorb(k, c, s, p);
+        }
+        let mut shuffled = records.clone();
+        shuffled.shuffle(&mut rand::rngs::SmallRng::seed_from_u64(seed));
+        let mut b = KmerGraph::new();
+        for &(k, c, s, p) in &shuffled {
+            b.absorb(k, c, s, p);
+        }
+        prop_assert_eq!(a.len(), b.len());
+        for (k, info) in a.iter() {
+            prop_assert_eq!(b.get(k), Some(info));
+        }
+    }
+
+    /// Ownership is total and stable.
+    #[test]
+    fn owner_total(kmer in any::<u64>(), nranks in 1u32..32) {
+        let o = owner_of(kmer, nranks);
+        prop_assert!(o < nranks);
+        prop_assert_eq!(o, owner_of(kmer, nranks));
+    }
+
+    /// Every sampled read is a verbatim window of the genome.
+    #[test]
+    fn reads_are_genome_windows(len in 100usize..600, n in 1usize..40, seed in 0u64..50) {
+        let g = random_genome(len, seed);
+        for r in sample_reads(&g, n, 36, seed) {
+            prop_assert!(g.windows(36).any(|w| w == &r.bases[..]));
+        }
+    }
+}

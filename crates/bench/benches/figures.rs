@@ -1,0 +1,24 @@
+//! Criterion wrappers over small versions of the paper figures: tracks
+//! that the headline *ratios* stay in the expected direction (cheap
+//! regression guard; the full tables come from the fig* binaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtmpi::prelude::*;
+use mtmpi_bench::{throughput_run, ThroughputParams};
+
+fn bench_methods_small(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figure_shapes");
+    g.sample_size(10);
+    for m in [Method::Mutex, Method::Ticket, Method::Priority] {
+        g.bench_function(format!("throughput_1B_4t_{}", m.label()), |b| {
+            b.iter(|| {
+                let exp = Experiment::quick(2);
+                throughput_run(&exp, m, ThroughputParams::new(1, 4).windows(2)).rate
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_methods_small);
+criterion_main!(benches);

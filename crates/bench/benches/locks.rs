@@ -1,0 +1,79 @@
+//! Criterion micro-benchmarks of the real lock implementations
+//! (native, on this host): uncontended cost and contended hand-off.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mtmpi_locks::{
+    CsLock, FutexMutex, McsLock, PathClass, PriorityTicketLock, TasLock, TicketLock, TtasLock,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_lock_unlock");
+    macro_rules! case {
+        ($name:literal, $lock:expr) => {
+            let lock = $lock;
+            g.bench_function($name, |b| {
+                b.iter(|| {
+                    let t = lock.acquire(PathClass::Main);
+                    lock.release(PathClass::Main, t);
+                })
+            });
+        };
+    }
+    case!("mutex", FutexMutex::new());
+    case!("ticket", TicketLock::new());
+    case!("priority_high", PriorityTicketLock::new());
+    case!("tas", TasLock::default());
+    case!("ttas", TtasLock::default());
+    case!("mcs", McsLock::new());
+    g.finish();
+
+    let lock = PriorityTicketLock::new();
+    c.bench_function("uncontended_lock_unlock_priority_low", |b| {
+        b.iter(|| {
+            let t = lock.acquire(PathClass::Progress);
+            lock.release(PathClass::Progress, t);
+        })
+    });
+}
+
+/// One background contender hammers the lock while the measured thread
+/// acquires: hand-off cost under contention (single-core host: this
+/// mostly measures the yield path).
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contended_pair");
+    g.sample_size(20);
+    fn run<L: CsLock + 'static>(
+        g: &mut criterion::BenchmarkGroup<'_, criterion::measurement::WallTime>,
+        name: &str,
+        lock: L,
+    ) {
+        let lock = Arc::new(lock);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (l2, s2) = (lock.clone(), stop.clone());
+        let bg = std::thread::spawn(move || {
+            while !s2.load(Ordering::Relaxed) {
+                let t = l2.acquire(PathClass::Progress);
+                std::hint::spin_loop();
+                l2.release(PathClass::Progress, t);
+                std::thread::yield_now();
+            }
+        });
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let t = lock.acquire(PathClass::Main);
+                lock.release(PathClass::Main, t);
+            })
+        });
+        stop.store(true, Ordering::Relaxed);
+        bg.join().unwrap();
+    }
+    run(&mut g, "mutex", FutexMutex::new());
+    run(&mut g, "ticket", TicketLock::new());
+    run(&mut g, "priority", PriorityTicketLock::new());
+    g.finish();
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of runtime operations on the virtual platform:
+//! the real-time cost of simulating common MPI call sequences (a
+//! regression guard for simulator overhead).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mtmpi::prelude::*;
+
+fn bench_pingpong_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("virtual_platform");
+    g.sample_size(10);
+    g.bench_function("pingpong_100", |b| {
+        b.iter(|| {
+            let exp = Experiment::quick(2);
+            let out = exp.run(
+                RunConfig::new(Method::Ticket).nodes(2).ranks_per_node(1).threads_per_rank(1),
+                |ctx| {
+                    let h = &ctx.rank;
+                    if h.rank() == 0 {
+                        for _ in 0..100 {
+                            h.send(1, 0, MsgData::Synthetic(8));
+                            let _ = h.recv(Some(1), Some(0));
+                        }
+                    } else {
+                        for _ in 0..100 {
+                            let _ = h.recv(Some(0), Some(0));
+                            h.send(0, 0, MsgData::Synthetic(8));
+                        }
+                    }
+                },
+            );
+            out.end_ns
+        })
+    });
+    g.bench_function("window64_x2_8threads", |b| {
+        b.iter(|| {
+            let exp = Experiment::quick(2);
+            let out = exp.run(
+                RunConfig::new(Method::Ticket).nodes(2).ranks_per_node(1).threads_per_rank(8),
+                |ctx| {
+                    let h = &ctx.rank;
+                    let j = ctx.thread as i32;
+                    if h.rank() == 0 {
+                        for _ in 0..2 {
+                            let reqs: Vec<_> =
+                                (0..64).map(|_| h.isend(1, 0, MsgData::Synthetic(1))).collect();
+                            h.waitall(reqs);
+                            let _ = h.recv(Some(1), Some(100 + j));
+                        }
+                    } else {
+                        for _ in 0..2 {
+                            let reqs: Vec<_> =
+                                (0..64).map(|_| h.irecv(Some(0), Some(0))).collect();
+                            h.waitall(reqs);
+                            h.send(0, 100 + j, MsgData::Synthetic(1));
+                        }
+                    }
+                },
+            );
+            out.end_ns
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pingpong_sim);
+criterion_main!(benches);

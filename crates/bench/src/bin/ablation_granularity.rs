@@ -1,0 +1,63 @@
+//! Ablation (paper §7 discussion): critical-section *granularity* crossed
+//! with *arbitration*.
+//!
+//! The paper argues the two dimensions are orthogonal and synergistic:
+//! "start with a global critical section, explore effective arbitration
+//! methods, reduce granularity if high contention persists". This
+//! ablation quantifies that on the throughput workload.
+
+use mtmpi::prelude::*;
+use mtmpi_bench::print_figure_header;
+
+fn main() {
+    print_figure_header(
+        "Ablation: granularity x arbitration",
+        "(not in the paper; motivated by §7)",
+        "1B messages, 8 tpn, msg rate in 1e3 msgs/s",
+    );
+    let mut t = Table::new(&["granularity", "Mutex", "Ticket", "Priority"]);
+    for g in [Granularity::Global, Granularity::BriefGlobal, Granularity::PerQueue] {
+        eprintln!("[ablation] {} ...", g.label());
+        let mut cells = vec![g.label().to_owned()];
+        for m in Method::PAPER_TRIO {
+            let mut exp = Experiment::quick(2);
+            exp.seed ^= 0xAB1A; // distinct stream per table
+            // Rebuild the experiment with this granularity via RunConfig.
+            let r = {
+                let out = exp.run(
+                    RunConfig::new(m)
+                        .nodes(2)
+                        .ranks_per_node(1)
+                        .threads_per_rank(8)
+                        .granularity(g),
+                    move |ctx| {
+                        let h = &ctx.rank;
+                        let j = ctx.thread as i32;
+                        if h.rank() == 0 {
+                            for _ in 0..6 {
+                                let reqs: Vec<_> = (0..64)
+                                    .map(|_| h.isend(1, 0, MsgData::Synthetic(1)))
+                                    .collect();
+                                h.waitall(reqs);
+                                let _ = h.recv(Some(1), Some(100 + j));
+                            }
+                        } else {
+                            for _ in 0..6 {
+                                let reqs: Vec<_> =
+                                    (0..64).map(|_| h.irecv(Some(0), Some(0))).collect();
+                                h.waitall(reqs);
+                                h.send(0, 100 + j, MsgData::Synthetic(1));
+                            }
+                        }
+                    },
+                );
+                out.msg_rate(8 * 6 * 64) / 1e3
+            };
+            cells.push(format!("{r:.0}"));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!("\nExpectation: finer granularity lifts all methods; arbitration still");
+    println!("separates them (synergy, not substitution).");
+}

@@ -1,0 +1,36 @@
+//! Ablation (paper §9 future work): selective wake-up — "selective
+//! thread wake-up triggered by events such as message arrival".
+//!
+//! Our `Selective` lock is the ticket lock plus completion-driven queue
+//! jumping: when the progress engine completes a request, its owner
+//! thread moves to the head of the critical-section queue — it is the
+//! thread that can free the request and issue new work immediately.
+
+use mtmpi::prelude::*;
+use mtmpi_bench::{print_figure_header, throughput_run, ThroughputParams};
+
+fn main() {
+    print_figure_header(
+        "Ablation: selective wake-up (§9 future work)",
+        "paper: proposed, not implemented",
+        "throughput benchmark, 1B-4KB, 8 tpn; Selective vs the paper's methods",
+    );
+    let methods = [Method::Mutex, Method::Ticket, Method::Priority, Method::Selective];
+    let mut series: Vec<Series> = Vec::new();
+    for m in methods {
+        eprintln!("[selective] {} ...", m.label());
+        let mut s = Series::new(m.label());
+        for size in [1u64, 64, 1024, 4096] {
+            let exp = Experiment::quick(2);
+            let r = throughput_run(&exp, m, ThroughputParams::new(size, 8));
+            s.push(size as f64, r.rate / 1e3);
+        }
+        series.push(s);
+    }
+    let t = Table::from_series("size_B | rate_1e3_msgs_per_s:", &series);
+    print!("{}", t.render());
+    let (ticket, selective) = (&series[1], &series[3]);
+    if let Some(r) = selective.mean_ratio_vs(ticket) {
+        println!("\nselective/ticket mean ratio: {r:.2} (the paper conjectured a win)");
+    }
+}

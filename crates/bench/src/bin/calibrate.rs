@@ -1,0 +1,34 @@
+//! Calibration probe: prints the headline shapes (rates, dangling
+//! requests, bias factors, compact-vs-scatter) for the throughput
+//! benchmark across thread counts. Run this after touching
+//! `LockModelParams` or `RuntimeCosts` to see at a glance whether the
+//! model still reproduces the paper's phenomena (DESIGN.md §5).
+
+use mtmpi::prelude::*;
+use mtmpi_bench::{throughput_run, ThroughputParams};
+
+fn main() {
+    let exp = Experiment::quick(2);
+    println!("-- throughput, 1B messages, compact --");
+    for threads in [1u32, 2, 4, 8] {
+        for m in [Method::Mutex, Method::Ticket, Method::Priority] {
+            eprintln!("[running {} t={threads}]", m.label());
+            let r = throughput_run(&exp, m, ThroughputParams::new(1, threads));
+            let f = r.bias.factors();
+            println!(
+                "{:>8} t={threads}: rate={:>8.0} k/s dangling={:>7.1} bias={:?}",
+                m.label(),
+                r.rate / 1e3,
+                r.dangling_avg,
+                f.map(|f| (f.core, f.socket))
+            );
+        }
+    }
+    println!("-- scatter vs compact, mutex, 1B --");
+    for b in [BindingPolicy::Compact, BindingPolicy::Scatter] {
+        for threads in [2u32, 4, 8] {
+            let r = throughput_run(&exp, Method::Mutex, ThroughputParams::new(1, threads).binding(b));
+            println!("{b:?} t={threads}: rate={:.0} k/s", r.rate / 1e3);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Figure 11a: 3D stencil strong scaling — GFlops vs problem size per
+//! core, all methods.
+//!
+//! Paper shape (64 nodes x 8 threads): fair locks help only for small
+//! problems (<= ~1 MB/core) where communication matters; all methods
+//! converge for big problems (compute-dominated).
+//!
+//! Scaled down: 8 nodes x 8 threads, three problem sizes.
+
+use mtmpi::prelude::*;
+use mtmpi_bench::print_figure_header;
+use mtmpi_stencil::{stencil_thread, RankStencil, StencilConfig};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+fn gflops(method: Method, cfg: &StencilConfig, nodes: u32) -> (f64, mtmpi_stencil::PhaseStats) {
+    let per_rank: Vec<Arc<RankStencil>> =
+        (0..cfg.nranks()).map(|r| Arc::new(RankStencil::new(cfg, r))).collect();
+    let stats = Arc::new(Mutex::new(mtmpi_stencil::PhaseStats::default()));
+    let exp = Experiment::quick(nodes);
+    let (pr, s2) = (per_rank, stats.clone());
+    let out = exp.run(
+        RunConfig::new(method)
+            .nodes(nodes)
+            .ranks_per_node(cfg.nranks() / nodes)
+            .threads_per_rank(cfg.threads),
+        move |ctx| {
+            let st = pr[ctx.rank.rank() as usize].clone();
+            if let Some(ps) = stencil_thread(&st, &ctx.rank, ctx.thread) {
+                s2.lock().merge(&ps);
+            }
+        },
+    );
+    let s = *stats.lock();
+    (cfg.total_flops() as f64 / out.end_ns as f64, s)
+}
+
+fn main() {
+    print_figure_header(
+        "Figure 11a",
+        "stencil GFlops vs problem/core: fair locks win only <=1MB/core; converge beyond",
+        "8 nodes x 8 threads (paper: 64 nodes), global cube sweep",
+    );
+    let nodes = 8u32;
+    let mut t = Table::new(&["bytes_per_core", "Mutex", "Ticket", "Priority"]);
+    // Global cubes: per-core cells = g^3/64 ranks... ranks=8 nodes x1, 8 thr.
+    for g in [16usize, 32, 64, 96, 160] {
+        eprintln!("[fig11a] global {g}^3 ...");
+        let cfg = StencilConfig {
+            global: (g, g, g),
+            pgrid: (2, 2, 2),
+            iters: 4,
+            threads: 8,
+            cell_ns: 3,
+        };
+        let cells_per_core = (g * g * g) as f64 / f64::from(nodes * 8);
+        let mut cells = vec![format!("{:.0}", cells_per_core * 8.0)];
+        for m in Method::PAPER_TRIO {
+            let (gf, _) = gflops(m, &cfg, nodes);
+            cells.push(format!("{gf:.2}"));
+        }
+        t.row(cells);
+    }
+    print!("{}", t.render());
+    println!("\n(units: GFlops; paper: gap at small sizes only)");
+}

@@ -1,0 +1,38 @@
+//! Figure 2b: compact vs scatter binding, mutex, 1-byte messages, 2 and
+//! 4 threads per node.
+//!
+//! Paper shape: scatter is 1.5–2x worse — the runtime contention is
+//! NUMA-sensitive (inter-socket hand-off latency and unfair arbitration).
+
+use mtmpi::prelude::*;
+use mtmpi_bench::{print_figure_header, throughput_run, ThroughputParams};
+
+fn main() {
+    print_figure_header(
+        "Figure 2b",
+        "mutex msg rate, 1 B messages: compact vs scatter, 2 & 4 threads; scatter 1.5-2x worse",
+        "same sweep on the virtual platform",
+    );
+    let exp = Experiment::quick(2);
+    let mut t = Table::new(&["threads", "Compact [1e3 msg/s]", "Scatter [1e3 msg/s]", "ratio"]);
+    for threads in [2u32, 4] {
+        let c = throughput_run(
+            &exp,
+            Method::Mutex,
+            ThroughputParams::new(1, threads).binding(BindingPolicy::Compact),
+        );
+        let s = throughput_run(
+            &exp,
+            Method::Mutex,
+            ThroughputParams::new(1, threads).binding(BindingPolicy::Scatter),
+        );
+        t.row(vec![
+            threads.to_string(),
+            format!("{:.0}", c.rate / 1e3),
+            format!("{:.0}", s.rate / 1e3),
+            format!("{:.2}", c.rate / s.rate),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\n(ratio > 1 means compact wins; paper: 1.5-2.0)");
+}

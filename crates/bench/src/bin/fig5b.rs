@@ -1,0 +1,45 @@
+//! Figure 5b: message rate vs threads-per-node for mutex/ticket ×
+//! compact/scatter, 1-byte messages.
+//!
+//! Paper shape: compact — ticket reduces contention (+68% at 4 threads);
+//! scatter at 2 threads — ticket *loses* slightly to mutex (fair FIFO
+//! pays the inter-socket hand-off every time, the mutex's socket-level
+//! monopolization avoids it); the fair lock wins again as concurrency
+//! grows.
+
+use mtmpi::prelude::*;
+use mtmpi_bench::{print_figure_header, throughput_run, ThroughputParams};
+
+fn main() {
+    print_figure_header(
+        "Figure 5b",
+        "1B msg rate vs tpn: ticket +68% @4 compact; ticket loses @2 scatter; wins @8",
+        "mutex/ticket x compact/scatter sweep",
+    );
+    let exp = Experiment::quick(2);
+    let mut t = Table::new(&[
+        "threads",
+        "Mutex_Compact",
+        "Ticket_Compact",
+        "Mutex_Scatter",
+        "Ticket_Scatter",
+    ]);
+    for threads in [2u32, 4, 8] {
+        eprintln!("[fig5b] {threads} tpn ...");
+        let cell = |m: Method, b: BindingPolicy| {
+            format!(
+                "{:.0}",
+                throughput_run(&exp, m, ThroughputParams::new(1, threads).binding(b)).rate / 1e3
+            )
+        };
+        t.row(vec![
+            threads.to_string(),
+            cell(Method::Mutex, BindingPolicy::Compact),
+            cell(Method::Ticket, BindingPolicy::Compact),
+            cell(Method::Mutex, BindingPolicy::Scatter),
+            cell(Method::Ticket, BindingPolicy::Scatter),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\n(units: 1e3 msgs/s)");
+}

@@ -1,0 +1,55 @@
+//! Multithreaded ping-pong latency benchmark (osu_latency derivative,
+//! §6.1.1).
+
+use mtmpi::prelude::*;
+
+/// One latency measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyResult {
+    /// Mean one-way latency per message, µs (the paper's Fig 8b unit).
+    pub latency_us: f64,
+    /// Virtual run time.
+    pub end_ns: u64,
+}
+
+/// `threads` concurrent ping-pong pairs between rank 0 and rank 1;
+/// `iters` round trips per thread. Each pair uses its own tag (a
+/// ping-pong is inherently pairwise).
+pub fn latency_run(exp: &Experiment, method: Method, size: u64, threads: u32, iters: u32) -> LatencyResult {
+    let out = exp.run(
+        RunConfig::new(method).nodes(2).ranks_per_node(1).threads_per_rank(threads),
+        move |ctx| {
+            let h = &ctx.rank;
+            let tag = ctx.thread as i32;
+            if h.rank() == 0 {
+                for _ in 0..iters {
+                    h.send(1, tag, MsgData::Synthetic(size));
+                    let _ = h.recv(Some(1), Some(tag));
+                }
+            } else {
+                for _ in 0..iters {
+                    let _ = h.recv(Some(0), Some(tag));
+                    h.send(0, tag, MsgData::Synthetic(size));
+                }
+            }
+        },
+    );
+    let threads = out.threads_per_rank;
+    // Per paper convention: latency = round-trip / 2, averaged over all
+    // concurrent round trips (wall time covers `iters` sequential round
+    // trips per pair, pairs run concurrently).
+    let round_trips = u64::from(iters);
+    let latency_us = out.end_ns as f64 / round_trips as f64 / 2.0 / 1e3;
+    let _ = threads;
+    LatencyResult { latency_us, end_ns: out.end_ns }
+}
+
+/// Size sweep series (µs vs bytes).
+pub fn latency_series(exp: &Experiment, method: Method, threads: u32, sizes: &[u64], iters: u32) -> Series {
+    let mut s = Series::new(method.label());
+    for &size in sizes {
+        let r = latency_run(exp, method, size, threads, iters);
+        s.push(size as f64, r.latency_us);
+    }
+    s
+}

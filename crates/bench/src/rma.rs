@@ -1,0 +1,96 @@
+//! ARMCI-style one-sided benchmark with asynchronous progress (§6.1.2,
+//! Fig 9).
+//!
+//! One origin process issues contiguous put/get/accumulate operations to
+//! the other ranks round-robin. The benchmark itself is single-threaded,
+//! but MPICH-style asynchronous progress adds a progress thread to every
+//! rank — so two threads contend inside each runtime, and the progress
+//! thread (which "does not do useful work most of the time") monopolizes
+//! a biased lock, the effect behind the paper's up-to-5× result.
+
+use mtmpi::prelude::*;
+
+/// Which one-sided operation to benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmaOpKind {
+    /// Contiguous put.
+    Put,
+    /// Contiguous get.
+    Get,
+    /// Contiguous f64 accumulate.
+    Accumulate,
+}
+
+impl RmaOpKind {
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RmaOpKind::Put => "Put",
+            RmaOpKind::Get => "Get",
+            RmaOpKind::Accumulate => "Accumulate",
+        }
+    }
+}
+
+/// Run the benchmark with `nprocs` ranks (2 per node as a dense RMA
+/// layout), element size `size`, `iters` operations from the origin.
+/// Returns data-transfer rate in elements/second (the paper's unit).
+pub fn rma_run(
+    exp: &Experiment,
+    method: Method,
+    op: RmaOpKind,
+    nprocs: u32,
+    size: u64,
+    iters: u32,
+) -> f64 {
+    let nodes = nprocs.div_ceil(2);
+    let out = exp.run(
+        RunConfig::new(method)
+            .nodes(nodes)
+            .ranks_per_node(2)
+            .threads_per_rank(1)
+            .window_bytes((size as usize).max(8))
+            .progress_thread(true),
+        move |ctx| {
+            let h = &ctx.rank;
+            if h.rank() != 0 {
+                // Passive target: block in MPI until the origin's epoch
+                // ends. The blocking receive keeps this rank's progress
+                // engine turning (as an ARMCI barrier would), and the
+                // async progress thread stays alive until we return.
+                let _ = h.recv(Some(0), Some(900));
+                return;
+            }
+            let n = h.nranks();
+            for i in 0..iters {
+                let target = 1 + (i % (n - 1));
+                match op {
+                    RmaOpKind::Put => h.put(target, 0, MsgData::Synthetic(size)),
+                    RmaOpKind::Get => h.get_synthetic(target, 0, size),
+                    RmaOpKind::Accumulate => h.accumulate(target, 0, MsgData::Synthetic(size)),
+                }
+            }
+            for r in 1..n {
+                h.send(r, 900, MsgData::Synthetic(0));
+            }
+        },
+    );
+    f64::from(iters) / (out.end_ns as f64 / 1e9)
+}
+
+/// Size sweep series: (element bytes, 10³ elements/s).
+pub fn rma_series(
+    exp: &Experiment,
+    method: Method,
+    op: RmaOpKind,
+    nprocs: u32,
+    sizes: &[u64],
+    iters: u32,
+) -> Series {
+    let mut s = Series::new(method.label());
+    for &size in sizes {
+        let it = if size >= 256 * 1024 { iters / 4 } else { iters }.max(4);
+        s.push(size as f64, rma_run(exp, method, op, nprocs, size, it) / 1e3);
+    }
+    s
+}

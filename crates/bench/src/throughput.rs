@@ -1,0 +1,154 @@
+//! The multithreaded point-to-point throughput benchmark (osu_bw
+//! derivative, §4.1).
+
+use mtmpi::prelude::*;
+use std::sync::Arc;
+
+/// Requests per window, as in the paper.
+pub const WINDOW: usize = 64;
+/// Ack tag base (data messages use tag 0; ack for thread j is `ACK + j`).
+const ACK: i32 = 100;
+
+/// One throughput measurement.
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// Aggregate message rate, messages/second.
+    pub rate: f64,
+    /// Mean dangling requests on the receiving rank (§4.4 metric).
+    pub dangling_avg: f64,
+    /// Bias analysis of the receiving rank's critical section.
+    pub bias: BiasAnalysis,
+    /// Virtual run time, ns.
+    pub end_ns: u64,
+    /// Total messages moved.
+    pub messages: u64,
+}
+
+/// Parameters of a throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputParams {
+    /// Payload bytes per message.
+    pub size: u64,
+    /// Threads per rank.
+    pub threads: u32,
+    /// Windows per thread.
+    pub windows: u32,
+    /// Thread binding.
+    pub binding: BindingPolicy,
+}
+
+impl ThroughputParams {
+    /// Paper-like defaults: compact binding, window count scaled down
+    /// with size so large-message runs stay bounded.
+    pub fn new(size: u64, threads: u32) -> Self {
+        let windows = if size >= 256 * 1024 {
+            2
+        } else if size >= 16 * 1024 {
+            3
+        } else {
+            6
+        };
+        Self { size, threads, windows, binding: BindingPolicy::Compact }
+    }
+
+    /// Override the binding.
+    pub fn binding(mut self, b: BindingPolicy) -> Self {
+        self.binding = b;
+        self
+    }
+
+    /// Override the window count.
+    pub fn windows(mut self, w: u32) -> Self {
+        self.windows = w;
+        self
+    }
+}
+
+/// Run the benchmark: rank 0 (node 0) streams to rank 1 (node 1), `threads`
+/// threads per rank, window/ack flow control.
+pub fn throughput_run(exp: &Experiment, method: Method, p: ThroughputParams) -> ThroughputResult {
+    let size = p.size;
+    let windows = p.windows;
+    let out = exp.run(
+        RunConfig::new(method)
+            .nodes(2)
+            .ranks_per_node(1)
+            .threads_per_rank(p.threads)
+            .binding(p.binding),
+        move |ctx| {
+            let h = &ctx.rank;
+            let j = ctx.thread as i32;
+            if h.rank() == 0 {
+                // Sender: window of isends, waitall, wait for the ack.
+                for _ in 0..windows {
+                    let reqs: Vec<_> = (0..WINDOW)
+                        .map(|_| h.isend(1, 0, MsgData::Synthetic(size)))
+                        .collect();
+                    h.waitall(reqs);
+                    let _ = h.recv(Some(1), Some(ACK + j));
+                }
+            } else {
+                // Receiver: window of irecvs (shared tag: any thread's
+                // receive matches any arrival), waitall, ack.
+                for _ in 0..windows {
+                    let reqs: Vec<_> =
+                        (0..WINDOW).map(|_| h.irecv(Some(0), Some(0))).collect();
+                    h.waitall(reqs);
+                    h.send(0, ACK + j, MsgData::Synthetic(1));
+                }
+            }
+        },
+    );
+    let threads = out.threads_per_rank;
+    let messages = u64::from(threads) * u64::from(windows) * WINDOW as u64;
+    let dangling = out.dangling(1);
+    let bias = BiasAnalysis::from_trace(out.trace(1));
+    ThroughputResult {
+        rate: out.msg_rate(messages),
+        dangling_avg: dangling.average(),
+        bias,
+        end_ns: out.end_ns,
+        messages,
+    }
+}
+
+/// Sweep message sizes for one method/thread-count; returns a
+/// [`Series`] of (size, rate in 10³ msgs/s) — the paper's y axis unit.
+pub fn throughput_series(
+    exp: &Experiment,
+    method: Method,
+    threads: u32,
+    binding: BindingPolicy,
+    sizes: &[u64],
+) -> Series {
+    let label = if method == Method::Single {
+        "Single".to_owned()
+    } else {
+        format!("{}{}", method.label(), binding_suffix(binding))
+    };
+    let mut s = Series::new(label);
+    for &size in sizes {
+        let r = throughput_run(exp, method, ThroughputParams::new(size, threads).binding(binding));
+        s.push(size as f64, r.rate / 1e3);
+    }
+    s
+}
+
+fn binding_suffix(b: BindingPolicy) -> &'static str {
+    match b {
+        BindingPolicy::Compact => "",
+        BindingPolicy::Scatter => "_Scatter",
+    }
+}
+
+/// Arc-free convenience wrapper used by criterion benches.
+pub fn quick_rate(method: Method, threads: u32, size: u64) -> f64 {
+    let exp = Experiment::quick(2);
+    throughput_run(&exp, method, ThroughputParams { size, threads, windows: 2, binding: BindingPolicy::Compact })
+        .rate
+}
+
+/// Shared `Arc` experiment helper (figure binaries build one per figure).
+pub fn experiment() -> Arc<Experiment> {
+    Arc::new(Experiment::quick(2))
+}

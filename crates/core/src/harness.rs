@@ -1,0 +1,293 @@
+//! The experiment harness: deterministic rank × thread grids.
+
+use crate::method::Method;
+use mtmpi_metrics::{CsTrace, DanglingSampler};
+use mtmpi_net::NetModel;
+use mtmpi_runtime::{Granularity, RankHandle, RuntimeCosts, World};
+use mtmpi_sim::{LockModelParams, Platform, PlatformReport, ThreadDesc, VirtualPlatform};
+use mtmpi_topology::{presets, Binding, BindingPolicy, ClusterTopology};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// What every worker closure receives.
+pub struct ThreadCtx {
+    /// Handle for MPI calls as this thread's rank.
+    pub rank: RankHandle,
+    /// Thread index within the rank (`0..nthreads`).
+    pub thread: u32,
+    /// Threads per rank in this run.
+    pub nthreads: u32,
+}
+
+/// Environment shared by a family of runs: machine, network, cost models,
+/// seed.
+#[derive(Clone)]
+pub struct Experiment {
+    /// Cluster topology (defines NUMA hand-off costs).
+    pub cluster: ClusterTopology,
+    /// Interconnect model.
+    pub net: NetModel,
+    /// Virtual lock-arbitration parameters.
+    pub lock_params: LockModelParams,
+    /// Runtime per-operation costs.
+    pub costs: RuntimeCosts,
+    /// Master seed; every derived randomness is a pure function of it.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Paper-grade defaults on a cluster of `nodes` Nehalem nodes.
+    pub fn quick(nodes: u32) -> Self {
+        Self {
+            cluster: presets::nehalem_cluster_scaled(nodes),
+            net: NetModel::qdr(),
+            lock_params: LockModelParams::default(),
+            costs: RuntimeCosts::default(),
+            seed: 0x5EED,
+        }
+    }
+
+    /// Same, with an explicit seed.
+    pub fn with_seed(nodes: u32, seed: u64) -> Self {
+        Self { seed, ..Self::quick(nodes) }
+    }
+
+    /// Run `body` on every (rank, thread) of the grid described by `cfg`,
+    /// on a fresh virtual platform.
+    pub fn run<F>(&self, cfg: RunConfig, body: F) -> RunOutcome
+    where
+        F: Fn(ThreadCtx) + Send + Sync + 'static,
+    {
+        let nodes = cfg.nodes;
+        assert!(nodes <= self.cluster.nodes, "config exceeds cluster size");
+        let platform: Arc<dyn Platform> = Arc::new(VirtualPlatform::new(
+            self.cluster.clone(),
+            self.net.clone(),
+            self.lock_params,
+            self.seed,
+        ));
+        let threads_per_rank = if cfg.method.forces_single_thread() {
+            1
+        } else {
+            cfg.threads_per_rank
+        };
+        let nranks = nodes * cfg.ranks_per_node;
+        let ranks_per_node = cfg.ranks_per_node;
+        let world = World::builder(platform.clone())
+            .ranks(nranks)
+            .rank_on_node(move |r| r / ranks_per_node)
+            .lock(cfg.method.lock_kind())
+            .granularity(cfg.granularity)
+            .costs(self.costs)
+            .window_bytes(cfg.window_bytes)
+            .build();
+
+        // Binding: the node's worker threads (all ranks on the node ×
+        // threads) fill cores according to the policy; the optional
+        // progress thread of each rank takes the next slot.
+        let slots_per_node =
+            cfg.ranks_per_node * threads_per_rank + if cfg.progress_thread { cfg.ranks_per_node } else { 0 };
+        let binding = Binding::new(&self.cluster.node, cfg.binding, slots_per_node);
+
+        let body = Arc::new(body);
+        for r in 0..nranks {
+            let local_rank = r % cfg.ranks_per_node;
+            let node = r / cfg.ranks_per_node;
+            // Per-rank progress-thread shutdown: the last worker to
+            // finish flips the stop flag.
+            let stop = Arc::new(AtomicBool::new(false));
+            let remaining = Arc::new(AtomicU32::new(threads_per_rank));
+            for t in 0..threads_per_rank {
+                let slot = (local_rank * threads_per_rank + t) as usize;
+                let core = binding.core_of(slot);
+                let handle = world.rank(r);
+                let body = body.clone();
+                let stop = stop.clone();
+                let remaining = remaining.clone();
+                platform.spawn(
+                    ThreadDesc { name: format!("r{r}t{t}"), node, core },
+                    Box::new(move || {
+                        body(ThreadCtx { rank: handle, thread: t, nthreads: threads_per_rank });
+                        if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                            stop.store(true, Ordering::Release);
+                        }
+                    }),
+                );
+            }
+            if cfg.progress_thread {
+                let slot =
+                    (cfg.ranks_per_node * threads_per_rank + local_rank) as usize;
+                let core = binding.core_of(slot);
+                let handle = world.rank(r);
+                platform.spawn(
+                    ThreadDesc { name: format!("r{r}prog"), node, core },
+                    Box::new(move || handle.progress_loop(&stop)),
+                );
+            }
+        }
+
+        let report = platform.run();
+        RunOutcome { end_ns: report.end_ns, report, world, nranks, threads_per_rank }
+    }
+}
+
+/// Grid + method description of one run.
+#[derive(Clone)]
+pub struct RunConfig {
+    /// Arbitration method.
+    pub method: Method,
+    /// Number of cluster nodes used.
+    pub nodes: u32,
+    /// MPI ranks per node.
+    pub ranks_per_node: u32,
+    /// Threads per rank (ignored for [`Method::Single`]).
+    pub threads_per_rank: u32,
+    /// Thread-to-core binding policy.
+    pub binding: BindingPolicy,
+    /// Critical-section granularity.
+    pub granularity: Granularity,
+    /// RMA window size per rank (0 = no window).
+    pub window_bytes: usize,
+    /// Spawn an asynchronous progress thread per rank.
+    pub progress_thread: bool,
+}
+
+impl RunConfig {
+    /// Defaults matching the paper's common setup: 2 nodes × 1 rank,
+    /// compact binding, global CS, no RMA, no progress thread.
+    pub fn new(method: Method) -> Self {
+        Self {
+            method,
+            nodes: 2,
+            ranks_per_node: 1,
+            threads_per_rank: 1,
+            binding: BindingPolicy::Compact,
+            granularity: Granularity::Global,
+            window_bytes: 0,
+            progress_thread: false,
+        }
+    }
+
+    /// Set the node count.
+    pub fn nodes(mut self, n: u32) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Set ranks per node.
+    pub fn ranks_per_node(mut self, n: u32) -> Self {
+        self.ranks_per_node = n;
+        self
+    }
+
+    /// Set threads per rank.
+    pub fn threads_per_rank(mut self, n: u32) -> Self {
+        self.threads_per_rank = n;
+        self
+    }
+
+    /// Set the binding policy.
+    pub fn binding(mut self, b: BindingPolicy) -> Self {
+        self.binding = b;
+        self
+    }
+
+    /// Set the CS granularity.
+    pub fn granularity(mut self, g: Granularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Enable an RMA window of `bytes` per rank.
+    pub fn window_bytes(mut self, bytes: usize) -> Self {
+        self.window_bytes = bytes;
+        self
+    }
+
+    /// Enable the per-rank asynchronous progress thread.
+    pub fn progress_thread(mut self, on: bool) -> Self {
+        self.progress_thread = on;
+        self
+    }
+}
+
+/// Results of one run.
+pub struct RunOutcome {
+    /// Raw platform report (lock traces by LockId).
+    pub report: PlatformReport,
+    /// The world (post-run profiling accessors).
+    pub world: World,
+    /// Virtual end time.
+    pub end_ns: u64,
+    /// Total ranks.
+    pub nranks: u32,
+    /// Effective threads per rank.
+    pub threads_per_rank: u32,
+}
+
+impl RunOutcome {
+    /// Acquisition trace of a rank's queue lock.
+    pub fn trace(&self, rank: u32) -> &CsTrace {
+        &self.report.lock_traces[self.world.lock_of(rank).0]
+    }
+
+    /// Dangling-request profile of a rank.
+    pub fn dangling(&self, rank: u32) -> DanglingSampler {
+        self.world.dangling_report(rank)
+    }
+
+    /// Aggregate dangling profile over all ranks.
+    pub fn dangling_all(&self) -> DanglingSampler {
+        let mut acc = DanglingSampler::new();
+        for r in 0..self.nranks {
+            acc.merge(&self.world.dangling_report(r));
+        }
+        acc
+    }
+
+    /// End-to-end wall (virtual) seconds.
+    pub fn seconds(&self) -> f64 {
+        self.end_ns as f64 / 1e9
+    }
+
+    /// Messages/sec for `total_msgs` messages moved during the run.
+    pub fn msg_rate(&self, total_msgs: u64) -> f64 {
+        total_msgs as f64 / self.seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_method_forces_one_thread() {
+        let exp = Experiment::quick(2);
+        let out = exp.run(
+            RunConfig::new(Method::Single).threads_per_rank(8).nodes(1),
+            |ctx| {
+                assert_eq!(ctx.nthreads, 1);
+                assert_eq!(ctx.thread, 0);
+            },
+        );
+        assert_eq!(out.threads_per_rank, 1);
+    }
+
+    #[test]
+    fn grid_spawns_rank_times_threads() {
+        use std::sync::atomic::AtomicU32;
+        let exp = Experiment::quick(2);
+        let count = Arc::new(AtomicU32::new(0));
+        let c2 = count.clone();
+        let out = exp.run(
+            RunConfig::new(Method::Ticket).nodes(2).ranks_per_node(2).threads_per_rank(3),
+            move |ctx| {
+                assert!(ctx.thread < 3);
+                assert!(ctx.rank.rank() < 4);
+                c2.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(count.load(Ordering::Relaxed), 12);
+        assert_eq!(out.nranks, 4);
+    }
+}

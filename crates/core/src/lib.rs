@@ -1,0 +1,54 @@
+//! # mtmpi — MPI+Threads runtime-contention reproduction
+//!
+//! Facade crate for the reproduction of *MPI+Threads: Runtime Contention
+//! and Remedies* (PPoPP'15). It re-exports the workspace layers and adds
+//! the experiment harness every figure binary and example uses:
+//!
+//! * [`Method`] — the paper's legend entries (mutex / ticket / priority /
+//!   single, plus the extra baselines);
+//! * [`Experiment`]/[`RunConfig`] — "run this closure on `nodes` ×
+//!   `ranks_per_node` × `threads_per_rank` with binding B and method M,
+//!   deterministically, and hand back traces and profiles";
+//! * [`prelude`] — one-line import for applications.
+//!
+//! ```
+//! use mtmpi::prelude::*;
+//!
+//! let exp = Experiment::quick(2); // 2 nodes, paper-grade defaults
+//! let out = exp.run(
+//!     RunConfig::new(Method::Ticket).ranks_per_node(1).threads_per_rank(2),
+//!     |ctx| {
+//!         // Every (rank, thread) runs this body.
+//!         if ctx.rank.rank() == 0 {
+//!             ctx.rank.send(1, ctx.thread as i32, MsgData::Synthetic(64));
+//!         } else {
+//!             ctx.rank.recv(Some(0), Some(ctx.thread as i32));
+//!         }
+//!     },
+//! );
+//! assert!(out.end_ns > 0);
+//! ```
+
+pub mod harness;
+pub mod method;
+
+pub use harness::{Experiment, RunConfig, RunOutcome, ThreadCtx};
+pub use method::Method;
+
+/// Convenient glob import for examples and benches.
+pub mod prelude {
+    pub use crate::harness::{Experiment, RunConfig, RunOutcome, ThreadCtx};
+    pub use crate::method::Method;
+    pub use mtmpi_locks::PathClass;
+    pub use mtmpi_metrics::{summary, BiasAnalysis, Series, Table};
+    pub use mtmpi_net::NetModel;
+    pub use mtmpi_runtime::{
+        Granularity, Msg, MsgData, RankHandle, Request, RuntimeCosts, TestOutcome, World,
+        ANY_SOURCE, ANY_TAG,
+    };
+    pub use mtmpi_sim::{
+        LockKind, LockModelParams, NativePlatform, Platform, PlatformReport, ThreadDesc,
+        VirtualPlatform,
+    };
+    pub use mtmpi_topology::{presets, Binding, BindingPolicy, ClusterTopology, CoreId};
+}

@@ -1,0 +1,92 @@
+//! The paper's arbitration methods as a closed enum.
+
+use mtmpi_sim::LockKind;
+
+/// Legend entries of the paper's figures, plus the extra baselines this
+/// reproduction implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// NPTL-style mutex (the baseline whose bias the paper analyses).
+    Mutex,
+    /// FCFS ticket lock (remedy 1).
+    Ticket,
+    /// Two-level priority ticket lock (remedy 2).
+    Priority,
+    /// Single-threaded execution (`MPI_THREAD_SINGLE` comparison): the
+    /// harness forces one thread per rank; the lock is an uncontended
+    /// mutex.
+    Single,
+    /// Socket-aware cohort lock (§7 extension) with a hand-over budget.
+    Cohort(u32),
+    /// Test-and-set baseline.
+    Tas,
+    /// Test-and-test-and-set baseline.
+    Ttas,
+    /// MCS queue lock baseline.
+    Mcs,
+    /// CLH queue lock baseline.
+    Clh,
+    /// Selective wake-up (§9 future work): FIFO plus completion-driven
+    /// queue jumping.
+    Selective,
+}
+
+impl Method {
+    /// The three methods every figure of the paper compares.
+    pub const PAPER_TRIO: [Method; 3] = [Method::Mutex, Method::Ticket, Method::Priority];
+
+    /// The trio plus the single-threaded reference (Fig 8).
+    pub const PAPER_QUARTET: [Method; 4] =
+        [Method::Single, Method::Mutex, Method::Ticket, Method::Priority];
+
+    /// Platform lock kind implementing this method.
+    pub fn lock_kind(self) -> LockKind {
+        match self {
+            Method::Mutex | Method::Single => LockKind::Mutex,
+            Method::Ticket => LockKind::Ticket,
+            Method::Priority => LockKind::Priority,
+            Method::Cohort(budget) => LockKind::Cohort { budget },
+            Method::Tas => LockKind::Tas,
+            Method::Ttas => LockKind::Ttas,
+            Method::Mcs => LockKind::Mcs,
+            Method::Clh => LockKind::Clh,
+            Method::Selective => LockKind::Selective,
+        }
+    }
+
+    /// Figure-legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Mutex => "Mutex",
+            Method::Ticket => "Ticket",
+            Method::Priority => "Priority",
+            Method::Single => "Single",
+            Method::Cohort(_) => "Cohort",
+            Method::Tas => "TAS",
+            Method::Ttas => "TTAS",
+            Method::Mcs => "MCS",
+            Method::Clh => "CLH",
+            Method::Selective => "Selective",
+        }
+    }
+
+    /// Whether the harness must force one thread per rank.
+    pub fn forces_single_thread(self) -> bool {
+        matches!(self, Method::Single)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trio_and_labels() {
+        assert_eq!(Method::PAPER_TRIO.len(), 3);
+        assert_eq!(Method::Mutex.label(), "Mutex");
+        assert_eq!(Method::Ticket.lock_kind(), LockKind::Ticket);
+        assert!(Method::Single.forces_single_thread());
+        assert!(!Method::Priority.forces_single_thread());
+        assert_eq!(Method::Cohort(4).lock_kind(), LockKind::Cohort { budget: 4 });
+    }
+}

@@ -1,0 +1,390 @@
+//! Serial reference BFS and the distributed hybrid (MPI+threads) BFS.
+
+use crate::csr::Csr;
+use crate::kronecker::EdgeList;
+use mtmpi_runtime::{RankHandle, Request, TestOutcome};
+use mtmpi_sim::SpinBarrier;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Serial BFS over a full CSR; returns the parent array (`-1` =
+/// unreached, root's parent is itself).
+pub fn bfs_serial(csr: &Csr, root: u64) -> Vec<i64> {
+    let n = csr.nrows();
+    let mut parent = vec![-1i64; n];
+    parent[root as usize] = root as i64;
+    let mut frontier = vec![root as u32];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in csr.row(u as usize) {
+                if parent[v as usize] < 0 {
+                    parent[v as usize] = i64::from(u);
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+    }
+    parent
+}
+
+/// Check a parent array against the graph: root is its own parent, every
+/// reached vertex's parent is reached, every parent edge exists, and the
+/// BFS level relation holds (level(v) == level(parent(v)) + 1).
+pub fn validate_parents(csr: &Csr, root: u64, parent: &[i64]) -> Result<(), String> {
+    if parent[root as usize] != root as i64 {
+        return Err(format!("root parent is {}", parent[root as usize]));
+    }
+    // Compute reference levels.
+    let ref_parent = bfs_serial(csr, root);
+    let mut level = vec![-1i64; csr.nrows()];
+    level[root as usize] = 0;
+    let mut frontier = vec![root as u32];
+    let mut l = 0i64;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for &v in csr.row(u as usize) {
+                if level[v as usize] < 0 {
+                    level[v as usize] = l + 1;
+                    next.push(v);
+                }
+            }
+        }
+        frontier = next;
+        l += 1;
+    }
+    for v in 0..csr.nrows() {
+        match (parent[v] >= 0, ref_parent[v] >= 0) {
+            (true, false) => return Err(format!("vertex {v} reached but unreachable")),
+            (false, true) => return Err(format!("vertex {v} unreached but reachable")),
+            (false, false) => continue,
+            (true, true) => {}
+        }
+        if v as u64 == root {
+            continue;
+        }
+        let p = parent[v] as usize;
+        if !csr.row(p).contains(&(v as u32)) {
+            return Err(format!("no edge {p} -> {v}"));
+        }
+        if level[v] != level[p] + 1 {
+            return Err(format!(
+                "level mismatch at {v}: level {} vs parent level {}",
+                level[v], level[p]
+            ));
+        }
+    }
+    Ok(())
+}
+
+const CHUNK: usize = 256;
+const FLUSH_PAIRS: usize = 512;
+const TAG_BASE: i32 = 1_000;
+
+fn edge_tag(thread: u32, level: u32) -> i32 {
+    TAG_BASE + (thread as i32) * 4 + (level & 1) as i32
+}
+
+fn done_tag(thread: u32, level: u32) -> i32 {
+    edge_tag(thread, level) + 2
+}
+
+struct Shared {
+    /// Parent of each *local* vertex (global id / nranks), -1 unset.
+    parent: Vec<i64>,
+    /// Current frontier: global ids owned by this rank.
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+    traversed: u64,
+    global_next: u64,
+    level: u32,
+}
+
+/// Per-rank state of one hybrid BFS run. Create one per rank (wrapped in
+/// `Arc`) and hand clones of it to each of the rank's threads, which all
+/// call [`hybrid_bfs_thread`].
+pub struct HybridBfs {
+    /// Local rows (cyclic partition).
+    pub csr: Csr,
+    /// Total vertices in the global graph.
+    pub nvertices: u64,
+    nranks: u32,
+    rank: u32,
+    shared: Mutex<Shared>,
+    cursor: AtomicUsize,
+    barrier: SpinBarrier,
+}
+
+/// Result returned by thread 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HybridStats {
+    /// Total edges scanned across all ranks and threads.
+    pub traversed_edges: u64,
+    /// BFS depth.
+    pub levels: u32,
+    /// Vertices reached across all ranks (including the root).
+    pub reached: u64,
+}
+
+impl HybridBfs {
+    /// Build the per-rank state from the global edge list.
+    pub fn new(el: &EdgeList, root: u64, rank: u32, nranks: u32, nthreads: u32) -> Self {
+        let csr = Csr::partition_cyclic(el, rank, nranks);
+        let mut shared = Shared {
+            parent: vec![-1; csr.nrows()],
+            frontier: Vec::new(),
+            next: Vec::new(),
+            traversed: 0,
+            global_next: 0,
+            level: 0,
+        };
+        if root % u64::from(nranks) == u64::from(rank) {
+            shared.parent[(root / u64::from(nranks)) as usize] = root as i64;
+            shared.frontier.push(root as u32);
+        }
+        Self {
+            csr,
+            nvertices: el.nvertices(),
+            nranks,
+            rank,
+            shared: Mutex::new(shared),
+            cursor: AtomicUsize::new(0),
+            barrier: SpinBarrier::new(nthreads),
+        }
+    }
+
+    fn owner(&self, v: u32) -> u32 {
+        v % self.nranks
+    }
+
+    fn local(&self, v: u32) -> usize {
+        (v / self.nranks) as usize
+    }
+
+    /// Local parents (for validation); call after the run.
+    pub fn parents_local(&self) -> Vec<i64> {
+        self.shared.lock().parent.clone()
+    }
+}
+
+fn encode_pairs(pairs: &[(u32, u32)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(pairs.len() * 8);
+    for &(v, u) in pairs {
+        out.extend_from_slice(&v.to_le_bytes());
+        out.extend_from_slice(&u.to_le_bytes());
+    }
+    out
+}
+
+fn decode_pairs(bytes: &[u8]) -> impl Iterator<Item = (u32, u32)> + '_ {
+    bytes.chunks_exact(8).map(|c| {
+        (
+            u32::from_le_bytes(c[..4].try_into().expect("4 bytes")),
+            u32::from_le_bytes(c[4..].try_into().expect("4 bytes")),
+        )
+    })
+}
+
+/// Run one thread's share of the hybrid BFS. All `nthreads` threads of
+/// every rank must call this with their thread index; thread 0 returns
+/// the global stats, others `None`.
+///
+/// `edge_ns` is the modelled cost of scanning one edge for *this thread*
+/// (callers charge a higher cost for threads whose cores sit on a remote
+/// socket from the graph's memory — the single-node scaling experiment's
+/// NUMA effect).
+pub fn hybrid_bfs_thread(
+    bfs: &HybridBfs,
+    h: &RankHandle,
+    thread: u32,
+    edge_ns: u64,
+) -> Option<HybridStats> {
+    let platform = h.platform().clone();
+    let nranks = bfs.nranks;
+    let mut my_traversed = 0u64;
+    let mut levels = 0u32;
+    loop {
+        let level = bfs.shared.lock().level;
+        // ---- compute phase: scan my chunks of the frontier ----
+        let mut outbuf: Vec<Vec<(u32, u32)>> = (0..nranks).map(|_| Vec::new()).collect();
+        let mut send_reqs: Vec<Request> = Vec::new();
+        let mut batches_sent = vec![0u64; nranks as usize];
+        loop {
+            let start = bfs.cursor.fetch_add(CHUNK, Ordering::Relaxed);
+            let chunk = {
+                let sh = bfs.shared.lock();
+                if start >= sh.frontier.len() {
+                    Vec::new()
+                } else {
+                    let end = (start + CHUNK).min(sh.frontier.len());
+                    sh.frontier[start..end].to_vec()
+                }
+            };
+            if chunk.is_empty() {
+                break;
+            }
+            let mut edges_here = 0u64;
+            for &u in &chunk {
+                let row = bfs.csr.row(bfs.local(u));
+                edges_here += row.len() as u64;
+                for &v in row {
+                    if bfs.owner(v) == bfs.rank {
+                        let lv = bfs.local(v);
+                        let mut sh = bfs.shared.lock();
+                        if sh.parent[lv] < 0 {
+                            sh.parent[lv] = i64::from(u);
+                            sh.next.push(v);
+                        }
+                    } else {
+                        let o = bfs.owner(v) as usize;
+                        outbuf[o].push((v, u));
+                        if outbuf[o].len() >= FLUSH_PAIRS {
+                            let data = encode_pairs(&outbuf[o]);
+                            outbuf[o].clear();
+                            send_reqs.push(h.isend(o as u32, edge_tag(thread, level), data.into()));
+                            batches_sent[o] += 1;
+                        }
+                    }
+                }
+            }
+            my_traversed += edges_here;
+            platform.compute(edges_here * edge_ns);
+            // Synchronize with the scheduler between chunks: the chunk
+            // cursor is shared real state, so without a virtual-time
+            // yield one thread would drain the whole frontier before its
+            // peers (whose virtual clocks are behind) ever run.
+            platform.yield_now();
+        }
+        // ---- flush remainders, then announce batch counts ----
+        for (o, buf) in outbuf.iter_mut().enumerate() {
+            if !buf.is_empty() {
+                let data = encode_pairs(buf);
+                buf.clear();
+                send_reqs.push(h.isend(o as u32, edge_tag(thread, level), data.into()));
+                batches_sent[o] += 1;
+            }
+        }
+        if nranks > 1 {
+            for o in 0..nranks {
+                if o != bfs.rank {
+                    send_reqs.push(h.isend(
+                        o,
+                        done_tag(thread, level),
+                        batches_sent[o as usize].to_le_bytes().to_vec().into(),
+                    ));
+                }
+            }
+            drain_incoming(bfs, h, thread, level, &platform);
+        }
+        h.waitall(send_reqs);
+        // ---- level barrier + frontier swap ----
+        bfs.barrier.wait(platform.as_ref());
+        let mut global_next = 0;
+        if thread == 0 {
+            let local_next = {
+                let mut sh = bfs.shared.lock();
+                sh.frontier = std::mem::take(&mut sh.next);
+                sh.level += 1;
+                sh.frontier.len() as u64
+            };
+            bfs.cursor.store(0, Ordering::Release);
+            global_next = h.allreduce_sum_u64(local_next);
+            bfs.shared.lock().global_next = global_next;
+        }
+        bfs.barrier.wait(platform.as_ref());
+        if thread != 0 {
+            global_next = bfs.shared.lock().global_next;
+        }
+        levels += 1;
+        if global_next == 0 {
+            break;
+        }
+    }
+    // ---- wind-down: aggregate stats ----
+    {
+        let mut sh = bfs.shared.lock();
+        sh.traversed += my_traversed;
+    }
+    bfs.barrier.wait(platform.as_ref());
+    if thread == 0 {
+        let (local_traversed, local_reached) = {
+            let sh = bfs.shared.lock();
+            (sh.traversed, sh.parent.iter().filter(|&&p| p >= 0).count() as u64)
+        };
+        let traversed_edges = h.allreduce_sum_u64(local_traversed);
+        let reached = h.allreduce_sum_u64(local_reached);
+        Some(HybridStats { traversed_edges, levels, reached })
+    } else {
+        None
+    }
+}
+
+/// Receive this thread's edge batches for the level until every peer's
+/// DONE count is satisfied. See the module docs of `mtmpi-runtime` for
+/// why prompt receive posting matters (delayed posting inflates the
+/// unexpected queue — the N2N effect of §5.2).
+fn drain_incoming(
+    bfs: &HybridBfs,
+    h: &RankHandle,
+    thread: u32,
+    level: u32,
+    platform: &std::sync::Arc<dyn mtmpi_sim::Platform>,
+) {
+    let nranks = bfs.nranks;
+    let etag = edge_tag(thread, level);
+    let dtag = done_tag(thread, level);
+    let mut done_reqs: Vec<Request> = (0..nranks)
+        .filter(|&o| o != bfs.rank)
+        .map(|o| h.irecv(Some(o), Some(dtag)))
+        .collect();
+    let mut expected = 0u64;
+    let mut received = 0u64;
+    let mut edge_req: Option<Request> = None;
+    loop {
+        // Collect DONE counts.
+        let mut still = Vec::with_capacity(done_reqs.len());
+        for r in done_reqs {
+            match h.test(r) {
+                TestOutcome::Done(m) => {
+                    let b = m.data.as_bytes();
+                    expected += u64::from_le_bytes(b[..8].try_into().expect("u64"));
+                }
+                TestOutcome::Pending(r) => still.push(r),
+            }
+        }
+        done_reqs = still;
+        // Keep exactly one edge receive posted while batches remain.
+        if edge_req.is_none() && received < expected {
+            edge_req = Some(h.irecv(None, Some(etag)));
+        }
+        if let Some(r) = edge_req.take() {
+            match h.test(r) {
+                TestOutcome::Done(m) => {
+                    received += 1;
+                    let bytes = m.data.as_bytes();
+                    let mut newly = 0u64;
+                    {
+                        let mut sh = bfs.shared.lock();
+                        for (v, u) in decode_pairs(bytes) {
+                            debug_assert_eq!(bfs.owner(v), bfs.rank);
+                            let lv = bfs.local(v);
+                            if sh.parent[lv] < 0 {
+                                sh.parent[lv] = i64::from(u);
+                                sh.next.push(v);
+                                newly += 1;
+                            }
+                        }
+                    }
+                    platform.compute(8 * newly + (bytes.len() as u64 / 8) * 4);
+                }
+                TestOutcome::Pending(r) => edge_req = Some(r),
+            }
+        }
+        if done_reqs.is_empty() && received >= expected && edge_req.is_none() {
+            return;
+        }
+        platform.compute(150); // polling pause between test rounds
+    }
+}

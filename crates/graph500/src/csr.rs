@@ -1,0 +1,146 @@
+//! Compressed-sparse-row adjacency.
+
+use crate::kronecker::EdgeList;
+
+/// CSR over `u32` vertex ids (scales ≤ 31 supported, far beyond what the
+//  host-feasible experiments use).
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// Row offsets, length `nvertices + 1`.
+    pub offsets: Vec<u64>,
+    /// Column indices (neighbours).
+    pub targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Build a symmetric CSR from an edge list (each undirected edge
+    /// appears in both adjacency rows; self-loops dropped, duplicates
+    /// kept, as the Graph500 reference kernels tolerate them).
+    pub fn from_edges(el: &EdgeList) -> Self {
+        let n = el.nvertices() as usize;
+        let mut deg = vec![0u64; n];
+        for &(u, v) in &el.edges {
+            if u != v {
+                deg[u as usize] += 1;
+                deg[v as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut targets = vec![0u32; offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &el.edges {
+            if u != v {
+                targets[cursor[u as usize] as usize] = v as u32;
+                cursor[u as usize] += 1;
+                targets[cursor[v as usize] as usize] = u as u32;
+                cursor[v as usize] += 1;
+            }
+        }
+        Self { offsets, targets }
+    }
+
+    /// Build a CSR holding only the rows of vertices owned by `rank`
+    /// under cyclic ownership `owner(v) = v mod nranks`. Row `i` holds
+    /// the neighbours of global vertex `i * nranks + rank`.
+    pub fn partition_cyclic(el: &EdgeList, rank: u32, nranks: u32) -> Self {
+        let n = el.nvertices();
+        let local_n = (n / u64::from(nranks))
+            + u64::from(n % u64::from(nranks) > u64::from(rank));
+        let owned = |v: u64| v % u64::from(nranks) == u64::from(rank);
+        let local = |v: u64| (v / u64::from(nranks)) as usize;
+        let mut deg = vec![0u64; local_n as usize];
+        for &(u, v) in &el.edges {
+            if u == v {
+                continue;
+            }
+            if owned(u) {
+                deg[local(u)] += 1;
+            }
+            if owned(v) {
+                deg[local(v)] += 1;
+            }
+        }
+        let mut offsets = vec![0u64; local_n as usize + 1];
+        for i in 0..local_n as usize {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let mut targets = vec![0u32; offsets[local_n as usize] as usize];
+        let mut cursor = offsets.clone();
+        for &(u, v) in &el.edges {
+            if u == v {
+                continue;
+            }
+            if owned(u) {
+                targets[cursor[local(u)] as usize] = v as u32;
+                cursor[local(u)] += 1;
+            }
+            if owned(v) {
+                targets[cursor[local(v)] as usize] = u as u32;
+                cursor[local(v)] += 1;
+            }
+        }
+        Self { offsets, targets }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Neighbours of row `i`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Total directed edges stored.
+    pub fn nnz(&self) -> u64 {
+        self.targets.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> EdgeList {
+        // 0-1, 0-2, 1-3, 2-3, 3-3 (self loop dropped)
+        EdgeList { scale: 2, edges: vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 3)] }
+    }
+
+    #[test]
+    fn symmetric_adjacency() {
+        let c = Csr::from_edges(&tiny());
+        assert_eq!(c.nrows(), 4);
+        assert_eq!(c.row(0), &[1, 2]);
+        assert_eq!(c.row(3), &[1, 2]);
+        assert_eq!(c.nnz(), 8);
+    }
+
+    #[test]
+    fn partition_covers_all_rows() {
+        let el = tiny();
+        let full = Csr::from_edges(&el);
+        let nranks = 3u32;
+        let mut total = 0;
+        for r in 0..nranks {
+            let part = Csr::partition_cyclic(&el, r, nranks);
+            for i in 0..part.nrows() {
+                let g = i as u64 * u64::from(nranks) + u64::from(r);
+                assert_eq!(part.row(i), full.row(g as usize), "row of vertex {g}");
+            }
+            total += part.nnz();
+        }
+        assert_eq!(total, full.nnz());
+    }
+
+    #[test]
+    fn partition_row_counts() {
+        let el = tiny(); // 4 vertices, 3 ranks: rank0 owns {0,3}, r1 {1}, r2 {2}
+        assert_eq!(Csr::partition_cyclic(&el, 0, 3).nrows(), 2);
+        assert_eq!(Csr::partition_cyclic(&el, 1, 3).nrows(), 1);
+        assert_eq!(Csr::partition_cyclic(&el, 2, 3).nrows(), 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Graph500-style breadth-first search (the paper's §6.2.1 kernel).
+//!
+//! * [`kronecker`] — the Graph500 Kronecker generator
+//!   (A=0.57, B=0.19, C=0.19, D=0.05, edge factor 16), deterministic per
+//!   seed, with vertex relabelling;
+//! * [`csr`] — compressed-sparse-row adjacency;
+//! * [`bfs`] — a serial reference BFS (validation + baseline), and the
+//!   distributed **hybrid** BFS of the paper: level-synchronous 1D
+//!   decomposition where every thread computes on a slice of the
+//!   frontier, buffers remote edges per destination rank, communicates
+//!   *independently* with nonblocking sends/receives, and polls with
+//!   immediate `test` calls (so all threads stay on the high-priority
+//!   main path — the reason Fig 10 shows priority ≈ ticket).
+//!
+//! Performance is reported in MTEPS (millions of traversed edges per
+//! second), as Graph500 does.
+
+pub mod bfs;
+pub mod csr;
+pub mod kronecker;
+
+pub use bfs::{bfs_serial, hybrid_bfs_thread, validate_parents, HybridBfs, HybridStats};
+pub use csr::Csr;
+pub use kronecker::{generate_kronecker, EdgeList};

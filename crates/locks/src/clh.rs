@@ -1,0 +1,143 @@
+//! CLH queue lock (Craig; Landin & Hagersten) — the implicit-queue cousin
+//! of MCS: each waiter spins on its *predecessor's* node.
+
+use crate::path::PathClass;
+use crate::raw::{CsLock, CsToken};
+use crate::spin::Backoff;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+#[derive(Debug)]
+struct ClhNode {
+    /// True while the owner of this node holds or waits for the lock.
+    busy: AtomicBool,
+}
+
+/// CLH lock. FIFO, local spinning (on the predecessor's cache line, which
+/// is remote on the first read then cached locally until release).
+///
+/// The token packs two pointers (our node, predecessor's node) in a small
+/// heap box, because a released CLH node is *recycled by the successor*,
+/// not by its creator — the classic CLH twist.
+#[derive(Debug)]
+pub struct ClhLock {
+    tail: AtomicPtr<ClhNode>,
+}
+
+/// What an acquisition must remember until release.
+struct ClhToken {
+    /// The node we published; reused by our successor after release.
+    mine: *mut ClhNode,
+    /// Our predecessor's node; becomes *our* recycled node after release.
+    pred: *mut ClhNode,
+}
+
+impl Default for ClhLock {
+    fn default() -> Self {
+        // The lock starts with a dummy "released" node as tail.
+        let dummy = Box::into_raw(Box::new(ClhNode { busy: AtomicBool::new(false) }));
+        Self { tail: AtomicPtr::new(dummy) }
+    }
+}
+
+impl ClhLock {
+    /// Create an unlocked CLH lock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Acquire; pass the token to [`Self::unlock`].
+    pub fn lock(&self) -> CsToken {
+        let mine = Box::into_raw(Box::new(ClhNode { busy: AtomicBool::new(true) }));
+        let pred = self.tail.swap(mine, Ordering::AcqRel);
+        let mut backoff = Backoff::new();
+        // SAFETY: pred is owned by the queue protocol; it is not freed
+        // until we (its successor) consume it in unlock.
+        while unsafe { (*pred).busy.load(Ordering::Acquire) } {
+            backoff.snooze();
+        }
+        let token = Box::new(ClhToken { mine, pred });
+        CsToken(Box::into_raw(token) as usize)
+    }
+
+    /// Release a lock acquired with [`Self::lock`].
+    pub fn unlock(&self, token: CsToken) {
+        // SAFETY: token originates from lock().
+        let t = unsafe { Box::from_raw(token.0 as *mut ClhToken) };
+        unsafe {
+            // Hand the lock to the successor (if any) by clearing busy on
+            // our node; the predecessor's node is now unreachable by
+            // anyone else and is freed here (CLH recycling).
+            (*t.mine).busy.store(false, Ordering::Release);
+            drop(Box::from_raw(t.pred));
+        }
+    }
+}
+
+impl Drop for ClhLock {
+    fn drop(&mut self) {
+        // Free the final tail node (dummy or last released node).
+        let tail = self.tail.load(Ordering::Relaxed);
+        if !tail.is_null() {
+            // SAFETY: the lock must be unheld when dropped; the tail node
+            // is then owned solely by the lock.
+            unsafe { drop(Box::from_raw(tail)) };
+        }
+    }
+}
+
+impl CsLock for ClhLock {
+    fn name(&self) -> &'static str {
+        "clh"
+    }
+
+    fn acquire(&self, _class: PathClass) -> CsToken {
+        self.lock()
+    }
+
+    fn release(&self, _class: PathClass, token: CsToken) {
+        self.unlock(token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion() {
+        let lock = Arc::new(ClhLock::new());
+        let inside = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (lock, inside, counter) = (lock.clone(), inside.clone(), counter.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        let t = lock.lock();
+                        assert!(!inside.swap(true, Ordering::SeqCst));
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inside.store(false, Ordering::SeqCst);
+                        lock.unlock(t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8000);
+    }
+
+    #[test]
+    fn sequential_reuse_and_drop() {
+        let lock = ClhLock::new();
+        for _ in 0..100 {
+            let t = lock.lock();
+            lock.unlock(t);
+        }
+        // Drop frees the remaining node (checked by miri/asan in CI; here
+        // we just make sure it does not crash).
+    }
+}

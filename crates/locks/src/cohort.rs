@@ -1,0 +1,188 @@
+//! Socket-aware cohort ticket lock — the §7 "Discussion" extension.
+//!
+//! The paper floats "a socket-aware high-priority method that prioritizes
+//! threads on … the same socket before moving to another socket … for
+//! reducing intersocket synchronization. However, this approach may lead
+//! to starvation." This module implements that idea safely: a classic
+//! two-level *lock cohorting* construction (per-socket ticket locks under
+//! a global ticket lock) with a **bounded hand-over budget** so a socket
+//! can keep the lock for at most `budget` consecutive local hand-overs
+//! before it must release globally — bounding remote-socket starvation by
+//! construction.
+
+use crate::path::PathClass;
+use crate::raw::{CsLock, CsToken, RawLock};
+use crate::ticket::TicketLock;
+use crate::traced::current_core;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct SocketLocal {
+    lock: TicketLock,
+    /// True when this socket's cohort currently owns the global lock and
+    /// the next local owner inherits it without touching the global lock.
+    global_inherited: AtomicBool,
+    /// Consecutive local hand-overs performed by the current cohort tenure.
+    passes: AtomicU32,
+}
+
+/// NUMA cohort lock: FIFO within a socket, bounded batching across sockets.
+#[derive(Debug)]
+pub struct CohortTicketLock {
+    global: TicketLock,
+    sockets: Vec<SocketLocal>,
+    /// Maximum consecutive local hand-overs before the global lock must be
+    /// released (1 would make it behave like a plain ticket lock chain).
+    budget: u32,
+}
+
+impl CohortTicketLock {
+    /// Create a cohort lock for `n_sockets` sockets with the given
+    /// hand-over `budget`.
+    pub fn new(n_sockets: u32, budget: u32) -> Self {
+        assert!(n_sockets > 0, "need at least one socket");
+        assert!(budget > 0, "budget must allow at least one pass");
+        Self {
+            global: TicketLock::new(),
+            sockets: (0..n_sockets).map(|_| SocketLocal::default()).collect(),
+            budget,
+        }
+    }
+
+    /// Acquire on behalf of a thread running on `socket`.
+    pub fn lock_on(&self, socket: usize) {
+        let s = &self.sockets[socket];
+        s.lock.lock();
+        // We own the local lock; either our cohort already holds the
+        // global lock (inherited) or we must win it.
+        if !s.global_inherited.load(Ordering::Acquire) {
+            self.global.lock();
+        }
+    }
+
+    /// Release from `socket` (must match the `lock_on` socket).
+    pub fn unlock_on(&self, socket: usize) {
+        let s = &self.sockets[socket];
+        let local_waiters = s.lock.queue_depth() > 1; // depth includes us
+        let passes = s.passes.load(Ordering::Relaxed);
+        if local_waiters && passes < self.budget {
+            // Hand over within the socket: keep the global lock, mark it
+            // inherited for the next local owner.
+            s.passes.store(passes + 1, Ordering::Relaxed);
+            s.global_inherited.store(true, Ordering::Release);
+            s.lock.unlock();
+        } else {
+            // Budget exhausted or no local demand: release globally.
+            s.passes.store(0, Ordering::Relaxed);
+            s.global_inherited.store(false, Ordering::Release);
+            self.global.unlock();
+            s.lock.unlock();
+        }
+    }
+
+    /// Number of sockets this lock arbitrates between.
+    pub fn sockets(&self) -> usize {
+        self.sockets.len()
+    }
+}
+
+impl CsLock for CohortTicketLock {
+    fn name(&self) -> &'static str {
+        "cohort"
+    }
+
+    fn acquire(&self, _class: PathClass) -> CsToken {
+        let socket = current_core()
+            .map(|(_, s)| s.0 as usize % self.sockets.len())
+            .unwrap_or(0);
+        self.lock_on(socket);
+        CsToken(socket)
+    }
+
+    fn release(&self, _class: PathClass, token: CsToken) {
+        self.unlock_on(token.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool as ABool, AtomicU64};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion_across_sockets() {
+        let lock = Arc::new(CohortTicketLock::new(2, 4));
+        let inside = Arc::new(ABool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let (lock, inside, counter) = (lock.clone(), inside.clone(), counter.clone());
+                std::thread::spawn(move || {
+                    let socket = i % 2;
+                    for _ in 0..2000 {
+                        lock.lock_on(socket);
+                        assert!(!inside.swap(true, Ordering::SeqCst));
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inside.store(false, Ordering::SeqCst);
+                        lock.unlock_on(socket);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8000);
+    }
+
+    #[test]
+    fn single_thread_reuse() {
+        let lock = CohortTicketLock::new(2, 4);
+        for s in [0usize, 1, 0, 1] {
+            lock.lock_on(s);
+            lock.unlock_on(s);
+        }
+    }
+
+    #[test]
+    fn remote_socket_not_starved() {
+        // Socket 0 hammers the lock; a socket-1 thread must still get in
+        // (budget bounds the cohort tenure).
+        let lock = Arc::new(CohortTicketLock::new(2, 8));
+        let stop = Arc::new(ABool::new(false));
+        let hammers: Vec<_> = (0..2)
+            .map(|_| {
+                let (lock, stop) = (lock.clone(), stop.clone());
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        lock.lock_on(0);
+                        lock.unlock_on(0);
+                    }
+                })
+            })
+            .collect();
+        let remote_got = Arc::new(AtomicU64::new(0));
+        let (l2, r2) = (lock.clone(), remote_got.clone());
+        let remote = std::thread::spawn(move || {
+            for _ in 0..50 {
+                l2.lock_on(1);
+                r2.fetch_add(1, Ordering::Relaxed);
+                l2.unlock_on(1);
+            }
+        });
+        remote.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for h in hammers {
+            h.join().unwrap();
+        }
+        assert_eq!(remote_got.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn zero_budget_rejected() {
+        let _ = CohortTicketLock::new(2, 0);
+    }
+}

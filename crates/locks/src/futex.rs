@@ -1,0 +1,243 @@
+//! A barging sleep/wake mutex modelling the NPTL default pthread mutex.
+//!
+//! The paper's §2.2 describes the arbitration of the Linux NPTL mutex:
+//!
+//! 1. user space: try to acquire with an atomic compare-and-swap;
+//! 2. on failure: `FUTEX_WAIT` in the kernel;
+//! 3. the releaser wakes *at most one* sleeper (`FUTEX_WAKE`), and the
+//!    woken thread **competes again** in user space with any newly arrived
+//!    threads — the *fastest-thread-first* rule.
+//!
+//! That last step is what makes the lock unfair: a thread whose cache
+//! already holds the lock line (typically the previous owner or its socket
+//! neighbours) observes the release first and wins the CAS before the
+//! sleeper even finishes waking. This implementation reproduces the exact
+//! same structure with the standard-library parking primitives standing in
+//! for the futex syscall, so native experiments exhibit genuine barging.
+
+use crate::raw::RawLock;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Condvar, Mutex};
+
+const FREE: u32 = 0;
+const LOCKED: u32 = 1;
+/// Locked and there may be sleepers to wake on release.
+const CONTENDED: u32 = 2;
+
+/// Barging futex-style mutex (NPTL model).
+#[derive(Debug)]
+pub struct FutexMutex {
+    state: AtomicU32,
+    /// Stand-in for the kernel futex queue.
+    queue: Mutex<usize>,
+    wake: Condvar,
+}
+
+impl Default for FutexMutex {
+    fn default() -> Self {
+        Self {
+            state: AtomicU32::new(FREE),
+            queue: Mutex::new(0),
+            wake: Condvar::new(),
+        }
+    }
+}
+
+impl FutexMutex {
+    /// Create an unlocked mutex.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// User-space spin phase before sleeping (NPTL adaptive behaviour).
+    const SPIN_TRIES: u32 = 64;
+
+    #[cold]
+    fn lock_slow(&self) {
+        loop {
+            // Adaptive user-space spinning: recheck and CAS a bounded
+            // number of times. This is the "fastest thread first" phase.
+            // A slow-path acquirer always locks with CONTENDED: other
+            // threads may be asleep, and acquiring with the plain LOCKED
+            // value would make the eventual unlock skip FUTEX_WAKE — the
+            // classic lost-wakeup (glibc locks with 2 here for the same
+            // reason).
+            for _ in 0..Self::SPIN_TRIES {
+                if self.state.load(Ordering::Relaxed) == FREE
+                    && self
+                        .state
+                        .compare_exchange(FREE, CONTENDED, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+            // Mark contended and go to "the kernel". swap (not CAS) so we
+            // also take the lock if it was freed just now.
+            if self.state.swap(CONTENDED, Ordering::Acquire) == FREE {
+                return; // freed between spin and swap; we now own it
+            }
+            {
+                let mut sleepers = self.queue.lock().unwrap();
+                // FUTEX_WAIT semantics: sleep only while the word still
+                // says contended; re-check under the queue lock to avoid
+                // missing a wake.
+                *sleepers += 1;
+                let mut guard = sleepers;
+                while self.state.load(Ordering::Acquire) == CONTENDED {
+                    guard = self.wake.wait(guard).unwrap();
+                }
+                *guard -= 1;
+            }
+            // Woken (or spurious): loop back and *race* the newcomers.
+        }
+    }
+
+    /// Number of threads currently parked (diagnostic).
+    pub fn sleepers(&self) -> usize {
+        *self.queue.lock().unwrap()
+    }
+}
+
+impl RawLock for FutexMutex {
+    const NAME: &'static str = "mutex";
+
+    fn lock(&self) {
+        if self
+            .state
+            .compare_exchange(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+        {
+            return;
+        }
+        self.lock_slow();
+    }
+
+    fn try_lock(&self) -> bool {
+        self.state
+            .compare_exchange(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    fn unlock(&self) {
+        if self.state.swap(FREE, Ordering::Release) == CONTENDED {
+            // FUTEX_WAKE(1): wake at most one sleeper; it must still win
+            // the user-space race against barging newcomers.
+            let _guard = self.queue.lock().unwrap();
+            self.wake.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicU64};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutual_exclusion() {
+        let lock = Arc::new(FutexMutex::new());
+        let inside = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let (lock, inside, counter) = (lock.clone(), inside.clone(), counter.clone());
+                std::thread::spawn(move || {
+                    for _ in 0..2000 {
+                        lock.lock();
+                        assert!(!inside.swap(true, Ordering::SeqCst));
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        inside.store(false, Ordering::SeqCst);
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 8000);
+    }
+
+    #[test]
+    fn try_lock_and_reuse() {
+        let m = FutexMutex::new();
+        assert!(m.try_lock());
+        assert!(!m.try_lock());
+        m.unlock();
+        m.lock();
+        m.unlock();
+    }
+
+    #[test]
+    fn sleeper_eventually_gets_lock() {
+        let lock = Arc::new(FutexMutex::new());
+        lock.lock();
+        let l2 = lock.clone();
+        let got = Arc::new(AtomicBool::new(false));
+        let got2 = got.clone();
+        let h = std::thread::spawn(move || {
+            l2.lock();
+            got2.store(true, Ordering::SeqCst);
+            l2.unlock();
+        });
+        // Let the waiter reach the parked state, then release.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        lock.unlock();
+        h.join().unwrap();
+        assert!(got.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn no_lost_wakeup_with_multiple_sleepers() {
+        // Regression: a woken sleeper re-acquiring the lock must keep the
+        // CONTENDED mark, or the next unlock skips FUTEX_WAKE and the
+        // remaining sleepers sleep forever. Long holds force every waiter
+        // to sleep at each hand-off, which reliably exercised the bug.
+        let lock = Arc::new(FutexMutex::new());
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let lock = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..150 {
+                        lock.lock();
+                        std::thread::sleep(std::time::Duration::from_micros(60));
+                        lock.unlock();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn barging_is_possible() {
+        // The previous owner can re-acquire immediately even while another
+        // thread sleeps — the defining unfairness of this lock. We assert
+        // the re-acquire succeeds instantly via try_lock (a FIFO lock with
+        // a queued waiter would refuse).
+        let lock = Arc::new(FutexMutex::new());
+        lock.lock();
+        let l2 = lock.clone();
+        let h = std::thread::spawn(move || {
+            l2.lock();
+            l2.unlock();
+        });
+        while lock.sleepers() == 0 {
+            std::thread::yield_now();
+        }
+        lock.unlock();
+        // Race the sleeper; barging means this often wins. Either way it
+        // must not deadlock, and if we win we release again for the
+        // sleeper. (Success of the swap is not guaranteed, so don't assert
+        // on it — only on liveness.)
+        if lock.try_lock() {
+            lock.unlock();
+        }
+        h.join().unwrap();
+    }
+}

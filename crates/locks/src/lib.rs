@@ -1,0 +1,52 @@
+//! Synchronization primitives for multithreaded MPI runtimes.
+//!
+//! This crate implements, as real usable Rust locks, every synchronization
+//! construct discussed in *MPI+Threads: Runtime Contention and Remedies*
+//! (PPoPP'15):
+//!
+//! * [`TicketLock`] — the FCFS lock of Fig 4 (one `fetch_add`, local-ish
+//!   spinning on `now_serving`), the paper's first remedy (§5.1);
+//! * [`PriorityTicketLock`] — the custom two-level scheme of Fig 7
+//!   (`ticket_H`/`ticket_L`/`ticket_B` + `already_blocked`), the paper's
+//!   second remedy (§5.2), which favours threads on the *main path* over
+//!   threads polling in the *progress loop*;
+//! * [`FutexMutex`] — a barging sleep/wake mutex modelling the NPTL default
+//!   mutex the paper analyses (§2.2): user-space CAS fast path, parked
+//!   waiters, and *no* fairness guarantee — a woken waiter races new
+//!   arrivals, so the fastest (cache-closest) thread wins;
+//! * [`TasLock`], [`TtasLock`] — test-and-set baselines;
+//! * [`McsLock`], [`ClhLock`] — queue-based FIFO locks that spin on local
+//!   cache lines (§8 related work);
+//! * [`CohortTicketLock`] — the §7 "socket-aware" idea: a NUMA cohort lock
+//!   built from per-socket ticket locks with a bounded hand-over budget so
+//!   it cannot starve remote sockets.
+//!
+//! The runtime consumes locks through the [`CsLock`] trait, which carries
+//! the paper's *path class* ([`PathClass::Main`] vs [`PathClass::Progress`])
+//! so that priority-aware locks can discriminate while flat locks ignore
+//! it. [`Traced`] wraps any `CsLock` and records an acquisition trace in
+//! the [`mtmpi_metrics`] format for the §4.3 fairness analysis.
+
+pub mod cell;
+pub mod clh;
+pub mod cohort;
+pub mod futex;
+pub mod mcs;
+pub mod path;
+pub mod priority;
+pub mod raw;
+pub mod spin;
+pub mod ticket;
+pub mod traced;
+
+pub use cell::LockCell;
+pub use clh::ClhLock;
+pub use cohort::CohortTicketLock;
+pub use futex::FutexMutex;
+pub use mcs::McsLock;
+pub use path::PathClass;
+pub use priority::PriorityTicketLock;
+pub use raw::{CsLock, CsToken, RawLock};
+pub use spin::{Backoff, TasLock, TtasLock};
+pub use ticket::TicketLock;
+pub use traced::{current_core, set_current_core, Traced};

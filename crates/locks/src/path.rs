@@ -1,0 +1,46 @@
+//! Execution-path classes inside a thread-safe MPI runtime (paper Fig 6a).
+
+/// Which of the two coarse-grained runtime paths a thread is on when it
+/// requests the global critical section.
+///
+/// The paper's key structural observation (§5.2): a thread on the **main
+/// path** (issuing an operation — allocating a request, enqueueing it) has
+/// a high probability of doing useful work with the lock, while a thread in
+/// the **progress loop** (polling for network completions) often wastes its
+/// acquisition. The priority lock exploits this; flat locks ignore it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PathClass {
+    /// Entry path of an MPI routine: request creation, queueing, matching
+    /// against the unexpected queue. High priority.
+    #[default]
+    Main,
+    /// Communication progress engine: polling the network, completing other
+    /// threads' requests. Low priority.
+    Progress,
+}
+
+impl PathClass {
+    /// Short label used in traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PathClass::Main => "main",
+            PathClass::Progress => "progress",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(PathClass::Main.label(), "main");
+        assert_eq!(PathClass::Progress.label(), "progress");
+    }
+
+    #[test]
+    fn default_is_main() {
+        assert_eq!(PathClass::default(), PathClass::Main);
+    }
+}

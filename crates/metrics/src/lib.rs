@@ -1,0 +1,26 @@
+//! Analysis metrics from the paper.
+//!
+//! * [`trace`] — critical-section acquisition records, produced by the
+//!   instrumented locks (native) and the virtual-platform arbitration
+//!   models, in the same format.
+//! * [`bias`] — the §4.3 fairness analysis: core-level probability `Pc`
+//!   (same thread re-acquires) and socket-level probability `Ps` (next
+//!   owner on same socket), for the observed arbitration and for the ideal
+//!   fair arbitration, and their ratios (the *bias factors* of Fig 3a).
+//! * [`dangling`] — the §4.4 dangling-request metric: completed-but-unfreed
+//!   requests sampled at lock acquisitions.
+//! * [`series`] — simple labelled series and statistics helpers.
+//! * [`table`] — fixed-width table / CSV rendering used by every figure
+//!   binary so outputs look like the paper's data.
+
+pub mod bias;
+pub mod dangling;
+pub mod series;
+pub mod table;
+pub mod trace;
+
+pub use bias::{BiasAnalysis, BiasFactors};
+pub use dangling::DanglingSampler;
+pub use series::{summary, Series, Summary};
+pub use table::Table;
+pub use trace::{AcquisitionRecord, CsTrace};

@@ -1,0 +1,189 @@
+//! Critical-section acquisition traces.
+
+use mtmpi_topology::{CoreId, SocketId};
+use serde::{Deserialize, Serialize};
+
+/// One critical-section acquisition, as observed by an instrumented lock or
+/// by the virtual-platform arbitration model.
+///
+/// This is the sampling unit of the paper's analysis: "We discretized the
+/// execution at the lock acquisition level" (§4.3). `waiting_per_socket`
+/// snapshots the contention at the moment the acquisition was granted,
+/// which is exactly what the fair-arbitration estimator needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AcquisitionRecord {
+    /// Global thread id of the new owner.
+    pub owner: u32,
+    /// Core the owner is bound to.
+    pub core: CoreId,
+    /// Socket of that core (denormalized to keep analysis topology-free).
+    pub socket: SocketId,
+    /// Number of threads waiting for the lock when ownership was granted
+    /// (not counting the new owner).
+    pub waiting: u32,
+    /// Of those, how many were waiting per socket, indexed by socket id.
+    pub waiting_per_socket: Vec<u32>,
+    /// Time of the acquisition in nanoseconds (virtual or wall).
+    pub t_ns: u64,
+    /// How long the owner waited for the lock, in nanoseconds.
+    pub wait_ns: u64,
+}
+
+/// An ordered sequence of acquisitions of one critical section.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsTrace {
+    records: Vec<AcquisitionRecord>,
+}
+
+impl CsTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an acquisition (must be called in acquisition order).
+    pub fn push(&mut self, rec: AcquisitionRecord) {
+        self.records.push(rec);
+    }
+
+    /// All records in acquisition order.
+    pub fn records(&self) -> &[AcquisitionRecord] {
+        &self.records
+    }
+
+    /// Number of acquisitions (the paper's `L`).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Mean time the winners spent waiting, in nanoseconds.
+    pub fn mean_wait_ns(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(|r| r.wait_ns as f64).sum::<f64>() / self.records.len() as f64
+    }
+
+    /// Per-thread acquisition counts, keyed by owner id.
+    pub fn acquisitions_per_thread(&self) -> std::collections::BTreeMap<u32, u64> {
+        let mut m = std::collections::BTreeMap::new();
+        for r in &self.records {
+            *m.entry(r.owner).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Jain's fairness index over per-thread acquisition counts:
+    /// `(Σx)² / (n·Σx²)`; 1.0 is perfectly fair, `1/n` maximally unfair.
+    pub fn jain_index(&self) -> f64 {
+        let counts: Vec<f64> = self
+            .acquisitions_per_thread()
+            .values()
+            .map(|&c| c as f64)
+            .collect();
+        if counts.is_empty() {
+            return 1.0;
+        }
+        let s: f64 = counts.iter().sum();
+        let s2: f64 = counts.iter().map(|c| c * c).sum();
+        if s2 == 0.0 {
+            1.0
+        } else {
+            s * s / (counts.len() as f64 * s2)
+        }
+    }
+
+    /// Length of the longest run of consecutive acquisitions by one thread
+    /// (a direct measure of lock monopolization).
+    pub fn longest_monopoly(&self) -> usize {
+        let mut best = 0usize;
+        let mut cur = 0usize;
+        let mut prev: Option<u32> = None;
+        for r in &self.records {
+            if prev == Some(r.owner) {
+                cur += 1;
+            } else {
+                cur = 1;
+                prev = Some(r.owner);
+            }
+            best = best.max(cur);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(owner: u32, socket: u32) -> AcquisitionRecord {
+        AcquisitionRecord {
+            owner,
+            core: CoreId(owner),
+            socket: SocketId(socket),
+            waiting: 0,
+            waiting_per_socket: vec![0, 0],
+            t_ns: 0,
+            wait_ns: 10,
+        }
+    }
+
+    #[test]
+    fn per_thread_counts() {
+        let mut t = CsTrace::new();
+        for o in [0, 0, 1, 0, 2, 2] {
+            t.push(rec(o, 0));
+        }
+        let m = t.acquisitions_per_thread();
+        assert_eq!(m[&0], 3);
+        assert_eq!(m[&1], 1);
+        assert_eq!(m[&2], 2);
+    }
+
+    #[test]
+    fn jain_perfectly_fair() {
+        let mut t = CsTrace::new();
+        for o in [0, 1, 2, 3, 0, 1, 2, 3] {
+            t.push(rec(o, 0));
+        }
+        assert!((t.jain_index() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_maximally_unfair_tends_to_one_over_n() {
+        let mut t = CsTrace::new();
+        // thread 0 takes everything; threads 1..3 appear once each so that
+        // n = 4 is represented.
+        for _ in 0..997 {
+            t.push(rec(0, 0));
+        }
+        for o in [1, 2, 3] {
+            t.push(rec(o, 0));
+        }
+        let j = t.jain_index();
+        assert!(j < 0.3, "jain {j} should approach 1/4");
+    }
+
+    #[test]
+    fn monopoly_run() {
+        let mut t = CsTrace::new();
+        for o in [0, 0, 0, 1, 0, 0, 2] {
+            t.push(rec(o, 0));
+        }
+        assert_eq!(t.longest_monopoly(), 3);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = CsTrace::new();
+        assert!(t.is_empty());
+        assert_eq!(t.mean_wait_ns(), 0.0);
+        assert_eq!(t.jain_index(), 1.0);
+        assert_eq!(t.longest_monopoly(), 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property tests for the analysis metrics.
+
+use mtmpi_metrics::{summary, AcquisitionRecord, BiasAnalysis, CsTrace, DanglingSampler, Series};
+use mtmpi_topology::{CoreId, SocketId};
+use proptest::prelude::*;
+
+fn rec(owner: u32, waiting: Vec<u32>) -> AcquisitionRecord {
+    let mut per_socket = vec![0u32; 2];
+    for &w in &waiting {
+        per_socket[(w as usize / 4) % 2] += 1;
+    }
+    AcquisitionRecord {
+        owner,
+        core: CoreId(owner % 8),
+        socket: SocketId((owner / 4) % 2),
+        waiting: waiting.len() as u32,
+        waiting_per_socket: per_socket,
+        t_ns: 0,
+        wait_ns: 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Jain's index is always in (0, 1] and equals 1 for constant counts.
+    #[test]
+    fn jain_bounds(owners in proptest::collection::vec(0u32..8, 1..500)) {
+        let mut t = CsTrace::new();
+        for &o in &owners {
+            t.push(rec(o, vec![]));
+        }
+        let j = t.jain_index();
+        prop_assert!(j > 0.0 && j <= 1.0 + 1e-12, "jain {}", j);
+    }
+
+    /// The fair estimator's Pc is always between 1/(max waiters+1) and 1.
+    #[test]
+    fn fair_pc_bounds(owners in proptest::collection::vec(0u32..8, 2..300), w in 1u32..7) {
+        let mut t = CsTrace::new();
+        for &o in &owners {
+            let waiting: Vec<u32> = (0..w).map(|k| (o + 1 + k) % 8).collect();
+            t.push(rec(o, waiting));
+        }
+        let a = BiasAnalysis::from_trace(&t);
+        prop_assert!(a.pc_fair > 0.0 && a.pc_fair <= 1.0);
+        prop_assert!(a.ps_fair > 0.0 && a.ps_fair <= 1.0);
+        prop_assert!((a.pc_fair - 1.0 / f64::from(w + 1)).abs() < 1e-9,
+            "uniform contention: fair Pc must be 1/(T)");
+    }
+
+    /// Observed probabilities are true frequencies: in [0, 1].
+    #[test]
+    fn observed_probability_bounds(owners in proptest::collection::vec(0u32..4, 2..300)) {
+        let mut t = CsTrace::new();
+        for &o in &owners {
+            t.push(rec(o, vec![(o + 1) % 4]));
+        }
+        let a = BiasAnalysis::from_trace(&t);
+        prop_assert!((0.0..=1.0).contains(&a.pc_observed));
+        prop_assert!((0.0..=1.0).contains(&a.ps_observed));
+    }
+
+    /// Dangling sampler average is bounded by min/max of samples.
+    #[test]
+    fn dangling_average_bounds(samples in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut d = DanglingSampler::new();
+        for &s in &samples {
+            d.sample(s);
+        }
+        let lo = *samples.iter().min().expect("non-empty") as f64;
+        let hi = *samples.iter().max().expect("non-empty") as f64;
+        prop_assert!(d.average() >= lo - 1e-9 && d.average() <= hi + 1e-9);
+        prop_assert_eq!(d.max(), hi as u64);
+        prop_assert_eq!(d.samples(), samples.len() as u64);
+    }
+
+    /// Merging samplers is equivalent to sampling the concatenation.
+    #[test]
+    fn dangling_merge_homomorphic(
+        a in proptest::collection::vec(0u64..100, 0..50),
+        b in proptest::collection::vec(0u64..100, 0..50),
+    ) {
+        let mut da = DanglingSampler::new();
+        for &x in &a { da.sample(x); }
+        let mut db = DanglingSampler::new();
+        for &x in &b { db.sample(x); }
+        da.merge(&db);
+        let mut dc = DanglingSampler::new();
+        for &x in a.iter().chain(&b) { dc.sample(x); }
+        prop_assert_eq!(da.samples(), dc.samples());
+        prop_assert_eq!(da.max(), dc.max());
+        prop_assert!((da.average() - dc.average()).abs() < 1e-9);
+    }
+
+    /// Series ratio of a series against itself is exactly 1.
+    #[test]
+    fn series_self_ratio(points in proptest::collection::vec((1.0f64..1e6, 0.001f64..1e6), 1..50)) {
+        let mut s = Series::new("s");
+        let mut xs = std::collections::BTreeSet::new();
+        for (x, y) in points {
+            // distinct x only
+            let xi = x as u64;
+            if xs.insert(xi) {
+                s.push(xi as f64, y);
+            }
+        }
+        let r = s.mean_ratio_vs(&s).expect("overlapping x");
+        prop_assert!((r - 1.0).abs() < 1e-9);
+        let m = s.max_ratio_vs(&s).expect("overlapping x");
+        prop_assert!((m - 1.0).abs() < 1e-9);
+    }
+
+    /// summary(): mean lies within [min, max]; stddev is non-negative.
+    #[test]
+    fn summary_invariants(xs in proptest::collection::vec(-1e9f64..1e9, 1..100)) {
+        let s = summary(&xs);
+        prop_assert!(s.min <= s.mean + 1e-6 && s.mean <= s.max + 1e-6);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    /// longest_monopoly is at least 1 (non-empty) and at most the length.
+    #[test]
+    fn monopoly_bounds(owners in proptest::collection::vec(0u32..3, 1..200)) {
+        let mut t = CsTrace::new();
+        for &o in &owners {
+            t.push(rec(o, vec![]));
+        }
+        let m = t.longest_monopoly();
+        prop_assert!(m >= 1 && m <= owners.len());
+    }
+}

@@ -1,0 +1,54 @@
+//! Property tests of the interconnect timing model.
+
+use mtmpi_net::NetModel;
+use proptest::prelude::*;
+
+proptest! {
+    /// Timing is monotone in message size on both paths.
+    #[test]
+    fn monotone_in_size(a in 0u64..10_000_000, b in 0u64..10_000_000) {
+        let m = NetModel::qdr();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for same_node in [false, true] {
+            prop_assert!(
+                m.timing(same_node, lo).total_ns() <= m.timing(same_node, hi).total_ns()
+            );
+        }
+    }
+
+    /// Intra-node transport never loses to the wire.
+    #[test]
+    fn shm_dominates(bytes in 0u64..10_000_000) {
+        let m = NetModel::qdr();
+        prop_assert!(m.timing(true, bytes).total_ns() <= m.timing(false, bytes).total_ns());
+    }
+
+    /// Injection time is at least the fixed overhead and grows by at
+    /// most the serialization of the payload.
+    #[test]
+    fn injection_bounds(bytes in 0u64..10_000_000) {
+        let m = NetModel::qdr();
+        let t = m.timing(false, bytes);
+        prop_assert!(t.inject_ns >= m.inject_overhead_ns);
+        let ser = (bytes as f64 * m.inter_ns_per_byte).ceil() as u64;
+        prop_assert!(t.inject_ns <= m.inject_overhead_ns + ser + 1);
+    }
+
+    /// Peak rate decreases with size.
+    #[test]
+    fn peak_rate_monotone(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let m = NetModel::qdr();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(m.peak_rate(false, lo) >= m.peak_rate(false, hi));
+    }
+
+    /// The instant model is (near-)size-independent and never slower
+    /// than QDR.
+    #[test]
+    fn instant_is_fast(bytes in 0u64..10_000_000) {
+        let i = NetModel::instant();
+        let q = NetModel::qdr();
+        prop_assert!(i.timing(false, bytes).total_ns() <= q.timing(false, bytes).total_ns());
+        prop_assert!(i.timing(false, bytes).total_ns() <= 2);
+    }
+}

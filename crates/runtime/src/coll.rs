@@ -1,0 +1,132 @@
+//! Collectives built on point-to-point (dissemination barrier, binomial
+//! reduce/broadcast).
+//!
+//! As in MPI, collectives must be invoked in the same order by every rank
+//! of the communicator, and by at most one thread per rank at a time. All
+//! collective traffic travels on the runtime-internal communicator so it
+//! can never match user receives.
+
+use crate::types::{CommId, MsgData, Tag, RESERVED_TAG_BASE};
+use crate::world::RankHandle;
+
+const BARRIER_TAG: Tag = RESERVED_TAG_BASE;
+const REDUCE_TAG: Tag = RESERVED_TAG_BASE + 64;
+const BCAST_TAG: Tag = RESERVED_TAG_BASE + 128;
+
+impl RankHandle {
+    /// Dissemination barrier over all ranks: ⌈log₂ n⌉ rounds, each rank
+    /// sending to `(rank + 2^k) mod n` and receiving from
+    /// `(rank − 2^k) mod n`.
+    pub fn barrier(&self) {
+        let n = self.nranks();
+        if n == 1 {
+            return;
+        }
+        let me = self.rank();
+        let mut k = 0;
+        let mut dist = 1u32;
+        while dist < n {
+            let dst = (me + dist) % n;
+            let src = (me + n - dist % n) % n;
+            let s = self.isend_on(CommId::INTERNAL, dst, BARRIER_TAG + k, MsgData::Synthetic(0));
+            let m = self.recv_on(CommId::INTERNAL, Some(src), Some(BARRIER_TAG + k));
+            debug_assert_eq!(m.src, src);
+            let _ = self.wait(s);
+            dist *= 2;
+            k += 1;
+        }
+    }
+
+    /// Binomial-tree reduction to rank 0 followed by a binomial broadcast,
+    /// combining byte payloads with `combine`.
+    fn allreduce_bytes(&self, mut value: Vec<u8>, combine: &dyn Fn(&mut Vec<u8>, &[u8])) -> Vec<u8> {
+        let n = self.nranks();
+        if n == 1 {
+            return value;
+        }
+        let me = self.rank();
+        // Reduce: at round k, ranks with bit k set send to rank - 2^k.
+        let mut dist = 1u32;
+        while dist < n {
+            if me & dist != 0 {
+                // Sender: ship partial and leave the reduction.
+                self.send_on(CommId::INTERNAL, me - dist, REDUCE_TAG, MsgData::Bytes(value));
+                value = Vec::new();
+                break;
+            } else if me + dist < n {
+                let m = self.recv_on(CommId::INTERNAL, Some(me + dist), Some(REDUCE_TAG));
+                combine(&mut value, m.data.as_bytes());
+            }
+            dist *= 2;
+        }
+        // Broadcast the result down the same tree.
+        self.bcast_internal(value, me, n)
+    }
+
+    fn bcast_internal(&self, mut value: Vec<u8>, me: u32, n: u32) -> Vec<u8> {
+        // Find this rank's level: lowest set bit (root handles dist from
+        // the top).
+        let mut dist = 1u32;
+        while dist < n {
+            dist *= 2;
+        }
+        dist /= 2;
+        if me != 0 {
+            let lsb = me & me.wrapping_neg();
+            let m = self.recv_on(CommId::INTERNAL, Some(me - lsb), Some(BCAST_TAG));
+            value = m.data.into_bytes();
+            dist = lsb / 2;
+        }
+        while dist >= 1 {
+            let dst = me + dist;
+            if dst < n && (me % (dist * 2) == 0) {
+                self.send_on(CommId::INTERNAL, dst, BCAST_TAG, MsgData::Bytes(value.clone()));
+            }
+            if dist == 1 {
+                break;
+            }
+            dist /= 2;
+        }
+        value
+    }
+
+    /// Broadcast bytes from rank 0 to all ranks; every rank passes its
+    /// local buffer (ignored except at the root) and receives the root's.
+    pub fn bcast_from_root(&self, value: Vec<u8>) -> Vec<u8> {
+        let n = self.nranks();
+        if n == 1 {
+            return value;
+        }
+        self.bcast_internal(value, self.rank(), n)
+    }
+
+    /// All-reduce: sum of `f64`.
+    pub fn allreduce_sum_f64(&self, v: f64) -> f64 {
+        let out = self.allreduce_bytes(v.to_le_bytes().to_vec(), &|acc, other| {
+            let a = f64::from_le_bytes(acc[..8].try_into().expect("8 bytes"));
+            let b = f64::from_le_bytes(other[..8].try_into().expect("8 bytes"));
+            acc[..8].copy_from_slice(&(a + b).to_le_bytes());
+        });
+        f64::from_le_bytes(out[..8].try_into().expect("8 bytes"))
+    }
+
+    /// All-reduce: sum of `u64`.
+    pub fn allreduce_sum_u64(&self, v: u64) -> u64 {
+        let out = self.allreduce_bytes(v.to_le_bytes().to_vec(), &|acc, other| {
+            let a = u64::from_le_bytes(acc[..8].try_into().expect("8 bytes"));
+            let b = u64::from_le_bytes(other[..8].try_into().expect("8 bytes"));
+            acc[..8].copy_from_slice(&(a + b).to_le_bytes());
+        });
+        u64::from_le_bytes(out[..8].try_into().expect("8 bytes"))
+    }
+
+    /// All-reduce: max of `u64`.
+    pub fn allreduce_max_u64(&self, v: u64) -> u64 {
+        let out = self.allreduce_bytes(v.to_le_bytes().to_vec(), &|acc, other| {
+            let a = u64::from_le_bytes(acc[..8].try_into().expect("8 bytes"));
+            let b = u64::from_le_bytes(other[..8].try_into().expect("8 bytes"));
+            acc[..8].copy_from_slice(&a.max(b).to_le_bytes());
+        });
+        u64::from_le_bytes(out[..8].try_into().expect("8 bytes"))
+    }
+}

@@ -1,0 +1,59 @@
+//! Critical-section granularity modes (paper Fig 1, §7).
+//!
+//! The paper treats granularity as the dimension *orthogonal* to
+//! arbitration: "regardless of the granularity … serialization is
+//! inevitable" and "combining those approaches will have a synergistic
+//! effect". These modes let the ablation benches cross the two.
+
+/// How finely the runtime's critical section is cut.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Granularity {
+    /// One global critical section per process covering the whole MPI
+    /// call (Fig 1 "Global") — what MPICH and the paper use.
+    #[default]
+    Global,
+    /// The same single lock, but each call takes it in several short
+    /// sections, with object reference counts updated by lock-free
+    /// atomics in between (Fig 1 "Brief Global").
+    BriefGlobal,
+    /// Separate locks for the matching queues and for the progress
+    /// engine, plus atomic reference counts (towards Fig 1 "Fine-Grain").
+    PerQueue,
+}
+
+impl Granularity {
+    /// Table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Granularity::Global => "global",
+            Granularity::BriefGlobal => "brief-global",
+            Granularity::PerQueue => "per-queue",
+        }
+    }
+
+    /// Whether request allocation happens outside the critical section
+    /// (charged as atomic refcount traffic instead).
+    pub fn alloc_outside_cs(self) -> bool {
+        !matches!(self, Granularity::Global)
+    }
+
+    /// Whether the progress engine uses a lock distinct from the queue
+    /// lock.
+    pub fn split_progress_lock(self) -> bool {
+        matches!(self, Granularity::PerQueue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_predicates() {
+        assert_eq!(Granularity::Global.label(), "global");
+        assert!(!Granularity::Global.alloc_outside_cs());
+        assert!(Granularity::BriefGlobal.alloc_outside_cs());
+        assert!(!Granularity::BriefGlobal.split_progress_lock());
+        assert!(Granularity::PerQueue.split_progress_lock());
+    }
+}

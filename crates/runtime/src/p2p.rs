@@ -1,0 +1,316 @@
+//! Two-sided point-to-point operations.
+
+use crate::packet::{Packet, PacketKind};
+use crate::progress::{deliver, poll, progress_once};
+use crate::request::{ReqInner, ReqKind, Request, TestOutcome};
+use crate::state::matches;
+use crate::types::{CommId, Msg, MsgData, Tag};
+use crate::world::RankHandle;
+use mtmpi_locks::PathClass;
+
+impl RankHandle {
+    /// Nonblocking send on the world communicator.
+    pub fn isend(&self, dst: u32, tag: Tag, data: MsgData) -> Request {
+        self.isend_on(CommId::WORLD, dst, tag, data)
+    }
+
+    /// Nonblocking send on a communicator.
+    ///
+    /// Under the eager model the request completes at issue time (the
+    /// payload is buffered/injected); `wait` on it frees it immediately.
+    pub fn isend_on(&self, comm: CommId, dst: u32, tag: Tag, data: MsgData) -> Request {
+        let w = &self.world;
+        assert!(dst < w.nranks(), "destination rank out of range");
+        let costs = w.costs;
+        w.platform.compute(costs.call_overhead_ns);
+        if w.granularity.alloc_outside_cs() {
+            // Brief-global / per-queue: allocation + refcounts are
+            // lock-free, outside the CS.
+            w.platform.compute(costs.alloc_ns + 2 * costs.atomic_ns);
+        }
+        let bytes = data.len() + costs.header_bytes;
+        let src_rank = self.rank;
+        let tid = w.platform.current_tid();
+        let inner = w.cs(self.rank, PathClass::Main, |st| {
+            if !w.granularity.alloc_outside_cs() {
+                w.platform.compute(costs.alloc_ns);
+            }
+            w.platform.compute(costs.enqueue_ns);
+            let seq = st.send_seq[dst as usize];
+            st.send_seq[dst as usize] += 1;
+            let p = &w.procs[src_rank as usize];
+            let dst_ep = w.procs[dst as usize].endpoint;
+            w.platform.net_send(
+                p.endpoint,
+                dst_ep,
+                bytes,
+                Box::new(Packet { src: src_rank, seq, kind: PacketKind::Msg { comm, tag, data } }),
+            );
+            ReqInner::new_completed(
+                src_rank,
+                tid,
+                ReqKind::Send,
+                Msg { src: src_rank, tag, data: MsgData::Synthetic(0) },
+            )
+        });
+        Request { inner }
+    }
+
+    /// Nonblocking receive on the world communicator. `None` = wildcard.
+    pub fn irecv(&self, src: Option<u32>, tag: Option<Tag>) -> Request {
+        self.irecv_on(CommId::WORLD, src, tag)
+    }
+
+    /// Nonblocking receive on a communicator.
+    pub fn irecv_on(&self, comm: CommId, src: Option<u32>, tag: Option<Tag>) -> Request {
+        let w = &self.world;
+        if let Some(s) = src {
+            assert!(s < w.nranks(), "source rank out of range");
+        }
+        let costs = w.costs;
+        w.platform.compute(costs.call_overhead_ns);
+        if w.granularity.alloc_outside_cs() {
+            w.platform.compute(costs.alloc_ns + 2 * costs.atomic_ns);
+        }
+        let rank = self.rank;
+        let tid = w.platform.current_tid();
+        let inner = w.cs(rank, PathClass::Main, |st| {
+            if !w.granularity.alloc_outside_cs() {
+                w.platform.compute(costs.alloc_ns);
+            }
+            // First look in the unexpected queue (Fig 3b "found in
+            // UnexpectedQ" arc); charge per scanned entry.
+            let mut scanned = 0u64;
+            let pos = st.unexpected.iter().position(|u| {
+                scanned += 1;
+                matches(src, tag, comm, u.src, u.tag, u.comm)
+            });
+            w.platform.compute(scanned * costs.match_scan_ns);
+            match pos {
+                Some(i) => {
+                    let u = st.unexpected.remove(i).expect("index valid");
+                    // The eager payload was buffered; matching copies it
+                    // out into the user buffer.
+                    w.platform
+                        .compute(costs.complete_ns + costs.unexpected_copy_ns(u.data.len()));
+                    st.dangling_now += 1;
+                    ReqInner::new_completed(
+                        rank,
+                        tid,
+                        ReqKind::Recv,
+                        Msg { src: u.src, tag: u.tag, data: u.data },
+                    )
+                }
+                None => {
+                    w.platform.compute(costs.enqueue_ns);
+                    let req = ReqInner::new(rank, tid, ReqKind::Recv);
+                    st.posted.push_back(crate::state::PostedRecv {
+                        req: req.clone(),
+                        src,
+                        tag,
+                        comm,
+                    });
+                    st.note_depths();
+                    req
+                }
+            }
+        });
+        Request { inner }
+    }
+
+    /// Nonblocking completion test (`MPI_Test`). One critical-section
+    /// entry; runs a single progress poll if the request is still
+    /// pending. Stays on the high-priority main path (§6.2.1: with
+    /// `MPI_Test` "all threads always have the same high priority").
+    pub fn test(&self, req: Request) -> TestOutcome {
+        let w = &self.world;
+        assert_eq!(req.inner.owner_rank, self.rank, "test on another rank's request");
+        let rank = self.rank;
+        let costs = w.costs;
+        w.platform.compute(costs.call_overhead_ns);
+        if w.granularity.split_progress_lock() {
+            // Fine-grained: check under the queue lock; if pending, run a
+            // separate progress iteration and re-check.
+            let first = w.cs(rank, PathClass::Main, |st| {
+                // SAFETY: queue lock held.
+                let m = unsafe { req.inner.try_free() };
+                if m.is_some() {
+                    w.platform.compute(costs.free_ns);
+                    st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                }
+                m
+            });
+            if let Some(m) = first {
+                return TestOutcome::Done(m);
+            }
+            progress_once(w, rank, PathClass::Main);
+            let second = w.cs(rank, PathClass::Main, |st| {
+                let m = unsafe { req.inner.try_free() };
+                if m.is_some() {
+                    w.platform.compute(costs.free_ns);
+                    st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                }
+                m
+            });
+            return match second {
+                Some(m) => TestOutcome::Done(m),
+                None => TestOutcome::Pending(req),
+            };
+        }
+        // Global / brief-global: single CS covering check + poll + check.
+        let out = w.cs(rank, PathClass::Main, |st| {
+            // SAFETY: queue lock held.
+            if let Some(m) = unsafe { req.inner.try_free() } {
+                w.platform.compute(costs.free_ns);
+                st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                return Some(m);
+            }
+            let pkts = poll(w, rank);
+            deliver(w, rank, st, pkts);
+            if let Some(m) = unsafe { req.inner.try_free() } {
+                w.platform.compute(costs.free_ns);
+                st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                return Some(m);
+            }
+            None
+        });
+        match out {
+            Some(m) => TestOutcome::Done(m),
+            None => TestOutcome::Pending(req),
+        }
+    }
+
+    /// Blocking completion wait (`MPI_Wait`). Enters on the main path;
+    /// drops to the low-priority progress path for subsequent polls
+    /// (Fig 6a), as MPICH's progress loop does.
+    pub fn wait(&self, req: Request) -> Msg {
+        let w = &self.world;
+        assert_eq!(req.inner.owner_rank, self.rank, "wait on another rank's request");
+        let rank = self.rank;
+        let costs = w.costs;
+        w.platform.compute(costs.call_overhead_ns);
+        let mut class = PathClass::Main;
+        let start = w.platform.now_ns();
+        loop {
+            let done = if w.granularity.split_progress_lock() {
+                let m = w.cs(rank, class, |st| {
+                    let m = unsafe { req.inner.try_free() };
+                    if m.is_some() {
+                        w.platform.compute(costs.free_ns);
+                        st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                    }
+                    m
+                });
+                if m.is_none() {
+                    progress_once(w, rank, class);
+                }
+                m
+            } else {
+                w.cs(rank, class, |st| {
+                    if let Some(m) = unsafe { req.inner.try_free() } {
+                        w.platform.compute(costs.free_ns);
+                        st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                        return Some(m);
+                    }
+                    let pkts = poll(w, rank);
+                    deliver(w, rank, st, pkts);
+                    if let Some(m) = unsafe { req.inner.try_free() } {
+                        w.platform.compute(costs.free_ns);
+                        st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                        return Some(m);
+                    }
+                    None
+                })
+            };
+            if let Some(m) = done {
+                return m;
+            }
+            class = PathClass::Progress;
+            w.platform.compute(costs.poll_gap_ns);
+            self.check_liveness(start, "wait");
+        }
+    }
+
+    /// Wait for all requests; returns their messages in order
+    /// (`MPI_Waitall`).
+    pub fn waitall(&self, reqs: Vec<Request>) -> Vec<Msg> {
+        let w = &self.world;
+        let rank = self.rank;
+        let costs = w.costs;
+        let n = reqs.len();
+        let mut out: Vec<Option<Msg>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<(usize, Request)> = reqs.into_iter().enumerate().collect();
+        for (_, r) in &pending {
+            assert_eq!(r.inner.owner_rank, rank, "waitall on another rank's request");
+        }
+        w.platform.compute(costs.call_overhead_ns);
+        let mut class = PathClass::Main;
+        let start = w.platform.now_ns();
+        while !pending.is_empty() {
+            // One CS entry per iteration: sweep-free completed requests,
+            // then poll once if any remain (the batched progress of the
+            // throughput benchmark, Fig 3b bottom).
+            w.cs(rank, class, |st| {
+                pending.retain(|(i, r)| {
+                    // SAFETY: queue lock held.
+                    match unsafe { r.inner.try_free() } {
+                        Some(m) => {
+                            w.platform.compute(costs.free_ns);
+                            st.dangling_now -= u64::from(r.inner.kind == ReqKind::Recv);
+                            out[*i] = Some(m);
+                            false
+                        }
+                        None => true,
+                    }
+                });
+                if !pending.is_empty() && !w.granularity.split_progress_lock() {
+                    let pkts = poll(w, rank);
+                    deliver(w, rank, st, pkts);
+                }
+            });
+            if !pending.is_empty() {
+                if w.granularity.split_progress_lock() {
+                    progress_once(w, rank, class);
+                }
+                class = PathClass::Progress;
+                w.platform.compute(costs.poll_gap_ns);
+                self.check_liveness(start, "waitall");
+            }
+        }
+        out.into_iter().map(|m| m.expect("all completed")).collect()
+    }
+
+    /// Blocking send.
+    pub fn send(&self, dst: u32, tag: Tag, data: MsgData) {
+        let r = self.isend(dst, tag, data);
+        let _ = self.wait(r);
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self, src: Option<u32>, tag: Option<Tag>) -> Msg {
+        let r = self.irecv(src, tag);
+        self.wait(r)
+    }
+
+    /// Blocking send on a communicator.
+    pub fn send_on(&self, comm: CommId, dst: u32, tag: Tag, data: MsgData) {
+        let r = self.isend_on(comm, dst, tag, data);
+        let _ = self.wait(r);
+    }
+
+    /// Blocking receive on a communicator.
+    pub fn recv_on(&self, comm: CommId, src: Option<u32>, tag: Option<Tag>) -> Msg {
+        let r = self.irecv_on(comm, src, tag);
+        self.wait(r)
+    }
+
+    pub(crate) fn check_liveness(&self, start_ns: u64, what: &str) {
+        let now = self.world.platform.now_ns();
+        assert!(
+            now.saturating_sub(start_ns) < self.world.liveness_limit_ns,
+            "rank {} stuck in {what} for {} ms of model time — missing sender?",
+            self.rank,
+            (now - start_ns) / 1_000_000
+        );
+    }
+}

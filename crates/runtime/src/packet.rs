@@ -1,0 +1,75 @@
+//! Wire packets exchanged through the platform mailbox.
+
+use crate::types::{CommId, MsgData, Tag};
+
+/// One-sided operation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RmaOp {
+    /// Write origin data into the target window.
+    Put,
+    /// Read target window data back to the origin. `real` asks for the
+    /// actual bytes; otherwise the reply is synthetic (timing only).
+    Get {
+        /// Whether the reply must carry real window contents.
+        real: bool,
+    },
+    /// Element-wise `f64` add into the target window.
+    Accumulate,
+}
+
+/// Packet body.
+#[derive(Debug)]
+pub enum PacketKind {
+    /// Two-sided message envelope + payload.
+    Msg {
+        /// Communicator the send was posted on.
+        comm: CommId,
+        /// Sender-chosen tag.
+        tag: Tag,
+        /// Payload.
+        data: MsgData,
+    },
+    /// One-sided request, serviced by the target's progress engine.
+    Rma {
+        /// Operation.
+        op: RmaOp,
+        /// Byte offset into the target window.
+        offset: u64,
+        /// Payload for put/accumulate; length request for get.
+        data: MsgData,
+        /// Origin-chosen token echoed in the ack.
+        token: u64,
+    },
+    /// Completion ack for an RMA request (carries data for `Get`).
+    RmaAck {
+        /// Token from the request.
+        token: u64,
+        /// Returned data (get) or `None` (put/accumulate).
+        data: Option<MsgData>,
+    },
+}
+
+/// A packet with its per-(src,dst) sequencing envelope. Receivers deliver
+/// packets from each source strictly in `seq` order (MPI non-overtaking),
+/// reordering in a small buffer if the network model delivers out of
+/// order (rendezvous vs eager can do that).
+#[derive(Debug)]
+pub struct Packet {
+    /// Sending rank.
+    pub src: u32,
+    /// Per-(src,dst) sequence number, starting at 0.
+    pub seq: u64,
+    /// Body.
+    pub kind: PacketKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Packet>();
+    }
+}

@@ -1,0 +1,170 @@
+//! The communication progress engine (paper Fig 6a's "progress loop").
+
+use crate::packet::{Packet, PacketKind, RmaOp};
+use crate::state::{matches, SeqPacket, SharedState, UnexMsg};
+use crate::types::{Msg, MsgData};
+use crate::world::WorldInner;
+use mtmpi_locks::PathClass;
+
+/// Drain the platform mailbox for `rank`. Charges the poll cost. May be
+/// called with or without the queue lock held (it touches no shared
+/// state).
+pub(crate) fn poll(w: &WorldInner, rank: u32) -> Vec<Packet> {
+    let p = &w.procs[rank as usize];
+    w.platform.compute(w.costs.poll_base_ns);
+    w.platform
+        .net_poll(p.endpoint)
+        .into_iter()
+        .map(|b| *b.downcast::<Packet>().expect("mailbox carries runtime packets"))
+        .collect()
+}
+
+/// Deliver polled packets into the matching engine. Caller must hold the
+/// queue lock (i.e. run inside `WorldInner::cs`).
+pub(crate) fn deliver(w: &WorldInner, rank: u32, st: &mut SharedState, pkts: Vec<Packet>) {
+    for pkt in pkts {
+        let src = pkt.src as usize;
+        st.reorder[src].push(SeqPacket(pkt));
+        // Deliver every in-order packet from this source (MPI
+        // non-overtaking: matching order follows send order per pair).
+        while st.reorder[src]
+            .peek()
+            .is_some_and(|sp| sp.0.seq == st.recv_next_seq[src])
+        {
+            let sp = st.reorder[src].pop().expect("peeked");
+            st.recv_next_seq[src] += 1;
+            process_in_order(w, rank, st, sp.0);
+        }
+    }
+}
+
+/// Handle one in-order packet.
+fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet) {
+    match pkt.kind {
+        PacketKind::Msg { comm, tag, data } => {
+            // Search the posted queue FIFO; charge per scanned entry.
+            let mut scanned = 0u64;
+            let pos = st.posted.iter().position(|pr| {
+                scanned += 1;
+                matches(pr.src, pr.tag, pr.comm, pkt.src, tag, comm)
+            });
+            w.platform.compute(scanned * w.costs.match_scan_ns);
+            match pos {
+                Some(i) => {
+                    let pr = st.posted.remove(i).expect("index valid");
+                    w.platform.compute(w.costs.complete_ns);
+                    // SAFETY: queue lock held (caller contract).
+                    unsafe { pr.req.complete(Msg { src: pkt.src, tag, data }) };
+                    st.dangling_now += 1;
+                    if w.selective {
+                        // Selective wake-up (§9 future work): the owner of
+                        // the freshly completed request is the thread most
+                        // likely to do useful work next.
+                        let p = &w.procs[rank as usize];
+                        w.platform.lock_boost(p.cs_queue, pr.req.owner_tid);
+                    }
+                }
+                None => {
+                    w.platform.compute(w.costs.enqueue_ns);
+                    st.unexpected.push_back(UnexMsg { src: pkt.src, tag, comm, data });
+                    st.note_depths();
+                }
+            }
+        }
+        PacketKind::Rma { op, offset, data, token } => {
+            apply_rma(w, rank, st, pkt.src, op, offset, data, token);
+        }
+        PacketKind::RmaAck { token, data } => {
+            w.platform.compute(w.costs.complete_ns);
+            st.rma_acks.insert(token, data);
+        }
+    }
+}
+
+/// Apply a one-sided operation to the local window and send the ack.
+#[allow(clippy::too_many_arguments)]
+fn apply_rma(
+    w: &WorldInner,
+    rank: u32,
+    st: &mut SharedState,
+    origin: u32,
+    op: RmaOp,
+    offset: u64,
+    data: MsgData,
+    token: u64,
+) {
+    let off = offset as usize;
+    let len = data.len() as usize;
+    assert!(
+        off + len <= st.win_mem.len(),
+        "RMA beyond window: offset {off} + len {len} > {}",
+        st.win_mem.len()
+    );
+    w.platform.compute(w.costs.complete_ns + w.costs.unexpected_copy_ns(len as u64));
+    let reply = match op {
+        RmaOp::Put => {
+            if let MsgData::Bytes(b) = &data {
+                st.win_mem[off..off + len].copy_from_slice(b);
+            }
+            None
+        }
+        RmaOp::Accumulate => {
+            if let MsgData::Bytes(b) = &data {
+                // Element-wise f64 add over 8-byte lanes; a trailing
+                // partial lane is added bytewise (wrapping) to keep the
+                // operation total.
+                let dst = &mut st.win_mem[off..off + len];
+                for (dc, sc) in dst.chunks_mut(8).zip(b.chunks(8)) {
+                    if dc.len() == 8 && sc.len() == 8 {
+                        let a = f64::from_le_bytes(dc.try_into().expect("8 bytes"));
+                        let v = f64::from_le_bytes(sc.try_into().expect("8 bytes"));
+                        dc.copy_from_slice(&(a + v).to_le_bytes());
+                    } else {
+                        for (d, s) in dc.iter_mut().zip(sc) {
+                            *d = d.wrapping_add(*s);
+                        }
+                    }
+                }
+            }
+            None
+        }
+        RmaOp::Get { real } => {
+            let payload = if real {
+                MsgData::Bytes(st.win_mem[off..off + len].to_vec())
+            } else {
+                MsgData::Synthetic(len as u64)
+            };
+            Some(payload)
+        }
+    };
+    // Ack back to the origin (sequenced like any packet on this pair).
+    let reply_bytes = reply.as_ref().map_or(0, MsgData::len) + w.costs.header_bytes;
+    let seq = st.send_seq[origin as usize];
+    st.send_seq[origin as usize] += 1;
+    let p = &w.procs[rank as usize];
+    let origin_ep = w.procs[origin as usize].endpoint;
+    w.platform.net_send(
+        p.endpoint,
+        origin_ep,
+        reply_bytes,
+        Box::new(Packet { src: rank, seq, kind: PacketKind::RmaAck { token, data: reply } }),
+    );
+}
+
+/// One progress iteration from the given path class, honouring the
+/// granularity mode's locking.
+pub(crate) fn progress_once(w: &WorldInner, rank: u32, class: PathClass) {
+    if w.granularity.split_progress_lock() {
+        let (lock, token) = w.progress_lock(rank, class);
+        let pkts = poll(w, rank);
+        w.platform.lock_release(lock, class, token);
+        if !pkts.is_empty() {
+            w.cs(rank, class, |st| deliver(w, rank, st, pkts));
+        }
+    } else {
+        w.cs(rank, class, |st| {
+            let pkts = poll(w, rank);
+            deliver(w, rank, st, pkts);
+        });
+    }
+}

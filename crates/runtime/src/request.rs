@@ -1,0 +1,133 @@
+//! Request objects and their life cycle (paper Fig 3b).
+//!
+//! A request is *issued* by `isend`/`irecv`, possibly *posted* (recvs that
+//! found no unexpected match), *completed* (by any thread running the
+//! progress engine — not necessarily the owner), and finally *freed* by
+//! the one thread that waits or tests on it. The window between
+//! completion and freeing is what the §4.4 *dangling requests* metric
+//! measures: only the owner can free, so a starving owner strands its
+//! completed requests and stalls its window.
+
+use crate::types::Msg;
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// Request direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReqKind {
+    /// Send request (completes at issue time under the eager model).
+    Send,
+    /// Receive request.
+    Recv,
+}
+
+/// Request state, guarded by the owning process's critical section.
+#[derive(Debug)]
+pub(crate) enum ReqState {
+    /// Issued/posted, not yet matched.
+    Active,
+    /// Matched and completed; the payload awaits the owner's wait/test.
+    Completed(Msg),
+    /// Freed; any further wait/test is a caller bug.
+    Freed,
+}
+
+/// Shared request object.
+#[derive(Debug)]
+pub(crate) struct ReqInner {
+    /// Rank whose critical section guards this request.
+    pub(crate) owner_rank: u32,
+    /// Platform thread id of the issuing thread (selective wake-up hint).
+    pub(crate) owner_tid: u64,
+    pub(crate) kind: ReqKind,
+    /// State cell; all access happens under the owner rank's CS.
+    state: UnsafeCell<ReqState>,
+}
+
+// SAFETY: `state` is only accessed while holding the owning process's
+// critical section (all call sites live in this crate and use
+// `WorldInner::cs`).
+unsafe impl Send for ReqInner {}
+unsafe impl Sync for ReqInner {}
+
+impl ReqInner {
+    pub(crate) fn new(owner_rank: u32, owner_tid: u64, kind: ReqKind) -> Arc<Self> {
+        Arc::new(Self { owner_rank, owner_tid, kind, state: UnsafeCell::new(ReqState::Active) })
+    }
+
+    pub(crate) fn new_completed(owner_rank: u32, owner_tid: u64, kind: ReqKind, msg: Msg) -> Arc<Self> {
+        Arc::new(Self {
+            owner_rank,
+            owner_tid,
+            kind,
+            state: UnsafeCell::new(ReqState::Completed(msg)),
+        })
+    }
+
+    /// Mutate the state. Caller must hold the owner's CS.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn state_mut(&self) -> &mut ReqState {
+        &mut *self.state.get()
+    }
+
+    /// Complete with `msg`. Caller must hold the owner's CS.
+    pub(crate) unsafe fn complete(&self, msg: Msg) {
+        let st = self.state_mut();
+        debug_assert!(matches!(st, ReqState::Active), "double completion");
+        *st = ReqState::Completed(msg);
+    }
+
+    /// If completed, take the message and mark freed. Caller must hold
+    /// the owner's CS.
+    pub(crate) unsafe fn try_free(&self) -> Option<Msg> {
+        let st = self.state_mut();
+        match st {
+            ReqState::Completed(_) => {
+                let ReqState::Completed(msg) = std::mem::replace(st, ReqState::Freed) else {
+                    unreachable!()
+                };
+                Some(msg)
+            }
+            ReqState::Active => None,
+            ReqState::Freed => panic!("wait/test on a freed request"),
+        }
+    }
+}
+
+/// Handle to an outstanding nonblocking operation. Consumed by
+/// [`crate::RankHandle::wait`] or [`crate::RankHandle::test`].
+#[derive(Debug)]
+pub struct Request {
+    pub(crate) inner: Arc<ReqInner>,
+}
+
+impl Request {
+    /// Rank that issued (and must complete) this request.
+    pub fn owner_rank(&self) -> u32 {
+        self.inner.owner_rank
+    }
+
+    /// Whether this is a receive request.
+    pub fn is_recv(&self) -> bool {
+        self.inner.kind == ReqKind::Recv
+    }
+}
+
+/// Result of a nonblocking completion test.
+#[derive(Debug)]
+pub enum TestOutcome {
+    /// The request completed; it has been freed and here is its message.
+    Done(Msg),
+    /// Not complete yet; the request is handed back.
+    Pending(Request),
+}
+
+impl TestOutcome {
+    /// The message, if done.
+    pub fn done(self) -> Option<Msg> {
+        match self {
+            TestOutcome::Done(m) => Some(m),
+            TestOutcome::Pending(_) => None,
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! One-sided operations and the asynchronous progress thread (the Fig 9
+//! experiment's machinery).
+//!
+//! Put/get/accumulate are implemented the way ARMCI-MPI-over-MPICH
+//! behaves with asynchronous progress: the origin injects an RMA packet;
+//! the **target's progress engine** applies it to the window and acks.
+//! Nothing completes unless someone on the target is inside the progress
+//! loop — which is exactly why the paper enables MPICH's asynchronous
+//! progress thread there, turning a single-threaded benchmark into an
+//! `MPI_THREAD_MULTIPLE` workload where the progress thread (almost
+//! always in the progress loop, almost never doing useful work)
+//! monopolizes a biased lock.
+
+use crate::packet::{Packet, PacketKind, RmaOp};
+use crate::progress::progress_once;
+use crate::types::MsgData;
+use crate::world::RankHandle;
+use mtmpi_locks::PathClass;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+impl RankHandle {
+    /// Issue an RMA packet and return its token.
+    fn rma_issue(&self, target: u32, op: RmaOp, offset: u64, data: MsgData) -> u64 {
+        let w = &self.world;
+        assert!(target < w.nranks(), "target rank out of range");
+        let costs = w.costs;
+        let wire_bytes = match op {
+            RmaOp::Get { .. } => costs.header_bytes, // request carries no payload
+            _ => data.len() + costs.header_bytes,
+        };
+        let rank = self.rank;
+        w.cs(rank, PathClass::Main, |st| {
+            w.platform.compute(costs.alloc_ns + costs.enqueue_ns);
+            let token = st.rma_next_token;
+            st.rma_next_token += 1;
+            let seq = st.send_seq[target as usize];
+            st.send_seq[target as usize] += 1;
+            let p = &w.procs[rank as usize];
+            let dst_ep = w.procs[target as usize].endpoint;
+            w.platform.net_send(
+                p.endpoint,
+                dst_ep,
+                wire_bytes,
+                Box::new(Packet { src: rank, seq, kind: PacketKind::Rma { op, offset, data, token } }),
+            );
+            token
+        })
+    }
+
+    /// Block until the ack for `token` arrives; returns its payload.
+    fn rma_wait(&self, token: u64) -> Option<MsgData> {
+        let w = &self.world;
+        let rank = self.rank;
+        let costs = w.costs;
+        let mut class = PathClass::Main;
+        let start = w.platform.now_ns();
+        loop {
+            let got = w.cs(rank, class, |st| {
+                if let Some(d) = st.rma_acks.remove(&token) {
+                    w.platform.compute(costs.free_ns);
+                    return Some(d);
+                }
+                if !w.granularity.split_progress_lock() {
+                    let pkts = crate::progress::poll(w, rank);
+                    crate::progress::deliver(w, rank, st, pkts);
+                    if let Some(d) = st.rma_acks.remove(&token) {
+                        w.platform.compute(costs.free_ns);
+                        return Some(d);
+                    }
+                }
+                None
+            });
+            if let Some(d) = got {
+                return d;
+            }
+            if w.granularity.split_progress_lock() {
+                progress_once(w, rank, class);
+            }
+            class = PathClass::Progress;
+            w.platform.compute(costs.poll_gap_ns);
+            self.check_liveness(start, "rma_wait");
+        }
+    }
+
+    /// One-sided put: write `data` into `target`'s window at `offset`.
+    /// Blocks until remotely complete (acked), like `ARMCI_Put` of
+    /// contiguous data.
+    pub fn put(&self, target: u32, offset: u64, data: MsgData) {
+        let token = self.rma_issue(target, RmaOp::Put, offset, data);
+        let _ = self.rma_wait(token);
+    }
+
+    /// One-sided get of `len` bytes from `target`'s window at `offset`.
+    pub fn get(&self, target: u32, offset: u64, len: u64) -> Vec<u8> {
+        let token = self.rma_issue(target, RmaOp::Get { real: true }, offset, MsgData::Synthetic(len));
+        match self.rma_wait(token) {
+            Some(MsgData::Bytes(b)) => b,
+            other => panic!("get expected bytes, got {other:?}"),
+        }
+    }
+
+    /// Timing-only get (synthetic payload; no host memory churn) for
+    /// benchmarks.
+    pub fn get_synthetic(&self, target: u32, offset: u64, len: u64) {
+        let token =
+            self.rma_issue(target, RmaOp::Get { real: false }, offset, MsgData::Synthetic(len));
+        let _ = self.rma_wait(token);
+    }
+
+    /// One-sided accumulate: element-wise `f64` add of `data` into the
+    /// target window.
+    pub fn accumulate(&self, target: u32, offset: u64, data: MsgData) {
+        let token = self.rma_issue(target, RmaOp::Accumulate, offset, data);
+        let _ = self.rma_wait(token);
+    }
+
+    /// The asynchronous progress loop: poll until `stop` is set. Spawn
+    /// this on its own thread to emulate `MPICH_ASYNC_PROGRESS=1`. The
+    /// first iteration enters on the main path; all subsequent ones are
+    /// low-priority progress entries (the thread "does not do useful work
+    /// most of the time", §6.1.2).
+    pub fn progress_loop(&self, stop: &AtomicBool) {
+        let w = &self.world;
+        let mut class = PathClass::Main;
+        while !stop.load(Ordering::Acquire) {
+            progress_once(w, self.rank, class);
+            class = PathClass::Progress;
+            w.platform.compute(w.costs.poll_gap_ns);
+        }
+    }
+}

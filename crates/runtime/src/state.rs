@@ -1,0 +1,153 @@
+//! Per-process runtime state, guarded by the process's critical section.
+
+use crate::packet::Packet;
+use crate::request::ReqInner;
+use crate::types::{CommId, MsgData, Tag};
+use mtmpi_metrics::DanglingSampler;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
+
+/// A posted (unmatched) receive.
+#[derive(Debug)]
+pub(crate) struct PostedRecv {
+    pub req: Arc<ReqInner>,
+    pub src: Option<u32>,
+    pub tag: Option<Tag>,
+    pub comm: CommId,
+}
+
+/// An arrived message with no matching posted receive yet.
+#[derive(Debug)]
+pub(crate) struct UnexMsg {
+    pub src: u32,
+    pub tag: Tag,
+    pub comm: CommId,
+    pub data: MsgData,
+}
+
+/// Heap entry for per-source in-order delivery.
+#[derive(Debug)]
+pub(crate) struct SeqPacket(pub Packet);
+
+impl PartialEq for SeqPacket {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq == other.0.seq
+    }
+}
+impl Eq for SeqPacket {}
+impl Ord for SeqPacket {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.0.seq.cmp(&self.0.seq) // min-heap by seq
+    }
+}
+impl PartialOrd for SeqPacket {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Everything a process's critical section protects.
+#[derive(Debug)]
+pub(crate) struct SharedState {
+    /// Posted-receive queue (searched FIFO on arrival).
+    pub posted: VecDeque<PostedRecv>,
+    /// Unexpected-message queue (searched FIFO by new receives).
+    pub unexpected: VecDeque<UnexMsg>,
+    /// Next sequence number for sends, per destination rank.
+    pub send_seq: Vec<u64>,
+    /// Next expected arrival sequence, per source rank.
+    pub recv_next_seq: Vec<u64>,
+    /// Out-of-order arrival buffers, per source rank.
+    pub reorder: Vec<BinaryHeap<SeqPacket>>,
+    /// Receive requests completed but not yet freed (the §4.4 metric).
+    pub dangling_now: u64,
+    /// Sampler fed at every critical-section acquisition.
+    pub dangling: DanglingSampler,
+    /// Total critical-section acquisitions by this process.
+    pub cs_acquisitions: u64,
+    /// RMA window memory (empty when no window configured).
+    pub win_mem: Vec<u8>,
+    /// Completed RMA acks awaiting their origin thread, by token.
+    pub rma_acks: HashMap<u64, Option<MsgData>>,
+    /// Next RMA token.
+    pub rma_next_token: u64,
+    /// High-water marks for diagnostics.
+    pub max_unexpected: usize,
+    pub max_posted: usize,
+}
+
+impl SharedState {
+    pub(crate) fn new(nranks: u32, win_bytes: usize) -> Self {
+        Self {
+            posted: VecDeque::new(),
+            unexpected: VecDeque::new(),
+            send_seq: vec![0; nranks as usize],
+            recv_next_seq: vec![0; nranks as usize],
+            reorder: (0..nranks).map(|_| BinaryHeap::new()).collect(),
+            dangling_now: 0,
+            dangling: DanglingSampler::new(),
+            cs_acquisitions: 0,
+            win_mem: vec![0; win_bytes],
+            rma_acks: HashMap::new(),
+            rma_next_token: 1,
+            max_unexpected: 0,
+            max_posted: 0,
+        }
+    }
+
+    /// Record queue high-water marks (called after insertions).
+    pub(crate) fn note_depths(&mut self) {
+        self.max_unexpected = self.max_unexpected.max(self.unexpected.len());
+        self.max_posted = self.max_posted.max(self.posted.len());
+    }
+}
+
+/// Does a posted receive (src?, tag?, comm) match an envelope (src, tag,
+/// comm)?
+pub(crate) fn matches(
+    want_src: Option<u32>,
+    want_tag: Option<Tag>,
+    want_comm: CommId,
+    src: u32,
+    tag: Tag,
+    comm: CommId,
+) -> bool {
+    want_comm == comm
+        && want_src.map_or(true, |s| s == src)
+        && want_tag.map_or(true, |t| t == tag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_matching() {
+        let w = CommId::WORLD;
+        assert!(matches(None, None, w, 3, 9, w));
+        assert!(matches(Some(3), None, w, 3, 9, w));
+        assert!(matches(None, Some(9), w, 3, 9, w));
+        assert!(!matches(Some(2), None, w, 3, 9, w));
+        assert!(!matches(None, Some(8), w, 3, 9, w));
+        assert!(!matches(None, None, CommId(5), 3, 9, w));
+    }
+
+    #[test]
+    fn seq_packet_min_heap() {
+        use crate::packet::{Packet, PacketKind};
+        let mk = |seq| {
+            SeqPacket(Packet {
+                src: 0,
+                seq,
+                kind: PacketKind::Msg { comm: CommId::WORLD, tag: 0, data: MsgData::Synthetic(0) },
+            })
+        };
+        let mut h = BinaryHeap::new();
+        for s in [5u64, 1, 3] {
+            h.push(mk(s));
+        }
+        assert_eq!(h.pop().unwrap().0.seq, 1);
+        assert_eq!(h.pop().unwrap().0.seq, 3);
+        assert_eq!(h.pop().unwrap().0.seq, 5);
+    }
+}

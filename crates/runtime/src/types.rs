@@ -1,0 +1,111 @@
+//! Core message types.
+
+/// Message tag. Non-negative values are user tags; the runtime reserves a
+/// band near `i32::MAX` for collectives and RMA internals.
+pub type Tag = i32;
+
+/// Wildcard source for receives (`MPI_ANY_SOURCE`).
+pub const ANY_SOURCE: Option<u32> = None;
+
+/// Wildcard tag for receives (`MPI_ANY_TAG`).
+pub const ANY_TAG: Option<Tag> = None;
+
+/// First tag reserved for runtime internals; user code must stay below.
+pub const RESERVED_TAG_BASE: Tag = i32::MAX - 4096;
+
+/// Communicator id. `WORLD` is the default; `dup` yields fresh ids whose
+/// traffic never matches another communicator's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CommId(pub u16);
+
+impl CommId {
+    /// The world communicator every rank starts with.
+    pub const WORLD: CommId = CommId(0);
+    /// Communicator reserved for the runtime's own collectives.
+    pub(crate) const INTERNAL: CommId = CommId(1);
+}
+
+/// Message payload. `Synthetic` carries only a length — micro-benchmarks
+/// move gigabytes of modelled traffic without touching host memory —
+/// while `Bytes` carries real data for the applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MsgData {
+    /// A payload of the given size whose contents are irrelevant.
+    Synthetic(u64),
+    /// Real bytes.
+    Bytes(Vec<u8>),
+}
+
+impl MsgData {
+    /// Payload length in bytes.
+    pub fn len(&self) -> u64 {
+        match self {
+            MsgData::Synthetic(n) => *n,
+            MsgData::Bytes(b) => b.len() as u64,
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrow the bytes; panics on synthetic payloads (apps use `Bytes`).
+    pub fn as_bytes(&self) -> &[u8] {
+        match self {
+            MsgData::Bytes(b) => b,
+            MsgData::Synthetic(_) => panic!("synthetic payload has no bytes"),
+        }
+    }
+
+    /// Take the bytes out; panics on synthetic payloads.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            MsgData::Bytes(b) => b,
+            MsgData::Synthetic(_) => panic!("synthetic payload has no bytes"),
+        }
+    }
+}
+
+impl From<Vec<u8>> for MsgData {
+    fn from(b: Vec<u8>) -> Self {
+        MsgData::Bytes(b)
+    }
+}
+
+/// A received (or completed) message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Msg {
+    /// Sending rank.
+    pub src: u32,
+    /// Message tag.
+    pub tag: Tag,
+    /// Payload.
+    pub data: MsgData,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msgdata_lengths() {
+        assert_eq!(MsgData::Synthetic(1024).len(), 1024);
+        assert_eq!(MsgData::Bytes(vec![1, 2, 3]).len(), 3);
+        assert!(MsgData::Synthetic(0).is_empty());
+        assert!(!MsgData::Bytes(vec![0]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "synthetic")]
+    fn synthetic_has_no_bytes() {
+        let _ = MsgData::Synthetic(8).as_bytes();
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let d: MsgData = vec![9, 8, 7].into();
+        assert_eq!(d.as_bytes(), &[9, 8, 7]);
+        assert_eq!(d.into_bytes(), vec![9, 8, 7]);
+    }
+}

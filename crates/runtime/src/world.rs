@@ -1,0 +1,255 @@
+//! World construction and the critical-section discipline.
+
+use crate::costs::RuntimeCosts;
+use crate::granularity::Granularity;
+use crate::state::SharedState;
+use mtmpi_locks::{CsToken, PathClass};
+use mtmpi_sim::{LockId, LockKind, Platform};
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// One MPI process.
+pub(crate) struct Process {
+    pub(crate) endpoint: usize,
+    pub(crate) cs_queue: LockId,
+    pub(crate) cs_progress: LockId,
+    state: UnsafeCell<SharedState>,
+}
+
+// SAFETY: `state` is only accessed through `WorldInner::cs`, which holds
+// the process's queue lock, or through the post-run diagnostics methods.
+unsafe impl Send for Process {}
+unsafe impl Sync for Process {}
+
+pub(crate) struct WorldInner {
+    pub(crate) platform: Arc<dyn Platform>,
+    pub(crate) costs: RuntimeCosts,
+    pub(crate) granularity: Granularity,
+    pub(crate) procs: Vec<Process>,
+    pub(crate) liveness_limit_ns: u64,
+    /// Whether the CS lock consumes selective wake-up hints.
+    pub(crate) selective: bool,
+}
+
+impl WorldInner {
+    /// Run `f` with the process state under the queue lock, charging the
+    /// acquisition and feeding the dangling sampler (the §4.4 sampling
+    /// interval is "successive lock acquisitions").
+    pub(crate) fn cs<R>(
+        &self,
+        rank: u32,
+        class: PathClass,
+        f: impl FnOnce(&mut SharedState) -> R,
+    ) -> R {
+        let p = &self.procs[rank as usize];
+        let token = self.platform.lock_acquire(p.cs_queue, class);
+        // SAFETY: we hold the queue lock for this process.
+        let st = unsafe { &mut *p.state.get() };
+        st.cs_acquisitions += 1;
+        let d = st.dangling_now;
+        st.dangling.sample(d);
+        let r = f(st);
+        self.platform.lock_release(p.cs_queue, class, token);
+        r
+    }
+
+    /// Acquire the progress lock (PerQueue mode only; otherwise this is
+    /// the queue lock). Does NOT grant state access.
+    pub(crate) fn progress_lock(&self, rank: u32, class: PathClass) -> (LockId, CsToken) {
+        let p = &self.procs[rank as usize];
+        let id = if self.granularity.split_progress_lock() {
+            p.cs_progress
+        } else {
+            p.cs_queue
+        };
+        (id, self.platform.lock_acquire(id, class))
+    }
+
+    pub(crate) fn nranks(&self) -> u32 {
+        self.procs.len() as u32
+    }
+
+    /// Post-run read of a process's state. Only sound once all workers
+    /// have finished (after `platform.run()` returns).
+    pub(crate) unsafe fn state_post_run(&self, rank: u32) -> &SharedState {
+        &*self.procs[rank as usize].state.get()
+    }
+}
+
+/// The set of MPI processes sharing a platform. Cheap to clone.
+#[derive(Clone)]
+pub struct World {
+    pub(crate) inner: Arc<WorldInner>,
+}
+
+/// Builder for [`World`].
+pub struct WorldBuilder {
+    platform: Arc<dyn Platform>,
+    ranks: u32,
+    node_of: Box<dyn Fn(u32) -> u32>,
+    lock: LockKind,
+    granularity: Granularity,
+    costs: RuntimeCosts,
+    window_bytes: usize,
+    liveness_limit_ns: u64,
+}
+
+impl World {
+    /// Start building a world on `platform`.
+    pub fn builder(platform: Arc<dyn Platform>) -> WorldBuilder {
+        WorldBuilder {
+            platform,
+            ranks: 1,
+            node_of: Box::new(|_| 0),
+            lock: LockKind::Mutex,
+            granularity: Granularity::Global,
+            costs: RuntimeCosts::default(),
+            window_bytes: 0,
+            liveness_limit_ns: 120_000_000_000, // 120 virtual seconds
+        }
+    }
+
+    /// Number of ranks.
+    pub fn nranks(&self) -> u32 {
+        self.inner.nranks()
+    }
+
+    /// Handle for issuing MPI calls as `rank`. Clone it into each of the
+    /// rank's threads.
+    pub fn rank(&self, rank: u32) -> RankHandle {
+        assert!(rank < self.nranks(), "rank out of range");
+        RankHandle { world: self.inner.clone(), rank }
+    }
+
+    /// The queue-lock id of a rank (to pair with
+    /// [`mtmpi_sim::PlatformReport::lock_traces`]).
+    pub fn lock_of(&self, rank: u32) -> LockId {
+        self.inner.procs[rank as usize].cs_queue
+    }
+
+    /// Dangling-request sampler of a rank. **Post-run only** (after
+    /// `platform.run()` has returned).
+    pub fn dangling_report(&self, rank: u32) -> mtmpi_metrics::DanglingSampler {
+        // SAFETY: documented post-run contract.
+        unsafe { self.inner.state_post_run(rank).dangling.clone() }
+    }
+
+    /// Critical-section acquisition count of a rank. Post-run only.
+    pub fn cs_acquisitions(&self, rank: u32) -> u64 {
+        unsafe { self.inner.state_post_run(rank).cs_acquisitions }
+    }
+
+    /// Unexpected-queue high-water mark. Post-run only.
+    pub fn max_unexpected(&self, rank: u32) -> usize {
+        unsafe { self.inner.state_post_run(rank).max_unexpected }
+    }
+
+    /// Contents of the rank's RMA window. Post-run only.
+    pub fn window_snapshot(&self, rank: u32) -> Vec<u8> {
+        unsafe { self.inner.state_post_run(rank).win_mem.clone() }
+    }
+}
+
+impl WorldBuilder {
+    /// Number of MPI ranks (default 1).
+    pub fn ranks(mut self, n: u32) -> Self {
+        assert!(n > 0, "need at least one rank");
+        self.ranks = n;
+        self
+    }
+
+    /// Map each rank to a cluster node (default: all on node 0).
+    pub fn rank_on_node(mut self, f: impl Fn(u32) -> u32 + 'static) -> Self {
+        self.node_of = Box::new(f);
+        self
+    }
+
+    /// Critical-section arbitration method (default mutex — the paper's
+    /// baseline).
+    pub fn lock(mut self, kind: LockKind) -> Self {
+        self.lock = kind;
+        self
+    }
+
+    /// Critical-section granularity (default global).
+    pub fn granularity(mut self, g: Granularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Override the runtime cost model.
+    pub fn costs(mut self, c: RuntimeCosts) -> Self {
+        self.costs = c;
+        self
+    }
+
+    /// Give every rank an RMA window of `bytes` bytes.
+    pub fn window_bytes(mut self, bytes: usize) -> Self {
+        self.window_bytes = bytes;
+        self
+    }
+
+    /// Abort blocking waits after this much virtual/model time (a
+    /// liveness guard that turns communication bugs into loud failures).
+    pub fn liveness_limit_ns(mut self, ns: u64) -> Self {
+        self.liveness_limit_ns = ns;
+        self
+    }
+
+    /// Construct the world: registers one endpoint and one (or two, for
+    /// [`Granularity::PerQueue`]) locks per rank on the platform.
+    pub fn build(self) -> World {
+        let mut procs = Vec::with_capacity(self.ranks as usize);
+        for r in 0..self.ranks {
+            let node = (self.node_of)(r);
+            let endpoint = self.platform.register_endpoint(node);
+            let cs_queue = self.platform.lock_create(self.lock);
+            let cs_progress = if self.granularity.split_progress_lock() {
+                self.platform.lock_create(self.lock)
+            } else {
+                cs_queue
+            };
+            let _ = node;
+            procs.push(Process {
+                endpoint,
+                cs_queue,
+                cs_progress,
+                state: UnsafeCell::new(SharedState::new(self.ranks, self.window_bytes)),
+            });
+        }
+        World {
+            inner: Arc::new(WorldInner {
+                platform: self.platform,
+                costs: self.costs,
+                granularity: self.granularity,
+                procs,
+                liveness_limit_ns: self.liveness_limit_ns,
+                selective: matches!(self.lock, LockKind::Selective),
+            }),
+        }
+    }
+}
+
+/// Per-thread handle for issuing MPI calls as one rank.
+#[derive(Clone)]
+pub struct RankHandle {
+    pub(crate) world: Arc<WorldInner>,
+    pub(crate) rank: u32,
+}
+
+impl RankHandle {
+    /// This handle's rank.
+    pub fn rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Total ranks in the world.
+    pub fn nranks(&self) -> u32 {
+        self.world.nranks()
+    }
+
+    /// The platform (for `compute`, `now_ns`, …).
+    pub fn platform(&self) -> &Arc<dyn Platform> {
+        &self.world.platform
+    }
+}

@@ -1,0 +1,371 @@
+//! Point-to-point semantics tests over the virtual platform.
+
+use mtmpi_net::NetModel;
+use mtmpi_runtime::{MsgData, TestOutcome, World, ANY_SOURCE, ANY_TAG};
+use mtmpi_sim::{LockKind, LockModelParams, Platform, ThreadDesc, VirtualPlatform};
+use mtmpi_topology::presets::nehalem_cluster_scaled;
+use mtmpi_topology::CoreId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn platform(nodes: u32, seed: u64) -> Arc<dyn Platform> {
+    Arc::new(VirtualPlatform::new(
+        nehalem_cluster_scaled(nodes),
+        NetModel::qdr(),
+        LockModelParams::default(),
+        seed,
+    ))
+}
+
+fn spawn(p: &Arc<dyn Platform>, name: &str, node: u32, core: u32, f: impl FnOnce() + Send + 'static) {
+    p.spawn(
+        ThreadDesc { name: name.into(), node, core: CoreId(core) },
+        Box::new(f),
+    );
+}
+
+fn two_rank_world(p: &Arc<dyn Platform>, kind: LockKind) -> World {
+    World::builder(p.clone()).ranks(2).rank_on_node(|r| r).lock(kind).build()
+}
+
+#[test]
+fn blocking_send_recv_bytes() {
+    let p = platform(2, 1);
+    let w = two_rank_world(&p, LockKind::Ticket);
+    let (a, b) = (w.rank(0), w.rank(1));
+    spawn(&p, "s", 0, 0, move || a.send(1, 5, MsgData::Bytes(vec![1, 2, 3])));
+    spawn(&p, "r", 1, 0, move || {
+        let m = b.recv(Some(0), Some(5));
+        assert_eq!(m.src, 0);
+        assert_eq!(m.tag, 5);
+        assert_eq!(m.data.as_bytes(), &[1, 2, 3]);
+    });
+    p.run();
+}
+
+#[test]
+fn wildcard_receive_matches_any() {
+    let p = platform(2, 2);
+    let w = two_rank_world(&p, LockKind::Mutex);
+    let (a, b) = (w.rank(0), w.rank(1));
+    spawn(&p, "s", 0, 0, move || {
+        a.send(1, 42, MsgData::Bytes(vec![7]));
+    });
+    spawn(&p, "r", 1, 0, move || {
+        let m = b.recv(ANY_SOURCE, ANY_TAG);
+        assert_eq!(m.src, 0);
+        assert_eq!(m.tag, 42);
+    });
+    p.run();
+}
+
+#[test]
+fn tag_selective_matching_out_of_order() {
+    // Sender sends tags 1 then 2; receiver asks for 2 first. The tag-2
+    // message must bypass the tag-1 one (which waits in unexpected).
+    let p = platform(2, 3);
+    let w = two_rank_world(&p, LockKind::Ticket);
+    let (a, b) = (w.rank(0), w.rank(1));
+    spawn(&p, "s", 0, 0, move || {
+        a.send(1, 1, MsgData::Bytes(vec![1]));
+        a.send(1, 2, MsgData::Bytes(vec![2]));
+    });
+    spawn(&p, "r", 1, 0, move || {
+        let m2 = b.recv(Some(0), Some(2));
+        assert_eq!(m2.data.as_bytes(), &[2]);
+        let m1 = b.recv(Some(0), Some(1));
+        assert_eq!(m1.data.as_bytes(), &[1]);
+    });
+    p.run();
+}
+
+#[test]
+fn same_tag_messages_arrive_in_order() {
+    // MPI non-overtaking: same (src, dst, tag) pairs match in send order,
+    // even when sizes straddle the rendezvous threshold (which reorders
+    // raw wire arrivals).
+    let p = platform(2, 4);
+    let w = two_rank_world(&p, LockKind::Ticket);
+    let (a, b) = (w.rank(0), w.rank(1));
+    spawn(&p, "s", 0, 0, move || {
+        // Large (rendezvous) then small (eager): wire would reorder.
+        a.send(1, 9, MsgData::Bytes(vec![1u8; 100_000]));
+        a.send(1, 9, MsgData::Bytes(vec![2u8; 4]));
+    });
+    spawn(&p, "r", 1, 0, move || {
+        let first = b.recv(Some(0), Some(9));
+        assert_eq!(first.data.len(), 100_000, "first sent must match first");
+        let second = b.recv(Some(0), Some(9));
+        assert_eq!(second.data.len(), 4);
+    });
+    p.run();
+}
+
+#[test]
+fn isend_waitall_window() {
+    let p = platform(2, 5);
+    let w = two_rank_world(&p, LockKind::Priority);
+    let (a, b) = (w.rank(0), w.rank(1));
+    const N: usize = 64;
+    spawn(&p, "s", 0, 0, move || {
+        let reqs: Vec<_> = (0..N).map(|i| a.isend(1, i as i32, MsgData::Synthetic(128))).collect();
+        a.waitall(reqs);
+    });
+    spawn(&p, "r", 1, 0, move || {
+        let reqs: Vec<_> = (0..N).map(|i| b.irecv(Some(0), Some(i as i32))).collect();
+        let msgs = b.waitall(reqs);
+        assert_eq!(msgs.len(), N);
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(m.tag, i as i32, "waitall preserves request order");
+        }
+    });
+    p.run();
+}
+
+#[test]
+fn test_returns_pending_then_done() {
+    let p = platform(2, 6);
+    let w = two_rank_world(&p, LockKind::Ticket);
+    let (a, b) = (w.rank(0), w.rank(1));
+    let polls = Arc::new(AtomicU64::new(0));
+    let polls2 = polls.clone();
+    spawn(&p, "s", 0, 0, move || {
+        let pf = a.platform().clone();
+        pf.compute(50_000); // delay the send so test sees Pending first
+        a.send(1, 0, MsgData::Bytes(vec![9]));
+    });
+    spawn(&p, "r", 1, 0, move || {
+        let mut req = b.irecv(Some(0), Some(0));
+        let pf = b.platform().clone();
+        loop {
+            match b.test(req) {
+                TestOutcome::Done(m) => {
+                    assert_eq!(m.data.as_bytes(), &[9]);
+                    break;
+                }
+                TestOutcome::Pending(r) => {
+                    polls2.fetch_add(1, Ordering::Relaxed);
+                    req = r;
+                    pf.compute(1_000);
+                }
+            }
+        }
+    });
+    p.run();
+    assert!(polls.load(Ordering::Relaxed) > 0, "test must have reported Pending at least once");
+}
+
+#[test]
+fn cross_thread_completion_same_rank() {
+    // Two threads of one rank: thread A posts a recv and stalls; thread B
+    // sits in wait on its own recv, running the progress engine — B's
+    // polling completes A's request too (threads complete each other's
+    // requests inside the runtime, §4.4).
+    let p = platform(2, 7);
+    let w = two_rank_world(&p, LockKind::Ticket);
+    let (r0, r1) = (w.rank(0), w.rank(1));
+    let r1b = w.rank(1);
+    spawn(&p, "sender", 0, 0, move || {
+        r0.send(1, 1, MsgData::Bytes(vec![1]));
+        r0.send(1, 2, MsgData::Bytes(vec![2]));
+    });
+    spawn(&p, "slow", 1, 0, move || {
+        let req = r1.irecv(Some(0), Some(1));
+        let pf = r1.platform().clone();
+        // Park long enough that the fast thread's progress engine is the
+        // one that completes this request.
+        pf.compute(10_000_000);
+        match r1.test(req) {
+            TestOutcome::Done(m) => assert_eq!(m.data.as_bytes(), &[1]),
+            TestOutcome::Pending(_) => panic!("request should have been completed by peer thread"),
+        }
+    });
+    spawn(&p, "fast", 1, 1, move || {
+        let m = r1b.recv(Some(0), Some(2));
+        assert_eq!(m.data.as_bytes(), &[2]);
+    });
+    p.run();
+}
+
+#[test]
+fn dangling_requests_counted() {
+    // The slow thread's completed-but-unfreed request shows up in the
+    // dangling sampler while the fast thread keeps polling.
+    let p = platform(2, 8);
+    let w = two_rank_world(&p, LockKind::Ticket);
+    let (r0, r1) = (w.rank(0), w.rank(1));
+    let r1b = w.rank(1);
+    spawn(&p, "sender", 0, 0, move || {
+        r0.send(1, 1, MsgData::Bytes(vec![1]));
+        // Give the receiver's fast thread something to chew on for a
+        // while after tag-1 has arrived.
+        let pf = r0.platform().clone();
+        pf.compute(5_000_000);
+        r0.send(1, 2, MsgData::Bytes(vec![2]));
+    });
+    spawn(&p, "slow", 1, 0, move || {
+        let req = r1.irecv(Some(0), Some(1));
+        let pf = r1.platform().clone();
+        pf.compute(50_000_000);
+        assert!(matches!(r1.test(req), TestOutcome::Done(_)));
+    });
+    spawn(&p, "fast", 1, 1, move || {
+        let m = r1b.recv(Some(0), Some(2)); // long wait -> many polls
+        assert_eq!(m.data.as_bytes(), &[2]);
+    });
+    p.run();
+    let d = w.dangling_report(1);
+    assert!(d.samples() > 0);
+    assert!(d.max() >= 1, "the stranded tag-1 request must have been seen dangling");
+    assert!(d.average() > 0.0);
+}
+
+#[test]
+fn many_ranks_ring_exchange() {
+    let p = platform(8, 9);
+    let n = 8u32;
+    let w = World::builder(p.clone()).ranks(n).rank_on_node(|r| r).lock(LockKind::Priority).build();
+    let total = Arc::new(AtomicU64::new(0));
+    for r in 0..n {
+        let h = w.rank(r);
+        let total = total.clone();
+        spawn(&p, &format!("r{r}"), r, 0, move || {
+            let right = (h.rank() + 1) % h.nranks();
+            let left = (h.rank() + h.nranks() - 1) % h.nranks();
+            let s = h.isend(right, 3, MsgData::Bytes(vec![h.rank() as u8]));
+            let m = h.recv(Some(left), Some(3));
+            assert_eq!(m.data.as_bytes(), &[left as u8]);
+            h.wait(s);
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+    p.run();
+    assert_eq!(total.load(Ordering::Relaxed), u64::from(n));
+}
+
+#[test]
+fn barrier_synchronizes() {
+    let p = platform(4, 10);
+    let n = 4u32;
+    let w = World::builder(p.clone()).ranks(n).rank_on_node(|r| r).lock(LockKind::Ticket).build();
+    let after = Arc::new(AtomicU64::new(0));
+    let min_after = Arc::new(AtomicU64::new(u64::MAX));
+    for r in 0..n {
+        let h = w.rank(r);
+        let after = after.clone();
+        let min_after = min_after.clone();
+        spawn(&p, &format!("r{r}"), r, 0, move || {
+            let pf = h.platform().clone();
+            // Rank r works r ms before the barrier.
+            pf.compute(u64::from(h.rank()) * 1_000_000);
+            h.barrier();
+            let t = pf.now_ns();
+            after.fetch_add(1, Ordering::Relaxed);
+            min_after.fetch_min(t, Ordering::Relaxed);
+        });
+    }
+    p.run();
+    assert_eq!(after.load(Ordering::Relaxed), u64::from(n));
+    // Nobody may leave the barrier before the slowest rank arrived.
+    assert!(
+        min_after.load(Ordering::Relaxed) >= 3_000_000,
+        "barrier exit at {} before slowest arrival",
+        min_after.load(Ordering::Relaxed)
+    );
+}
+
+#[test]
+fn allreduce_values() {
+    let p = platform(5, 11);
+    let n = 5u32;
+    let w = World::builder(p.clone()).ranks(n).rank_on_node(|r| r).lock(LockKind::Ticket).build();
+    for r in 0..n {
+        let h = w.rank(r);
+        spawn(&p, &format!("r{r}"), r, 0, move || {
+            let me = f64::from(h.rank());
+            let s = h.allreduce_sum_f64(me);
+            assert_eq!(s, 10.0); // 0+1+2+3+4
+            let su = h.allreduce_sum_u64(u64::from(h.rank()) + 1);
+            assert_eq!(su, 15);
+            let mx = h.allreduce_max_u64(u64::from(h.rank()) * 7);
+            assert_eq!(mx, 28);
+        });
+    }
+    p.run();
+}
+
+#[test]
+fn single_rank_collectives_are_noops() {
+    let p = platform(1, 12);
+    let w = World::builder(p.clone()).ranks(1).lock(LockKind::Ticket).build();
+    let h = w.rank(0);
+    spawn(&p, "solo", 0, 0, move || {
+        h.barrier();
+        assert_eq!(h.allreduce_sum_f64(3.5), 3.5);
+        assert_eq!(h.allreduce_max_u64(9), 9);
+    });
+    p.run();
+}
+
+#[test]
+fn synthetic_payload_sizes_affect_timing() {
+    let time_for = |bytes: u64| {
+        let p = platform(2, 13);
+        let w = two_rank_world(&p, LockKind::Ticket);
+        let (a, b) = (w.rank(0), w.rank(1));
+        spawn(&p, "s", 0, 0, move || a.send(1, 0, MsgData::Synthetic(bytes)));
+        spawn(&p, "r", 1, 0, move || {
+            b.recv(Some(0), Some(0));
+        });
+        p.run().end_ns
+    };
+    let small = time_for(1);
+    let large = time_for(1 << 20);
+    assert!(
+        large > small + 100_000,
+        "1 MiB ({large} ns) must take much longer than 1 B ({small} ns)"
+    );
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let p = platform(2, 99);
+        let w = two_rank_world(&p, LockKind::Mutex);
+        let (a, b) = (w.rank(0), w.rank(1));
+        spawn(&p, "s", 0, 0, move || {
+            for i in 0..50 {
+                a.send(1, i, MsgData::Synthetic(256));
+            }
+        });
+        spawn(&p, "r", 1, 0, move || {
+            for i in 0..50 {
+                b.recv(Some(0), Some(i));
+            }
+        });
+        p.run().end_ns
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+#[should_panic(expected = "stuck")]
+fn liveness_guard_fires_on_missing_sender() {
+    let p = platform(2, 14);
+    let w = World::builder(p.clone())
+        .ranks(2)
+        .rank_on_node(|r| r)
+        .lock(LockKind::Ticket)
+        .liveness_limit_ns(3_000_000)
+        .build();
+    let b = w.rank(1);
+    // Rank 0 never sends; rank 1's recv must abort loudly.
+    let a = w.rank(0);
+    spawn(&p, "idle", 0, 0, move || {
+        let _ = a; // rank 0 exists but stays silent
+    });
+    spawn(&p, "r", 1, 0, move || {
+        let _ = b.recv(Some(0), Some(0));
+    });
+    p.run();
+}

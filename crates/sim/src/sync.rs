@@ -1,0 +1,122 @@
+//! Platform-aware synchronization helpers for application threads.
+
+use crate::platform::Platform;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A sense-reversing spin barrier that stays live on both platforms: each
+/// spin iteration yields through the platform (a scheduler round-trip in
+/// virtual time, `thread::yield_now` natively) with exponential backoff,
+/// so waiting costs virtual time without flooding the event queue.
+///
+/// Used by the hybrid kernels for their intra-rank thread synchronization
+/// (the `OMP_Sync` component of the paper's Fig 11b breakdown).
+#[derive(Debug)]
+pub struct SpinBarrier {
+    n: u32,
+    count: AtomicU32,
+    generation: AtomicU32,
+}
+
+impl SpinBarrier {
+    /// Barrier for `n` participants.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "barrier needs at least one participant");
+        Self { n, count: AtomicU32::new(0), generation: AtomicU32::new(0) }
+    }
+
+    /// Wait until all `n` participants arrive. Returns `true` on exactly
+    /// one participant per round (the last to arrive), like
+    /// `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self, platform: &dyn Platform) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            platform.yield_now();
+            return true;
+        }
+        let mut step_ns = 50u64;
+        while self.generation.load(Ordering::Acquire) == gen {
+            platform.compute(step_ns);
+            platform.yield_now();
+            step_ns = (step_ns * 2).min(50_000);
+        }
+        false
+    }
+
+    /// Number of participants.
+    pub fn participants(&self) -> u32 {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::{LockModelParams, ThreadDesc};
+    use crate::virt::VirtualPlatform;
+    use mtmpi_net::NetModel;
+    use mtmpi_topology::presets::nehalem_cluster_scaled;
+    use mtmpi_topology::CoreId;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn barrier_rounds_in_virtual_time() {
+        let p = Arc::new(VirtualPlatform::new(
+            nehalem_cluster_scaled(1),
+            NetModel::qdr(),
+            LockModelParams::default(),
+            3,
+        ));
+        let bar = Arc::new(SpinBarrier::new(4));
+        let sum = Arc::new(AtomicU64::new(0));
+        let leader_count = Arc::new(AtomicU64::new(0));
+        for i in 0..4u32 {
+            let (p2, bar, sum, leaders) = (p.clone(), bar.clone(), sum.clone(), leader_count.clone());
+            p.spawn(
+                ThreadDesc { name: format!("t{i}"), node: 0, core: CoreId(i) },
+                Box::new(move || {
+                    for round in 0..5u64 {
+                        // Unequal work before the barrier.
+                        p2.compute(u64::from(i) * 1_000 + 100);
+                        // All adds of round k must land before anyone
+                        // proceeds into round k+1.
+                        sum.fetch_add(1, Ordering::Relaxed);
+                        if bar.wait(p2.as_ref() as &dyn crate::platform::Platform) {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                            assert_eq!(sum.load(Ordering::Relaxed), (round + 1) * 4);
+                        }
+                        if bar.wait(p2.as_ref() as &dyn crate::platform::Platform) {
+                            // second barrier guards the assert window
+                        }
+                    }
+                }),
+            );
+        }
+        p.run();
+        assert_eq!(sum.load(Ordering::Relaxed), 20);
+        assert_eq!(leader_count.load(Ordering::Relaxed), 5, "one leader per round");
+    }
+
+    #[test]
+    fn single_participant_is_trivial() {
+        let p = Arc::new(VirtualPlatform::new(
+            nehalem_cluster_scaled(1),
+            NetModel::qdr(),
+            LockModelParams::default(),
+            4,
+        ));
+        let bar = Arc::new(SpinBarrier::new(1));
+        let b2 = bar.clone();
+        let p2 = p.clone();
+        p.spawn(
+            ThreadDesc { name: "solo".into(), node: 0, core: CoreId(0) },
+            Box::new(move || {
+                assert!(b2.wait(p2.as_ref() as &dyn crate::platform::Platform));
+            }),
+        );
+        p.run();
+        assert_eq!(bar.participants(), 1);
+    }
+}

@@ -1,0 +1,621 @@
+//! The deterministic virtual-time platform.
+//!
+//! Worker closures run on real OS threads, but **exactly one runs at a
+//! time**: each worker blocks until the scheduler resumes it, runs until
+//! its next synchronization point (lock or network operation), and hands
+//! control back. Local computation ([`Platform::compute`]) accumulates in
+//! a thread-local offset without scheduler involvement, so simulation cost
+//! scales with synchronization frequency, not with simulated work.
+//!
+//! Determinism: the scheduler processes events strictly in
+//! `(virtual time, sequence)` order, worker interaction is fully
+//! serialized, and all randomness (CAS-race jitter, per-thread RNG
+//! streams) derives from the run's seed.
+
+pub(crate) mod vlock;
+
+use crate::platform::{
+    LockId, LockKind, LockModelParams, Payload, Platform, PlatformReport, ThreadDesc,
+};
+use mtmpi_locks::{CsToken, PathClass};
+use mtmpi_net::NetModel;
+use mtmpi_topology::{ClusterTopology, CoreId, SocketId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::cell::{Cell, RefCell};
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use vlock::{AcquireOutcome, GrantOutcome, ReleaseOutcome, VLock};
+
+/// Operations a worker submits to the scheduler.
+enum Op {
+    /// Scheduler round-trip with no effect: lets other threads run up to
+    /// this thread's current virtual time (used by `yield_now` so that
+    /// busy-waits on shared memory stay live).
+    Fence,
+    LockBoost { lock: usize, tid: u64 },
+    LockAcquire { lock: usize, class: PathClass },
+    LockRelease { lock: usize },
+    NetSend { src: usize, dst: usize, bytes: u64, payload: Payload },
+    NetPoll { endpoint: usize },
+    NetPending { endpoint: usize },
+}
+
+impl std::fmt::Debug for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Fence => write!(f, "Fence"),
+            Op::LockBoost { lock, tid } => write!(f, "LockBoost({lock}, t{tid})"),
+            Op::LockAcquire { lock, class } => write!(f, "LockAcquire({lock}, {class:?})"),
+            Op::LockRelease { lock } => write!(f, "LockRelease({lock})"),
+            Op::NetSend { src, dst, bytes, .. } => write!(f, "NetSend({src}->{dst}, {bytes}B)"),
+            Op::NetPoll { endpoint } => write!(f, "NetPoll({endpoint})"),
+            Op::NetPending { endpoint } => write!(f, "NetPending({endpoint})"),
+        }
+    }
+}
+
+/// Worker → scheduler messages.
+enum Request {
+    Op { tid: usize, at: u64, op: Op },
+    Done { tid: usize, at: u64 },
+    /// The worker's closure panicked; the scheduler re-raises the panic
+    /// so `run()` fails with the worker's message instead of hanging.
+    Panicked { tid: usize, msg: String },
+}
+
+/// Scheduler → worker resumptions.
+enum Reply {
+    Go { now: u64 },
+    Packets { now: u64, pkts: Vec<Payload> },
+    Flag { now: u64, v: bool },
+}
+
+impl Reply {
+    fn now(&self) -> u64 {
+        match self {
+            Reply::Go { now } | Reply::Packets { now, .. } | Reply::Flag { now, .. } => *now,
+        }
+    }
+}
+
+/// Thread-local worker context installed while a worker closure runs.
+struct WorkerCtx {
+    tid: usize,
+    base: Cell<u64>,
+    offset: Cell<u64>,
+    req_tx: mpsc::Sender<Request>,
+    go_rx: mpsc::Receiver<Reply>,
+    rng: RefCell<SmallRng>,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Rc<WorkerCtx>>> = const { RefCell::new(None) };
+}
+
+impl WorkerCtx {
+    fn now(&self) -> u64 {
+        self.base.get() + self.offset.get()
+    }
+
+    fn sync(&self, op: Op) -> Reply {
+        self.req_tx
+            .send(Request::Op { tid: self.tid, at: self.now(), op })
+            .expect("scheduler alive");
+        let reply = self.go_rx.recv().expect("scheduler alive");
+        self.base.set(reply.now());
+        self.offset.set(0);
+        reply
+    }
+}
+
+fn with_ctx<R>(f: impl FnOnce(&WorkerCtx) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let ctx = b
+            .as_ref()
+            .expect("virtual-platform operation outside a worker thread (did you call it before run()?)");
+        f(ctx)
+    })
+}
+
+fn in_worker() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// Scheduler event.
+#[derive(Debug, PartialEq, Eq)]
+enum EvKind {
+    Start(usize),
+    Exec(usize),
+    Grant { lock: usize, gen: u64 },
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Ev {
+    t: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for the max-heap: earliest (t, seq) first.
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A packet waiting in (or in flight to) a mailbox.
+struct Arriving {
+    at: u64,
+    seq: u64,
+    payload: Payload,
+}
+
+impl PartialEq for Arriving {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Arriving {}
+impl Ord for Arriving {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+impl PartialOrd for Arriving {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct ThreadInfo {
+    name: String,
+    node: u32,
+    core: CoreId,
+    socket: SocketId,
+}
+
+/// Pre-run registration state.
+struct Registration {
+    lock_specs: Vec<LockKind>,
+    endpoints: Vec<u32>, // node per endpoint
+    threads: Vec<(ThreadDesc, Box<dyn FnOnce() + Send>)>,
+}
+
+/// The deterministic virtual-time platform. See module docs.
+pub struct VirtualPlatform {
+    cluster: ClusterTopology,
+    net: NetModel,
+    params: LockModelParams,
+    seed: u64,
+    reg: Mutex<Option<Registration>>,
+}
+
+impl VirtualPlatform {
+    /// Create a platform for the given cluster and network model.
+    pub fn new(cluster: ClusterTopology, net: NetModel, params: LockModelParams, seed: u64) -> Self {
+        Self {
+            cluster,
+            net,
+            params,
+            seed,
+            reg: Mutex::new(Some(Registration {
+                lock_specs: Vec::new(),
+                endpoints: Vec::new(),
+                threads: Vec::new(),
+            })),
+        }
+    }
+
+    /// The cluster this platform models.
+    pub fn cluster(&self) -> &ClusterTopology {
+        &self.cluster
+    }
+
+    fn reg_mut<R>(&self, what: &str, f: impl FnOnce(&mut Registration) -> R) -> R {
+        let mut g = self.reg.lock().unwrap();
+        let reg = g.as_mut().unwrap_or_else(|| panic!("{what} after run() started"));
+        f(reg)
+    }
+}
+
+impl Platform for VirtualPlatform {
+    fn now_ns(&self) -> u64 {
+        if in_worker() {
+            with_ctx(|c| c.now())
+        } else {
+            0
+        }
+    }
+
+    fn compute(&self, ns: u64) {
+        if in_worker() {
+            with_ctx(|c| c.offset.set(c.offset.get() + ns));
+        }
+    }
+
+    fn yield_now(&self) {
+        // A real scheduler round-trip (plus a minimal advance): without
+        // it, a thread busy-waiting on shared memory would never let its
+        // peers run. Pre-run (no worker context) it is a no-op.
+        if in_worker() {
+            self.compute(1);
+            with_ctx(|c| {
+                c.sync(Op::Fence);
+            });
+        }
+    }
+
+    fn rng_u64(&self) -> u64 {
+        if in_worker() {
+            with_ctx(|c| c.rng.borrow_mut().gen())
+        } else {
+            SmallRng::seed_from_u64(self.seed).gen()
+        }
+    }
+
+    fn lock_create(&self, kind: LockKind) -> LockId {
+        self.reg_mut("lock_create", |r| {
+            r.lock_specs.push(kind);
+            LockId(r.lock_specs.len() - 1)
+        })
+    }
+
+    fn current_tid(&self) -> u64 {
+        if in_worker() {
+            with_ctx(|c| c.tid as u64)
+        } else {
+            u64::MAX
+        }
+    }
+
+    fn lock_boost(&self, lock: LockId, tid: u64) {
+        with_ctx(|c| {
+            c.sync(Op::LockBoost { lock: lock.0, tid });
+        });
+    }
+
+    fn lock_acquire(&self, lock: LockId, class: PathClass) -> CsToken {
+        with_ctx(|c| {
+            c.sync(Op::LockAcquire { lock: lock.0, class });
+        });
+        CsToken::NONE
+    }
+
+    fn lock_release(&self, lock: LockId, _class: PathClass, _token: CsToken) {
+        with_ctx(|c| {
+            c.sync(Op::LockRelease { lock: lock.0 });
+        });
+    }
+
+    fn register_endpoint(&self, node: u32) -> usize {
+        assert!(node < self.cluster.nodes, "endpoint node out of range");
+        self.reg_mut("register_endpoint", |r| {
+            r.endpoints.push(node);
+            r.endpoints.len() - 1
+        })
+    }
+
+    fn endpoint_count(&self) -> usize {
+        self.reg.lock().unwrap().as_ref().map_or(0, |r| r.endpoints.len())
+    }
+
+    fn net_send(&self, src: usize, dst: usize, bytes: u64, payload: Payload) {
+        with_ctx(|c| {
+            c.sync(Op::NetSend { src, dst, bytes, payload });
+        });
+    }
+
+    fn net_poll(&self, endpoint: usize) -> Vec<Payload> {
+        with_ctx(|c| match c.sync(Op::NetPoll { endpoint }) {
+            Reply::Packets { pkts, .. } => pkts,
+            _ => unreachable!("poll reply shape"),
+        })
+    }
+
+    fn net_pending(&self, endpoint: usize) -> bool {
+        with_ctx(|c| match c.sync(Op::NetPending { endpoint }) {
+            Reply::Flag { v, .. } => v,
+            _ => unreachable!("pending reply shape"),
+        })
+    }
+
+    fn spawn(&self, desc: ThreadDesc, f: Box<dyn FnOnce() + Send>) {
+        assert!(
+            desc.core.0 < self.cluster.node.total_cores(),
+            "thread core out of range"
+        );
+        assert!(desc.node < self.cluster.nodes, "thread node out of range");
+        self.reg_mut("spawn", |r| r.threads.push((desc, f)));
+    }
+
+    fn run(&self) -> PlatformReport {
+        let reg = self
+            .reg
+            .lock()
+            .unwrap()
+            .take()
+            .expect("run() may only be called once");
+        Scheduler::execute(self, reg)
+    }
+}
+
+/// The event-loop state (lives only inside `run`).
+struct Scheduler<'p> {
+    platform: &'p VirtualPlatform,
+    heap: BinaryHeap<Ev>,
+    seq: u64,
+    vlocks: Vec<VLock>,
+    mailboxes: Vec<BinaryHeap<Arriving>>,
+    nic_free: Vec<u64>,
+    ep_node: Vec<u32>,
+    threads: Vec<ThreadInfo>,
+    pending_op: Vec<Option<Op>>,
+    go_tx: Vec<mpsc::Sender<Reply>>,
+    req_rx: mpsc::Receiver<Request>,
+    live: usize,
+    done: Vec<bool>,
+    end_ns: u64,
+}
+
+impl<'p> Scheduler<'p> {
+    fn execute(platform: &'p VirtualPlatform, reg: Registration) -> PlatformReport {
+        let topo = platform.cluster.node.clone();
+        let handoff = platform.cluster.handoff;
+        let vlocks: Vec<VLock> = reg
+            .lock_specs
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| {
+                VLock::new(
+                    kind,
+                    platform.params,
+                    topo.clone(),
+                    handoff,
+                    platform.seed.wrapping_add(0x9E37_79B9).wrapping_mul(i as u64 + 1),
+                )
+            })
+            .collect();
+
+        let n_threads = reg.threads.len();
+        assert!(n_threads > 0, "run() with no registered threads");
+        let (req_tx, req_rx) = mpsc::channel::<Request>();
+        let mut go_tx = Vec::with_capacity(n_threads);
+        let mut infos = Vec::with_capacity(n_threads);
+        let mut joins = Vec::with_capacity(n_threads);
+
+        for (tid, (desc, f)) in reg.threads.into_iter().enumerate() {
+            let (gtx, grx) = mpsc::channel::<Reply>();
+            go_tx.push(gtx);
+            let socket = topo.socket_of(desc.core);
+            infos.push(ThreadInfo {
+                name: desc.name.clone(),
+                node: desc.node,
+                core: desc.core,
+                socket,
+            });
+            let rtx = req_tx.clone();
+            let seed = platform.seed ^ (0xA5A5_5A5A_u64.wrapping_mul(tid as u64 + 1));
+            let name = desc.name.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("sim-{name}"))
+                .spawn(move || {
+                    // Wait for the scheduler's Start.
+                    let first = grx.recv().expect("scheduler alive");
+                    let ctx = Rc::new(WorkerCtx {
+                        tid,
+                        base: Cell::new(first.now()),
+                        offset: Cell::new(0),
+                        req_tx: rtx.clone(),
+                        go_rx: grx,
+                        rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+                    });
+                    CTX.with(|c| *c.borrow_mut() = Some(ctx.clone()));
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    let at = ctx.now();
+                    CTX.with(|c| *c.borrow_mut() = None);
+                    drop(ctx);
+                    match result {
+                        Ok(()) => {
+                            rtx.send(Request::Done { tid, at }).expect("scheduler alive")
+                        }
+                        Err(e) => {
+                            let msg = e
+                                .downcast_ref::<String>()
+                                .cloned()
+                                .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                                .unwrap_or_else(|| "worker panicked".to_owned());
+                            let _ = rtx.send(Request::Panicked { tid, msg });
+                        }
+                    }
+                })
+                .expect("spawn sim thread");
+            joins.push(handle);
+        }
+
+        let mut sched = Scheduler {
+            platform,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            vlocks,
+            mailboxes: (0..reg.endpoints.len()).map(|_| BinaryHeap::new()).collect(),
+            nic_free: vec![0; platform.cluster.nodes as usize],
+            ep_node: reg.endpoints,
+            threads: infos,
+            pending_op: (0..n_threads).map(|_| None).collect(),
+            go_tx,
+            req_rx,
+            live: n_threads,
+            done: vec![false; n_threads],
+            end_ns: 0,
+        };
+
+        for tid in 0..n_threads {
+            sched.push(0, EvKind::Start(tid));
+        }
+        sched.event_loop();
+
+        for j in joins {
+            j.join().expect("sim worker panicked");
+        }
+
+        PlatformReport {
+            end_ns: sched.end_ns,
+            lock_traces: sched.vlocks.into_iter().map(VLock::into_trace).collect(),
+        }
+    }
+
+    fn push(&mut self, t: u64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Ev { t, seq, kind });
+    }
+
+    fn event_loop(&mut self) {
+        let debug_every: u64 = std::env::var("MTMPI_SIM_DEBUG")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        let mut n_events: u64 = 0;
+        while self.live > 0 {
+            let ev = match self.heap.pop() {
+                Some(ev) => ev,
+                None => self.deadlock_panic(),
+            };
+            n_events += 1;
+            if debug_every > 0 && n_events % debug_every == 0 {
+                eprintln!(
+                    "[sim] {n_events} events, t={} us, live={}, heap={}",
+                    ev.t / 1000,
+                    self.live,
+                    self.heap.len()
+                );
+            }
+            match ev.kind {
+                EvKind::Start(tid) => {
+                    self.resume_and_wait(tid, Reply::Go { now: ev.t });
+                }
+                EvKind::Exec(tid) => {
+                    let op = self.pending_op[tid].take().expect("exec without op");
+                    self.exec(ev.t, tid, op);
+                }
+                EvKind::Grant { lock, gen } => match self.vlocks[lock].try_finalize(gen) {
+                    GrantOutcome::Stale => {}
+                    GrantOutcome::Granted { tid, at } => {
+                        self.resume_and_wait(tid, Reply::Go { now: at });
+                    }
+                },
+            }
+        }
+    }
+
+    fn exec(&mut self, t: u64, tid: usize, op: Op) {
+        match op {
+            Op::Fence => {
+                self.resume_and_wait(tid, Reply::Go { now: t });
+            }
+            Op::LockBoost { lock, tid: boosted } => {
+                self.vlocks[lock].boost(boosted as usize);
+                self.resume_and_wait(tid, Reply::Go { now: t });
+            }
+            Op::LockAcquire { lock, class } => {
+                let info = &self.threads[tid];
+                match self.vlocks[lock].acquire(t, tid, info.core, info.socket, class) {
+                    AcquireOutcome::Granted { at } => {
+                        self.resume_and_wait(tid, Reply::Go { now: at });
+                    }
+                    AcquireOutcome::Queued => {}
+                    AcquireOutcome::StealPending { at, gen } => {
+                        self.push(at, EvKind::Grant { lock, gen });
+                    }
+                }
+            }
+            Op::LockRelease { lock } => {
+                let info = &self.threads[tid];
+                match self.vlocks[lock].release(t, tid, info.core, info.socket) {
+                    ReleaseOutcome::Idle => {}
+                    ReleaseOutcome::Scheduled { at, gen } => {
+                        self.push(at, EvKind::Grant { lock, gen });
+                    }
+                }
+                self.resume_and_wait(tid, Reply::Go { now: t });
+            }
+            Op::NetSend { src, dst, bytes, payload } => {
+                let src_node = self.ep_node[src] as usize;
+                let same = self.ep_node[src] == self.ep_node[dst];
+                let mt = self.platform.net.timing(same, bytes);
+                let start = self.nic_free[src_node].max(t);
+                self.nic_free[src_node] = start + mt.inject_ns;
+                let at = self.nic_free[src_node] + mt.wire_ns;
+                let seq = self.seq;
+                self.seq += 1;
+                self.mailboxes[dst].push(Arriving { at, seq, payload });
+                self.resume_and_wait(tid, Reply::Go { now: t });
+            }
+            Op::NetPoll { endpoint } => {
+                let mut pkts = Vec::new();
+                while self.mailboxes[endpoint].peek().is_some_and(|a| a.at <= t) {
+                    pkts.push(self.mailboxes[endpoint].pop().expect("peeked").payload);
+                }
+                self.resume_and_wait(tid, Reply::Packets { now: t, pkts });
+            }
+            Op::NetPending { endpoint } => {
+                let v = !self.mailboxes[endpoint].is_empty();
+                self.resume_and_wait(tid, Reply::Flag { now: t, v });
+            }
+        }
+    }
+
+    /// Resume `tid` with `reply` and block until it submits its next
+    /// request (or finishes). Token passing keeps the event order total.
+    fn resume_and_wait(&mut self, tid: usize, reply: Reply) {
+        self.go_tx[tid].send(reply).expect("worker alive");
+        match self.req_rx.recv().expect("worker alive") {
+            Request::Op { tid, at, op } => {
+                self.pending_op[tid] = Some(op);
+                self.push(at, EvKind::Exec(tid));
+            }
+            Request::Done { tid, at } => {
+                self.done[tid] = true;
+                self.live -= 1;
+                self.end_ns = self.end_ns.max(at);
+            }
+            Request::Panicked { tid, msg } => {
+                panic!("worker `{}` panicked: {msg}", self.threads[tid].name);
+            }
+        }
+    }
+
+    fn deadlock_panic(&self) -> ! {
+        let mut msg = String::from("virtual platform deadlock: no runnable events\n");
+        for (i, l) in self.vlocks.iter().enumerate() {
+            if !l.is_idle() {
+                msg.push_str(&format!(
+                    "  lock {i}: pending={:?} waiters={:?} ({} queued)\n",
+                    l.pending_tid(),
+                    l.waiter_tids(),
+                    l.queued()
+                ));
+            }
+        }
+        for (tid, info) in self.threads.iter().enumerate() {
+            if !self.done[tid] {
+                msg.push_str(&format!(
+                    "  thread {tid} `{}` (node {}, core {:?}) blocked\n",
+                    info.name, info.node, info.core
+                ));
+            }
+        }
+        panic!("{msg}");
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests of the stencil substrate (geometry and numerics).
+
+use mtmpi_stencil::{initial_value, stencil_serial, StencilConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Diffusion with zero Dirichlet boundary never increases total heat
+    /// and never produces negatives from a non-negative start.
+    #[test]
+    fn diffusion_monotone(nx in 2usize..8, ny in 2usize..8, nz in 2usize..8, iters in 0u32..8) {
+        let before: f64 = (0..nz)
+            .flat_map(|z| (0..ny).flat_map(move |y| (0..nx).map(move |x| initial_value(x, y, z))))
+            .sum();
+        let out = stencil_serial((nx, ny, nz), iters);
+        let after: f64 = out.iter().sum();
+        prop_assert!(after <= before + 1e-9);
+        prop_assert!(out.iter().all(|&v| v >= -1e-12), "negative heat");
+    }
+
+    /// Zero iterations returns the initial condition exactly.
+    #[test]
+    fn zero_iters_identity(nx in 1usize..6, ny in 1usize..6, nz in 1usize..6) {
+        let out = stencil_serial((nx, ny, nz), 0);
+        let mut it = out.iter();
+        for z in 0..nz {
+            for y in 0..ny {
+                for x in 0..nx {
+                    prop_assert_eq!(*it.next().expect("size"), initial_value(x, y, z));
+                }
+            }
+        }
+    }
+
+    /// Process-grid geometry: coords/rank_at are inverse bijections.
+    #[test]
+    fn coords_roundtrip(px in 1u32..4, py in 1u32..4, pz in 1u32..4) {
+        let cfg = StencilConfig {
+            global: (px as usize * 2, py as usize * 2, pz as usize * 2),
+            pgrid: (px, py, pz),
+            iters: 1,
+            threads: 1,
+            cell_ns: 1,
+        };
+        for r in 0..cfg.nranks() {
+            let (cx, cy, cz) = cfg.coords(r);
+            prop_assert_eq!(cfg.rank_at(i64::from(cx), i64::from(cy), i64::from(cz)), Some(r));
+        }
+        // Out-of-grid coordinates resolve to None.
+        prop_assert_eq!(cfg.rank_at(-1, 0, 0), None);
+        prop_assert_eq!(cfg.rank_at(i64::from(px), 0, 0), None);
+    }
+
+    /// Total flops accounting is linear in iterations.
+    #[test]
+    fn flops_linear(iters in 1u32..20) {
+        let mk = |it| StencilConfig {
+            global: (8, 8, 8),
+            pgrid: (1, 1, 1),
+            iters: it,
+            threads: 1,
+            cell_ns: 1,
+        };
+        prop_assert_eq!(mk(iters).total_flops(), u64::from(iters) * mk(1).total_flops());
+    }
+}

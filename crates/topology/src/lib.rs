@@ -1,0 +1,30 @@
+//! Machine and cluster topology model.
+//!
+//! This crate encodes the hardware the paper's experiments ran on (Table 1:
+//! dual-socket Intel Nehalem Xeon E5540 nodes, 4 cores per socket, Mellanox
+//! QDR interconnect) as an explicit data model that the rest of the
+//! reproduction consumes:
+//!
+//! * [`NodeTopology`] — sockets, cores per socket, cache sizes.
+//! * [`Binding`] — how application threads are pinned to cores
+//!   (compact vs. scatter, §4.2 of the paper).
+//! * [`HandoffLatencies`] — the cost, in nanoseconds, of transferring the
+//!   cache line holding a lock between two cores. The non-uniformity of
+//!   these costs is the physical mechanism behind the arbitration bias the
+//!   paper analyses (§4.3): the releasing core dirties the line, so cores
+//!   sharing a cache with it observe the release first.
+//! * [`ClusterTopology`] — a set of identical nodes.
+//!
+//! Everything is plain data with no behaviour beyond distance/latency
+//! queries, so both the virtual-time platform and native code can share it.
+
+pub mod binding;
+pub mod cluster;
+pub mod latency;
+pub mod node;
+pub mod presets;
+
+pub use binding::{Binding, BindingPolicy};
+pub use cluster::ClusterTopology;
+pub use latency::{Distance, HandoffLatencies};
+pub use node::{CoreId, NodeTopology, SocketId};

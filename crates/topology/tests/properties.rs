@@ -1,0 +1,75 @@
+//! Property tests of the topology model.
+
+use mtmpi_topology::{latency, Binding, BindingPolicy, CoreId, HandoffLatencies, NodeTopology};
+use proptest::prelude::*;
+
+fn arb_node() -> impl Strategy<Value = NodeTopology> {
+    (1u32..5, 1u32..9).prop_map(|(s, c)| NodeTopology::new(s, c))
+}
+
+proptest! {
+    /// Distance classification is symmetric and reflexive-consistent.
+    #[test]
+    fn distance_symmetric(node in arb_node(), a in 0u32..36, b in 0u32..36) {
+        let n = node.total_cores();
+        let (a, b) = (CoreId(a % n), CoreId(b % n));
+        prop_assert_eq!(latency::distance(&node, a, b), latency::distance(&node, b, a));
+        prop_assert_eq!(latency::distance(&node, a, a), latency::Distance::SameCore);
+    }
+
+    /// Hand-off latency lookups agree with the distance classification.
+    #[test]
+    fn handoff_consistent(node in arb_node(), a in 0u32..36, b in 0u32..36) {
+        let n = node.total_cores();
+        let (a, b) = (CoreId(a % n), CoreId(b % n));
+        let l = HandoffLatencies::NEHALEM;
+        prop_assert_eq!(l.between(&node, a, b), l.for_distance(latency::distance(&node, a, b)));
+    }
+
+    /// Both binding policies bijectively cover the cores when
+    /// nthreads == total_cores.
+    #[test]
+    fn bindings_cover_all_cores(node in arb_node()) {
+        let n = node.total_cores();
+        for policy in [BindingPolicy::Compact, BindingPolicy::Scatter] {
+            let b = Binding::new(&node, policy, n);
+            let mut seen: Vec<u32> = b.cores().iter().map(|c| c.0).collect();
+            seen.sort_unstable();
+            let want: Vec<u32> = (0..n).collect();
+            prop_assert_eq!(&seen, &want, "{:?}", policy);
+        }
+    }
+
+    /// Scatter never puts threads i and i+1 on the same socket when
+    /// multiple sockets exist (for i+1 < sockets).
+    #[test]
+    fn scatter_alternates(node in arb_node(), t in 0u32..8) {
+        prop_assume!(node.sockets >= 2);
+        let n = node.total_cores();
+        prop_assume!(t + 1 < n.min(node.sockets));
+        let b = Binding::new(&node, BindingPolicy::Scatter, n);
+        let s1 = node.socket_of(b.core_of(t as usize));
+        let s2 = node.socket_of(b.core_of(t as usize + 1));
+        prop_assert_ne!(s1, s2);
+    }
+
+    /// Oversubscribed bindings wrap deterministically.
+    #[test]
+    fn oversubscription_wraps(node in arb_node(), extra in 1u32..10) {
+        let n = node.total_cores();
+        let b = Binding::new(&node, BindingPolicy::Compact, n + extra);
+        for i in 0..extra {
+            prop_assert_eq!(b.core_of((n + i) as usize), b.core_of(i as usize));
+        }
+    }
+
+    /// Core numbering round-trips through socket_of/cores_of.
+    #[test]
+    fn socket_membership(node in arb_node(), c in 0u32..36) {
+        let core = CoreId(c % node.total_cores());
+        let socket = node.socket_of(core);
+        let members: Vec<CoreId> = node.cores_of(socket).collect();
+        prop_assert!(members.contains(&core));
+        prop_assert_eq!(members.len() as u32, node.cores_per_socket);
+    }
+}

@@ -1,0 +1,1 @@
+//! Runnable examples for the mtmpi workspace; see the `[[bin]]` targets.

@@ -1,0 +1,79 @@
+//! One-sided RMA with an asynchronous progress thread: the Fig 9
+//! experiment as a demo, plus a correctness check of put/get/accumulate
+//! semantics.
+//!
+//! ```text
+//! cargo run -p mtmpi-examples --release --bin rma_async
+//! ```
+
+use mtmpi::prelude::*;
+
+fn main() {
+    // ---- correctness: real data through put/accumulate/get ----
+    let exp = Experiment::quick(2);
+    let out = exp.run(
+        RunConfig::new(Method::Ticket)
+            .nodes(2)
+            .ranks_per_node(1)
+            .threads_per_rank(1)
+            .window_bytes(64)
+            .progress_thread(true),
+        |ctx| {
+            let h = &ctx.rank;
+            if h.rank() == 0 {
+                // Put 4.0 into the first f64 of rank 1's window, then
+                // accumulate 2.5 twice, then read it back.
+                h.put(1, 0, MsgData::Bytes(4.0f64.to_le_bytes().to_vec()));
+                h.accumulate(1, 0, MsgData::Bytes(2.5f64.to_le_bytes().to_vec()));
+                h.accumulate(1, 0, MsgData::Bytes(2.5f64.to_le_bytes().to_vec()));
+                let back = h.get(1, 0, 8);
+                let v = f64::from_le_bytes(back.try_into().unwrap());
+                assert_eq!(v, 9.0, "put + 2x accumulate must read back 9.0");
+                println!("semantics check: put(4.0); acc(2.5); acc(2.5); get() == {v}  ✓\n");
+                h.send(1, 900, MsgData::Synthetic(0)); // release the target
+            } else {
+                // Target stays in MPI until the origin's epoch ends, so
+                // its progress engine keeps serving the one-sided ops.
+                let _ = h.recv(Some(0), Some(900));
+            }
+        },
+    );
+    drop(out);
+
+    // ---- performance: method comparison with async progress ----
+    println!("RMA put throughput, 4 ranks, async progress thread per rank:");
+    for method in Method::PAPER_TRIO {
+        let exp = Experiment::quick(2);
+        let iters = 300u32;
+        let out = exp.run(
+            RunConfig::new(method)
+                .nodes(2)
+                .ranks_per_node(2)
+                .threads_per_rank(1)
+                .window_bytes(4096)
+                .progress_thread(true),
+            move |ctx| {
+                let h = &ctx.rank;
+                if h.rank() == 0 {
+                    for i in 0..iters {
+                        let target = 1 + (i % (h.nranks() - 1));
+                        h.put(target, 0, MsgData::Synthetic(1024));
+                    }
+                    for r in 1..h.nranks() {
+                        h.send(r, 900, MsgData::Synthetic(0));
+                    }
+                } else {
+                    let _ = h.recv(Some(0), Some(900));
+                }
+            },
+        );
+        println!(
+            "{:>8}: {:>8.0} puts/s  ({:.2} ms virtual)",
+            method.label(),
+            300.0 / (out.end_ns as f64 / 1e9),
+            out.end_ns as f64 / 1e6
+        );
+    }
+    println!("\nThe mutex lets the progress thread monopolize the runtime lock;");
+    println!("fair arbitration yields the paper's multi-fold speedup.");
+}

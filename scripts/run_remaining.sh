@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+set -uo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+BINS=(fig6b fig8a fig8b fig9 fig10a fig10b fig10c fig11a fig11b fig12b
+      ablation_granularity ablation_locks ablation_selective)
+cargo build --release -p mtmpi-bench 2>/dev/null
+for b in "${BINS[@]}"; do
+    echo "=== running $b ==="
+    if ! timeout 1500 ./target/release/"$b" > "results/$b.txt" 2> "results/$b.log"; then
+        echo "FAILED: $b (see results/$b.log)"
+    else
+        echo "ok: results/$b.txt"
+    fi
+done
+echo REMAINING-DONE
