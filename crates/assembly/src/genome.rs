@@ -31,7 +31,9 @@ pub fn sample_reads(genome: &[u8], n: usize, read_len: usize, seed: u64) -> Vec<
     let stride = (read_len / 3).max(1);
     let mut pos = 0usize;
     while reads.len() < n {
-        reads.push(Read { bases: genome[pos..pos + read_len].to_vec() });
+        reads.push(Read {
+            bases: genome[pos..pos + read_len].to_vec(),
+        });
         if pos == last_start {
             break;
         }
@@ -39,14 +41,19 @@ pub fn sample_reads(genome: &[u8], n: usize, read_len: usize, seed: u64) -> Vec<
     }
     while reads.len() < n {
         let p = rng.gen_range(0..=last_start);
-        reads.push(Read { bases: genome[p..p + read_len].to_vec() });
+        reads.push(Read {
+            bases: genome[p..p + read_len].to_vec(),
+        });
     }
     reads
 }
 
 /// Render bases as an ASCII string (tests/debugging).
 pub fn to_ascii(bases: &[u8]) -> String {
-    bases.iter().map(|&b| ['A', 'C', 'G', 'T'][b as usize]).collect()
+    bases
+        .iter()
+        .map(|&b| ['A', 'C', 'G', 'T'][b as usize])
+        .collect()
 }
 
 #[cfg(test)]
@@ -77,7 +84,10 @@ mod tests {
                 *c = true;
             }
         }
-        assert!(covered.iter().all(|&c| c), "tiling pass must cover the genome");
+        assert!(
+            covered.iter().all(|&c| c),
+            "tiling pass must cover the genome"
+        );
     }
 
     #[test]

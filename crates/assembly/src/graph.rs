@@ -17,12 +17,12 @@ pub struct KmerInfo {
 impl KmerInfo {
     /// Out-degree in the de Bruijn graph.
     pub fn out_degree(&self) -> u32 {
-        u32::from(self.succ_mask.count_ones())
+        self.succ_mask.count_ones()
     }
 
     /// In-degree.
     pub fn in_degree(&self) -> u32 {
-        u32::from(self.pred_mask.count_ones())
+        self.pred_mask.count_ones()
     }
 
     /// The single successor base, if out-degree is exactly one.
@@ -104,7 +104,10 @@ pub fn last_base(kmer: u64) -> u8 {
 
 /// Unpack a k-mer into bases.
 pub fn unpack_kmer(kmer: u64, k: usize) -> Vec<u8> {
-    (0..k).rev().map(|i| ((kmer >> (2 * i)) & 0b11) as u8).collect()
+    (0..k)
+        .rev()
+        .map(|i| ((kmer >> (2 * i)) & 0b11) as u8)
+        .collect()
 }
 
 /// Which rank owns a k-mer (multiplicative hash, well mixed).
@@ -145,8 +148,10 @@ mod tests {
 
     #[test]
     fn sole_successor() {
-        let mut i = KmerInfo::default();
-        i.succ_mask = 0b0100;
+        let i = KmerInfo {
+            succ_mask: 0b0100,
+            ..Default::default()
+        };
         assert_eq!(i.sole_successor(), Some(2));
     }
 

@@ -35,7 +35,10 @@ pub struct AssemblyConfig {
 
 impl Default for AssemblyConfig {
     fn default() -> Self {
-        Self { k: 21, max_contig: 10_000_000 }
+        Self {
+            k: 21,
+            max_contig: 10_000_000,
+        }
     }
 }
 
@@ -217,7 +220,11 @@ pub fn assembly_worker(sh: &AssemblyShared, h: &RankHandle) -> Option<ContigStat
             if i > 0 {
                 kmer = shift_kmer(kmer, bases[i + k - 1], k);
             }
-            let succ = if i + k < bases.len() { 1u8 << bases[i + k] } else { 0 };
+            let succ = if i + k < bases.len() {
+                1u8 << bases[i + k]
+            } else {
+                0
+            };
             let pred = if i > 0 { 1u8 << bases[i - 1] } else { 0 };
             let o = owner_of(kmer, nranks) as usize;
             outbuf[o].push((kmer, 1, succ, pred));

@@ -11,7 +11,13 @@ use std::sync::Arc;
 
 /// Run the assembler on `nranks` ranks (2 threads each: worker +
 /// receiver, the SWAP process structure).
-fn run_assembly(genome_len: usize, coverage: usize, nranks: u32, method: Method, seed: u64) -> ContigStats {
+fn run_assembly(
+    genome_len: usize,
+    coverage: usize,
+    nranks: u32,
+    method: Method,
+    seed: u64,
+) -> ContigStats {
     let genome = random_genome(genome_len, seed);
     let read_len = 36;
     let nreads = genome_len * coverage / read_len;
@@ -19,9 +25,18 @@ fn run_assembly(genome_len: usize, coverage: usize, nranks: u32, method: Method,
     // Round-robin read distribution.
     let shared: Vec<Arc<AssemblyShared>> = (0..nranks)
         .map(|r| {
-            let mine: Vec<_> =
-                reads.iter().skip(r as usize).step_by(nranks as usize).cloned().collect();
-            Arc::new(AssemblyShared::new(AssemblyConfig::default(), r, nranks, mine))
+            let mine: Vec<_> = reads
+                .iter()
+                .skip(r as usize)
+                .step_by(nranks as usize)
+                .cloned()
+                .collect();
+            Arc::new(AssemblyShared::new(
+                AssemblyConfig::default(),
+                r,
+                nranks,
+                mine,
+            ))
         })
         .collect();
     let stats = Arc::new(Mutex::new(None));
@@ -51,7 +66,10 @@ fn run_assembly(genome_len: usize, coverage: usize, nranks: u32, method: Method,
 #[test]
 fn single_rank_reconstructs_genome() {
     let stats = run_assembly(3_000, 4, 1, Method::Ticket, 42);
-    assert_eq!(stats.contigs, 1, "unique-k-mer genome must assemble into one contig");
+    assert_eq!(
+        stats.contigs, 1,
+        "unique-k-mer genome must assemble into one contig"
+    );
     assert_eq!(stats.total_bases, 3_000);
     assert_eq!(stats.longest, 3_000);
     // G - k + 1 distinct k-mers.

@@ -12,7 +12,10 @@ fn bench_pingpong_sim(c: &mut Criterion) {
         b.iter(|| {
             let exp = Experiment::quick(2);
             let out = exp.run(
-                RunConfig::new(Method::Ticket).nodes(2).ranks_per_node(1).threads_per_rank(1),
+                RunConfig::new(Method::Ticket)
+                    .nodes(2)
+                    .ranks_per_node(1)
+                    .threads_per_rank(1),
                 |ctx| {
                     let h = &ctx.rank;
                     if h.rank() == 0 {
@@ -35,21 +38,24 @@ fn bench_pingpong_sim(c: &mut Criterion) {
         b.iter(|| {
             let exp = Experiment::quick(2);
             let out = exp.run(
-                RunConfig::new(Method::Ticket).nodes(2).ranks_per_node(1).threads_per_rank(8),
+                RunConfig::new(Method::Ticket)
+                    .nodes(2)
+                    .ranks_per_node(1)
+                    .threads_per_rank(8),
                 |ctx| {
                     let h = &ctx.rank;
                     let j = ctx.thread as i32;
                     if h.rank() == 0 {
                         for _ in 0..2 {
-                            let reqs: Vec<_> =
-                                (0..64).map(|_| h.isend(1, 0, MsgData::Synthetic(1))).collect();
+                            let reqs: Vec<_> = (0..64)
+                                .map(|_| h.isend(1, 0, MsgData::Synthetic(1)))
+                                .collect();
                             h.waitall(reqs);
                             let _ = h.recv(Some(1), Some(100 + j));
                         }
                     } else {
                         for _ in 0..2 {
-                            let reqs: Vec<_> =
-                                (0..64).map(|_| h.irecv(Some(0), Some(0))).collect();
+                            let reqs: Vec<_> = (0..64).map(|_| h.irecv(Some(0), Some(0))).collect();
                             h.waitall(reqs);
                             h.send(0, 100 + j, MsgData::Synthetic(1));
                         }

@@ -16,13 +16,17 @@ fn main() {
         "1B messages, 8 tpn, msg rate in 1e3 msgs/s",
     );
     let mut t = Table::new(&["granularity", "Mutex", "Ticket", "Priority"]);
-    for g in [Granularity::Global, Granularity::BriefGlobal, Granularity::PerQueue] {
+    for g in [
+        Granularity::Global,
+        Granularity::BriefGlobal,
+        Granularity::PerQueue,
+    ] {
         eprintln!("[ablation] {} ...", g.label());
         let mut cells = vec![g.label().to_owned()];
         for m in Method::PAPER_TRIO {
             let mut exp = Experiment::quick(2);
             exp.seed ^= 0xAB1A; // distinct stream per table
-            // Rebuild the experiment with this granularity via RunConfig.
+                                // Rebuild the experiment with this granularity via RunConfig.
             let r = {
                 let out = exp.run(
                     RunConfig::new(m)

@@ -15,7 +15,12 @@ fn main() {
         "paper: proposed, not implemented",
         "throughput benchmark, 1B-4KB, 8 tpn; Selective vs the paper's methods",
     );
-    let methods = [Method::Mutex, Method::Ticket, Method::Priority, Method::Selective];
+    let methods = [
+        Method::Mutex,
+        Method::Ticket,
+        Method::Priority,
+        Method::Selective,
+    ];
     let mut series: Vec<Series> = Vec::new();
     for m in methods {
         eprintln!("[selective] {} ...", m.label());

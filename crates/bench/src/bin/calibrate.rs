@@ -27,7 +27,11 @@ fn main() {
     println!("-- scatter vs compact, mutex, 1B --");
     for b in [BindingPolicy::Compact, BindingPolicy::Scatter] {
         for threads in [2u32, 4, 8] {
-            let r = throughput_run(&exp, Method::Mutex, ThroughputParams::new(1, threads).binding(b));
+            let r = throughput_run(
+                &exp,
+                Method::Mutex,
+                ThroughputParams::new(1, threads).binding(b),
+            );
             println!("{b:?} t={threads}: rate={:.0} k/s", r.rate / 1e3);
         }
     }

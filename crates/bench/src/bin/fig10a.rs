@@ -31,7 +31,10 @@ fn main() {
         let stats = Arc::new(Mutex::new(None));
         let (b2, s2) = (bfs.clone(), stats.clone());
         let out = exp.run(
-            RunConfig::new(Method::Ticket).nodes(1).ranks_per_node(1).threads_per_rank(threads),
+            RunConfig::new(Method::Ticket)
+                .nodes(1)
+                .ranks_per_node(1)
+                .threads_per_rank(threads),
             move |ctx| {
                 // Threads 4..7 sit on socket 1 under compact binding:
                 // remote memory for the graph (allocated by socket 0).

@@ -17,13 +17,17 @@ use std::sync::Arc;
 
 fn mteps(method: Method, el: &Arc<mtmpi_graph500::EdgeList>, nprocs: u32, threads: u32) -> f64 {
     let root = el.edges[0].0;
-    let per_rank: Vec<Arc<HybridBfs>> =
-        (0..nprocs).map(|r| Arc::new(HybridBfs::new(el, root, r, nprocs, threads))).collect();
+    let per_rank: Vec<Arc<HybridBfs>> = (0..nprocs)
+        .map(|r| Arc::new(HybridBfs::new(el, root, r, nprocs, threads)))
+        .collect();
     let stats = Arc::new(Mutex::new(None));
     let exp = Experiment::quick(nprocs);
     let (pr, s2) = (per_rank, stats.clone());
     let out = exp.run(
-        RunConfig::new(method).nodes(nprocs).ranks_per_node(1).threads_per_rank(threads),
+        RunConfig::new(method)
+            .nodes(nprocs)
+            .ranks_per_node(1)
+            .threads_per_rank(threads),
         move |ctx| {
             let bfs = pr[ctx.rank.rank() as usize].clone();
             let edge_ns = if ctx.thread >= 4 { 5 } else { 4 };

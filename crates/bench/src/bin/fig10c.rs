@@ -23,15 +23,23 @@ fn main() {
         eprintln!("[fig10c] {nodes} nodes, scale {scale} ...");
         let el = Arc::new(generate_kronecker(scale, 16, 0x5EED));
         let root = el.edges[0].0;
-        let mut cells = vec![nodes.to_string(), (nodes * 8).to_string(), scale.to_string()];
+        let mut cells = vec![
+            nodes.to_string(),
+            (nodes * 8).to_string(),
+            scale.to_string(),
+        ];
         for m in Method::PAPER_TRIO {
-            let per_rank: Vec<Arc<HybridBfs>> =
-                (0..nodes).map(|r| Arc::new(HybridBfs::new(&el, root, r, nodes, 8))).collect();
+            let per_rank: Vec<Arc<HybridBfs>> = (0..nodes)
+                .map(|r| Arc::new(HybridBfs::new(&el, root, r, nodes, 8)))
+                .collect();
             let stats = Arc::new(Mutex::new(None));
             let exp = Experiment::quick(nodes);
             let (pr, s2) = (per_rank, stats.clone());
             let out = exp.run(
-                RunConfig::new(m).nodes(nodes).ranks_per_node(1).threads_per_rank(8),
+                RunConfig::new(m)
+                    .nodes(nodes)
+                    .ranks_per_node(1)
+                    .threads_per_rank(8),
                 move |ctx| {
                     let bfs = pr[ctx.rank.rank() as usize].clone();
                     let edge_ns = if ctx.thread >= 4 { 5 } else { 4 };
@@ -41,7 +49,10 @@ fn main() {
                 },
             );
             let st = stats.lock().expect("reported");
-            cells.push(format!("{:.1}", st.traversed_edges as f64 / out.end_ns as f64 * 1e3));
+            cells.push(format!(
+                "{:.1}",
+                st.traversed_edges as f64 / out.end_ns as f64 * 1e3
+            ));
         }
         t.row(cells);
     }

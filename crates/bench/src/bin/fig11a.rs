@@ -14,8 +14,9 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 
 fn gflops(method: Method, cfg: &StencilConfig, nodes: u32) -> (f64, mtmpi_stencil::PhaseStats) {
-    let per_rank: Vec<Arc<RankStencil>> =
-        (0..cfg.nranks()).map(|r| Arc::new(RankStencil::new(cfg, r))).collect();
+    let per_rank: Vec<Arc<RankStencil>> = (0..cfg.nranks())
+        .map(|r| Arc::new(RankStencil::new(cfg, r)))
+        .collect();
     let stats = Arc::new(Mutex::new(mtmpi_stencil::PhaseStats::default()));
     let exp = Experiment::quick(nodes);
     let (pr, s2) = (per_rank, stats.clone());

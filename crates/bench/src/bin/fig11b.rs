@@ -28,8 +28,9 @@ fn main() {
             threads: 8,
             cell_ns: 3,
         };
-        let per_rank: Vec<Arc<RankStencil>> =
-            (0..cfg.nranks()).map(|r| Arc::new(RankStencil::new(&cfg, r))).collect();
+        let per_rank: Vec<Arc<RankStencil>> = (0..cfg.nranks())
+            .map(|r| Arc::new(RankStencil::new(&cfg, r)))
+            .collect();
         let stats = Arc::new(Mutex::new(PhaseStats::default()));
         let exp = Experiment::quick(nodes);
         let (pr, s2) = (per_rank, stats.clone());

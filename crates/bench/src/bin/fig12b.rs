@@ -8,8 +8,7 @@
 
 use mtmpi::prelude::*;
 use mtmpi_assembly::{
-    assembly_receiver, assembly_worker, random_genome, sample_reads, AssemblyConfig,
-    AssemblyShared,
+    assembly_receiver, assembly_worker, random_genome, sample_reads, AssemblyConfig, AssemblyShared,
 };
 use mtmpi_bench::print_figure_header;
 use parking_lot::Mutex;
@@ -18,9 +17,18 @@ use std::sync::Arc;
 fn run(method: Method, reads: &[mtmpi_assembly::Read], nranks: u32) -> f64 {
     let shared: Vec<Arc<AssemblyShared>> = (0..nranks)
         .map(|r| {
-            let mine: Vec<_> =
-                reads.iter().skip(r as usize).step_by(nranks as usize).cloned().collect();
-            Arc::new(AssemblyShared::new(AssemblyConfig::default(), r, nranks, mine))
+            let mine: Vec<_> = reads
+                .iter()
+                .skip(r as usize)
+                .step_by(nranks as usize)
+                .cloned()
+                .collect();
+            Arc::new(AssemblyShared::new(
+                AssemblyConfig::default(),
+                r,
+                nranks,
+                mine,
+            ))
         })
         .collect();
     let stats = Arc::new(Mutex::new(None));
@@ -56,7 +64,14 @@ fn main() {
     );
     let genome = random_genome(40_000, 0x5EED);
     let reads = sample_reads(&genome, 40_000 * 4 / 36, 36, 0x5EED);
-    let mut t = Table::new(&["procs", "cores", "Mutex_ms", "Ticket_ms", "Priority_ms", "mutex/ticket"]);
+    let mut t = Table::new(&[
+        "procs",
+        "cores",
+        "Mutex_ms",
+        "Ticket_ms",
+        "Priority_ms",
+        "mutex/ticket",
+    ]);
     for nranks in [2u32, 4, 8] {
         eprintln!("[fig12b] {nranks} procs ...");
         let m = run(Method::Mutex, &reads, nranks);

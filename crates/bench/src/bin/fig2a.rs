@@ -14,7 +14,11 @@ fn main() {
         "mutex message rate vs size for 1/2/4/8 tpn; up to 4x degradation at 8 tpn",
         "same benchmark on the virtual Nehalem pair (windows of 64, per-window ack)",
     );
-    let sizes = if quick_mode() { msg_sizes_quick() } else { msg_sizes() };
+    let sizes = if quick_mode() {
+        msg_sizes_quick()
+    } else {
+        msg_sizes()
+    };
     let exp = Experiment::quick(2);
     let mut series = Vec::new();
     for threads in [1u32, 2, 4, 8] {
@@ -28,6 +32,9 @@ fn main() {
     let s1 = &series[0];
     let s8 = &series[3];
     if let (Some(a), Some(b)) = (s1.y_at(1.0), s8.y_at(1.0)) {
-        println!("\n1-byte degradation 1->8 threads: {:.2}x (paper: ~4x)", a / b);
+        println!(
+            "\n1-byte degradation 1->8 threads: {:.2}x (paper: ~4x)",
+            a / b
+        );
     }
 }

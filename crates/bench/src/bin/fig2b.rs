@@ -14,7 +14,12 @@ fn main() {
         "same sweep on the virtual platform",
     );
     let exp = Experiment::quick(2);
-    let mut t = Table::new(&["threads", "Compact [1e3 msg/s]", "Scatter [1e3 msg/s]", "ratio"]);
+    let mut t = Table::new(&[
+        "threads",
+        "Compact [1e3 msg/s]",
+        "Scatter [1e3 msg/s]",
+        "ratio",
+    ]);
     for threads in [2u32, 4] {
         let c = throughput_run(
             &exp,

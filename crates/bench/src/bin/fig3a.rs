@@ -20,7 +20,14 @@ fn main() {
         vec![1, 8, 64, 512, 4096, 32768]
     };
     let exp = Experiment::quick(2);
-    let mut t = Table::new(&["size_B", "core_bias", "socket_bias", "Pc_obs", "Pc_fair", "samples"]);
+    let mut t = Table::new(&[
+        "size_B",
+        "core_bias",
+        "socket_bias",
+        "Pc_obs",
+        "Pc_fair",
+        "samples",
+    ]);
     let mut cores = Vec::new();
     let mut sockets = Vec::new();
     for &size in &sizes {
@@ -41,7 +48,8 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
-    let mean = |v: &[f64]| v.iter().copied().filter(|x| x.is_finite()).sum::<f64>() / v.len() as f64;
+    let mean =
+        |v: &[f64]| v.iter().copied().filter(|x| x.is_finite()).sum::<f64>() / v.len() as f64;
     println!(
         "\nmean core bias {:.2} (paper ~2.0), mean socket bias {:.2} (paper ~1.25)",
         mean(&cores),

@@ -12,7 +12,11 @@ fn main() {
         "avg dangling requests under mutex, 8 tpn: high (tens to ~250)",
         "dangling sampler on the receiving rank (sampled at every CS acquisition)",
     );
-    let sizes: Vec<u64> = if quick_mode() { vec![1, 64, 1024] } else { vec![1, 4, 16, 64, 256, 1024] };
+    let sizes: Vec<u64> = if quick_mode() {
+        vec![1, 64, 1024]
+    } else {
+        vec![1, 4, 16, 64, 256, 1024]
+    };
     let exp = Experiment::quick(2);
     let mut t = Table::new(&["size_B", "avg_dangling", "max_dangling"]);
     for &size in &sizes {
@@ -20,7 +24,11 @@ fn main() {
         let exp2 = exp.clone();
         let r = throughput_run(&exp2, Method::Mutex, ThroughputParams::new(size, 8));
         let out = r;
-        t.row(vec![size.to_string(), format!("{:.1}", out.dangling_avg), String::from("-")]);
+        t.row(vec![
+            size.to_string(),
+            format!("{:.1}", out.dangling_avg),
+            String::from("-"),
+        ]);
     }
     print!("{}", t.render());
     println!("\n(paper: ~100-250 average with 8 threads and 64-request windows)");

@@ -12,7 +12,11 @@ fn main() {
         "avg dangling: mutex high (up to ~250), ticket very low",
         "same workload, both methods, 8 tpn",
     );
-    let sizes: Vec<u64> = if quick_mode() { vec![1, 64, 1024] } else { vec![1, 4, 16, 64, 256, 1024] };
+    let sizes: Vec<u64> = if quick_mode() {
+        vec![1, 64, 1024]
+    } else {
+        vec![1, 4, 16, 64, 256, 1024]
+    };
     let exp = Experiment::quick(2);
     let mut t = Table::new(&["size_B", "Mutex", "Ticket"]);
     for &size in &sizes {

@@ -12,7 +12,11 @@ fn main() {
         "ticket vs mutex vs size (8 tpn): +30% below 4KB, converged by 32KB",
         "size sweep, both methods",
     );
-    let sizes = if quick_mode() { msg_sizes_quick() } else { msg_sizes() };
+    let sizes = if quick_mode() {
+        msg_sizes_quick()
+    } else {
+        msg_sizes()
+    };
     let exp = Experiment::quick(2);
     eprintln!("[fig5c] mutex ...");
     let m = throughput_series(&exp, Method::Mutex, 8, BindingPolicy::Compact, &sizes);

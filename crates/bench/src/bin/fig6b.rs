@@ -28,6 +28,9 @@ fn main() {
     let t = Table::from_series("size_B | rate_1e3_msgs_per_s:", &[k.clone(), p.clone()]);
     print!("{}", t.render());
     if let Some(r) = p.mean_ratio_vs_below(&k, 32768.0) {
-        println!("\npriority/ticket mean ratio below 32KB: {:.2} (paper ~1.33)", r);
+        println!(
+            "\npriority/ticket mean ratio below 32KB: {:.2} (paper ~1.33)",
+            r
+        );
     }
 }

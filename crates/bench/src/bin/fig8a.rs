@@ -12,12 +12,22 @@ fn main() {
         "throughput: single > ticket ~= priority > mutex (8 tpn); multithreaded ~36% of single",
         "size sweep, all four methods",
     );
-    let sizes = if quick_mode() { msg_sizes_quick() } else { msg_sizes() };
+    let sizes = if quick_mode() {
+        msg_sizes_quick()
+    } else {
+        msg_sizes()
+    };
     let exp = Experiment::quick(2);
     let mut series = Vec::new();
     for m in Method::PAPER_QUARTET {
         eprintln!("[fig8a] {} ...", m.label());
-        series.push(throughput_series(&exp, m, 8, BindingPolicy::Compact, &sizes));
+        series.push(throughput_series(
+            &exp,
+            m,
+            8,
+            BindingPolicy::Compact,
+            &sizes,
+        ));
     }
     let t = Table::from_series("size_B | rate_1e3_msgs_per_s:", &series);
     print!("{}", t.render());

@@ -14,7 +14,11 @@ fn main() {
         "latency: ticket 3.5x better than mutex; >128B fair multithreaded beats single",
         "multithreaded ping-pong, 8 tpn, per-thread tag pairs",
     );
-    let sizes = if quick_mode() { msg_sizes_quick() } else { msg_sizes() };
+    let sizes = if quick_mode() {
+        msg_sizes_quick()
+    } else {
+        msg_sizes()
+    };
     let exp = Experiment::quick(2);
     let iters = 30;
     let mut series = Vec::new();
@@ -25,9 +29,10 @@ fn main() {
     let t = Table::from_series("size_B | latency_us:", &series);
     print!("{}", t.render());
     let (single, mutex, ticket) = (&series[0], &series[1], &series[2]);
-    if let (Some(mt), Some(st)) =
-        (mutex.mean_ratio_vs_below(ticket, 128.0), single.mean_ratio_vs(ticket))
-    {
+    if let (Some(mt), Some(st)) = (
+        mutex.mean_ratio_vs_below(ticket, 128.0),
+        single.mean_ratio_vs(ticket),
+    ) {
         println!("\nmutex/ticket latency ratio (small): {mt:.2} (paper up to 3.5)");
         println!("single/ticket latency ratio overall: {st:.2} (>1 means multithreaded wins)");
     }

@@ -9,16 +9,28 @@ fn main() {
     let rows = [
         ("Architecture", "Nehalem (model)".to_owned()),
         ("Processor", c.node.processor.clone()),
-        ("Clock frequency", format!("{:.1} GHz", f64::from(c.node.clock_mhz) / 1000.0)),
+        (
+            "Clock frequency",
+            format!("{:.1} GHz", f64::from(c.node.clock_mhz) / 1000.0),
+        ),
         ("Number of sockets", c.node.sockets.to_string()),
         ("Cores per socket", c.node.cores_per_socket.to_string()),
         ("L3 Size", format!("{} KB", c.node.l3_bytes / 1024)),
         ("L2 Size", format!("{} KB", c.node.l2_bytes / 1024)),
         ("Number of nodes", c.nodes.to_string()),
         ("Interconnect", c.interconnect.clone()),
-        ("Hand-off same core", format!("{} ns", c.handoff.same_core_ns)),
-        ("Hand-off same socket", format!("{} ns", c.handoff.same_socket_ns)),
-        ("Hand-off cross socket", format!("{} ns", c.handoff.cross_socket_ns)),
+        (
+            "Hand-off same core",
+            format!("{} ns", c.handoff.same_core_ns),
+        ),
+        (
+            "Hand-off same socket",
+            format!("{} ns", c.handoff.same_socket_ns),
+        ),
+        (
+            "Hand-off cross socket",
+            format!("{} ns", c.handoff.cross_socket_ns),
+        ),
     ];
     for (k, v) in rows {
         t.row(vec![k.to_owned(), v]);

@@ -15,9 +15,18 @@ pub struct LatencyResult {
 /// `threads` concurrent ping-pong pairs between rank 0 and rank 1;
 /// `iters` round trips per thread. Each pair uses its own tag (a
 /// ping-pong is inherently pairwise).
-pub fn latency_run(exp: &Experiment, method: Method, size: u64, threads: u32, iters: u32) -> LatencyResult {
+pub fn latency_run(
+    exp: &Experiment,
+    method: Method,
+    size: u64,
+    threads: u32,
+    iters: u32,
+) -> LatencyResult {
     let out = exp.run(
-        RunConfig::new(method).nodes(2).ranks_per_node(1).threads_per_rank(threads),
+        RunConfig::new(method)
+            .nodes(2)
+            .ranks_per_node(1)
+            .threads_per_rank(threads),
         move |ctx| {
             let h = &ctx.rank;
             let tag = ctx.thread as i32;
@@ -41,11 +50,20 @@ pub fn latency_run(exp: &Experiment, method: Method, size: u64, threads: u32, it
     let round_trips = u64::from(iters);
     let latency_us = out.end_ns as f64 / round_trips as f64 / 2.0 / 1e3;
     let _ = threads;
-    LatencyResult { latency_us, end_ns: out.end_ns }
+    LatencyResult {
+        latency_us,
+        end_ns: out.end_ns,
+    }
 }
 
 /// Size sweep series (µs vs bytes).
-pub fn latency_series(exp: &Experiment, method: Method, threads: u32, sizes: &[u64], iters: u32) -> Series {
+pub fn latency_series(
+    exp: &Experiment,
+    method: Method,
+    threads: u32,
+    sizes: &[u64],
+    iters: u32,
+) -> Series {
     let mut s = Series::new(method.label());
     for &size in sizes {
         let r = latency_run(exp, method, size, threads, iters);

@@ -31,6 +31,4 @@ pub use rma::{rma_run, rma_series, RmaOpKind};
 pub use throughput::{
     throughput_run, throughput_series, ThroughputParams, ThroughputResult, WINDOW,
 };
-pub use util::{
-    msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, rma_sizes,
-};
+pub use util::{msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, rma_sizes};

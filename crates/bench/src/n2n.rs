@@ -24,7 +24,10 @@ pub fn n2n_run(
     rounds: u32,
 ) -> f64 {
     let out = exp.run(
-        RunConfig::new(method).nodes(nprocs).ranks_per_node(1).threads_per_rank(threads),
+        RunConfig::new(method)
+            .nodes(nprocs)
+            .ranks_per_node(1)
+            .threads_per_rank(threads),
         move |ctx| {
             let h = &ctx.rank;
             let me = h.rank();
@@ -73,7 +76,10 @@ pub fn n2n_series(
 ) -> Series {
     let mut s = Series::new(method.label());
     for &size in sizes {
-        s.push(size as f64, n2n_run(exp, method, nprocs, threads, size, rounds) / 1e3);
+        s.push(
+            size as f64,
+            n2n_run(exp, method, nprocs, threads, size, rounds) / 1e3,
+        );
     }
     s
 }

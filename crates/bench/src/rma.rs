@@ -90,7 +90,10 @@ pub fn rma_series(
     let mut s = Series::new(method.label());
     for &size in sizes {
         let it = if size >= 256 * 1024 { iters / 4 } else { iters }.max(4);
-        s.push(size as f64, rma_run(exp, method, op, nprocs, size, it) / 1e3);
+        s.push(
+            size as f64,
+            rma_run(exp, method, op, nprocs, size, it) / 1e3,
+        );
     }
     s
 }

@@ -48,7 +48,12 @@ impl ThroughputParams {
         } else {
             6
         };
-        Self { size, threads, windows, binding: BindingPolicy::Compact }
+        Self {
+            size,
+            threads,
+            windows,
+            binding: BindingPolicy::Compact,
+        }
     }
 
     /// Override the binding.
@@ -91,8 +96,7 @@ pub fn throughput_run(exp: &Experiment, method: Method, p: ThroughputParams) -> 
                 // Receiver: window of irecvs (shared tag: any thread's
                 // receive matches any arrival), waitall, ack.
                 for _ in 0..windows {
-                    let reqs: Vec<_> =
-                        (0..WINDOW).map(|_| h.irecv(Some(0), Some(0))).collect();
+                    let reqs: Vec<_> = (0..WINDOW).map(|_| h.irecv(Some(0), Some(0))).collect();
                     h.waitall(reqs);
                     h.send(0, ACK + j, MsgData::Synthetic(1));
                 }
@@ -128,7 +132,11 @@ pub fn throughput_series(
     };
     let mut s = Series::new(label);
     for &size in sizes {
-        let r = throughput_run(exp, method, ThroughputParams::new(size, threads).binding(binding));
+        let r = throughput_run(
+            exp,
+            method,
+            ThroughputParams::new(size, threads).binding(binding),
+        );
         s.push(size as f64, r.rate / 1e3);
     }
     s
@@ -144,8 +152,17 @@ fn binding_suffix(b: BindingPolicy) -> &'static str {
 /// Arc-free convenience wrapper used by criterion benches.
 pub fn quick_rate(method: Method, threads: u32, size: u64) -> f64 {
     let exp = Experiment::quick(2);
-    throughput_run(&exp, method, ThroughputParams { size, threads, windows: 2, binding: BindingPolicy::Compact })
-        .rate
+    throughput_run(
+        &exp,
+        method,
+        ThroughputParams {
+            size,
+            threads,
+            windows: 2,
+            binding: BindingPolicy::Compact,
+        },
+    )
+    .rate
 }
 
 /// Shared `Arc` experiment helper (figure binaries build one per figure).

@@ -3,7 +3,19 @@
 /// Message sizes used by the size-sweep figures (a subset of the paper's
 /// 1 B … 1 MB powers of four, dense enough to show the crossovers).
 pub fn msg_sizes() -> Vec<u64> {
-    vec![1, 4, 16, 64, 256, 1024, 4096, 16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024]
+    vec![
+        1,
+        4,
+        16,
+        64,
+        256,
+        1024,
+        4096,
+        16 * 1024,
+        64 * 1024,
+        256 * 1024,
+        1024 * 1024,
+    ]
 }
 
 /// Smaller sweep for quick runs.

@@ -1,0 +1,213 @@
+//! Dangling-request leak checker.
+//!
+//! The paper's request life cycle (Fig 3b) is Issue → (Post) → Complete →
+//! Free: every request that a thread issues must eventually be completed
+//! by the progress engine and freed by a wait/test. A request that is
+//! still unfreed when the `World` is torn down is a leak — either an
+//! application bug (a `Request` handle was dropped without `wait`/`test`)
+//! or a runtime bug (a completion was lost).
+//!
+//! [`RequestLedger`] is a set of plain counters bumped at each life-cycle
+//! transition. The runtime keeps one per process inside the
+//! critical-section-guarded `SharedState`, so no extra synchronization is
+//! needed, and checks [`RequestLedger::check_quiescent`] when the `World`
+//! is dropped (debug builds only).
+
+use std::fmt;
+
+/// Life-cycle counters for the requests of one MPI process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestLedger {
+    issued: u64,
+    posted: u64,
+    completed: u64,
+    freed: u64,
+}
+
+impl RequestLedger {
+    /// Fresh ledger, all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A request was issued (`isend`/`irecv`).
+    pub fn note_issued(&mut self) {
+        self.issued += 1;
+    }
+
+    /// A receive found no unexpected match and was posted.
+    pub fn note_posted(&mut self) {
+        self.posted += 1;
+    }
+
+    /// A request was completed (eagerly at issue, or by the progress
+    /// engine matching a posted receive).
+    pub fn note_completed(&mut self) {
+        self.completed += 1;
+    }
+
+    /// A completed request was freed by `wait`/`test`/`waitall`.
+    pub fn note_freed(&mut self) {
+        self.freed += 1;
+    }
+
+    /// Requests issued so far.
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Receives posted (issued minus eager matches).
+    pub fn posted(&self) -> u64 {
+        self.posted
+    }
+
+    /// Requests completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Requests freed so far.
+    pub fn freed(&self) -> u64 {
+        self.freed
+    }
+
+    /// Requests issued but not yet freed (live handles).
+    pub fn in_flight(&self) -> u64 {
+        self.issued.saturating_sub(self.freed)
+    }
+
+    /// Requests completed but not yet freed — the instantaneous §4.4
+    /// *dangling requests* count, from the ledger's point of view.
+    pub fn dangling(&self) -> u64 {
+        self.completed.saturating_sub(self.freed)
+    }
+
+    /// Fold another ledger into this one (e.g. to aggregate ranks).
+    pub fn merge(&mut self, other: &Self) {
+        self.issued += other.issued;
+        self.posted += other.posted;
+        self.completed += other.completed;
+        self.freed += other.freed;
+    }
+
+    /// Check the ledger at quiescence (no operation in progress): every
+    /// issued request must have been completed and freed, and the
+    /// counters must be mutually consistent. Returns a [`LeakReport`]
+    /// describing what leaked otherwise.
+    pub fn check_quiescent(&self) -> Result<(), LeakReport> {
+        let consistent = self.posted <= self.issued
+            && self.completed <= self.issued
+            && self.freed <= self.completed;
+        if consistent && self.freed == self.issued {
+            Ok(())
+        } else {
+            Err(LeakReport { ledger: *self })
+        }
+    }
+}
+
+/// Failure description from [`RequestLedger::check_quiescent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeakReport {
+    /// The offending counters.
+    pub ledger: RequestLedger,
+}
+
+impl LeakReport {
+    /// Requests never completed (issued − completed): lost messages or
+    /// receives whose sender never existed.
+    pub fn uncompleted(&self) -> u64 {
+        self.ledger.issued.saturating_sub(self.ledger.completed)
+    }
+
+    /// Requests completed but never freed (dropped `Request` handles).
+    pub fn unfreed(&self) -> u64 {
+        self.ledger.dangling()
+    }
+}
+
+impl fmt::Display for LeakReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let l = &self.ledger;
+        write!(
+            f,
+            "request ledger not quiescent: issued={} posted={} completed={} freed={} \
+             ({} never completed, {} completed but never freed)",
+            l.issued,
+            l.posted,
+            l.completed,
+            l.freed,
+            self.uncompleted(),
+            self.unfreed()
+        )
+    }
+}
+
+impl std::error::Error for LeakReport {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_ledger_is_quiescent() {
+        let mut l = RequestLedger::new();
+        // One eager send: issue + complete at issue time, freed by wait.
+        l.note_issued();
+        l.note_completed();
+        l.note_freed();
+        // One posted receive: issue + post, completed by progress, freed.
+        l.note_issued();
+        l.note_posted();
+        l.note_completed();
+        l.note_freed();
+        assert_eq!(l.check_quiescent(), Ok(()));
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.dangling(), 0);
+    }
+
+    #[test]
+    fn leaked_posted_receive_is_reported() {
+        let mut l = RequestLedger::new();
+        l.note_issued();
+        l.note_posted();
+        let err = l.check_quiescent().unwrap_err();
+        assert_eq!(err.uncompleted(), 1);
+        assert_eq!(err.unfreed(), 0);
+        assert!(err.to_string().contains("1 never completed"), "{err}");
+    }
+
+    #[test]
+    fn completed_but_unfreed_is_reported() {
+        let mut l = RequestLedger::new();
+        l.note_issued();
+        l.note_completed();
+        let err = l.check_quiescent().unwrap_err();
+        assert_eq!(err.uncompleted(), 0);
+        assert_eq!(err.unfreed(), 1);
+    }
+
+    #[test]
+    fn inconsistent_counters_are_reported() {
+        let mut l = RequestLedger::new();
+        // Freed without issue/completion: a runtime accounting bug.
+        l.note_freed();
+        assert!(l.check_quiescent().is_err());
+    }
+
+    #[test]
+    fn merge_aggregates() {
+        let mut a = RequestLedger::new();
+        a.note_issued();
+        a.note_completed();
+        a.note_freed();
+        let mut b = RequestLedger::new();
+        b.note_issued();
+        let mut sum = RequestLedger::new();
+        sum.merge(&a);
+        sum.merge(&b);
+        assert_eq!(sum.issued(), 2);
+        assert_eq!(sum.freed(), 1);
+        assert!(sum.check_quiescent().is_err());
+    }
+}

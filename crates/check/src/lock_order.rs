@@ -1,0 +1,317 @@
+//! Lock-order graph with cycle (potential-deadlock) detection.
+//!
+//! Classic lockdep-style analysis: every time a thread acquires lock `B`
+//! while already holding lock `A`, the ordered edge `A → B` is recorded in
+//! a process-wide graph. A cycle in that graph means two code paths take
+//! the same locks in opposite orders — a *potential* deadlock, reported
+//! even if the unlucky interleaving never happened in this run.
+//!
+//! Locks participate by being wrapped in [`Ordered`], which implements
+//! [`CsLock`] by delegating to the inner lock and reporting acquire /
+//! release events to a shared [`LockOrderGraph`]. Recording is gated on
+//! `debug_assertions`, so release builds pay nothing beyond the delegating
+//! call; the graph API itself is unconditional so tests can drive it
+//! directly.
+
+use mtmpi_locks::{CsLock, CsToken, PathClass};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+use std::thread::ThreadId;
+
+/// Identifier of one registered lock inside a [`LockOrderGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct OrderedLockId(usize);
+
+#[derive(Debug, Default)]
+struct GraphState {
+    /// Human-readable name per registered lock, indexed by id.
+    names: Vec<String>,
+    /// `edges[a]` contains `b` iff some thread acquired `b` while
+    /// holding `a`.
+    edges: BTreeMap<usize, BTreeSet<usize>>,
+    /// Per-thread stack of currently held lock ids.
+    held: HashMap<ThreadId, Vec<usize>>,
+}
+
+/// Process-wide acquired-while-holding graph.
+///
+/// Shared (via `Arc`) by every [`Ordered`] wrapper that should be analysed
+/// together. All methods take `&self`; the state sits behind a mutex that
+/// is held only for short bookkeeping sections.
+#[derive(Debug, Default)]
+pub struct LockOrderGraph {
+    state: Mutex<GraphState>,
+}
+
+/// One lock-order cycle: the lock names along the cycle, closed (the
+/// first name is repeated at the end).
+pub type Cycle = Vec<String>;
+
+impl LockOrderGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a lock under `name` and get its id.
+    pub fn register(&self, name: &str) -> OrderedLockId {
+        let mut st = self.state.lock();
+        st.names.push(name.to_string());
+        OrderedLockId(st.names.len() - 1)
+    }
+
+    /// Record that the calling thread is acquiring `id`: adds an edge from
+    /// every lock the thread currently holds to `id`, then marks `id`
+    /// held. Called *before* the underlying acquire so the intent is on
+    /// record even if the acquire itself deadlocks.
+    pub fn note_acquire(&self, id: OrderedLockId) {
+        let me = std::thread::current().id();
+        let mut st = self.state.lock();
+        let held = st.held.entry(me).or_default();
+        let from: Vec<usize> = held.clone();
+        held.push(id.0);
+        for a in from {
+            st.edges.entry(a).or_default().insert(id.0);
+        }
+    }
+
+    /// Record that the calling thread released `id` (most recent matching
+    /// hold; out-of-order releases are tolerated).
+    pub fn note_release(&self, id: OrderedLockId) {
+        let me = std::thread::current().id();
+        let mut st = self.state.lock();
+        if let Some(held) = st.held.get_mut(&me) {
+            if let Some(pos) = held.iter().rposition(|&h| h == id.0) {
+                held.remove(pos);
+            }
+        }
+    }
+
+    /// Number of distinct order edges recorded so far.
+    pub fn edge_count(&self) -> usize {
+        let st = self.state.lock();
+        st.edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// All lock-order cycles in the recorded graph (potential deadlocks).
+    ///
+    /// Each cycle is reported once as the list of lock names along it.
+    /// An empty result means the observed acquisition orders admit a
+    /// global total order — no deadlock is possible from lock ordering
+    /// alone.
+    pub fn potential_deadlocks(&self) -> Vec<Cycle> {
+        let st = self.state.lock();
+        let n = st.names.len();
+        // Iterative DFS with the standard three colours; a back edge to a
+        // grey node closes a cycle, which we read off the DFS stack.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let succ = |v: usize| -> Vec<usize> {
+            st.edges
+                .get(&v)
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default()
+        };
+        let mut colour = vec![Colour::White; n];
+        let mut cycles = Vec::new();
+        let mut seen: BTreeSet<Vec<usize>> = BTreeSet::new();
+        for root in 0..n {
+            if colour[root] != Colour::White {
+                continue;
+            }
+            // Stack of (node, successor list, next successor index).
+            let mut stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+            colour[root] = Colour::Grey;
+            let ch = succ(root);
+            stack.push((root, ch, 0));
+            while let Some((v, children, idx)) = stack.last_mut() {
+                if *idx < children.len() {
+                    let w = children[*idx];
+                    *idx += 1;
+                    match colour[w] {
+                        Colour::White => {
+                            colour[w] = Colour::Grey;
+                            let ch = succ(w);
+                            stack.push((w, ch, 0));
+                        }
+                        Colour::Grey => {
+                            // Back edge v → w: the cycle is the grey path
+                            // from w down to v.
+                            let start = stack
+                                .iter()
+                                .position(|&(node, _, _)| node == w)
+                                .expect("grey node is on the stack");
+                            let mut ids: Vec<usize> =
+                                stack[start..].iter().map(|&(node, _, _)| node).collect();
+                            // Canonical rotation (smallest id first) so
+                            // the same cycle found twice dedups.
+                            let min_pos = ids
+                                .iter()
+                                .enumerate()
+                                .min_by_key(|&(_, &id)| id)
+                                .map_or(0, |(i, _)| i);
+                            ids.rotate_left(min_pos);
+                            if seen.insert(ids.clone()) {
+                                let mut names: Vec<String> =
+                                    ids.iter().map(|&id| st.names[id].clone()).collect();
+                                names.push(names[0].clone());
+                                cycles.push(names);
+                            }
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour[*v] = Colour::Black;
+                    stack.pop();
+                }
+            }
+        }
+        cycles
+    }
+}
+
+/// A [`CsLock`] wrapper that reports its acquisition order to a shared
+/// [`LockOrderGraph`]. Recording happens only in builds with
+/// `debug_assertions`; otherwise the wrapper is a plain delegate.
+pub struct Ordered<L> {
+    inner: L,
+    id: OrderedLockId,
+    graph: Arc<LockOrderGraph>,
+}
+
+impl<L: CsLock> Ordered<L> {
+    /// Wrap `inner`, registering it with `graph` under `name`.
+    pub fn new(inner: L, name: &str, graph: &Arc<LockOrderGraph>) -> Self {
+        Self {
+            inner,
+            id: graph.register(name),
+            graph: graph.clone(),
+        }
+    }
+
+    /// This lock's id in the graph.
+    pub fn id(&self) -> OrderedLockId {
+        self.id
+    }
+}
+
+impl<L: CsLock> CsLock for Ordered<L> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn acquire(&self, class: PathClass) -> CsToken {
+        if cfg!(debug_assertions) {
+            self.graph.note_acquire(self.id);
+        }
+        self.inner.acquire(class)
+    }
+
+    fn release(&self, class: PathClass, token: CsToken) {
+        self.inner.release(class, token);
+        if cfg!(debug_assertions) {
+            self.graph.note_release(self.id);
+        }
+    }
+
+    fn try_acquire(&self, class: PathClass) -> Option<CsToken> {
+        let token = self.inner.try_acquire(class)?;
+        // Only a *successful* try counts as a hold; a failed try never
+        // blocks, so it cannot participate in a deadlock.
+        if cfg!(debug_assertions) {
+            self.graph.note_acquire(self.id);
+        }
+        Some(token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmpi_locks::TicketLock;
+
+    #[test]
+    fn consistent_order_has_no_cycle() {
+        let g = Arc::new(LockOrderGraph::new());
+        let a = Ordered::new(TicketLock::new(), "A", &g);
+        let b = Ordered::new(TicketLock::new(), "B", &g);
+        for _ in 0..3 {
+            let ta = a.acquire(PathClass::Main);
+            let tb = b.acquire(PathClass::Main);
+            b.release(PathClass::Main, tb);
+            a.release(PathClass::Main, ta);
+        }
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.potential_deadlocks().is_empty());
+    }
+
+    #[test]
+    fn opposite_orders_are_a_potential_deadlock() {
+        let g = Arc::new(LockOrderGraph::new());
+        let a = Ordered::new(TicketLock::new(), "queue", &g);
+        let b = Ordered::new(TicketLock::new(), "progress", &g);
+        // Path 1: queue then progress.
+        let ta = a.acquire(PathClass::Main);
+        let tb = b.acquire(PathClass::Main);
+        b.release(PathClass::Main, tb);
+        a.release(PathClass::Main, ta);
+        // Path 2: progress then queue — opposite order. The deadlock
+        // needs two threads to fire, but the *ordering* evidence is
+        // complete from one.
+        let tb = b.acquire(PathClass::Main);
+        let ta = a.acquire(PathClass::Main);
+        a.release(PathClass::Main, ta);
+        b.release(PathClass::Main, tb);
+        let cycles = g.potential_deadlocks();
+        assert_eq!(cycles.len(), 1, "exactly one cycle expected: {cycles:?}");
+        assert_eq!(cycles[0], vec!["queue", "progress", "queue"]);
+    }
+
+    #[test]
+    fn three_lock_cycle_across_threads() {
+        let g = Arc::new(LockOrderGraph::new());
+        let locks: Vec<_> = (0..3)
+            .map(|i| Arc::new(Ordered::new(TicketLock::new(), &format!("L{i}"), &g)))
+            .collect();
+        // Thread i takes L_i then L_{(i+1)%3}: a 3-cycle in the order
+        // graph even though this particular run cannot deadlock (each
+        // thread is joined before the graph is queried).
+        let mut handles = Vec::new();
+        for i in 0..3usize {
+            let (a, b) = (locks[i].clone(), locks[(i + 1) % 3].clone());
+            handles.push(std::thread::spawn(move || {
+                let ta = a.acquire(PathClass::Main);
+                let tb = b.acquire(PathClass::Main);
+                b.release(PathClass::Main, tb);
+                a.release(PathClass::Main, ta);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let cycles = g.potential_deadlocks();
+        assert_eq!(cycles.len(), 1, "one 3-cycle expected: {cycles:?}");
+        assert_eq!(cycles[0].len(), 4);
+    }
+
+    #[test]
+    fn failed_try_acquire_records_nothing() {
+        let g = Arc::new(LockOrderGraph::new());
+        let a = Ordered::new(TicketLock::new(), "A", &g);
+        let b = Ordered::new(TicketLock::new(), "B", &g);
+        let ta = a.acquire(PathClass::Main);
+        // `a` is held, so try_acquire on `a` from this thread fails
+        // (ticket try_lock on a held lock); no edge and no phantom hold.
+        assert!(a.try_acquire(PathClass::Main).is_none());
+        let tb = b.try_acquire(PathClass::Main).expect("uncontended");
+        b.release(PathClass::Main, tb);
+        a.release(PathClass::Main, ta);
+        assert!(g.potential_deadlocks().is_empty());
+        assert_eq!(g.edge_count(), 1, "only a → b from the successful try");
+    }
+}

@@ -49,7 +49,10 @@ impl Experiment {
 
     /// Same, with an explicit seed.
     pub fn with_seed(nodes: u32, seed: u64) -> Self {
-        Self { seed, ..Self::quick(nodes) }
+        Self {
+            seed,
+            ..Self::quick(nodes)
+        }
     }
 
     /// Run `body` on every (rank, thread) of the grid described by `cfg`,
@@ -85,8 +88,12 @@ impl Experiment {
         // Binding: the node's worker threads (all ranks on the node ×
         // threads) fill cores according to the policy; the optional
         // progress thread of each rank takes the next slot.
-        let slots_per_node =
-            cfg.ranks_per_node * threads_per_rank + if cfg.progress_thread { cfg.ranks_per_node } else { 0 };
+        let slots_per_node = cfg.ranks_per_node * threads_per_rank
+            + if cfg.progress_thread {
+                cfg.ranks_per_node
+            } else {
+                0
+            };
         let binding = Binding::new(&self.cluster.node, cfg.binding, slots_per_node);
 
         let body = Arc::new(body);
@@ -105,9 +112,17 @@ impl Experiment {
                 let stop = stop.clone();
                 let remaining = remaining.clone();
                 platform.spawn(
-                    ThreadDesc { name: format!("r{r}t{t}"), node, core },
+                    ThreadDesc {
+                        name: format!("r{r}t{t}"),
+                        node,
+                        core,
+                    },
                     Box::new(move || {
-                        body(ThreadCtx { rank: handle, thread: t, nthreads: threads_per_rank });
+                        body(ThreadCtx {
+                            rank: handle,
+                            thread: t,
+                            nthreads: threads_per_rank,
+                        });
                         if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                             stop.store(true, Ordering::Release);
                         }
@@ -115,19 +130,28 @@ impl Experiment {
                 );
             }
             if cfg.progress_thread {
-                let slot =
-                    (cfg.ranks_per_node * threads_per_rank + local_rank) as usize;
+                let slot = (cfg.ranks_per_node * threads_per_rank + local_rank) as usize;
                 let core = binding.core_of(slot);
                 let handle = world.rank(r);
                 platform.spawn(
-                    ThreadDesc { name: format!("r{r}prog"), node, core },
+                    ThreadDesc {
+                        name: format!("r{r}prog"),
+                        node,
+                        core,
+                    },
                     Box::new(move || handle.progress_loop(&stop)),
                 );
             }
         }
 
         let report = platform.run();
-        RunOutcome { end_ns: report.end_ns, report, world, nranks, threads_per_rank }
+        RunOutcome {
+            end_ns: report.end_ns,
+            report,
+            world,
+            nranks,
+            threads_per_rank,
+        }
     }
 }
 
@@ -280,7 +304,10 @@ mod tests {
         let count = Arc::new(AtomicU32::new(0));
         let c2 = count.clone();
         let out = exp.run(
-            RunConfig::new(Method::Ticket).nodes(2).ranks_per_node(2).threads_per_rank(3),
+            RunConfig::new(Method::Ticket)
+                .nodes(2)
+                .ranks_per_node(2)
+                .threads_per_rank(3),
             move |ctx| {
                 assert!(ctx.thread < 3);
                 assert!(ctx.rank.rank() < 4);

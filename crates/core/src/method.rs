@@ -36,8 +36,12 @@ impl Method {
     pub const PAPER_TRIO: [Method; 3] = [Method::Mutex, Method::Ticket, Method::Priority];
 
     /// The trio plus the single-threaded reference (Fig 8).
-    pub const PAPER_QUARTET: [Method; 4] =
-        [Method::Single, Method::Mutex, Method::Ticket, Method::Priority];
+    pub const PAPER_QUARTET: [Method; 4] = [
+        Method::Single,
+        Method::Mutex,
+        Method::Ticket,
+        Method::Priority,
+    ];
 
     /// Platform lock kind implementing this method.
     pub fn lock_kind(self) -> LockKind {
@@ -87,6 +91,9 @@ mod tests {
         assert_eq!(Method::Ticket.lock_kind(), LockKind::Ticket);
         assert!(Method::Single.forces_single_thread());
         assert!(!Method::Priority.forces_single_thread());
-        assert_eq!(Method::Cohort(4).lock_kind(), LockKind::Cohort { budget: 4 });
+        assert_eq!(
+            Method::Cohort(4).lock_kind(),
+            LockKind::Cohort { budget: 4 }
+        );
     }
 }

@@ -311,11 +311,18 @@ pub fn hybrid_bfs_thread(
     if thread == 0 {
         let (local_traversed, local_reached) = {
             let sh = bfs.shared.lock();
-            (sh.traversed, sh.parent.iter().filter(|&&p| p >= 0).count() as u64)
+            (
+                sh.traversed,
+                sh.parent.iter().filter(|&&p| p >= 0).count() as u64,
+            )
         };
         let traversed_edges = h.allreduce_sum_u64(local_traversed);
         let reached = h.allreduce_sum_u64(local_reached);
-        Some(HybridStats { traversed_edges, levels, reached })
+        Some(HybridStats {
+            traversed_edges,
+            levels,
+            reached,
+        })
     } else {
         None
     }

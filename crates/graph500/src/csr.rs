@@ -47,8 +47,7 @@ impl Csr {
     /// the neighbours of global vertex `i * nranks + rank`.
     pub fn partition_cyclic(el: &EdgeList, rank: u32, nranks: u32) -> Self {
         let n = el.nvertices();
-        let local_n = (n / u64::from(nranks))
-            + u64::from(n % u64::from(nranks) > u64::from(rank));
+        let local_n = (n / u64::from(nranks)) + u64::from(n % u64::from(nranks) > u64::from(rank));
         let owned = |v: u64| v % u64::from(nranks) == u64::from(rank);
         let local = |v: u64| (v / u64::from(nranks)) as usize;
         let mut deg = vec![0u64; local_n as usize];
@@ -107,7 +106,10 @@ mod tests {
 
     fn tiny() -> EdgeList {
         // 0-1, 0-2, 1-3, 2-3, 3-3 (self loop dropped)
-        EdgeList { scale: 2, edges: vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 3)] }
+        EdgeList {
+            scale: 2,
+            edges: vec![(0, 1), (0, 2), (1, 3), (2, 3), (3, 3)],
+        }
     }
 
     #[test]

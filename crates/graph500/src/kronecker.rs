@@ -31,7 +31,7 @@ const C: f64 = 0.19;
 /// are shuffled so that degree does not correlate with vertex id (as the
 /// reference implementation's permutation step does).
 pub fn generate_kronecker(scale: u32, edgefactor: u64, seed: u64) -> EdgeList {
-    assert!(scale >= 1 && scale < 40, "scale out of supported range");
+    assert!((1..40).contains(&scale), "scale out of supported range");
     let n = 1u64 << scale;
     let m = edgefactor * n;
     let mut rng = SmallRng::seed_from_u64(seed);

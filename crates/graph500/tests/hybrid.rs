@@ -1,7 +1,9 @@
 //! Hybrid BFS correctness over the virtual platform.
 
 use mtmpi::prelude::*;
-use mtmpi_graph500::{bfs_serial, generate_kronecker, hybrid_bfs_thread, validate_parents, Csr, HybridBfs};
+use mtmpi_graph500::{
+    bfs_serial, generate_kronecker, hybrid_bfs_thread, validate_parents, Csr, HybridBfs,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -30,7 +32,10 @@ fn run_hybrid(
     let per_rank2 = per_rank.clone();
     let stats2 = stats_cell.clone();
     let out = exp.run(
-        RunConfig::new(method).nodes(nodes).ranks_per_node(1).threads_per_rank(threads),
+        RunConfig::new(method)
+            .nodes(nodes)
+            .ranks_per_node(1)
+            .threads_per_rank(threads),
         move |ctx| {
             let bfs = per_rank2[ctx.rank.rank() as usize].clone();
             if let Some(s) = hybrid_bfs_thread(&bfs, &ctx.rank, ctx.thread, 4) {

@@ -39,7 +39,7 @@ proptest! {
         let c = Csr::from_edges(&el);
         for u in 0..c.nrows() {
             for &v in c.row(u) {
-                let fwd = c.row(u).iter().filter(|&&x| x == v as u32).count();
+                let fwd = c.row(u).iter().filter(|&&x| x == v).count();
                 let back = c.row(v as usize).iter().filter(|&&x| x == u as u32).count();
                 prop_assert_eq!(fwd, back, "asymmetry {}<->{}", u, v);
             }

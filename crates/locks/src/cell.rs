@@ -15,14 +15,21 @@ pub struct LockCell<L, T> {
     data: UnsafeCell<T>,
 }
 
-// SAFETY: the CsLock serializes all access to `data`.
+// SAFETY: the CsLock serializes all access to `data`, so shared
+// references can only touch it one thread at a time; `T: Send` lets the
+// protected value cross between those threads.
 unsafe impl<L: CsLock, T: Send> Sync for LockCell<L, T> {}
+// SAFETY: moving the cell moves the lock and the data together; both are
+// Send by bound.
 unsafe impl<L: CsLock + Send, T: Send> Send for LockCell<L, T> {}
 
 impl<L: CsLock, T> LockCell<L, T> {
     /// Wrap `data` under `lock`.
     pub fn new(lock: L, data: T) -> Self {
-        Self { lock, data: UnsafeCell::new(data) }
+        Self {
+            lock,
+            data: UnsafeCell::new(data),
+        }
     }
 
     /// Run `f` with exclusive access, entering from the given path class.

@@ -4,7 +4,7 @@
 use crate::path::PathClass;
 use crate::raw::{CsLock, CsToken};
 use crate::spin::Backoff;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use crate::sys::{AtomicBool, AtomicPtr, Ordering};
 
 #[derive(Debug)]
 struct ClhNode {
@@ -34,8 +34,12 @@ struct ClhToken {
 impl Default for ClhLock {
     fn default() -> Self {
         // The lock starts with a dummy "released" node as tail.
-        let dummy = Box::into_raw(Box::new(ClhNode { busy: AtomicBool::new(false) }));
-        Self { tail: AtomicPtr::new(dummy) }
+        let dummy = Box::into_raw(Box::new(ClhNode {
+            busy: AtomicBool::new(false),
+        }));
+        Self {
+            tail: AtomicPtr::new(dummy),
+        }
     }
 }
 
@@ -47,7 +51,9 @@ impl ClhLock {
 
     /// Acquire; pass the token to [`Self::unlock`].
     pub fn lock(&self) -> CsToken {
-        let mine = Box::into_raw(Box::new(ClhNode { busy: AtomicBool::new(true) }));
+        let mine = Box::into_raw(Box::new(ClhNode {
+            busy: AtomicBool::new(true),
+        }));
         let pred = self.tail.swap(mine, Ordering::AcqRel);
         let mut backoff = Backoff::new();
         // SAFETY: pred is owned by the queue protocol; it is not freed
@@ -63,6 +69,10 @@ impl ClhLock {
     pub fn unlock(&self, token: CsToken) {
         // SAFETY: token originates from lock().
         let t = unsafe { Box::from_raw(token.0 as *mut ClhToken) };
+        // SAFETY: `mine` stays alive until our successor consumes it (or
+        // the lock's Drop frees it); `pred` was handed to us exclusively
+        // by the spin in lock(), so freeing it here is the CLH recycling
+        // step — no other thread can still reach it.
         unsafe {
             // Hand the lock to the successor (if any) by clearing busy on
             // our node; the predecessor's node is now unreachable by

@@ -93,9 +93,7 @@ impl CsLock for CohortTicketLock {
     }
 
     fn acquire(&self, _class: PathClass) -> CsToken {
-        let socket = current_core()
-            .map(|(_, s)| s.0 as usize % self.sockets.len())
-            .unwrap_or(0);
+        let socket = current_core().map_or(0, |(_, s)| s.0 as usize % self.sockets.len());
         self.lock_on(socket);
         CsToken(socket)
     }

@@ -36,6 +36,7 @@ pub mod path;
 pub mod priority;
 pub mod raw;
 pub mod spin;
+pub mod sys;
 pub mod ticket;
 pub mod traced;
 

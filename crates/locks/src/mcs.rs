@@ -4,8 +4,8 @@
 use crate::path::PathClass;
 use crate::raw::{CsLock, CsToken};
 use crate::spin::Backoff;
+use crate::sys::{AtomicBool, AtomicPtr, Ordering};
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
 
 /// Queue node; each waiter spins on its **own** `locked` flag, so waiting
 /// causes no remote coherence traffic at all (the property that motivated

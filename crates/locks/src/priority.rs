@@ -25,8 +25,8 @@
 
 use crate::path::PathClass;
 use crate::raw::{CsLock, CsToken, RawLock};
+use crate::sys::{AtomicBool, AtomicUsize, Ordering};
 use crate::ticket::TicketLock;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// Two-level priority lock built from three ticket locks (Fig 7).
 #[derive(Debug, Default)]
@@ -175,7 +175,11 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 8000);
-        assert_eq!(lock.high_pressure(), 0, "burst bookkeeping must return to zero");
+        assert_eq!(
+            lock.high_pressure(),
+            0,
+            "burst bookkeeping must return to zero"
+        );
     }
 
     #[test]

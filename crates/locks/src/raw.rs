@@ -76,7 +76,7 @@ impl CsLock for Box<dyn CsLock> {
     }
 
     fn release(&self, class: PathClass, token: CsToken) {
-        (**self).release(class, token)
+        (**self).release(class, token);
     }
 
     fn try_acquire(&self, class: PathClass) -> Option<CsToken> {

@@ -1,7 +1,7 @@
 //! Test-and-set spinlocks and the shared backoff helper.
 
 use crate::raw::RawLock;
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::sys::{AtomicBool, Ordering};
 
 /// Bounded exponential backoff that degrades to `yield_now`, so spinning
 /// code stays live on oversubscribed hosts (more runnable threads than
@@ -23,15 +23,25 @@ impl Backoff {
 
     /// Wait a little; successive calls wait longer, then start yielding the
     /// OS thread.
+    #[cfg(not(feature = "loom-check"))]
     pub fn snooze(&mut self) {
         if self.step <= Self::SPIN_LIMIT {
             for _ in 0..(1u32 << self.step) {
-                std::hint::spin_loop();
+                crate::sys::spin_loop();
             }
             self.step += 1;
         } else {
-            std::thread::yield_now();
+            crate::sys::yield_now();
         }
+    }
+
+    /// Under the model checker a snooze is a single parking decision
+    /// point: the exponential spin would only multiply identical states
+    /// (the model parks until shared state changes anyway).
+    #[cfg(feature = "loom-check")]
+    pub fn snooze(&mut self) {
+        self.step = self.step.saturating_add(1);
+        crate::sys::spin_loop();
     }
 
     /// Whether the backoff has escalated to yielding.
@@ -79,9 +89,7 @@ impl RawLock for TtasLock {
     fn lock(&self) {
         let mut backoff = Backoff::new();
         loop {
-            if !self.locked.load(Ordering::Relaxed)
-                && !self.locked.swap(true, Ordering::Acquire)
-            {
+            if !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire) {
                 return;
             }
             backoff.snooze();
@@ -113,7 +121,10 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..iters {
                         lock.lock();
-                        assert!(!inside.swap(true, Ordering::SeqCst), "mutual exclusion violated");
+                        assert!(
+                            !inside.swap(true, Ordering::SeqCst),
+                            "mutual exclusion violated"
+                        );
                         counter.fetch_add(1, Ordering::Relaxed);
                         inside.store(false, Ordering::SeqCst);
                         lock.unlock();

@@ -51,7 +51,7 @@ fn current_thread_id() -> u32 {
 
 /// Fixed maximum socket count for waiter bookkeeping; 8 sockets is plenty
 /// for the machines under study.
-const MAX_SOCKETS: usize = 8;
+pub const MAX_SOCKETS: usize = 8;
 
 /// A [`CsLock`] wrapper that records the acquisition trace.
 pub struct Traced<L> {
@@ -66,8 +66,11 @@ pub struct Traced<L> {
     acquisitions: AtomicU64,
 }
 
-// SAFETY: `trace` is only touched while the inner lock is held.
+// SAFETY: `trace` is only touched while the inner lock is held, so
+// shared access is serialized; every other field is an atomic.
 unsafe impl<L: CsLock> Sync for Traced<L> {}
+// SAFETY: the trace cell owns its CsTrace outright; moving the wrapper
+// moves it along with the (Send) inner lock.
 unsafe impl<L: CsLock + Send> Send for Traced<L> {}
 
 impl<L: CsLock> Traced<L> {
@@ -86,6 +89,17 @@ impl<L: CsLock> Traced<L> {
     /// Total acquisitions so far.
     pub fn acquisitions(&self) -> u64 {
         self.acquisitions.load(Ordering::Relaxed)
+    }
+
+    /// Threads currently blocked in `acquire` (instantaneous; racy by
+    /// nature, exact once the system is quiescent or wedged).
+    pub fn waiting_now(&self) -> u32 {
+        self.waiting_total.load(Ordering::Acquire)
+    }
+
+    /// Per-socket breakdown of [`Self::waiting_now`].
+    pub fn waiting_per_socket_now(&self) -> [u32; MAX_SOCKETS] {
+        std::array::from_fn(|s| self.waiting_per_socket[s].load(Ordering::Acquire))
     }
 
     /// Extract the trace. Must be called after all users have quiesced
@@ -180,7 +194,7 @@ mod tests {
         assert_eq!(trace.acquisitions_per_thread().len(), 3);
         // Every thread got a fair share under the ticket lock — allow
         // generous slack; the invariant is "nobody starved".
-        for (_, &count) in trace.acquisitions_per_thread().iter() {
+        for &count in trace.acquisitions_per_thread().values() {
             assert_eq!(count, 500);
         }
     }
@@ -204,5 +218,80 @@ mod tests {
         }
         let trace = lock.into_trace();
         assert!(trace.records().iter().all(|r| r.waiting == 0));
+    }
+
+    #[test]
+    fn wait_counts_under_contention() {
+        // Hold the lock while three waiters queue, so the counts are
+        // deterministic: once all three are parked, release and watch
+        // them drain FIFO (ticket lock) with waiting = 2, 1, 0.
+        let lock = Arc::new(Traced::new(TicketLock::new()));
+        let held = lock.acquire(PathClass::Main);
+        let handles: Vec<_> = (0..3u32)
+            .map(|i| {
+                let lock = lock.clone();
+                std::thread::spawn(move || {
+                    // Distinct sockets so the per-socket breakdown is
+                    // distinguishable: waiter i on socket i+1.
+                    set_current_core(CoreId(i), SocketId(i + 1));
+                    let t = lock.acquire(PathClass::Main);
+                    lock.release(PathClass::Main, t);
+                })
+            })
+            .collect();
+        while lock.waiting_now() < 3 {
+            std::thread::yield_now();
+        }
+        // All three parked: one per socket 1..=3, none elsewhere.
+        let per_socket = lock.waiting_per_socket_now();
+        assert_eq!(&per_socket[1..4], &[1, 1, 1], "{per_socket:?}");
+        assert_eq!(per_socket[0], 0);
+        lock.release(PathClass::Main, held);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(lock.waiting_now(), 0);
+        assert_eq!(lock.waiting_per_socket_now(), [0; MAX_SOCKETS]);
+        let lock = Arc::try_unwrap(lock).ok().expect("sole owner");
+        let trace = lock.into_trace();
+        let recs = trace.records();
+        assert_eq!(recs.len(), 4);
+        // The holder's own record: all three may or may not have arrived
+        // yet, but the three drain records are exact (snapshot excludes
+        // the winner itself).
+        let drain: Vec<u32> = recs[1..].iter().map(|r| r.waiting).collect();
+        assert_eq!(drain, vec![2, 1, 0]);
+        // Each drain record's per-socket vector sums to its total.
+        for r in &recs[1..] {
+            let sum: u32 = r.waiting_per_socket.iter().sum();
+            assert_eq!(sum, r.waiting, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn thread_ids_are_unique_and_stable_under_concurrency() {
+        // First call to acquire() assigns the thread id; racing eight
+        // first-calls must still produce eight distinct ids, and a
+        // thread's second acquisition must reuse its first id.
+        let lock = Arc::new(Traced::new(TicketLock::new()));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let lock = lock.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..2 {
+                        let t = lock.acquire(PathClass::Main);
+                        lock.release(PathClass::Main, t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let lock = Arc::try_unwrap(lock).ok().expect("sole owner");
+        let trace = lock.into_trace();
+        let per_thread = trace.acquisitions_per_thread();
+        assert_eq!(per_thread.len(), 8, "ids collided: {per_thread:?}");
+        assert!(per_thread.values().all(|&c| c == 2), "{per_thread:?}");
     }
 }

@@ -7,8 +7,8 @@
 //! safety, and clean final states.
 
 use mtmpi_locks::{
-    CohortTicketLock, CsLock, CsToken, FutexMutex, McsLock, PathClass, PriorityTicketLock,
-    TasLock, TicketLock, TtasLock,
+    CohortTicketLock, CsLock, CsToken, FutexMutex, McsLock, PathClass, PriorityTicketLock, TasLock,
+    TicketLock, TtasLock,
 };
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,7 +41,10 @@ fn exclusion_stress<L: CsLock + 'static>(lock: L, threads: u32, iters: u32, clas
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(counter.load(Ordering::Relaxed), u64::from(threads) * u64::from(iters));
+    assert_eq!(
+        counter.load(Ordering::Relaxed),
+        u64::from(threads) * u64::from(iters)
+    );
 }
 
 proptest! {
@@ -160,7 +163,10 @@ fn ticket_fifo_service_order_many_waiters() {
         v.sort_unstable();
         v
     };
-    assert_eq!(*order, sorted, "ticket served out of arrival order: {order:?}");
+    assert_eq!(
+        *order, sorted,
+        "ticket served out of arrival order: {order:?}"
+    );
 }
 
 /// The priority lock must never grant Progress while a Main waiter that
@@ -178,7 +184,10 @@ fn priority_burst_blocks_low() {
         l2.unlock_low();
     });
     std::thread::sleep(std::time::Duration::from_millis(10));
-    assert!(!low_entered.load(Ordering::SeqCst), "low must be blocked by the burst");
+    assert!(
+        !low_entered.load(Ordering::SeqCst),
+        "low must be blocked by the burst"
+    );
     lock.unlock_high();
     low.join().unwrap();
     assert!(low_entered.load(Ordering::SeqCst));

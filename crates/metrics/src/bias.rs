@@ -177,7 +177,9 @@ mod tests {
 
     #[test]
     fn empty_and_singleton_traces() {
-        assert!(BiasAnalysis::from_trace(&CsTrace::new()).factors().is_none());
+        assert!(BiasAnalysis::from_trace(&CsTrace::new())
+            .factors()
+            .is_none());
         let mut t = CsTrace::new();
         t.push(rec(0, &[1]));
         assert_eq!(BiasAnalysis::from_trace(&t).samples, 0);

@@ -15,7 +15,10 @@ pub struct Series {
 impl Series {
     /// New empty series.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), points: Vec::new() }
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Append a point.
@@ -53,7 +56,12 @@ impl Series {
     pub fn mean_ratio_vs_below(&self, other: &Series, max_x: f64) -> Option<f64> {
         let clipped = Series {
             label: self.label.clone(),
-            points: self.points.iter().copied().filter(|(x, _)| *x <= max_x).collect(),
+            points: self
+                .points
+                .iter()
+                .copied()
+                .filter(|(x, _)| *x <= max_x)
+                .collect(),
         };
         clipped.mean_ratio_vs(other)
     }
@@ -91,7 +99,13 @@ pub struct Summary {
 /// Compute summary statistics over a slice.
 pub fn summary(xs: &[f64]) -> Summary {
     if xs.is_empty() {
-        return Summary { n: 0, mean: 0.0, min: 0.0, max: 0.0, stddev: 0.0 };
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            min: 0.0,
+            max: 0.0,
+            stddev: 0.0,
+        };
     }
     let n = xs.len() as f64;
     let mean = xs.iter().sum::<f64>() / n;

@@ -33,10 +33,16 @@ impl Table {
     pub fn from_series(x_label: &str, series: &[Series]) -> Self {
         let mut header = vec![x_label.to_owned()];
         header.extend(series.iter().map(|s| s.label.clone()));
-        let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|(x, _)| *x)).collect();
+        let mut xs: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|(x, _)| *x))
+            .collect();
         xs.sort_by(f64::total_cmp);
         xs.dedup();
-        let mut t = Self { header, rows: Vec::new() };
+        let mut t = Self {
+            header,
+            rows: Vec::new(),
+        };
         for x in xs {
             let mut row = vec![fmt_num(x)];
             for s in series {
@@ -130,7 +136,10 @@ mod tests {
         let t = Table::from_series("x", &[a, b]);
         let csv = t.to_csv();
         assert_eq!(csv.lines().count(), 3);
-        assert!(csv.lines().nth(1).unwrap().contains("-"), "missing cell dashed: {csv}");
+        assert!(
+            csv.lines().nth(1).unwrap().contains("-"),
+            "missing cell dashed: {csv}"
+        );
     }
 
     #[test]

@@ -145,7 +145,11 @@ mod tests {
         let m = NetModel::qdr();
         let t = m.timing(false, 1 << 20);
         // 1 MiB at 0.3125 ns/B = 327,680 ns of serialization.
-        assert!(t.inject_ns > 300_000, "inject {} should be bandwidth bound", t.inject_ns);
+        assert!(
+            t.inject_ns > 300_000,
+            "inject {} should be bandwidth bound",
+            t.inject_ns
+        );
     }
 
     #[test]

@@ -28,7 +28,12 @@ impl RankHandle {
         while dist < n {
             let dst = (me + dist) % n;
             let src = (me + n - dist % n) % n;
-            let s = self.isend_on(CommId::INTERNAL, dst, BARRIER_TAG + k, MsgData::Synthetic(0));
+            let s = self.isend_on(
+                CommId::INTERNAL,
+                dst,
+                BARRIER_TAG + k,
+                MsgData::Synthetic(0),
+            );
             let m = self.recv_on(CommId::INTERNAL, Some(src), Some(BARRIER_TAG + k));
             debug_assert_eq!(m.src, src);
             let _ = self.wait(s);
@@ -39,7 +44,11 @@ impl RankHandle {
 
     /// Binomial-tree reduction to rank 0 followed by a binomial broadcast,
     /// combining byte payloads with `combine`.
-    fn allreduce_bytes(&self, mut value: Vec<u8>, combine: &dyn Fn(&mut Vec<u8>, &[u8])) -> Vec<u8> {
+    fn allreduce_bytes(
+        &self,
+        mut value: Vec<u8>,
+        combine: &dyn Fn(&mut Vec<u8>, &[u8]),
+    ) -> Vec<u8> {
         let n = self.nranks();
         if n == 1 {
             return value;
@@ -50,7 +59,12 @@ impl RankHandle {
         while dist < n {
             if me & dist != 0 {
                 // Sender: ship partial and leave the reduction.
-                self.send_on(CommId::INTERNAL, me - dist, REDUCE_TAG, MsgData::Bytes(value));
+                self.send_on(
+                    CommId::INTERNAL,
+                    me - dist,
+                    REDUCE_TAG,
+                    MsgData::Bytes(value),
+                );
                 value = Vec::new();
                 break;
             } else if me + dist < n {
@@ -79,8 +93,13 @@ impl RankHandle {
         }
         while dist >= 1 {
             let dst = me + dist;
-            if dst < n && (me % (dist * 2) == 0) {
-                self.send_on(CommId::INTERNAL, dst, BCAST_TAG, MsgData::Bytes(value.clone()));
+            if dst < n && me.is_multiple_of(dist * 2) {
+                self.send_on(
+                    CommId::INTERNAL,
+                    dst,
+                    BCAST_TAG,
+                    MsgData::Bytes(value.clone()),
+                );
             }
             if dist == 1 {
                 break;

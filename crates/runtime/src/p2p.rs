@@ -44,13 +44,24 @@ impl RankHandle {
                 p.endpoint,
                 dst_ep,
                 bytes,
-                Box::new(Packet { src: src_rank, seq, kind: PacketKind::Msg { comm, tag, data } }),
+                Box::new(Packet {
+                    src: src_rank,
+                    seq,
+                    kind: PacketKind::Msg { comm, tag, data },
+                }),
             );
+            // Eager send: issued and completed in one step.
+            st.ledger.note_issued();
+            st.ledger.note_completed();
             ReqInner::new_completed(
                 src_rank,
                 tid,
                 ReqKind::Send,
-                Msg { src: src_rank, tag, data: MsgData::Synthetic(0) },
+                Msg {
+                    src: src_rank,
+                    tag,
+                    data: MsgData::Synthetic(0),
+                },
             )
         });
         Request { inner }
@@ -94,16 +105,26 @@ impl RankHandle {
                     w.platform
                         .compute(costs.complete_ns + costs.unexpected_copy_ns(u.data.len()));
                     st.dangling_now += 1;
+                    // Unexpected match: issued and completed immediately,
+                    // never posted.
+                    st.ledger.note_issued();
+                    st.ledger.note_completed();
                     ReqInner::new_completed(
                         rank,
                         tid,
                         ReqKind::Recv,
-                        Msg { src: u.src, tag: u.tag, data: u.data },
+                        Msg {
+                            src: u.src,
+                            tag: u.tag,
+                            data: u.data,
+                        },
                     )
                 }
                 None => {
                     w.platform.compute(costs.enqueue_ns);
                     let req = ReqInner::new(rank, tid, ReqKind::Recv);
+                    st.ledger.note_issued();
+                    st.ledger.note_posted();
                     st.posted.push_back(crate::state::PostedRecv {
                         req: req.clone(),
                         src,
@@ -124,7 +145,10 @@ impl RankHandle {
     /// `MPI_Test` "all threads always have the same high priority").
     pub fn test(&self, req: Request) -> TestOutcome {
         let w = &self.world;
-        assert_eq!(req.inner.owner_rank, self.rank, "test on another rank's request");
+        assert_eq!(
+            req.inner.owner_rank, self.rank,
+            "test on another rank's request"
+        );
         let rank = self.rank;
         let costs = w.costs;
         w.platform.compute(costs.call_overhead_ns);
@@ -137,6 +161,7 @@ impl RankHandle {
                 if m.is_some() {
                     w.platform.compute(costs.free_ns);
                     st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                    st.ledger.note_freed();
                 }
                 m
             });
@@ -145,10 +170,12 @@ impl RankHandle {
             }
             progress_once(w, rank, PathClass::Main);
             let second = w.cs(rank, PathClass::Main, |st| {
+                // SAFETY: queue lock held.
                 let m = unsafe { req.inner.try_free() };
                 if m.is_some() {
                     w.platform.compute(costs.free_ns);
                     st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                    st.ledger.note_freed();
                 }
                 m
             });
@@ -163,13 +190,16 @@ impl RankHandle {
             if let Some(m) = unsafe { req.inner.try_free() } {
                 w.platform.compute(costs.free_ns);
                 st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                st.ledger.note_freed();
                 return Some(m);
             }
             let pkts = poll(w, rank);
             deliver(w, rank, st, pkts);
+            // SAFETY: queue lock held.
             if let Some(m) = unsafe { req.inner.try_free() } {
                 w.platform.compute(costs.free_ns);
                 st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                st.ledger.note_freed();
                 return Some(m);
             }
             None
@@ -185,7 +215,10 @@ impl RankHandle {
     /// (Fig 6a), as MPICH's progress loop does.
     pub fn wait(&self, req: Request) -> Msg {
         let w = &self.world;
-        assert_eq!(req.inner.owner_rank, self.rank, "wait on another rank's request");
+        assert_eq!(
+            req.inner.owner_rank, self.rank,
+            "wait on another rank's request"
+        );
         let rank = self.rank;
         let costs = w.costs;
         w.platform.compute(costs.call_overhead_ns);
@@ -194,10 +227,12 @@ impl RankHandle {
         loop {
             let done = if w.granularity.split_progress_lock() {
                 let m = w.cs(rank, class, |st| {
+                    // SAFETY: queue lock held.
                     let m = unsafe { req.inner.try_free() };
                     if m.is_some() {
                         w.platform.compute(costs.free_ns);
                         st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                        st.ledger.note_freed();
                     }
                     m
                 });
@@ -207,16 +242,20 @@ impl RankHandle {
                 m
             } else {
                 w.cs(rank, class, |st| {
+                    // SAFETY: queue lock held.
                     if let Some(m) = unsafe { req.inner.try_free() } {
                         w.platform.compute(costs.free_ns);
                         st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                        st.ledger.note_freed();
                         return Some(m);
                     }
                     let pkts = poll(w, rank);
                     deliver(w, rank, st, pkts);
+                    // SAFETY: queue lock held.
                     if let Some(m) = unsafe { req.inner.try_free() } {
                         w.platform.compute(costs.free_ns);
                         st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+                        st.ledger.note_freed();
                         return Some(m);
                     }
                     None
@@ -241,7 +280,10 @@ impl RankHandle {
         let mut out: Vec<Option<Msg>> = (0..n).map(|_| None).collect();
         let mut pending: Vec<(usize, Request)> = reqs.into_iter().enumerate().collect();
         for (_, r) in &pending {
-            assert_eq!(r.inner.owner_rank, rank, "waitall on another rank's request");
+            assert_eq!(
+                r.inner.owner_rank, rank,
+                "waitall on another rank's request"
+            );
         }
         w.platform.compute(costs.call_overhead_ns);
         let mut class = PathClass::Main;
@@ -257,6 +299,7 @@ impl RankHandle {
                         Some(m) => {
                             w.platform.compute(costs.free_ns);
                             st.dangling_now -= u64::from(r.inner.kind == ReqKind::Recv);
+                            st.ledger.note_freed();
                             out[*i] = Some(m);
                             false
                         }

@@ -15,7 +15,10 @@ pub(crate) fn poll(w: &WorldInner, rank: u32) -> Vec<Packet> {
     w.platform
         .net_poll(p.endpoint)
         .into_iter()
-        .map(|b| *b.downcast::<Packet>().expect("mailbox carries runtime packets"))
+        .map(|b| {
+            *b.downcast::<Packet>()
+                .expect("mailbox carries runtime packets")
+        })
         .collect()
 }
 
@@ -54,8 +57,15 @@ fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet
                     let pr = st.posted.remove(i).expect("index valid");
                     w.platform.compute(w.costs.complete_ns);
                     // SAFETY: queue lock held (caller contract).
-                    unsafe { pr.req.complete(Msg { src: pkt.src, tag, data }) };
+                    unsafe {
+                        pr.req.complete(Msg {
+                            src: pkt.src,
+                            tag,
+                            data,
+                        });
+                    }
                     st.dangling_now += 1;
+                    st.ledger.note_completed();
                     if w.selective {
                         // Selective wake-up (§9 future work): the owner of
                         // the freshly completed request is the thread most
@@ -66,12 +76,22 @@ fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet
                 }
                 None => {
                     w.platform.compute(w.costs.enqueue_ns);
-                    st.unexpected.push_back(UnexMsg { src: pkt.src, tag, comm, data });
+                    st.unexpected.push_back(UnexMsg {
+                        src: pkt.src,
+                        tag,
+                        comm,
+                        data,
+                    });
                     st.note_depths();
                 }
             }
         }
-        PacketKind::Rma { op, offset, data, token } => {
+        PacketKind::Rma {
+            op,
+            offset,
+            data,
+            token,
+        } => {
             apply_rma(w, rank, st, pkt.src, op, offset, data, token);
         }
         PacketKind::RmaAck { token, data } => {
@@ -100,7 +120,8 @@ fn apply_rma(
         "RMA beyond window: offset {off} + len {len} > {}",
         st.win_mem.len()
     );
-    w.platform.compute(w.costs.complete_ns + w.costs.unexpected_copy_ns(len as u64));
+    w.platform
+        .compute(w.costs.complete_ns + w.costs.unexpected_copy_ns(len as u64));
     let reply = match op {
         RmaOp::Put => {
             if let MsgData::Bytes(b) = &data {
@@ -147,7 +168,11 @@ fn apply_rma(
         p.endpoint,
         origin_ep,
         reply_bytes,
-        Box::new(Packet { src: rank, seq, kind: PacketKind::RmaAck { token, data: reply } }),
+        Box::new(Packet {
+            src: rank,
+            seq,
+            kind: PacketKind::RmaAck { token, data: reply },
+        }),
     );
 }
 

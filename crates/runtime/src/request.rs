@@ -48,14 +48,26 @@ pub(crate) struct ReqInner {
 // critical section (all call sites live in this crate and use
 // `WorldInner::cs`).
 unsafe impl Send for ReqInner {}
+// SAFETY: same contract as Send — the owning process's CS serializes all
+// shared access to `state`.
 unsafe impl Sync for ReqInner {}
 
 impl ReqInner {
     pub(crate) fn new(owner_rank: u32, owner_tid: u64, kind: ReqKind) -> Arc<Self> {
-        Arc::new(Self { owner_rank, owner_tid, kind, state: UnsafeCell::new(ReqState::Active) })
+        Arc::new(Self {
+            owner_rank,
+            owner_tid,
+            kind,
+            state: UnsafeCell::new(ReqState::Active),
+        })
     }
 
-    pub(crate) fn new_completed(owner_rank: u32, owner_tid: u64, kind: ReqKind, msg: Msg) -> Arc<Self> {
+    pub(crate) fn new_completed(
+        owner_rank: u32,
+        owner_tid: u64,
+        kind: ReqKind,
+        msg: Msg,
+    ) -> Arc<Self> {
         Arc::new(Self {
             owner_rank,
             owner_tid,
@@ -67,12 +79,16 @@ impl ReqInner {
     /// Mutate the state. Caller must hold the owner's CS.
     #[allow(clippy::mut_from_ref)]
     pub(crate) unsafe fn state_mut(&self) -> &mut ReqState {
-        &mut *self.state.get()
+        // SAFETY: the caller holds the owning process's critical section
+        // (this function's contract), so no other reference to the cell's
+        // contents can exist concurrently.
+        unsafe { &mut *self.state.get() }
     }
 
     /// Complete with `msg`. Caller must hold the owner's CS.
     pub(crate) unsafe fn complete(&self, msg: Msg) {
-        let st = self.state_mut();
+        // SAFETY: forwarding our own contract — the caller holds the CS.
+        let st = unsafe { self.state_mut() };
         debug_assert!(matches!(st, ReqState::Active), "double completion");
         *st = ReqState::Completed(msg);
     }
@@ -80,7 +96,8 @@ impl ReqInner {
     /// If completed, take the message and mark freed. Caller must hold
     /// the owner's CS.
     pub(crate) unsafe fn try_free(&self) -> Option<Msg> {
-        let st = self.state_mut();
+        // SAFETY: forwarding our own contract — the caller holds the CS.
+        let st = unsafe { self.state_mut() };
         match st {
             ReqState::Completed(_) => {
                 let ReqState::Completed(msg) = std::mem::replace(st, ReqState::Freed) else {

@@ -41,7 +41,16 @@ impl RankHandle {
                 p.endpoint,
                 dst_ep,
                 wire_bytes,
-                Box::new(Packet { src: rank, seq, kind: PacketKind::Rma { op, offset, data, token } }),
+                Box::new(Packet {
+                    src: rank,
+                    seq,
+                    kind: PacketKind::Rma {
+                        op,
+                        offset,
+                        data,
+                        token,
+                    },
+                }),
             );
             token
         })
@@ -92,7 +101,12 @@ impl RankHandle {
 
     /// One-sided get of `len` bytes from `target`'s window at `offset`.
     pub fn get(&self, target: u32, offset: u64, len: u64) -> Vec<u8> {
-        let token = self.rma_issue(target, RmaOp::Get { real: true }, offset, MsgData::Synthetic(len));
+        let token = self.rma_issue(
+            target,
+            RmaOp::Get { real: true },
+            offset,
+            MsgData::Synthetic(len),
+        );
         match self.rma_wait(token) {
             Some(MsgData::Bytes(b)) => b,
             other => panic!("get expected bytes, got {other:?}"),
@@ -102,8 +116,12 @@ impl RankHandle {
     /// Timing-only get (synthetic payload; no host memory churn) for
     /// benchmarks.
     pub fn get_synthetic(&self, target: u32, offset: u64, len: u64) {
-        let token =
-            self.rma_issue(target, RmaOp::Get { real: false }, offset, MsgData::Synthetic(len));
+        let token = self.rma_issue(
+            target,
+            RmaOp::Get { real: false },
+            offset,
+            MsgData::Synthetic(len),
+        );
         let _ = self.rma_wait(token);
     }
 

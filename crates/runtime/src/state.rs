@@ -3,6 +3,7 @@
 use crate::packet::Packet;
 use crate::request::ReqInner;
 use crate::types::{CommId, MsgData, Tag};
+use mtmpi_check::RequestLedger;
 use mtmpi_metrics::DanglingSampler;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -61,6 +62,9 @@ pub(crate) struct SharedState {
     pub reorder: Vec<BinaryHeap<SeqPacket>>,
     /// Receive requests completed but not yet freed (the §4.4 metric).
     pub dangling_now: u64,
+    /// Request life-cycle counters (Issue/Post/Complete/Free); checked
+    /// for quiescence at `World` drop in debug builds.
+    pub ledger: RequestLedger,
     /// Sampler fed at every critical-section acquisition.
     pub dangling: DanglingSampler,
     /// Total critical-section acquisitions by this process.
@@ -85,6 +89,7 @@ impl SharedState {
             recv_next_seq: vec![0; nranks as usize],
             reorder: (0..nranks).map(|_| BinaryHeap::new()).collect(),
             dangling_now: 0,
+            ledger: RequestLedger::new(),
             dangling: DanglingSampler::new(),
             cs_acquisitions: 0,
             win_mem: vec![0; win_bytes],
@@ -112,9 +117,7 @@ pub(crate) fn matches(
     tag: Tag,
     comm: CommId,
 ) -> bool {
-    want_comm == comm
-        && want_src.map_or(true, |s| s == src)
-        && want_tag.map_or(true, |t| t == tag)
+    want_comm == comm && want_src.is_none_or(|s| s == src) && want_tag.is_none_or(|t| t == tag)
 }
 
 #[cfg(test)]
@@ -139,7 +142,11 @@ mod tests {
             SeqPacket(Packet {
                 src: 0,
                 seq,
-                kind: PacketKind::Msg { comm: CommId::WORLD, tag: 0, data: MsgData::Synthetic(0) },
+                kind: PacketKind::Msg {
+                    comm: CommId::WORLD,
+                    tag: 0,
+                    data: MsgData::Synthetic(0),
+                },
             })
         };
         let mut h = BinaryHeap::new();

@@ -19,6 +19,8 @@ pub(crate) struct Process {
 // SAFETY: `state` is only accessed through `WorldInner::cs`, which holds
 // the process's queue lock, or through the post-run diagnostics methods.
 unsafe impl Send for Process {}
+// SAFETY: same contract as Send — the queue lock serializes all shared
+// access to `state`.
 unsafe impl Sync for Process {}
 
 pub(crate) struct WorldInner {
@@ -72,7 +74,28 @@ impl WorldInner {
     /// Post-run read of a process's state. Only sound once all workers
     /// have finished (after `platform.run()` returns).
     pub(crate) unsafe fn state_post_run(&self, rank: u32) -> &SharedState {
-        &*self.procs[rank as usize].state.get()
+        // SAFETY: caller guarantees all workers have quiesced, so no
+        // thread can be inside `cs` mutating the state concurrently.
+        unsafe { &*self.procs[rank as usize].state.get() }
+    }
+}
+
+impl Drop for WorldInner {
+    /// Debug-build leak check: when the last `World`/`RankHandle` clone
+    /// goes away, every issued request must have completed its
+    /// Issue→(Post)→Complete→Free life cycle (paper Fig 3b). A dropped
+    /// `Request` handle or a lost completion panics here with the
+    /// per-rank [`mtmpi_check::LeakReport`].
+    fn drop(&mut self) {
+        if !cfg!(debug_assertions) || std::thread::panicking() {
+            return;
+        }
+        for (rank, p) in self.procs.iter_mut().enumerate() {
+            let st = p.state.get_mut();
+            if let Err(report) = st.ledger.check_quiescent() {
+                panic!("rank {rank} leaked requests at World drop: {report}");
+            }
+        }
     }
 }
 
@@ -118,7 +141,10 @@ impl World {
     /// rank's threads.
     pub fn rank(&self, rank: u32) -> RankHandle {
         assert!(rank < self.nranks(), "rank out of range");
-        RankHandle { world: self.inner.clone(), rank }
+        RankHandle {
+            world: self.inner.clone(),
+            rank,
+        }
     }
 
     /// The queue-lock id of a rank (to pair with
@@ -136,16 +162,26 @@ impl World {
 
     /// Critical-section acquisition count of a rank. Post-run only.
     pub fn cs_acquisitions(&self, rank: u32) -> u64 {
+        // SAFETY: documented post-run contract.
         unsafe { self.inner.state_post_run(rank).cs_acquisitions }
+    }
+
+    /// Request life-cycle ledger of a rank (see
+    /// [`mtmpi_check::RequestLedger`]). Post-run only.
+    pub fn request_ledger(&self, rank: u32) -> mtmpi_check::RequestLedger {
+        // SAFETY: documented post-run contract.
+        unsafe { self.inner.state_post_run(rank).ledger }
     }
 
     /// Unexpected-queue high-water mark. Post-run only.
     pub fn max_unexpected(&self, rank: u32) -> usize {
+        // SAFETY: documented post-run contract.
         unsafe { self.inner.state_post_run(rank).max_unexpected }
     }
 
     /// Contents of the rank's RMA window. Post-run only.
     pub fn window_snapshot(&self, rank: u32) -> Vec<u8> {
+        // SAFETY: documented post-run contract.
         unsafe { self.inner.state_post_run(rank).win_mem.clone() }
     }
 }

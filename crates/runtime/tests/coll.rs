@@ -21,13 +21,21 @@ fn run_all_ranks(
         LockModelParams::default(),
         seed,
     ));
-    let w = World::builder(p.clone()).ranks(n).rank_on_node(|r| r).lock(kind).build();
+    let w = World::builder(p.clone())
+        .ranks(n)
+        .rank_on_node(|r| r)
+        .lock(kind)
+        .build();
     let f = Arc::new(f);
     for r in 0..n {
         let h = w.rank(r);
         let f = f.clone();
         p.spawn(
-            ThreadDesc { name: format!("r{r}"), node: r, core: CoreId(0) },
+            ThreadDesc {
+                name: format!("r{r}"),
+                node: r,
+                core: CoreId(0),
+            },
             Box::new(move || f(h)),
         );
     }
@@ -78,9 +86,18 @@ fn allreduce_f64_is_deterministic_order() {
 fn bcast_from_root_delivers_everywhere() {
     for n in [2u32, 5, 8] {
         run_all_ranks(n, LockKind::Priority, 200 + u64::from(n), move |h| {
-            let payload = if h.rank() == 0 { vec![9, 9, 9, u8::try_from(n).unwrap()] } else { vec![] };
+            let payload = if h.rank() == 0 {
+                vec![9, 9, 9, u8::try_from(n).unwrap()]
+            } else {
+                vec![]
+            };
             let got = h.bcast_from_root(payload);
-            assert_eq!(got, vec![9, 9, 9, u8::try_from(n).unwrap()], "rank {}", h.rank());
+            assert_eq!(
+                got,
+                vec![9, 9, 9, u8::try_from(n).unwrap()],
+                "rank {}",
+                h.rank()
+            );
         });
     }
 }
@@ -101,7 +118,11 @@ fn collectives_interleave_with_p2p() {
     run_all_ranks(4, LockKind::Mutex, 88, |h| {
         let right = (h.rank() + 1) % h.nranks();
         let left = (h.rank() + h.nranks() - 1) % h.nranks();
-        let s = h.isend(right, 7, mtmpi_runtime::MsgData::Bytes(vec![h.rank() as u8]));
+        let s = h.isend(
+            right,
+            7,
+            mtmpi_runtime::MsgData::Bytes(vec![h.rank() as u8]),
+        );
         let sum = h.allreduce_sum_u64(1);
         assert_eq!(sum, 4);
         let m = h.recv(Some(left), Some(7));

@@ -17,15 +17,29 @@ fn platform(nodes: u32, seed: u64) -> Arc<dyn Platform> {
     ))
 }
 
-fn spawn(p: &Arc<dyn Platform>, name: &str, node: u32, core: u32, f: impl FnOnce() + Send + 'static) {
+fn spawn(
+    p: &Arc<dyn Platform>,
+    name: &str,
+    node: u32,
+    core: u32,
+    f: impl FnOnce() + Send + 'static,
+) {
     p.spawn(
-        ThreadDesc { name: name.into(), node, core: CoreId(core) },
+        ThreadDesc {
+            name: name.into(),
+            node,
+            core: CoreId(core),
+        },
         Box::new(f),
     );
 }
 
 fn two_rank_world(p: &Arc<dyn Platform>, kind: LockKind) -> World {
-    World::builder(p.clone()).ranks(2).rank_on_node(|r| r).lock(kind).build()
+    World::builder(p.clone())
+        .ranks(2)
+        .rank_on_node(|r| r)
+        .lock(kind)
+        .build()
 }
 
 #[test]
@@ -33,7 +47,9 @@ fn blocking_send_recv_bytes() {
     let p = platform(2, 1);
     let w = two_rank_world(&p, LockKind::Ticket);
     let (a, b) = (w.rank(0), w.rank(1));
-    spawn(&p, "s", 0, 0, move || a.send(1, 5, MsgData::Bytes(vec![1, 2, 3])));
+    spawn(&p, "s", 0, 0, move || {
+        a.send(1, 5, MsgData::Bytes(vec![1, 2, 3]));
+    });
     spawn(&p, "r", 1, 0, move || {
         let m = b.recv(Some(0), Some(5));
         assert_eq!(m.src, 0);
@@ -108,7 +124,9 @@ fn isend_waitall_window() {
     let (a, b) = (w.rank(0), w.rank(1));
     const N: usize = 64;
     spawn(&p, "s", 0, 0, move || {
-        let reqs: Vec<_> = (0..N).map(|i| a.isend(1, i as i32, MsgData::Synthetic(128))).collect();
+        let reqs: Vec<_> = (0..N)
+            .map(|i| a.isend(1, i as i32, MsgData::Synthetic(128)))
+            .collect();
         a.waitall(reqs);
     });
     spawn(&p, "r", 1, 0, move || {
@@ -152,7 +170,10 @@ fn test_returns_pending_then_done() {
         }
     });
     p.run();
-    assert!(polls.load(Ordering::Relaxed) > 0, "test must have reported Pending at least once");
+    assert!(
+        polls.load(Ordering::Relaxed) > 0,
+        "test must have reported Pending at least once"
+    );
 }
 
 #[test]
@@ -216,7 +237,10 @@ fn dangling_requests_counted() {
     p.run();
     let d = w.dangling_report(1);
     assert!(d.samples() > 0);
-    assert!(d.max() >= 1, "the stranded tag-1 request must have been seen dangling");
+    assert!(
+        d.max() >= 1,
+        "the stranded tag-1 request must have been seen dangling"
+    );
     assert!(d.average() > 0.0);
 }
 
@@ -224,7 +248,11 @@ fn dangling_requests_counted() {
 fn many_ranks_ring_exchange() {
     let p = platform(8, 9);
     let n = 8u32;
-    let w = World::builder(p.clone()).ranks(n).rank_on_node(|r| r).lock(LockKind::Priority).build();
+    let w = World::builder(p.clone())
+        .ranks(n)
+        .rank_on_node(|r| r)
+        .lock(LockKind::Priority)
+        .build();
     let total = Arc::new(AtomicU64::new(0));
     for r in 0..n {
         let h = w.rank(r);
@@ -247,7 +275,11 @@ fn many_ranks_ring_exchange() {
 fn barrier_synchronizes() {
     let p = platform(4, 10);
     let n = 4u32;
-    let w = World::builder(p.clone()).ranks(n).rank_on_node(|r| r).lock(LockKind::Ticket).build();
+    let w = World::builder(p.clone())
+        .ranks(n)
+        .rank_on_node(|r| r)
+        .lock(LockKind::Ticket)
+        .build();
     let after = Arc::new(AtomicU64::new(0));
     let min_after = Arc::new(AtomicU64::new(u64::MAX));
     for r in 0..n {
@@ -278,7 +310,11 @@ fn barrier_synchronizes() {
 fn allreduce_values() {
     let p = platform(5, 11);
     let n = 5u32;
-    let w = World::builder(p.clone()).ranks(n).rank_on_node(|r| r).lock(LockKind::Ticket).build();
+    let w = World::builder(p.clone())
+        .ranks(n)
+        .rank_on_node(|r| r)
+        .lock(LockKind::Ticket)
+        .build();
     for r in 0..n {
         let h = w.rank(r);
         spawn(&p, &format!("r{r}"), r, 0, move || {
@@ -297,7 +333,10 @@ fn allreduce_values() {
 #[test]
 fn single_rank_collectives_are_noops() {
     let p = platform(1, 12);
-    let w = World::builder(p.clone()).ranks(1).lock(LockKind::Ticket).build();
+    let w = World::builder(p.clone())
+        .ranks(1)
+        .lock(LockKind::Ticket)
+        .build();
     let h = w.rank(0);
     spawn(&p, "solo", 0, 0, move || {
         h.barrier();
@@ -313,7 +352,9 @@ fn synthetic_payload_sizes_affect_timing() {
         let p = platform(2, 13);
         let w = two_rank_world(&p, LockKind::Ticket);
         let (a, b) = (w.rank(0), w.rank(1));
-        spawn(&p, "s", 0, 0, move || a.send(1, 0, MsgData::Synthetic(bytes)));
+        spawn(&p, "s", 0, 0, move || {
+            a.send(1, 0, MsgData::Synthetic(bytes));
+        });
         spawn(&p, "r", 1, 0, move || {
             b.recv(Some(0), Some(0));
         });

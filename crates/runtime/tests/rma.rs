@@ -17,8 +17,21 @@ fn platform(nodes: u32, seed: u64) -> Arc<dyn Platform> {
     ))
 }
 
-fn spawn(p: &Arc<dyn Platform>, name: &str, node: u32, core: u32, f: impl FnOnce() + Send + 'static) {
-    p.spawn(ThreadDesc { name: name.into(), node, core: CoreId(core) }, Box::new(f));
+fn spawn(
+    p: &Arc<dyn Platform>,
+    name: &str,
+    node: u32,
+    core: u32,
+    f: impl FnOnce() + Send + 'static,
+) {
+    p.spawn(
+        ThreadDesc {
+            name: name.into(),
+            node,
+            core: CoreId(core),
+        },
+        Box::new(f),
+    );
 }
 
 /// Standard fixture: 2 ranks; rank 1 runs a progress thread until rank 0
@@ -96,7 +109,10 @@ fn synthetic_put_and_get_only_cost_time() {
         h.put(1, 0, MsgData::Synthetic(512));
         h.get_synthetic(1, 0, 512);
     });
-    assert!(w.window_snapshot(1).iter().all(|&b| b == 0), "synthetic ops leave memory untouched");
+    assert!(
+        w.window_snapshot(1).iter().all(|&b| b == 0),
+        "synthetic ops leave memory untouched"
+    );
 }
 
 #[test]
@@ -144,7 +160,9 @@ fn many_outstanding_targets() {
     for r in 1..4u32 {
         let h = w.rank(r);
         let stop = stop.clone();
-        spawn(&p, &format!("prog{r}"), r, 0, move || h.progress_loop(&stop));
+        spawn(&p, &format!("prog{r}"), r, 0, move || {
+            h.progress_loop(&stop);
+        });
     }
     p.run();
     // The last put to each target is 27, 28, 29 → targets 1, 2, 3.

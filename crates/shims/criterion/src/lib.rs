@@ -1,0 +1,222 @@
+//! Offline shim for `criterion` 0.5.
+//!
+//! Runs each registered benchmark with a short calibration phase followed
+//! by timed batches and prints mean ns/iter. No statistical machinery, no
+//! HTML reports, no regression baselines — just enough for `cargo bench`
+//! to build, run, and emit usable numbers in this offline workspace.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Handle passed to each benchmark closure.
+pub struct Bencher {
+    /// (iterations, total duration) of the measured batches.
+    measured: Option<(u64, Duration)>,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that fills ~10ms.
+        let mut n = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let dt = t0.elapsed();
+            if dt >= Duration::from_millis(10) || n >= 1 << 30 {
+                // Scale up to the measurement target and measure once.
+                let scale = (self.target.as_nanos() / dt.as_nanos().max(1)).clamp(1, 1 << 16);
+                let iters = n.saturating_mul(scale as u64);
+                let t1 = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                self.measured = Some((iters, t1.elapsed()));
+                return;
+            }
+            n = n.saturating_mul(2);
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` style id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+pub mod measurement {
+    //! Measurement marker types (API compatibility).
+
+    /// Wall-clock measurement (the only one supported).
+    pub struct WallTime;
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    criterion: &'a mut Criterion,
+    name: String,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples (accepted, ignored: the shim measures once).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declare throughput (accepted, ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Throughput declaration (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            target: Duration::from_millis(100),
+        }
+    }
+}
+
+impl Criterion {
+    /// Configure measurement time (chainable, like upstream).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target = d;
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            measured: None,
+            target: self.target,
+        };
+        f(&mut b);
+        match b.measured {
+            Some((iters, dt)) if iters > 0 => {
+                let ns = dt.as_nanos() as f64 / iters as f64;
+                println!("bench: {name:<50} {ns:>12.1} ns/iter ({iters} iters)");
+            }
+            _ => println!("bench: {name:<50} (no measurement)"),
+        }
+    }
+}
+
+/// Declare a benchmark group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the bench entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags like `--bench`; a plain
+            // binary can ignore them.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter("x"), |b| {
+            b.iter(|| black_box(2 * 2));
+        });
+        g.finish();
+    }
+}

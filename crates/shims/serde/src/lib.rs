@@ -1,0 +1,33 @@
+//! Offline shim for `serde` 1.
+//!
+//! The workspace annotates metric/topology types with
+//! `#[derive(Serialize, Deserialize)]` but never links a serializer crate
+//! (no `serde_json`/`bincode` anywhere), so the derives were pure
+//! annotations. This shim keeps the annotations compiling: the traits are
+//! empty markers and the derives (from the sibling `serde_derive` shim)
+//! expand to empty impls.
+//!
+//! If a real serializer is ever introduced, replace this shim with the
+//! real `serde` (see `crates/shims/README.md`).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+pub mod de {
+    //! Deserialization-side names some code imports.
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    //! Serialization-side names some code imports.
+    pub use crate::Serialize;
+}

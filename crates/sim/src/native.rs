@@ -6,12 +6,10 @@
 //! nanoseconds), so tests can compress simulated work; the network
 //! mailbox applies the same [`NetModel`] delays in model-time.
 
-use crate::platform::{
-    LockId, LockKind, Payload, Platform, PlatformReport, ThreadDesc,
-};
+use crate::platform::{LockId, LockKind, Payload, Platform, PlatformReport, ThreadDesc};
 use mtmpi_locks::{
-    ClhLock, CohortTicketLock, CsLock, CsToken, FutexMutex, McsLock, PathClass,
-    PriorityTicketLock, TasLock, TicketLock, Traced, TtasLock,
+    ClhLock, CohortTicketLock, CsLock, CsToken, FutexMutex, McsLock, PathClass, PriorityTicketLock,
+    TasLock, TicketLock, Traced, TtasLock,
 };
 use mtmpi_net::NetModel;
 use mtmpi_topology::ClusterTopology;
@@ -54,6 +52,12 @@ struct NetState {
     seq: AtomicU64,
 }
 
+/// A spawned-but-not-yet-run worker thread.
+type PendingThread = (ThreadDesc, Box<dyn FnOnce() + Send>);
+
+/// A registered critical-section lock with its acquisition trace.
+type TracedLock = Arc<Traced<Box<dyn CsLock>>>;
+
 /// Native execution platform.
 pub struct NativePlatform {
     cluster: ClusterTopology,
@@ -61,9 +65,9 @@ pub struct NativePlatform {
     /// Wall seconds per model second; < 1.0 compresses simulated work.
     time_scale: f64,
     epoch: Instant,
-    locks: Mutex<Vec<Arc<Traced<Box<dyn CsLock>>>>>,
+    locks: Mutex<Vec<TracedLock>>,
     netstate: Mutex<NetState>,
-    threads: Mutex<Vec<(ThreadDesc, Box<dyn FnOnce() + Send>)>>,
+    threads: Mutex<Vec<PendingThread>>,
     seed: u64,
     rng_salt: AtomicU64,
 }
@@ -153,7 +157,9 @@ impl Platform for NativePlatform {
             let mut r = r.borrow_mut();
             if r.is_none() {
                 let salt = self.rng_salt.fetch_add(1, Ordering::Relaxed);
-                *r = Some(SmallRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9)));
+                *r = Some(SmallRng::seed_from_u64(
+                    self.seed ^ salt.wrapping_mul(0x9E37_79B9),
+                ));
             }
             r.as_mut().expect("just set").gen()
         })
@@ -264,6 +270,9 @@ impl Platform for NativePlatform {
             h.join().expect("worker panicked");
         }
         let traces = self.locks.lock().iter().map(|l| l.snapshot()).collect();
-        PlatformReport { end_ns: self.now_ns(), lock_traces: traces }
+        PlatformReport {
+            end_ns: self.now_ns(),
+            lock_traces: traces,
+        }
     }
 }

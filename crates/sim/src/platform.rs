@@ -167,7 +167,12 @@ pub trait Platform: Send + Sync {
     fn lock_acquire(&self, lock: LockId, class: mtmpi_locks::PathClass) -> mtmpi_locks::CsToken;
 
     /// Leave the critical section.
-    fn lock_release(&self, lock: LockId, class: mtmpi_locks::PathClass, token: mtmpi_locks::CsToken);
+    fn lock_release(
+        &self,
+        lock: LockId,
+        class: mtmpi_locks::PathClass,
+        token: mtmpi_locks::CsToken,
+    );
 
     /// Register a communication endpoint (an MPI rank) living on `node`.
     /// Returns the endpoint id. Pre-run only.

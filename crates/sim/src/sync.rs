@@ -21,7 +21,11 @@ impl SpinBarrier {
     /// Barrier for `n` participants.
     pub fn new(n: u32) -> Self {
         assert!(n > 0, "barrier needs at least one participant");
-        Self { n, count: AtomicU32::new(0), generation: AtomicU32::new(0) }
+        Self {
+            n,
+            count: AtomicU32::new(0),
+            generation: AtomicU32::new(0),
+        }
     }
 
     /// Wait until all `n` participants arrive. Returns `true` on exactly
@@ -31,7 +35,8 @@ impl SpinBarrier {
         let gen = self.generation.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             self.count.store(0, Ordering::Relaxed);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
             platform.yield_now();
             return true;
         }
@@ -73,9 +78,14 @@ mod tests {
         let sum = Arc::new(AtomicU64::new(0));
         let leader_count = Arc::new(AtomicU64::new(0));
         for i in 0..4u32 {
-            let (p2, bar, sum, leaders) = (p.clone(), bar.clone(), sum.clone(), leader_count.clone());
+            let (p2, bar, sum, leaders) =
+                (p.clone(), bar.clone(), sum.clone(), leader_count.clone());
             p.spawn(
-                ThreadDesc { name: format!("t{i}"), node: 0, core: CoreId(i) },
+                ThreadDesc {
+                    name: format!("t{i}"),
+                    node: 0,
+                    core: CoreId(i),
+                },
                 Box::new(move || {
                     for round in 0..5u64 {
                         // Unequal work before the barrier.
@@ -96,7 +106,11 @@ mod tests {
         }
         p.run();
         assert_eq!(sum.load(Ordering::Relaxed), 20);
-        assert_eq!(leader_count.load(Ordering::Relaxed), 5, "one leader per round");
+        assert_eq!(
+            leader_count.load(Ordering::Relaxed),
+            5,
+            "one leader per round"
+        );
     }
 
     #[test]
@@ -111,7 +125,11 @@ mod tests {
         let b2 = bar.clone();
         let p2 = p.clone();
         p.spawn(
-            ThreadDesc { name: "solo".into(), node: 0, core: CoreId(0) },
+            ThreadDesc {
+                name: "solo".into(),
+                node: 0,
+                core: CoreId(0),
+            },
             Box::new(move || {
                 assert!(b2.wait(p2.as_ref() as &dyn crate::platform::Platform));
             }),

@@ -35,12 +35,29 @@ enum Op {
     /// this thread's current virtual time (used by `yield_now` so that
     /// busy-waits on shared memory stay live).
     Fence,
-    LockBoost { lock: usize, tid: u64 },
-    LockAcquire { lock: usize, class: PathClass },
-    LockRelease { lock: usize },
-    NetSend { src: usize, dst: usize, bytes: u64, payload: Payload },
-    NetPoll { endpoint: usize },
-    NetPending { endpoint: usize },
+    LockBoost {
+        lock: usize,
+        tid: u64,
+    },
+    LockAcquire {
+        lock: usize,
+        class: PathClass,
+    },
+    LockRelease {
+        lock: usize,
+    },
+    NetSend {
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        payload: Payload,
+    },
+    NetPoll {
+        endpoint: usize,
+    },
+    NetPending {
+        endpoint: usize,
+    },
 }
 
 impl std::fmt::Debug for Op {
@@ -50,7 +67,9 @@ impl std::fmt::Debug for Op {
             Op::LockBoost { lock, tid } => write!(f, "LockBoost({lock}, t{tid})"),
             Op::LockAcquire { lock, class } => write!(f, "LockAcquire({lock}, {class:?})"),
             Op::LockRelease { lock } => write!(f, "LockRelease({lock})"),
-            Op::NetSend { src, dst, bytes, .. } => write!(f, "NetSend({src}->{dst}, {bytes}B)"),
+            Op::NetSend {
+                src, dst, bytes, ..
+            } => write!(f, "NetSend({src}->{dst}, {bytes}B)"),
             Op::NetPoll { endpoint } => write!(f, "NetPoll({endpoint})"),
             Op::NetPending { endpoint } => write!(f, "NetPending({endpoint})"),
         }
@@ -59,11 +78,21 @@ impl std::fmt::Debug for Op {
 
 /// Worker → scheduler messages.
 enum Request {
-    Op { tid: usize, at: u64, op: Op },
-    Done { tid: usize, at: u64 },
+    Op {
+        tid: usize,
+        at: u64,
+        op: Op,
+    },
+    Done {
+        tid: usize,
+        at: u64,
+    },
     /// The worker's closure panicked; the scheduler re-raises the panic
     /// so `run()` fails with the worker's message instead of hanging.
-    Panicked { tid: usize, msg: String },
+    Panicked {
+        tid: usize,
+        msg: String,
+    },
 }
 
 /// Scheduler → worker resumptions.
@@ -102,7 +131,11 @@ impl WorkerCtx {
 
     fn sync(&self, op: Op) -> Reply {
         self.req_tx
-            .send(Request::Op { tid: self.tid, at: self.now(), op })
+            .send(Request::Op {
+                tid: self.tid,
+                at: self.now(),
+                op,
+            })
             .expect("scheduler alive");
         let reply = self.go_rx.recv().expect("scheduler alive");
         self.base.set(reply.now());
@@ -114,9 +147,9 @@ impl WorkerCtx {
 fn with_ctx<R>(f: impl FnOnce(&WorkerCtx) -> R) -> R {
     CTX.with(|c| {
         let b = c.borrow();
-        let ctx = b
-            .as_ref()
-            .expect("virtual-platform operation outside a worker thread (did you call it before run()?)");
+        let ctx = b.as_ref().expect(
+            "virtual-platform operation outside a worker thread (did you call it before run()?)",
+        );
         f(ctx)
     })
 }
@@ -202,7 +235,12 @@ pub struct VirtualPlatform {
 
 impl VirtualPlatform {
     /// Create a platform for the given cluster and network model.
-    pub fn new(cluster: ClusterTopology, net: NetModel, params: LockModelParams, seed: u64) -> Self {
+    pub fn new(
+        cluster: ClusterTopology,
+        net: NetModel,
+        params: LockModelParams,
+        seed: u64,
+    ) -> Self {
         Self {
             cluster,
             net,
@@ -223,7 +261,9 @@ impl VirtualPlatform {
 
     fn reg_mut<R>(&self, what: &str, f: impl FnOnce(&mut Registration) -> R) -> R {
         let mut g = self.reg.lock().unwrap();
-        let reg = g.as_mut().unwrap_or_else(|| panic!("{what} after run() started"));
+        let reg = g
+            .as_mut()
+            .unwrap_or_else(|| panic!("{what} after run() started"));
         f(reg)
     }
 }
@@ -286,7 +326,10 @@ impl Platform for VirtualPlatform {
 
     fn lock_acquire(&self, lock: LockId, class: PathClass) -> CsToken {
         with_ctx(|c| {
-            c.sync(Op::LockAcquire { lock: lock.0, class });
+            c.sync(Op::LockAcquire {
+                lock: lock.0,
+                class,
+            });
         });
         CsToken::NONE
     }
@@ -306,12 +349,21 @@ impl Platform for VirtualPlatform {
     }
 
     fn endpoint_count(&self) -> usize {
-        self.reg.lock().unwrap().as_ref().map_or(0, |r| r.endpoints.len())
+        self.reg
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map_or(0, |r| r.endpoints.len())
     }
 
     fn net_send(&self, src: usize, dst: usize, bytes: u64, payload: Payload) {
         with_ctx(|c| {
-            c.sync(Op::NetSend { src, dst, bytes, payload });
+            c.sync(Op::NetSend {
+                src,
+                dst,
+                bytes,
+                payload,
+            });
         });
     }
 
@@ -381,7 +433,10 @@ impl<'p> Scheduler<'p> {
                     platform.params,
                     topo.clone(),
                     handoff,
-                    platform.seed.wrapping_add(0x9E37_79B9).wrapping_mul(i as u64 + 1),
+                    platform
+                        .seed
+                        .wrapping_add(0x9E37_79B9)
+                        .wrapping_mul(i as u64 + 1),
                 )
             })
             .collect();
@@ -420,15 +475,14 @@ impl<'p> Scheduler<'p> {
                         rng: RefCell::new(SmallRng::seed_from_u64(seed)),
                     });
                     CTX.with(|c| *c.borrow_mut() = Some(ctx.clone()));
-                    let result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                     let at = ctx.now();
                     CTX.with(|c| *c.borrow_mut() = None);
                     drop(ctx);
                     match result {
-                        Ok(()) => {
-                            rtx.send(Request::Done { tid, at }).expect("scheduler alive")
-                        }
+                        Ok(()) => rtx
+                            .send(Request::Done { tid, at })
+                            .expect("scheduler alive"),
                         Err(e) => {
                             let msg = e
                                 .downcast_ref::<String>()
@@ -448,7 +502,9 @@ impl<'p> Scheduler<'p> {
             heap: BinaryHeap::new(),
             seq: 0,
             vlocks,
-            mailboxes: (0..reg.endpoints.len()).map(|_| BinaryHeap::new()).collect(),
+            mailboxes: (0..reg.endpoints.len())
+                .map(|_| BinaryHeap::new())
+                .collect(),
             nic_free: vec![0; platform.cluster.nodes as usize],
             ep_node: reg.endpoints,
             threads: infos,
@@ -493,7 +549,7 @@ impl<'p> Scheduler<'p> {
                 None => self.deadlock_panic(),
             };
             n_events += 1;
-            if debug_every > 0 && n_events % debug_every == 0 {
+            if debug_every > 0 && n_events.is_multiple_of(debug_every) {
                 eprintln!(
                     "[sim] {n_events} events, t={} us, live={}, heap={}",
                     ev.t / 1000,
@@ -550,7 +606,12 @@ impl<'p> Scheduler<'p> {
                 }
                 self.resume_and_wait(tid, Reply::Go { now: t });
             }
-            Op::NetSend { src, dst, bytes, payload } => {
+            Op::NetSend {
+                src,
+                dst,
+                bytes,
+                payload,
+            } => {
                 let src_node = self.ep_node[src] as usize;
                 let same = self.ep_node[src] == self.ep_node[dst];
                 let mt = self.platform.net.timing(same, bytes);

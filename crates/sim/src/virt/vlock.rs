@@ -239,7 +239,14 @@ impl VLock {
         socket: SocketId,
         class: PathClass,
     ) -> AcquireOutcome {
-        let me = Waiter { tid, core, socket, class, enq_ns: t, first_enq_ns: t };
+        let me = Waiter {
+            tid,
+            core,
+            socket,
+            class,
+            enq_ns: t,
+            first_enq_ns: t,
+        };
         match &self.state {
             State::Free => {
                 let at = t + self.fetch_latency(core) + self.migration_cost(tid, socket);
@@ -260,8 +267,10 @@ impl VLock {
                     // CAS race: the newcomer observes the free line after
                     // the fetch latency from the *releaser's* core, plus
                     // the lock-call turnaround overhead.
-                    let t_obs =
-                        t + self.params.steal_overhead_ns + self.fetch_latency(core) + self.jitter();
+                    let t_obs = t
+                        + self.params.steal_overhead_ns
+                        + self.fetch_latency(core)
+                        + self.jitter();
                     if t_obs < pending_at {
                         // Steal: the pending winner goes back to waiting
                         // (it notices the failed CAS around the time it
@@ -269,9 +278,15 @@ impl VLock {
                         let mut loser = loser;
                         loser.enq_ns = pending_at;
                         self.waiters.push_back(loser);
-                        self.state = State::HandOff { winner: me, at: t_obs };
+                        self.state = State::HandOff {
+                            winner: me,
+                            at: t_obs,
+                        };
                         self.gen += 1;
-                        return AcquireOutcome::StealPending { at: t_obs, gen: self.gen };
+                        return AcquireOutcome::StealPending {
+                            at: t_obs,
+                            gen: self.gen,
+                        };
                     }
                 }
                 self.waiters.push_back(me);
@@ -281,7 +296,13 @@ impl VLock {
     }
 
     /// The holder releases at time `t` from `core`.
-    pub(crate) fn release(&mut self, t: u64, tid: usize, core: CoreId, socket: SocketId) -> ReleaseOutcome {
+    pub(crate) fn release(
+        &mut self,
+        t: u64,
+        tid: usize,
+        core: CoreId,
+        socket: SocketId,
+    ) -> ReleaseOutcome {
         match &self.state {
             State::Held { tid: owner } if *owner == tid => {}
             other => panic!("release by non-owner thread {tid}: state {other:?}"),
@@ -316,7 +337,9 @@ impl VLock {
                     .unwrap_or(0);
                 let winner_tid = self.waiters[idx].tid;
                 self.boosted.remove(&winner_tid);
-                let at = t + self.handoff.between(&self.topo, rel_core, self.waiters[idx].core);
+                let at = t + self
+                    .handoff
+                    .between(&self.topo, rel_core, self.waiters[idx].core);
                 (idx, at)
             }
             LockKind::Priority => {
@@ -325,7 +348,10 @@ impl VLock {
                 // oldest progress-path waiter (the one holding a ticket_B
                 // slot in the real lock) gets through.
                 let main = self.waiters.iter().position(|w| w.class == PathClass::Main);
-                let progress = self.waiters.iter().position(|w| w.class == PathClass::Progress);
+                let progress = self
+                    .waiters
+                    .iter()
+                    .position(|w| w.class == PathClass::Progress);
                 let idx = match (main, progress) {
                     (Some(m), Some(p)) => {
                         if self.prio_burst < self.params.priority_burst {
@@ -345,7 +371,9 @@ impl VLock {
                     }
                     (None, None) => unreachable!("release with waiters"),
                 };
-                let at = t + self.handoff.between(&self.topo, rel_core, self.waiters[idx].core);
+                let at = t + self
+                    .handoff
+                    .between(&self.topo, rel_core, self.waiters[idx].core);
                 (idx, at)
             }
             LockKind::Cohort { budget } => {
@@ -364,7 +392,9 @@ impl VLock {
                         0
                     }
                 };
-                let at = t + self.handoff.between(&self.topo, rel_core, self.waiters[idx].core);
+                let at = t + self
+                    .handoff
+                    .between(&self.topo, rel_core, self.waiters[idx].core);
                 (idx, at)
             }
             LockKind::Mutex => self.select_mutex_winner(t, rel_core),
@@ -420,7 +450,7 @@ impl VLock {
             } else {
                 continue; // asleep in the kernel
             };
-            if best.map_or(true, |(_, b)| t_obs < b) {
+            if best.is_none_or(|(_, b)| t_obs < b) {
                 best = Some((i, t_obs));
             }
         }
@@ -439,7 +469,10 @@ impl VLock {
                 self.state = State::Held { tid: winner.tid };
                 self.last_owner = Some((winner.core, winner.socket));
                 self.last_owner_tid = Some(winner.tid);
-                GrantOutcome::Granted { tid: winner.tid, at }
+                GrantOutcome::Granted {
+                    tid: winner.tid,
+                    at,
+                }
             }
             other => {
                 self.state = other;
@@ -516,10 +549,16 @@ mod tests {
     fn ticket_is_fifo() {
         let mut l = lock(LockKind::Ticket);
         let (c0, s0) = place(0);
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
         for tid in 1..4 {
             let (c, s) = place(tid);
-            assert!(matches!(l.acquire(10, tid, c, s, PathClass::Main), AcquireOutcome::Queued));
+            assert!(matches!(
+                l.acquire(10, tid, c, s, PathClass::Main),
+                AcquireOutcome::Queued
+            ));
         }
         // Release: head (tid 1) must win despite tid 3 being... also queued.
         match l.release(1000, 0, c0, s0) {
@@ -539,11 +578,20 @@ mod tests {
     fn priority_prefers_main_path() {
         let mut l = lock(LockKind::Priority);
         let (c0, s0) = place(0);
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
         let (c1, s1) = place(1);
         let (c2, s2) = place(2);
-        assert!(matches!(l.acquire(5, 1, c1, s1, PathClass::Progress), AcquireOutcome::Queued));
-        assert!(matches!(l.acquire(10, 2, c2, s2, PathClass::Main), AcquireOutcome::Queued));
+        assert!(matches!(
+            l.acquire(5, 1, c1, s1, PathClass::Progress),
+            AcquireOutcome::Queued
+        ));
+        assert!(matches!(
+            l.acquire(10, 2, c2, s2, PathClass::Main),
+            AcquireOutcome::Queued
+        ));
         match l.release(100, 0, c0, s0) {
             ReleaseOutcome::Scheduled { gen, .. } => match l.try_finalize(gen) {
                 GrantOutcome::Granted { tid, .. } => {
@@ -560,22 +608,34 @@ mod tests {
         let mut l = lock(LockKind::Mutex);
         let (c0, s0) = place(0);
         let (c7, s7) = place(7); // remote socket
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
         // Remote thread queues at t=10 and will be asleep by t=310.
-        assert!(matches!(l.acquire(10, 7, c7, s7, PathClass::Main), AcquireOutcome::Queued));
+        assert!(matches!(
+            l.acquire(10, 7, c7, s7, PathClass::Main),
+            AcquireOutcome::Queued
+        ));
         // Owner releases at t=10_000: waiter 7 is asleep, wake ~2500ns.
         let (at_sleepy, gen) = match l.release(10_000, 0, c0, s0) {
             ReleaseOutcome::Scheduled { at, gen } => (at, gen),
             o => panic!("unexpected {o:?}"),
         };
-        assert!(at_sleepy >= 12_500, "sleeping waiter pays the wake latency, got {at_sleepy}");
+        assert!(
+            at_sleepy >= 12_500,
+            "sleeping waiter pays the wake latency, got {at_sleepy}"
+        );
         // Previous owner comes back at t=10_100 — inside the wake window —
         // and steals (same-core fetch ≈ 15-35ns ≪ 2500ns).
         match l.acquire(10_100, 0, c0, s0, PathClass::Main) {
             AcquireOutcome::StealPending { at, gen: g2 } => {
                 assert!(at < at_sleepy);
                 assert!(g2 > gen);
-                assert!(matches!(l.try_finalize(gen), GrantOutcome::Stale), "old grant stale");
+                assert!(
+                    matches!(l.try_finalize(gen), GrantOutcome::Stale),
+                    "old grant stale"
+                );
                 match l.try_finalize(g2) {
                     GrantOutcome::Granted { tid, .. } => assert_eq!(tid, 0, "monopolization"),
                     o => panic!("unexpected {o:?}"),
@@ -592,14 +652,23 @@ mod tests {
         let mut l = lock(LockKind::Ticket);
         let (c0, s0) = place(0);
         let (c4, s4) = place(4);
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
-        assert!(matches!(l.acquire(10, 4, c4, s4, PathClass::Main), AcquireOutcome::Queued));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
+        assert!(matches!(
+            l.acquire(10, 4, c4, s4, PathClass::Main),
+            AcquireOutcome::Queued
+        ));
         let gen = match l.release(1_000, 0, c0, s0) {
             ReleaseOutcome::Scheduled { gen, .. } => gen,
             o => panic!("unexpected {o:?}"),
         };
         // Old owner tries to barge during the hand-off; it must queue.
-        assert!(matches!(l.acquire(1_001, 0, c0, s0, PathClass::Main), AcquireOutcome::Queued));
+        assert!(matches!(
+            l.acquire(1_001, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Queued
+        ));
         match l.try_finalize(gen) {
             GrantOutcome::Granted { tid, .. } => assert_eq!(tid, 4, "FIFO respected"),
             o => panic!("unexpected {o:?}"),
@@ -610,13 +679,22 @@ mod tests {
     fn mutex_prefers_spinning_local_over_remote() {
         let mut l = lock(LockKind::Mutex);
         let (c0, s0) = place(0);
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
         // Two fresh (spinning) waiters: core 1 (same socket), core 4
         // (remote). Release within their spin windows.
         let (c1, s1) = place(1);
         let (c4, s4) = place(4);
-        assert!(matches!(l.acquire(100, 1, c1, s1, PathClass::Main), AcquireOutcome::Queued));
-        assert!(matches!(l.acquire(100, 4, c4, s4, PathClass::Main), AcquireOutcome::Queued));
+        assert!(matches!(
+            l.acquire(100, 1, c1, s1, PathClass::Main),
+            AcquireOutcome::Queued
+        ));
+        assert!(matches!(
+            l.acquire(100, 4, c4, s4, PathClass::Main),
+            AcquireOutcome::Queued
+        ));
         // Run many trials statistically via fresh locks (jitter matters).
         // Same-socket observation 25+U(0,20) vs remote 120+U(0,20): local
         // must always win here since 45 < 120.
@@ -633,7 +711,10 @@ mod tests {
     fn idle_release_and_reacquire() {
         let mut l = lock(LockKind::Mutex);
         let (c0, s0) = place(0);
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
         assert!(matches!(l.release(100, 0, c0, s0), ReleaseOutcome::Idle));
         assert!(l.is_idle());
         // Re-acquire by the same core is cheap (line still local).
@@ -648,7 +729,10 @@ mod tests {
     fn release_by_non_owner_panics() {
         let mut l = lock(LockKind::Ticket);
         let (c0, s0) = place(0);
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
         let (c1, s1) = place(1);
         let _ = l.release(10, 1, c1, s1);
     }
@@ -657,10 +741,16 @@ mod tests {
     fn selective_boost_jumps_queue() {
         let mut l = lock(LockKind::Selective);
         let (c0, s0) = place(0);
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
         for tid in 1..4 {
             let (c, s) = place(tid);
-            assert!(matches!(l.acquire(10, tid, c, s, PathClass::Main), AcquireOutcome::Queued));
+            assert!(matches!(
+                l.acquire(10, tid, c, s, PathClass::Main),
+                AcquireOutcome::Queued
+            ));
         }
         // Boost thread 3 (its request "just completed"): it must be
         // served before the FIFO-earlier threads 1 and 2.
@@ -687,10 +777,16 @@ mod tests {
     fn boost_is_ignored_by_other_kinds() {
         let mut l = lock(LockKind::Ticket);
         let (c0, s0) = place(0);
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
         for tid in 1..3 {
             let (c, s) = place(tid);
-            assert!(matches!(l.acquire(10, tid, c, s, PathClass::Main), AcquireOutcome::Queued));
+            assert!(matches!(
+                l.acquire(10, tid, c, s, PathClass::Main),
+                AcquireOutcome::Queued
+            ));
         }
         l.boost(2); // no-op for ticket
         match l.release(1_000, 0, c0, s0) {
@@ -706,10 +802,16 @@ mod tests {
     fn trace_records_waiting_counts() {
         let mut l = lock(LockKind::Ticket);
         let (c0, s0) = place(0);
-        assert!(matches!(l.acquire(0, 0, c0, s0, PathClass::Main), AcquireOutcome::Granted { .. }));
+        assert!(matches!(
+            l.acquire(0, 0, c0, s0, PathClass::Main),
+            AcquireOutcome::Granted { .. }
+        ));
         for tid in 1..4 {
             let (c, s) = place(tid);
-            assert!(matches!(l.acquire(1, tid, c, s, PathClass::Main), AcquireOutcome::Queued));
+            assert!(matches!(
+                l.acquire(1, tid, c, s, PathClass::Main),
+                AcquireOutcome::Queued
+            ));
         }
         if let ReleaseOutcome::Scheduled { gen, .. } = l.release(100, 0, c0, s0) {
             let _ = l.try_finalize(gen);

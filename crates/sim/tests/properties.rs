@@ -39,7 +39,11 @@ fn run_workload(kind: LockKind, seed: u64, plan: &[Vec<(u16, u16)>]) -> (u64, Ve
         );
     }
     let report = p.run();
-    let owners: Vec<u32> = report.lock_traces[0].records().iter().map(|r| r.owner).collect();
+    let owners: Vec<u32> = report.lock_traces[0]
+        .records()
+        .iter()
+        .map(|r| r.owner)
+        .collect();
     (report.end_ns, owners)
 }
 

@@ -20,7 +20,11 @@ fn platform(seed: u64) -> Arc<VirtualPlatform> {
 }
 
 fn desc(name: &str, core: u32) -> ThreadDesc {
-    ThreadDesc { name: name.into(), node: 0, core: CoreId(core) }
+    ThreadDesc {
+        name: name.into(),
+        node: 0,
+        core: CoreId(core),
+    }
 }
 
 #[test]
@@ -159,7 +163,11 @@ fn mutex_is_biased_ticket_is_not() {
                         p2.lock_release(lock, PathClass::Main, tok);
                         // Mostly quick returns; occasionally a long stall
                         // (window refill), like the throughput benchmark.
-                        let think = if k % 16 == 15 { 5_000 } else { 100 + (p2.rng_u64() % 300) };
+                        let think = if k % 16 == 15 {
+                            5_000
+                        } else {
+                            100 + (p2.rng_u64() % 300)
+                        };
                         p2.compute(think);
                     }
                 }),
@@ -211,7 +219,11 @@ fn ticket_fairness_in_acquisition_counts() {
     let r = p.run();
     let trace = &r.lock_traces[0];
     assert_eq!(trace.len(), 1200);
-    assert!(trace.jain_index() > 0.99, "ticket must be fair: {}", trace.jain_index());
+    assert!(
+        trace.jain_index() > 0.99,
+        "ticket must be fair: {}",
+        trace.jain_index()
+    );
 }
 
 #[test]
@@ -245,7 +257,10 @@ fn mutex_monopolizes_under_asymmetric_return() {
         mutex_run > ticket_run,
         "mutex monopoly run {mutex_run} must exceed ticket {ticket_run}"
     );
-    assert!(mutex_run >= 3, "fast returner should chain acquisitions: {mutex_run}");
+    assert!(
+        mutex_run >= 3,
+        "fast returner should chain acquisitions: {mutex_run}"
+    );
 }
 
 #[test]

@@ -103,7 +103,12 @@ impl StencilConfig {
     /// Rank at grid coordinates, if inside the grid.
     pub fn rank_at(&self, cx: i64, cy: i64, cz: i64) -> Option<u32> {
         let (px, py, pz) = self.pgrid;
-        if cx < 0 || cy < 0 || cz < 0 || cx >= i64::from(px) || cy >= i64::from(py) || cz >= i64::from(pz)
+        if cx < 0
+            || cy < 0
+            || cz < 0
+            || cx >= i64::from(px)
+            || cy >= i64::from(py)
+            || cz >= i64::from(pz)
         {
             return None;
         }
@@ -216,7 +221,14 @@ impl RankStencil {
             nx,
             ny,
             nz,
-            bufs: [Grid { data: UnsafeCell::new(init.clone()) }, Grid { data: UnsafeCell::new(init) }],
+            bufs: [
+                Grid {
+                    data: UnsafeCell::new(init.clone()),
+                },
+                Grid {
+                    data: UnsafeCell::new(init),
+                },
+            ],
             barrier: SpinBarrier::new(cfg.threads),
             stats: Mutex::new(PhaseStats::default()),
         }
@@ -231,7 +243,8 @@ impl RankStencil {
     fn neighbor(&self, dir: Dir) -> Option<u32> {
         let (cx, cy, cz) = self.cfg.coords(self.rank);
         let (dx, dy, dz) = dir.offset();
-        self.cfg.rank_at(i64::from(cx) + dx, i64::from(cy) + dy, i64::from(cz) + dz)
+        self.cfg
+            .rank_at(i64::from(cx) + dx, i64::from(cy) + dy, i64::from(cz) + dz)
     }
 
     /// Interior cells of the rank after the run (x-major), for
@@ -264,13 +277,7 @@ impl RankStencil {
 
 /// Extract a face plane from `buf` for sending.
 #[allow(clippy::too_many_arguments)]
-fn pack_face(
-    st: &RankStencil,
-    buf: &[f64],
-    dir: Dir,
-    z0: usize,
-    z1: usize,
-) -> Vec<u8> {
+fn pack_face(st: &RankStencil, buf: &[f64], dir: Dir, z0: usize, z1: usize) -> Vec<u8> {
     let mut out: Vec<f64> = Vec::new();
     match dir {
         Dir::Xm | Dir::Xp => {
@@ -375,7 +382,10 @@ pub fn stencil_thread(st: &RankStencil, h: &RankHandle, thread: u32) -> Option<P
             }
             let _ = is_z;
             if let Some(nb) = st.neighbor(dir) {
-                recvs.push((dir, h.irecv(Some(nb), Some(halo_tag(dir.opposite(), portion, iter)))));
+                recvs.push((
+                    dir,
+                    h.irecv(Some(nb), Some(halo_tag(dir.opposite(), portion, iter))),
+                ));
                 let face = pack_face(st, old, dir, z0, z1);
                 sends.push(h.isend(nb, halo_tag(dir, portion, iter), MsgData::Bytes(face)));
             }

@@ -5,8 +5,9 @@ use mtmpi_stencil::{assemble_global, stencil_serial, stencil_thread, RankStencil
 use std::sync::Arc;
 
 fn run_distributed(cfg: &StencilConfig, method: Method, nodes: u32, seed: u64) -> Vec<f64> {
-    let per_rank: Vec<Arc<RankStencil>> =
-        (0..cfg.nranks()).map(|r| Arc::new(RankStencil::new(cfg, r))).collect();
+    let per_rank: Vec<Arc<RankStencil>> = (0..cfg.nranks())
+        .map(|r| Arc::new(RankStencil::new(cfg, r)))
+        .collect();
     let exp = Experiment::with_seed(nodes, seed);
     let ranks_per_node = cfg.nranks() / nodes;
     let pr = per_rank.clone();
@@ -25,7 +26,10 @@ fn run_distributed(cfg: &StencilConfig, method: Method, nodes: u32, seed: u64) -
 }
 
 fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[test]
@@ -39,7 +43,10 @@ fn two_by_one_by_one_matches_serial() {
     };
     let got = run_distributed(&cfg, Method::Ticket, 2, 1);
     let want = stencil_serial(cfg.global, cfg.iters);
-    assert!(max_abs_diff(&got, &want) < 1e-12, "distributed must equal serial");
+    assert!(
+        max_abs_diff(&got, &want) < 1e-12,
+        "distributed must equal serial"
+    );
 }
 
 #[test]
@@ -93,13 +100,17 @@ fn phase_stats_cover_time() {
         threads: 2,
         cell_ns: 2,
     };
-    let per_rank: Vec<Arc<RankStencil>> =
-        (0..cfg.nranks()).map(|r| Arc::new(RankStencil::new(&cfg, r))).collect();
+    let per_rank: Vec<Arc<RankStencil>> = (0..cfg.nranks())
+        .map(|r| Arc::new(RankStencil::new(&cfg, r)))
+        .collect();
     let stats = Arc::new(parking_lot::Mutex::new(Vec::new()));
     let exp = Experiment::with_seed(2, 5);
     let (pr, st2) = (per_rank.clone(), stats.clone());
     exp.run(
-        RunConfig::new(Method::Ticket).nodes(2).ranks_per_node(1).threads_per_rank(cfg.threads),
+        RunConfig::new(Method::Ticket)
+            .nodes(2)
+            .ranks_per_node(1)
+            .threads_per_rank(cfg.threads),
         move |ctx| {
             let st = pr[ctx.rank.rank() as usize].clone();
             if let Some(s) = stencil_thread(&st, &ctx.rank, ctx.thread) {

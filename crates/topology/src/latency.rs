@@ -115,6 +115,9 @@ mod tests {
     fn uniform_control_has_no_numa() {
         let n = NodeTopology::new(2, 4);
         let l = HandoffLatencies::UNIFORM;
-        assert_eq!(l.between(&n, CoreId(0), CoreId(0)), l.between(&n, CoreId(0), CoreId(7)));
+        assert_eq!(
+            l.between(&n, CoreId(0), CoreId(0)),
+            l.between(&n, CoreId(0), CoreId(7))
+        );
     }
 }

@@ -40,7 +40,10 @@ impl NodeTopology {
     /// Create a topology with the given socket/core counts and generic
     /// cache parameters.
     pub fn new(sockets: u32, cores_per_socket: u32) -> Self {
-        assert!(sockets > 0 && cores_per_socket > 0, "topology must have cores");
+        assert!(
+            sockets > 0 && cores_per_socket > 0,
+            "topology must have cores"
+        );
         Self {
             sockets,
             cores_per_socket,

@@ -9,8 +9,7 @@
 
 use mtmpi::prelude::*;
 use mtmpi_assembly::{
-    assembly_receiver, assembly_worker, random_genome, sample_reads, AssemblyConfig,
-    AssemblyShared,
+    assembly_receiver, assembly_worker, random_genome, sample_reads, AssemblyConfig, AssemblyShared,
 };
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -28,16 +27,28 @@ fn main() {
     for method in Method::PAPER_TRIO {
         let shared: Vec<Arc<AssemblyShared>> = (0..nranks)
             .map(|r| {
-                let mine: Vec<_> =
-                    reads.iter().skip(r as usize).step_by(nranks as usize).cloned().collect();
-                Arc::new(AssemblyShared::new(AssemblyConfig::default(), r, nranks, mine))
+                let mine: Vec<_> = reads
+                    .iter()
+                    .skip(r as usize)
+                    .step_by(nranks as usize)
+                    .cloned()
+                    .collect();
+                Arc::new(AssemblyShared::new(
+                    AssemblyConfig::default(),
+                    r,
+                    nranks,
+                    mine,
+                ))
             })
             .collect();
         let stats = Arc::new(Mutex::new(None));
         let exp = Experiment::quick(1);
         let (sh, st) = (shared.clone(), stats.clone());
         let out = exp.run(
-            RunConfig::new(method).nodes(1).ranks_per_node(nranks).threads_per_rank(2),
+            RunConfig::new(method)
+                .nodes(1)
+                .ranks_per_node(nranks)
+                .threads_per_rank(2),
             move |ctx| {
                 let s = sh[ctx.rank.rank() as usize].clone();
                 if ctx.thread == 0 {

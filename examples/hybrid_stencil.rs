@@ -7,9 +7,7 @@
 //! ```
 
 use mtmpi::prelude::*;
-use mtmpi_stencil::{
-    assemble_global, stencil_serial, stencil_thread, RankStencil, StencilConfig,
-};
+use mtmpi_stencil::{assemble_global, stencil_serial, stencil_thread, RankStencil, StencilConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -27,14 +25,18 @@ fn main() {
     );
     let reference = stencil_serial(cfg.global, cfg.iters);
     for method in Method::PAPER_TRIO {
-        let per_rank: Vec<Arc<RankStencil>> =
-            (0..cfg.nranks()).map(|r| Arc::new(RankStencil::new(&cfg, r))).collect();
+        let per_rank: Vec<Arc<RankStencil>> = (0..cfg.nranks())
+            .map(|r| Arc::new(RankStencil::new(&cfg, r)))
+            .collect();
         let stats = Arc::new(Mutex::new(mtmpi_stencil::PhaseStats::default()));
         let exp = Experiment::quick(8);
         let (pr, st) = (per_rank.clone(), stats.clone());
         let threads = cfg.threads;
         let out = exp.run(
-            RunConfig::new(method).nodes(8).ranks_per_node(1).threads_per_rank(threads),
+            RunConfig::new(method)
+                .nodes(8)
+                .ranks_per_node(1)
+                .threads_per_rank(threads),
             move |ctx| {
                 let s = pr[ctx.rank.rank() as usize].clone();
                 if let Some(ps) = stencil_thread(&s, &ctx.rank, ctx.thread) {

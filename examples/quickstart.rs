@@ -12,7 +12,10 @@ fn main() {
     for method in Method::PAPER_TRIO {
         let exp = Experiment::quick(2);
         let out = exp.run(
-            RunConfig::new(method).nodes(2).ranks_per_node(1).threads_per_rank(4),
+            RunConfig::new(method)
+                .nodes(2)
+                .ranks_per_node(1)
+                .threads_per_rank(4),
             |ctx| {
                 let h = &ctx.rank;
                 let tag = ctx.thread as i32;

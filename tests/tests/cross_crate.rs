@@ -77,20 +77,23 @@ fn ticket_beats_mutex_under_heavy_contention() {
     let rate = |m: Method| {
         let exp = Experiment::with_seed(2, 3);
         let out = exp.run(
-            RunConfig::new(m).nodes(2).ranks_per_node(1).threads_per_rank(8),
+            RunConfig::new(m)
+                .nodes(2)
+                .ranks_per_node(1)
+                .threads_per_rank(8),
             |ctx| {
                 let h = &ctx.rank;
                 if h.rank() == 0 {
                     for _ in 0..4 {
-                        let reqs: Vec<_> =
-                            (0..64).map(|_| h.isend(1, 0, MsgData::Synthetic(1))).collect();
+                        let reqs: Vec<_> = (0..64)
+                            .map(|_| h.isend(1, 0, MsgData::Synthetic(1)))
+                            .collect();
                         h.waitall(reqs);
                         let _ = h.recv(Some(1), Some(ctx.thread as i32 + 500));
                     }
                 } else {
                     for _ in 0..4 {
-                        let reqs: Vec<_> =
-                            (0..64).map(|_| h.irecv(Some(0), Some(0))).collect();
+                        let reqs: Vec<_> = (0..64).map(|_| h.irecv(Some(0), Some(0))).collect();
                         h.waitall(reqs);
                         h.send(0, ctx.thread as i32 + 500, MsgData::Synthetic(1));
                     }
@@ -109,7 +112,11 @@ fn ticket_beats_mutex_under_heavy_contention() {
 
 #[test]
 fn granularity_modes_are_correct() {
-    for g in [Granularity::Global, Granularity::BriefGlobal, Granularity::PerQueue] {
+    for g in [
+        Granularity::Global,
+        Granularity::BriefGlobal,
+        Granularity::PerQueue,
+    ] {
         let exp = Experiment::with_seed(2, 5);
         let got = Arc::new(AtomicU64::new(0));
         let g2 = got.clone();
@@ -149,21 +156,34 @@ fn native_platform_end_to_end() {
     use mtmpi_sim::{NativePlatform, Platform, ThreadDesc};
     use mtmpi_topology::{presets, CoreId};
 
-    for kind in [LockKind::Mutex, LockKind::Ticket, LockKind::Priority, LockKind::Mcs] {
+    for kind in [
+        LockKind::Mutex,
+        LockKind::Ticket,
+        LockKind::Priority,
+        LockKind::Mcs,
+    ] {
         let p: Arc<dyn Platform> = Arc::new(NativePlatform::new(
             presets::nehalem_cluster_scaled(2),
             NetModel::instant(),
             0.0, // compute() is free; real time still flows
             42,
         ));
-        let w = World::builder(p.clone()).ranks(2).rank_on_node(|r| r).lock(kind).build();
+        let w = World::builder(p.clone())
+            .ranks(2)
+            .rank_on_node(|r| r)
+            .lock(kind)
+            .build();
         let total = Arc::new(AtomicU64::new(0));
         for t in 0..2u32 {
             let a = w.rank(0);
             let b = w.rank(1);
             let total2 = total.clone();
             p.spawn(
-                ThreadDesc { name: format!("s{t}"), node: 0, core: CoreId(t) },
+                ThreadDesc {
+                    name: format!("s{t}"),
+                    node: 0,
+                    core: CoreId(t),
+                },
                 Box::new(move || {
                     for i in 0..200u32 {
                         a.send(1, t as i32, MsgData::Bytes(i.to_le_bytes().to_vec()));
@@ -171,14 +191,15 @@ fn native_platform_end_to_end() {
                 }),
             );
             p.spawn(
-                ThreadDesc { name: format!("r{t}"), node: 1, core: CoreId(t) },
+                ThreadDesc {
+                    name: format!("r{t}"),
+                    node: 1,
+                    core: CoreId(t),
+                },
                 Box::new(move || {
                     for i in 0..200u32 {
                         let m = b.recv(Some(0), Some(t as i32));
-                        assert_eq!(
-                            u32::from_le_bytes(m.data.as_bytes().try_into().unwrap()),
-                            i
-                        );
+                        assert_eq!(u32::from_le_bytes(m.data.as_bytes().try_into().unwrap()), i);
                         total2.fetch_add(1, Ordering::Relaxed);
                     }
                 }),
@@ -186,7 +207,7 @@ fn native_platform_end_to_end() {
         }
         let report = p.run();
         assert_eq!(total.load(Ordering::Relaxed), 400, "{kind:?}");
-        assert!(report.lock_traces[0].len() > 0 || report.lock_traces[1].len() > 0);
+        assert!(!report.lock_traces[0].is_empty() || !report.lock_traces[1].is_empty());
     }
 }
 
@@ -196,7 +217,10 @@ fn single_method_matches_one_thread() {
     let run = |m: Method, t: u32| {
         let exp = Experiment::with_seed(2, 9);
         let out = exp.run(
-            RunConfig::new(m).nodes(2).ranks_per_node(1).threads_per_rank(t),
+            RunConfig::new(m)
+                .nodes(2)
+                .ranks_per_node(1)
+                .threads_per_rank(t),
             |ctx| {
                 let h = &ctx.rank;
                 if h.rank() == 0 {
