@@ -7,7 +7,7 @@
 //! ablation quantifies that on the throughput workload.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::print_figure_header;
+use mtmpi_bench::{print_figure_header, Fig};
 
 fn main() {
     print_figure_header(
@@ -15,6 +15,7 @@ fn main() {
         "(not in the paper; motivated by §7)",
         "1B messages, 8 tpn, msg rate in 1e3 msgs/s",
     );
+    let fig = Fig::new("ablation_granularity");
     let mut t = Table::new(&["granularity", "Mutex", "Ticket", "Priority"]);
     for g in [
         Granularity::Global,
@@ -26,7 +27,8 @@ fn main() {
         for m in Method::PAPER_TRIO {
             let mut exp = Experiment::quick(2);
             exp.seed ^= 0xAB1A; // distinct stream per table
-                                // Rebuild the experiment with this granularity via RunConfig.
+            let exp = fig.wire(exp);
+            // Rebuild the experiment with this granularity via RunConfig.
             let r = {
                 let out = exp.run(
                     RunConfig::new(m)
@@ -64,4 +66,5 @@ fn main() {
     print!("{}", t.render());
     println!("\nExpectation: finer granularity lifts all methods; arbitration still");
     println!("separates them (synergy, not substitution).");
+    fig.finish();
 }

@@ -3,7 +3,7 @@
 //! hand-over budget) and the spinlock baselines.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{print_figure_header, throughput_run, ThroughputParams};
+use mtmpi_bench::{print_figure_header, throughput_run, Fig, ThroughputParams};
 
 fn main() {
     print_figure_header(
@@ -20,10 +20,11 @@ fn main() {
         Method::Tas,
         Method::Mcs,
     ];
+    let fig = Fig::new("ablation_locks");
     let mut t = Table::new(&["method", "compact_rate", "scatter_rate", "dangling_compact"]);
     for m in methods {
         eprintln!("[zoo] {} ...", m.label());
-        let exp = Experiment::quick(2);
+        let exp = fig.experiment(2);
         let c = throughput_run(&exp, m, ThroughputParams::new(1, 8));
         let s = throughput_run(
             &exp,
@@ -43,4 +44,5 @@ fn main() {
     }
     print!("{}", t.render());
     println!("\n(rates in 1e3 msgs/s; cohort should cut scatter's cross-socket traffic)");
+    fig.finish();
 }

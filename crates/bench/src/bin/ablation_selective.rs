@@ -7,7 +7,7 @@
 //! thread that can free the request and issue new work immediately.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{print_figure_header, throughput_run, ThroughputParams};
+use mtmpi_bench::{print_figure_header, throughput_run, Fig, ThroughputParams};
 
 fn main() {
     print_figure_header(
@@ -21,12 +21,13 @@ fn main() {
         Method::Priority,
         Method::Selective,
     ];
+    let mut fig = Fig::new("ablation_selective");
     let mut series: Vec<Series> = Vec::new();
     for m in methods {
         eprintln!("[selective] {} ...", m.label());
         let mut s = Series::new(m.label());
         for size in [1u64, 64, 1024, 4096] {
-            let exp = Experiment::quick(2);
+            let exp = fig.experiment(2);
             let r = throughput_run(&exp, m, ThroughputParams::new(size, 8));
             s.push(size as f64, r.rate / 1e3);
         }
@@ -37,5 +38,8 @@ fn main() {
     let (ticket, selective) = (&series[1], &series[3]);
     if let Some(r) = selective.mean_ratio_vs(ticket) {
         println!("\nselective/ticket mean ratio: {r:.2} (the paper conjectured a win)");
+        fig.scalar("selective_over_ticket_mean", r);
     }
+    fig.series_all(&series);
+    fig.finish();
 }

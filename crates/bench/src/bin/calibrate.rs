@@ -5,10 +5,11 @@
 //! model still reproduces the paper's phenomena (DESIGN.md §5).
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{throughput_run, ThroughputParams};
+use mtmpi_bench::{throughput_run, Fig, ThroughputParams};
 
 fn main() {
-    let exp = Experiment::quick(2);
+    let fig = Fig::new("calibrate");
+    let exp = fig.experiment(2);
     println!("-- throughput, 1B messages, compact --");
     for threads in [1u32, 2, 4, 8] {
         for m in [Method::Mutex, Method::Ticket, Method::Priority] {
@@ -35,4 +36,5 @@ fn main() {
             println!("{b:?} t={threads}: rate={:.0} k/s", r.rate / 1e3);
         }
     }
+    fig.finish();
 }

@@ -8,7 +8,7 @@
 //! core is unchanged.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::print_figure_header;
+use mtmpi_bench::{print_figure_header, Fig};
 use mtmpi_graph500::{generate_kronecker, hybrid_bfs_thread, HybridBfs};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -22,11 +22,13 @@ fn main() {
     let scale = 17;
     let el = Arc::new(generate_kronecker(scale, 16, 0x5EED));
     let root = el.edges[0].0;
+    let mut fig = Fig::new("fig10a");
     let mut t = Table::new(&["threads", "MTEPS", "speedup", "efficiency_%"]);
     let mut base = 0.0f64;
+    let mut s = Series::new("MTEPS");
     for threads in [1u32, 2, 4, 8] {
         eprintln!("[fig10a] {threads} threads ...");
-        let exp = Experiment::quick(1);
+        let exp = fig.experiment(1);
         let bfs = Arc::new(HybridBfs::new(&el, root, 0, 1, threads));
         let stats = Arc::new(Mutex::new(None));
         let (b2, s2) = (bfs.clone(), stats.clone());
@@ -55,7 +57,10 @@ fn main() {
             format!("{:.2}", mteps / base),
             format!("{:.0}", 100.0 * mteps / base / f64::from(threads)),
         ]);
+        s.push(f64::from(threads), mteps);
     }
     print!("{}", t.render());
     println!("\n(paper: efficiency ~100% to 4 threads, ~90% at 8)");
+    fig.series(&s);
+    fig.finish();
 }

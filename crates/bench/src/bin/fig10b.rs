@@ -10,18 +10,24 @@
 //! Scaled down: scale 18, 8 processes.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::print_figure_header;
+use mtmpi_bench::{print_figure_header, Fig};
 use mtmpi_graph500::{generate_kronecker, hybrid_bfs_thread, HybridBfs};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-fn mteps(method: Method, el: &Arc<mtmpi_graph500::EdgeList>, nprocs: u32, threads: u32) -> f64 {
+fn mteps(
+    fig: &Fig,
+    method: Method,
+    el: &Arc<mtmpi_graph500::EdgeList>,
+    nprocs: u32,
+    threads: u32,
+) -> f64 {
     let root = el.edges[0].0;
     let per_rank: Vec<Arc<HybridBfs>> = (0..nprocs)
         .map(|r| Arc::new(HybridBfs::new(el, root, r, nprocs, threads)))
         .collect();
     let stats = Arc::new(Mutex::new(None));
-    let exp = Experiment::quick(nprocs);
+    let exp = fig.experiment(nprocs);
     let (pr, s2) = (per_rank, stats.clone());
     let out = exp.run(
         RunConfig::new(method)
@@ -47,12 +53,13 @@ fn main() {
         "8 procs, scale 18; same thread sweep",
     );
     let el = Arc::new(generate_kronecker(18, 16, 0x5EED));
+    let fig = Fig::new("fig10b");
     let mut t = Table::new(&["threads", "Mutex", "Ticket", "Priority"]);
     for threads in [1u32, 2, 4, 8] {
         eprintln!("[fig10b] {threads} threads ...");
         let row: Vec<String> = Method::PAPER_TRIO
             .iter()
-            .map(|&m| format!("{:.1}", mteps(m, &el, 8, threads)))
+            .map(|&m| format!("{:.1}", mteps(&fig, m, &el, 8, threads)))
             .collect();
         let mut cells = vec![threads.to_string()];
         cells.extend(row);
@@ -60,4 +67,5 @@ fn main() {
     }
     print!("{}", t.render());
     println!("\n(units: MTEPS; paper shows fair locks scaling to 4 threads, mutex not)");
+    fig.finish();
 }

@@ -7,7 +7,7 @@
 //! Scaled down: 2-16 nodes, scales 15-18 (problem grows with nodes).
 
 use mtmpi::prelude::*;
-use mtmpi_bench::print_figure_header;
+use mtmpi_bench::{print_figure_header, Fig};
 use mtmpi_graph500::{generate_kronecker, hybrid_bfs_thread, HybridBfs};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -18,6 +18,7 @@ fn main() {
         "BFS weak scaling (1 proc/node, 8 thr): ~2x for fair locks at every size",
         "nodes 2..16 with scales 15..18",
     );
+    let fig = Fig::new("fig10c");
     let mut t = Table::new(&["nodes", "cores", "scale", "Mutex", "Ticket", "Priority"]);
     for (nodes, scale) in [(2u32, 15u32), (4, 16), (8, 17), (16, 18)] {
         eprintln!("[fig10c] {nodes} nodes, scale {scale} ...");
@@ -33,7 +34,7 @@ fn main() {
                 .map(|r| Arc::new(HybridBfs::new(&el, root, r, nodes, 8)))
                 .collect();
             let stats = Arc::new(Mutex::new(None));
-            let exp = Experiment::quick(nodes);
+            let exp = fig.experiment(nodes);
             let (pr, s2) = (per_rank, stats.clone());
             let out = exp.run(
                 RunConfig::new(m)
@@ -58,4 +59,5 @@ fn main() {
     }
     print!("{}", t.render());
     println!("\n(units: MTEPS)");
+    fig.finish();
 }

@@ -8,17 +8,22 @@
 //! Scaled down: 8 nodes x 8 threads, three problem sizes.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::print_figure_header;
+use mtmpi_bench::{print_figure_header, Fig};
 use mtmpi_stencil::{stencil_thread, RankStencil, StencilConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-fn gflops(method: Method, cfg: &StencilConfig, nodes: u32) -> (f64, mtmpi_stencil::PhaseStats) {
+fn gflops(
+    fig: &Fig,
+    method: Method,
+    cfg: &StencilConfig,
+    nodes: u32,
+) -> (f64, mtmpi_stencil::PhaseStats) {
     let per_rank: Vec<Arc<RankStencil>> = (0..cfg.nranks())
         .map(|r| Arc::new(RankStencil::new(cfg, r)))
         .collect();
     let stats = Arc::new(Mutex::new(mtmpi_stencil::PhaseStats::default()));
-    let exp = Experiment::quick(nodes);
+    let exp = fig.experiment(nodes);
     let (pr, s2) = (per_rank, stats.clone());
     let out = exp.run(
         RunConfig::new(method)
@@ -43,6 +48,7 @@ fn main() {
         "8 nodes x 8 threads (paper: 64 nodes), global cube sweep",
     );
     let nodes = 8u32;
+    let fig = Fig::new("fig11a");
     let mut t = Table::new(&["bytes_per_core", "Mutex", "Ticket", "Priority"]);
     // Global cubes: per-core cells = g^3/64 ranks... ranks=8 nodes x1, 8 thr.
     for g in [16usize, 32, 64, 96, 160] {
@@ -57,11 +63,12 @@ fn main() {
         let cells_per_core = (g * g * g) as f64 / f64::from(nodes * 8);
         let mut cells = vec![format!("{:.0}", cells_per_core * 8.0)];
         for m in Method::PAPER_TRIO {
-            let (gf, _) = gflops(m, &cfg, nodes);
+            let (gf, _) = gflops(&fig, m, &cfg, nodes);
             cells.push(format!("{gf:.2}"));
         }
         t.row(cells);
     }
     print!("{}", t.render());
     println!("\n(units: GFlops; paper: gap at small sizes only)");
+    fig.finish();
 }

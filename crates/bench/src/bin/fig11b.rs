@@ -6,7 +6,7 @@
 //! stops mattering in Fig 11a.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::print_figure_header;
+use mtmpi_bench::{print_figure_header, Fig};
 use mtmpi_stencil::{stencil_thread, PhaseStats, RankStencil, StencilConfig};
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -18,6 +18,7 @@ fn main() {
         "mutex method, 8 nodes x 8 threads",
     );
     let nodes = 8u32;
+    let fig = Fig::new("fig11b");
     let mut t = Table::new(&["global", "MPI_%", "Computation_%", "OMP_Sync_%"]);
     for g in [16usize, 32, 64, 96, 160] {
         eprintln!("[fig11b] global {g}^3 ...");
@@ -32,7 +33,7 @@ fn main() {
             .map(|r| Arc::new(RankStencil::new(&cfg, r)))
             .collect();
         let stats = Arc::new(Mutex::new(PhaseStats::default()));
-        let exp = Experiment::quick(nodes);
+        let exp = fig.experiment(nodes);
         let (pr, s2) = (per_rank, stats.clone());
         exp.run(
             RunConfig::new(Method::Mutex)
@@ -56,4 +57,5 @@ fn main() {
         ]);
     }
     print!("{}", t.render());
+    fig.finish();
 }

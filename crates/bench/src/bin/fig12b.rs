@@ -10,11 +10,11 @@ use mtmpi::prelude::*;
 use mtmpi_assembly::{
     assembly_receiver, assembly_worker, random_genome, sample_reads, AssemblyConfig, AssemblyShared,
 };
-use mtmpi_bench::print_figure_header;
+use mtmpi_bench::{print_figure_header, Fig};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-fn run(method: Method, reads: &[mtmpi_assembly::Read], nranks: u32) -> f64 {
+fn run(fig: &Fig, method: Method, reads: &[mtmpi_assembly::Read], nranks: u32) -> f64 {
     let shared: Vec<Arc<AssemblyShared>> = (0..nranks)
         .map(|r| {
             let mine: Vec<_> = reads
@@ -33,7 +33,7 @@ fn run(method: Method, reads: &[mtmpi_assembly::Read], nranks: u32) -> f64 {
         .collect();
     let stats = Arc::new(Mutex::new(None));
     let nodes = nranks.div_ceil(4).max(1);
-    let exp = Experiment::quick(nodes);
+    let exp = fig.experiment(nodes);
     let (sh, st) = (shared, stats.clone());
     let out = exp.run(
         RunConfig::new(method)
@@ -62,6 +62,7 @@ fn main() {
         "SWAP-assembler time vs cores: ~2x faster with fair locks at every scale",
         "40k-base genome (paper: 1M reads), 4 procs/node x 2 threads, 2-8 procs",
     );
+    let mut fig = Fig::new("fig12b");
     let genome = random_genome(40_000, 0x5EED);
     let reads = sample_reads(&genome, 40_000 * 4 / 36, 36, 0x5EED);
     let mut t = Table::new(&[
@@ -74,9 +75,9 @@ fn main() {
     ]);
     for nranks in [2u32, 4, 8] {
         eprintln!("[fig12b] {nranks} procs ...");
-        let m = run(Method::Mutex, &reads, nranks);
-        let k = run(Method::Ticket, &reads, nranks);
-        let p = run(Method::Priority, &reads, nranks);
+        let m = run(&fig, Method::Mutex, &reads, nranks);
+        let k = run(&fig, Method::Ticket, &reads, nranks);
+        let p = run(&fig, Method::Priority, &reads, nranks);
         t.row(vec![
             nranks.to_string(),
             (nranks * 2).to_string(),
@@ -85,7 +86,9 @@ fn main() {
             format!("{p:.1}"),
             format!("{:.2}", m / k),
         ]);
+        fig.scalar(format!("mutex_over_ticket_{nranks}p"), m / k);
     }
     print!("{}", t.render());
     println!("\n(execution time in virtual ms, lower is better; paper: ~2x ratio)");
+    fig.finish();
 }

@@ -6,7 +6,9 @@
 //! sizes where the wire dominates.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, throughput_series};
+use mtmpi_bench::{
+    msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, throughput_series, Fig,
+};
 
 fn main() {
     print_figure_header(
@@ -19,7 +21,8 @@ fn main() {
     } else {
         msg_sizes()
     };
-    let exp = Experiment::quick(2);
+    let mut fig = Fig::new("fig2a");
+    let exp = fig.experiment(2);
     let mut series = Vec::new();
     for threads in [1u32, 2, 4, 8] {
         eprintln!("[fig2a] mutex, {threads} tpn ...");
@@ -36,5 +39,8 @@ fn main() {
             "\n1-byte degradation 1->8 threads: {:.2}x (paper: ~4x)",
             a / b
         );
+        fig.scalar("degradation_1B_1to8", a / b);
     }
+    fig.series_all(&series);
+    fig.finish();
 }

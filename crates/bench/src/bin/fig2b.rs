@@ -5,7 +5,7 @@
 //! NUMA-sensitive (inter-socket hand-off latency and unfair arbitration).
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{print_figure_header, throughput_run, ThroughputParams};
+use mtmpi_bench::{print_figure_header, throughput_run, Fig, ThroughputParams};
 
 fn main() {
     print_figure_header(
@@ -13,7 +13,8 @@ fn main() {
         "mutex msg rate, 1 B messages: compact vs scatter, 2 & 4 threads; scatter 1.5-2x worse",
         "same sweep on the virtual platform",
     );
-    let exp = Experiment::quick(2);
+    let mut fig = Fig::new("fig2b");
+    let exp = fig.experiment(2);
     let mut t = Table::new(&[
         "threads",
         "Compact [1e3 msg/s]",
@@ -37,7 +38,9 @@ fn main() {
             format!("{:.0}", s.rate / 1e3),
             format!("{:.2}", c.rate / s.rate),
         ]);
+        fig.scalar(format!("compact_over_scatter_{threads}t"), c.rate / s.rate);
     }
     print!("{}", t.render());
     println!("\n(ratio > 1 means compact wins; paper: 1.5-2.0)");
+    fig.finish();
 }

@@ -6,7 +6,7 @@
 //! arbitration's factor is 1 by definition).
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{print_figure_header, quick_mode, throughput_run, ThroughputParams};
+use mtmpi_bench::{print_figure_header, quick_mode, throughput_run, Fig, ThroughputParams};
 
 fn main() {
     print_figure_header(
@@ -19,7 +19,8 @@ fn main() {
     } else {
         vec![1, 8, 64, 512, 4096, 32768]
     };
-    let exp = Experiment::quick(2);
+    let mut fig = Fig::new("fig3a");
+    let exp = fig.experiment(2);
     let mut t = Table::new(&[
         "size_B",
         "core_bias",
@@ -56,4 +57,7 @@ fn main() {
         mean(&sockets)
     );
     println!("control: a fair arbitration (ticket) has factors ~<=1 by construction.");
+    fig.scalar("mean_core_bias", mean(&cores));
+    fig.scalar("mean_socket_bias", mean(&sockets));
+    fig.finish();
 }

@@ -4,7 +4,7 @@
 //! medium sizes — starving threads strand completed requests.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{print_figure_header, quick_mode, throughput_run, ThroughputParams};
+use mtmpi_bench::{print_figure_header, quick_mode, throughput_run, Fig, ThroughputParams};
 
 fn main() {
     print_figure_header(
@@ -17,8 +17,10 @@ fn main() {
     } else {
         vec![1, 4, 16, 64, 256, 1024]
     };
-    let exp = Experiment::quick(2);
+    let mut fig = Fig::new("fig3c");
+    let exp = fig.experiment(2);
     let mut t = Table::new(&["size_B", "avg_dangling", "max_dangling"]);
+    let mut dangling = Series::new("avg_dangling");
     for &size in &sizes {
         eprintln!("[fig3c] size {size} ...");
         let exp2 = exp.clone();
@@ -29,7 +31,10 @@ fn main() {
             format!("{:.1}", out.dangling_avg),
             String::from("-"),
         ]);
+        dangling.push(size as f64, out.dangling_avg);
     }
     print!("{}", t.render());
     println!("\n(paper: ~100-250 average with 8 threads and 64-request windows)");
+    fig.series(&dangling);
+    fig.finish();
 }

@@ -4,7 +4,7 @@
 //! low" while mutex strands up to ~250.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{print_figure_header, quick_mode, throughput_run, ThroughputParams};
+use mtmpi_bench::{print_figure_header, quick_mode, throughput_run, Fig, ThroughputParams};
 
 fn main() {
     print_figure_header(
@@ -17,8 +17,11 @@ fn main() {
     } else {
         vec![1, 4, 16, 64, 256, 1024]
     };
-    let exp = Experiment::quick(2);
+    let mut fig = Fig::new("fig5a");
+    let exp = fig.experiment(2);
     let mut t = Table::new(&["size_B", "Mutex", "Ticket"]);
+    let mut sm = Series::new("mutex");
+    let mut sk = Series::new("ticket");
     for &size in &sizes {
         eprintln!("[fig5a] size {size} ...");
         let m = throughput_run(&exp, Method::Mutex, ThroughputParams::new(size, 8));
@@ -28,6 +31,10 @@ fn main() {
             format!("{:.1}", m.dangling_avg),
             format!("{:.1}", k.dangling_avg),
         ]);
+        sm.push(size as f64, m.dangling_avg);
+        sk.push(size as f64, k.dangling_avg);
     }
     print!("{}", t.render());
+    fig.series_all(&[sm, sk]);
+    fig.finish();
 }

@@ -8,7 +8,7 @@
 //! grows.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{print_figure_header, throughput_run, ThroughputParams};
+use mtmpi_bench::{print_figure_header, throughput_run, Fig, ThroughputParams};
 
 fn main() {
     print_figure_header(
@@ -16,7 +16,8 @@ fn main() {
         "1B msg rate vs tpn: ticket +68% @4 compact; ticket loses @2 scatter; wins @8",
         "mutex/ticket x compact/scatter sweep",
     );
-    let exp = Experiment::quick(2);
+    let fig = Fig::new("fig5b");
+    let exp = fig.experiment(2);
     let mut t = Table::new(&[
         "threads",
         "Mutex_Compact",
@@ -42,4 +43,5 @@ fn main() {
     }
     print!("{}", t.render());
     println!("\n(units: 1e3 msgs/s)");
+    fig.finish();
 }

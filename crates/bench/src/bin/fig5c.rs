@@ -4,7 +4,9 @@
 //! beyond (wire-dominated).
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, throughput_series};
+use mtmpi_bench::{
+    msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, throughput_series, Fig,
+};
 
 fn main() {
     print_figure_header(
@@ -17,7 +19,8 @@ fn main() {
     } else {
         msg_sizes()
     };
-    let exp = Experiment::quick(2);
+    let mut fig = Fig::new("fig5c");
+    let exp = fig.experiment(2);
     eprintln!("[fig5c] mutex ...");
     let m = throughput_series(&exp, Method::Mutex, 8, BindingPolicy::Compact, &sizes);
     eprintln!("[fig5c] ticket ...");
@@ -26,8 +29,12 @@ fn main() {
     print!("{}", t.render());
     if let Some(r) = k.mean_ratio_vs_below(&m, 4096.0) {
         println!("\nticket/mutex mean ratio below 4KB: {:.2} (paper ~1.3)", r);
+        fig.scalar("ticket_over_mutex_below_4k", r);
     }
     if let Some(r) = k.mean_ratio_vs_below(&m, f64::MAX) {
         println!("overall mean ratio: {:.2}", r);
+        fig.scalar("ticket_over_mutex_overall", r);
     }
+    fig.series_all(&[m, k]);
+    fig.finish();
 }

@@ -6,7 +6,7 @@
 //! source-selective matching cannot borrow another thread's receive.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{n2n_series, print_figure_header, quick_mode};
+use mtmpi_bench::{n2n_series, print_figure_header, quick_mode, Fig};
 
 fn main() {
     print_figure_header(
@@ -19,7 +19,8 @@ fn main() {
     } else {
         vec![1, 32, 1024, 8192, 32768, 262144, 1048576]
     };
-    let exp = Experiment::quick(4);
+    let mut fig = Fig::new("fig6b");
+    let exp = fig.experiment(4);
     let rounds = 4;
     eprintln!("[fig6b] ticket ...");
     let k = n2n_series(&exp, Method::Ticket, 4, 4, &sizes, rounds);
@@ -32,5 +33,8 @@ fn main() {
             "\npriority/ticket mean ratio below 32KB: {:.2} (paper ~1.33)",
             r
         );
+        fig.scalar("priority_over_ticket_below_32k", r);
     }
+    fig.series_all(&[k, p]);
+    fig.finish();
 }

@@ -4,7 +4,9 @@
 //! only ~36% of single-threaded (serialization floor of a global CS).
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, throughput_series};
+use mtmpi_bench::{
+    msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, throughput_series, Fig,
+};
 
 fn main() {
     print_figure_header(
@@ -17,7 +19,8 @@ fn main() {
     } else {
         msg_sizes()
     };
-    let exp = Experiment::quick(2);
+    let mut fig = Fig::new("fig8a");
+    let exp = fig.experiment(2);
     let mut series = Vec::new();
     for m in Method::PAPER_QUARTET {
         eprintln!("[fig8a] {} ...", m.label());
@@ -38,5 +41,10 @@ fn main() {
         priority.mean_ratio_vs_below(ticket, f64::MAX),
     ) {
         println!("\nticket/mutex below 16KB: {r1:.2}; ticket/single below 16KB: {r2:.2} (paper ~0.36); priority/ticket overall: {r3:.2} (~1)");
+        fig.scalar("ticket_over_mutex_below_16k", r1);
+        fig.scalar("ticket_over_single_below_16k", r2);
+        fig.scalar("priority_over_ticket_overall", r3);
     }
+    fig.series_all(&series);
+    fig.finish();
 }

@@ -6,7 +6,9 @@
 //! concurrent round-trips keep the network fed.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{latency_series, msg_sizes, msg_sizes_quick, print_figure_header, quick_mode};
+use mtmpi_bench::{
+    latency_series, msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, Fig,
+};
 
 fn main() {
     print_figure_header(
@@ -19,7 +21,8 @@ fn main() {
     } else {
         msg_sizes()
     };
-    let exp = Experiment::quick(2);
+    let mut fig = Fig::new("fig8b");
+    let exp = fig.experiment(2);
     let iters = 30;
     let mut series = Vec::new();
     for m in Method::PAPER_QUARTET {
@@ -35,5 +38,9 @@ fn main() {
     ) {
         println!("\nmutex/ticket latency ratio (small): {mt:.2} (paper up to 3.5)");
         println!("single/ticket latency ratio overall: {st:.2} (>1 means multithreaded wins)");
+        fig.scalar("mutex_over_ticket_small", mt);
+        fig.scalar("single_over_ticket_overall", st);
     }
+    fig.series_all(&series);
+    fig.finish();
 }

@@ -6,7 +6,7 @@
 //! monopolizes a biased lock; fairness releases the origin's operations.
 
 use mtmpi::prelude::*;
-use mtmpi_bench::{print_figure_header, quick_mode, rma_series, RmaOpKind};
+use mtmpi_bench::{print_figure_header, quick_mode, rma_series, Fig, RmaOpKind};
 
 fn main() {
     print_figure_header(
@@ -20,9 +20,10 @@ fn main() {
         vec![8, 512, 32 * 1024, 256 * 1024, 2 * 1024 * 1024]
     };
     let iters = if quick_mode() { 12 } else { 30 };
+    let mut fig = Fig::new("fig9");
     for op in [RmaOpKind::Put, RmaOpKind::Get, RmaOpKind::Accumulate] {
         println!("--- {} ---", op.label());
-        let exp = Experiment::quick(4);
+        let exp = fig.wire(Experiment::quick(4));
         let mut series = Vec::new();
         for m in Method::PAPER_TRIO {
             eprintln!("[fig9] {} {} ...", op.label(), m.label());
@@ -33,6 +34,12 @@ fn main() {
         let (mutex, ticket) = (&series[0], &series[1]);
         if let Some(r) = ticket.max_ratio_vs(mutex) {
             println!("ticket/mutex max ratio: {r:.2} (paper: up to 5x)\n");
+            fig.scalar(format!("ticket_over_mutex_max_{}", op.label()), r);
+        }
+        for mut s in series {
+            s.label = format!("{}_{}", op.label(), s.label);
+            fig.series(&s);
         }
     }
+    fig.finish();
 }

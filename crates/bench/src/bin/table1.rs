@@ -1,9 +1,11 @@
 //! Table 1: the modelled testbed specification.
 
+use mtmpi_bench::Fig;
 use mtmpi_metrics::Table;
 use mtmpi_topology::presets;
 
 fn main() {
+    let mut fig = Fig::new("table1");
     let c = presets::nehalem_cluster();
     let mut t = Table::new(&["parameter", "value"]);
     let rows = [
@@ -38,4 +40,8 @@ fn main() {
     println!("Table 1: target machine specification (paper values, encoded as the");
     println!("virtual platform's machine model; hand-off rows are model additions)\n");
     print!("{}", t.render());
+    fig.scalar("nodes", f64::from(c.nodes));
+    fig.scalar("sockets_per_node", f64::from(c.node.sockets));
+    fig.scalar("cores_per_socket", f64::from(c.node.cores_per_socket));
+    fig.finish();
 }

@@ -21,12 +21,14 @@
 
 pub mod latency;
 pub mod n2n;
+pub mod report;
 pub mod rma;
 pub mod throughput;
 pub mod util;
 
 pub use latency::{latency_run, latency_series, LatencyResult};
 pub use n2n::{n2n_run, n2n_series};
+pub use report::{trace_mode, Fig};
 pub use rma::{rma_run, rma_series, RmaOpKind};
 pub use throughput::{
     throughput_run, throughput_series, ThroughputParams, ThroughputResult, WINDOW,

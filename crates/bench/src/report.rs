@@ -1,0 +1,240 @@
+//! The shared figure-binary reporting helper.
+//!
+//! Every `fig*` binary creates one [`Fig`], routes its [`Experiment`]s
+//! through [`Fig::wire`], registers the series/scalars it prints, and
+//! calls [`Fig::finish`], which writes:
+//!
+//! * `BENCH_<id>.json` (always) — a machine-readable summary: one record
+//!   per run (label, grid, end time, CS wait/hold and message-latency
+//!   p50/p99/max) plus the registered series and scalars;
+//! * `results/<id>.trace.json` (only when tracing is on) — a merged
+//!   Chrome trace-event document, one Chrome process per traced run,
+//!   loadable in Perfetto / `chrome://tracing`.
+//!
+//! Tracing is enabled by `--trace` on the command line or
+//! `MTMPI_TRACE=1` in the environment; the always-on histograms cost a
+//! few clock reads per critical section and do not perturb the virtual
+//! clock, so `BENCH_*.json` is populated on every run.
+
+use mtmpi::prelude::*;
+use mtmpi_obs::{chrome_trace_multi, CsStats};
+use std::sync::Arc;
+
+/// Whether `--trace` was passed or `MTMPI_TRACE` is set to `1`/`true`.
+pub fn trace_mode() -> bool {
+    std::env::args().any(|a| a == "--trace")
+        || std::env::var("MTMPI_TRACE").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+}
+
+/// Per-figure collector for the machine-readable outputs.
+pub struct Fig {
+    id: String,
+    sink: Arc<Sink>,
+    trace: bool,
+    series: Vec<Series>,
+    scalars: Vec<(String, f64)>,
+}
+
+impl Fig {
+    /// Start reporting for figure `id` (e.g. `"fig2a"`). Reads the
+    /// tracing switches from the environment/argv.
+    pub fn new(id: impl Into<String>) -> Self {
+        Self {
+            id: id.into(),
+            sink: Arc::new(Sink::new()),
+            trace: trace_mode(),
+            series: Vec::new(),
+            scalars: Vec::new(),
+        }
+    }
+
+    /// Whether this figure run captures event timelines.
+    pub fn traced(&self) -> bool {
+        self.trace
+    }
+
+    /// Wire an experiment into this figure's sink (and tracing mode).
+    pub fn wire(&self, exp: Experiment) -> Experiment {
+        let exp = exp.observe(self.sink.clone());
+        exp.trace(self.trace)
+    }
+
+    /// Shorthand: a paper-grade experiment on `nodes` nodes, wired.
+    pub fn experiment(&self, nodes: u32) -> Experiment {
+        self.wire(Experiment::quick(nodes))
+    }
+
+    /// Register a plotted series for the JSON summary.
+    pub fn series(&mut self, s: &Series) {
+        self.series.push(s.clone());
+    }
+
+    /// Register all of them.
+    pub fn series_all(&mut self, ss: &[Series]) {
+        for s in ss {
+            self.series(s);
+        }
+    }
+
+    /// Register a named scalar result (speedups, degradation factors…).
+    pub fn scalar(&mut self, name: impl Into<String>, value: f64) {
+        self.scalars.push((name.into(), value));
+    }
+
+    /// Render the summary JSON (exposed for tests; [`Fig::finish`] writes
+    /// it to disk).
+    pub fn summary_json(&self) -> String {
+        let runs = self.sink.take();
+        let mut out = String::from("{");
+        out.push_str(&format!("\"id\":\"{}\"", self.id));
+        out.push_str(&format!(",\"traced\":{}", self.trace));
+        out.push_str(",\"runs\":[");
+        for (i, r) in runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"threads\":{},\"nodes\":{},\"end_ns\":{},\
+                 \"cs_wait\":{},\"cs_hold\":{},\"msg_latency\":{}}}",
+                r.label.replace('"', "'"),
+                r.threads,
+                r.nodes,
+                r.end_ns,
+                CsStats::of(&r.cs_wait).to_json(),
+                CsStats::of(&r.cs_hold).to_json(),
+                CsStats::of(&r.msg_latency).to_json(),
+            ));
+        }
+        out.push_str("],\"series\":[");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"points\":[{}]}}",
+                s.label.replace('"', "'"),
+                s.points
+                    .iter()
+                    .map(|(x, y)| format!("[{x},{y}]"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        }
+        out.push_str("],\"scalars\":{");
+        for (i, (k, v)) in self.scalars.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", k.replace('"', "'"), fmt_num(*v)));
+        }
+        out.push_str("}}");
+        out.push('\n');
+        // finish() needs the runs again for the trace merge.
+        for r in runs {
+            self.sink.push(r);
+        }
+        out
+    }
+
+    /// Write `BENCH_<id>.json` (and the merged Chrome trace when
+    /// tracing). Call last, after all runs and registrations.
+    pub fn finish(self) {
+        let summary = self.summary_json();
+        let bench_path = format!("BENCH_{}.json", self.id);
+        if let Err(e) = std::fs::write(&bench_path, summary) {
+            eprintln!("[{}] cannot write {bench_path}: {e}", self.id);
+        } else {
+            eprintln!("[{}] wrote {bench_path}", self.id);
+        }
+        if self.trace {
+            let runs = self.sink.take();
+            // One timeline per distinct configuration (a figure sweeps
+            // many sizes per config; tracing them all yields traces too
+            // large for Perfetto). The first run of each config — the
+            // smallest point of the sweep — is kept.
+            let mut seen = std::collections::HashSet::new();
+            let mut names = Vec::new();
+            let named: Vec<(&str, &mtmpi_obs::Timeline)> = runs
+                .iter()
+                .filter(|r| seen.insert((r.label.clone(), r.threads, r.nodes)))
+                .filter_map(|r| {
+                    r.timeline.as_ref().map(|t| {
+                        names.push(format!("{} {}t", r.label, r.threads));
+                        (r.label.as_str(), t)
+                    })
+                })
+                .collect();
+            if named.is_empty() {
+                eprintln!("[{}] tracing on but no timelines captured", self.id);
+                return;
+            }
+            let total = runs.iter().filter(|r| r.timeline.is_some()).count();
+            eprintln!(
+                "[{}] trace keeps {} of {} timelines (first per config): {}",
+                self.id,
+                named.len(),
+                total,
+                names.join(", ")
+            );
+            let doc = chrome_trace_multi(&named);
+            let path = format!("results/{}.trace.json", self.id);
+            if std::fs::create_dir_all("results").is_err() {
+                eprintln!("[{}] cannot create results/", self.id);
+                return;
+            }
+            match std::fs::write(&path, doc) {
+                Ok(()) => eprintln!(
+                    "[{}] wrote {path} — open in Perfetto (ui.perfetto.dev) or chrome://tracing",
+                    self.id
+                ),
+                Err(e) => eprintln!("[{}] cannot write {path}: {e}", self.id),
+            }
+        }
+    }
+}
+
+/// JSON-safe number formatting (`NaN`/`inf` are not JSON).
+fn fmt_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmpi_obs::RunRecord;
+
+    #[test]
+    fn summary_json_shape() {
+        let mut fig = Fig::new("figtest");
+        fig.sink.push(RunRecord {
+            label: "mutex".into(),
+            threads: 4,
+            nodes: 2,
+            end_ns: 123,
+            ..Default::default()
+        });
+        let mut s = Series::new("4 tpn");
+        s.push(1.0, 2.0);
+        fig.series(&s);
+        fig.scalar("degradation", 3.5);
+        let j = fig.summary_json();
+        assert!(j.contains("\"id\":\"figtest\""));
+        assert!(j.contains("\"label\":\"mutex\""));
+        assert!(j.contains("\"cs_wait\":{\"count\":0"));
+        assert!(j.contains("\"points\":[[1,2]]"));
+        assert!(j.contains("\"degradation\":3.5"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // The sink is restored for finish()'s trace pass.
+        assert_eq!(fig.sink.len(), 1);
+    }
+
+    #[test]
+    fn nonfinite_scalars_become_null() {
+        assert_eq!(fmt_num(f64::NAN), "null");
+        assert_eq!(fmt_num(2.5), "2.5");
+    }
+}

@@ -75,7 +75,10 @@ fn seeded_lock_order_cycle_is_detected() {
 #[test]
 fn seeded_leaked_request_is_detected_at_world_drop() {
     let p = platform(1, 7);
-    let w = World::builder(p.clone()).ranks(1).build();
+    let w = World::builder(p.clone())
+        .ranks(1)
+        .build()
+        .expect("valid world");
     let r0 = w.rank(0);
     spawn(&p, "leaker", 0, move || {
         // Post a receive that no sender will ever match, then drop the
@@ -84,7 +87,7 @@ fn seeded_leaked_request_is_detected_at_world_drop() {
         drop(req);
     });
     p.run();
-    let ledger = w.request_ledger(0);
+    let ledger = w.stats(0).ledger;
     assert_eq!(ledger.issued(), 1);
     assert_eq!(ledger.posted(), 1);
     assert!(
@@ -114,7 +117,8 @@ fn seeded_unfreed_send_is_detected_at_world_drop() {
     let w = World::builder(p.clone())
         .ranks(2)
         .rank_on_node(|r| r)
-        .build();
+        .build()
+        .expect("valid world");
     let (a, b) = (w.rank(0), w.rank(1));
     spawn(&p, "s", 0, move || {
         let req = a.isend(1, 4, MsgData::Bytes(vec![9]));
@@ -125,7 +129,7 @@ fn seeded_unfreed_send_is_detected_at_world_drop() {
         assert_eq!(m.data.as_bytes(), &[9]);
     });
     p.run();
-    let err = w.request_ledger(0).check_quiescent().unwrap_err();
+    let err = w.stats(0).ledger.check_quiescent().unwrap_err();
     assert_eq!(
         err.unfreed(),
         1,
@@ -145,7 +149,8 @@ fn clean_exchange_is_quiescent() {
         .ranks(2)
         .rank_on_node(|r| r)
         .lock(LockKind::Ticket)
-        .build();
+        .build()
+        .expect("valid world");
     let (a, b) = (w.rank(0), w.rank(1));
     spawn(&p, "s", 0, move || {
         let r = a.isend(1, 1, MsgData::Bytes(vec![1, 2]));
@@ -158,7 +163,7 @@ fn clean_exchange_is_quiescent() {
     });
     p.run();
     for rank in 0..2 {
-        let l = w.request_ledger(rank);
+        let l = w.stats(rank).ledger;
         assert_eq!(l.check_quiescent(), Ok(()), "rank {rank}: {l:?}");
         assert_eq!(l.in_flight(), 0);
     }

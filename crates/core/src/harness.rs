@@ -1,13 +1,26 @@
 //! The experiment harness: deterministic rank × thread grids.
 
 use crate::method::Method;
-use mtmpi_metrics::{CsTrace, DanglingSampler};
+use mtmpi_metrics::{CsTrace, DanglingSampler, Histogram};
 use mtmpi_net::NetModel;
-use mtmpi_runtime::{Granularity, RankHandle, RuntimeCosts, World};
+use mtmpi_obs::{RingRecorder, RunRecord, Sink, Timeline, DEFAULT_SHARD_CAP};
+use mtmpi_runtime::{Granularity, RankHandle, RankStats, RuntimeCosts, World};
 use mtmpi_sim::{LockModelParams, Platform, PlatformReport, ThreadDesc, VirtualPlatform};
 use mtmpi_topology::{presets, Binding, BindingPolicy, ClusterTopology};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
+
+/// Observability settings for a family of runs.
+#[derive(Clone, Default)]
+pub struct ObsConfig {
+    /// Where per-run summaries ([`RunRecord`]) accumulate; `None` = don't
+    /// summarize.
+    pub sink: Option<Arc<Sink>>,
+    /// Capture the full structured-event timeline (CS spans, request
+    /// life-cycle, poll batches, RMA services). Off by default: the
+    /// histograms are always on, the timeline costs memory.
+    pub trace: bool,
+}
 
 /// What every worker closure receives.
 pub struct ThreadCtx {
@@ -33,6 +46,8 @@ pub struct Experiment {
     pub costs: RuntimeCosts,
     /// Master seed; every derived randomness is a pure function of it.
     pub seed: u64,
+    /// Observability: summary sink and timeline capture.
+    pub obs: ObsConfig,
 }
 
 impl Experiment {
@@ -44,6 +59,7 @@ impl Experiment {
             lock_params: LockModelParams::default(),
             costs: RuntimeCosts::default(),
             seed: 0x5EED,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -53,6 +69,18 @@ impl Experiment {
             seed,
             ..Self::quick(nodes)
         }
+    }
+
+    /// Accumulate a [`RunRecord`] per run into `sink`.
+    pub fn observe(mut self, sink: Arc<Sink>) -> Self {
+        self.obs.sink = Some(sink);
+        self
+    }
+
+    /// Capture the structured-event timeline of every run.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.obs.trace = on;
+        self
     }
 
     /// Run `body` on every (rank, thread) of the grid described by `cfg`,
@@ -76,14 +104,24 @@ impl Experiment {
         };
         let nranks = nodes * cfg.ranks_per_node;
         let ranks_per_node = cfg.ranks_per_node;
-        let world = World::builder(platform.clone())
+        let recorder = self
+            .obs
+            .trace
+            .then(|| Arc::new(RingRecorder::new(DEFAULT_SHARD_CAP)));
+        let mut builder = World::builder(platform.clone())
             .ranks(nranks)
             .rank_on_node(move |r| r / ranks_per_node)
             .lock(cfg.method.lock_kind())
             .granularity(cfg.granularity)
             .costs(self.costs)
             .window_bytes(cfg.window_bytes)
-            .build();
+            .expect_rma(cfg.progress_thread);
+        if let Some(rec) = &recorder {
+            builder = builder.recorder(rec.clone());
+        }
+        let world = builder
+            .build()
+            .unwrap_or_else(|e| panic!("invalid run configuration: {e}"));
 
         // Binding: the node's worker threads (all ranks on the node ×
         // threads) fill cores according to the policy; the optional
@@ -145,13 +183,39 @@ impl Experiment {
         }
 
         let report = platform.run();
-        RunOutcome {
+        // SAFETY: `Platform::run` has returned, so every worker (and any
+        // progress thread) has been joined — no thread is still writing.
+        let timeline = recorder.map(|rec| unsafe { rec.drain_unsynced() });
+        let out = RunOutcome {
             end_ns: report.end_ns,
             report,
             world,
             nranks,
             threads_per_rank,
+            timeline,
+        };
+        if let Some(sink) = &self.obs.sink {
+            let mut cs_wait = Histogram::new();
+            let mut cs_hold = Histogram::new();
+            let mut msg_latency = Histogram::new();
+            for r in 0..nranks {
+                let st = out.world.stats(r);
+                cs_wait.merge(&st.cs_wait_ns);
+                cs_hold.merge(&st.cs_hold_ns);
+                msg_latency.merge(&st.msg_latency_ns);
+            }
+            sink.push(RunRecord {
+                label: cfg.method.label().to_string(),
+                threads: threads_per_rank,
+                nodes,
+                end_ns: out.end_ns,
+                cs_wait,
+                cs_hold,
+                msg_latency,
+                timeline: out.timeline.clone(),
+            });
         }
+        out
     }
 }
 
@@ -247,6 +311,9 @@ pub struct RunOutcome {
     pub nranks: u32,
     /// Effective threads per rank.
     pub threads_per_rank: u32,
+    /// Structured-event timeline (present when the experiment had
+    /// tracing enabled via [`Experiment::trace`]).
+    pub timeline: Option<Timeline>,
 }
 
 impl RunOutcome {
@@ -255,16 +322,22 @@ impl RunOutcome {
         &self.report.lock_traces[self.world.lock_of(rank).0]
     }
 
+    /// The unified post-run snapshot of one rank (counters, histograms,
+    /// ledger, dangling profile, window contents).
+    pub fn stats(&self, rank: u32) -> RankStats {
+        self.world.stats(rank)
+    }
+
     /// Dangling-request profile of a rank.
     pub fn dangling(&self, rank: u32) -> DanglingSampler {
-        self.world.dangling_report(rank)
+        self.stats(rank).dangling
     }
 
     /// Aggregate dangling profile over all ranks.
     pub fn dangling_all(&self) -> DanglingSampler {
         let mut acc = DanglingSampler::new();
         for r in 0..self.nranks {
-            acc.merge(&self.world.dangling_report(r));
+            acc.merge(&self.stats(r).dangling);
         }
         acc
     }

@@ -32,23 +32,15 @@
 pub mod harness;
 pub mod method;
 
-pub use harness::{Experiment, RunConfig, RunOutcome, ThreadCtx};
+pub use harness::{Experiment, ObsConfig, RunConfig, RunOutcome, ThreadCtx};
 pub use method::Method;
 
 /// Convenient glob import for examples and benches.
 pub mod prelude {
-    pub use crate::harness::{Experiment, RunConfig, RunOutcome, ThreadCtx};
+    pub use crate::harness::{Experiment, ObsConfig, RunConfig, RunOutcome, ThreadCtx};
     pub use crate::method::Method;
-    pub use mtmpi_locks::PathClass;
-    pub use mtmpi_metrics::{summary, BiasAnalysis, Series, Table};
-    pub use mtmpi_net::NetModel;
-    pub use mtmpi_runtime::{
-        Granularity, Msg, MsgData, RankHandle, Request, RuntimeCosts, TestOutcome, World,
-        ANY_SOURCE, ANY_TAG,
-    };
-    pub use mtmpi_sim::{
-        LockKind, LockModelParams, NativePlatform, Platform, PlatformReport, ThreadDesc,
-        VirtualPlatform,
-    };
-    pub use mtmpi_topology::{presets, Binding, BindingPolicy, ClusterTopology, CoreId};
+    pub use mtmpi_metrics::{summary, BiasAnalysis, Histogram, Series, Table};
+    pub use mtmpi_obs::{chrome_trace, jsonl, text_report, CsStats, RunRecord, Sink, Timeline};
+    pub use mtmpi_runtime::prelude::*;
+    pub use mtmpi_topology::{Binding, BindingPolicy};
 }

@@ -13,9 +13,11 @@
 use crate::path::PathClass;
 use crate::raw::{CsLock, CsToken};
 use mtmpi_metrics::{AcquisitionRecord, CsTrace};
+use mtmpi_obs::{Event, EventKind, Path, Recorder};
 use mtmpi_topology::{CoreId, SocketId};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 thread_local! {
@@ -64,10 +66,17 @@ pub struct Traced<L> {
     trace: std::cell::UnsafeCell<CsTrace>,
     epoch: Instant,
     acquisitions: AtomicU64,
+    /// Optional structured-event sink: one `CsSpan` per passage, emitted
+    /// at release time, tagged with this lock's id.
+    recorder: Option<(Arc<dyn Recorder>, u32)>,
+    /// `(t_req, t_acq)` of the current holder, written at grant and read
+    /// at release (both while the inner lock is held).
+    pending: std::cell::UnsafeCell<(u64, u64)>,
 }
 
-// SAFETY: `trace` is only touched while the inner lock is held, so
-// shared access is serialized; every other field is an atomic.
+// SAFETY: `trace` and `pending` are only touched while the inner lock is
+// held, so shared access is serialized; the recorder is `Send + Sync` by
+// trait bound; every other field is an atomic.
 unsafe impl<L: CsLock> Sync for Traced<L> {}
 // SAFETY: the trace cell owns its CsTrace outright; moving the wrapper
 // moves it along with the (Send) inner lock.
@@ -83,7 +92,17 @@ impl<L: CsLock> Traced<L> {
             trace: std::cell::UnsafeCell::new(CsTrace::new()),
             epoch: Instant::now(),
             acquisitions: AtomicU64::new(0),
+            recorder: None,
+            pending: std::cell::UnsafeCell::new((0, 0)),
         }
+    }
+
+    /// Stream one [`EventKind::CsSpan`] per lock passage into `recorder`,
+    /// tagging events with `lock_id`. Timestamps are wall-clock
+    /// nanoseconds since this wrapper's construction.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>, lock_id: u32) -> Self {
+        self.recorder = Some((recorder, lock_id));
+        self
     }
 
     /// Total acquisitions so far.
@@ -152,13 +171,42 @@ impl<L: CsLock> CsLock for Traced<L> {
             t_ns: self.epoch.elapsed().as_nanos() as u64,
             wait_ns: t0.elapsed().as_nanos() as u64,
         };
+        let (t_acq, wait_ns) = (rec.t_ns, rec.wait_ns);
         // SAFETY: serialized by the inner lock which we currently hold.
         unsafe { (*self.trace.get()).push(rec) };
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if self.recorder.is_some() {
+            // SAFETY: serialized by the inner lock which we currently hold.
+            unsafe { *self.pending.get() = (t_acq.saturating_sub(wait_ns), t_acq) };
+        }
         token
     }
 
     fn release(&self, class: PathClass, token: CsToken) {
+        if let Some((r, lock_id)) = &self.recorder {
+            if r.enabled() {
+                // SAFETY: the inner lock is still held until the
+                // `release` below, serializing `pending`.
+                let (t_req, t_acq) = unsafe { *self.pending.get() };
+                let (core, socket) = self.placement();
+                r.record(Event {
+                    t_ns: self.epoch.elapsed().as_nanos() as u64,
+                    tid: u64::from(current_thread_id()),
+                    core: core.0,
+                    socket: socket.0,
+                    kind: EventKind::CsSpan {
+                        lock: *lock_id,
+                        kind: self.inner.name(),
+                        path: match class {
+                            PathClass::Main => Path::Main,
+                            PathClass::Progress => Path::Progress,
+                        },
+                        t_req,
+                        t_acq,
+                    },
+                });
+            }
+        }
         self.inner.release(class, token);
     }
 }
@@ -265,6 +313,50 @@ mod tests {
         for r in &recs[1..] {
             let sum: u32 = r.waiting_per_socket.iter().sum();
             assert_eq!(sum, r.waiting, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn recorder_sees_one_span_per_passage() {
+        use mtmpi_obs::RingRecorder;
+        let rec = Arc::new(RingRecorder::new(mtmpi_obs::DEFAULT_SHARD_CAP));
+        let lock = Arc::new(Traced::new(TicketLock::new()).with_recorder(rec.clone(), 7));
+        let handles: Vec<_> = (0..2u32)
+            .map(|i| {
+                let lock = lock.clone();
+                std::thread::spawn(move || {
+                    set_current_core(CoreId(i), SocketId(0));
+                    for _ in 0..100 {
+                        let t = lock.acquire(PathClass::Main);
+                        lock.release(PathClass::Main, t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(lock);
+        let timeline = Arc::try_unwrap(rec)
+            .ok()
+            .expect("sole owner")
+            .into_timeline();
+        assert_eq!(timeline.len(), 200);
+        for e in &timeline.events {
+            match e.kind {
+                mtmpi_obs::EventKind::CsSpan {
+                    lock: id,
+                    kind,
+                    t_req,
+                    t_acq,
+                    ..
+                } => {
+                    assert_eq!(id, 7);
+                    assert_eq!(kind, "ticket");
+                    assert!(t_req <= t_acq && t_acq <= e.t_ns);
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
         }
     }
 

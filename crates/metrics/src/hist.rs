@@ -1,0 +1,285 @@
+//! Log-bucketed histograms for latency-style quantities.
+//!
+//! [`Histogram`] trades precision for a fixed footprint: values land in
+//! power-of-two buckets (`0`, `[1,2)`, `[2,4)`, … `[2^63, 2^64)`), so the
+//! whole structure is 65 counters plus four scalars regardless of sample
+//! count. Quantile estimates are exact to within the width of the bucket
+//! the quantile falls in, and are clamped to the observed `[min, max]`
+//! range so degenerate distributions (all samples equal) report exactly.
+//!
+//! Recording is branch-light (`leading_zeros` + an array increment), cheap
+//! enough to leave on unconditionally in the runtime's critical section.
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples (nanoseconds, bytes, …).
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .field("p50", &self.p50())
+            .field("p99", &self.p99())
+            .finish()
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `floor(log2(v)) + 1`, so bucket
+/// `i >= 1` covers `[2^(i-1), 2^i)`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_high(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Quantile estimate: the upper bound of the bucket the `q`-quantile
+    /// sample falls in, clamped to the observed range. `q` outside
+    /// `[0, 1]` is clamped.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based (ceil, so q=0.5 over two
+        // samples picks the first).
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                return bucket_high(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Raw bucket counts (bucket `0` holds zeros; bucket `i >= 1` holds
+    /// values in `[2^(i-1), 2^i)`).
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // 0 is its own bucket; powers of two start a new bucket; the
+        // value just below a power of two stays in the previous one.
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..64usize {
+            let lo = 1u64 << (i - 1);
+            assert_eq!(bucket_of(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_of(bucket_high(i)), i, "upper edge of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn single_value_quantiles_are_exact() {
+        let mut h = Histogram::new();
+        h.record(1234);
+        // One sample: every quantile is that sample, thanks to the
+        // [min, max] clamp.
+        assert_eq!(h.p50(), 1234);
+        assert_eq!(h.p99(), 1234);
+        assert_eq!(h.quantile(0.0), 1234);
+        assert_eq!(h.quantile(1.0), 1234);
+        assert_eq!(h.max(), 1234);
+        assert_eq!(h.min(), 1234);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::new();
+        // 99 samples at 1 and one at 1024: p50 in bucket [1,2), p99 at
+        // the low edge, p100 (max) exact.
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1024);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 1);
+        assert_eq!(h.p99(), 1);
+        assert_eq!(h.quantile(1.0), 1024);
+        assert_eq!(h.max(), 1024);
+    }
+
+    #[test]
+    fn quantile_estimate_is_bucket_bounded() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300, 400] {
+            h.record(v);
+        }
+        // p50 targets the 2nd sample (200, bucket [128,256) → high 255).
+        assert_eq!(h.p50(), 255);
+        // p99 targets the 4th sample (400, bucket [256,512) → high 400
+        // after the max clamp).
+        assert_eq!(h.p99(), 400);
+    }
+
+    #[test]
+    fn merge_matches_bulk_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+            all.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn mean_and_sum() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.sum(), 60);
+        assert!((h.mean() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zeros_land_in_bucket_zero() {
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(0);
+        }
+        assert_eq!(h.buckets()[0], 5);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+    }
+}

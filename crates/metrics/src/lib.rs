@@ -9,18 +9,22 @@
 //!   fair arbitration, and their ratios (the *bias factors* of Fig 3a).
 //! * [`dangling`] — the §4.4 dangling-request metric: completed-but-unfreed
 //!   requests sampled at lock acquisitions.
+//! * [`hist`] — log2-bucketed histograms (CS wait/hold, message latency)
+//!   with p50/p99/max summaries, cheap enough to keep always-on.
 //! * [`series`] — simple labelled series and statistics helpers.
 //! * [`table`] — fixed-width table / CSV rendering used by every figure
 //!   binary so outputs look like the paper's data.
 
 pub mod bias;
 pub mod dangling;
+pub mod hist;
 pub mod series;
 pub mod table;
 pub mod trace;
 
 pub use bias::{BiasAnalysis, BiasFactors};
 pub use dangling::DanglingSampler;
+pub use hist::Histogram;
 pub use series::{summary, Series, Summary};
 pub use table::Table;
 pub use trace::{AcquisitionRecord, CsTrace};

@@ -1,0 +1,136 @@
+//! The typed event model.
+//!
+//! Every record is stamped with the platform clock (`t_ns`), the
+//! platform-stable thread id, and the recording thread's core/socket
+//! placement. On the virtual platform the clock is virtual time, so two
+//! identical runs produce identical event streams; on the native platform
+//! it is scaled wall time and streams are only statistically stable.
+//!
+//! Span-like records ([`EventKind::CsSpan`]) carry their earlier
+//! timestamps inline and use `t_ns` as the *end* of the span, because the
+//! recorder is append-only: emitting once at the end keeps the hot path to
+//! a single push.
+
+/// Which lock path a critical-section entry used (paper Fig 6a): the
+/// high-priority main path (application calls) or the low-priority
+/// progress path (polling loops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Path {
+    /// High-priority application path.
+    Main,
+    /// Low-priority progress-engine path.
+    Progress,
+}
+
+impl Path {
+    /// Lower-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            Path::Main => "main",
+            Path::Progress => "progress",
+        }
+    }
+}
+
+/// Request life-cycle phase (paper Fig 3b: Issue → Post → Complete →
+/// Free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqPhase {
+    /// Request object created by an `isend`/`irecv`.
+    Issue,
+    /// Receive entered the posted queue (no immediate match).
+    Post,
+    /// Matching data arrived; the request holds its message.
+    Complete,
+    /// Application freed the request (`test`/`wait` returned it).
+    Free,
+}
+
+impl ReqPhase {
+    /// Lower-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReqPhase::Issue => "issue",
+            ReqPhase::Post => "post",
+            ReqPhase::Complete => "complete",
+            ReqPhase::Free => "free",
+        }
+    }
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// One critical-section passage: requested at `t_req`, acquired at
+    /// `t_acq`, released at the event's `t_ns`. Wait time is
+    /// `t_acq - t_req`; hold time is `t_ns - t_acq`.
+    CsSpan {
+        /// Platform lock id (pairs with `PlatformReport::lock_traces`).
+        lock: u32,
+        /// Arbitration label (`"mutex"`, `"ticket"`, …).
+        kind: &'static str,
+        /// Path class of the entry.
+        path: Path,
+        /// When the thread requested the lock.
+        t_req: u64,
+        /// When the thread was granted the lock.
+        t_acq: u64,
+    },
+    /// A request life-cycle transition on `rank`.
+    Req {
+        /// Owning rank.
+        rank: u32,
+        /// Which transition.
+        phase: ReqPhase,
+    },
+    /// One progress-engine mailbox drain on `rank`.
+    PollBatch {
+        /// Polling rank.
+        rank: u32,
+        /// Path class of the polling entry.
+        path: Path,
+        /// Packets drained (often 0: the wasted polls of §6.1.2).
+        packets: u32,
+    },
+    /// The target-side service of a one-sided operation on `rank`.
+    Rma {
+        /// Target rank applying the operation.
+        rank: u32,
+        /// Origin rank that issued it.
+        origin: u32,
+        /// Operation label (`"put"`, `"get"`, `"accumulate"`).
+        op: &'static str,
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+/// One timeline record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Platform clock at the event (span end for [`EventKind::CsSpan`]).
+    pub t_ns: u64,
+    /// Platform-stable thread id of the recording thread.
+    pub tid: u64,
+    /// Logical core the recording thread is pinned to (0 if unknown).
+    pub core: u32,
+    /// Socket of that core (0 if unknown).
+    pub socket: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_lowercase_and_stable() {
+        assert_eq!(Path::Main.label(), "main");
+        assert_eq!(Path::Progress.label(), "progress");
+        assert_eq!(ReqPhase::Issue.label(), "issue");
+        assert_eq!(ReqPhase::Post.label(), "post");
+        assert_eq!(ReqPhase::Complete.label(), "complete");
+        assert_eq!(ReqPhase::Free.label(), "free");
+    }
+}

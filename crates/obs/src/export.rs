@@ -1,0 +1,322 @@
+//! Timeline exporters: Chrome trace-event JSON, JSONL, and a fixed-width
+//! text report.
+//!
+//! The Chrome format is the trace-event JSON understood by
+//! `chrome://tracing` and Perfetto: an object with a `traceEvents` array
+//! of `"X"` (complete span) and `"i"` (instant) events, timestamps in
+//! microseconds. Each critical-section passage becomes *two* spans on the
+//! owning thread's track — `cs wait` (request → grant) and `cs hold`
+//! (grant → release) — so contention is visible as wait bars stacking up
+//! under a long hold.
+
+use crate::event::{Event, EventKind};
+use crate::json::{escape, fmt_f64, fmt_us};
+use crate::recorder::Timeline;
+use mtmpi_metrics::{Histogram, Table};
+
+/// Render one event as its Chrome trace-event JSON object(s).
+fn chrome_event(ev: &Event, pid: u32, out: &mut Vec<String>) {
+    let head = |name: &str, cat: &str, ph: &str, ts: u64| {
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+            escape(name),
+            cat,
+            ph,
+            pid,
+            ev.tid,
+            fmt_us(ts)
+        )
+    };
+    match &ev.kind {
+        EventKind::CsSpan {
+            lock,
+            kind,
+            path,
+            t_req,
+            t_acq,
+        } => {
+            let args = format!(
+                "\"args\":{{\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"core\":{},\"socket\":{}}}",
+                lock,
+                kind,
+                path.label(),
+                ev.core,
+                ev.socket
+            );
+            out.push(format!(
+                "{},\"dur\":{},{}}}",
+                head("cs wait", "cs", "X", *t_req),
+                fmt_us(t_acq.saturating_sub(*t_req)),
+                args
+            ));
+            out.push(format!(
+                "{},\"dur\":{},{}}}",
+                head("cs hold", "cs", "X", *t_acq),
+                fmt_us(ev.t_ns.saturating_sub(*t_acq)),
+                args
+            ));
+        }
+        EventKind::Req { rank, phase } => out.push(format!(
+            "{},\"s\":\"t\",\"args\":{{\"rank\":{}}}}}",
+            head(&format!("req {}", phase.label()), "req", "i", ev.t_ns),
+            rank
+        )),
+        EventKind::PollBatch {
+            rank,
+            path,
+            packets,
+        } => out.push(format!(
+            "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"path\":\"{}\",\"packets\":{}}}}}",
+            head("poll", "progress", "i", ev.t_ns),
+            rank,
+            path.label(),
+            packets
+        )),
+        EventKind::Rma {
+            rank,
+            origin,
+            op,
+            bytes,
+        } => out.push(format!(
+            "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"origin\":{},\"bytes\":{}}}}}",
+            head(&format!("rma {op}"), "rma", "i", ev.t_ns),
+            rank,
+            origin,
+            bytes
+        )),
+    }
+}
+
+/// All trace-event JSON objects of a timeline, with the given Chrome
+/// `pid` (use distinct pids to merge several runs into one trace).
+pub fn chrome_trace_events(t: &Timeline, pid: u32) -> Vec<String> {
+    let mut out = Vec::with_capacity(t.events.len() * 2);
+    for ev in &t.events {
+        chrome_event(ev, pid, &mut out);
+    }
+    out
+}
+
+/// A complete Chrome trace-event JSON document for one timeline.
+pub fn chrome_trace(t: &Timeline) -> String {
+    let events = chrome_trace_events(t, 0);
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped\":{}}},\"traceEvents\":[\n{}\n]}}\n",
+        t.dropped,
+        events.join(",\n")
+    )
+}
+
+/// Merge several named timelines into one Chrome trace document: each
+/// timeline becomes its own Chrome "process" (pid = index), labelled via
+/// a `process_name` metadata event so Perfetto shows the run name.
+pub fn chrome_trace_multi(runs: &[(&str, &Timeline)]) -> String {
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for (pid, (name, t)) in runs.iter().enumerate() {
+        let pid = pid as u32;
+        dropped += t.dropped;
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            pid,
+            escape(name)
+        ));
+        events.extend(chrome_trace_events(t, pid));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped\":{}}},\"traceEvents\":[\n{}\n]}}\n",
+        dropped,
+        events.join(",\n")
+    )
+}
+
+/// One JSON object per line, one line per event — greppable and
+/// stream-parseable.
+pub fn jsonl(t: &Timeline) -> String {
+    let mut out = String::new();
+    for ev in &t.events {
+        let head = format!(
+            "{{\"t\":{},\"tid\":{},\"core\":{},\"socket\":{}",
+            ev.t_ns, ev.tid, ev.core, ev.socket
+        );
+        let tail = match &ev.kind {
+            EventKind::CsSpan {
+                lock,
+                kind,
+                path,
+                t_req,
+                t_acq,
+            } => format!(
+                "\"ev\":\"cs\",\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"t_req\":{},\"t_acq\":{}",
+                lock,
+                kind,
+                path.label(),
+                t_req,
+                t_acq
+            ),
+            EventKind::Req { rank, phase } => {
+                format!("\"ev\":\"req\",\"rank\":{},\"phase\":\"{}\"", rank, phase.label())
+            }
+            EventKind::PollBatch {
+                rank,
+                path,
+                packets,
+            } => format!(
+                "\"ev\":\"poll\",\"rank\":{},\"path\":\"{}\",\"packets\":{}",
+                rank,
+                path.label(),
+                packets
+            ),
+            EventKind::Rma {
+                rank,
+                origin,
+                op,
+                bytes,
+            } => format!(
+                "\"ev\":\"rma\",\"rank\":{},\"origin\":{},\"op\":\"{}\",\"bytes\":{}",
+                rank, origin, op, bytes
+            ),
+        };
+        out.push_str(&head);
+        out.push(',');
+        out.push_str(&tail);
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Fixed-width text summary of named histograms (nanosecond samples),
+/// rendered with [`mtmpi_metrics::Table`].
+pub fn text_report(entries: &[(&str, &Histogram)]) -> String {
+    let mut t = Table::new(&["metric", "count", "p50_ns", "p99_ns", "max_ns", "mean_ns"]);
+    for (name, h) in entries {
+        t.row(vec![
+            (*name).to_owned(),
+            h.count().to_string(),
+            h.p50().to_string(),
+            h.p99().to_string(),
+            h.max().to_string(),
+            fmt_f64(h.mean()),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Path, ReqPhase};
+
+    fn sample_timeline() -> Timeline {
+        Timeline {
+            events: vec![
+                Event {
+                    t_ns: 3_000,
+                    tid: 1,
+                    core: 2,
+                    socket: 0,
+                    kind: EventKind::CsSpan {
+                        lock: 0,
+                        kind: "mutex",
+                        path: Path::Main,
+                        t_req: 1_000,
+                        t_acq: 1_500,
+                    },
+                },
+                Event {
+                    t_ns: 3_500,
+                    tid: 1,
+                    core: 2,
+                    socket: 0,
+                    kind: EventKind::Req {
+                        rank: 0,
+                        phase: ReqPhase::Issue,
+                    },
+                },
+                Event {
+                    t_ns: 4_000,
+                    tid: 2,
+                    core: 3,
+                    socket: 1,
+                    kind: EventKind::PollBatch {
+                        rank: 1,
+                        path: Path::Progress,
+                        packets: 2,
+                    },
+                },
+                Event {
+                    t_ns: 5_000,
+                    tid: 2,
+                    core: 3,
+                    socket: 1,
+                    kind: EventKind::Rma {
+                        rank: 1,
+                        origin: 0,
+                        op: "put",
+                        bytes: 64,
+                    },
+                },
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_deterministic() {
+        let t = sample_timeline();
+        let a = chrome_trace(&t);
+        let b = chrome_trace(&t);
+        assert_eq!(a, b);
+        assert!(a.starts_with('{'));
+        assert!(a.contains("\"traceEvents\":["));
+        assert!(a.contains("\"name\":\"cs wait\""));
+        assert!(a.contains("\"name\":\"cs hold\""));
+        assert!(a.contains("\"ts\":1.000")); // wait span starts at t_req
+        assert!(a.contains("\"dur\":0.500")); // wait = t_acq - t_req
+        assert!(a.contains("\"dur\":1.500")); // hold = t_rel - t_acq
+        assert!(a.contains("\"name\":\"req issue\""));
+        assert!(a.contains("\"name\":\"rma put\""));
+        // Balanced braces/brackets (cheap well-formedness check; xtask
+        // has the real parser).
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn multi_trace_names_processes() {
+        let t = sample_timeline();
+        let s = chrome_trace_multi(&[("mutex", &t), ("ticket", &t)]);
+        assert!(s.contains("\"process_name\""));
+        assert!(s.contains("\"name\":\"mutex\""));
+        assert!(s.contains("\"name\":\"ticket\""));
+        assert!(s.contains("\"pid\":1"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn jsonl_has_one_line_per_event() {
+        let t = sample_timeline();
+        let s = jsonl(&t);
+        assert_eq!(s.lines().count(), t.len());
+        assert!(s.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(s.contains("\"ev\":\"cs\""));
+        assert!(s.contains("\"ev\":\"poll\""));
+    }
+
+    #[test]
+    fn text_report_renders_rows() {
+        let mut h = Histogram::new();
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        let s = text_report(&[("cs_wait", &h), ("cs_hold", &Histogram::new())]);
+        assert!(s.contains("cs_wait"));
+        assert!(s.contains("cs_hold"));
+        assert!(s.contains("p99_ns"));
+    }
+}

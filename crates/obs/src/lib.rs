@@ -1,0 +1,38 @@
+//! # mtmpi-obs — structured observability for the runtime layers
+//!
+//! The paper's analyses (bias factors §4.3, dangling requests §4.4,
+//! main-vs-progress paths Fig 6a) all depend on *seeing inside* the
+//! runtime. This crate is the shared substrate for that: a low-overhead
+//! typed-event layer the locks, runtime, and harness thread their
+//! telemetry through, with deterministic exporters on top.
+//!
+//! * [`event`] — the event model: critical-section spans (wait/hold with
+//!   lock kind, path class, core/socket), request life-cycle transitions
+//!   (Issue → Post → Complete → Free), progress-engine poll batches, and
+//!   RMA service events, all stamped with the platform clock.
+//! * [`recorder`] — the [`Recorder`] trait, the per-thread lock-free
+//!   [`RingRecorder`], and the no-op [`NullRecorder`]. The runtime holds
+//!   an `Option<Arc<dyn Recorder>>`; `None` costs one branch per site.
+//! * [`export`] — Chrome trace-event JSON (loadable in `chrome://tracing`
+//!   and Perfetto), JSONL, and a fixed-width text report reusing
+//!   [`mtmpi_metrics::Table`].
+//! * [`summary`] — p50/p99/max summaries of [`mtmpi_metrics::Histogram`]
+//!   and the [`Sink`] the bench layer uses to collect per-run records
+//!   into `BENCH_*.json`.
+//!
+//! Clock domain: events carry whatever `Platform::now_ns` returns —
+//! virtual nanoseconds on the virtual platform (bit-deterministic per
+//! seed), scaled wall time on the native one. Reading the clock never
+//! *advances* virtual time (only `Platform::compute` does), so enabling
+//! the recorder does not perturb virtual-platform results.
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod recorder;
+pub mod summary;
+
+pub use event::{Event, EventKind, Path, ReqPhase};
+pub use export::{chrome_trace, chrome_trace_events, chrome_trace_multi, jsonl, text_report};
+pub use recorder::{NullRecorder, Recorder, RingRecorder, Timeline, DEFAULT_SHARD_CAP, MAX_SHARDS};
+pub use summary::{CsStats, RunRecord, Sink};

@@ -1,0 +1,286 @@
+//! Recorder trait and implementations.
+//!
+//! The hot path is [`Recorder::record`], called from inside the runtime's
+//! critical section and progress loops. [`RingRecorder`] keeps one
+//! append-only buffer per recording thread (claimed on first use with a
+//! single `fetch_add`), so recording is a thread-local vector push — no
+//! locks, no cross-thread traffic. [`NullRecorder`] is the disabled
+//! implementation: `enabled()` is `false` and `record` is a no-op, so
+//! callers that check `enabled()` first skip event construction entirely.
+
+use crate::event::Event;
+use std::cell::{Cell, UnsafeCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Maximum concurrently recording threads per [`RingRecorder`].
+pub const MAX_SHARDS: usize = 256;
+
+/// Default per-thread event capacity (events beyond it are counted, not
+/// stored — see [`Timeline::dropped`]).
+pub const DEFAULT_SHARD_CAP: usize = 1 << 14;
+
+/// Sink for runtime events.
+pub trait Recorder: Send + Sync {
+    /// Whether events will actually be kept. Callers should skip event
+    /// construction when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn record(&self, ev: Event);
+}
+
+/// The disabled recorder: keeps nothing, costs nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _ev: Event) {}
+}
+
+/// A drained, time-ordered event stream.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    /// Events sorted by `(t_ns, tid)` (per-thread order preserved).
+    pub events: Vec<Event>,
+    /// Events discarded because a thread exceeded its buffer capacity.
+    pub dropped: u64,
+}
+
+impl Timeline {
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+struct Shard {
+    events: UnsafeCell<Vec<Event>>,
+}
+
+// SAFETY: each shard's `events` cell is written only by the unique thread
+// that claimed the shard's slot (see `shard_for_current_thread`), and read
+// only by `drain_unsynced`, whose contract requires all recording threads
+// to have quiesced first.
+unsafe impl Sync for Shard {}
+
+/// Per-thread lock-free event buffers.
+///
+/// Each recording thread claims a private shard on its first `record`
+/// (one `fetch_add`) and appends to it with no further synchronization.
+/// Shards have a fixed capacity; overflow increments a shared drop
+/// counter instead of reallocating without bound, so a runaway trace
+/// degrades gracefully.
+pub struct RingRecorder {
+    /// Identity of this recorder, to key the thread-local slot cache.
+    id: u64,
+    shards: Vec<Shard>,
+    next_slot: AtomicUsize,
+    cap: usize,
+    dropped: AtomicU64,
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(recorder id, slot)` of the shard this thread claimed last.
+    static SLOT: Cell<(u64, usize)> = const { Cell::new((0, usize::MAX)) };
+}
+
+impl Default for RingRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_SHARD_CAP)
+    }
+}
+
+impl RingRecorder {
+    /// A recorder keeping up to `cap_per_thread` events per thread.
+    pub fn new(cap_per_thread: usize) -> Self {
+        Self {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            shards: (0..MAX_SHARDS)
+                .map(|_| Shard {
+                    events: UnsafeCell::new(Vec::new()),
+                })
+                .collect(),
+            next_slot: AtomicUsize::new(0),
+            cap: cap_per_thread.max(1),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slot of the calling thread, claiming one on first use. `None` when
+    /// more than [`MAX_SHARDS`] threads record. The cache holds one entry
+    /// per thread, so a thread alternating between two live recorders
+    /// re-claims a fresh slot at each switch — fine for the intended
+    /// one-recorder-per-run usage, wasteful otherwise.
+    fn slot(&self) -> Option<usize> {
+        let (rec, slot) = SLOT.with(Cell::get);
+        if rec == self.id {
+            return Some(slot).filter(|&s| s < MAX_SHARDS);
+        }
+        let s = self.next_slot.fetch_add(1, Ordering::Relaxed);
+        SLOT.with(|c| c.set((self.id, s)));
+        (s < MAX_SHARDS).then_some(s)
+    }
+
+    /// Events dropped so far (capacity overflow or shard exhaustion).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Drain all shards into a time-ordered [`Timeline`], consuming the
+    /// recorder (sole ownership proves no thread is still recording).
+    pub fn into_timeline(mut self) -> Timeline {
+        let dropped = self.dropped();
+        let mut events = Vec::new();
+        for shard in &mut self.shards {
+            events.append(shard.events.get_mut());
+        }
+        events.sort_by_key(|e| (e.t_ns, e.tid));
+        Timeline { events, dropped }
+    }
+
+    /// Drain all shards into a time-ordered [`Timeline`] through a shared
+    /// reference, leaving the buffers empty.
+    ///
+    /// # Safety
+    ///
+    /// Every thread that ever called [`Recorder::record`] on this
+    /// recorder must have quiesced (e.g. `Platform::run` has returned),
+    /// and no thread may record concurrently with this call.
+    pub unsafe fn drain_unsynced(&self) -> Timeline {
+        let dropped = self.dropped.swap(0, Ordering::Relaxed);
+        let mut events = Vec::new();
+        for shard in &self.shards {
+            // SAFETY: caller guarantees all recording threads have
+            // quiesced, so no shard is being appended to.
+            events.append(unsafe { &mut *shard.events.get() });
+        }
+        events.sort_by_key(|e| (e.t_ns, e.tid));
+        Timeline { events, dropped }
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, ev: Event) {
+        let Some(slot) = self.slot() else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        // SAFETY: `slot` was claimed by this thread alone (thread-local
+        // cache keyed by recorder id; claims hand out unique indices), so
+        // this cell has a single writer.
+        let events = unsafe { &mut *self.shards[slot].events.get() };
+        if events.len() < self.cap {
+            if events.capacity() == 0 {
+                events.reserve(self.cap.min(1024));
+            }
+            events.push(ev);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(t_ns: u64, tid: u64) -> Event {
+        Event {
+            t_ns,
+            tid,
+            core: 0,
+            socket: 0,
+            kind: EventKind::Req {
+                rank: 0,
+                phase: crate::event::ReqPhase::Issue,
+            },
+        }
+    }
+
+    #[test]
+    fn null_recorder_is_disabled_and_keeps_nothing() {
+        let r = NullRecorder;
+        assert!(!r.enabled());
+        r.record(ev(1, 0));
+        // Nothing observable: NullRecorder has no state at all.
+    }
+
+    #[test]
+    fn ring_recorder_orders_across_threads() {
+        let r = std::sync::Arc::new(RingRecorder::new(1024));
+        let handles: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        r.record(ev(i * 10 + tid, tid));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = std::sync::Arc::try_unwrap(r).ok().unwrap().into_timeline();
+        assert_eq!(t.len(), 400);
+        assert_eq!(t.dropped, 0);
+        assert!(t
+            .events
+            .windows(2)
+            .all(|w| (w[0].t_ns, w[0].tid) <= (w[1].t_ns, w[1].tid)));
+    }
+
+    #[test]
+    fn capacity_overflow_counts_drops() {
+        let r = RingRecorder::new(8);
+        for i in 0..20 {
+            r.record(ev(i, 0));
+        }
+        assert_eq!(r.dropped(), 12);
+        let t = r.into_timeline();
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.dropped, 12);
+    }
+
+    #[test]
+    fn two_recorders_do_not_share_thread_slots() {
+        // The same thread records into two recorders alternately; the
+        // slot cache must re-resolve per recorder.
+        let a = RingRecorder::new(64);
+        let b = RingRecorder::new(64);
+        for i in 0..10 {
+            a.record(ev(i, 0));
+            b.record(ev(i, 0));
+        }
+        assert_eq!(a.into_timeline().len(), 10);
+        assert_eq!(b.into_timeline().len(), 10);
+    }
+
+    #[test]
+    fn drain_unsynced_empties_buffers() {
+        let r = RingRecorder::new(64);
+        r.record(ev(5, 1));
+        r.record(ev(3, 1));
+        // SAFETY: single-threaded test; no concurrent recording.
+        let t = unsafe { r.drain_unsynced() };
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events[0].t_ns, 3);
+        // SAFETY: as above.
+        let t2 = unsafe { r.drain_unsynced() };
+        assert!(t2.is_empty());
+    }
+}

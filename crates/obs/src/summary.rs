@@ -1,0 +1,133 @@
+//! Per-run summaries and the cross-run [`Sink`] used by the bench layer.
+
+use crate::json::fmt_f64;
+use crate::recorder::Timeline;
+use mtmpi_metrics::Histogram;
+use std::sync::Mutex;
+
+/// Quantile summary of one histogram (the `BENCH_*.json` unit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CsStats {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median estimate.
+    pub p50: u64,
+    /// 99th-percentile estimate.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl CsStats {
+    /// Summarize a histogram.
+    pub fn of(h: &Histogram) -> Self {
+        Self {
+            count: h.count(),
+            p50: h.p50(),
+            p99: h.p99(),
+            max: h.max(),
+            mean: h.mean(),
+        }
+    }
+
+    /// As a JSON object string.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"p50\":{},\"p99\":{},\"max\":{},\"mean\":{}}}",
+            self.count,
+            self.p50,
+            self.p99,
+            self.max,
+            fmt_f64(self.mean)
+        )
+    }
+}
+
+/// Everything one harness run hands to the sink.
+#[derive(Debug, Clone, Default)]
+pub struct RunRecord {
+    /// Arbitration/method label of the run (`"mutex"`, `"ticket"`, …).
+    pub label: String,
+    /// Threads per rank.
+    pub threads: u32,
+    /// Cluster nodes used.
+    pub nodes: u32,
+    /// Virtual end time of the run.
+    pub end_ns: u64,
+    /// CS wait-time histogram merged over all ranks.
+    pub cs_wait: Histogram,
+    /// CS hold-time histogram merged over all ranks.
+    pub cs_hold: Histogram,
+    /// Receive-side message latency merged over all ranks.
+    pub msg_latency: Histogram,
+    /// Event timeline (present only when tracing was on for the run).
+    pub timeline: Option<Timeline>,
+}
+
+/// Thread-safe collector of [`RunRecord`]s across a figure binary's runs.
+#[derive(Debug, Default)]
+pub struct Sink {
+    runs: Mutex<Vec<RunRecord>>,
+}
+
+impl Sink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one run's record.
+    pub fn push(&self, r: RunRecord) {
+        self.runs.lock().expect("sink poisoned").push(r);
+    }
+
+    /// Take all records collected so far.
+    pub fn take(&self) -> Vec<RunRecord> {
+        std::mem::take(&mut *self.runs.lock().expect("sink poisoned"))
+    }
+
+    /// Number of records collected.
+    pub fn len(&self) -> usize {
+        self.runs.lock().expect("sink poisoned").len()
+    }
+
+    /// Whether nothing has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_histogram() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        let s = CsStats::of(&h);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.p50, 1000);
+        assert_eq!(s.max, 1000);
+        let j = s.to_json();
+        assert!(j.contains("\"p50\":1000"));
+        assert!(j.contains("\"mean\":1000"));
+    }
+
+    #[test]
+    fn sink_collects_and_drains() {
+        let s = Sink::new();
+        assert!(s.is_empty());
+        s.push(RunRecord {
+            label: "mutex".into(),
+            ..Default::default()
+        });
+        assert_eq!(s.len(), 1);
+        let runs = s.take();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "mutex");
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Typed construction errors for [`crate::WorldBuilder`].
+
+/// Why [`crate::WorldBuilder::build`] refused a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// `ranks(0)`: a world needs at least one MPI process.
+    ZeroRanks,
+    /// The `rank_on_node` map placed a rank on a node the platform does
+    /// not have.
+    NodeOutOfRange {
+        /// The offending rank.
+        rank: u32,
+        /// The node it was mapped to.
+        node: u32,
+        /// How many nodes the platform models.
+        nodes: u32,
+    },
+    /// RMA use was declared (`expect_rma`) but no window memory was
+    /// configured — every one-sided operation would fault at the target.
+    ZeroWindowWithRma,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::ZeroRanks => write!(f, "world needs at least one rank"),
+            BuildError::NodeOutOfRange { rank, node, nodes } => write!(
+                f,
+                "rank {rank} mapped to node {node}, but the platform has only {nodes} node(s)"
+            ),
+            BuildError::ZeroWindowWithRma => write!(
+                f,
+                "RMA use declared (expect_rma) but window_bytes is 0; \
+                 give every rank a window with WorldBuilder::window_bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        let e = BuildError::NodeOutOfRange {
+            rank: 3,
+            node: 9,
+            nodes: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("node 9"));
+        assert!(s.contains("2 node(s)"));
+        assert!(BuildError::ZeroWindowWithRma
+            .to_string()
+            .contains("window_bytes"));
+    }
+}

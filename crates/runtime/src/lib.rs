@@ -21,8 +21,12 @@
 //! * the **global critical section** protecting all of the above, with a
 //!   pluggable arbitration ([`mtmpi_sim::LockKind`]) and three
 //!   granularity modes (Fig 1): `Global`, `BriefGlobal`, `PerQueue`;
-//! * built-in **profiling**: the dangling-request sampler of §4.4 and the
-//!   acquisition traces consumed by the §4.3 bias analysis.
+//! * built-in **profiling**: the dangling-request sampler of §4.4, the
+//!   acquisition traces consumed by the §4.3 bias analysis, and — via the
+//!   [`mtmpi_obs`] observability layer — always-on CS wait/hold and
+//!   message-latency histograms plus an optional structured event
+//!   timeline (install a recorder with [`WorldBuilder::recorder`], read
+//!   everything back with [`World::stats`]).
 //!
 //! Usage sketch (see `examples/` for runnable versions):
 //!
@@ -40,7 +44,8 @@
 //!     .ranks(2)
 //!     .rank_on_node(|r| r) // rank r on node r
 //!     .lock(LockKind::Ticket)
-//!     .build();
+//!     .build()
+//!     .expect("valid configuration");
 //! let (a, b) = (world.rank(0), world.rank(1));
 //! platform.spawn(
 //!     ThreadDesc { name: "sender".into(), node: 0, core: CoreId(0) },
@@ -56,6 +61,7 @@
 
 pub mod coll;
 pub mod costs;
+pub mod errors;
 pub mod granularity;
 pub mod p2p;
 pub mod packet;
@@ -63,11 +69,39 @@ pub mod progress;
 pub mod request;
 pub mod rma;
 pub mod state;
+pub mod stats;
 pub mod types;
 pub mod world;
 
 pub use costs::RuntimeCosts;
+pub use errors::BuildError;
 pub use granularity::Granularity;
 pub use request::{Request, TestOutcome};
+pub use stats::RankStats;
 pub use types::{CommId, Msg, MsgData, Tag, ANY_SOURCE, ANY_TAG};
 pub use world::{RankHandle, World, WorldBuilder};
+
+/// One-stop imports for programs built on the runtime.
+///
+/// ```
+/// use mtmpi_runtime::prelude::*;
+/// ```
+///
+/// brings in the world-building API, message types, the platform layer
+/// (virtual and native), lock/granularity knobs, topology presets, and
+/// the observability entry points — everything the `examples/` need.
+pub mod prelude {
+    pub use crate::{
+        BuildError, CommId, Granularity, Msg, MsgData, RankHandle, RankStats, Request,
+        RuntimeCosts, Tag, TestOutcome, World, WorldBuilder, ANY_SOURCE, ANY_TAG,
+    };
+    pub use mtmpi_locks::PathClass;
+    pub use mtmpi_net::NetModel;
+    pub use mtmpi_obs::{NullRecorder, Recorder, RingRecorder, Timeline};
+    pub use mtmpi_sim::{
+        LockKind, LockModelParams, NativePlatform, Platform, PlatformReport, ThreadDesc,
+        VirtualPlatform,
+    };
+    pub use mtmpi_topology::{presets, ClusterTopology, CoreId, SocketId};
+    pub use std::sync::Arc;
+}

@@ -3,10 +3,39 @@
 use crate::packet::{Packet, PacketKind};
 use crate::progress::{deliver, poll, progress_once};
 use crate::request::{ReqInner, ReqKind, Request, TestOutcome};
-use crate::state::matches;
+use crate::state::{matches, SharedState};
 use crate::types::{CommId, Msg, MsgData, Tag};
-use crate::world::RankHandle;
+use crate::world::{RankHandle, WorldInner};
 use mtmpi_locks::PathClass;
+use mtmpi_obs::{EventKind, ReqPhase};
+
+/// Try to free `req`: on success, charge the free cost and maintain the
+/// dangling count, the life-cycle ledger, and the event stream.
+///
+/// # Safety
+///
+/// The caller must hold `rank`'s queue lock (i.e. run inside
+/// [`WorldInner::cs`]), which serializes both the request state and the
+/// shared state.
+unsafe fn try_free_in_cs(
+    w: &WorldInner,
+    st: &mut SharedState,
+    rank: u32,
+    req: &Request,
+) -> Option<Msg> {
+    // SAFETY: queue lock held (this function's contract).
+    let m = unsafe { req.inner.try_free() };
+    if m.is_some() {
+        w.platform.compute(w.costs.free_ns);
+        st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
+        st.ledger.note_freed();
+        w.rec_now(|| EventKind::Req {
+            rank,
+            phase: ReqPhase::Free,
+        });
+    }
+    m
+}
 
 impl RankHandle {
     /// Nonblocking send on the world communicator.
@@ -47,12 +76,25 @@ impl RankHandle {
                 Box::new(Packet {
                     src: src_rank,
                     seq,
-                    kind: PacketKind::Msg { comm, tag, data },
+                    kind: PacketKind::Msg {
+                        comm,
+                        tag,
+                        data,
+                        sent_ns: w.platform.now_ns(),
+                    },
                 }),
             );
             // Eager send: issued and completed in one step.
             st.ledger.note_issued();
             st.ledger.note_completed();
+            w.rec_now(|| EventKind::Req {
+                rank: src_rank,
+                phase: ReqPhase::Issue,
+            });
+            w.rec_now(|| EventKind::Req {
+                rank: src_rank,
+                phase: ReqPhase::Complete,
+            });
             ReqInner::new_completed(
                 src_rank,
                 tid,
@@ -97,6 +139,10 @@ impl RankHandle {
                 matches(src, tag, comm, u.src, u.tag, u.comm)
             });
             w.platform.compute(scanned * costs.match_scan_ns);
+            w.rec_now(|| EventKind::Req {
+                rank,
+                phase: ReqPhase::Issue,
+            });
             match pos {
                 Some(i) => {
                     let u = st.unexpected.remove(i).expect("index valid");
@@ -105,10 +151,16 @@ impl RankHandle {
                     w.platform
                         .compute(costs.complete_ns + costs.unexpected_copy_ns(u.data.len()));
                     st.dangling_now += 1;
+                    st.msg_latency_ns
+                        .record(w.platform.now_ns().saturating_sub(u.sent_ns));
                     // Unexpected match: issued and completed immediately,
                     // never posted.
                     st.ledger.note_issued();
                     st.ledger.note_completed();
+                    w.rec_now(|| EventKind::Req {
+                        rank,
+                        phase: ReqPhase::Complete,
+                    });
                     ReqInner::new_completed(
                         rank,
                         tid,
@@ -125,6 +177,10 @@ impl RankHandle {
                     let req = ReqInner::new(rank, tid, ReqKind::Recv);
                     st.ledger.note_issued();
                     st.ledger.note_posted();
+                    w.rec_now(|| EventKind::Req {
+                        rank,
+                        phase: ReqPhase::Post,
+                    });
                     st.posted.push_back(crate::state::PostedRecv {
                         req: req.clone(),
                         src,
@@ -157,13 +213,7 @@ impl RankHandle {
             // separate progress iteration and re-check.
             let first = w.cs(rank, PathClass::Main, |st| {
                 // SAFETY: queue lock held.
-                let m = unsafe { req.inner.try_free() };
-                if m.is_some() {
-                    w.platform.compute(costs.free_ns);
-                    st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
-                    st.ledger.note_freed();
-                }
-                m
+                unsafe { try_free_in_cs(w, st, rank, &req) }
             });
             if let Some(m) = first {
                 return TestOutcome::Done(m);
@@ -171,13 +221,7 @@ impl RankHandle {
             progress_once(w, rank, PathClass::Main);
             let second = w.cs(rank, PathClass::Main, |st| {
                 // SAFETY: queue lock held.
-                let m = unsafe { req.inner.try_free() };
-                if m.is_some() {
-                    w.platform.compute(costs.free_ns);
-                    st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
-                    st.ledger.note_freed();
-                }
-                m
+                unsafe { try_free_in_cs(w, st, rank, &req) }
             });
             return match second {
                 Some(m) => TestOutcome::Done(m),
@@ -187,22 +231,13 @@ impl RankHandle {
         // Global / brief-global: single CS covering check + poll + check.
         let out = w.cs(rank, PathClass::Main, |st| {
             // SAFETY: queue lock held.
-            if let Some(m) = unsafe { req.inner.try_free() } {
-                w.platform.compute(costs.free_ns);
-                st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
-                st.ledger.note_freed();
+            if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
                 return Some(m);
             }
-            let pkts = poll(w, rank);
+            let pkts = poll(w, rank, PathClass::Main);
             deliver(w, rank, st, pkts);
             // SAFETY: queue lock held.
-            if let Some(m) = unsafe { req.inner.try_free() } {
-                w.platform.compute(costs.free_ns);
-                st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
-                st.ledger.note_freed();
-                return Some(m);
-            }
-            None
+            unsafe { try_free_in_cs(w, st, rank, &req) }
         });
         match out {
             Some(m) => TestOutcome::Done(m),
@@ -228,13 +263,7 @@ impl RankHandle {
             let done = if w.granularity.split_progress_lock() {
                 let m = w.cs(rank, class, |st| {
                     // SAFETY: queue lock held.
-                    let m = unsafe { req.inner.try_free() };
-                    if m.is_some() {
-                        w.platform.compute(costs.free_ns);
-                        st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
-                        st.ledger.note_freed();
-                    }
-                    m
+                    unsafe { try_free_in_cs(w, st, rank, &req) }
                 });
                 if m.is_none() {
                     progress_once(w, rank, class);
@@ -243,22 +272,13 @@ impl RankHandle {
             } else {
                 w.cs(rank, class, |st| {
                     // SAFETY: queue lock held.
-                    if let Some(m) = unsafe { req.inner.try_free() } {
-                        w.platform.compute(costs.free_ns);
-                        st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
-                        st.ledger.note_freed();
+                    if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
                         return Some(m);
                     }
-                    let pkts = poll(w, rank);
+                    let pkts = poll(w, rank, class);
                     deliver(w, rank, st, pkts);
                     // SAFETY: queue lock held.
-                    if let Some(m) = unsafe { req.inner.try_free() } {
-                        w.platform.compute(costs.free_ns);
-                        st.dangling_now -= u64::from(req.inner.kind == ReqKind::Recv);
-                        st.ledger.note_freed();
-                        return Some(m);
-                    }
-                    None
+                    unsafe { try_free_in_cs(w, st, rank, &req) }
                 })
             };
             if let Some(m) = done {
@@ -295,11 +315,8 @@ impl RankHandle {
             w.cs(rank, class, |st| {
                 pending.retain(|(i, r)| {
                     // SAFETY: queue lock held.
-                    match unsafe { r.inner.try_free() } {
+                    match unsafe { try_free_in_cs(w, st, rank, r) } {
                         Some(m) => {
-                            w.platform.compute(costs.free_ns);
-                            st.dangling_now -= u64::from(r.inner.kind == ReqKind::Recv);
-                            st.ledger.note_freed();
                             out[*i] = Some(m);
                             false
                         }
@@ -307,7 +324,7 @@ impl RankHandle {
                     }
                 });
                 if !pending.is_empty() && !w.granularity.split_progress_lock() {
-                    let pkts = poll(w, rank);
+                    let pkts = poll(w, rank, class);
                     deliver(w, rank, st, pkts);
                 }
             });

@@ -28,6 +28,10 @@ pub enum PacketKind {
         tag: Tag,
         /// Payload.
         data: MsgData,
+        /// Platform clock at the send, for receive-side latency
+        /// profiling (comparable across ranks: the platform clock is
+        /// global).
+        sent_ns: u64,
     },
     /// One-sided request, serviced by the target's progress engine.
     Rma {

@@ -3,23 +3,32 @@
 use crate::packet::{Packet, PacketKind, RmaOp};
 use crate::state::{matches, SeqPacket, SharedState, UnexMsg};
 use crate::types::{Msg, MsgData};
-use crate::world::WorldInner;
+use crate::world::{obs_path, WorldInner};
 use mtmpi_locks::PathClass;
+use mtmpi_obs::{EventKind, ReqPhase};
 
 /// Drain the platform mailbox for `rank`. Charges the poll cost. May be
 /// called with or without the queue lock held (it touches no shared
-/// state).
-pub(crate) fn poll(w: &WorldInner, rank: u32) -> Vec<Packet> {
+/// state). `class` is the path of the enclosing CS entry, stamped into
+/// the poll-batch event.
+pub(crate) fn poll(w: &WorldInner, rank: u32, class: PathClass) -> Vec<Packet> {
     let p = &w.procs[rank as usize];
     w.platform.compute(w.costs.poll_base_ns);
-    w.platform
+    let pkts: Vec<Packet> = w
+        .platform
         .net_poll(p.endpoint)
         .into_iter()
         .map(|b| {
             *b.downcast::<Packet>()
                 .expect("mailbox carries runtime packets")
         })
-        .collect()
+        .collect();
+    w.rec_now(|| EventKind::PollBatch {
+        rank,
+        path: obs_path(class),
+        packets: pkts.len() as u32,
+    });
+    pkts
 }
 
 /// Deliver polled packets into the matching engine. Caller must hold the
@@ -44,7 +53,12 @@ pub(crate) fn deliver(w: &WorldInner, rank: u32, st: &mut SharedState, pkts: Vec
 /// Handle one in-order packet.
 fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet) {
     match pkt.kind {
-        PacketKind::Msg { comm, tag, data } => {
+        PacketKind::Msg {
+            comm,
+            tag,
+            data,
+            sent_ns,
+        } => {
             // Search the posted queue FIFO; charge per scanned entry.
             let mut scanned = 0u64;
             let pos = st.posted.iter().position(|pr| {
@@ -66,6 +80,12 @@ fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet
                     }
                     st.dangling_now += 1;
                     st.ledger.note_completed();
+                    st.msg_latency_ns
+                        .record(w.platform.now_ns().saturating_sub(sent_ns));
+                    w.rec_now(|| EventKind::Req {
+                        rank,
+                        phase: ReqPhase::Complete,
+                    });
                     if w.selective {
                         // Selective wake-up (§9 future work): the owner of
                         // the freshly completed request is the thread most
@@ -81,6 +101,7 @@ fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet
                         tag,
                         comm,
                         data,
+                        sent_ns,
                     });
                     st.note_depths();
                 }
@@ -120,6 +141,16 @@ fn apply_rma(
         "RMA beyond window: offset {off} + len {len} > {}",
         st.win_mem.len()
     );
+    w.rec_now(|| EventKind::Rma {
+        rank,
+        origin,
+        op: match op {
+            RmaOp::Put => "put",
+            RmaOp::Get { .. } => "get",
+            RmaOp::Accumulate => "accumulate",
+        },
+        bytes: data.len(),
+    });
     w.platform
         .compute(w.costs.complete_ns + w.costs.unexpected_copy_ns(len as u64));
     let reply = match op {
@@ -180,15 +211,27 @@ fn apply_rma(
 /// granularity mode's locking.
 pub(crate) fn progress_once(w: &WorldInner, rank: u32, class: PathClass) {
     if w.granularity.split_progress_lock() {
+        // The split progress lock is taken manually (no state access), so
+        // its CS span is recorded here rather than in `WorldInner::cs`.
+        let t_req = w.platform.now_ns();
         let (lock, token) = w.progress_lock(rank, class);
-        let pkts = poll(w, rank);
+        let t_acq = w.platform.now_ns();
+        let pkts = poll(w, rank, class);
+        let t_rel = w.platform.now_ns();
         w.platform.lock_release(lock, class, token);
+        w.rec_at(t_rel, || EventKind::CsSpan {
+            lock: lock.0 as u32,
+            kind: w.lock.label(),
+            path: obs_path(class),
+            t_req,
+            t_acq,
+        });
         if !pkts.is_empty() {
             w.cs(rank, class, |st| deliver(w, rank, st, pkts));
         }
     } else {
         w.cs(rank, class, |st| {
-            let pkts = poll(w, rank);
+            let pkts = poll(w, rank, class);
             deliver(w, rank, st, pkts);
         });
     }

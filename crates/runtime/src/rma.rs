@@ -70,7 +70,7 @@ impl RankHandle {
                     return Some(d);
                 }
                 if !w.granularity.split_progress_lock() {
-                    let pkts = crate::progress::poll(w, rank);
+                    let pkts = crate::progress::poll(w, rank, class);
                     crate::progress::deliver(w, rank, st, pkts);
                     if let Some(d) = st.rma_acks.remove(&token) {
                         w.platform.compute(costs.free_ns);

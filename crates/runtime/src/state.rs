@@ -4,7 +4,7 @@ use crate::packet::Packet;
 use crate::request::ReqInner;
 use crate::types::{CommId, MsgData, Tag};
 use mtmpi_check::RequestLedger;
-use mtmpi_metrics::DanglingSampler;
+use mtmpi_metrics::{DanglingSampler, Histogram};
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -24,6 +24,8 @@ pub(crate) struct UnexMsg {
     pub tag: Tag,
     pub comm: CommId,
     pub data: MsgData,
+    /// Platform clock at the send, for the message-latency histogram.
+    pub sent_ns: u64,
 }
 
 /// Heap entry for per-source in-order delivery.
@@ -69,6 +71,12 @@ pub(crate) struct SharedState {
     pub dangling: DanglingSampler,
     /// Total critical-section acquisitions by this process.
     pub cs_acquisitions: u64,
+    /// Queue-lock wait times (request → grant), one sample per CS entry.
+    pub cs_wait_ns: Histogram,
+    /// Queue-lock hold times (grant → release), one sample per CS entry.
+    pub cs_hold_ns: Histogram,
+    /// Receive-side message latency (send issue → local match).
+    pub msg_latency_ns: Histogram,
     /// RMA window memory (empty when no window configured).
     pub win_mem: Vec<u8>,
     /// Completed RMA acks awaiting their origin thread, by token.
@@ -92,6 +100,9 @@ impl SharedState {
             ledger: RequestLedger::new(),
             dangling: DanglingSampler::new(),
             cs_acquisitions: 0,
+            cs_wait_ns: Histogram::new(),
+            cs_hold_ns: Histogram::new(),
+            msg_latency_ns: Histogram::new(),
             win_mem: vec![0; win_bytes],
             rma_acks: HashMap::new(),
             rma_next_token: 1,
@@ -146,6 +157,7 @@ mod tests {
                     comm: CommId::WORLD,
                     tag: 0,
                     data: MsgData::Synthetic(0),
+                    sent_ns: 0,
                 },
             })
         };

@@ -1,9 +1,12 @@
 //! World construction and the critical-section discipline.
 
 use crate::costs::RuntimeCosts;
+use crate::errors::BuildError;
 use crate::granularity::Granularity;
 use crate::state::SharedState;
+use crate::stats::RankStats;
 use mtmpi_locks::{CsToken, PathClass};
+use mtmpi_obs::{Event, EventKind, Recorder};
 use mtmpi_sim::{LockId, LockKind, Platform};
 use std::cell::UnsafeCell;
 use std::sync::Arc;
@@ -23,6 +26,15 @@ unsafe impl Send for Process {}
 // access to `state`.
 unsafe impl Sync for Process {}
 
+/// Map a lock path class onto the obs event model's path enum (the two
+/// crates cannot share the type without a dependency cycle).
+pub(crate) fn obs_path(class: PathClass) -> mtmpi_obs::Path {
+    match class {
+        PathClass::Main => mtmpi_obs::Path::Main,
+        PathClass::Progress => mtmpi_obs::Path::Progress,
+    }
+}
+
 pub(crate) struct WorldInner {
     pub(crate) platform: Arc<dyn Platform>,
     pub(crate) costs: RuntimeCosts,
@@ -31,12 +43,52 @@ pub(crate) struct WorldInner {
     pub(crate) liveness_limit_ns: u64,
     /// Whether the CS lock consumes selective wake-up hints.
     pub(crate) selective: bool,
+    /// Arbitration of the CS locks (stamped into CS span events).
+    pub(crate) lock: LockKind,
+    /// Structured-event sink; `None` costs one branch per record site.
+    pub(crate) recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl WorldInner {
+    /// Whether events are being kept (callers should skip any expensive
+    /// event preparation when this is false).
+    #[inline]
+    pub(crate) fn rec_enabled(&self) -> bool {
+        self.recorder.as_ref().is_some_and(|r| r.enabled())
+    }
+
+    /// Record an event stamped with `t_ns`. The kind closure runs only
+    /// when an enabled recorder is installed.
+    #[inline]
+    pub(crate) fn rec_at(&self, t_ns: u64, kind: impl FnOnce() -> EventKind) {
+        if let Some(r) = &self.recorder {
+            if r.enabled() {
+                let (core, socket) =
+                    mtmpi_locks::current_core().map_or((0, 0), |(c, s)| (c.0, s.0));
+                r.record(Event {
+                    t_ns,
+                    tid: self.platform.current_tid(),
+                    core,
+                    socket,
+                    kind: kind(),
+                });
+            }
+        }
+    }
+
+    /// Record an event stamped with the current platform clock.
+    #[inline]
+    pub(crate) fn rec_now(&self, kind: impl FnOnce() -> EventKind) {
+        if self.rec_enabled() {
+            self.rec_at(self.platform.now_ns(), kind);
+        }
+    }
+
     /// Run `f` with the process state under the queue lock, charging the
     /// acquisition and feeding the dangling sampler (the §4.4 sampling
-    /// interval is "successive lock acquisitions").
+    /// interval is "successive lock acquisitions"). Wait and hold times
+    /// go to the always-on per-rank histograms; reading the clock never
+    /// advances virtual time, so this does not perturb results.
     pub(crate) fn cs<R>(
         &self,
         rank: u32,
@@ -44,14 +96,26 @@ impl WorldInner {
         f: impl FnOnce(&mut SharedState) -> R,
     ) -> R {
         let p = &self.procs[rank as usize];
+        let t_req = self.platform.now_ns();
         let token = self.platform.lock_acquire(p.cs_queue, class);
+        let t_acq = self.platform.now_ns();
         // SAFETY: we hold the queue lock for this process.
         let st = unsafe { &mut *p.state.get() };
         st.cs_acquisitions += 1;
+        st.cs_wait_ns.record(t_acq.saturating_sub(t_req));
         let d = st.dangling_now;
         st.dangling.sample(d);
         let r = f(st);
+        let t_rel = self.platform.now_ns();
+        st.cs_hold_ns.record(t_rel.saturating_sub(t_acq));
         self.platform.lock_release(p.cs_queue, class, token);
+        self.rec_at(t_rel, || EventKind::CsSpan {
+            lock: p.cs_queue.0 as u32,
+            kind: self.lock.label(),
+            path: obs_path(class),
+            t_req,
+            t_acq,
+        });
         r
     }
 
@@ -115,6 +179,8 @@ pub struct WorldBuilder {
     costs: RuntimeCosts,
     window_bytes: usize,
     liveness_limit_ns: u64,
+    expect_rma: bool,
+    recorder: Option<Arc<dyn Recorder>>,
 }
 
 impl World {
@@ -129,6 +195,8 @@ impl World {
             costs: RuntimeCosts::default(),
             window_bytes: 0,
             liveness_limit_ns: 120_000_000_000, // 120 virtual seconds
+            expect_rma: false,
+            recorder: None,
         }
     }
 
@@ -153,43 +221,63 @@ impl World {
         self.inner.procs[rank as usize].cs_queue
     }
 
+    /// Unified introspection snapshot of a rank: every profiling metric
+    /// the runtime keeps, in one struct. **Post-run only** (after
+    /// `platform.run()` has returned).
+    pub fn stats(&self, rank: u32) -> RankStats {
+        // SAFETY: documented post-run contract.
+        let st = unsafe { self.inner.state_post_run(rank) };
+        RankStats {
+            lock: self.inner.lock,
+            cs_acquisitions: st.cs_acquisitions,
+            cs_wait_ns: st.cs_wait_ns.clone(),
+            cs_hold_ns: st.cs_hold_ns.clone(),
+            msg_latency_ns: st.msg_latency_ns.clone(),
+            dangling: st.dangling.clone(),
+            ledger: st.ledger,
+            max_unexpected: st.max_unexpected,
+            max_posted: st.max_posted,
+            window: st.win_mem.clone(),
+        }
+    }
+
     /// Dangling-request sampler of a rank. **Post-run only** (after
     /// `platform.run()` has returned).
+    #[deprecated(since = "0.1.0", note = "use World::stats(rank).dangling")]
     pub fn dangling_report(&self, rank: u32) -> mtmpi_metrics::DanglingSampler {
-        // SAFETY: documented post-run contract.
-        unsafe { self.inner.state_post_run(rank).dangling.clone() }
+        self.stats(rank).dangling
     }
 
     /// Critical-section acquisition count of a rank. Post-run only.
+    #[deprecated(since = "0.1.0", note = "use World::stats(rank).cs_acquisitions")]
     pub fn cs_acquisitions(&self, rank: u32) -> u64 {
-        // SAFETY: documented post-run contract.
-        unsafe { self.inner.state_post_run(rank).cs_acquisitions }
+        self.stats(rank).cs_acquisitions
     }
 
     /// Request life-cycle ledger of a rank (see
     /// [`mtmpi_check::RequestLedger`]). Post-run only.
+    #[deprecated(since = "0.1.0", note = "use World::stats(rank).ledger")]
     pub fn request_ledger(&self, rank: u32) -> mtmpi_check::RequestLedger {
-        // SAFETY: documented post-run contract.
-        unsafe { self.inner.state_post_run(rank).ledger }
+        self.stats(rank).ledger
     }
 
     /// Unexpected-queue high-water mark. Post-run only.
+    #[deprecated(since = "0.1.0", note = "use World::stats(rank).max_unexpected")]
     pub fn max_unexpected(&self, rank: u32) -> usize {
-        // SAFETY: documented post-run contract.
-        unsafe { self.inner.state_post_run(rank).max_unexpected }
+        self.stats(rank).max_unexpected
     }
 
     /// Contents of the rank's RMA window. Post-run only.
+    #[deprecated(since = "0.1.0", note = "use World::stats(rank).window")]
     pub fn window_snapshot(&self, rank: u32) -> Vec<u8> {
-        // SAFETY: documented post-run contract.
-        unsafe { self.inner.state_post_run(rank).win_mem.clone() }
+        self.stats(rank).window
     }
 }
 
 impl WorldBuilder {
-    /// Number of MPI ranks (default 1).
+    /// Number of MPI ranks (default 1). Zero is rejected by
+    /// [`Self::build`].
     pub fn ranks(mut self, n: u32) -> Self {
-        assert!(n > 0, "need at least one rank");
         self.ranks = n;
         self
     }
@@ -225,6 +313,21 @@ impl WorldBuilder {
         self
     }
 
+    /// Declare that this world will service one-sided operations, so
+    /// [`Self::build`] can reject a zero-byte window up front instead of
+    /// letting the first `put` fault at the target.
+    pub fn expect_rma(mut self, on: bool) -> Self {
+        self.expect_rma = on;
+        self
+    }
+
+    /// Install a structured-event recorder (see [`mtmpi_obs`]). Without
+    /// one, event sites cost a single branch.
+    pub fn recorder(mut self, r: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(r);
+        self
+    }
+
     /// Abort blocking waits after this much virtual/model time (a
     /// liveness guard that turns communication bugs into loud failures).
     pub fn liveness_limit_ns(mut self, ns: u64) -> Self {
@@ -232,12 +335,29 @@ impl WorldBuilder {
         self
     }
 
-    /// Construct the world: registers one endpoint and one (or two, for
-    /// [`Granularity::PerQueue`]) locks per rank on the platform.
-    pub fn build(self) -> World {
+    /// Construct the world: validates the configuration, then registers
+    /// one endpoint and one (or two, for [`Granularity::PerQueue`]) locks
+    /// per rank on the platform.
+    pub fn build(self) -> Result<World, BuildError> {
+        if self.ranks == 0 {
+            return Err(BuildError::ZeroRanks);
+        }
+        if self.expect_rma && self.window_bytes == 0 {
+            return Err(BuildError::ZeroWindowWithRma);
+        }
+        let platform_nodes = self.platform.node_count();
         let mut procs = Vec::with_capacity(self.ranks as usize);
         for r in 0..self.ranks {
             let node = (self.node_of)(r);
+            if let Some(nodes) = platform_nodes {
+                if node >= nodes {
+                    return Err(BuildError::NodeOutOfRange {
+                        rank: r,
+                        node,
+                        nodes,
+                    });
+                }
+            }
             let endpoint = self.platform.register_endpoint(node);
             let cs_queue = self.platform.lock_create(self.lock);
             let cs_progress = if self.granularity.split_progress_lock() {
@@ -245,7 +365,6 @@ impl WorldBuilder {
             } else {
                 cs_queue
             };
-            let _ = node;
             procs.push(Process {
                 endpoint,
                 cs_queue,
@@ -253,7 +372,7 @@ impl WorldBuilder {
                 state: UnsafeCell::new(SharedState::new(self.ranks, self.window_bytes)),
             });
         }
-        World {
+        Ok(World {
             inner: Arc::new(WorldInner {
                 platform: self.platform,
                 costs: self.costs,
@@ -261,8 +380,18 @@ impl WorldBuilder {
                 procs,
                 liveness_limit_ns: self.liveness_limit_ns,
                 selective: matches!(self.lock, LockKind::Selective),
+                lock: self.lock,
+                recorder: self.recorder,
             }),
-        }
+        })
+    }
+
+    /// [`Self::build`], panicking on an invalid configuration — the
+    /// `expect` path for examples and tests where misconfiguration is a
+    /// bug, not an input.
+    pub fn build_unchecked(self) -> World {
+        self.build()
+            .unwrap_or_else(|e| panic!("invalid world configuration: {e}"))
     }
 }
 

@@ -25,7 +25,8 @@ fn run_all_ranks(
         .ranks(n)
         .rank_on_node(|r| r)
         .lock(kind)
-        .build();
+        .build()
+        .expect("valid world");
     let f = Arc::new(f);
     for r in 0..n {
         let h = w.rank(r);

@@ -40,6 +40,7 @@ fn two_rank_world(p: &Arc<dyn Platform>, kind: LockKind) -> World {
         .rank_on_node(|r| r)
         .lock(kind)
         .build()
+        .expect("valid world")
 }
 
 #[test]
@@ -235,7 +236,7 @@ fn dangling_requests_counted() {
         assert_eq!(m.data.as_bytes(), &[2]);
     });
     p.run();
-    let d = w.dangling_report(1);
+    let d = w.stats(1).dangling;
     assert!(d.samples() > 0);
     assert!(
         d.max() >= 1,
@@ -252,7 +253,8 @@ fn many_ranks_ring_exchange() {
         .ranks(n)
         .rank_on_node(|r| r)
         .lock(LockKind::Priority)
-        .build();
+        .build()
+        .expect("valid world");
     let total = Arc::new(AtomicU64::new(0));
     for r in 0..n {
         let h = w.rank(r);
@@ -279,7 +281,8 @@ fn barrier_synchronizes() {
         .ranks(n)
         .rank_on_node(|r| r)
         .lock(LockKind::Ticket)
-        .build();
+        .build()
+        .expect("valid world");
     let after = Arc::new(AtomicU64::new(0));
     let min_after = Arc::new(AtomicU64::new(u64::MAX));
     for r in 0..n {
@@ -314,7 +317,8 @@ fn allreduce_values() {
         .ranks(n)
         .rank_on_node(|r| r)
         .lock(LockKind::Ticket)
-        .build();
+        .build()
+        .expect("valid world");
     for r in 0..n {
         let h = w.rank(r);
         spawn(&p, &format!("r{r}"), r, 0, move || {
@@ -336,7 +340,8 @@ fn single_rank_collectives_are_noops() {
     let w = World::builder(p.clone())
         .ranks(1)
         .lock(LockKind::Ticket)
-        .build();
+        .build()
+        .expect("valid world");
     let h = w.rank(0);
     spawn(&p, "solo", 0, 0, move || {
         h.barrier();
@@ -398,7 +403,8 @@ fn liveness_guard_fires_on_missing_sender() {
         .rank_on_node(|r| r)
         .lock(LockKind::Ticket)
         .liveness_limit_ns(3_000_000)
-        .build();
+        .build()
+        .expect("valid world");
     let b = w.rank(1);
     // Rank 0 never sends; rank 1's recv must abort loudly.
     let a = w.rank(0);

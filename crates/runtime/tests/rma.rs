@@ -48,7 +48,8 @@ fn with_async_progress(
         .rank_on_node(|r| r)
         .lock(kind)
         .window_bytes(win_bytes)
-        .build();
+        .build()
+        .expect("valid world");
     let stop = Arc::new(AtomicBool::new(false));
     {
         let h = w.rank(0);
@@ -73,7 +74,7 @@ fn put_writes_target_window() {
     let w = with_async_progress(1, LockKind::Ticket, 32, |h| {
         h.put(1, 4, MsgData::Bytes(vec![0xAB, 0xCD, 0xEF]));
     });
-    let win = w.window_snapshot(1);
+    let win = w.stats(1).window;
     assert_eq!(&win[4..7], &[0xAB, 0xCD, 0xEF]);
     assert_eq!(win[0], 0, "untouched bytes stay zero");
 }
@@ -110,7 +111,7 @@ fn synthetic_put_and_get_only_cost_time() {
         h.get_synthetic(1, 0, 512);
     });
     assert!(
-        w.window_snapshot(1).iter().all(|&b| b == 0),
+        w.stats(1).window.iter().all(|&b| b == 0),
         "synthetic ops leave memory untouched"
     );
 }
@@ -124,7 +125,7 @@ fn rma_ops_are_ordered_per_pair() {
         h.put(1, 0, MsgData::Bytes(vec![2]));
         h.put(1, 0, MsgData::Bytes(vec![3]));
     });
-    assert_eq!(w.window_snapshot(1)[0], 3);
+    assert_eq!(w.stats(1).window[0], 3);
 }
 
 #[test]
@@ -144,7 +145,8 @@ fn many_outstanding_targets() {
         .rank_on_node(|r| r)
         .lock(LockKind::Priority)
         .window_bytes(64)
-        .build();
+        .build()
+        .expect("valid world");
     let stop = Arc::new(AtomicBool::new(false));
     {
         let h = w.rank(0);
@@ -166,7 +168,7 @@ fn many_outstanding_targets() {
     }
     p.run();
     // The last put to each target is 27, 28, 29 → targets 1, 2, 3.
-    assert_eq!(w.window_snapshot(1)[0], 27);
-    assert_eq!(w.window_snapshot(2)[0], 28);
-    assert_eq!(w.window_snapshot(3)[0], 29);
+    assert_eq!(w.stats(1).window[0], 27);
+    assert_eq!(w.stats(2).window[0], 28);
+    assert_eq!(w.stats(3).window[0], 29);
 }

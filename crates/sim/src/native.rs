@@ -74,7 +74,12 @@ pub struct NativePlatform {
 
 thread_local! {
     static NATIVE_RNG: RefCell<Option<SmallRng>> = const { RefCell::new(None) };
+    static NATIVE_TID: std::cell::Cell<Option<u64>> = const { std::cell::Cell::new(None) };
 }
+
+/// Process-wide native thread-id source (stable ids for obs events and
+/// `lock_boost` addressing).
+static NEXT_NATIVE_TID: AtomicU64 = AtomicU64::new(0);
 
 impl NativePlatform {
     /// Create a native platform. `time_scale` of 1.0 means `compute(n)`
@@ -239,6 +244,22 @@ impl Platform for NativePlatform {
         let ns = self.netstate.lock();
         let pending = !ns.mailboxes[endpoint].lock().is_empty();
         pending
+    }
+
+    fn node_count(&self) -> Option<u32> {
+        Some(self.cluster.nodes)
+    }
+
+    fn current_tid(&self) -> u64 {
+        NATIVE_TID.with(|t| {
+            if let Some(id) = t.get() {
+                id
+            } else {
+                let id = NEXT_NATIVE_TID.fetch_add(1, Ordering::Relaxed);
+                t.set(Some(id));
+                id
+            }
+        })
     }
 
     fn spawn(&self, desc: ThreadDesc, f: Box<dyn FnOnce() + Send>) {

@@ -192,6 +192,13 @@ pub trait Platform: Send + Sync {
     /// Whether any packet is in flight or queued for `endpoint`.
     fn net_pending(&self, endpoint: usize) -> bool;
 
+    /// Number of cluster nodes this platform models, when known. Used by
+    /// the runtime's world builder to validate rank→node placements
+    /// before registering endpoints.
+    fn node_count(&self) -> Option<u32> {
+        None
+    }
+
     /// Stable id of the calling worker thread (used to address
     /// [`Platform::lock_boost`] hints).
     fn current_tid(&self) -> u64 {

@@ -318,6 +318,10 @@ impl Platform for VirtualPlatform {
         }
     }
 
+    fn node_count(&self) -> Option<u32> {
+        Some(self.cluster.nodes)
+    }
+
     fn lock_boost(&self, lock: LockId, tid: u64) {
         with_ctx(|c| {
             c.sync(Op::LockBoost { lock: lock.0, tid });
@@ -461,6 +465,7 @@ impl<'p> Scheduler<'p> {
             let rtx = req_tx.clone();
             let seed = platform.seed ^ (0xA5A5_5A5A_u64.wrapping_mul(tid as u64 + 1));
             let name = desc.name.clone();
+            let core = desc.core;
             let handle = std::thread::Builder::new()
                 .name(format!("sim-{name}"))
                 .spawn(move || {
@@ -475,6 +480,10 @@ impl<'p> Scheduler<'p> {
                         rng: RefCell::new(SmallRng::seed_from_u64(seed)),
                     });
                     CTX.with(|c| *c.borrow_mut() = Some(ctx.clone()));
+                    // Announce placement so traced locks and the obs
+                    // event layer stamp events with real core/socket,
+                    // matching the native platform's workers.
+                    mtmpi_locks::set_current_core(core, socket);
                     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                     let at = ctx.now();
                     CTX.with(|c| *c.borrow_mut() = None);

@@ -34,13 +34,18 @@ fn main() {
         );
         let msgs = 4 * 1_000u64;
         let trace = out.trace(1);
+        // The unified post-run snapshot: counters + always-on histograms.
+        let stats = out.stats(1);
         println!(
-            "{:>8}: {:>7.2} ms virtual, {:>8.0} msg/s, receiver CS acquisitions: {}, fairness (Jain): {:.3}",
+            "{:>8}: {:>7.2} ms virtual, {:>8.0} msg/s, receiver CS acquisitions: {}, \
+             fairness (Jain): {:.3}, CS wait p50/p99: {}/{} ns",
             method.label(),
             out.end_ns as f64 / 1e6,
             out.msg_rate(msgs),
             trace.len(),
             trace.jain_index(),
+            stats.cs_wait_ns.p50(),
+            stats.cs_wait_ns.p99(),
         );
     }
     println!("\nSame workload, three arbitration methods — note the fair locks'");

@@ -17,8 +17,11 @@
 #              accesses guarded by std::sync::Mutex in futex.rs).
 #   miri       UB check of the locks crate under cargo miri (nightly
 #              component; skipped when not installed).
+#   obs        observability smoke test: run fig2a traced in quick mode
+#              via `xtask trace` and validate BENCH_fig2a.json and
+#              results/fig2a.trace.json are well-formed JSON.
 #
-# Usage: scripts/check.sh [fast]   ("fast" skips loom/tsan/miri)
+# Usage: scripts/check.sh [fast]   ("fast" skips loom/tsan/miri/obs)
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -51,8 +54,10 @@ if [ "$FAST" = "fast" ]; then
     skip loom "fast mode"
     skip tsan "fast mode"
     skip miri "fast mode"
+    skip obs "fast mode"
 else
     step loom cargo test -p mtmpi-locks --features loom-check --test loom
+    step obs cargo run -q -p xtask -- trace fig2a
 
     if ! cargo +nightly --version >/dev/null 2>&1; then
         skip tsan "no nightly toolchain"

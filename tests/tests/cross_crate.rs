@@ -172,7 +172,8 @@ fn native_platform_end_to_end() {
             .ranks(2)
             .rank_on_node(|r| r)
             .lock(kind)
-            .build();
+            .build()
+            .expect("valid world");
         let total = Arc::new(AtomicU64::new(0));
         for t in 0..2u32 {
             let a = w.rank(0);

@@ -1,0 +1,110 @@
+//! Observability-layer integration tests: trace determinism, the
+//! zero-perturbation guarantee, the disabled path, and the unified
+//! `World::stats` snapshot vs the legacy getters it replaced.
+
+use mtmpi::prelude::*;
+
+/// A small contended workload, traced or not.
+fn run(seed: u64, trace: bool) -> RunOutcome {
+    let exp = Experiment::with_seed(2, seed).trace(trace);
+    exp.run(
+        RunConfig::new(Method::Mutex)
+            .nodes(2)
+            .ranks_per_node(1)
+            .threads_per_rank(4)
+            .window_bytes(128),
+        |ctx| {
+            let h = &ctx.rank;
+            let tag = ctx.thread as i32;
+            if h.rank() == 0 {
+                for _ in 0..25 {
+                    h.send(1, tag, MsgData::Synthetic(64));
+                }
+                let _ = h.recv(Some(1), Some(tag));
+            } else {
+                for _ in 0..25 {
+                    let _ = h.recv(Some(0), Some(tag));
+                }
+                h.send(0, tag, MsgData::Synthetic(1));
+            }
+        },
+    )
+}
+
+#[test]
+fn identical_runs_produce_byte_identical_chrome_traces() {
+    let (a, b) = (run(11, true), run(11, true));
+    let ta = a.timeline.expect("traced run captures a timeline");
+    let tb = b.timeline.expect("traced run captures a timeline");
+    assert!(!ta.events.is_empty(), "workload should generate events");
+    assert_eq!(
+        chrome_trace(&ta),
+        chrome_trace(&tb),
+        "same seed, same platform => byte-identical trace"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_virtual_results() {
+    let traced = run(12, true);
+    let plain = run(12, false);
+    assert_eq!(
+        traced.end_ns, plain.end_ns,
+        "event recording must not advance the virtual clock"
+    );
+    let (s_t, s_p) = (traced.stats(1), plain.stats(1));
+    assert_eq!(s_t.cs_acquisitions, s_p.cs_acquisitions);
+    assert_eq!(s_t.cs_wait_ns.count(), s_p.cs_wait_ns.count());
+    assert_eq!(s_t.cs_wait_ns.p99(), s_p.cs_wait_ns.p99());
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let out = run(13, false);
+    assert!(
+        out.timeline.is_none(),
+        "no recorder attached => no timeline"
+    );
+    // Histograms stay populated either way: they are always-on.
+    assert!(out.stats(1).cs_wait_ns.count() > 0);
+}
+
+#[test]
+#[allow(deprecated)]
+fn stats_covers_every_legacy_getter() {
+    let exp = Experiment::with_seed(2, 14);
+    let out = exp.run(
+        RunConfig::new(Method::Ticket)
+            .nodes(2)
+            .ranks_per_node(1)
+            .threads_per_rank(2)
+            .window_bytes(64),
+        |ctx| {
+            let h = &ctx.rank;
+            let tag = ctx.thread as i32;
+            if h.rank() == 0 {
+                h.send(1, tag, MsgData::Synthetic(8));
+                if ctx.thread == 0 {
+                    h.put(1, 0, MsgData::Bytes(vec![9u8; 8]));
+                }
+            } else {
+                let _ = h.recv(Some(0), Some(tag));
+            }
+            if ctx.thread == 0 {
+                h.barrier();
+            }
+        },
+    );
+    for rank in 0..2 {
+        let s = out.stats(rank);
+        let w = &out.world;
+        assert_eq!(s.cs_acquisitions, w.cs_acquisitions(rank));
+        assert_eq!(s.max_unexpected, w.max_unexpected(rank));
+        assert_eq!(s.ledger, w.request_ledger(rank));
+        assert_eq!(s.window, w.window_snapshot(rank));
+        let legacy = w.dangling_report(rank);
+        assert_eq!(s.dangling.samples(), legacy.samples());
+        assert_eq!(s.dangling.max(), legacy.max());
+        assert!(s.ledger.in_flight() == 0, "run should end quiescent");
+    }
+}

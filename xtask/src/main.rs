@@ -2,6 +2,12 @@
 //!
 //! Commands:
 //!
+//! * `trace <fig>` — run one `mtmpi-bench` figure binary (e.g. `fig2a`)
+//!   in quick mode with event tracing enabled, then validate that
+//!   `BENCH_<fig>.json` and `results/<fig>.trace.json` were written and
+//!   are well-formed JSON (checked by xtask's own minimal parser — the
+//!   workspace carries no JSON dependency). See [`trace`].
+//!
 //! * `lint` — custom static pass over the lock and runtime sources that
 //!   flags *mutating* atomic operations with `Ordering::Relaxed` on lock
 //!   guard / hand-off fields. A Relaxed store to the field that transfers
@@ -18,6 +24,8 @@
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+mod trace;
 
 /// Fields through which lock ownership is transferred or observed for
 /// acquisition. Mutating one with `Ordering::Relaxed` is (at minimum) a
@@ -200,10 +208,18 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => run_lint(),
+        Some("trace") => match args.next() {
+            Some(fig) => trace::run_trace(&fig, &workspace_root()),
+            None => {
+                eprintln!("usage: cargo run -p xtask -- trace <fig>   (e.g. trace fig2a)");
+                ExitCode::FAILURE
+            }
+        },
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- lint\n  (got {:?})\n\n\
-                 lint  flag Ordering::Relaxed mutations of lock hand-off fields",
+                "usage: cargo run -p xtask -- <lint|trace <fig>>\n  (got {:?})\n\n\
+                 lint         flag Ordering::Relaxed mutations of lock hand-off fields\n\
+                 trace <fig>  run a figure binary traced and validate its JSON outputs",
                 other
             );
             ExitCode::FAILURE
