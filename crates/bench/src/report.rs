@@ -4,20 +4,28 @@
 //! through [`Fig::wire`], registers the series/scalars it prints, and
 //! calls [`Fig::finish`], which writes:
 //!
-//! * `BENCH_<id>.json` (always) — a machine-readable summary: one record
-//!   per run (label, grid, end time, CS wait/hold and message-latency
-//!   p50/p99/max) plus the registered series and scalars;
+//! * `results/BENCH_<id>.json` (always) — a machine-readable summary: one
+//!   record per run (label, grid, end time, CS wait/hold and
+//!   message-latency p50/p99/max), the registered series and scalars, and
+//!   — for the first run of each configuration — a `prof` block (blame
+//!   matrix, critical-path latency decomposition, windowed aggregation,
+//!   embedded text report) produced by `mtmpi-prof`;
+//! * `results/<id>.prom` (always) — the same profile as a Prometheus-style
+//!   text exposition, one gauge family per metric;
 //! * `results/<id>.trace.json` (only when tracing is on) — a merged
-//!   Chrome trace-event document, one Chrome process per traced run,
-//!   loadable in Perfetto / `chrome://tracing`.
+//!   Chrome trace-event document, one Chrome process per profiled run
+//!   plus a per-window `contention` counter track, loadable in Perfetto /
+//!   `chrome://tracing`.
 //!
-//! Tracing is enabled by `--trace` on the command line or
-//! `MTMPI_TRACE=1` in the environment; the always-on histograms cost a
-//! few clock reads per critical section and do not perturb the virtual
-//! clock, so `BENCH_*.json` is populated on every run.
+//! Event capture is always on: the virtual clock never advances on a
+//! clock *read*, so recording cannot perturb results, and the sink keeps
+//! only the first timeline per `(label, threads, nodes)` configuration,
+//! bounding memory across a sweep. `--trace` (or `MTMPI_TRACE=1`) only
+//! controls whether the Chrome trace document is exported.
 
 use mtmpi::prelude::*;
-use mtmpi_obs::{chrome_trace_multi, CsStats};
+use mtmpi_obs::{chrome_trace_doc, chrome_trace_multi_events, CsStats, RunRecord};
+use mtmpi_prof::ProfReport;
 use std::sync::Arc;
 
 /// Whether `--trace` was passed or `MTMPI_TRACE` is set to `1`/`true`.
@@ -37,26 +45,28 @@ pub struct Fig {
 
 impl Fig {
     /// Start reporting for figure `id` (e.g. `"fig2a"`). Reads the
-    /// tracing switches from the environment/argv.
+    /// trace-export switch from the environment/argv; event capture
+    /// itself is always on (first run per configuration).
     pub fn new(id: impl Into<String>) -> Self {
         Self {
             id: id.into(),
-            sink: Arc::new(Sink::new()),
+            sink: Arc::new(Sink::with_timeline_cap(1)),
             trace: trace_mode(),
             series: Vec::new(),
             scalars: Vec::new(),
         }
     }
 
-    /// Whether this figure run captures event timelines.
+    /// Whether this figure run exports Chrome trace documents.
     pub fn traced(&self) -> bool {
         self.trace
     }
 
-    /// Wire an experiment into this figure's sink (and tracing mode).
+    /// Wire an experiment into this figure's sink. Capture is always
+    /// enabled; the sink's per-config timeline cap bounds retention.
     pub fn wire(&self, exp: Experiment) -> Experiment {
         let exp = exp.observe(self.sink.clone());
-        exp.trace(self.trace)
+        exp.trace(true)
     }
 
     /// Shorthand: a paper-grade experiment on `nodes` nodes, wired.
@@ -95,7 +105,7 @@ impl Fig {
             }
             out.push_str(&format!(
                 "{{\"label\":\"{}\",\"threads\":{},\"nodes\":{},\"end_ns\":{},\
-                 \"cs_wait\":{},\"cs_hold\":{},\"msg_latency\":{}}}",
+                 \"cs_wait\":{},\"cs_hold\":{},\"msg_latency\":{}",
                 r.label.replace('"', "'"),
                 r.threads,
                 r.nodes,
@@ -104,6 +114,13 @@ impl Fig {
                 CsStats::of(&r.cs_hold).to_json(),
                 CsStats::of(&r.msg_latency).to_json(),
             ));
+            if let Some(t) = &r.timeline {
+                out.push_str(&format!(
+                    ",\"prof\":{}",
+                    ProfReport::analyze(t, &r.msg_latency).to_json()
+                ));
+            }
+            out.push('}');
         }
         out.push_str("],\"series\":[");
         for (i, s) in self.series.iter().enumerate() {
@@ -129,59 +146,87 @@ impl Fig {
         }
         out.push_str("}}");
         out.push('\n');
-        // finish() needs the runs again for the trace merge.
+        // finish() needs the runs again for the prom/trace passes.
         for r in runs {
             self.sink.push(r);
         }
         out
     }
 
-    /// Write `BENCH_<id>.json` (and the merged Chrome trace when
-    /// tracing). Call last, after all runs and registrations.
+    /// The profiled runs (those that kept a timeline), in sink order.
+    fn profiled(runs: &[RunRecord]) -> Vec<(&RunRecord, ProfReport)> {
+        runs.iter()
+            .filter_map(|r| {
+                r.timeline
+                    .as_ref()
+                    .map(|t| (r, ProfReport::analyze(t, &r.msg_latency)))
+            })
+            .collect()
+    }
+
+    /// Write `results/BENCH_<id>.json` and `results/<id>.prom` (and the
+    /// merged Chrome trace when tracing). Call last, after all runs and
+    /// registrations.
     pub fn finish(self) {
         let summary = self.summary_json();
-        let bench_path = format!("BENCH_{}.json", self.id);
-        if let Err(e) = std::fs::write(&bench_path, summary) {
-            eprintln!("[{}] cannot write {bench_path}: {e}", self.id);
-        } else {
-            eprintln!("[{}] wrote {bench_path}", self.id);
+        if std::fs::create_dir_all("results").is_err() {
+            eprintln!("[{}] cannot create results/", self.id);
+            return;
         }
+        let bench_path = format!("results/BENCH_{}.json", self.id);
+        match std::fs::write(&bench_path, summary) {
+            Ok(()) => eprintln!("[{}] wrote {bench_path}", self.id),
+            Err(e) => eprintln!("[{}] cannot write {bench_path}: {e}", self.id),
+        }
+
+        let runs = self.sink.take();
+        let profiled = Self::profiled(&runs);
+        if profiled.is_empty() {
+            eprintln!("[{}] no timelines captured; skipping prom/trace", self.id);
+            return;
+        }
+
+        let mut prom = String::new();
+        for (r, prof) in &profiled {
+            prom.push_str(&prof.prom(&format!(
+                "fig=\"{}\",run=\"{}\",threads=\"{}\",nodes=\"{}\"",
+                self.id,
+                r.label.replace('"', "'"),
+                r.threads,
+                r.nodes
+            )));
+        }
+        let prom_path = format!("results/{}.prom", self.id);
+        match std::fs::write(&prom_path, prom) {
+            Ok(()) => eprintln!("[{}] wrote {prom_path}", self.id),
+            Err(e) => eprintln!("[{}] cannot write {prom_path}: {e}", self.id),
+        }
+
         if self.trace {
-            let runs = self.sink.take();
-            // One timeline per distinct configuration (a figure sweeps
-            // many sizes per config; tracing them all yields traces too
-            // large for Perfetto). The first run of each config — the
-            // smallest point of the sweep — is kept.
-            let mut seen = std::collections::HashSet::new();
-            let mut names = Vec::new();
-            let named: Vec<(&str, &mtmpi_obs::Timeline)> = runs
+            // One Chrome process per profiled run (the sink already kept
+            // only the first timeline of each configuration), plus the
+            // prof layer's contention counter track per process.
+            let names: Vec<String> = profiled
                 .iter()
-                .filter(|r| seen.insert((r.label.clone(), r.threads, r.nodes)))
-                .filter_map(|r| {
-                    r.timeline.as_ref().map(|t| {
-                        names.push(format!("{} {}t", r.label, r.threads));
-                        (r.label.as_str(), t)
-                    })
-                })
+                .map(|(r, _)| format!("{} {}t", r.label, r.threads))
                 .collect();
-            if named.is_empty() {
-                eprintln!("[{}] tracing on but no timelines captured", self.id);
-                return;
-            }
-            let total = runs.iter().filter(|r| r.timeline.is_some()).count();
+            let named: Vec<(&str, &mtmpi_obs::Timeline)> = profiled
+                .iter()
+                .map(|(r, _)| (r.label.as_str(), r.timeline.as_ref().expect("profiled")))
+                .collect();
             eprintln!(
-                "[{}] trace keeps {} of {} timelines (first per config): {}",
+                "[{}] trace keeps {} of {} runs (first per config): {}",
                 self.id,
                 named.len(),
-                total,
+                runs.len(),
                 names.join(", ")
             );
-            let doc = chrome_trace_multi(&named);
-            let path = format!("results/{}.trace.json", self.id);
-            if std::fs::create_dir_all("results").is_err() {
-                eprintln!("[{}] cannot create results/", self.id);
-                return;
+            let (mut events, dropped) = chrome_trace_multi_events(&named);
+            for (pid, (_, prof)) in profiled.iter().enumerate() {
+                events.extend(prof.counter_events(pid as u32));
             }
+            let doc = chrome_trace_doc(&events, dropped);
+            let path = format!("results/{}.trace.json", self.id);
             match std::fs::write(&path, doc) {
                 Ok(()) => eprintln!(
                     "[{}] wrote {path} — open in Perfetto (ui.perfetto.dev) or chrome://tracing",
@@ -205,7 +250,7 @@ fn fmt_num(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mtmpi_obs::RunRecord;
+    use mtmpi_obs::{RunRecord, Timeline};
 
     #[test]
     fn summary_json_shape() {
@@ -228,8 +273,49 @@ mod tests {
         assert!(j.contains("\"points\":[[1,2]]"));
         assert!(j.contains("\"degradation\":3.5"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
-        // The sink is restored for finish()'s trace pass.
+        // The sink is restored for finish()'s prom/trace passes.
         assert_eq!(fig.sink.len(), 1);
+    }
+
+    #[test]
+    fn runs_with_timelines_get_prof_blocks() {
+        let fig = Fig::new("figtest");
+        fig.sink.push(RunRecord {
+            label: "mutex".into(),
+            threads: 4,
+            nodes: 1,
+            timeline: Some(Timeline::default()),
+            ..Default::default()
+        });
+        fig.sink.push(RunRecord {
+            label: "ticket".into(),
+            threads: 4,
+            nodes: 1,
+            ..Default::default()
+        });
+        let j = fig.summary_json();
+        assert_eq!(j.matches("\"prof\":").count(), 1, "only the traced run");
+        assert!(j.contains("\"blame\":"));
+        assert!(j.contains("\"text_report\":"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn wire_always_captures_but_sink_caps_per_config() {
+        // Fig's sink drops repeat timelines of the same configuration.
+        let fig = Fig::new("figtest");
+        let rec = || RunRecord {
+            label: "mutex".into(),
+            threads: 4,
+            nodes: 1,
+            timeline: Some(Timeline::default()),
+            ..Default::default()
+        };
+        fig.sink.push(rec());
+        fig.sink.push(rec());
+        let runs = fig.sink.take();
+        assert!(runs[0].timeline.is_some());
+        assert!(runs[1].timeline.is_none());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::path::PathClass;
 use crate::raw::{CsLock, CsToken};
 use mtmpi_metrics::{AcquisitionRecord, CsTrace};
-use mtmpi_obs::{Event, EventKind, Path, Recorder};
+use mtmpi_obs::{CsOp, Event, EventKind, Path, Recorder};
 use mtmpi_topology::{CoreId, SocketId};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -201,6 +201,9 @@ impl<L: CsLock> CsLock for Traced<L> {
                             PathClass::Main => Path::Main,
                             PathClass::Progress => Path::Progress,
                         },
+                        // A bare instrumented lock has no runtime-op
+                        // context; the runtime stamps real ops itself.
+                        op: CsOp::Other,
                         t_req,
                         t_acq,
                     },

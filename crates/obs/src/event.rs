@@ -32,6 +32,59 @@ impl Path {
     }
 }
 
+/// Which runtime operation a critical-section passage served. Stamped by
+/// the runtime into every [`EventKind::CsSpan`] so the prof layer can
+/// attribute blocked time not just to a thread but to *what that thread
+/// was doing* while it held the lock (the paper's §4.2 diagnosis: the
+/// progress loop holds the CS without doing useful work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CsOp {
+    /// Nonblocking send issue (`isend`).
+    Isend,
+    /// Nonblocking receive issue (`irecv`).
+    Irecv,
+    /// Nonblocking completion test (`test`).
+    Test,
+    /// Blocking completion wait (`wait`).
+    Wait,
+    /// Bulk completion wait (`waitall`).
+    Waitall,
+    /// Progress-engine poll/deliver iteration.
+    Progress,
+    /// One-sided operation issue or ack wait.
+    Rma,
+    /// Anything else (bare instrumented locks, collectives' internals).
+    Other,
+}
+
+impl CsOp {
+    /// Lower-case label used by the exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            CsOp::Isend => "isend",
+            CsOp::Irecv => "irecv",
+            CsOp::Test => "test",
+            CsOp::Wait => "wait",
+            CsOp::Waitall => "waitall",
+            CsOp::Progress => "progress",
+            CsOp::Rma => "rma",
+            CsOp::Other => "other",
+        }
+    }
+
+    /// All variants, in a stable order (for exhaustive tabulation).
+    pub const ALL: [CsOp; 8] = [
+        CsOp::Isend,
+        CsOp::Irecv,
+        CsOp::Test,
+        CsOp::Wait,
+        CsOp::Waitall,
+        CsOp::Progress,
+        CsOp::Rma,
+        CsOp::Other,
+    ];
+}
+
 /// Request life-cycle phase (paper Fig 3b: Issue → Post → Complete →
 /// Free).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,6 +124,8 @@ pub enum EventKind {
         kind: &'static str,
         /// Path class of the entry.
         path: Path,
+        /// Which runtime operation the passage served.
+        op: CsOp,
         /// When the thread requested the lock.
         t_req: u64,
         /// When the thread was granted the lock.
@@ -132,5 +187,17 @@ mod tests {
         assert_eq!(ReqPhase::Post.label(), "post");
         assert_eq!(ReqPhase::Complete.label(), "complete");
         assert_eq!(ReqPhase::Free.label(), "free");
+    }
+
+    #[test]
+    fn op_labels_cover_all_variants() {
+        let labels: Vec<&str> = CsOp::ALL.iter().map(|o| o.label()).collect();
+        assert_eq!(labels.len(), 8);
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "labels must be distinct");
+        assert!(labels.contains(&"progress"));
+        assert!(labels.contains(&"isend"));
     }
 }

@@ -32,14 +32,16 @@ fn chrome_event(ev: &Event, pid: u32, out: &mut Vec<String>) {
             lock,
             kind,
             path,
+            op,
             t_req,
             t_acq,
         } => {
             let args = format!(
-                "\"args\":{{\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"core\":{},\"socket\":{}}}",
+                "\"args\":{{\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"op\":\"{}\",\"core\":{},\"socket\":{}}}",
                 lock,
                 kind,
                 path.label(),
+                op.label(),
                 ev.core,
                 ev.socket
             );
@@ -97,20 +99,28 @@ pub fn chrome_trace_events(t: &Timeline, pid: u32) -> Vec<String> {
     out
 }
 
-/// A complete Chrome trace-event JSON document for one timeline.
-pub fn chrome_trace(t: &Timeline) -> String {
-    let events = chrome_trace_events(t, 0);
+/// Wrap pre-rendered trace-event JSON objects into a complete Chrome
+/// trace document. Building block for [`chrome_trace`] /
+/// [`chrome_trace_multi`] and for callers that append extra events (the
+/// prof layer's counter tracks).
+pub fn chrome_trace_doc(events: &[String], dropped: u64) -> String {
     format!(
         "{{\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped\":{}}},\"traceEvents\":[\n{}\n]}}\n",
-        t.dropped,
+        dropped,
         events.join(",\n")
     )
 }
 
-/// Merge several named timelines into one Chrome trace document: each
-/// timeline becomes its own Chrome "process" (pid = index), labelled via
-/// a `process_name` metadata event so Perfetto shows the run name.
-pub fn chrome_trace_multi(runs: &[(&str, &Timeline)]) -> String {
+/// A complete Chrome trace-event JSON document for one timeline.
+pub fn chrome_trace(t: &Timeline) -> String {
+    chrome_trace_doc(&chrome_trace_events(t, 0), t.dropped)
+}
+
+/// The merged event objects and total drop count of several named
+/// timelines: each timeline becomes its own Chrome "process"
+/// (pid = index), labelled via a `process_name` metadata event so
+/// Perfetto shows the run name.
+pub fn chrome_trace_multi_events(runs: &[(&str, &Timeline)]) -> (Vec<String>, u64) {
     let mut events = Vec::new();
     let mut dropped = 0u64;
     for (pid, (name, t)) in runs.iter().enumerate() {
@@ -124,11 +134,13 @@ pub fn chrome_trace_multi(runs: &[(&str, &Timeline)]) -> String {
         ));
         events.extend(chrome_trace_events(t, pid));
     }
-    format!(
-        "{{\"displayTimeUnit\":\"ns\",\"otherData\":{{\"dropped\":{}}},\"traceEvents\":[\n{}\n]}}\n",
-        dropped,
-        events.join(",\n")
-    )
+    (events, dropped)
+}
+
+/// Merge several named timelines into one Chrome trace document.
+pub fn chrome_trace_multi(runs: &[(&str, &Timeline)]) -> String {
+    let (events, dropped) = chrome_trace_multi_events(runs);
+    chrome_trace_doc(&events, dropped)
 }
 
 /// One JSON object per line, one line per event — greppable and
@@ -145,13 +157,15 @@ pub fn jsonl(t: &Timeline) -> String {
                 lock,
                 kind,
                 path,
+                op,
                 t_req,
                 t_acq,
             } => format!(
-                "\"ev\":\"cs\",\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"t_req\":{},\"t_acq\":{}",
+                "\"ev\":\"cs\",\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"op\":\"{}\",\"t_req\":{},\"t_acq\":{}",
                 lock,
                 kind,
                 path.label(),
+                op.label(),
                 t_req,
                 t_acq
             ),
@@ -206,7 +220,7 @@ pub fn text_report(entries: &[(&str, &Histogram)]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::{Path, ReqPhase};
+    use crate::event::{CsOp, Path, ReqPhase};
 
     fn sample_timeline() -> Timeline {
         Timeline {
@@ -220,6 +234,7 @@ mod tests {
                         lock: 0,
                         kind: "mutex",
                         path: Path::Main,
+                        op: CsOp::Isend,
                         t_req: 1_000,
                         t_acq: 1_500,
                     },
@@ -277,6 +292,7 @@ mod tests {
         assert!(a.contains("\"dur\":1.500")); // hold = t_rel - t_acq
         assert!(a.contains("\"name\":\"req issue\""));
         assert!(a.contains("\"name\":\"rma put\""));
+        assert!(a.contains("\"op\":\"isend\""));
         // Balanced braces/brackets (cheap well-formedness check; xtask
         // has the real parser).
         assert_eq!(

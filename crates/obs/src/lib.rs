@@ -32,7 +32,13 @@ pub mod json;
 pub mod recorder;
 pub mod summary;
 
-pub use event::{Event, EventKind, Path, ReqPhase};
-pub use export::{chrome_trace, chrome_trace_events, chrome_trace_multi, jsonl, text_report};
-pub use recorder::{NullRecorder, Recorder, RingRecorder, Timeline, DEFAULT_SHARD_CAP, MAX_SHARDS};
+pub use event::{CsOp, Event, EventKind, Path, ReqPhase};
+pub use export::{
+    chrome_trace, chrome_trace_doc, chrome_trace_events, chrome_trace_multi,
+    chrome_trace_multi_events, jsonl, text_report,
+};
+pub use recorder::{
+    CsSpanView, NullRecorder, Recorder, RingRecorder, Timeline, TimelineWindows, DEFAULT_SHARD_CAP,
+    MAX_SHARDS,
+};
 pub use summary::{CsStats, RunRecord, Sink};

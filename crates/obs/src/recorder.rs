@@ -8,7 +8,7 @@
 //! implementation: `enabled()` is `false` and `record` is a no-op, so
 //! callers that check `enabled()` first skip event construction entirely.
 
-use crate::event::Event;
+use crate::event::{CsOp, Event, EventKind, Path};
 use std::cell::{Cell, UnsafeCell};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
@@ -52,6 +52,44 @@ pub struct Timeline {
     pub dropped: u64,
 }
 
+/// Flattened view of one critical-section passage (the analysis-friendly
+/// projection of [`EventKind::CsSpan`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsSpanView {
+    /// Recording thread.
+    pub tid: u64,
+    /// Core of the recording thread.
+    pub core: u32,
+    /// Socket of that core.
+    pub socket: u32,
+    /// Platform lock id.
+    pub lock: u32,
+    /// Arbitration label (`"mutex"`, `"ticket"`, …).
+    pub kind: &'static str,
+    /// Path class of the entry.
+    pub path: Path,
+    /// Runtime operation the passage served.
+    pub op: CsOp,
+    /// Lock requested.
+    pub t_req: u64,
+    /// Lock granted.
+    pub t_acq: u64,
+    /// Lock released (the event's `t_ns`).
+    pub t_end: u64,
+}
+
+impl CsSpanView {
+    /// Wait time (request → grant).
+    pub fn wait_ns(&self) -> u64 {
+        self.t_acq.saturating_sub(self.t_req)
+    }
+
+    /// Hold time (grant → release).
+    pub fn hold_ns(&self) -> u64 {
+        self.t_end.saturating_sub(self.t_acq)
+    }
+}
+
 impl Timeline {
     /// Number of retained events.
     pub fn len(&self) -> usize {
@@ -61,6 +99,87 @@ impl Timeline {
     /// Whether no events were retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Iterate the critical-section passages, in `(t_ns, tid)` order.
+    pub fn cs_spans(&self) -> impl Iterator<Item = CsSpanView> + '_ {
+        self.events.iter().filter_map(|ev| match ev.kind {
+            EventKind::CsSpan {
+                lock,
+                kind,
+                path,
+                op,
+                t_req,
+                t_acq,
+            } => Some(CsSpanView {
+                tid: ev.tid,
+                core: ev.core,
+                socket: ev.socket,
+                lock,
+                kind,
+                path,
+                op,
+                t_req,
+                t_acq,
+                t_end: ev.t_ns,
+            }),
+            _ => None,
+        })
+    }
+
+    /// `[first, last]` event timestamps (`(0, 0)` when empty). For CS
+    /// spans the *end* timestamp is what the ordering is built on, so the
+    /// bounds cover every event's anchor time.
+    pub fn span_bounds(&self) -> (u64, u64) {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => (a.t_ns, b.t_ns),
+            _ => (0, 0),
+        }
+    }
+
+    /// Split the timeline into fixed-width time windows of `width_ns`,
+    /// yielding `(window_start_ns, events_in_window)` for every window
+    /// from the first event to the last (empty windows included, so
+    /// consumers see gaps). Events belong to the window containing their
+    /// anchor `t_ns`. `width_ns` is clamped to ≥ 1.
+    pub fn windows(&self, width_ns: u64) -> TimelineWindows<'_> {
+        let width = width_ns.max(1);
+        let (first, last) = self.span_bounds();
+        TimelineWindows {
+            events: &self.events,
+            width,
+            next_start: first - first % width,
+            end: if self.events.is_empty() { 0 } else { last + 1 },
+            idx: 0,
+        }
+    }
+}
+
+/// Iterator over fixed-width windows of a [`Timeline`] (see
+/// [`Timeline::windows`]).
+pub struct TimelineWindows<'a> {
+    events: &'a [Event],
+    width: u64,
+    next_start: u64,
+    end: u64,
+    idx: usize,
+}
+
+impl<'a> Iterator for TimelineWindows<'a> {
+    type Item = (u64, &'a [Event]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_start >= self.end {
+            return None;
+        }
+        let start = self.next_start;
+        let stop = start.saturating_add(self.width);
+        let lo = self.idx;
+        while self.idx < self.events.len() && self.events[self.idx].t_ns < stop {
+            self.idx += 1;
+        }
+        self.next_start = stop;
+        Some((start, &self.events[lo..self.idx]))
     }
 }
 
@@ -268,6 +387,78 @@ mod tests {
         }
         assert_eq!(a.into_timeline().len(), 10);
         assert_eq!(b.into_timeline().len(), 10);
+    }
+
+    #[test]
+    fn shard_exhaustion_drops_exactly_the_excess_threads() {
+        // More recording threads than MAX_SHARDS: the first MAX_SHARDS
+        // claimants keep all their events, every later thread drops all
+        // of its — the counter must account for each event exactly.
+        const EXTRA: usize = 8;
+        const PER_THREAD: usize = 2;
+        let r = std::sync::Arc::new(RingRecorder::new(64));
+        let handles: Vec<_> = (0..(MAX_SHARDS + EXTRA) as u64)
+            .map(|tid| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD as u64 {
+                        r.record(ev(i, tid));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = std::sync::Arc::try_unwrap(r).ok().unwrap().into_timeline();
+        assert_eq!(t.len(), MAX_SHARDS * PER_THREAD);
+        assert_eq!(t.dropped, (EXTRA * PER_THREAD) as u64);
+    }
+
+    #[test]
+    fn capacity_overflow_drop_count_is_exact_per_thread() {
+        // Two threads, each overflowing its own shard: drops accumulate
+        // per event, not per thread or per shard.
+        let r = std::sync::Arc::new(RingRecorder::new(8));
+        let handles: Vec<_> = (0..2u64)
+            .map(|tid| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..20u64 {
+                        r.record(ev(i, tid));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = std::sync::Arc::try_unwrap(r).ok().unwrap().into_timeline();
+        assert_eq!(t.len(), 16, "8 kept per thread");
+        assert_eq!(t.dropped, 24, "12 dropped per thread");
+    }
+
+    #[test]
+    fn drain_after_overflow_returns_the_bounded_prefix() {
+        // A shard keeps the *first* `cap` events of its thread (appends
+        // stop at capacity), so the drained timeline is the ordered
+        // prefix of what was recorded — never a mix or a suffix.
+        let r = RingRecorder::new(8);
+        for i in 0..20 {
+            r.record(ev(i, 0));
+        }
+        // SAFETY: single-threaded test; no concurrent recording.
+        let t = unsafe { r.drain_unsynced() };
+        assert_eq!(t.len(), 8);
+        let times: Vec<u64> = t.events.iter().map(|e| e.t_ns).collect();
+        assert_eq!(times, (0..8).collect::<Vec<u64>>());
+        assert_eq!(t.dropped, 12);
+        // The drop counter was consumed by the drain; a second drain
+        // reports a clean (empty, zero-drop) recorder.
+        // SAFETY: as above.
+        let t2 = unsafe { r.drain_unsynced() };
+        assert!(t2.is_empty());
+        assert_eq!(t2.dropped, 0);
     }
 
     #[test]

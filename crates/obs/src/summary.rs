@@ -70,17 +70,49 @@ pub struct RunRecord {
 #[derive(Debug, Default)]
 pub struct Sink {
     runs: Mutex<Vec<RunRecord>>,
+    /// Max retained timelines per `(label, threads, nodes)` configuration
+    /// (`None` = unbounded). A figure sweeps many sizes per config; the
+    /// first run of each — the smallest sweep point — is representative,
+    /// and capping keeps always-on profiling capture memory-bounded.
+    timeline_cap: Option<usize>,
 }
 
 impl Sink {
-    /// An empty sink.
+    /// An empty sink retaining every timeline.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Append one run's record.
-    pub fn push(&self, r: RunRecord) {
-        self.runs.lock().expect("sink poisoned").push(r);
+    /// A sink keeping at most `cap` timelines per distinct
+    /// `(label, threads, nodes)` configuration; records beyond the cap
+    /// keep their histograms but drop the event timeline.
+    pub fn with_timeline_cap(cap: usize) -> Self {
+        Self {
+            runs: Mutex::new(Vec::new()),
+            timeline_cap: Some(cap),
+        }
+    }
+
+    /// Append one run's record (applying the timeline retention policy).
+    pub fn push(&self, mut r: RunRecord) {
+        let mut runs = self.runs.lock().expect("sink poisoned");
+        if let Some(cap) = self.timeline_cap {
+            if r.timeline.is_some() {
+                let kept = runs
+                    .iter()
+                    .filter(|o| {
+                        o.timeline.is_some()
+                            && o.label == r.label
+                            && o.threads == r.threads
+                            && o.nodes == r.nodes
+                    })
+                    .count();
+                if kept >= cap {
+                    r.timeline = None;
+                }
+            }
+        }
+        runs.push(r);
     }
 
     /// Take all records collected so far.
@@ -114,6 +146,24 @@ mod tests {
         let j = s.to_json();
         assert!(j.contains("\"p50\":1000"));
         assert!(j.contains("\"mean\":1000"));
+    }
+
+    #[test]
+    fn timeline_cap_keeps_first_per_config() {
+        let s = Sink::with_timeline_cap(1);
+        let rec = |label: &str, threads: u32| RunRecord {
+            label: label.into(),
+            threads,
+            timeline: Some(Timeline::default()),
+            ..Default::default()
+        };
+        s.push(rec("mutex", 4));
+        s.push(rec("mutex", 4)); // same config: timeline dropped
+        s.push(rec("mutex", 8)); // different config: kept
+        let runs = s.take();
+        assert!(runs[0].timeline.is_some());
+        assert!(runs[1].timeline.is_none(), "cap drops the second timeline");
+        assert!(runs[2].timeline.is_some());
     }
 
     #[test]

@@ -1,0 +1,414 @@
+//! The blame matrix: charge every CS wait to its concurrent holders.
+//!
+//! For each critical-section wait span `[t_req, t_acq)` on lock `L`, find
+//! the hold spans `[t_acq_h, t_end_h)` of *other* passages of `L` that
+//! overlap it, and charge the overlap nanoseconds to the holder's
+//! `(thread, path, op)`. Hold spans of one lock are disjoint (a lock has
+//! one owner at a time), so the charges within one wait never overlap and
+//!
+//! ```text
+//! Σ charges(wait) + unattributed(wait) == wait_ns     (exactly)
+//! ```
+//!
+//! where `unattributed` is the part of the wait during which nobody held
+//! the lock — arbitration/hand-off time (the wake-up latencies of §4.2)
+//! plus any holder whose span fell out of the trace. Summed over rows the
+//! matrix therefore reproduces the total recorded CS wait exactly.
+
+use mtmpi_metrics::gini;
+use mtmpi_obs::{CsOp, CsSpanView, Path, Timeline};
+use std::collections::BTreeMap;
+
+/// Identity of a lock holder being blamed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct HolderKey {
+    /// Holding thread.
+    pub tid: u64,
+    /// Path class of the holding passage (`false` = Main, `true` =
+    /// Progress — ordered so Main sorts first).
+    pub progress: bool,
+    /// Stable index of the op in [`CsOp::ALL`] (orders the matrix
+    /// columns deterministically).
+    pub op_idx: u8,
+}
+
+impl HolderKey {
+    fn new(tid: u64, path: Path, op: CsOp) -> Self {
+        let op_idx = CsOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u8;
+        Self {
+            tid,
+            progress: path == Path::Progress,
+            op_idx,
+        }
+    }
+
+    /// The op this key refers to.
+    pub fn op(&self) -> CsOp {
+        CsOp::ALL[self.op_idx as usize]
+    }
+
+    /// The path class of the holding passage.
+    pub fn path(&self) -> Path {
+        if self.progress {
+            Path::Progress
+        } else {
+            Path::Main
+        }
+    }
+}
+
+/// Nanoseconds one waiter spent blocked behind one holder identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlameCell {
+    /// Who held the lock.
+    pub holder: HolderKey,
+    /// Blocked-behind-this-holder nanoseconds.
+    pub ns: u64,
+}
+
+/// One waiter thread's row of the matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlameRow {
+    /// The waiting thread.
+    pub waiter_tid: u64,
+    /// Charges, ordered by holder key.
+    pub cells: Vec<BlameCell>,
+    /// Wait time during which no traced passage held the lock
+    /// (arbitration / hand-off latency).
+    pub unattributed_ns: u64,
+    /// Total wait of this thread (`Σ cells + unattributed`, exactly).
+    pub total_ns: u64,
+}
+
+/// Acquisition share of one thread.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadShare {
+    /// The thread.
+    pub tid: u64,
+    /// Number of CS passages.
+    pub acquisitions: u64,
+    /// Fraction of all passages.
+    pub share: f64,
+    /// Total hold time.
+    pub hold_ns: u64,
+}
+
+/// Main-path vs progress-path wait asymmetry (the §6.2 starvation story:
+/// under a priority lock the progress path is *supposed* to wait longer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Starvation {
+    /// Passages entering on the main path.
+    pub main_spans: u64,
+    /// Passages entering on the progress path.
+    pub progress_spans: u64,
+    /// Mean wait of main-path passages.
+    pub main_wait_mean_ns: f64,
+    /// Mean wait of progress-path passages.
+    pub progress_wait_mean_ns: f64,
+    /// `progress_wait_mean / main_wait_mean` (0 when either side has no
+    /// samples or the main mean is 0).
+    pub ratio: f64,
+}
+
+/// The full blame analysis of one timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlameMatrix {
+    /// One row per waiting thread, ordered by tid.
+    pub rows: Vec<BlameRow>,
+    /// Total recorded CS wait over all spans (`Σ rows.total_ns`).
+    pub total_wait_ns: u64,
+    /// Per-thread acquisition shares, ordered by tid.
+    pub shares: Vec<ThreadShare>,
+    /// Gini monopolization index over per-thread acquisition counts.
+    pub gini: f64,
+    /// Progress-path starvation summary.
+    pub starvation: Starvation,
+}
+
+impl BlameMatrix {
+    /// Run the attribution over a timeline's CS spans.
+    pub fn from_timeline(t: &Timeline) -> Self {
+        let spans: Vec<CsSpanView> = t.cs_spans().collect();
+
+        // Hold intervals per lock, ordered by acquisition time. Holds of
+        // one lock are disjoint, so t_end is ordered too.
+        let mut holds: BTreeMap<u32, Vec<CsSpanView>> = BTreeMap::new();
+        for s in &spans {
+            holds.entry(s.lock).or_default().push(*s);
+        }
+        for hs in holds.values_mut() {
+            hs.sort_by_key(|s| (s.t_acq, s.t_end, s.tid));
+        }
+
+        // Charge each wait.
+        let mut rows_map: BTreeMap<u64, (BTreeMap<HolderKey, u64>, u64, u64)> = BTreeMap::new();
+        let mut total_wait_ns = 0u64;
+        for w in &spans {
+            let wait = w.wait_ns();
+            total_wait_ns += wait;
+            let entry = rows_map.entry(w.tid).or_default();
+            entry.2 += wait;
+            if wait == 0 {
+                continue;
+            }
+            let hs = &holds[&w.lock];
+            // First hold that ends after the wait starts; holds before it
+            // cannot overlap [t_req, t_acq).
+            let start = hs.partition_point(|h| h.t_end <= w.t_req);
+            let mut charged = 0u64;
+            for h in &hs[start..] {
+                if h.t_acq >= w.t_acq {
+                    break;
+                }
+                // Skip self (our own hold starts exactly at t_acq, so it
+                // is excluded by the break above; this guards identical
+                // timestamps).
+                if h.tid == w.tid && h.t_acq == w.t_acq {
+                    continue;
+                }
+                let lo = h.t_acq.max(w.t_req);
+                let hi = h.t_end.min(w.t_acq);
+                if hi > lo {
+                    let ns = hi - lo;
+                    charged += ns;
+                    *entry
+                        .0
+                        .entry(HolderKey::new(h.tid, h.path, h.op))
+                        .or_default() += ns;
+                }
+            }
+            entry.1 += wait - charged;
+        }
+
+        let rows: Vec<BlameRow> = rows_map
+            .into_iter()
+            .map(|(tid, (cells, unattributed_ns, total_ns))| BlameRow {
+                waiter_tid: tid,
+                cells: cells
+                    .into_iter()
+                    .map(|(holder, ns)| BlameCell { holder, ns })
+                    .collect(),
+                unattributed_ns,
+                total_ns,
+            })
+            .collect();
+
+        // Shares + Gini.
+        let mut acq: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for s in &spans {
+            let e = acq.entry(s.tid).or_default();
+            e.0 += 1;
+            e.1 += s.hold_ns();
+        }
+        let total_acq: u64 = acq.values().map(|v| v.0).sum();
+        let shares: Vec<ThreadShare> = acq
+            .iter()
+            .map(|(&tid, &(n, hold_ns))| ThreadShare {
+                tid,
+                acquisitions: n,
+                share: if total_acq == 0 {
+                    0.0
+                } else {
+                    n as f64 / total_acq as f64
+                },
+                hold_ns,
+            })
+            .collect();
+        let counts: Vec<u64> = acq.values().map(|v| v.0).collect();
+
+        // Starvation.
+        let (mut mn, mut mw, mut pn, mut pw) = (0u64, 0u64, 0u64, 0u64);
+        for s in &spans {
+            match s.path {
+                Path::Main => {
+                    mn += 1;
+                    mw += s.wait_ns();
+                }
+                Path::Progress => {
+                    pn += 1;
+                    pw += s.wait_ns();
+                }
+            }
+        }
+        let main_mean = if mn == 0 { 0.0 } else { mw as f64 / mn as f64 };
+        let prog_mean = if pn == 0 { 0.0 } else { pw as f64 / pn as f64 };
+        let starvation = Starvation {
+            main_spans: mn,
+            progress_spans: pn,
+            main_wait_mean_ns: main_mean,
+            progress_wait_mean_ns: prog_mean,
+            ratio: if main_mean > 0.0 && pn > 0 {
+                prog_mean / main_mean
+            } else {
+                0.0
+            },
+        };
+
+        Self {
+            rows,
+            total_wait_ns,
+            shares,
+            gini: gini(&counts),
+            starvation,
+        }
+    }
+
+    /// Per-pair blocked-by nanoseconds: `(waiter_tid, holder_tid) → ns`,
+    /// aggregated over the holder's path/op.
+    pub fn pair_ns(&self) -> BTreeMap<(u64, u64), u64> {
+        let mut out = BTreeMap::new();
+        for row in &self.rows {
+            for c in &row.cells {
+                *out.entry((row.waiter_tid, c.holder.tid)).or_default() += c.ns;
+            }
+        }
+        out
+    }
+
+    /// Invariant check: every row's cells + unattributed equal its total,
+    /// and the rows sum to `total_wait_ns`. Returns the (row-level,
+    /// matrix-level) absolute discrepancies — both 0 by construction.
+    pub fn check_conservation(&self) -> (u64, u64) {
+        let mut row_err = 0u64;
+        let mut sum = 0u64;
+        for r in &self.rows {
+            let charged: u64 = r.cells.iter().map(|c| c.ns).sum();
+            row_err += (charged + r.unattributed_ns).abs_diff(r.total_ns);
+            sum += r.total_ns;
+        }
+        (row_err, sum.abs_diff(self.total_wait_ns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmpi_obs::{Event, EventKind};
+
+    fn cs(tid: u64, lock: u32, path: Path, op: CsOp, t_req: u64, t_acq: u64, t_end: u64) -> Event {
+        Event {
+            t_ns: t_end,
+            tid,
+            core: tid as u32,
+            socket: 0,
+            kind: EventKind::CsSpan {
+                lock,
+                kind: "mutex",
+                path,
+                op,
+                t_req,
+                t_acq,
+            },
+        }
+    }
+
+    fn timeline(mut events: Vec<Event>) -> Timeline {
+        events.sort_by_key(|e| (e.t_ns, e.tid));
+        Timeline { events, dropped: 0 }
+    }
+
+    #[test]
+    fn single_blocking_holder_gets_full_charge() {
+        // t1 holds [0,100); t2 requests at 10, acquires at 100.
+        let t = timeline(vec![
+            cs(1, 0, Path::Main, CsOp::Isend, 0, 0, 100),
+            cs(2, 0, Path::Main, CsOp::Irecv, 10, 100, 150),
+        ]);
+        let m = BlameMatrix::from_timeline(&t);
+        assert_eq!(m.total_wait_ns, 90);
+        let row2 = m.rows.iter().find(|r| r.waiter_tid == 2).unwrap();
+        assert_eq!(row2.total_ns, 90);
+        assert_eq!(row2.cells.len(), 1);
+        assert_eq!(row2.cells[0].holder.tid, 1);
+        assert_eq!(row2.cells[0].holder.op(), CsOp::Isend);
+        assert_eq!(row2.cells[0].ns, 90);
+        assert_eq!(row2.unattributed_ns, 0);
+        assert_eq!(m.check_conservation(), (0, 0));
+    }
+
+    #[test]
+    fn handoff_gap_is_unattributed() {
+        // t1 holds [0,50); lock idle [50,80); t2 waited [10,80).
+        let t = timeline(vec![
+            cs(1, 0, Path::Main, CsOp::Isend, 0, 0, 50),
+            cs(2, 0, Path::Main, CsOp::Irecv, 10, 80, 90),
+        ]);
+        let m = BlameMatrix::from_timeline(&t);
+        let row2 = m.rows.iter().find(|r| r.waiter_tid == 2).unwrap();
+        assert_eq!(row2.total_ns, 70);
+        assert_eq!(row2.cells[0].ns, 40); // overlap [10,50)
+        assert_eq!(row2.unattributed_ns, 30); // gap [50,80)
+        assert_eq!(m.check_conservation(), (0, 0));
+    }
+
+    #[test]
+    fn chained_holders_split_the_charge() {
+        // t1 holds [0,40), t3 holds [40,70), t2 waits [10,70).
+        let t = timeline(vec![
+            cs(1, 0, Path::Main, CsOp::Isend, 0, 0, 40),
+            cs(3, 0, Path::Progress, CsOp::Progress, 5, 40, 70),
+            cs(2, 0, Path::Main, CsOp::Irecv, 10, 70, 80),
+        ]);
+        let m = BlameMatrix::from_timeline(&t);
+        let row2 = m.rows.iter().find(|r| r.waiter_tid == 2).unwrap();
+        assert_eq!(row2.total_ns, 60);
+        let by_tid: BTreeMap<u64, u64> = row2.cells.iter().map(|c| (c.holder.tid, c.ns)).collect();
+        assert_eq!(by_tid[&1], 30); // [10,40)
+        assert_eq!(by_tid[&3], 30); // [40,70)
+        assert_eq!(row2.unattributed_ns, 0);
+        // And t3's own wait [5,40) is charged to t1.
+        let row3 = m.rows.iter().find(|r| r.waiter_tid == 3).unwrap();
+        assert_eq!(row3.total_ns, 35);
+        assert_eq!(row3.cells[0].holder.tid, 1);
+        assert_eq!(row3.cells[0].ns, 35);
+        assert_eq!(m.check_conservation(), (0, 0));
+    }
+
+    #[test]
+    fn different_locks_do_not_cross_blame() {
+        let t = timeline(vec![
+            cs(1, 0, Path::Main, CsOp::Isend, 0, 0, 100),
+            cs(2, 1, Path::Main, CsOp::Irecv, 10, 60, 90), // other lock
+        ]);
+        let m = BlameMatrix::from_timeline(&t);
+        let row2 = m.rows.iter().find(|r| r.waiter_tid == 2).unwrap();
+        assert!(row2.cells.is_empty());
+        assert_eq!(row2.unattributed_ns, 50);
+    }
+
+    #[test]
+    fn shares_gini_and_starvation() {
+        let mut evs = Vec::new();
+        let mut t0 = 0;
+        // t1 monopolizes: 9 main-path passages; t2 gets 1 progress-path
+        // passage with a long wait.
+        for _ in 0..9 {
+            evs.push(cs(1, 0, Path::Main, CsOp::Isend, t0, t0, t0 + 10));
+            t0 += 10;
+        }
+        evs.push(cs(2, 0, Path::Progress, CsOp::Progress, 0, t0, t0 + 5));
+        let m = BlameMatrix::from_timeline(&timeline(evs));
+        assert_eq!(m.shares.len(), 2);
+        let s1 = m.shares.iter().find(|s| s.tid == 1).unwrap();
+        assert!((s1.share - 0.9).abs() < 1e-12);
+        assert!(m.gini > 0.0);
+        assert_eq!(m.starvation.progress_spans, 1);
+        assert_eq!(m.starvation.main_spans, 9);
+        assert!(m.starvation.progress_wait_mean_ns > 0.0);
+        assert_eq!(m.starvation.ratio, 0.0, "main never waited => ratio 0");
+        assert_eq!(m.check_conservation(), (0, 0));
+        // Pair aggregation: t2 blocked only behind t1.
+        let pairs = m.pair_ns();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[&(2, 1)], 90);
+    }
+
+    #[test]
+    fn empty_timeline_is_all_zero() {
+        let m = BlameMatrix::from_timeline(&Timeline::default());
+        assert!(m.rows.is_empty());
+        assert_eq!(m.total_wait_ns, 0);
+        assert_eq!(m.gini, 0.0);
+        assert_eq!(m.check_conservation(), (0, 0));
+    }
+}

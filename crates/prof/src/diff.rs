@@ -1,0 +1,442 @@
+//! The noise-aware bench regression gate (`xtask bench-diff`).
+//!
+//! Compares a freshly produced `BENCH_<fig>.json` against a committed
+//! baseline copy. The platform is deterministic, so in principle any
+//! drift is a behaviour change; in practice quantiles of log2-bucketed
+//! histograms move in bucket-sized steps and intentional tuning shifts
+//! them slightly, so each metric carries a **relative tolerance** and a
+//! **min-count floor**: quantiles estimated from few samples are noisy
+//! by construction and are skipped rather than gated.
+//!
+//! The gate is two-sided — an unexpected *improvement* fails too. On a
+//! deterministic platform a faster number you didn't plan for means the
+//! modelled contention changed, which is exactly what the gate exists to
+//! catch; refresh the baseline deliberately (see EXPERIMENTS.md) to
+//! accept it.
+//!
+//! Runs are keyed `(label, threads, nodes, occurrence-index)` — a figure
+//! sweeps many message sizes per configuration, producing several runs
+//! with identical labels, and the sweep order is deterministic. A run
+//! present on only one side is itself a failure (the run set is part of
+//! the contract).
+
+use crate::json::Json;
+
+/// One gated metric: which histogram field, how much drift is tolerated,
+/// and below how many samples the check is skipped.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Histogram in the run record (`"cs_wait"`, `"cs_hold"`,
+    /// `"msg_latency"`), or `""` for top-level run fields.
+    pub hist: &'static str,
+    /// Field inside it (`"p50"`, `"p99"`), or the top-level field name
+    /// (`"end_ns"`).
+    pub field: &'static str,
+    /// Maximum tolerated `|cur − base| / base`.
+    pub tol: f64,
+    /// Minimum histogram `count` for the check to be meaningful.
+    pub min_count: u64,
+}
+
+/// Gate configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffOptions {
+    /// The per-metric tolerance table.
+    pub rules: Vec<Rule>,
+    /// When the baseline value is 0, drift below this many ns is still
+    /// accepted (relative drift is undefined at 0).
+    pub abs_floor_ns: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            rules: vec![
+                Rule {
+                    hist: "cs_wait",
+                    field: "p50",
+                    tol: 0.25,
+                    min_count: 100,
+                },
+                Rule {
+                    hist: "cs_wait",
+                    field: "p99",
+                    tol: 0.25,
+                    min_count: 100,
+                },
+                Rule {
+                    hist: "cs_hold",
+                    field: "p50",
+                    tol: 0.25,
+                    min_count: 100,
+                },
+                Rule {
+                    hist: "cs_hold",
+                    field: "p99",
+                    tol: 0.25,
+                    min_count: 100,
+                },
+                Rule {
+                    hist: "msg_latency",
+                    field: "p50",
+                    tol: 0.20,
+                    min_count: 50,
+                },
+                Rule {
+                    hist: "msg_latency",
+                    field: "p99",
+                    tol: 0.20,
+                    min_count: 50,
+                },
+                Rule {
+                    hist: "",
+                    field: "end_ns",
+                    tol: 0.10,
+                    min_count: 0,
+                },
+            ],
+            abs_floor_ns: 1000.0,
+        }
+    }
+}
+
+/// One metric comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    /// Run key, e.g. `mutex 4t×1n #2`.
+    pub run: String,
+    /// Metric name, e.g. `cs_wait.p99`.
+    pub metric: String,
+    /// Baseline value.
+    pub base: f64,
+    /// Current value.
+    pub cur: f64,
+    /// Relative drift `(cur − base) / base` (0 when base is 0).
+    pub rel: f64,
+    /// The tolerance that applied.
+    pub tol: f64,
+    /// Whether this metric breaches its tolerance.
+    pub failed: bool,
+}
+
+/// The outcome of diffing one figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Figure id (from the current document).
+    pub fig: String,
+    /// Every comparison performed.
+    pub deltas: Vec<Delta>,
+    /// Human-readable failure lines (breaching metrics and missing runs).
+    pub failures: Vec<String>,
+    /// Metrics compared.
+    pub compared: usize,
+    /// Metrics skipped under the min-count floor.
+    pub skipped: usize,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn ok(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Render this figure's section of `results/bench-diff.md`.
+    pub fn markdown(&self) -> String {
+        let mut out = format!(
+            "## {} — {}\n\n{} metric(s) compared, {} skipped (min-count floor), {} failure(s)\n",
+            self.fig,
+            if self.ok() { "PASS" } else { "FAIL" },
+            self.compared,
+            self.skipped,
+            self.failures.len(),
+        );
+        if !self.failures.is_empty() {
+            out.push('\n');
+            for f in &self.failures {
+                out.push_str(&format!("- **{f}**\n"));
+            }
+        }
+        let breaching: Vec<&Delta> = self.deltas.iter().filter(|d| d.failed).collect();
+        if !breaching.is_empty() {
+            out.push_str("\n| run | metric | baseline | current | drift | tol |\n");
+            out.push_str("|---|---|---:|---:|---:|---:|\n");
+            for d in breaching {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {:+.1}% | ±{:.0}% |\n",
+                    d.run,
+                    d.metric,
+                    d.base,
+                    d.cur,
+                    d.rel * 100.0,
+                    d.tol * 100.0
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Stable key + metric map for each run object, in document order.
+fn index_runs(doc: &Json) -> Result<Vec<(String, Json)>, String> {
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("document has no \"runs\" array")?;
+    let mut seen: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut out = Vec::new();
+    for r in runs {
+        let label = r.get("label").and_then(Json::as_str).unwrap_or("?");
+        let threads = r.get("threads").and_then(Json::as_u64).unwrap_or(0);
+        let nodes = r.get("nodes").and_then(Json::as_u64).unwrap_or(0);
+        let base = format!("{label} {threads}t\u{d7}{nodes}n");
+        let occ = seen.entry(base.clone()).or_insert(0);
+        out.push((format!("{base} #{occ}"), r.clone()));
+        *occ += 1;
+    }
+    Ok(out)
+}
+
+fn metric_of(run: &Json, rule: &Rule) -> (Option<f64>, u64) {
+    if rule.hist.is_empty() {
+        (run.get(rule.field).and_then(Json::as_f64), u64::MAX)
+    } else {
+        let h = run.get(rule.hist);
+        let v = h.and_then(|h| h.get(rule.field)).and_then(Json::as_f64);
+        let count = h
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        (v, count)
+    }
+}
+
+/// Diff one figure's current `BENCH_*.json` text against its baseline
+/// text. Errors on unparseable documents; missing runs and breaching
+/// metrics land in [`DiffReport::failures`].
+pub fn bench_diff(baseline: &str, current: &str, opts: &DiffOptions) -> Result<DiffReport, String> {
+    let base_doc = Json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cur_doc = Json::parse(current).map_err(|e| format!("current: {e}"))?;
+    let fig = cur_doc
+        .get("id")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_owned();
+    let base_runs = index_runs(&base_doc)?;
+    let cur_runs = index_runs(&cur_doc)?;
+
+    let mut report = DiffReport {
+        fig,
+        deltas: Vec::new(),
+        failures: Vec::new(),
+        compared: 0,
+        skipped: 0,
+    };
+
+    let cur_keys: std::collections::BTreeSet<&str> =
+        cur_runs.iter().map(|(k, _)| k.as_str()).collect();
+    let base_keys: std::collections::BTreeSet<&str> =
+        base_runs.iter().map(|(k, _)| k.as_str()).collect();
+    for (k, _) in &base_runs {
+        if !cur_keys.contains(k.as_str()) {
+            report
+                .failures
+                .push(format!("run `{k}` missing from current results"));
+        }
+    }
+    for (k, _) in &cur_runs {
+        if !base_keys.contains(k.as_str()) {
+            report
+                .failures
+                .push(format!("run `{k}` not in baseline (refresh it?)"));
+        }
+    }
+
+    for (key, base_run) in &base_runs {
+        let Some((_, cur_run)) = cur_runs.iter().find(|(k, _)| k == key) else {
+            continue;
+        };
+        for rule in &opts.rules {
+            let (bv, bcount) = metric_of(base_run, rule);
+            let (cv, ccount) = metric_of(cur_run, rule);
+            let (Some(bv), Some(cv)) = (bv, cv) else {
+                report.failures.push(format!(
+                    "{key}: metric {}{}{} absent on one side",
+                    rule.hist,
+                    if rule.hist.is_empty() { "" } else { "." },
+                    rule.field
+                ));
+                continue;
+            };
+            // The floor uses the *smaller* sample count: either side being
+            // under-sampled makes the comparison noise.
+            if bcount.min(ccount) < rule.min_count {
+                report.skipped += 1;
+                continue;
+            }
+            report.compared += 1;
+            let metric = if rule.hist.is_empty() {
+                rule.field.to_owned()
+            } else {
+                format!("{}.{}", rule.hist, rule.field)
+            };
+            let (rel, failed) = if bv == 0.0 {
+                (0.0, cv.abs() > opts.abs_floor_ns)
+            } else {
+                let rel = (cv - bv) / bv;
+                (rel, rel.abs() > rule.tol)
+            };
+            if failed {
+                report.failures.push(format!(
+                    "{key}: {metric} drifted {:+.1}% (baseline {bv}, current {cv}, tol \u{b1}{:.0}%)",
+                    rel * 100.0,
+                    rule.tol * 100.0
+                ));
+            }
+            report.deltas.push(Delta {
+                run: key.clone(),
+                metric,
+                base: bv,
+                cur: cv,
+                rel,
+                tol: rule.tol,
+                failed,
+            });
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(p99_wait: u64, wait_count: u64, end_ns: u64) -> String {
+        format!(
+            "{{\"id\":\"figX\",\"traced\":false,\"runs\":[{{\
+             \"label\":\"mutex\",\"threads\":4,\"nodes\":1,\"end_ns\":{end_ns},\
+             \"cs_wait\":{{\"count\":{wait_count},\"p50\":100,\"p99\":{p99_wait},\"max\":{p99_wait},\"mean\":120}},\
+             \"cs_hold\":{{\"count\":{wait_count},\"p50\":50,\"p99\":80,\"max\":90,\"mean\":55}},\
+             \"msg_latency\":{{\"count\":200,\"p50\":1000,\"p99\":4000,\"max\":5000,\"mean\":1500}}\
+             }}],\"series\":[],\"scalars\":{{}}}}"
+        )
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let d = doc(500, 1000, 1_000_000);
+        let r = bench_diff(&d, &d, &DiffOptions::default()).unwrap();
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert_eq!(r.compared, 7);
+        assert_eq!(r.skipped, 0);
+        assert!(r.markdown().contains("PASS"));
+    }
+
+    #[test]
+    fn perturbed_quantile_fails_and_is_named() {
+        // cs_wait.p99 tol is 25%; 2× tolerance = +50% drift.
+        let base = doc(500, 1000, 1_000_000);
+        let cur = doc(750, 1000, 1_000_000);
+        let r = bench_diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(!r.ok());
+        assert!(
+            r.failures.iter().any(|f| f.contains("cs_wait.p99")),
+            "failures: {:?}",
+            r.failures
+        );
+        let md = r.markdown();
+        assert!(md.contains("FAIL"));
+        assert!(md.contains("cs_wait.p99"));
+    }
+
+    #[test]
+    fn improvement_beyond_tolerance_also_fails() {
+        let base = doc(500, 1000, 1_000_000);
+        let cur = doc(200, 1000, 1_000_000); // −60%
+        let r = bench_diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(!r.ok(), "two-sided gate must flag unexpected improvements");
+    }
+
+    #[test]
+    fn low_sample_quantiles_are_skipped() {
+        // 10 samples is under both cs floors; only msg_latency (count 200)
+        // and end_ns remain gated, so a wild cs_wait.p99 drift passes.
+        let base = doc(500, 10, 1_000_000);
+        let cur = doc(5000, 10, 1_000_000);
+        let r = bench_diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert_eq!(r.skipped, 4);
+        assert_eq!(r.compared, 3);
+    }
+
+    #[test]
+    fn end_ns_drift_fails_even_with_few_samples() {
+        let base = doc(500, 10, 1_000_000);
+        let cur = doc(500, 10, 1_200_000); // +20% > 10% tol
+        let r = bench_diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(!r.ok());
+        assert!(r.failures.iter().any(|f| f.contains("end_ns")));
+    }
+
+    #[test]
+    fn missing_run_fails_both_directions() {
+        let base = doc(500, 1000, 1_000_000);
+        let empty = "{\"id\":\"figX\",\"traced\":false,\"runs\":[],\"series\":[],\"scalars\":{}}";
+        let r = bench_diff(&base, empty, &DiffOptions::default()).unwrap();
+        assert!(!r.ok());
+        assert!(r.failures[0].contains("missing from current"));
+        let r2 = bench_diff(empty, &base, &DiffOptions::default()).unwrap();
+        assert!(!r2.ok());
+        assert!(r2.failures[0].contains("not in baseline"));
+    }
+
+    #[test]
+    fn zero_baseline_uses_absolute_floor() {
+        let mk = |p50: u64| {
+            format!(
+                "{{\"id\":\"f\",\"runs\":[{{\"label\":\"l\",\"threads\":1,\"nodes\":1,\
+                 \"end_ns\":10,\
+                 \"cs_wait\":{{\"count\":1000,\"p50\":{p50},\"p99\":0,\"max\":0,\"mean\":0}},\
+                 \"cs_hold\":{{\"count\":1000,\"p50\":0,\"p99\":0,\"max\":0,\"mean\":0}},\
+                 \"msg_latency\":{{\"count\":100,\"p50\":0,\"p99\":0,\"max\":0,\"mean\":0}}}}]}}"
+            )
+        };
+        let opts = DiffOptions::default();
+        // 0 → 900 ns: under the 1000 ns floor, accepted.
+        assert!(bench_diff(&mk(0), &mk(900), &opts).unwrap().ok());
+        // 0 → 5000 ns: contention appeared where there was none.
+        assert!(!bench_diff(&mk(0), &mk(5000), &opts).unwrap().ok());
+    }
+
+    #[test]
+    fn repeated_configs_compare_positionally() {
+        let two = |a: u64, b: u64| {
+            let run = |p50: u64| {
+                format!(
+                    "{{\"label\":\"mutex\",\"threads\":4,\"nodes\":1,\"end_ns\":100,\
+                     \"cs_wait\":{{\"count\":1000,\"p50\":{p50},\"p99\":100,\"max\":100,\"mean\":50}},\
+                     \"cs_hold\":{{\"count\":1000,\"p50\":10,\"p99\":10,\"max\":10,\"mean\":10}},\
+                     \"msg_latency\":{{\"count\":100,\"p50\":10,\"p99\":10,\"max\":10,\"mean\":10}}}}"
+                )
+            };
+            format!("{{\"id\":\"f\",\"runs\":[{},{}]}}", run(a), run(b))
+        };
+        // Same multiset, different order: positional keying flags it.
+        let r = bench_diff(&two(100, 1000), &two(1000, 100), &DiffOptions::default()).unwrap();
+        assert!(!r.ok(), "sweep order is part of the contract");
+        // Matching order passes.
+        assert!(
+            bench_diff(&two(100, 1000), &two(100, 1000), &DiffOptions::default())
+                .unwrap()
+                .ok()
+        );
+    }
+
+    #[test]
+    fn garbage_documents_error() {
+        assert!(bench_diff("{", "{}", &DiffOptions::default()).is_err());
+        assert!(
+            bench_diff("{}", "{}", &DiffOptions::default()).is_err(),
+            "no runs array"
+        );
+    }
+}

@@ -1,0 +1,430 @@
+//! [`ProfReport`]: one run's full profile, with every rendering.
+//!
+//! The bench layer calls [`ProfReport::analyze`] on each traced run and
+//! embeds [`ProfReport::to_json`] as the run's `"prof"` block inside
+//! `BENCH_<id>.json`; the same struct renders the human `text_report`,
+//! the Perfetto counter-track events appended to `results/<id>.trace.json`,
+//! and the Prometheus-style exposition written to `results/<id>.prom`.
+//! All four renderings are pure functions of the deterministic timeline,
+//! so they are byte-identical across same-seed runs.
+
+use crate::blame::BlameMatrix;
+use crate::decomp::LatencyDecomp;
+use crate::window::Windows;
+use mtmpi_metrics::{Histogram, Table};
+use mtmpi_obs::json::{escape, fmt_f64, fmt_us};
+use mtmpi_obs::{Path, Timeline};
+
+/// One run's blame matrix, latency decomposition, and windowed series.
+#[derive(Debug, Clone)]
+pub struct ProfReport {
+    /// Who blocked whom, and for how long.
+    pub blame: BlameMatrix,
+    /// Where the mean message latency went.
+    pub decomp: LatencyDecomp,
+    /// The run as a windowed contention time series.
+    pub windows: Windows,
+}
+
+fn path_label(p: Path) -> &'static str {
+    match p {
+        Path::Main => "main",
+        Path::Progress => "progress",
+    }
+}
+
+impl ProfReport {
+    /// Analyze one run: its event timeline and its measured message
+    /// latency histogram.
+    pub fn analyze(t: &Timeline, latency: &Histogram) -> Self {
+        Self {
+            blame: BlameMatrix::from_timeline(t),
+            decomp: LatencyDecomp::analyze(t, latency),
+            windows: Windows::auto(t),
+        }
+    }
+
+    /// The `"prof"` JSON block (one line, hand-rolled, deterministic).
+    /// Includes the rendered `text_report` as an escaped string member so
+    /// the artifact is self-describing.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"blame\":{");
+        out.push_str(&format!(
+            "\"total_wait_ns\":{},\"gini\":{},",
+            self.blame.total_wait_ns,
+            fmt_f64(self.blame.gini)
+        ));
+        out.push_str("\"rows\":[");
+        for (i, r) in self.blame.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"waiter\":{},\"total_ns\":{},\"unattributed_ns\":{},\"cells\":[",
+                r.waiter_tid, r.total_ns, r.unattributed_ns
+            ));
+            for (j, c) in r.cells.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"tid\":{},\"path\":\"{}\",\"op\":\"{}\",\"ns\":{}}}",
+                    c.holder.tid,
+                    path_label(c.holder.path()),
+                    c.holder.op().label(),
+                    c.ns
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("],\"shares\":[");
+        for (i, s) in self.blame.shares.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"tid\":{},\"acquisitions\":{},\"share\":{},\"hold_ns\":{}}}",
+                s.tid,
+                s.acquisitions,
+                fmt_f64(s.share),
+                s.hold_ns
+            ));
+        }
+        let st = &self.blame.starvation;
+        out.push_str(&format!(
+            "],\"starvation\":{{\"main_spans\":{},\"progress_spans\":{},\
+             \"main_wait_mean_ns\":{},\"progress_wait_mean_ns\":{},\"ratio\":{}}}}}",
+            st.main_spans,
+            st.progress_spans,
+            fmt_f64(st.main_wait_mean_ns),
+            fmt_f64(st.progress_wait_mean_ns),
+            fmt_f64(st.ratio)
+        ));
+        let d = &self.decomp;
+        out.push_str(&format!(
+            ",\"decomp\":{{\"messages\":{},\"mean_ns\":{},\"cs_wait_ns\":{},\
+             \"cs_hold_ns\":{},\"poll_ns\":{},\"network_ns\":{},\"scale\":{}}}",
+            d.messages,
+            fmt_f64(d.mean_ns),
+            fmt_f64(d.cs_wait_ns),
+            fmt_f64(d.cs_hold_ns),
+            fmt_f64(d.poll_ns),
+            fmt_f64(d.network_ns),
+            fmt_f64(d.scale)
+        ));
+        out.push_str(&format!(
+            ",\"windows\":{{\"width_ns\":{},\"dropped\":{},\"rows\":[",
+            self.windows.width_ns, self.windows.dropped
+        ));
+        for (i, w) in self.windows.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"start_ns\":{},\"spans\":{},\"wait_p50_ns\":{},\"wait_p99_ns\":{},\
+                 \"wait_ns\":{},\"hold_ns\":{},\"top_tid\":{},\"top_share\":{},\"gini\":{}}}",
+                w.start_ns,
+                w.spans,
+                w.wait_p50_ns,
+                w.wait_p99_ns,
+                w.wait_ns,
+                w.hold_ns,
+                w.top_tid,
+                fmt_f64(w.top_share),
+                fmt_f64(w.gini)
+            ));
+        }
+        out.push_str("]}");
+        out.push_str(&format!(
+            ",\"text_report\":\"{}\"}}",
+            escape(&self.text_report())
+        ));
+        out
+    }
+
+    /// Fixed-width human rendering: decomposition, top blame pairs,
+    /// acquisition shares, starvation.
+    pub fn text_report(&self) -> String {
+        let mut out = String::new();
+        let d = &self.decomp;
+
+        out.push_str("critical-path decomposition (mean ns/message)\n");
+        let mut t = Table::new(&["segment", "ns/msg", "%"]);
+        let pct = |v: f64| {
+            if d.mean_ns > 0.0 {
+                format!("{:.1}", 100.0 * v / d.mean_ns)
+            } else {
+                "0.0".into()
+            }
+        };
+        for (name, v) in [
+            ("cs-wait", d.cs_wait_ns),
+            ("cs-hold", d.cs_hold_ns),
+            ("poll-batch", d.poll_ns),
+            ("network", d.network_ns),
+        ] {
+            t.row(vec![name.into(), format!("{v:.1}"), pct(v)]);
+        }
+        t.row(vec![
+            "total".into(),
+            format!("{:.1}", d.mean_ns),
+            "100.0".into(),
+        ]);
+        out.push_str(&t.render());
+        if d.scale < 1.0 {
+            out.push_str(&format!(
+                "(runtime segments scaled by {:.3}: trace covers more work than the latency window)\n",
+                d.scale
+            ));
+        }
+
+        out.push_str("\nblame matrix: top blocked-by pairs\n");
+        let mut pairs: Vec<(u64, u64, &'static str, &'static str, u64)> = Vec::new();
+        for r in &self.blame.rows {
+            for c in &r.cells {
+                pairs.push((
+                    r.waiter_tid,
+                    c.holder.tid,
+                    path_label(c.holder.path()),
+                    c.holder.op().label(),
+                    c.ns,
+                ));
+            }
+        }
+        pairs.sort_by_key(|p| (std::cmp::Reverse(p.4), p.0, p.1));
+        let mut t = Table::new(&["waiter", "holder", "path", "op", "blocked_us", "%wait"]);
+        let shown = pairs.len().min(10);
+        for &(w, h, path, op, ns) in &pairs[..shown] {
+            let pct = if self.blame.total_wait_ns > 0 {
+                format!("{:.1}", 100.0 * ns as f64 / self.blame.total_wait_ns as f64)
+            } else {
+                "0.0".into()
+            };
+            t.row(vec![
+                format!("t{w}"),
+                format!("t{h}"),
+                path.into(),
+                op.into(),
+                fmt_us(ns),
+                pct,
+            ]);
+        }
+        out.push_str(&t.render());
+        if pairs.len() > shown {
+            out.push_str(&format!("({} more pairs omitted)\n", pairs.len() - shown));
+        }
+        let unattributed: u64 = self.blame.rows.iter().map(|r| r.unattributed_ns).sum();
+        out.push_str(&format!(
+            "total cs-wait {} us; unattributed (hand-off) {} us\n",
+            fmt_us(self.blame.total_wait_ns),
+            fmt_us(unattributed)
+        ));
+
+        out.push_str("\nacquisition shares\n");
+        let mut t = Table::new(&["thread", "acq", "share", "hold_us"]);
+        for s in &self.blame.shares {
+            t.row(vec![
+                format!("t{}", s.tid),
+                s.acquisitions.to_string(),
+                format!("{:.3}", s.share),
+                fmt_us(s.hold_ns),
+            ]);
+        }
+        out.push_str(&t.render());
+        let st = &self.blame.starvation;
+        out.push_str(&format!(
+            "gini {:.3}; progress starvation ratio {:.2} ({} progress vs {} main spans)\n",
+            self.blame.gini, st.ratio, st.progress_spans, st.main_spans
+        ));
+        out
+    }
+
+    /// Perfetto counter-track events (`"ph":"C"`): one sample per window
+    /// on a `contention` track under process `pid`. Append these to the
+    /// event array of a Chrome trace document; Perfetto renders each args
+    /// key as its own counter series.
+    pub fn counter_events(&self, pid: u32) -> Vec<String> {
+        self.windows
+            .rows
+            .iter()
+            .map(|w| {
+                format!(
+                    "{{\"name\":\"contention\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\
+                     \"args\":{{\"wait_p50_us\":{},\"wait_p99_us\":{},\"spans\":{},\
+                     \"top_share\":{},\"gini\":{}}}}}",
+                    fmt_us(w.start_ns),
+                    pid,
+                    fmt_us(w.wait_p50_ns),
+                    fmt_us(w.wait_p99_ns),
+                    w.spans,
+                    fmt_f64(w.top_share),
+                    fmt_f64(w.gini)
+                )
+            })
+            .collect()
+    }
+
+    /// Prometheus-style text exposition for this run. `labels` is the
+    /// pre-rendered label set without braces, e.g.
+    /// `fig="fig2a",run="mutex",threads="4",nodes="1"`.
+    pub fn prom(&self, labels: &str) -> String {
+        let mut out = String::new();
+        let mut gauge = |name: &str, extra: &str, v: String| {
+            let sep = if extra.is_empty() { "" } else { "," };
+            out.push_str(&format!("mtmpi_{name}{{{labels}{sep}{extra}}} {v}\n"));
+        };
+        let d = &self.decomp;
+        gauge("cs_wait_total_ns", "", self.blame.total_wait_ns.to_string());
+        gauge("cs_gini", "", format!("{:.6}", self.blame.gini));
+        gauge(
+            "progress_starvation_ratio",
+            "",
+            format!("{:.6}", self.blame.starvation.ratio),
+        );
+        gauge("msg_latency_mean_ns", "", fmt_f64(d.mean_ns));
+        for (seg, v) in [
+            ("cs_wait", d.cs_wait_ns),
+            ("cs_hold", d.cs_hold_ns),
+            ("poll", d.poll_ns),
+            ("network", d.network_ns),
+        ] {
+            gauge(
+                "latency_segment_ns",
+                &format!("segment=\"{seg}\""),
+                fmt_f64(v),
+            );
+        }
+        for s in &self.blame.shares {
+            gauge(
+                "cs_acquisition_share",
+                &format!("thread=\"t{}\"", s.tid),
+                format!("{:.6}", s.share),
+            );
+        }
+        for w in &self.windows.rows {
+            let win = format!("window_start_ms=\"{}\"", w.start_ns / 1_000_000);
+            gauge("window_wait_p99_ns", &win, w.wait_p99_ns.to_string());
+            gauge("window_spans", &win, w.spans.to_string());
+        }
+        gauge("events_dropped", "", self.windows.dropped.to_string());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmpi_obs::{CsOp, Event, EventKind};
+
+    fn demo_timeline() -> Timeline {
+        let cs = |tid: u64, path: Path, op: CsOp, t_req: u64, t_acq: u64, t_end: u64| Event {
+            t_ns: t_end,
+            tid,
+            core: tid as u32,
+            socket: 0,
+            kind: EventKind::CsSpan {
+                lock: 0,
+                kind: "mutex",
+                path,
+                op,
+                t_req,
+                t_acq,
+            },
+        };
+        Timeline {
+            events: vec![
+                cs(1, Path::Main, CsOp::Isend, 0, 0, 100),
+                cs(2, Path::Main, CsOp::Irecv, 10, 100, 160),
+                cs(3, Path::Progress, CsOp::Progress, 20, 160, 400),
+            ],
+            dropped: 0,
+        }
+    }
+
+    fn demo_latency() -> Histogram {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(2000);
+        }
+        h
+    }
+
+    #[test]
+    fn json_block_is_valid_and_conserves() {
+        let r = ProfReport::analyze(&demo_timeline(), &demo_latency());
+        assert_eq!(r.blame.check_conservation(), (0, 0));
+        assert!(r.decomp.residual_error() < 1e-9);
+        let j = r.to_json();
+        let parsed = crate::json::Json::parse(&j).expect("prof block parses");
+        let total = parsed
+            .get("blame")
+            .unwrap()
+            .get("total_wait_ns")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        // wait(t2)=90, wait(t3)=140.
+        assert_eq!(total, 230);
+        // Row sums reproduce the total.
+        let rows = parsed.get("blame").unwrap().get("rows").unwrap();
+        let sum: u64 = rows
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|row| row.get("total_ns").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(sum, total);
+        assert!(parsed.get("text_report").unwrap().as_str().is_some());
+        assert!(
+            parsed
+                .get("decomp")
+                .unwrap()
+                .get("messages")
+                .unwrap()
+                .as_u64()
+                == Some(10)
+        );
+    }
+
+    #[test]
+    fn text_report_names_the_players() {
+        let r = ProfReport::analyze(&demo_timeline(), &demo_latency());
+        let txt = r.text_report();
+        assert!(txt.contains("critical-path decomposition"));
+        assert!(txt.contains("blame matrix"));
+        assert!(txt.contains("progress"));
+        assert!(txt.contains("gini"));
+    }
+
+    #[test]
+    fn counter_events_are_valid_json_per_window() {
+        let r = ProfReport::analyze(&demo_timeline(), &demo_latency());
+        let evs = r.counter_events(7);
+        assert_eq!(evs.len(), r.windows.rows.len());
+        for e in &evs {
+            let v = crate::json::Json::parse(e).expect("counter event parses");
+            assert_eq!(v.get("ph").unwrap().as_str(), Some("C"));
+            assert_eq!(v.get("pid").unwrap().as_u64(), Some(7));
+        }
+    }
+
+    #[test]
+    fn prom_exposition_has_labelled_gauges() {
+        let r = ProfReport::analyze(&demo_timeline(), &demo_latency());
+        let p = r.prom("fig=\"figtest\",run=\"mutex\"");
+        assert!(p.contains("mtmpi_cs_wait_total_ns{fig=\"figtest\",run=\"mutex\"} 230"));
+        assert!(p.contains("segment=\"network\""));
+        assert!(
+            p.contains("mtmpi_cs_acquisition_share{fig=\"figtest\",run=\"mutex\",thread=\"t1\"}")
+        );
+        assert!(p.lines().all(|l| l.is_empty() || l.starts_with("mtmpi_")));
+    }
+
+    #[test]
+    fn renderings_are_deterministic() {
+        let a = ProfReport::analyze(&demo_timeline(), &demo_latency());
+        let b = ProfReport::analyze(&demo_timeline(), &demo_latency());
+        assert_eq!(a.to_json(), b.to_json());
+        assert_eq!(a.prom("x=\"1\""), b.prom("x=\"1\""));
+    }
+}

@@ -1,0 +1,158 @@
+//! `xtask top <fig>` — a `top(1)`-style view of a figure's contention.
+//!
+//! Reads the figure's `results/BENCH_<fig>.json` back (via [`crate::json`])
+//! and renders each profiled run's windowed aggregation as a fixed-width
+//! table: one line per virtual-time window with span count, wait
+//! quantiles, the dominant acquirer and its share, and the Gini index.
+//! This is the quick at-a-terminal answer to "who is hogging the runtime
+//! critical section, and when" — no Perfetto round trip needed.
+
+use crate::json::Json;
+use mtmpi_metrics::Table;
+use mtmpi_obs::json::fmt_us;
+
+/// Render the windowed contention view of every profiled run in a
+/// `BENCH_<fig>.json` document. Errors when the document does not parse
+/// or contains no `prof` blocks (run the figure binary first; profiling
+/// is always on).
+pub fn top_report(bench_json: &str) -> Result<String, String> {
+    let doc = Json::parse(bench_json)?;
+    let fig = doc.get("id").and_then(Json::as_str).unwrap_or("?");
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_array)
+        .ok_or("document has no \"runs\" array")?;
+    let mut out = String::new();
+    let mut profiled = 0usize;
+    for r in runs {
+        let Some(prof) = r.get("prof") else { continue };
+        profiled += 1;
+        let label = r.get("label").and_then(Json::as_str).unwrap_or("?");
+        let threads = r.get("threads").and_then(Json::as_u64).unwrap_or(0);
+        let nodes = r.get("nodes").and_then(Json::as_u64).unwrap_or(0);
+        let windows = prof.get("windows").ok_or("prof block lacks windows")?;
+        let width_ns = windows.get("width_ns").and_then(Json::as_u64).unwrap_or(0);
+        let dropped = windows.get("dropped").and_then(Json::as_u64).unwrap_or(0);
+        let gini = prof
+            .get("blame")
+            .and_then(|b| b.get("gini"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let ratio = prof
+            .get("blame")
+            .and_then(|b| b.get("starvation"))
+            .and_then(|s| s.get("ratio"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "{fig} \u{2014} {label} {threads}t\u{d7}{nodes}n  (window {} ms, gini {gini:.3}, \
+             starvation ratio {ratio:.2}, dropped {dropped})\n",
+            width_ns / 1_000_000
+        ));
+        let mut t = Table::new(&[
+            "window_ms",
+            "spans",
+            "wait_p50_us",
+            "wait_p99_us",
+            "top",
+            "share",
+            "gini",
+        ]);
+        for w in windows.get("rows").and_then(Json::as_array).unwrap_or(&[]) {
+            let g = |k: &str| w.get(k).and_then(Json::as_u64).unwrap_or(0);
+            let spans = g("spans");
+            t.row(vec![
+                (g("start_ns") / 1_000_000).to_string(),
+                spans.to_string(),
+                fmt_us(g("wait_p50_ns")),
+                fmt_us(g("wait_p99_ns")),
+                if spans == 0 {
+                    "-".into()
+                } else {
+                    format!("t{}", g("top_tid"))
+                },
+                format!(
+                    "{:.2}",
+                    w.get("top_share").and_then(Json::as_f64).unwrap_or(0.0)
+                ),
+                format!("{:.2}", w.get("gini").and_then(Json::as_f64).unwrap_or(0.0)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    if profiled == 0 {
+        return Err(format!(
+            "no prof blocks in BENCH_{fig}.json \u{2014} re-run the figure binary to regenerate it"
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ProfReport;
+    use mtmpi_metrics::Histogram;
+    use mtmpi_obs::{CsOp, Event, EventKind, Path, Timeline};
+
+    fn bench_doc_with_prof() -> String {
+        let t = Timeline {
+            events: vec![
+                Event {
+                    t_ns: 100,
+                    tid: 1,
+                    core: 0,
+                    socket: 0,
+                    kind: EventKind::CsSpan {
+                        lock: 0,
+                        kind: "mutex",
+                        path: Path::Main,
+                        op: CsOp::Isend,
+                        t_req: 0,
+                        t_acq: 10,
+                    },
+                },
+                Event {
+                    t_ns: 250,
+                    tid: 2,
+                    core: 1,
+                    socket: 0,
+                    kind: EventKind::CsSpan {
+                        lock: 0,
+                        kind: "mutex",
+                        path: Path::Progress,
+                        op: CsOp::Progress,
+                        t_req: 50,
+                        t_acq: 100,
+                    },
+                },
+            ],
+            dropped: 0,
+        };
+        let mut h = Histogram::new();
+        h.record(1000);
+        let prof = ProfReport::analyze(&t, &h).to_json();
+        format!(
+            "{{\"id\":\"figtest\",\"runs\":[{{\"label\":\"mutex\",\"threads\":4,\
+             \"nodes\":1,\"end_ns\":250,\"prof\":{prof}}}]}}"
+        )
+    }
+
+    #[test]
+    fn renders_windows_for_profiled_runs() {
+        let out = top_report(&bench_doc_with_prof()).unwrap();
+        assert!(out.contains("figtest"));
+        assert!(out.contains("mutex 4t\u{d7}1n"));
+        assert!(out.contains("wait_p99_us"));
+        assert!(out.contains("gini"));
+    }
+
+    #[test]
+    fn errors_without_prof_blocks() {
+        let doc = "{\"id\":\"fig9\",\"runs\":[{\"label\":\"x\",\"threads\":1,\"nodes\":1}]}";
+        let e = top_report(doc).unwrap_err();
+        assert!(e.contains("no prof blocks"));
+        assert!(top_report("not json").is_err());
+    }
+}

@@ -7,7 +7,7 @@ use crate::state::{matches, SharedState};
 use crate::types::{CommId, Msg, MsgData, Tag};
 use crate::world::{RankHandle, WorldInner};
 use mtmpi_locks::PathClass;
-use mtmpi_obs::{EventKind, ReqPhase};
+use mtmpi_obs::{CsOp, EventKind, ReqPhase};
 
 /// Try to free `req`: on success, charge the free cost and maintain the
 /// dangling count, the life-cycle ledger, and the event stream.
@@ -60,7 +60,7 @@ impl RankHandle {
         let bytes = data.len() + costs.header_bytes;
         let src_rank = self.rank;
         let tid = w.platform.current_tid();
-        let inner = w.cs(self.rank, PathClass::Main, |st| {
+        let inner = w.cs(self.rank, PathClass::Main, CsOp::Isend, |st| {
             if !w.granularity.alloc_outside_cs() {
                 w.platform.compute(costs.alloc_ns);
             }
@@ -127,7 +127,7 @@ impl RankHandle {
         }
         let rank = self.rank;
         let tid = w.platform.current_tid();
-        let inner = w.cs(rank, PathClass::Main, |st| {
+        let inner = w.cs(rank, PathClass::Main, CsOp::Irecv, |st| {
             if !w.granularity.alloc_outside_cs() {
                 w.platform.compute(costs.alloc_ns);
             }
@@ -211,7 +211,7 @@ impl RankHandle {
         if w.granularity.split_progress_lock() {
             // Fine-grained: check under the queue lock; if pending, run a
             // separate progress iteration and re-check.
-            let first = w.cs(rank, PathClass::Main, |st| {
+            let first = w.cs(rank, PathClass::Main, CsOp::Test, |st| {
                 // SAFETY: queue lock held.
                 unsafe { try_free_in_cs(w, st, rank, &req) }
             });
@@ -219,7 +219,7 @@ impl RankHandle {
                 return TestOutcome::Done(m);
             }
             progress_once(w, rank, PathClass::Main);
-            let second = w.cs(rank, PathClass::Main, |st| {
+            let second = w.cs(rank, PathClass::Main, CsOp::Test, |st| {
                 // SAFETY: queue lock held.
                 unsafe { try_free_in_cs(w, st, rank, &req) }
             });
@@ -229,7 +229,7 @@ impl RankHandle {
             };
         }
         // Global / brief-global: single CS covering check + poll + check.
-        let out = w.cs(rank, PathClass::Main, |st| {
+        let out = w.cs(rank, PathClass::Main, CsOp::Test, |st| {
             // SAFETY: queue lock held.
             if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
                 return Some(m);
@@ -261,7 +261,7 @@ impl RankHandle {
         let start = w.platform.now_ns();
         loop {
             let done = if w.granularity.split_progress_lock() {
-                let m = w.cs(rank, class, |st| {
+                let m = w.cs(rank, class, CsOp::Wait, |st| {
                     // SAFETY: queue lock held.
                     unsafe { try_free_in_cs(w, st, rank, &req) }
                 });
@@ -270,7 +270,7 @@ impl RankHandle {
                 }
                 m
             } else {
-                w.cs(rank, class, |st| {
+                w.cs(rank, class, CsOp::Wait, |st| {
                     // SAFETY: queue lock held.
                     if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
                         return Some(m);
@@ -312,7 +312,7 @@ impl RankHandle {
             // One CS entry per iteration: sweep-free completed requests,
             // then poll once if any remain (the batched progress of the
             // throughput benchmark, Fig 3b bottom).
-            w.cs(rank, class, |st| {
+            w.cs(rank, class, CsOp::Waitall, |st| {
                 pending.retain(|(i, r)| {
                     // SAFETY: queue lock held.
                     match unsafe { try_free_in_cs(w, st, rank, r) } {

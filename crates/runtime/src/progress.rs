@@ -5,7 +5,7 @@ use crate::state::{matches, SeqPacket, SharedState, UnexMsg};
 use crate::types::{Msg, MsgData};
 use crate::world::{obs_path, WorldInner};
 use mtmpi_locks::PathClass;
-use mtmpi_obs::{EventKind, ReqPhase};
+use mtmpi_obs::{CsOp, EventKind, ReqPhase};
 
 /// Drain the platform mailbox for `rank`. Charges the poll cost. May be
 /// called with or without the queue lock held (it touches no shared
@@ -223,14 +223,15 @@ pub(crate) fn progress_once(w: &WorldInner, rank: u32, class: PathClass) {
             lock: lock.0 as u32,
             kind: w.lock.label(),
             path: obs_path(class),
+            op: CsOp::Progress,
             t_req,
             t_acq,
         });
         if !pkts.is_empty() {
-            w.cs(rank, class, |st| deliver(w, rank, st, pkts));
+            w.cs(rank, class, CsOp::Progress, |st| deliver(w, rank, st, pkts));
         }
     } else {
-        w.cs(rank, class, |st| {
+        w.cs(rank, class, CsOp::Progress, |st| {
             let pkts = poll(w, rank, class);
             deliver(w, rank, st, pkts);
         });

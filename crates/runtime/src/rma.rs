@@ -16,6 +16,7 @@ use crate::progress::progress_once;
 use crate::types::MsgData;
 use crate::world::RankHandle;
 use mtmpi_locks::PathClass;
+use mtmpi_obs::CsOp;
 use std::sync::atomic::{AtomicBool, Ordering};
 
 impl RankHandle {
@@ -29,7 +30,7 @@ impl RankHandle {
             _ => data.len() + costs.header_bytes,
         };
         let rank = self.rank;
-        w.cs(rank, PathClass::Main, |st| {
+        w.cs(rank, PathClass::Main, CsOp::Rma, |st| {
             w.platform.compute(costs.alloc_ns + costs.enqueue_ns);
             let token = st.rma_next_token;
             st.rma_next_token += 1;
@@ -64,7 +65,7 @@ impl RankHandle {
         let mut class = PathClass::Main;
         let start = w.platform.now_ns();
         loop {
-            let got = w.cs(rank, class, |st| {
+            let got = w.cs(rank, class, CsOp::Rma, |st| {
                 if let Some(d) = st.rma_acks.remove(&token) {
                     w.platform.compute(costs.free_ns);
                     return Some(d);

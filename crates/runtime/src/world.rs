@@ -6,7 +6,7 @@ use crate::granularity::Granularity;
 use crate::state::SharedState;
 use crate::stats::RankStats;
 use mtmpi_locks::{CsToken, PathClass};
-use mtmpi_obs::{Event, EventKind, Recorder};
+use mtmpi_obs::{CsOp, Event, EventKind, Recorder};
 use mtmpi_sim::{LockId, LockKind, Platform};
 use std::cell::UnsafeCell;
 use std::sync::Arc;
@@ -88,11 +88,15 @@ impl WorldInner {
     /// acquisition and feeding the dangling sampler (the §4.4 sampling
     /// interval is "successive lock acquisitions"). Wait and hold times
     /// go to the always-on per-rank histograms; reading the clock never
-    /// advances virtual time, so this does not perturb results.
+    /// advances virtual time, so this does not perturb results. `op`
+    /// names the runtime operation this passage serves — it is stamped
+    /// into the CS span event so the prof layer can attribute blocked
+    /// time to what the holder was doing.
     pub(crate) fn cs<R>(
         &self,
         rank: u32,
         class: PathClass,
+        op: CsOp,
         f: impl FnOnce(&mut SharedState) -> R,
     ) -> R {
         let p = &self.procs[rank as usize];
@@ -113,6 +117,7 @@ impl WorldInner {
             lock: p.cs_queue.0 as u32,
             kind: self.lock.label(),
             path: obs_path(class),
+            op,
             t_req,
             t_acq,
         });

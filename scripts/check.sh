@@ -18,10 +18,14 @@
 #   miri       UB check of the locks crate under cargo miri (nightly
 #              component; skipped when not installed).
 #   obs        observability smoke test: run fig2a traced in quick mode
-#              via `xtask trace` and validate BENCH_fig2a.json and
-#              results/fig2a.trace.json are well-formed JSON.
+#              via `xtask trace` and validate results/BENCH_fig2a.json
+#              (including its prof blocks) and results/fig2a.trace.json
+#              are well-formed JSON.
+#   prof       bench regression gate: re-run the baselined figures in
+#              quick mode and diff their BENCH_*.json quantiles against
+#              results/baseline/ (`xtask bench-diff --quick`).
 #
-# Usage: scripts/check.sh [fast]   ("fast" skips loom/tsan/miri/obs)
+# Usage: scripts/check.sh [fast]   ("fast" skips loom/tsan/miri/obs/prof)
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,9 +59,11 @@ if [ "$FAST" = "fast" ]; then
     skip tsan "fast mode"
     skip miri "fast mode"
     skip obs "fast mode"
+    skip prof "fast mode"
 else
     step loom cargo test -p mtmpi-locks --features loom-check --test loom
     step obs cargo run -q -p xtask -- trace fig2a
+    step prof cargo run -q -p xtask -- bench-diff --quick
 
     if ! cargo +nightly --version >/dev/null 2>&1; then
         skip tsan "no nightly toolchain"

@@ -70,6 +70,9 @@ fn disabled_tracing_records_nothing() {
 }
 
 #[test]
+// Deliberately calls the deprecated getters: this parity test is the one
+// place the legacy API must keep working (it proves stats() subsumes it).
+// Drop the allow together with the getters themselves.
 #[allow(deprecated)]
 fn stats_covers_every_legacy_getter() {
     let exp = Experiment::with_seed(2, 14);

@@ -1,0 +1,92 @@
+//! Prof-layer integration tests: the attribution invariants hold on
+//! *real* traced runs (not synthetic timelines), and every rendering is
+//! byte-identical across same-seed runs.
+
+use mtmpi::prelude::*;
+use mtmpi_prof::{ProfReport, Windows};
+
+/// A contended multi-thread workload with tracing on.
+fn traced_run(seed: u64) -> RunOutcome {
+    let exp = Experiment::with_seed(2, seed).trace(true);
+    exp.run(
+        RunConfig::new(Method::Mutex)
+            .nodes(2)
+            .ranks_per_node(1)
+            .threads_per_rank(4)
+            .window_bytes(128),
+        |ctx| {
+            let h = &ctx.rank;
+            let tag = ctx.thread as i32;
+            if h.rank() == 0 {
+                for _ in 0..25 {
+                    h.send(1, tag, MsgData::Synthetic(64));
+                }
+                let _ = h.recv(Some(1), Some(tag));
+            } else {
+                for _ in 0..25 {
+                    let _ = h.recv(Some(0), Some(tag));
+                }
+                h.send(0, tag, MsgData::Synthetic(1));
+            }
+        },
+    )
+}
+
+fn merged_latency(out: &RunOutcome) -> mtmpi_metrics::Histogram {
+    let mut h = mtmpi_metrics::Histogram::new();
+    for r in 0..out.nranks {
+        h.merge(&out.stats(r).msg_latency_ns);
+    }
+    h
+}
+
+#[test]
+fn blame_matrix_conserves_recorded_wait_on_a_real_run() {
+    let out = traced_run(21);
+    let t = out.timeline.as_ref().expect("traced run has a timeline");
+    assert!(!t.events.is_empty());
+    let prof = ProfReport::analyze(t, &merged_latency(&out));
+
+    // Row-level and matrix-level conservation are exact.
+    assert_eq!(prof.blame.check_conservation(), (0, 0));
+
+    // And the matrix total equals the wait summed over raw spans — the
+    // quantity the runtime's own histograms are built from.
+    let span_wait: u64 = t.cs_spans().map(|s| s.wait_ns()).sum();
+    assert_eq!(prof.blame.total_wait_ns, span_wait);
+
+    // This workload contends: somebody must be blamed.
+    assert!(prof.blame.total_wait_ns > 0, "no contention recorded?");
+    assert!(prof.blame.rows.iter().any(|r| !r.cells.is_empty()));
+}
+
+#[test]
+fn latency_decomposition_sums_to_measured_mean() {
+    let out = traced_run(22);
+    let t = out.timeline.as_ref().expect("timeline");
+    let latency = merged_latency(&out);
+    assert!(latency.count() > 0, "workload delivers messages");
+    let prof = ProfReport::analyze(t, &latency);
+    assert!(
+        prof.decomp.residual_error() < 1e-6,
+        "segments must sum to the measured mean, err {}",
+        prof.decomp.residual_error()
+    );
+    assert_eq!(prof.decomp.messages, latency.count());
+}
+
+#[test]
+fn windowed_aggregation_is_byte_identical_across_same_seed_runs() {
+    let (a, b) = (traced_run(23), traced_run(23));
+    let (ta, tb) = (a.timeline.as_ref().unwrap(), b.timeline.as_ref().unwrap());
+    assert_eq!(Windows::auto(ta), Windows::auto(tb));
+    // Stronger: every rendering of the full profile is byte-identical.
+    let (pa, pb) = (
+        ProfReport::analyze(ta, &merged_latency(&a)),
+        ProfReport::analyze(tb, &merged_latency(&b)),
+    );
+    assert_eq!(pa.to_json(), pb.to_json());
+    assert_eq!(pa.text_report(), pb.text_report());
+    assert_eq!(pa.counter_events(0), pb.counter_events(0));
+    assert_eq!(pa.prom("run=\"x\""), pb.prom("run=\"x\""));
+}

@@ -4,9 +4,19 @@
 //!
 //! * `trace <fig>` — run one `mtmpi-bench` figure binary (e.g. `fig2a`)
 //!   in quick mode with event tracing enabled, then validate that
-//!   `BENCH_<fig>.json` and `results/<fig>.trace.json` were written and
-//!   are well-formed JSON (checked by xtask's own minimal parser — the
-//!   workspace carries no JSON dependency). See [`trace`].
+//!   `results/BENCH_<fig>.json` and `results/<fig>.trace.json` were
+//!   written and are well-formed JSON (checked by xtask's own minimal
+//!   parser — the workspace carries no JSON dependency). See [`trace`].
+//!
+//! * `bench-diff [--baseline <dir>] [--quick]` — the noise-aware bench
+//!   regression gate: compare fresh `results/BENCH_*.json` against the
+//!   committed baselines (default `results/baseline/`), write
+//!   `results/bench-diff.md`, exit nonzero on drift beyond the
+//!   per-metric tolerances. `--quick` re-runs each baselined figure
+//!   binary first. See [`bench`].
+//!
+//! * `top <fig>` — render the windowed contention view (who holds the
+//!   runtime critical section, when) of `results/BENCH_<fig>.json`.
 //!
 //! * `lint` — custom static pass over the lock and runtime sources that
 //!   flags *mutating* atomic operations with `Ordering::Relaxed` on lock
@@ -25,6 +35,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+mod bench;
 mod trace;
 
 /// Fields through which lock ownership is transferred or observed for
@@ -215,11 +226,42 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        Some("bench-diff") => {
+            let mut baseline = PathBuf::from("results/baseline");
+            let mut quick = false;
+            loop {
+                match args.next().as_deref() {
+                    Some("--baseline") => match args.next() {
+                        Some(dir) => baseline = PathBuf::from(dir),
+                        None => {
+                            eprintln!("xtask bench-diff: --baseline needs a directory");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    Some("--quick") => quick = true,
+                    Some(other) => {
+                        eprintln!("xtask bench-diff: unknown argument {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                    None => break,
+                }
+            }
+            bench::run_bench_diff(&workspace_root(), &baseline, quick)
+        }
+        Some("top") => match args.next() {
+            Some(fig) => bench::run_top(&fig, &workspace_root()),
+            None => {
+                eprintln!("usage: cargo run -p xtask -- top <fig>   (e.g. top fig2a)");
+                ExitCode::FAILURE
+            }
+        },
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint|trace <fig>>\n  (got {:?})\n\n\
+                "usage: cargo run -p xtask -- <lint|trace <fig>|bench-diff|top <fig>>\n  (got {:?})\n\n\
                  lint         flag Ordering::Relaxed mutations of lock hand-off fields\n\
-                 trace <fig>  run a figure binary traced and validate its JSON outputs",
+                 trace <fig>  run a figure binary traced and validate its JSON outputs\n\
+                 bench-diff   [--baseline <dir>] [--quick] gate BENCH_*.json vs baselines\n\
+                 top <fig>    windowed contention view of results/BENCH_<fig>.json",
                 other
             );
             ExitCode::FAILURE

@@ -3,11 +3,12 @@
 //!
 //! Runs `cargo run --release -p mtmpi-bench --bin <fig> -- --quick` with
 //! `MTMPI_TRACE=1` in the workspace root, then checks that
-//! `BENCH_<fig>.json` and `results/<fig>.trace.json` exist, are
+//! `results/BENCH_<fig>.json` and `results/<fig>.trace.json` exist, are
 //! syntactically valid JSON (validated by the minimal recursive-descent
 //! checker below — the workspace deliberately has no JSON dependency),
-//! and have the expected top-level shape (an `"id"` field in the bench
-//! summary, a non-empty `"traceEvents"` array in the trace).
+//! and have the expected top-level shape (an `"id"` field and a `"prof"`
+//! block in the bench summary, a non-empty `"traceEvents"` array in the
+//! trace).
 
 use std::path::Path;
 use std::process::{Command, ExitCode};
@@ -245,10 +246,10 @@ pub fn run_trace(fig: &str, root: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let bench = root.join(format!("BENCH_{fig}.json"));
+    let bench = root.join(format!("results/BENCH_{fig}.json"));
     let trace = root.join(format!("results/{fig}.trace.json"));
     let mut failed = false;
-    for (path, key) in [(&bench, "id"), (&trace, "traceEvents")] {
+    for (path, key) in [(&bench, "id"), (&bench, "prof"), (&trace, "traceEvents")] {
         match check_file(path, key) {
             Ok(bytes) => println!("xtask trace: OK {} ({bytes} bytes)", path.display()),
             Err(e) => {
