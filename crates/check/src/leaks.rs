@@ -22,6 +22,7 @@ pub struct RequestLedger {
     posted: u64,
     completed: u64,
     freed: u64,
+    cancelled: u64,
 }
 
 impl RequestLedger {
@@ -51,6 +52,14 @@ impl RequestLedger {
         self.freed += 1;
     }
 
+    /// A still-active request was cancelled (e.g. a posted receive
+    /// withdrawn on a wait timeout). The request leaves the life cycle
+    /// without completing, so cancellations balance against `issued`
+    /// separately from `freed`.
+    pub fn note_cancelled(&mut self) {
+        self.cancelled += 1;
+    }
+
     /// Requests issued so far.
     pub fn issued(&self) -> u64 {
         self.issued
@@ -71,9 +80,14 @@ impl RequestLedger {
         self.freed
     }
 
-    /// Requests issued but not yet freed (live handles).
+    /// Requests cancelled before completion (timeout path).
+    pub fn cancelled(&self) -> u64 {
+        self.cancelled
+    }
+
+    /// Requests issued but not yet freed or cancelled (live handles).
     pub fn in_flight(&self) -> u64 {
-        self.issued.saturating_sub(self.freed)
+        self.issued.saturating_sub(self.freed + self.cancelled)
     }
 
     /// Requests completed but not yet freed — the instantaneous §4.4
@@ -88,17 +102,23 @@ impl RequestLedger {
         self.posted += other.posted;
         self.completed += other.completed;
         self.freed += other.freed;
+        self.cancelled += other.cancelled;
     }
 
     /// Check the ledger at quiescence (no operation in progress): every
-    /// issued request must have been completed and freed, and the
-    /// counters must be mutually consistent. Returns a [`LeakReport`]
-    /// describing what leaked otherwise.
+    /// issued request must have been completed and freed — or explicitly
+    /// cancelled — and the counters must be mutually consistent. Returns
+    /// a [`LeakReport`] describing what leaked otherwise.
     pub fn check_quiescent(&self) -> Result<(), LeakReport> {
         let consistent = self.posted <= self.issued
             && self.completed <= self.issued
-            && self.freed <= self.completed;
-        if consistent && self.freed == self.issued {
+            && self.freed <= self.completed
+            && self.cancelled <= self.issued;
+        // Every completed request must be freed, and every issued request
+        // must end freed or cancelled — a cancel cannot stand in for the
+        // free of a completed request.
+        if consistent && self.freed == self.completed && self.freed + self.cancelled == self.issued
+        {
             Ok(())
         } else {
             Err(LeakReport { ledger: *self })
@@ -114,10 +134,12 @@ pub struct LeakReport {
 }
 
 impl LeakReport {
-    /// Requests never completed (issued − completed): lost messages or
-    /// receives whose sender never existed.
+    /// Requests never completed nor cancelled (issued − completed −
+    /// cancelled): lost messages or receives whose sender never existed.
     pub fn uncompleted(&self) -> u64 {
-        self.ledger.issued.saturating_sub(self.ledger.completed)
+        self.ledger
+            .issued
+            .saturating_sub(self.ledger.completed + self.ledger.cancelled)
     }
 
     /// Requests completed but never freed (dropped `Request` handles).
@@ -132,11 +154,12 @@ impl fmt::Display for LeakReport {
         write!(
             f,
             "request ledger not quiescent: issued={} posted={} completed={} freed={} \
-             ({} never completed, {} completed but never freed)",
+             cancelled={} ({} never completed, {} completed but never freed)",
             l.issued,
             l.posted,
             l.completed,
             l.freed,
+            l.cancelled,
             self.uncompleted(),
             self.unfreed()
         )
@@ -184,6 +207,26 @@ mod tests {
         l.note_completed();
         let err = l.check_quiescent().unwrap_err();
         assert_eq!(err.uncompleted(), 0);
+        assert_eq!(err.unfreed(), 1);
+    }
+
+    #[test]
+    fn cancelled_receive_balances_the_ledger() {
+        let mut l = RequestLedger::new();
+        // A posted receive whose sender never shows up, withdrawn by a
+        // wait timeout: issue + post + cancel, no complete, no free.
+        l.note_issued();
+        l.note_posted();
+        l.note_cancelled();
+        assert_eq!(l.check_quiescent(), Ok(()));
+        assert_eq!(l.in_flight(), 0);
+        assert_eq!(l.cancelled(), 1);
+        // A cancel cannot stand in for a free of a *completed* request.
+        let mut m = RequestLedger::new();
+        m.note_issued();
+        m.note_completed();
+        m.note_cancelled();
+        let err = m.check_quiescent().unwrap_err();
         assert_eq!(err.unfreed(), 1);
     }
 

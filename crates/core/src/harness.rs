@@ -2,7 +2,7 @@
 
 use crate::method::Method;
 use mtmpi_metrics::{CsTrace, DanglingSampler, Histogram};
-use mtmpi_net::NetModel;
+use mtmpi_net::{FaultPlan, NetModel};
 use mtmpi_obs::{RingRecorder, RunRecord, Sink, Timeline, DEFAULT_SHARD_CAP};
 use mtmpi_runtime::{Granularity, RankHandle, RankStats, RuntimeCosts, World};
 use mtmpi_sim::{LockModelParams, Platform, PlatformReport, ThreadDesc, VirtualPlatform};
@@ -48,6 +48,10 @@ pub struct Experiment {
     pub seed: u64,
     /// Observability: summary sink and timeline capture.
     pub obs: ObsConfig,
+    /// Link fault injection + recovery policy. The inert default
+    /// ([`FaultPlan::none`]) leaves every run on the fault-free fast
+    /// paths, byte-identical to a harness without the knob.
+    pub faults: FaultPlan,
 }
 
 impl Experiment {
@@ -60,6 +64,7 @@ impl Experiment {
             costs: RuntimeCosts::default(),
             seed: 0x5EED,
             obs: ObsConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -80,6 +85,14 @@ impl Experiment {
     /// Capture the structured-event timeline of every run.
     pub fn trace(mut self, on: bool) -> Self {
         self.obs.trace = on;
+        self
+    }
+
+    /// Inject deterministic link faults into every run (see
+    /// [`FaultPlan`]). Same experiment seed + same plan ⇒ byte-identical
+    /// results, fault decisions included.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
@@ -116,6 +129,9 @@ impl Experiment {
             .costs(self.costs)
             .window_bytes(cfg.window_bytes)
             .expect_rma(cfg.progress_thread);
+        if self.faults.is_active() {
+            builder = builder.fault_plan(self.faults.clone());
+        }
         if let Some(rec) = &recorder {
             builder = builder.recorder(rec.clone());
         }

@@ -25,6 +25,10 @@
 
 use serde::{Deserialize, Serialize};
 
+pub mod faults;
+
+pub use faults::{FaultDecision, FaultPlan, PPM};
+
 /// Timing decomposition for one message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MsgTiming {

@@ -12,14 +12,22 @@
 //! a single push.
 
 /// Which lock path a critical-section entry used (paper Fig 6a): the
-/// high-priority main path (application calls) or the low-priority
-/// progress path (polling loops).
+/// high-priority main path (application calls), the low-priority
+/// progress path (polling loops), or an application thread spinning in a
+/// blocking wait. `WaitSpin` passages use the *arbitration* priority of
+/// the progress path (a spinning waiter yields the lock to useful work)
+/// but are attributed separately, because they run on the application
+/// thread — lumping them into `Progress` would skew the
+/// progress-starvation ratio and the blame matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Path {
     /// High-priority application path.
     Main,
     /// Low-priority progress-engine path.
     Progress,
+    /// Application thread spinning inside `wait`/`waitall`/`rma_wait`
+    /// (low arbitration priority, but not the progress engine).
+    WaitSpin,
 }
 
 impl Path {
@@ -28,7 +36,26 @@ impl Path {
         match self {
             Path::Main => "main",
             Path::Progress => "progress",
+            Path::WaitSpin => "waitspin",
         }
+    }
+
+    /// All variants, in a stable order (for exhaustive tabulation;
+    /// `Main` first so per-path tables lead with the application path).
+    pub const ALL: [Path; 3] = [Path::Main, Path::Progress, Path::WaitSpin];
+
+    /// Stable small index of the variant (position in [`Path::ALL`]).
+    pub fn idx(self) -> u8 {
+        match self {
+            Path::Main => 0,
+            Path::Progress => 1,
+            Path::WaitSpin => 2,
+        }
+    }
+
+    /// Inverse of [`Path::idx`].
+    pub fn from_idx(i: u8) -> Path {
+        Path::ALL[usize::from(i)]
     }
 }
 
@@ -158,6 +185,42 @@ pub enum EventKind {
         /// Payload bytes.
         bytes: u64,
     },
+    /// The fault layer perturbed one transmission from `rank` (dropped,
+    /// duplicated, or delayed it).
+    FaultInjected {
+        /// Sending rank.
+        rank: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Link sequence number of the packet.
+        seq: u64,
+        /// What was injected (`"drop"`, `"dup"`, `"delay"`, …).
+        fault: &'static str,
+    },
+    /// `rank` retransmitted an unacknowledged packet to `dst`.
+    Retransmit {
+        /// Retransmitting rank.
+        rank: u32,
+        /// Destination rank.
+        dst: u32,
+        /// Link sequence number of the packet.
+        seq: u64,
+        /// Retransmission attempt (1 = first retry).
+        attempt: u32,
+        /// Backoff that elapsed since the previous transmission, ns (the
+        /// recovery latency this retry paid; feeds prof's `retry`
+        /// segment).
+        backoff_ns: u64,
+    },
+    /// `rank` discarded an already-delivered duplicate from `src`.
+    DupDrop {
+        /// Receiving rank.
+        rank: u32,
+        /// Sending rank the duplicate came from.
+        src: u32,
+        /// Link sequence number of the duplicate.
+        seq: u64,
+    },
 }
 
 /// One timeline record.
@@ -180,9 +243,25 @@ mod tests {
     use super::*;
 
     #[test]
+    fn path_idx_round_trips() {
+        for p in Path::ALL {
+            assert_eq!(Path::from_idx(p.idx()), p);
+        }
+        let mut labels: Vec<&str> = Path::ALL.iter().map(|p| p.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(
+            labels.len(),
+            Path::ALL.len(),
+            "path labels must be distinct"
+        );
+    }
+
+    #[test]
     fn labels_are_lowercase_and_stable() {
         assert_eq!(Path::Main.label(), "main");
         assert_eq!(Path::Progress.label(), "progress");
+        assert_eq!(Path::WaitSpin.label(), "waitspin");
         assert_eq!(ReqPhase::Issue.label(), "issue");
         assert_eq!(ReqPhase::Post.label(), "post");
         assert_eq!(ReqPhase::Complete.label(), "complete");

@@ -86,6 +86,40 @@ fn chrome_event(ev: &Event, pid: u32, out: &mut Vec<String>) {
             origin,
             bytes
         )),
+        EventKind::FaultInjected {
+            rank,
+            dst,
+            seq,
+            fault,
+        } => out.push(format!(
+            "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"dst\":{},\"seq\":{}}}}}",
+            head(&format!("fault {fault}"), "fault", "i", ev.t_ns),
+            rank,
+            dst,
+            seq
+        )),
+        EventKind::Retransmit {
+            rank,
+            dst,
+            seq,
+            attempt,
+            backoff_ns,
+        } => out.push(format!(
+            "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"dst\":{},\"seq\":{},\"attempt\":{},\"backoff_ns\":{}}}}}",
+            head("retransmit", "fault", "i", ev.t_ns),
+            rank,
+            dst,
+            seq,
+            attempt,
+            backoff_ns
+        )),
+        EventKind::DupDrop { rank, src, seq } => out.push(format!(
+            "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"src\":{},\"seq\":{}}}}}",
+            head("dup drop", "fault", "i", ev.t_ns),
+            rank,
+            src,
+            seq
+        )),
     }
 }
 
@@ -190,6 +224,29 @@ pub fn jsonl(t: &Timeline) -> String {
             } => format!(
                 "\"ev\":\"rma\",\"rank\":{},\"origin\":{},\"op\":\"{}\",\"bytes\":{}",
                 rank, origin, op, bytes
+            ),
+            EventKind::FaultInjected {
+                rank,
+                dst,
+                seq,
+                fault,
+            } => format!(
+                "\"ev\":\"fault\",\"rank\":{},\"dst\":{},\"seq\":{},\"fault\":\"{}\"",
+                rank, dst, seq, fault
+            ),
+            EventKind::Retransmit {
+                rank,
+                dst,
+                seq,
+                attempt,
+                backoff_ns,
+            } => format!(
+                "\"ev\":\"retransmit\",\"rank\":{},\"dst\":{},\"seq\":{},\"attempt\":{},\"backoff_ns\":{}",
+                rank, dst, seq, attempt, backoff_ns
+            ),
+            EventKind::DupDrop { rank, src, seq } => format!(
+                "\"ev\":\"dupdrop\",\"rank\":{},\"src\":{},\"seq\":{}",
+                rank, src, seq
             ),
         };
         out.push_str(&head);

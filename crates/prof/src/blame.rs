@@ -24,9 +24,8 @@ use std::collections::BTreeMap;
 pub struct HolderKey {
     /// Holding thread.
     pub tid: u64,
-    /// Path class of the holding passage (`false` = Main, `true` =
-    /// Progress — ordered so Main sorts first).
-    pub progress: bool,
+    /// Stable index of the path in [`Path::ALL`] (`Main` sorts first).
+    pub path_idx: u8,
     /// Stable index of the op in [`CsOp::ALL`] (orders the matrix
     /// columns deterministically).
     pub op_idx: u8,
@@ -37,7 +36,7 @@ impl HolderKey {
         let op_idx = CsOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u8;
         Self {
             tid,
-            progress: path == Path::Progress,
+            path_idx: path.idx(),
             op_idx,
         }
     }
@@ -49,11 +48,7 @@ impl HolderKey {
 
     /// The path class of the holding passage.
     pub fn path(&self) -> Path {
-        if self.progress {
-            Path::Progress
-        } else {
-            Path::Main
-        }
+        Path::from_idx(self.path_idx)
     }
 }
 
@@ -101,10 +96,17 @@ pub struct Starvation {
     pub main_spans: u64,
     /// Passages entering on the progress path.
     pub progress_spans: u64,
+    /// Passages of application threads spinning in blocking waits
+    /// (`Path::WaitSpin`) — low arbitration priority like the progress
+    /// path, but *not* the progress engine, so they are tallied apart
+    /// and excluded from the starvation ratio.
+    pub waitspin_spans: u64,
     /// Mean wait of main-path passages.
     pub main_wait_mean_ns: f64,
     /// Mean wait of progress-path passages.
     pub progress_wait_mean_ns: f64,
+    /// Mean wait of wait-spin passages.
+    pub waitspin_wait_mean_ns: f64,
     /// `progress_wait_mean / main_wait_mean` (0 when either side has no
     /// samples or the main mean is 0).
     pub ratio: f64,
@@ -217,7 +219,7 @@ impl BlameMatrix {
         let counts: Vec<u64> = acq.values().map(|v| v.0).collect();
 
         // Starvation.
-        let (mut mn, mut mw, mut pn, mut pw) = (0u64, 0u64, 0u64, 0u64);
+        let (mut mn, mut mw, mut pn, mut pw, mut sn, mut sw) = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
         for s in &spans {
             match s.path {
                 Path::Main => {
@@ -228,15 +230,22 @@ impl BlameMatrix {
                     pn += 1;
                     pw += s.wait_ns();
                 }
+                Path::WaitSpin => {
+                    sn += 1;
+                    sw += s.wait_ns();
+                }
             }
         }
         let main_mean = if mn == 0 { 0.0 } else { mw as f64 / mn as f64 };
         let prog_mean = if pn == 0 { 0.0 } else { pw as f64 / pn as f64 };
+        let spin_mean = if sn == 0 { 0.0 } else { sw as f64 / sn as f64 };
         let starvation = Starvation {
             main_spans: mn,
             progress_spans: pn,
+            waitspin_spans: sn,
             main_wait_mean_ns: main_mean,
             progress_wait_mean_ns: prog_mean,
+            waitspin_wait_mean_ns: spin_mean,
             ratio: if main_mean > 0.0 && pn > 0 {
                 prog_mean / main_mean
             } else {
@@ -401,6 +410,34 @@ mod tests {
         let pairs = m.pair_ns();
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[&(2, 1)], 90);
+    }
+
+    #[test]
+    fn waitspin_passages_stay_out_of_the_starvation_ratio() {
+        // Main passages wait 10 each, progress 20, waitspin 100: the
+        // ratio must only see main and progress.
+        let t = timeline(vec![
+            cs(1, 0, Path::Main, CsOp::Isend, 0, 10, 20),
+            cs(1, 0, Path::Main, CsOp::Isend, 20, 30, 40),
+            cs(2, 0, Path::Progress, CsOp::Progress, 40, 60, 70),
+            cs(3, 0, Path::WaitSpin, CsOp::Wait, 0, 100, 110),
+        ]);
+        let m = BlameMatrix::from_timeline(&t);
+        assert_eq!(m.starvation.main_spans, 2);
+        assert_eq!(m.starvation.progress_spans, 1);
+        assert_eq!(m.starvation.waitspin_spans, 1);
+        assert!((m.starvation.main_wait_mean_ns - 10.0).abs() < 1e-9);
+        assert!((m.starvation.progress_wait_mean_ns - 20.0).abs() < 1e-9);
+        assert!((m.starvation.waitspin_wait_mean_ns - 100.0).abs() < 1e-9);
+        assert!((m.starvation.ratio - 2.0).abs() < 1e-9);
+        // The waitspin holder identity round-trips through HolderKey.
+        let spin_cell = m
+            .rows
+            .iter()
+            .flat_map(|r| r.cells.iter())
+            .find(|c| c.holder.path() == Path::WaitSpin);
+        assert!(spin_cell.is_none() || spin_cell.unwrap().holder.path() == Path::WaitSpin);
+        assert_eq!(m.check_conservation(), (0, 0));
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn path_label(p: Path) -> &'static str {
     match p {
         Path::Main => "main",
         Path::Progress => "progress",
+        Path::WaitSpin => "waitspin",
     }
 }
 
@@ -93,22 +94,26 @@ impl ProfReport {
         let st = &self.blame.starvation;
         out.push_str(&format!(
             "],\"starvation\":{{\"main_spans\":{},\"progress_spans\":{},\
-             \"main_wait_mean_ns\":{},\"progress_wait_mean_ns\":{},\"ratio\":{}}}}}",
+             \"waitspin_spans\":{},\"main_wait_mean_ns\":{},\
+             \"progress_wait_mean_ns\":{},\"waitspin_wait_mean_ns\":{},\"ratio\":{}}}}}",
             st.main_spans,
             st.progress_spans,
+            st.waitspin_spans,
             fmt_f64(st.main_wait_mean_ns),
             fmt_f64(st.progress_wait_mean_ns),
+            fmt_f64(st.waitspin_wait_mean_ns),
             fmt_f64(st.ratio)
         ));
         let d = &self.decomp;
         out.push_str(&format!(
             ",\"decomp\":{{\"messages\":{},\"mean_ns\":{},\"cs_wait_ns\":{},\
-             \"cs_hold_ns\":{},\"poll_ns\":{},\"network_ns\":{},\"scale\":{}}}",
+             \"cs_hold_ns\":{},\"poll_ns\":{},\"retry_ns\":{},\"network_ns\":{},\"scale\":{}}}",
             d.messages,
             fmt_f64(d.mean_ns),
             fmt_f64(d.cs_wait_ns),
             fmt_f64(d.cs_hold_ns),
             fmt_f64(d.poll_ns),
+            fmt_f64(d.retry_ns),
             fmt_f64(d.network_ns),
             fmt_f64(d.scale)
         ));
@@ -161,6 +166,7 @@ impl ProfReport {
             ("cs-wait", d.cs_wait_ns),
             ("cs-hold", d.cs_hold_ns),
             ("poll-batch", d.poll_ns),
+            ("retry", d.retry_ns),
             ("network", d.network_ns),
         ] {
             t.row(vec![name.into(), format!("{v:.1}"), pct(v)]);
@@ -286,6 +292,7 @@ impl ProfReport {
             ("cs_wait", d.cs_wait_ns),
             ("cs_hold", d.cs_hold_ns),
             ("poll", d.poll_ns),
+            ("retry", d.retry_ns),
             ("network", d.network_ns),
         ] {
             gauge(

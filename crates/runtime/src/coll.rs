@@ -6,6 +6,7 @@
 //! collective traffic travels on the runtime-internal communicator so it
 //! can never match user receives.
 
+use crate::errors::MpiError;
 use crate::types::{CommId, MsgData, Tag, RESERVED_TAG_BASE};
 use crate::world::RankHandle;
 
@@ -16,11 +17,19 @@ const BCAST_TAG: Tag = RESERVED_TAG_BASE + 128;
 impl RankHandle {
     /// Dissemination barrier over all ranks: ⌈log₂ n⌉ rounds, each rank
     /// sending to `(rank + 2^k) mod n` and receiving from
-    /// `(rank − 2^k) mod n`.
+    /// `(rank − 2^k) mod n`. Panics on timeout/unreachable peer — see
+    /// [`Self::try_barrier`].
     pub fn barrier(&self) {
+        self.try_barrier().unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible dissemination barrier: surfaces the typed error instead
+    /// of panicking when a peer never shows up or fault recovery gives
+    /// up.
+    pub fn try_barrier(&self) -> Result<(), MpiError> {
         let n = self.nranks();
         if n == 1 {
-            return;
+            return Ok(());
         }
         let me = self.rank();
         let mut k = 0;
@@ -34,24 +43,30 @@ impl RankHandle {
                 BARRIER_TAG + k,
                 MsgData::Synthetic(0),
             );
-            let m = self.recv_on(CommId::INTERNAL, Some(src), Some(BARRIER_TAG + k));
+            let m = self.try_recv_on(CommId::INTERNAL, Some(src), Some(BARRIER_TAG + k))?;
             debug_assert_eq!(m.src, src);
-            let _ = self.wait(s);
+            self.try_wait(s)?;
             dist *= 2;
             k += 1;
         }
+        Ok(())
     }
 
     /// Binomial-tree reduction to rank 0 followed by a binomial broadcast,
     /// combining byte payloads with `combine`.
-    fn allreduce_bytes(
+    fn allreduce_bytes(&self, value: Vec<u8>, combine: &dyn Fn(&mut Vec<u8>, &[u8])) -> Vec<u8> {
+        self.try_allreduce_bytes(value, combine)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_allreduce_bytes(
         &self,
         mut value: Vec<u8>,
         combine: &dyn Fn(&mut Vec<u8>, &[u8]),
-    ) -> Vec<u8> {
+    ) -> Result<Vec<u8>, MpiError> {
         let n = self.nranks();
         if n == 1 {
-            return value;
+            return Ok(value);
         }
         let me = self.rank();
         // Reduce: at round k, ranks with bit k set send to rank - 2^k.
@@ -59,25 +74,25 @@ impl RankHandle {
         while dist < n {
             if me & dist != 0 {
                 // Sender: ship partial and leave the reduction.
-                self.send_on(
+                self.try_send_on(
                     CommId::INTERNAL,
                     me - dist,
                     REDUCE_TAG,
                     MsgData::Bytes(value),
-                );
+                )?;
                 value = Vec::new();
                 break;
             } else if me + dist < n {
-                let m = self.recv_on(CommId::INTERNAL, Some(me + dist), Some(REDUCE_TAG));
+                let m = self.try_recv_on(CommId::INTERNAL, Some(me + dist), Some(REDUCE_TAG))?;
                 combine(&mut value, m.data.as_bytes());
             }
             dist *= 2;
         }
         // Broadcast the result down the same tree.
-        self.bcast_internal(value, me, n)
+        self.try_bcast_internal(value, me, n)
     }
 
-    fn bcast_internal(&self, mut value: Vec<u8>, me: u32, n: u32) -> Vec<u8> {
+    fn try_bcast_internal(&self, mut value: Vec<u8>, me: u32, n: u32) -> Result<Vec<u8>, MpiError> {
         // Find this rank's level: lowest set bit (root handles dist from
         // the top).
         let mut dist = 1u32;
@@ -87,26 +102,26 @@ impl RankHandle {
         dist /= 2;
         if me != 0 {
             let lsb = me & me.wrapping_neg();
-            let m = self.recv_on(CommId::INTERNAL, Some(me - lsb), Some(BCAST_TAG));
+            let m = self.try_recv_on(CommId::INTERNAL, Some(me - lsb), Some(BCAST_TAG))?;
             value = m.data.into_bytes();
             dist = lsb / 2;
         }
         while dist >= 1 {
             let dst = me + dist;
             if dst < n && me.is_multiple_of(dist * 2) {
-                self.send_on(
+                self.try_send_on(
                     CommId::INTERNAL,
                     dst,
                     BCAST_TAG,
                     MsgData::Bytes(value.clone()),
-                );
+                )?;
             }
             if dist == 1 {
                 break;
             }
             dist /= 2;
         }
-        value
+        Ok(value)
     }
 
     /// Broadcast bytes from rank 0 to all ranks; every rank passes its
@@ -116,7 +131,8 @@ impl RankHandle {
         if n == 1 {
             return value;
         }
-        self.bcast_internal(value, self.rank(), n)
+        self.try_bcast_internal(value, self.rank(), n)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// All-reduce: sum of `f64`.

@@ -1,4 +1,5 @@
-//! Typed construction errors for [`crate::WorldBuilder`].
+//! Typed errors: construction errors for [`crate::WorldBuilder`] and
+//! runtime communication errors for the blocking completion paths.
 
 /// Why [`crate::WorldBuilder::build`] refused a configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +40,67 @@ impl std::fmt::Display for BuildError {
 
 impl std::error::Error for BuildError {}
 
+/// Why a blocking completion call (`try_wait`, `try_waitall`,
+/// `try_rma_wait`, collectives) gave up.
+///
+/// The infallible wrappers (`wait`, `waitall`, `barrier`, …) panic with
+/// this error's `Display` text, so legacy callers keep the loud-failure
+/// behaviour; fault-plan experiments use the `try_*` variants and handle
+/// the error cleanly. On either path the runtime cancels the caller's
+/// still-active requests first, so the request ledger stays quiescent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// The liveness limit elapsed with the operation incomplete — a
+    /// missing sender, or faults beyond the retransmit policy's reach.
+    Timeout {
+        /// Rank that was blocked.
+        rank: u32,
+        /// Operation name ("wait", "waitall", "rma_wait").
+        what: &'static str,
+        /// Model time spent blocked, ns.
+        waited_ns: u64,
+    },
+    /// A packet exhausted its retransmission budget: the link is dropping
+    /// traffic faster than the fault plan's recovery policy tolerates.
+    PeerUnreachable {
+        /// Rank that gave up.
+        rank: u32,
+        /// Destination rank of the abandoned packet.
+        peer: u32,
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for MpiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // Keep the historical liveness-guard phrasing: callers (and
+            // tests) match on "stuck".
+            MpiError::Timeout {
+                rank,
+                what,
+                waited_ns,
+            } => write!(
+                f,
+                "rank {rank} stuck in {what} for {} ms of model time — missing sender?",
+                waited_ns / 1_000_000
+            ),
+            MpiError::PeerUnreachable {
+                rank,
+                peer,
+                attempts,
+            } => write!(
+                f,
+                "rank {rank} declared rank {peer} unreachable after {attempts} \
+                 transmission attempts — drop rate beyond the retransmit policy?"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -57,5 +119,30 @@ mod tests {
         assert!(BuildError::ZeroWindowWithRma
             .to_string()
             .contains("window_bytes"));
+    }
+
+    #[test]
+    fn timeout_keeps_the_legacy_liveness_phrasing() {
+        let e = MpiError::Timeout {
+            rank: 1,
+            what: "wait",
+            waited_ns: 3_000_000,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 1 stuck in wait"), "{s}");
+        assert!(s.contains("3 ms of model time"), "{s}");
+    }
+
+    #[test]
+    fn unreachable_names_both_ends() {
+        let e = MpiError::PeerUnreachable {
+            rank: 0,
+            peer: 3,
+            attempts: 11,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 0"), "{s}");
+        assert!(s.contains("rank 3 unreachable"), "{s}");
+        assert!(s.contains("11"), "{s}");
     }
 }

@@ -62,6 +62,7 @@
 pub mod coll;
 pub mod costs;
 pub mod errors;
+pub mod faults;
 pub mod granularity;
 pub mod p2p;
 pub mod packet;
@@ -74,7 +75,7 @@ pub mod types;
 pub mod world;
 
 pub use costs::RuntimeCosts;
-pub use errors::BuildError;
+pub use errors::{BuildError, MpiError};
 pub use granularity::Granularity;
 pub use request::{Request, TestOutcome};
 pub use stats::RankStats;
@@ -92,11 +93,11 @@ pub use world::{RankHandle, World, WorldBuilder};
 /// the observability entry points — everything the `examples/` need.
 pub mod prelude {
     pub use crate::{
-        BuildError, CommId, Granularity, Msg, MsgData, RankHandle, RankStats, Request,
+        BuildError, CommId, Granularity, MpiError, Msg, MsgData, RankHandle, RankStats, Request,
         RuntimeCosts, Tag, TestOutcome, World, WorldBuilder, ANY_SOURCE, ANY_TAG,
     };
     pub use mtmpi_locks::PathClass;
-    pub use mtmpi_net::NetModel;
+    pub use mtmpi_net::{FaultPlan, NetModel};
     pub use mtmpi_obs::{NullRecorder, Recorder, RingRecorder, Timeline};
     pub use mtmpi_sim::{
         LockKind, LockModelParams, NativePlatform, Platform, PlatformReport, ThreadDesc,

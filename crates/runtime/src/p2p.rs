@@ -1,13 +1,15 @@
 //! Two-sided point-to-point operations.
 
-use crate::packet::{Packet, PacketKind};
+use crate::errors::MpiError;
+use crate::packet::PacketKind;
 use crate::progress::{deliver, poll, progress_once};
 use crate::request::{ReqInner, ReqKind, Request, TestOutcome};
 use crate::state::{matches, SharedState};
 use crate::types::{CommId, Msg, MsgData, Tag};
 use crate::world::{RankHandle, WorldInner};
 use mtmpi_locks::PathClass;
-use mtmpi_obs::{CsOp, EventKind, ReqPhase};
+use mtmpi_obs::{CsOp, EventKind, Path, ReqPhase};
+use std::sync::Arc;
 
 /// Try to free `req`: on success, charge the free cost and maintain the
 /// dangling count, the life-cycle ledger, and the event stream.
@@ -35,6 +37,36 @@ unsafe fn try_free_in_cs(
         });
     }
     m
+}
+
+/// Cancel `req` if it is still active (timeout/fault escalation):
+/// withdraw it from the posted queue and balance the ledger so the
+/// World-drop leak check stays quiescent. No-op if the request already
+/// completed (the caller should free it normally instead).
+///
+/// # Safety
+///
+/// The caller must hold `rank`'s queue lock.
+unsafe fn cancel_in_cs(w: &WorldInner, st: &mut SharedState, _rank: u32, req: &Request) {
+    // SAFETY: queue lock held (this function's contract).
+    if unsafe { req.inner.cancel() } {
+        if let Some(i) = st
+            .posted
+            .iter()
+            .position(|pr| Arc::ptr_eq(&pr.req, &req.inner))
+        {
+            st.posted.remove(i);
+        }
+        w.platform.compute(w.costs.free_ns);
+        st.ledger.note_cancelled();
+    }
+}
+
+/// One iteration of a blocking wait loop, seen from inside the CS.
+enum WaitStep {
+    Done(Msg),
+    Fail(MpiError),
+    Pending,
 }
 
 impl RankHandle {
@@ -65,24 +97,18 @@ impl RankHandle {
                 w.platform.compute(costs.alloc_ns);
             }
             w.platform.compute(costs.enqueue_ns);
-            let seq = st.send_seq[dst as usize];
-            st.send_seq[dst as usize] += 1;
-            let p = &w.procs[src_rank as usize];
-            let dst_ep = w.procs[dst as usize].endpoint;
-            w.platform.net_send(
-                p.endpoint,
-                dst_ep,
+            crate::faults::send_data(
+                w,
+                st,
+                src_rank,
+                dst,
                 bytes,
-                Box::new(Packet {
-                    src: src_rank,
-                    seq,
-                    kind: PacketKind::Msg {
-                        comm,
-                        tag,
-                        data,
-                        sent_ns: w.platform.now_ns(),
-                    },
-                }),
+                PacketKind::Msg {
+                    comm,
+                    tag,
+                    data,
+                    sent_ns: w.platform.now_ns(),
+                },
             );
             // Eager send: issued and completed in one step.
             st.ledger.note_issued();
@@ -218,7 +244,7 @@ impl RankHandle {
             if let Some(m) = first {
                 return TestOutcome::Done(m);
             }
-            progress_once(w, rank, PathClass::Main);
+            progress_once(w, rank, PathClass::Main, Path::Main);
             let second = w.cs(rank, PathClass::Main, CsOp::Test, |st| {
                 // SAFETY: queue lock held.
                 unsafe { try_free_in_cs(w, st, rank, &req) }
@@ -234,7 +260,7 @@ impl RankHandle {
             if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
                 return Some(m);
             }
-            let pkts = poll(w, rank, PathClass::Main);
+            let pkts = poll(w, rank, PathClass::Main, Path::Main);
             deliver(w, rank, st, pkts);
             // SAFETY: queue lock held.
             unsafe { try_free_in_cs(w, st, rank, &req) }
@@ -245,10 +271,18 @@ impl RankHandle {
         }
     }
 
-    /// Blocking completion wait (`MPI_Wait`). Enters on the main path;
-    /// drops to the low-priority progress path for subsequent polls
-    /// (Fig 6a), as MPICH's progress loop does.
-    pub fn wait(&self, req: Request) -> Msg {
+    /// Blocking completion wait (`MPI_Wait`), fallible form. Enters on
+    /// the main path; drops to the low-priority progress class for
+    /// subsequent polls (Fig 6a), as MPICH's progress loop does — those
+    /// spin passages are attributed to [`Path::WaitSpin`] in the event
+    /// stream (an application thread spinning is not the progress
+    /// engine).
+    ///
+    /// Fails with [`MpiError::Timeout`] when the liveness limit elapses
+    /// and [`MpiError::PeerUnreachable`] when fault recovery gave up; on
+    /// either error a still-pending receive is cancelled first, so the
+    /// request ledger stays quiescent.
+    pub fn try_wait(&self, req: Request) -> Result<Msg, MpiError> {
         let w = &self.world;
         assert_eq!(
             req.inner.owner_rank, self.rank,
@@ -260,39 +294,70 @@ impl RankHandle {
         let mut class = PathClass::Main;
         let start = w.platform.now_ns();
         loop {
-            let done = if w.granularity.split_progress_lock() {
-                let m = w.cs(rank, class, CsOp::Wait, |st| {
+            let opath = wait_path(class);
+            let step = if w.granularity.split_progress_lock() {
+                let s = w.cs_on(rank, class, opath, CsOp::Wait, |st| {
                     // SAFETY: queue lock held.
-                    unsafe { try_free_in_cs(w, st, rank, &req) }
+                    wait_step(w, st, rank, &req)
                 });
-                if m.is_none() {
-                    progress_once(w, rank, class);
+                if matches!(s, WaitStep::Pending) {
+                    progress_once(w, rank, class, opath);
                 }
-                m
+                s
             } else {
-                w.cs(rank, class, CsOp::Wait, |st| {
+                w.cs_on(rank, class, opath, CsOp::Wait, |st| {
+                    // SAFETY: queue lock held.
+                    if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
+                        return WaitStep::Done(m);
+                    }
+                    let pkts = poll(w, rank, class, opath);
+                    deliver(w, rank, st, pkts);
+                    wait_step(w, st, rank, &req)
+                })
+            };
+            match step {
+                WaitStep::Done(m) => return Ok(m),
+                WaitStep::Fail(e) => return Err(e),
+                WaitStep::Pending => {}
+            }
+            class = PathClass::Progress;
+            w.platform.compute(costs.poll_gap_ns);
+            if let Some(waited_ns) = self.liveness_exceeded(start) {
+                // Final check-and-cancel in one CS passage: the request
+                // may have completed since the last poll.
+                let last = w.cs_on(rank, class, Path::WaitSpin, CsOp::Wait, |st| {
                     // SAFETY: queue lock held.
                     if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
                         return Some(m);
                     }
-                    let pkts = poll(w, rank, class);
-                    deliver(w, rank, st, pkts);
                     // SAFETY: queue lock held.
-                    unsafe { try_free_in_cs(w, st, rank, &req) }
-                })
-            };
-            if let Some(m) = done {
-                return m;
+                    unsafe { cancel_in_cs(w, st, rank, &req) };
+                    None
+                });
+                return match last {
+                    Some(m) => Ok(m),
+                    None => Err(MpiError::Timeout {
+                        rank,
+                        what: "wait",
+                        waited_ns,
+                    }),
+                };
             }
-            class = PathClass::Progress;
-            w.platform.compute(costs.poll_gap_ns);
-            self.check_liveness(start, "wait");
         }
     }
 
-    /// Wait for all requests; returns their messages in order
-    /// (`MPI_Waitall`).
-    pub fn waitall(&self, reqs: Vec<Request>) -> Vec<Msg> {
+    /// Blocking completion wait (`MPI_Wait`). Panics (with the
+    /// [`MpiError`] message) on timeout or unreachable peer — the legacy
+    /// loud-failure behaviour; fault-plan experiments should use
+    /// [`Self::try_wait`].
+    pub fn wait(&self, req: Request) -> Msg {
+        self.try_wait(req).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Wait for all requests, fallibly; returns their messages in order.
+    /// On error, completed requests are freed and pending ones cancelled
+    /// before returning, keeping the ledger quiescent.
+    pub fn try_waitall(&self, reqs: Vec<Request>) -> Result<Vec<Msg>, MpiError> {
         let w = &self.world;
         let rank = self.rank;
         let costs = w.costs;
@@ -309,10 +374,11 @@ impl RankHandle {
         let mut class = PathClass::Main;
         let start = w.platform.now_ns();
         while !pending.is_empty() {
+            let opath = wait_path(class);
             // One CS entry per iteration: sweep-free completed requests,
             // then poll once if any remain (the batched progress of the
             // throughput benchmark, Fig 3b bottom).
-            w.cs(rank, class, CsOp::Waitall, |st| {
+            let fail = w.cs_on(rank, class, opath, CsOp::Waitall, |st| {
                 pending.retain(|(i, r)| {
                     // SAFETY: queue lock held.
                     match unsafe { try_free_in_cs(w, st, rank, r) } {
@@ -324,20 +390,67 @@ impl RankHandle {
                     }
                 });
                 if !pending.is_empty() && !w.granularity.split_progress_lock() {
-                    let pkts = poll(w, rank, class);
+                    let pkts = poll(w, rank, class, opath);
                     deliver(w, rank, st, pkts);
                 }
+                st.fault_error.clone()
             });
+            if let Some(e) = fail {
+                self.abandon_all(rank, &mut pending, &mut out);
+                return Err(e);
+            }
             if !pending.is_empty() {
                 if w.granularity.split_progress_lock() {
-                    progress_once(w, rank, class);
+                    progress_once(w, rank, class, opath);
                 }
                 class = PathClass::Progress;
                 w.platform.compute(costs.poll_gap_ns);
-                self.check_liveness(start, "waitall");
+                if let Some(waited_ns) = self.liveness_exceeded(start) {
+                    self.abandon_all(rank, &mut pending, &mut out);
+                    if pending.is_empty() {
+                        break; // everything completed in the final sweep
+                    }
+                    return Err(MpiError::Timeout {
+                        rank,
+                        what: "waitall",
+                        waited_ns,
+                    });
+                }
             }
         }
-        out.into_iter().map(|m| m.expect("all completed")).collect()
+        Ok(out.into_iter().map(|m| m.expect("all completed")).collect())
+    }
+
+    /// Final sweep on the error path: free whatever completed, cancel the
+    /// rest. `pending` retains only requests that completed in this very
+    /// sweep (their messages land in `out`).
+    fn abandon_all(&self, rank: u32, pending: &mut Vec<(usize, Request)>, out: &mut [Option<Msg>]) {
+        let w = &self.world;
+        w.cs_on(
+            rank,
+            PathClass::Progress,
+            Path::WaitSpin,
+            CsOp::Waitall,
+            |st| {
+                pending.retain(|(i, r)| {
+                    // SAFETY: queue lock held.
+                    if let Some(m) = unsafe { try_free_in_cs(w, st, rank, r) } {
+                        out[*i] = Some(m);
+                        return false;
+                    }
+                    // SAFETY: queue lock held.
+                    unsafe { cancel_in_cs(w, st, rank, r) };
+                    true
+                });
+            },
+        );
+    }
+
+    /// Wait for all requests; returns their messages in order
+    /// (`MPI_Waitall`). Panics on timeout/unreachable peer — see
+    /// [`Self::try_waitall`].
+    pub fn waitall(&self, reqs: Vec<Request>) -> Vec<Msg> {
+        self.try_waitall(reqs).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Blocking send.
@@ -364,13 +477,59 @@ impl RankHandle {
         self.wait(r)
     }
 
-    pub(crate) fn check_liveness(&self, start_ns: u64, what: &str) {
-        let now = self.world.platform.now_ns();
-        assert!(
-            now.saturating_sub(start_ns) < self.world.liveness_limit_ns,
-            "rank {} stuck in {what} for {} ms of model time — missing sender?",
-            self.rank,
-            (now - start_ns) / 1_000_000
-        );
+    /// Fallible blocking send on a communicator.
+    pub fn try_send_on(
+        &self,
+        comm: CommId,
+        dst: u32,
+        tag: Tag,
+        data: MsgData,
+    ) -> Result<(), MpiError> {
+        let r = self.isend_on(comm, dst, tag, data);
+        self.try_wait(r).map(|_| ())
     }
+
+    /// Fallible blocking receive on a communicator.
+    pub fn try_recv_on(
+        &self,
+        comm: CommId,
+        src: Option<u32>,
+        tag: Option<Tag>,
+    ) -> Result<Msg, MpiError> {
+        let r = self.irecv_on(comm, src, tag);
+        self.try_wait(r)
+    }
+
+    /// Model time spent past the liveness limit, if exceeded.
+    pub(crate) fn liveness_exceeded(&self, start_ns: u64) -> Option<u64> {
+        let waited = self.world.platform.now_ns().saturating_sub(start_ns);
+        (waited >= self.world.liveness_limit_ns).then_some(waited)
+    }
+}
+
+/// Observability attribution for a blocking-wait CS passage: the first
+/// (main-class) entry is real application-path work; subsequent spins are
+/// wait-spin, not progress-engine, passages.
+pub(crate) fn wait_path(class: PathClass) -> Path {
+    match class {
+        PathClass::Main => Path::Main,
+        PathClass::Progress => Path::WaitSpin,
+    }
+}
+
+/// Shared tail of one wait-loop CS passage: free if completed, surface a
+/// sticky fault error (cancelling the request) otherwise.
+///
+/// Caller must hold the queue lock.
+fn wait_step(w: &WorldInner, st: &mut SharedState, rank: u32, req: &Request) -> WaitStep {
+    // SAFETY: queue lock held (this function's contract).
+    if let Some(m) = unsafe { try_free_in_cs(w, st, rank, req) } {
+        return WaitStep::Done(m);
+    }
+    if let Some(e) = st.fault_error.clone() {
+        // SAFETY: queue lock held.
+        unsafe { cancel_in_cs(w, st, rank, req) };
+        return WaitStep::Fail(e);
+    }
+    WaitStep::Pending
 }

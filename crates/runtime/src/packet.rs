@@ -17,8 +17,13 @@ pub enum RmaOp {
     Accumulate,
 }
 
+/// Sequence number carried by standalone [`PacketKind::Ack`] packets.
+/// Acks sit outside the per-link data sequence: they are never ordered,
+/// deduplicated, retransmitted, or fault-injected.
+pub const ACK_SEQ: u64 = u64::MAX;
+
 /// Packet body.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum PacketKind {
     /// Two-sided message envelope + payload.
     Msg {
@@ -51,18 +56,28 @@ pub enum PacketKind {
         /// Returned data (get) or `None` (put/accumulate).
         data: Option<MsgData>,
     },
+    /// Standalone transport-level cumulative ack (fault-injection runs
+    /// only): the envelope's `ack` field carries the payload; the body is
+    /// empty. Sent with `seq == ACK_SEQ` and processed before the reorder
+    /// buffer.
+    Ack,
 }
 
 /// A packet with its per-(src,dst) sequencing envelope. Receivers deliver
 /// packets from each source strictly in `seq` order (MPI non-overtaking),
 /// reordering in a small buffer if the network model delivers out of
 /// order (rendezvous vs eager can do that).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Packet {
     /// Sending rank.
     pub src: u32,
-    /// Per-(src,dst) sequence number, starting at 0.
+    /// Per-(src,dst) sequence number, starting at 0 (`ACK_SEQ` for
+    /// standalone acks, which are unsequenced).
     pub seq: u64,
+    /// Piggybacked cumulative ack: the sender has received every data
+    /// packet with sequence `< ack` from this packet's destination.
+    /// Always 0 on fault-free runs (the field is ignored).
+    pub ack: u64,
     /// Body.
     pub kind: PacketKind,
 }

@@ -1,17 +1,21 @@
 //! The communication progress engine (paper Fig 6a's "progress loop").
 
+use crate::faults::{process_ack, pump_retransmits, send_ack};
 use crate::packet::{Packet, PacketKind, RmaOp};
 use crate::state::{matches, SeqPacket, SharedState, UnexMsg};
 use crate::types::{Msg, MsgData};
-use crate::world::{obs_path, WorldInner};
+use crate::world::WorldInner;
 use mtmpi_locks::PathClass;
-use mtmpi_obs::{CsOp, EventKind, ReqPhase};
+use mtmpi_obs::{CsOp, EventKind, Path, ReqPhase};
 
 /// Drain the platform mailbox for `rank`. Charges the poll cost. May be
 /// called with or without the queue lock held (it touches no shared
-/// state). `class` is the path of the enclosing CS entry, stamped into
-/// the poll-batch event.
-pub(crate) fn poll(w: &WorldInner, rank: u32, class: PathClass) -> Vec<Packet> {
+/// state). `class` arbitrates nothing here; `opath` is the observability
+/// path stamped into the poll-batch event — usually `obs_path(class)`,
+/// but blocking waits spinning on the progress class report
+/// [`Path::WaitSpin`] instead (they are application threads, not the
+/// progress engine).
+pub(crate) fn poll(w: &WorldInner, rank: u32, _class: PathClass, opath: Path) -> Vec<Packet> {
     let p = &w.procs[rank as usize];
     w.platform.compute(w.costs.poll_base_ns);
     let pkts: Vec<Packet> = w
@@ -25,29 +29,82 @@ pub(crate) fn poll(w: &WorldInner, rank: u32, class: PathClass) -> Vec<Packet> {
         .collect();
     w.rec_now(|| EventKind::PollBatch {
         rank,
-        path: obs_path(class),
+        path: opath,
         packets: pkts.len() as u32,
     });
     pkts
 }
 
 /// Deliver polled packets into the matching engine. Caller must hold the
-/// queue lock (i.e. run inside `WorldInner::cs`).
+/// queue lock (i.e. run inside `WorldInner::cs`). On fault runs this also
+/// processes acks, drops duplicates, acknowledges progress back to the
+/// senders, and pumps the retransmit queue.
 pub(crate) fn deliver(w: &WorldInner, rank: u32, st: &mut SharedState, pkts: Vec<Packet>) {
+    if st.faults.is_none() {
+        for pkt in pkts {
+            let src = pkt.src as usize;
+            st.reorder[src].push(SeqPacket(pkt));
+            // Deliver every in-order packet from this source (MPI
+            // non-overtaking: matching order follows send order per pair).
+            while st.reorder[src]
+                .peek()
+                .is_some_and(|sp| sp.0.seq == st.recv_next_seq[src])
+            {
+                let sp = st.reorder[src].pop().expect("peeked");
+                st.recv_next_seq[src] += 1;
+                process_in_order(w, rank, st, sp.0);
+            }
+        }
+        return;
+    }
+    // Fault path: packets may be duplicated, reordered arbitrarily far,
+    // or be pure acks; every advance (and every duplicate, whose sender
+    // evidently missed our ack) is re-acknowledged.
+    let mut want_ack = vec![false; st.recv_next_seq.len()];
     for pkt in pkts {
         let src = pkt.src as usize;
+        process_ack(st, pkt.src, pkt.ack);
+        if matches!(pkt.kind, PacketKind::Ack) {
+            continue;
+        }
+        if pkt.seq < st.recv_next_seq[src] {
+            // Already delivered: a duplicate (injected, or a retransmit
+            // racing our ack). Drop it and re-ack so the sender stops.
+            w.rec_now(|| EventKind::DupDrop {
+                rank,
+                src: pkt.src,
+                seq: pkt.seq,
+            });
+            want_ack[src] = true;
+            continue;
+        }
         st.reorder[src].push(SeqPacket(pkt));
-        // Deliver every in-order packet from this source (MPI
-        // non-overtaking: matching order follows send order per pair).
-        while st.reorder[src]
-            .peek()
-            .is_some_and(|sp| sp.0.seq == st.recv_next_seq[src])
-        {
+        loop {
+            match st.reorder[src].peek() {
+                Some(sp) if sp.0.seq <= st.recv_next_seq[src] => {}
+                _ => break,
+            }
             let sp = st.reorder[src].pop().expect("peeked");
+            if sp.0.seq < st.recv_next_seq[src] {
+                // Duplicate that was buffered before its twin delivered.
+                w.rec_now(|| EventKind::DupDrop {
+                    rank,
+                    src: sp.0.src,
+                    seq: sp.0.seq,
+                });
+                continue;
+            }
             st.recv_next_seq[src] += 1;
+            want_ack[src] = true;
             process_in_order(w, rank, st, sp.0);
         }
     }
+    for (src, wanted) in want_ack.iter().enumerate() {
+        if *wanted && src != rank as usize {
+            send_ack(w, st, rank, src as u32);
+        }
+    }
+    pump_retransmits(w, st, rank);
 }
 
 /// Handle one in-order packet.
@@ -119,6 +176,11 @@ fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet
             w.platform.compute(w.costs.complete_ns);
             st.rma_acks.insert(token, data);
         }
+        PacketKind::Ack => {
+            // Standalone acks are consumed before the reorder buffer;
+            // reaching here is a sequencing bug.
+            unreachable!("transport ack entered the in-order pipeline");
+        }
     }
 }
 
@@ -189,50 +251,50 @@ fn apply_rma(
             Some(payload)
         }
     };
-    // Ack back to the origin (sequenced like any packet on this pair).
+    // Ack back to the origin (sequenced like any data packet on this
+    // pair, and — on fault runs — retransmitted until acknowledged).
     let reply_bytes = reply.as_ref().map_or(0, MsgData::len) + w.costs.header_bytes;
-    let seq = st.send_seq[origin as usize];
-    st.send_seq[origin as usize] += 1;
-    let p = &w.procs[rank as usize];
-    let origin_ep = w.procs[origin as usize].endpoint;
-    w.platform.net_send(
-        p.endpoint,
-        origin_ep,
+    crate::faults::send_data(
+        w,
+        st,
+        rank,
+        origin,
         reply_bytes,
-        Box::new(Packet {
-            src: rank,
-            seq,
-            kind: PacketKind::RmaAck { token, data: reply },
-        }),
+        PacketKind::RmaAck { token, data: reply },
     );
 }
 
 /// One progress iteration from the given path class, honouring the
-/// granularity mode's locking.
-pub(crate) fn progress_once(w: &WorldInner, rank: u32, class: PathClass) {
+/// granularity mode's locking. `opath` is the observability attribution
+/// (see [`poll`]).
+pub(crate) fn progress_once(w: &WorldInner, rank: u32, class: PathClass, opath: Path) {
     if w.granularity.split_progress_lock() {
         // The split progress lock is taken manually (no state access), so
         // its CS span is recorded here rather than in `WorldInner::cs`.
         let t_req = w.platform.now_ns();
         let (lock, token) = w.progress_lock(rank, class);
         let t_acq = w.platform.now_ns();
-        let pkts = poll(w, rank, class);
+        let pkts = poll(w, rank, class, opath);
         let t_rel = w.platform.now_ns();
         w.platform.lock_release(lock, class, token);
         w.rec_at(t_rel, || EventKind::CsSpan {
             lock: lock.0 as u32,
             kind: w.lock.label(),
-            path: obs_path(class),
+            path: opath,
             op: CsOp::Progress,
             t_req,
             t_acq,
         });
-        if !pkts.is_empty() {
-            w.cs(rank, class, CsOp::Progress, |st| deliver(w, rank, st, pkts));
+        // On fault runs the queue CS is entered even with nothing polled:
+        // the retransmit queue must be pumped for recovery to progress.
+        if !pkts.is_empty() || w.faults_enabled {
+            w.cs_on(rank, class, opath, CsOp::Progress, |st| {
+                deliver(w, rank, st, pkts);
+            });
         }
     } else {
-        w.cs(rank, class, CsOp::Progress, |st| {
-            let pkts = poll(w, rank, class);
+        w.cs_on(rank, class, opath, CsOp::Progress, |st| {
+            let pkts = poll(w, rank, class, opath);
             deliver(w, rank, st, pkts);
         });
     }

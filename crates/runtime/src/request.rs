@@ -109,6 +109,23 @@ impl ReqInner {
             ReqState::Freed => panic!("wait/test on a freed request"),
         }
     }
+
+    /// Cancel a still-active request (timeout/fault escalation): the
+    /// request leaves the life cycle without completing. Returns `false`
+    /// if the request already completed (the race winner is the message —
+    /// callers should free it normally instead). Caller must hold the
+    /// owner's CS.
+    pub(crate) unsafe fn cancel(&self) -> bool {
+        // SAFETY: forwarding our own contract — the caller holds the CS.
+        let st = unsafe { self.state_mut() };
+        match st {
+            ReqState::Active => {
+                *st = ReqState::Freed;
+                true
+            }
+            ReqState::Completed(_) | ReqState::Freed => false,
+        }
+    }
 }
 
 /// Handle to an outstanding nonblocking operation. Consumed by

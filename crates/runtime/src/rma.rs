@@ -11,10 +11,12 @@
 //! always in the progress loop, almost never doing useful work)
 //! monopolizes a biased lock.
 
-use crate::packet::{Packet, PacketKind, RmaOp};
+use crate::errors::MpiError;
+use crate::p2p::wait_path;
+use crate::packet::{PacketKind, RmaOp};
 use crate::progress::progress_once;
 use crate::types::MsgData;
-use crate::world::RankHandle;
+use crate::world::{obs_path, RankHandle};
 use mtmpi_locks::PathClass;
 use mtmpi_obs::CsOp;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,62 +36,75 @@ impl RankHandle {
             w.platform.compute(costs.alloc_ns + costs.enqueue_ns);
             let token = st.rma_next_token;
             st.rma_next_token += 1;
-            let seq = st.send_seq[target as usize];
-            st.send_seq[target as usize] += 1;
-            let p = &w.procs[rank as usize];
-            let dst_ep = w.procs[target as usize].endpoint;
-            w.platform.net_send(
-                p.endpoint,
-                dst_ep,
+            crate::faults::send_data(
+                w,
+                st,
+                rank,
+                target,
                 wire_bytes,
-                Box::new(Packet {
-                    src: rank,
-                    seq,
-                    kind: PacketKind::Rma {
-                        op,
-                        offset,
-                        data,
-                        token,
-                    },
-                }),
+                PacketKind::Rma {
+                    op,
+                    offset,
+                    data,
+                    token,
+                },
             );
             token
         })
     }
 
     /// Block until the ack for `token` arrives; returns its payload.
-    fn rma_wait(&self, token: u64) -> Option<MsgData> {
+    /// Fails with the usual typed errors ([`MpiError::Timeout`],
+    /// [`MpiError::PeerUnreachable`]); there is nothing to cancel — RMA
+    /// operations hold no ledger entries, only the token slot, which is
+    /// simply abandoned.
+    fn try_rma_wait(&self, token: u64) -> Result<Option<MsgData>, MpiError> {
         let w = &self.world;
         let rank = self.rank;
         let costs = w.costs;
         let mut class = PathClass::Main;
         let start = w.platform.now_ns();
         loop {
-            let got = w.cs(rank, class, CsOp::Rma, |st| {
+            let opath = wait_path(class);
+            let got = w.cs_on(rank, class, opath, CsOp::Rma, |st| {
                 if let Some(d) = st.rma_acks.remove(&token) {
                     w.platform.compute(costs.free_ns);
-                    return Some(d);
+                    return Ok(Some(d));
                 }
                 if !w.granularity.split_progress_lock() {
-                    let pkts = crate::progress::poll(w, rank, class);
+                    let pkts = crate::progress::poll(w, rank, class, opath);
                     crate::progress::deliver(w, rank, st, pkts);
                     if let Some(d) = st.rma_acks.remove(&token) {
                         w.platform.compute(costs.free_ns);
-                        return Some(d);
+                        return Ok(Some(d));
                     }
                 }
-                None
+                match st.fault_error.clone() {
+                    Some(e) => Err(e),
+                    None => Ok(None),
+                }
             });
-            if let Some(d) = got {
-                return d;
+            if let Some(d) = got? {
+                return Ok(d);
             }
             if w.granularity.split_progress_lock() {
-                progress_once(w, rank, class);
+                progress_once(w, rank, class, opath);
             }
             class = PathClass::Progress;
             w.platform.compute(costs.poll_gap_ns);
-            self.check_liveness(start, "rma_wait");
+            if let Some(waited_ns) = self.liveness_exceeded(start) {
+                return Err(MpiError::Timeout {
+                    rank,
+                    what: "rma_wait",
+                    waited_ns,
+                });
+            }
         }
+    }
+
+    /// [`Self::try_rma_wait`], panicking on error (legacy behaviour).
+    fn rma_wait(&self, token: u64) -> Option<MsgData> {
+        self.try_rma_wait(token).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// One-sided put: write `data` into `target`'s window at `offset`.
@@ -100,16 +115,30 @@ impl RankHandle {
         let _ = self.rma_wait(token);
     }
 
+    /// Fallible [`Self::put`].
+    pub fn try_put(&self, target: u32, offset: u64, data: MsgData) -> Result<(), MpiError> {
+        let token = self.rma_issue(target, RmaOp::Put, offset, data);
+        self.try_rma_wait(token).map(|_| ())
+    }
+
     /// One-sided get of `len` bytes from `target`'s window at `offset`.
     pub fn get(&self, target: u32, offset: u64, len: u64) -> Vec<u8> {
+        match self.try_get(target, offset, len) {
+            Ok(b) => b,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Self::get`].
+    pub fn try_get(&self, target: u32, offset: u64, len: u64) -> Result<Vec<u8>, MpiError> {
         let token = self.rma_issue(
             target,
             RmaOp::Get { real: true },
             offset,
             MsgData::Synthetic(len),
         );
-        match self.rma_wait(token) {
-            Some(MsgData::Bytes(b)) => b,
+        match self.try_rma_wait(token)? {
+            Some(MsgData::Bytes(b)) => Ok(b),
             other => panic!("get expected bytes, got {other:?}"),
         }
     }
@@ -133,16 +162,24 @@ impl RankHandle {
         let _ = self.rma_wait(token);
     }
 
+    /// Fallible [`Self::accumulate`].
+    pub fn try_accumulate(&self, target: u32, offset: u64, data: MsgData) -> Result<(), MpiError> {
+        let token = self.rma_issue(target, RmaOp::Accumulate, offset, data);
+        self.try_rma_wait(token).map(|_| ())
+    }
+
     /// The asynchronous progress loop: poll until `stop` is set. Spawn
     /// this on its own thread to emulate `MPICH_ASYNC_PROGRESS=1`. The
     /// first iteration enters on the main path; all subsequent ones are
     /// low-priority progress entries (the thread "does not do useful work
-    /// most of the time", §6.1.2).
+    /// most of the time", §6.1.2). Unlike blocking waits, this *is* the
+    /// progress engine, so its passages stay on the progress path in the
+    /// event stream.
     pub fn progress_loop(&self, stop: &AtomicBool) {
         let w = &self.world;
         let mut class = PathClass::Main;
         while !stop.load(Ordering::Acquire) {
-            progress_once(w, self.rank, class);
+            progress_once(w, self.rank, class, obs_path(class));
             class = PathClass::Progress;
             w.platform.compute(w.costs.poll_gap_ns);
         }

@@ -1,11 +1,13 @@
 //! Per-process runtime state, guarded by the process's critical section.
 
+use crate::errors::MpiError;
 use crate::packet::Packet;
 use crate::request::ReqInner;
 use crate::types::{CommId, MsgData, Tag};
 use mtmpi_check::RequestLedger;
 use mtmpi_metrics::{DanglingSampler, Histogram};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use mtmpi_net::FaultPlan;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// A posted (unmatched) receive.
@@ -49,6 +51,46 @@ impl PartialOrd for SeqPacket {
     }
 }
 
+/// A transmitted-but-unacked packet awaiting acknowledgement or
+/// retransmission (fault-injection runs only).
+#[derive(Debug)]
+pub(crate) struct PendingPkt {
+    /// Stored copy, re-sent on timeout. Its piggybacked `ack` may be
+    /// stale by then — harmless, cumulative acks are monotone.
+    pub pkt: Packet,
+    /// Wire size charged per transmission.
+    pub bytes: u64,
+    /// Model time at which the next retransmission fires.
+    pub next_retry_ns: u64,
+    /// Transmissions so far beyond the first (0 = never retransmitted).
+    pub attempts: u32,
+}
+
+/// Per-process fault-recovery state. Present only when the world was
+/// built with an active [`FaultPlan`]; `None` keeps fault-free runs on
+/// the exact pre-fault code paths (no acks, no retransmit bookkeeping).
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    /// The fault/recovery policy (shared by every rank).
+    pub plan: FaultPlan,
+    /// Per-destination transmission counter feeding the decision hash.
+    /// Retransmissions advance it too (fresh dice per transmission).
+    pub send_count: Vec<u64>,
+    /// Unacked transmissions keyed by `(dst rank, seq)`; the BTreeMap
+    /// order makes cumulative-ack purges a range scan.
+    pub pending: BTreeMap<(u32, u64), PendingPkt>,
+}
+
+impl FaultState {
+    pub(crate) fn new(nranks: u32, plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            send_count: vec![0; nranks as usize],
+            pending: BTreeMap::new(),
+        }
+    }
+}
+
 /// Everything a process's critical section protects.
 #[derive(Debug)]
 pub(crate) struct SharedState {
@@ -86,10 +128,15 @@ pub(crate) struct SharedState {
     /// High-water marks for diagnostics.
     pub max_unexpected: usize,
     pub max_posted: usize,
+    /// Fault-recovery state; `None` on fault-free runs.
+    pub faults: Option<FaultState>,
+    /// Sticky escalated fault (first `PeerUnreachable`); blocking waits
+    /// check it every iteration and surface it as a typed error.
+    pub fault_error: Option<MpiError>,
 }
 
 impl SharedState {
-    pub(crate) fn new(nranks: u32, win_bytes: usize) -> Self {
+    pub(crate) fn new(nranks: u32, win_bytes: usize, plan: Option<FaultPlan>) -> Self {
         Self {
             posted: VecDeque::new(),
             unexpected: VecDeque::new(),
@@ -108,6 +155,8 @@ impl SharedState {
             rma_next_token: 1,
             max_unexpected: 0,
             max_posted: 0,
+            faults: plan.map(|p| FaultState::new(nranks, p)),
+            fault_error: None,
         }
     }
 
@@ -153,6 +202,7 @@ mod tests {
             SeqPacket(Packet {
                 src: 0,
                 seq,
+                ack: 0,
                 kind: PacketKind::Msg {
                     comm: CommId::WORLD,
                     tag: 0,

@@ -6,6 +6,7 @@ use crate::granularity::Granularity;
 use crate::state::SharedState;
 use crate::stats::RankStats;
 use mtmpi_locks::{CsToken, PathClass};
+use mtmpi_net::FaultPlan;
 use mtmpi_obs::{CsOp, Event, EventKind, Recorder};
 use mtmpi_sim::{LockId, LockKind, Platform};
 use std::cell::UnsafeCell;
@@ -47,6 +48,9 @@ pub(crate) struct WorldInner {
     pub(crate) lock: LockKind,
     /// Structured-event sink; `None` costs one branch per record site.
     pub(crate) recorder: Option<Arc<dyn Recorder>>,
+    /// Whether an active fault plan was installed (mirrors
+    /// `SharedState::faults`, readable without the CS).
+    pub(crate) faults_enabled: bool,
 }
 
 impl WorldInner {
@@ -91,11 +95,28 @@ impl WorldInner {
     /// advances virtual time, so this does not perturb results. `op`
     /// names the runtime operation this passage serves — it is stamped
     /// into the CS span event so the prof layer can attribute blocked
-    /// time to what the holder was doing.
+    /// time to what the holder was doing. The observability path is
+    /// derived from `class`; blocking waits spinning on the progress
+    /// class use [`Self::cs_on`] to report [`mtmpi_obs::Path::WaitSpin`]
+    /// instead.
     pub(crate) fn cs<R>(
         &self,
         rank: u32,
         class: PathClass,
+        op: CsOp,
+        f: impl FnOnce(&mut SharedState) -> R,
+    ) -> R {
+        self.cs_on(rank, class, obs_path(class), op, f)
+    }
+
+    /// [`Self::cs`] with an explicit observability path. Lock arbitration
+    /// still follows `class` (a wait-spinner *is* a low-priority entrant,
+    /// paper Fig 6a); only the event/histogram attribution differs.
+    pub(crate) fn cs_on<R>(
+        &self,
+        rank: u32,
+        class: PathClass,
+        opath: mtmpi_obs::Path,
         op: CsOp,
         f: impl FnOnce(&mut SharedState) -> R,
     ) -> R {
@@ -116,7 +137,7 @@ impl WorldInner {
         self.rec_at(t_rel, || EventKind::CsSpan {
             lock: p.cs_queue.0 as u32,
             kind: self.lock.label(),
-            path: obs_path(class),
+            path: opath,
             op,
             t_req,
             t_acq,
@@ -186,6 +207,7 @@ pub struct WorldBuilder {
     liveness_limit_ns: u64,
     expect_rma: bool,
     recorder: Option<Arc<dyn Recorder>>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl World {
@@ -202,6 +224,7 @@ impl World {
             liveness_limit_ns: 120_000_000_000, // 120 virtual seconds
             expect_rma: false,
             recorder: None,
+            fault_plan: None,
         }
     }
 
@@ -244,38 +267,6 @@ impl World {
             max_posted: st.max_posted,
             window: st.win_mem.clone(),
         }
-    }
-
-    /// Dangling-request sampler of a rank. **Post-run only** (after
-    /// `platform.run()` has returned).
-    #[deprecated(since = "0.1.0", note = "use World::stats(rank).dangling")]
-    pub fn dangling_report(&self, rank: u32) -> mtmpi_metrics::DanglingSampler {
-        self.stats(rank).dangling
-    }
-
-    /// Critical-section acquisition count of a rank. Post-run only.
-    #[deprecated(since = "0.1.0", note = "use World::stats(rank).cs_acquisitions")]
-    pub fn cs_acquisitions(&self, rank: u32) -> u64 {
-        self.stats(rank).cs_acquisitions
-    }
-
-    /// Request life-cycle ledger of a rank (see
-    /// [`mtmpi_check::RequestLedger`]). Post-run only.
-    #[deprecated(since = "0.1.0", note = "use World::stats(rank).ledger")]
-    pub fn request_ledger(&self, rank: u32) -> mtmpi_check::RequestLedger {
-        self.stats(rank).ledger
-    }
-
-    /// Unexpected-queue high-water mark. Post-run only.
-    #[deprecated(since = "0.1.0", note = "use World::stats(rank).max_unexpected")]
-    pub fn max_unexpected(&self, rank: u32) -> usize {
-        self.stats(rank).max_unexpected
-    }
-
-    /// Contents of the rank's RMA window. Post-run only.
-    #[deprecated(since = "0.1.0", note = "use World::stats(rank).window")]
-    pub fn window_snapshot(&self, rank: u32) -> Vec<u8> {
-        self.stats(rank).window
     }
 }
 
@@ -340,6 +331,18 @@ impl WorldBuilder {
         self
     }
 
+    /// Inject deterministic link faults (see [`mtmpi_net::FaultPlan`])
+    /// and enable the runtime's recovery machinery: sequenced sends with
+    /// cumulative acks, a retransmit queue with exponential backoff, and
+    /// typed error escalation. An inert plan ([`FaultPlan::is_active`]
+    /// false, e.g. [`FaultPlan::none`]) leaves the runtime exactly on its
+    /// fault-free fast paths — byte-identical results to not calling this
+    /// at all.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Construct the world: validates the configuration, then registers
     /// one endpoint and one (or two, for [`Granularity::PerQueue`]) locks
     /// per rank on the platform.
@@ -351,6 +354,7 @@ impl WorldBuilder {
             return Err(BuildError::ZeroWindowWithRma);
         }
         let platform_nodes = self.platform.node_count();
+        let active_plan = self.fault_plan.filter(FaultPlan::is_active);
         let mut procs = Vec::with_capacity(self.ranks as usize);
         for r in 0..self.ranks {
             let node = (self.node_of)(r);
@@ -374,7 +378,11 @@ impl WorldBuilder {
                 endpoint,
                 cs_queue,
                 cs_progress,
-                state: UnsafeCell::new(SharedState::new(self.ranks, self.window_bytes)),
+                state: UnsafeCell::new(SharedState::new(
+                    self.ranks,
+                    self.window_bytes,
+                    active_plan.clone(),
+                )),
             });
         }
         Ok(World {
@@ -387,6 +395,7 @@ impl WorldBuilder {
                 selective: matches!(self.lock, LockKind::Selective),
                 lock: self.lock,
                 recorder: self.recorder,
+                faults_enabled: active_plan.is_some(),
             }),
         })
     }

@@ -186,6 +186,24 @@ pub trait Platform: Send + Sync {
     /// network delay. Returns immediately (asynchronous injection).
     fn net_send(&self, src: usize, dst: usize, bytes: u64, payload: Payload);
 
+    /// [`Platform::net_send`] with `extra_delay_ns` of additional
+    /// in-flight latency on top of the modelled network delay. Used by
+    /// fault injection to delay or reorder individual packets; the NIC
+    /// occupancy (injection serialization) is unaffected — only the
+    /// arrival time moves. Platforms that cannot model per-packet delay
+    /// fall back to an undelayed send.
+    fn net_send_delayed(
+        &self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        extra_delay_ns: u64,
+        payload: Payload,
+    ) {
+        let _ = extra_delay_ns;
+        self.net_send(src, dst, bytes, payload);
+    }
+
     /// Drain all packets that have arrived at `endpoint` by now.
     fn net_poll(&self, endpoint: usize) -> Vec<Payload>;
 

@@ -50,6 +50,7 @@ enum Op {
         src: usize,
         dst: usize,
         bytes: u64,
+        extra_delay_ns: u64,
         payload: Payload,
     },
     NetPoll {
@@ -68,8 +69,18 @@ impl std::fmt::Debug for Op {
             Op::LockAcquire { lock, class } => write!(f, "LockAcquire({lock}, {class:?})"),
             Op::LockRelease { lock } => write!(f, "LockRelease({lock})"),
             Op::NetSend {
-                src, dst, bytes, ..
-            } => write!(f, "NetSend({src}->{dst}, {bytes}B)"),
+                src,
+                dst,
+                bytes,
+                extra_delay_ns,
+                ..
+            } => {
+                if *extra_delay_ns > 0 {
+                    write!(f, "NetSend({src}->{dst}, {bytes}B, +{extra_delay_ns}ns)")
+                } else {
+                    write!(f, "NetSend({src}->{dst}, {bytes}B)")
+                }
+            }
             Op::NetPoll { endpoint } => write!(f, "NetPoll({endpoint})"),
             Op::NetPending { endpoint } => write!(f, "NetPending({endpoint})"),
         }
@@ -361,11 +372,23 @@ impl Platform for VirtualPlatform {
     }
 
     fn net_send(&self, src: usize, dst: usize, bytes: u64, payload: Payload) {
+        self.net_send_delayed(src, dst, bytes, 0, payload);
+    }
+
+    fn net_send_delayed(
+        &self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        extra_delay_ns: u64,
+        payload: Payload,
+    ) {
         with_ctx(|c| {
             c.sync(Op::NetSend {
                 src,
                 dst,
                 bytes,
+                extra_delay_ns,
                 payload,
             });
         });
@@ -619,6 +642,7 @@ impl<'p> Scheduler<'p> {
                 src,
                 dst,
                 bytes,
+                extra_delay_ns,
                 payload,
             } => {
                 let src_node = self.ep_node[src] as usize;
@@ -626,7 +650,9 @@ impl<'p> Scheduler<'p> {
                 let mt = self.platform.net.timing(same, bytes);
                 let start = self.nic_free[src_node].max(t);
                 self.nic_free[src_node] = start + mt.inject_ns;
-                let at = self.nic_free[src_node] + mt.wire_ns;
+                // Extra (fault-injected) delay happens in flight: the NIC
+                // is released on schedule, only the arrival moves.
+                let at = self.nic_free[src_node] + mt.wire_ns + extra_delay_ns;
                 let seq = self.seq;
                 self.seq += 1;
                 self.mailboxes[dst].push(Arriving { at, seq, payload });

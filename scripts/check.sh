@@ -24,6 +24,9 @@
 #   prof       bench regression gate: re-run the baselined figures in
 #              quick mode and diff their BENCH_*.json quantiles against
 #              results/baseline/ (`xtask bench-diff --quick`).
+#   faults     fault-injection smoke test: run the fig_fault drop-rate
+#              sweep twice in quick mode and require byte-identical
+#              BENCH output (the DESIGN.md §11 determinism contract).
 #
 # Usage: scripts/check.sh [fast]   ("fast" skips loom/tsan/miri/obs/prof)
 set -uo pipefail
@@ -54,16 +57,32 @@ step clippy cargo clippy --workspace --all-targets -- -D warnings
 step lint   cargo run -q -p xtask -- lint
 step test   cargo test --workspace -q
 
+# Run the fault sweep twice and demand byte-identical output: same seed
+# + same FaultPlan must replay exactly (DESIGN.md §11).
+faults_smoke() {
+    local snap
+    snap=$(mktemp) || return 1
+    cargo run --release -q -p mtmpi-bench --bin fig_fault -- --quick \
+        && cp results/BENCH_fig_fault.json "$snap" \
+        && cargo run --release -q -p mtmpi-bench --bin fig_fault -- --quick \
+        && cmp results/BENCH_fig_fault.json "$snap"
+    local rc=$?
+    rm -f "$snap"
+    return $rc
+}
+
 if [ "$FAST" = "fast" ]; then
     skip loom "fast mode"
     skip tsan "fast mode"
     skip miri "fast mode"
     skip obs "fast mode"
     skip prof "fast mode"
+    skip faults "fast mode"
 else
     step loom cargo test -p mtmpi-locks --features loom-check --test loom
     step obs cargo run -q -p xtask -- trace fig2a
     step prof cargo run -q -p xtask -- bench-diff --quick
+    step faults faults_smoke
 
     if ! cargo +nightly --version >/dev/null 2>&1; then
         skip tsan "no nightly toolchain"
