@@ -8,6 +8,10 @@ use std::sync::Arc;
 pub const WINDOW: usize = 64;
 /// Ack tag base (data messages use tag 0; ack for thread j is `ACK + j`).
 const ACK: i32 = 100;
+/// Ack tag base for the VCI sweep. Divisible by every swept VCI count,
+/// so under tag routing thread `j`'s ack lives on the same shard as its
+/// data (`(VCI_ACK + j) % c == j % c`) and no thread straddles shards.
+const VCI_ACK: i32 = 800;
 
 /// One throughput measurement.
 #[derive(Debug, Clone)]
@@ -140,6 +144,63 @@ pub fn throughput_series(
         s.push(size as f64, r.rate / 1e3);
     }
     s
+}
+
+/// Run the per-thread-tag variant used by the VCI sweep: thread `j` of
+/// the sender streams windows of tag-`j` isends and waits for an ack on
+/// tag `ACK + j`; thread `j` of the receiver posts tag-`j` irecvs. With
+/// `vci_count > 1` the world routes by tag ([`VciMap::by_tag`]), so each
+/// thread's traffic lives on shard `j % vci_count` and the global
+/// critical section is partitioned; with `vci_count == 1` the identical
+/// workload runs against the classic single CS.
+pub fn vci_throughput_run(
+    exp: &Experiment,
+    method: Method,
+    p: ThroughputParams,
+    vci_count: u32,
+) -> ThroughputResult {
+    let size = p.size;
+    let windows = p.windows;
+    let mut cfg = RunConfig::new(method)
+        .nodes(2)
+        .ranks_per_node(1)
+        .threads_per_rank(p.threads)
+        .binding(p.binding);
+    if vci_count > 1 {
+        cfg = cfg.vci_map(VciMap::by_tag(vci_count));
+    }
+    let out = exp.run(cfg, move |ctx| {
+        let h = &ctx.rank;
+        let j = ctx.thread as i32;
+        if h.rank() == 0 {
+            for _ in 0..windows {
+                let reqs: Vec<_> = (0..WINDOW)
+                    .map(|_| h.isend(1, j, MsgData::Synthetic(size)))
+                    .collect();
+                h.waitall(reqs);
+                let _ = h.recv(Some(1), Some(VCI_ACK + j));
+            }
+        } else {
+            for _ in 0..windows {
+                let reqs: Vec<_> = (0..WINDOW).map(|_| h.irecv(Some(0), Some(j))).collect();
+                h.waitall(reqs);
+                h.send(0, VCI_ACK + j, MsgData::Synthetic(1));
+            }
+        }
+    });
+    let threads = out.threads_per_rank;
+    let messages = u64::from(threads) * u64::from(windows) * WINDOW as u64;
+    let dangling = out.dangling(1);
+    // Bias of the receiver's shard-0 lock (the only shard when
+    // unsharded; the RMA/home shard otherwise).
+    let bias = BiasAnalysis::from_trace(out.trace(1));
+    ThroughputResult {
+        rate: out.msg_rate(messages),
+        dangling_avg: dangling.average(),
+        bias,
+        end_ns: out.end_ns,
+        messages,
+    }
 }
 
 fn binding_suffix(b: BindingPolicy) -> &'static str {

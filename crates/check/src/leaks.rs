@@ -14,6 +14,7 @@
 //! is dropped (debug builds only).
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Life-cycle counters for the requests of one MPI process.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -122,6 +123,70 @@ impl RequestLedger {
             Ok(())
         } else {
             Err(LeakReport { ledger: *self })
+        }
+    }
+}
+
+/// Lock-free [`RequestLedger`]: the same life-cycle counters, but with
+/// `&self` mutators so several threads can account concurrently without
+/// sharing a critical section.
+///
+/// The sharded runtime needs this for *multi-shard* wildcard receives:
+/// such a request is posted to every VCI, and the shard that completes
+/// it does so under *its own* lock — there is no single lock that could
+/// guard a plain ledger for them. Counters use `Relaxed` ordering: they
+/// are statistics folded into a [`RequestLedger`] snapshot at quiescence
+/// (after `Platform::run` joins every thread), never a synchronization
+/// hand-off.
+#[derive(Debug, Default)]
+pub struct SharedLedger {
+    issued: AtomicU64,
+    posted: AtomicU64,
+    completed: AtomicU64,
+    freed: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+impl SharedLedger {
+    /// Fresh ledger, all counters zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A request was issued (`isend`/`irecv`).
+    pub fn note_issued(&self) {
+        self.issued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A receive was posted (counted once per request, not per shard).
+    pub fn note_posted(&self) {
+        self.posted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A request was completed by whichever shard won the claim.
+    pub fn note_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A completed request was freed by its owner.
+    pub fn note_freed(&self) {
+        self.freed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A still-unclaimed request was cancelled by its owner.
+    pub fn note_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot the counters into a plain [`RequestLedger`] for merging
+    /// and quiescence checks.
+    pub fn snapshot(&self) -> RequestLedger {
+        RequestLedger {
+            issued: self.issued.load(Ordering::Relaxed),
+            posted: self.posted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            freed: self.freed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -236,6 +301,41 @@ mod tests {
         // Freed without issue/completion: a runtime accounting bug.
         l.note_freed();
         assert!(l.check_quiescent().is_err());
+    }
+
+    #[test]
+    fn shared_ledger_accounts_concurrently_and_snapshots_quiescent() {
+        use std::sync::Arc;
+        let l = Arc::new(SharedLedger::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = l.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        // A multi-shard wildcard receive's life cycle:
+                        // issued and posted by the owner, completed by
+                        // whichever shard wins the claim, freed by the
+                        // owner.
+                        l.note_issued();
+                        l.note_posted();
+                        l.note_completed();
+                        l.note_freed();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = l.snapshot();
+        assert_eq!(snap.issued(), 400);
+        assert_eq!(snap.posted(), 400);
+        assert_eq!(snap.check_quiescent(), Ok(()));
+        // Snapshots merge like any plain ledger.
+        let mut sum = RequestLedger::new();
+        sum.merge(&snap);
+        sum.merge(&snap);
+        assert_eq!(sum.issued(), 800);
     }
 
     #[test]

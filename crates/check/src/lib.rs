@@ -25,5 +25,5 @@ pub mod leaks;
 pub mod lock_order;
 
 pub use invariants::{check_starvation, fifo_violations, StarvationReport, StarvationThresholds};
-pub use leaks::{LeakReport, RequestLedger};
+pub use leaks::{LeakReport, RequestLedger, SharedLedger};
 pub use lock_order::{LockOrderGraph, Ordered, OrderedLockId};

@@ -273,6 +273,39 @@ mod tests {
     }
 
     #[test]
+    fn cross_vci_abba_cycle_is_detected_per_shard() {
+        // Per-VCI queue locks are distinct graph nodes, not one
+        // collapsed "queue" node. The sharded runtime's discipline is
+        // one-shard-at-a-time (cross-shard wildcard handoff goes through
+        // an atomic claim token, never nested shard locks), so this ABBA
+        // pattern can only come from a regression — and the graph must
+        // catch it rather than dedupe the shards into a self-edge.
+        let g = Arc::new(LockOrderGraph::new());
+        let v0 = Ordered::new(TicketLock::new(), "r0.vci0.queue", &g);
+        let v1 = Ordered::new(TicketLock::new(), "r0.vci1.queue", &g);
+        // Buggy path 1: shard 0 then shard 1.
+        let t0 = v0.acquire(PathClass::Main);
+        let t1 = v1.acquire(PathClass::Main);
+        v1.release(PathClass::Main, t1);
+        v0.release(PathClass::Main, t0);
+        // Buggy path 2: shard 1 then shard 0.
+        let t1 = v1.acquire(PathClass::Progress);
+        let t0 = v0.acquire(PathClass::Progress);
+        v0.release(PathClass::Progress, t0);
+        v1.release(PathClass::Progress, t1);
+        let cycles = g.potential_deadlocks();
+        assert_eq!(
+            cycles.len(),
+            1,
+            "cross-VCI ABBA must be flagged: {cycles:?}"
+        );
+        assert_eq!(
+            cycles[0],
+            vec!["r0.vci0.queue", "r0.vci1.queue", "r0.vci0.queue"]
+        );
+    }
+
+    #[test]
     fn three_lock_cycle_across_threads() {
         let g = Arc::new(LockOrderGraph::new());
         let locks: Vec<_> = (0..3)

@@ -4,7 +4,7 @@ use crate::method::Method;
 use mtmpi_metrics::{CsTrace, DanglingSampler, Histogram};
 use mtmpi_net::{FaultPlan, NetModel};
 use mtmpi_obs::{RingRecorder, RunRecord, Sink, Timeline, DEFAULT_SHARD_CAP};
-use mtmpi_runtime::{Granularity, RankHandle, RankStats, RuntimeCosts, World};
+use mtmpi_runtime::{Granularity, RankHandle, RankStats, RuntimeCosts, VciMap, World};
 use mtmpi_sim::{LockModelParams, Platform, PlatformReport, ThreadDesc, VirtualPlatform};
 use mtmpi_topology::{presets, Binding, BindingPolicy, ClusterTopology};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -129,6 +129,9 @@ impl Experiment {
             .costs(self.costs)
             .window_bytes(cfg.window_bytes)
             .expect_rma(cfg.progress_thread);
+        if let Some(map) = &cfg.vci_map {
+            builder = builder.vci_map(map.clone());
+        }
         if self.faults.is_active() {
             builder = builder.fault_plan(self.faults.clone());
         }
@@ -254,6 +257,8 @@ pub struct RunConfig {
     pub window_bytes: usize,
     /// Spawn an asynchronous progress thread per rank.
     pub progress_thread: bool,
+    /// VCI sharding policy; `None` = the single global critical section.
+    pub vci_map: Option<VciMap>,
 }
 
 impl RunConfig {
@@ -269,6 +274,7 @@ impl RunConfig {
             granularity: Granularity::Global,
             window_bytes: 0,
             progress_thread: false,
+            vci_map: None,
         }
     }
 
@@ -311,6 +317,19 @@ impl RunConfig {
     /// Enable the per-rank asynchronous progress thread.
     pub fn progress_thread(mut self, on: bool) -> Self {
         self.progress_thread = on;
+        self
+    }
+
+    /// Shard every rank's runtime into `n` VCIs with the default hash
+    /// routing (1 = the unsharded global critical section).
+    pub fn vci_count(mut self, n: u32) -> Self {
+        self.vci_map = if n == 1 { None } else { Some(VciMap::new(n)) };
+        self
+    }
+
+    /// Shard with an explicit [`VciMap`] policy.
+    pub fn vci_map(mut self, map: VciMap) -> Self {
+        self.vci_map = Some(map);
         self
     }
 }

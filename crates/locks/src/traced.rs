@@ -201,9 +201,11 @@ impl<L: CsLock> CsLock for Traced<L> {
                             PathClass::Main => Path::Main,
                             PathClass::Progress => Path::Progress,
                         },
-                        // A bare instrumented lock has no runtime-op
-                        // context; the runtime stamps real ops itself.
+                        // A bare instrumented lock has no runtime-op or
+                        // shard context; the runtime stamps real ops
+                        // (and VCI ids) itself.
                         op: CsOp::Other,
+                        vci: 0,
                         t_req,
                         t_acq,
                     },

@@ -153,6 +153,9 @@ pub enum EventKind {
         path: Path,
         /// Which runtime operation the passage served.
         op: CsOp,
+        /// Virtual communication interface whose critical section this
+        /// passage entered (0 on the unsharded path).
+        vci: u32,
         /// When the thread requested the lock.
         t_req: u64,
         /// When the thread was granted the lock.
@@ -162,6 +165,9 @@ pub enum EventKind {
     Req {
         /// Owning rank.
         rank: u32,
+        /// VCI the request is bound to (its home shard; 0 unsharded.
+        /// Multi-shard wildcard requests report the shard that acted).
+        vci: u32,
         /// Which transition.
         phase: ReqPhase,
     },
@@ -169,6 +175,8 @@ pub enum EventKind {
     PollBatch {
         /// Polling rank.
         rank: u32,
+        /// VCI whose mailbox was drained.
+        vci: u32,
         /// Path class of the polling entry.
         path: Path,
         /// Packets drained (often 0: the wasted polls of §6.1.2).

@@ -33,15 +33,17 @@ fn chrome_event(ev: &Event, pid: u32, out: &mut Vec<String>) {
             kind,
             path,
             op,
+            vci,
             t_req,
             t_acq,
         } => {
             let args = format!(
-                "\"args\":{{\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"op\":\"{}\",\"core\":{},\"socket\":{}}}",
+                "\"args\":{{\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"op\":\"{}\",\"vci\":{},\"core\":{},\"socket\":{}}}",
                 lock,
                 kind,
                 path.label(),
                 op.label(),
+                vci,
                 ev.core,
                 ev.socket
             );
@@ -58,19 +60,22 @@ fn chrome_event(ev: &Event, pid: u32, out: &mut Vec<String>) {
                 args
             ));
         }
-        EventKind::Req { rank, phase } => out.push(format!(
-            "{},\"s\":\"t\",\"args\":{{\"rank\":{}}}}}",
+        EventKind::Req { rank, vci, phase } => out.push(format!(
+            "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"vci\":{}}}}}",
             head(&format!("req {}", phase.label()), "req", "i", ev.t_ns),
-            rank
+            rank,
+            vci
         )),
         EventKind::PollBatch {
             rank,
+            vci,
             path,
             packets,
         } => out.push(format!(
-            "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"path\":\"{}\",\"packets\":{}}}}}",
+            "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"vci\":{},\"path\":\"{}\",\"packets\":{}}}}}",
             head("poll", "progress", "i", ev.t_ns),
             rank,
+            vci,
             path.label(),
             packets
         )),
@@ -133,6 +138,52 @@ pub fn chrome_trace_events(t: &Timeline, pid: u32) -> Vec<String> {
     out
 }
 
+/// Synthetic Chrome thread id hosting the lane of VCI `v` (far above any
+/// real platform tid, so the lanes sort below the per-thread tracks).
+pub const VCI_LANE_TID_BASE: u64 = 1_000_000_000;
+
+/// Per-VCI lanes: one synthetic named track per VCI, carrying every CS
+/// *hold* span that entered that VCI's critical section — so shard
+/// utilisation and imbalance are visible at a glance, whoever the
+/// holding thread was.
+///
+/// Empty unless the timeline spans **more than one** distinct VCI:
+/// unsharded runs (everything on VCI 0) keep their exact pre-VCI trace
+/// bytes.
+pub fn chrome_vci_lane_events(t: &Timeline, pid: u32) -> Vec<String> {
+    let mut vcis: Vec<u32> = t.cs_spans().map(|s| s.vci).collect();
+    vcis.sort_unstable();
+    vcis.dedup();
+    if vcis.len() <= 1 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for &v in &vcis {
+        out.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\
+             \"args\":{{\"name\":\"vci {}\"}}}}",
+            pid,
+            VCI_LANE_TID_BASE + u64::from(v),
+            v
+        ));
+    }
+    for s in t.cs_spans() {
+        out.push(format!(
+            "{{\"name\":\"cs hold\",\"cat\":\"vci\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"lock\":{},\"op\":\"{}\",\"path\":\"{}\",\"tid\":{}}}}}",
+            pid,
+            VCI_LANE_TID_BASE + u64::from(s.vci),
+            fmt_us(s.t_acq),
+            fmt_us(s.hold_ns()),
+            s.lock,
+            s.op.label(),
+            s.path.label(),
+            s.tid
+        ));
+    }
+    out
+}
+
 /// Wrap pre-rendered trace-event JSON objects into a complete Chrome
 /// trace document. Building block for [`chrome_trace`] /
 /// [`chrome_trace_multi`] and for callers that append extra events (the
@@ -145,9 +196,13 @@ pub fn chrome_trace_doc(events: &[String], dropped: u64) -> String {
     )
 }
 
-/// A complete Chrome trace-event JSON document for one timeline.
+/// A complete Chrome trace-event JSON document for one timeline. When
+/// the run used several VCIs, per-VCI lanes are appended (see
+/// [`chrome_vci_lane_events`]).
 pub fn chrome_trace(t: &Timeline) -> String {
-    chrome_trace_doc(&chrome_trace_events(t, 0), t.dropped)
+    let mut events = chrome_trace_events(t, 0);
+    events.extend(chrome_vci_lane_events(t, 0));
+    chrome_trace_doc(&events, t.dropped)
 }
 
 /// The merged event objects and total drop count of several named
@@ -167,6 +222,7 @@ pub fn chrome_trace_multi_events(runs: &[(&str, &Timeline)]) -> (Vec<String>, u6
             escape(name)
         ));
         events.extend(chrome_trace_events(t, pid));
+        events.extend(chrome_vci_lane_events(t, pid));
     }
     (events, dropped)
 }
@@ -192,27 +248,36 @@ pub fn jsonl(t: &Timeline) -> String {
                 kind,
                 path,
                 op,
+                vci,
                 t_req,
                 t_acq,
             } => format!(
-                "\"ev\":\"cs\",\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"op\":\"{}\",\"t_req\":{},\"t_acq\":{}",
+                "\"ev\":\"cs\",\"lock\":{},\"kind\":\"{}\",\"path\":\"{}\",\"op\":\"{}\",\"vci\":{},\"t_req\":{},\"t_acq\":{}",
                 lock,
                 kind,
                 path.label(),
                 op.label(),
+                vci,
                 t_req,
                 t_acq
             ),
-            EventKind::Req { rank, phase } => {
-                format!("\"ev\":\"req\",\"rank\":{},\"phase\":\"{}\"", rank, phase.label())
+            EventKind::Req { rank, vci, phase } => {
+                format!(
+                    "\"ev\":\"req\",\"rank\":{},\"vci\":{},\"phase\":\"{}\"",
+                    rank,
+                    vci,
+                    phase.label()
+                )
             }
             EventKind::PollBatch {
                 rank,
+                vci,
                 path,
                 packets,
             } => format!(
-                "\"ev\":\"poll\",\"rank\":{},\"path\":\"{}\",\"packets\":{}",
+                "\"ev\":\"poll\",\"rank\":{},\"vci\":{},\"path\":\"{}\",\"packets\":{}",
                 rank,
+                vci,
                 path.label(),
                 packets
             ),
@@ -292,6 +357,7 @@ mod tests {
                         kind: "mutex",
                         path: Path::Main,
                         op: CsOp::Isend,
+                        vci: 0,
                         t_req: 1_000,
                         t_acq: 1_500,
                     },
@@ -303,6 +369,7 @@ mod tests {
                     socket: 0,
                     kind: EventKind::Req {
                         rank: 0,
+                        vci: 0,
                         phase: ReqPhase::Issue,
                     },
                 },
@@ -313,6 +380,7 @@ mod tests {
                     socket: 1,
                     kind: EventKind::PollBatch {
                         rank: 1,
+                        vci: 0,
                         path: Path::Progress,
                         packets: 2,
                     },
@@ -369,6 +437,41 @@ mod tests {
         assert!(s.contains("\"name\":\"ticket\""));
         assert!(s.contains("\"pid\":1"));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn single_vci_traces_get_no_lanes_but_sharded_ones_do() {
+        // Everything on VCI 0 (the unsharded path): no synthetic lanes,
+        // so pre-VCI trace output is preserved byte-for-byte.
+        let t = sample_timeline();
+        assert!(chrome_vci_lane_events(&t, 0).is_empty());
+        assert!(!chrome_trace(&t).contains("\"vci 0\""));
+
+        // Two distinct VCIs: one named lane per VCI plus a hold span on
+        // each lane's synthetic tid.
+        let mut sharded = sample_timeline();
+        sharded.events.push(Event {
+            t_ns: 9_000,
+            tid: 2,
+            core: 3,
+            socket: 1,
+            kind: EventKind::CsSpan {
+                lock: 7,
+                kind: "mutex",
+                path: Path::Main,
+                op: CsOp::Irecv,
+                vci: 3,
+                t_req: 8_000,
+                t_acq: 8_200,
+            },
+        });
+        let lanes = chrome_vci_lane_events(&sharded, 0);
+        assert_eq!(lanes.len(), 2 + 2, "2 lane names + 2 hold spans");
+        let doc = chrome_trace(&sharded);
+        assert!(doc.contains("\"vci 0\""));
+        assert!(doc.contains("\"vci 3\""));
+        assert!(doc.contains(&format!("\"tid\":{}", VCI_LANE_TID_BASE + 3)));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }
 
     #[test]

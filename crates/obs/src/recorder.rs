@@ -70,6 +70,8 @@ pub struct CsSpanView {
     pub path: Path,
     /// Runtime operation the passage served.
     pub op: CsOp,
+    /// VCI whose critical section was entered (0 unsharded).
+    pub vci: u32,
     /// Lock requested.
     pub t_req: u64,
     /// Lock granted.
@@ -109,6 +111,7 @@ impl Timeline {
                 kind,
                 path,
                 op,
+                vci,
                 t_req,
                 t_acq,
             } => Some(CsSpanView {
@@ -119,6 +122,7 @@ impl Timeline {
                 kind,
                 path,
                 op,
+                vci,
                 t_req,
                 t_acq,
                 t_end: ev.t_ns,
@@ -325,6 +329,7 @@ mod tests {
             socket: 0,
             kind: EventKind::Req {
                 rank: 0,
+                vci: 0,
                 phase: crate::event::ReqPhase::Issue,
             },
         }

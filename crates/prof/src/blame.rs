@@ -29,15 +29,21 @@ pub struct HolderKey {
     /// Stable index of the op in [`CsOp::ALL`] (orders the matrix
     /// columns deterministically).
     pub op_idx: u8,
+    /// VCI whose critical section the holder occupied (0 unsharded).
+    /// With N > 1 shards this keeps blame thread×path×VCI-resolved:
+    /// the same thread holding different shards produces distinct
+    /// columns.
+    pub vci: u32,
 }
 
 impl HolderKey {
-    fn new(tid: u64, path: Path, op: CsOp) -> Self {
+    fn new(tid: u64, path: Path, op: CsOp, vci: u32) -> Self {
         let op_idx = CsOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u8;
         Self {
             tid,
             path_idx: path.idx(),
             op_idx,
+            vci,
         }
     }
 
@@ -175,7 +181,7 @@ impl BlameMatrix {
                     charged += ns;
                     *entry
                         .0
-                        .entry(HolderKey::new(h.tid, h.path, h.op))
+                        .entry(HolderKey::new(h.tid, h.path, h.op, h.vci))
                         .or_default() += ns;
                 }
             }
@@ -218,40 +224,8 @@ impl BlameMatrix {
             .collect();
         let counts: Vec<u64> = acq.values().map(|v| v.0).collect();
 
-        // Starvation.
-        let (mut mn, mut mw, mut pn, mut pw, mut sn, mut sw) = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
-        for s in &spans {
-            match s.path {
-                Path::Main => {
-                    mn += 1;
-                    mw += s.wait_ns();
-                }
-                Path::Progress => {
-                    pn += 1;
-                    pw += s.wait_ns();
-                }
-                Path::WaitSpin => {
-                    sn += 1;
-                    sw += s.wait_ns();
-                }
-            }
-        }
-        let main_mean = if mn == 0 { 0.0 } else { mw as f64 / mn as f64 };
-        let prog_mean = if pn == 0 { 0.0 } else { pw as f64 / pn as f64 };
-        let spin_mean = if sn == 0 { 0.0 } else { sw as f64 / sn as f64 };
-        let starvation = Starvation {
-            main_spans: mn,
-            progress_spans: pn,
-            waitspin_spans: sn,
-            main_wait_mean_ns: main_mean,
-            progress_wait_mean_ns: prog_mean,
-            waitspin_wait_mean_ns: spin_mean,
-            ratio: if main_mean > 0.0 && pn > 0 {
-                prog_mean / main_mean
-            } else {
-                0.0
-            },
-        };
+        // Starvation (same tallies the per-VCI breakdown uses).
+        let starvation = starvation_of(&spans);
 
         Self {
             rows,
@@ -289,6 +263,84 @@ impl BlameMatrix {
     }
 }
 
+/// Load and starvation summary of one VCI (shard) of a sharded run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VciLoad {
+    /// The VCI.
+    pub vci: u32,
+    /// CS passages through this shard's critical section.
+    pub acquisitions: u64,
+    /// Total hold time in the shard.
+    pub hold_ns: u64,
+    /// Total wait time at the shard's lock.
+    pub wait_ns: u64,
+    /// Main/progress/wait-spin asymmetry *within* this shard.
+    pub starvation: Starvation,
+}
+
+/// Per-VCI balance analysis: one [`VciLoad`] per shard seen in the
+/// timeline (ordered by VCI), plus the Gini index over per-shard
+/// acquisition counts — 0 when the [`mtmpi_vci`-style] map spreads
+/// traffic evenly, approaching 1 when one shard soaks up everything
+/// (at which point sharding has bought nothing over the global CS).
+pub fn vci_loads(t: &Timeline) -> (Vec<VciLoad>, f64) {
+    let mut per: BTreeMap<u32, Vec<CsSpanView>> = BTreeMap::new();
+    for s in t.cs_spans() {
+        per.entry(s.vci).or_default().push(s);
+    }
+    let loads: Vec<VciLoad> = per
+        .iter()
+        .map(|(&vci, spans)| VciLoad {
+            vci,
+            acquisitions: spans.len() as u64,
+            hold_ns: spans.iter().map(|s| s.hold_ns()).sum(),
+            wait_ns: spans.iter().map(|s| s.wait_ns()).sum(),
+            starvation: starvation_of(spans),
+        })
+        .collect();
+    let counts: Vec<u64> = loads.iter().map(|l| l.acquisitions).collect();
+    let g = gini(&counts);
+    (loads, g)
+}
+
+/// Path-asymmetry tallies over one set of spans (shared by the whole-run
+/// starvation summary and the per-VCI breakdown).
+fn starvation_of(spans: &[CsSpanView]) -> Starvation {
+    let (mut mn, mut mw, mut pn, mut pw, mut sn, mut sw) = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    for s in spans {
+        match s.path {
+            Path::Main => {
+                mn += 1;
+                mw += s.wait_ns();
+            }
+            Path::Progress => {
+                pn += 1;
+                pw += s.wait_ns();
+            }
+            Path::WaitSpin => {
+                sn += 1;
+                sw += s.wait_ns();
+            }
+        }
+    }
+    let main_mean = if mn == 0 { 0.0 } else { mw as f64 / mn as f64 };
+    let prog_mean = if pn == 0 { 0.0 } else { pw as f64 / pn as f64 };
+    let spin_mean = if sn == 0 { 0.0 } else { sw as f64 / sn as f64 };
+    Starvation {
+        main_spans: mn,
+        progress_spans: pn,
+        waitspin_spans: sn,
+        main_wait_mean_ns: main_mean,
+        progress_wait_mean_ns: prog_mean,
+        waitspin_wait_mean_ns: spin_mean,
+        ratio: if main_mean > 0.0 && pn > 0 {
+            prog_mean / main_mean
+        } else {
+            0.0
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +357,7 @@ mod tests {
                 kind: "mutex",
                 path,
                 op,
+                vci: lock, // tests: one lock per VCI, like the sharded runtime
                 t_req,
                 t_acq,
             },
@@ -437,6 +490,56 @@ mod tests {
             .flat_map(|r| r.cells.iter())
             .find(|c| c.holder.path() == Path::WaitSpin);
         assert!(spin_cell.is_none() || spin_cell.unwrap().holder.path() == Path::WaitSpin);
+        assert_eq!(m.check_conservation(), (0, 0));
+    }
+
+    #[test]
+    fn vci_loads_split_shards_and_score_imbalance() {
+        // Shard 0 (lock 0) takes 3 passages, shard 1 (lock 1) takes 1:
+        // unbalanced, so Gini > 0; a perfectly split timeline scores 0.
+        let t = timeline(vec![
+            cs(1, 0, Path::Main, CsOp::Isend, 0, 0, 10),
+            cs(1, 0, Path::Main, CsOp::Isend, 10, 10, 20),
+            cs(1, 0, Path::Progress, CsOp::Progress, 20, 25, 30),
+            cs(2, 1, Path::Main, CsOp::Irecv, 0, 5, 15),
+        ]);
+        let (loads, g) = vci_loads(&t);
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].vci, 0);
+        assert_eq!(loads[0].acquisitions, 3);
+        assert_eq!(loads[0].hold_ns, 10 + 10 + 5);
+        assert_eq!(loads[0].starvation.progress_spans, 1);
+        assert_eq!(loads[1].vci, 1);
+        assert_eq!(loads[1].acquisitions, 1);
+        assert_eq!(loads[1].wait_ns, 5);
+        assert!(g > 0.0, "3-vs-1 split must register as imbalance");
+
+        let even = timeline(vec![
+            cs(1, 0, Path::Main, CsOp::Isend, 0, 0, 10),
+            cs(2, 1, Path::Main, CsOp::Irecv, 0, 0, 10),
+        ]);
+        let (_, g_even) = vci_loads(&even);
+        assert_eq!(g_even, 0.0);
+    }
+
+    #[test]
+    fn blame_distinguishes_shards_of_one_thread() {
+        // The same thread holds two different shards; a waiter blocked
+        // behind each must see two distinct holder columns.
+        let t = timeline(vec![
+            cs(1, 0, Path::Main, CsOp::Isend, 0, 0, 50),
+            cs(1, 1, Path::Main, CsOp::Isend, 0, 0, 50),
+            cs(2, 0, Path::Main, CsOp::Irecv, 10, 50, 60),
+            cs(3, 1, Path::Main, CsOp::Irecv, 10, 50, 60),
+        ]);
+        let m = BlameMatrix::from_timeline(&t);
+        let holders: std::collections::BTreeSet<HolderKey> = m
+            .rows
+            .iter()
+            .flat_map(|r| r.cells.iter().map(|c| c.holder))
+            .collect();
+        let vcis: Vec<u32> = holders.iter().map(|h| h.vci).collect();
+        assert_eq!(vcis, vec![0, 1], "per-shard holds must not collapse");
         assert_eq!(m.check_conservation(), (0, 0));
     }
 

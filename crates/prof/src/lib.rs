@@ -36,7 +36,9 @@ pub mod report;
 pub mod top;
 pub mod window;
 
-pub use blame::{BlameCell, BlameMatrix, BlameRow, HolderKey, Starvation, ThreadShare};
+pub use blame::{
+    vci_loads, BlameCell, BlameMatrix, BlameRow, HolderKey, Starvation, ThreadShare, VciLoad,
+};
 pub use decomp::LatencyDecomp;
 pub use diff::{bench_diff, DiffOptions, DiffReport};
 pub use json::Json;

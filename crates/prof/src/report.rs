@@ -334,6 +334,7 @@ mod tests {
                 kind: "mutex",
                 path,
                 op,
+                vci: 0,
                 t_req,
                 t_acq,
             },

@@ -109,6 +109,7 @@ mod tests {
                         kind: "mutex",
                         path: Path::Main,
                         op: CsOp::Isend,
+                        vci: 0,
                         t_req: 0,
                         t_acq: 10,
                     },
@@ -123,6 +124,7 @@ mod tests {
                         kind: "mutex",
                         path: Path::Progress,
                         op: CsOp::Progress,
+                        vci: 0,
                         t_req: 50,
                         t_acq: 100,
                     },

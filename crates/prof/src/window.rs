@@ -138,6 +138,7 @@ mod tests {
                 kind: "mutex",
                 path: Path::Main,
                 op: CsOp::Isend,
+                vci: 0,
                 t_req,
                 t_acq,
             },

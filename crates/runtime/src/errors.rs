@@ -19,6 +19,9 @@ pub enum BuildError {
     /// RMA use was declared (`expect_rma`) but no window memory was
     /// configured — every one-sided operation would fault at the target.
     ZeroWindowWithRma,
+    /// `vci_count(0)` (or a zero-count [`mtmpi_vci::VciMap`]): every
+    /// rank needs at least one virtual communication interface.
+    ZeroVcis,
 }
 
 impl std::fmt::Display for BuildError {
@@ -33,6 +36,11 @@ impl std::fmt::Display for BuildError {
                 f,
                 "RMA use declared (expect_rma) but window_bytes is 0; \
                  give every rank a window with WorldBuilder::window_bytes"
+            ),
+            BuildError::ZeroVcis => write!(
+                f,
+                "vci_count is 0: every rank needs at least one virtual \
+                 communication interface (1 = the unsharded global CS)"
             ),
         }
     }

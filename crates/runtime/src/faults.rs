@@ -34,20 +34,25 @@ use crate::state::{PendingPkt, SharedState};
 use crate::world::WorldInner;
 use mtmpi_obs::EventKind;
 
-/// Send one sequenced data packet from `rank` to `dst`, allocating its
-/// sequence number. Caller must hold `rank`'s queue lock.
+/// Send one sequenced data packet from shard `vci` of `rank` to the same
+/// shard of `dst`, allocating its sequence number. Caller must hold that
+/// shard's queue lock. Peer shards pair up: the VCI map is a pure
+/// function of the message envelope, so sender and receiver resolve the
+/// same shard index, and each (vci, src, dst) triple has its own private
+/// sequence space.
 pub(crate) fn send_data(
     w: &WorldInner,
     st: &mut SharedState,
     rank: u32,
+    vci: u32,
     dst: u32,
     bytes: u64,
     kind: PacketKind,
 ) {
     let seq = st.send_seq[dst as usize];
     st.send_seq[dst as usize] += 1;
-    let src_ep = w.procs[rank as usize].endpoint;
-    let dst_ep = w.procs[dst as usize].endpoint;
+    let src_ep = w.shard(rank, vci).endpoint;
+    let dst_ep = w.shard(dst, vci).endpoint;
     if st.faults.is_none() {
         // Fault-free fast path: identical to the pre-fault runtime.
         w.platform.net_send(
@@ -109,10 +114,10 @@ pub(crate) fn send_data(
 /// Send a standalone cumulative ack to `dst` (fault runs only). Acks are
 /// the recovery channel: they skip fault injection and the retransmit
 /// queue. Caller must hold `rank`'s queue lock.
-pub(crate) fn send_ack(w: &WorldInner, st: &mut SharedState, rank: u32, dst: u32) {
+pub(crate) fn send_ack(w: &WorldInner, st: &mut SharedState, rank: u32, vci: u32, dst: u32) {
     debug_assert!(st.faults.is_some(), "acks only exist on fault runs");
-    let src_ep = w.procs[rank as usize].endpoint;
-    let dst_ep = w.procs[dst as usize].endpoint;
+    let src_ep = w.shard(rank, vci).endpoint;
+    let dst_ep = w.shard(dst, vci).endpoint;
     w.platform.net_send(
         src_ep,
         dst_ep,
@@ -146,7 +151,7 @@ pub(crate) fn process_ack(st: &mut SharedState, src: u32, ack: u64) {
 /// Re-send every expired pending transmission; escalate exhausted ones to
 /// a sticky [`MpiError::PeerUnreachable`]. Caller must hold `rank`'s
 /// queue lock.
-pub(crate) fn pump_retransmits(w: &WorldInner, st: &mut SharedState, rank: u32) {
+pub(crate) fn pump_retransmits(w: &WorldInner, st: &mut SharedState, rank: u32, vci: u32) {
     let Some(fs) = st.faults.as_mut() else { return };
     if fs.pending.is_empty() {
         return;
@@ -184,8 +189,8 @@ pub(crate) fn pump_retransmits(w: &WorldInner, st: &mut SharedState, rank: u32) 
         // dropped, duplicated, or delayed again.
         let count = fs.send_count[dst as usize];
         fs.send_count[dst as usize] += 1;
-        let src_ep = w.procs[rank as usize].endpoint;
-        let dst_ep = w.procs[dst as usize].endpoint;
+        let src_ep = w.shard(rank, vci).endpoint;
+        let dst_ep = w.shard(dst, vci).endpoint;
         let d = plan.decide(src_ep, dst_ep, count);
         w.rec_now(|| EventKind::Retransmit {
             rank,

@@ -81,6 +81,9 @@ pub use request::{Request, TestOutcome};
 pub use stats::RankStats;
 pub use types::{CommId, Msg, MsgData, Tag, ANY_SOURCE, ANY_TAG};
 pub use world::{RankHandle, World, WorldBuilder};
+// Re-exported so builder callers can configure sharding without naming
+// the vci crate.
+pub use mtmpi_vci::{VciKey, VciMap};
 
 /// One-stop imports for programs built on the runtime.
 ///
@@ -94,7 +97,7 @@ pub use world::{RankHandle, World, WorldBuilder};
 pub mod prelude {
     pub use crate::{
         BuildError, CommId, Granularity, MpiError, Msg, MsgData, RankHandle, RankStats, Request,
-        RuntimeCosts, Tag, TestOutcome, World, WorldBuilder, ANY_SOURCE, ANY_TAG,
+        RuntimeCosts, Tag, TestOutcome, VciKey, VciMap, World, WorldBuilder, ANY_SOURCE, ANY_TAG,
     };
     pub use mtmpi_locks::PathClass;
     pub use mtmpi_net::{FaultPlan, NetModel};

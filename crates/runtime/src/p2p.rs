@@ -1,4 +1,20 @@
 //! Two-sided point-to-point operations.
+//!
+//! With VCI sharding, every fully-addressed operation (send, or receive
+//! with known source and — when the map buckets tags — known tag) is
+//! routed to exactly one shard by the world's [`mtmpi_vci::VciMap`] and
+//! runs the classic single-CS protocol against that shard. Wildcard
+//! receives that no single shard can serve become *multi* (fan-out)
+//! requests: one posted entry per shard, cross-shard exactly-once
+//! completion via the request's claim token, and lock-free owner-side
+//! completion pickup (see [`crate::request::ReqInner`]).
+//!
+//! Ordering note: MPI per-source non-overtaking is preserved whenever a
+//! source's matchable message stream maps to one shard — always true for
+//! the default hash map (its key ignores tags), and true under tag-based
+//! maps when the receive names the tag. A wildcard-tag receive under a
+//! tag-spreading map observes only per-shard ordering; that relaxation is
+//! inherent to VCI designs and documented in DESIGN.md §12.
 
 use crate::errors::MpiError;
 use crate::packet::PacketKind;
@@ -9,16 +25,18 @@ use crate::types::{CommId, Msg, MsgData, Tag};
 use crate::world::{RankHandle, WorldInner};
 use mtmpi_locks::PathClass;
 use mtmpi_obs::{CsOp, EventKind, Path, ReqPhase};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Try to free `req`: on success, charge the free cost and maintain the
 /// dangling count, the life-cycle ledger, and the event stream.
+/// Single-shard requests only.
 ///
 /// # Safety
 ///
-/// The caller must hold `rank`'s queue lock (i.e. run inside
-/// [`WorldInner::cs`]), which serializes both the request state and the
-/// shared state.
+/// The caller must hold the queue lock of `req`'s home shard (i.e. run
+/// inside [`WorldInner::cs`] on that shard), which serializes both the
+/// request state and the shared state.
 unsafe fn try_free_in_cs(
     w: &WorldInner,
     st: &mut SharedState,
@@ -33,6 +51,7 @@ unsafe fn try_free_in_cs(
         st.ledger.note_freed();
         w.rec_now(|| EventKind::Req {
             rank,
+            vci: req.inner.vci,
             phase: ReqPhase::Free,
         });
     }
@@ -42,11 +61,12 @@ unsafe fn try_free_in_cs(
 /// Cancel `req` if it is still active (timeout/fault escalation):
 /// withdraw it from the posted queue and balance the ledger so the
 /// World-drop leak check stays quiescent. No-op if the request already
-/// completed (the caller should free it normally instead).
+/// completed (the caller should free it normally instead). Single-shard
+/// requests only.
 ///
 /// # Safety
 ///
-/// The caller must hold `rank`'s queue lock.
+/// The caller must hold the queue lock of `req`'s home shard.
 unsafe fn cancel_in_cs(w: &WorldInner, st: &mut SharedState, _rank: u32, req: &Request) {
     // SAFETY: queue lock held (this function's contract).
     if unsafe { req.inner.cancel() } {
@@ -62,11 +82,78 @@ unsafe fn cancel_in_cs(w: &WorldInner, st: &mut SharedState, _rank: u32, req: &R
     }
 }
 
+/// Owner-side completion pickup for a fan-out request: if the winning
+/// matcher has published, take the message, charge the free cost, settle
+/// the wildcard ledger, and retract the remaining per-shard posted
+/// entries. Lock-free when the request is not ready.
+fn free_multi(w: &WorldInner, rank: u32, req: &Request) -> Option<Msg> {
+    let m = req.inner.try_free_multi()?;
+    w.platform.compute(w.costs.free_ns);
+    w.procs[rank as usize].wild.note_freed();
+    w.rec_now(|| EventKind::Req {
+        rank,
+        vci: req.inner.vci,
+        phase: ReqPhase::Free,
+    });
+    retract_multi(w, rank, &req.inner);
+    Some(m)
+}
+
+/// Remove a fan-out request's posted entries from every shard (one CS
+/// passage per shard, ascending). Progress-engine scans also retire
+/// stale entries lazily; this sweep is the definitive cleanup at
+/// free/cancel time so no shard keeps a dead `Arc` alive.
+fn retract_multi(w: &WorldInner, rank: u32, req: &Arc<ReqInner>) {
+    for v in 0..w.vci_n() {
+        w.cs_on(
+            rank,
+            v,
+            PathClass::Progress,
+            Path::WaitSpin,
+            CsOp::Wait,
+            |st| {
+                if let Some(i) = st.posted.iter().position(|pr| Arc::ptr_eq(&pr.req, req)) {
+                    st.posted.remove(i);
+                }
+            },
+        );
+    }
+}
+
+/// Cancel a fan-out request (timeout/fault escalation). If a matcher
+/// already won the completion claim, the message wins the race: spin
+/// until its publication lands and return it.
+fn cancel_multi(w: &WorldInner, rank: u32, req: &Request) -> Option<Msg> {
+    if req.inner.claim_cancel() {
+        w.platform.compute(w.costs.free_ns);
+        w.procs[rank as usize].wild.note_cancelled();
+        retract_multi(w, rank, &req.inner);
+        return None;
+    }
+    // A matcher claimed first; its `multi_complete` is imminent.
+    loop {
+        if let Some(m) = free_multi(w, rank, req) {
+            return Some(m);
+        }
+        w.platform.compute(w.costs.poll_gap_ns);
+    }
+}
+
 /// One iteration of a blocking wait loop, seen from inside the CS.
 enum WaitStep {
     Done(Msg),
     Fail(MpiError),
     Pending,
+}
+
+/// Outcome of one shard passage of the fan-out receive pass.
+enum MultiPass {
+    /// Another thread completed the request concurrently; stop posting.
+    Claimed,
+    /// This passage claimed and consumed a buffered unexpected match.
+    Matched,
+    /// No match here; a posted entry was left on this shard.
+    Posted,
 }
 
 impl RankHandle {
@@ -92,7 +179,9 @@ impl RankHandle {
         let bytes = data.len() + costs.header_bytes;
         let src_rank = self.rank;
         let tid = w.platform.current_tid();
-        let inner = w.cs(self.rank, PathClass::Main, CsOp::Isend, |st| {
+        // Sends are always fully addressed: route to one shard.
+        let vci = w.vci_for(comm, src_rank, dst, tag);
+        let inner = w.cs(self.rank, vci, PathClass::Main, CsOp::Isend, |st| {
             if !w.granularity.alloc_outside_cs() {
                 w.platform.compute(costs.alloc_ns);
             }
@@ -101,6 +190,7 @@ impl RankHandle {
                 w,
                 st,
                 src_rank,
+                vci,
                 dst,
                 bytes,
                 PacketKind::Msg {
@@ -115,16 +205,19 @@ impl RankHandle {
             st.ledger.note_completed();
             w.rec_now(|| EventKind::Req {
                 rank: src_rank,
+                vci,
                 phase: ReqPhase::Issue,
             });
             w.rec_now(|| EventKind::Req {
                 rank: src_rank,
+                vci,
                 phase: ReqPhase::Complete,
             });
             ReqInner::new_completed(
                 src_rank,
                 tid,
                 ReqKind::Send,
+                vci,
                 Msg {
                     src: src_rank,
                     tag,
@@ -140,7 +233,9 @@ impl RankHandle {
         self.irecv_on(CommId::WORLD, src, tag)
     }
 
-    /// Nonblocking receive on a communicator.
+    /// Nonblocking receive on a communicator. A receive the VCI map can
+    /// pin to one shard runs the classic protocol; otherwise it fans out
+    /// to every shard (see the module docs).
     pub fn irecv_on(&self, comm: CommId, src: Option<u32>, tag: Option<Tag>) -> Request {
         let w = &self.world;
         if let Some(s) = src {
@@ -152,8 +247,11 @@ impl RankHandle {
             w.platform.compute(costs.alloc_ns + 2 * costs.atomic_ns);
         }
         let rank = self.rank;
+        let Some(vci) = w.vci_map.select_recv(comm.0, src, rank, tag) else {
+            return self.irecv_multi(comm, src, tag);
+        };
         let tid = w.platform.current_tid();
-        let inner = w.cs(rank, PathClass::Main, CsOp::Irecv, |st| {
+        let inner = w.cs(rank, vci, PathClass::Main, CsOp::Irecv, |st| {
             if !w.granularity.alloc_outside_cs() {
                 w.platform.compute(costs.alloc_ns);
             }
@@ -167,6 +265,7 @@ impl RankHandle {
             w.platform.compute(scanned * costs.match_scan_ns);
             w.rec_now(|| EventKind::Req {
                 rank,
+                vci,
                 phase: ReqPhase::Issue,
             });
             match pos {
@@ -185,12 +284,14 @@ impl RankHandle {
                     st.ledger.note_completed();
                     w.rec_now(|| EventKind::Req {
                         rank,
+                        vci,
                         phase: ReqPhase::Complete,
                     });
                     ReqInner::new_completed(
                         rank,
                         tid,
                         ReqKind::Recv,
+                        vci,
                         Msg {
                             src: u.src,
                             tag: u.tag,
@@ -200,11 +301,12 @@ impl RankHandle {
                 }
                 None => {
                     w.platform.compute(costs.enqueue_ns);
-                    let req = ReqInner::new(rank, tid, ReqKind::Recv);
+                    let req = ReqInner::new(rank, tid, ReqKind::Recv, vci);
                     st.ledger.note_issued();
                     st.ledger.note_posted();
                     w.rec_now(|| EventKind::Req {
                         rank,
+                        vci,
                         phase: ReqPhase::Post,
                     });
                     st.posted.push_back(crate::state::PostedRecv {
@@ -221,6 +323,95 @@ impl RankHandle {
         Request { inner }
     }
 
+    /// Fan-out wildcard receive: visit every shard in ascending order,
+    /// atomically (per shard) scanning that shard's unexpected queue and
+    /// posting a fan-out entry on a miss. Scan-then-post within one CS
+    /// passage keeps per-shard arrival order intact — a message buffered
+    /// before the pass can never be overtaken by a later arrival that
+    /// matches the posted entry on the same shard.
+    fn irecv_multi(&self, comm: CommId, src: Option<u32>, tag: Option<Tag>) -> Request {
+        let w = &self.world;
+        let costs = w.costs;
+        let rank = self.rank;
+        let tid = w.platform.current_tid();
+        let req = ReqInner::new_multi(rank, tid, 0);
+        let wild = &w.procs[rank as usize].wild;
+        wild.note_issued();
+        w.rec_now(|| EventKind::Req {
+            rank,
+            vci: req.vci,
+            phase: ReqPhase::Issue,
+        });
+        let mut posted_any = false;
+        for v in 0..w.vci_n() {
+            let pass = w.cs(rank, v, PathClass::Main, CsOp::Irecv, |st| {
+                if v == 0 && !w.granularity.alloc_outside_cs() {
+                    w.platform.compute(costs.alloc_ns);
+                }
+                if req.is_claimed() {
+                    // A message already matched a fan-out entry posted on
+                    // an earlier shard; the progress engine completed us.
+                    return MultiPass::Claimed;
+                }
+                let mut scanned = 0u64;
+                let pos = st.unexpected.iter().position(|u| {
+                    scanned += 1;
+                    matches(src, tag, comm, u.src, u.tag, u.comm)
+                });
+                w.platform.compute(scanned * costs.match_scan_ns);
+                if let Some(i) = pos {
+                    if !req.claim_complete() {
+                        // Lost the race between the scan and the claim.
+                        return MultiPass::Claimed;
+                    }
+                    let u = st.unexpected.remove(i).expect("index valid");
+                    w.platform
+                        .compute(costs.complete_ns + costs.unexpected_copy_ns(u.data.len()));
+                    st.msg_latency_ns
+                        .record(w.platform.now_ns().saturating_sub(u.sent_ns));
+                    // SAFETY: we won the completion claim just above.
+                    unsafe {
+                        req.multi_complete(Msg {
+                            src: u.src,
+                            tag: u.tag,
+                            data: u.data,
+                        });
+                    }
+                    w.procs[rank as usize].wild.note_completed();
+                    w.rec_now(|| EventKind::Req {
+                        rank,
+                        vci: v,
+                        phase: ReqPhase::Complete,
+                    });
+                    MultiPass::Matched
+                } else {
+                    w.platform.compute(costs.enqueue_ns);
+                    st.posted.push_back(crate::state::PostedRecv {
+                        req: req.clone(),
+                        src,
+                        tag,
+                        comm,
+                    });
+                    st.note_depths();
+                    MultiPass::Posted
+                }
+            });
+            match pass {
+                MultiPass::Posted => posted_any = true,
+                MultiPass::Matched | MultiPass::Claimed => break,
+            }
+        }
+        if posted_any {
+            wild.note_posted();
+            w.rec_now(|| EventKind::Req {
+                rank,
+                vci: req.vci,
+                phase: ReqPhase::Post,
+            });
+        }
+        Request { inner: req }
+    }
+
     /// Nonblocking completion test (`MPI_Test`). One critical-section
     /// entry; runs a single progress poll if the request is still
     /// pending. Stays on the high-priority main path (§6.2.1: with
@@ -234,18 +425,33 @@ impl RankHandle {
         let rank = self.rank;
         let costs = w.costs;
         w.platform.compute(costs.call_overhead_ns);
+        if req.inner.multi {
+            // Fan-out request: lock-free check, one progress pass over
+            // every shard on a miss, final check.
+            if let Some(m) = free_multi(w, rank, &req) {
+                return TestOutcome::Done(m);
+            }
+            for v in 0..w.vci_n() {
+                let _ = progress_once(w, rank, v, PathClass::Main, Path::Main);
+                if let Some(m) = free_multi(w, rank, &req) {
+                    return TestOutcome::Done(m);
+                }
+            }
+            return TestOutcome::Pending(req);
+        }
+        let vci = req.inner.vci;
         if w.granularity.split_progress_lock() {
             // Fine-grained: check under the queue lock; if pending, run a
             // separate progress iteration and re-check.
-            let first = w.cs(rank, PathClass::Main, CsOp::Test, |st| {
+            let first = w.cs(rank, vci, PathClass::Main, CsOp::Test, |st| {
                 // SAFETY: queue lock held.
                 unsafe { try_free_in_cs(w, st, rank, &req) }
             });
             if let Some(m) = first {
                 return TestOutcome::Done(m);
             }
-            progress_once(w, rank, PathClass::Main, Path::Main);
-            let second = w.cs(rank, PathClass::Main, CsOp::Test, |st| {
+            let _ = progress_once(w, rank, vci, PathClass::Main, Path::Main);
+            let second = w.cs(rank, vci, PathClass::Main, CsOp::Test, |st| {
                 // SAFETY: queue lock held.
                 unsafe { try_free_in_cs(w, st, rank, &req) }
             });
@@ -255,13 +461,13 @@ impl RankHandle {
             };
         }
         // Global / brief-global: single CS covering check + poll + check.
-        let out = w.cs(rank, PathClass::Main, CsOp::Test, |st| {
+        let out = w.cs(rank, vci, PathClass::Main, CsOp::Test, |st| {
             // SAFETY: queue lock held.
             if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
                 return Some(m);
             }
-            let pkts = poll(w, rank, PathClass::Main, Path::Main);
-            deliver(w, rank, st, pkts);
+            let pkts = poll(w, rank, vci, PathClass::Main, Path::Main);
+            deliver(w, rank, vci, st, pkts);
             // SAFETY: queue lock held.
             unsafe { try_free_in_cs(w, st, rank, &req) }
         });
@@ -291,27 +497,32 @@ impl RankHandle {
         let rank = self.rank;
         let costs = w.costs;
         w.platform.compute(costs.call_overhead_ns);
+        if req.inner.multi {
+            return self.try_wait_multi(&req);
+        }
+        let vci = req.inner.vci;
         let mut class = PathClass::Main;
         let start = w.platform.now_ns();
+        let mut spins = 0u32;
         loop {
             let opath = wait_path(class);
             let step = if w.granularity.split_progress_lock() {
-                let s = w.cs_on(rank, class, opath, CsOp::Wait, |st| {
+                let s = w.cs_on(rank, vci, class, opath, CsOp::Wait, |st| {
                     // SAFETY: queue lock held.
                     wait_step(w, st, rank, &req)
                 });
                 if matches!(s, WaitStep::Pending) {
-                    progress_once(w, rank, class, opath);
+                    let _ = progress_once(w, rank, vci, class, opath);
                 }
                 s
             } else {
-                w.cs_on(rank, class, opath, CsOp::Wait, |st| {
+                w.cs_on(rank, vci, class, opath, CsOp::Wait, |st| {
                     // SAFETY: queue lock held.
                     if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
                         return WaitStep::Done(m);
                     }
-                    let pkts = poll(w, rank, class, opath);
-                    deliver(w, rank, st, pkts);
+                    let pkts = poll(w, rank, vci, class, opath);
+                    deliver(w, rank, vci, st, pkts);
                     wait_step(w, st, rank, &req)
                 })
             };
@@ -321,11 +532,26 @@ impl RankHandle {
                 WaitStep::Pending => {}
             }
             class = PathClass::Progress;
+            // Work stealing: a spinner parked on one shard occasionally
+            // progresses the most-starved *other* shard, so a shard whose
+            // owner threads are all blocked elsewhere still advances.
+            // Never runs unsharded (vci_n() == 1 ⇒ no candidates).
+            spins += 1;
+            if spins.is_multiple_of(4) && w.vci_n() > 1 {
+                let snap: Vec<u64> = w.procs[rank as usize]
+                    .shards
+                    .iter()
+                    .map(|s| s.last_poll_ns.load(Ordering::Relaxed))
+                    .collect();
+                if let Some(victim) = mtmpi_vci::pick_starved(&snap, vci) {
+                    let _ = progress_once(w, rank, victim, PathClass::Progress, Path::WaitSpin);
+                }
+            }
             w.platform.compute(costs.poll_gap_ns);
             if let Some(waited_ns) = self.liveness_exceeded(start) {
                 // Final check-and-cancel in one CS passage: the request
                 // may have completed since the last poll.
-                let last = w.cs_on(rank, class, Path::WaitSpin, CsOp::Wait, |st| {
+                let last = w.cs_on(rank, vci, class, Path::WaitSpin, CsOp::Wait, |st| {
                     // SAFETY: queue lock held.
                     if let Some(m) = unsafe { try_free_in_cs(w, st, rank, &req) } {
                         return Some(m);
@@ -335,6 +561,51 @@ impl RankHandle {
                     None
                 });
                 return match last {
+                    Some(m) => Ok(m),
+                    None => Err(MpiError::Timeout {
+                        rank,
+                        what: "wait",
+                        waited_ns,
+                    }),
+                };
+            }
+        }
+    }
+
+    /// Blocking wait for a fan-out wildcard request: progress every shard
+    /// round-robin (each pass pumps that shard's retransmit queue too),
+    /// picking up the completion lock-free as soon as any shard's matcher
+    /// publishes it.
+    fn try_wait_multi(&self, req: &Request) -> Result<Msg, MpiError> {
+        let w = &self.world;
+        let rank = self.rank;
+        let costs = w.costs;
+        let mut class = PathClass::Main;
+        let start = w.platform.now_ns();
+        loop {
+            if let Some(m) = free_multi(w, rank, req) {
+                return Ok(m);
+            }
+            let opath = wait_path(class);
+            let mut fault: Option<MpiError> = None;
+            for v in 0..w.vci_n() {
+                if let Some(e) = progress_once(w, rank, v, class, opath) {
+                    fault.get_or_insert(e);
+                }
+                if let Some(m) = free_multi(w, rank, req) {
+                    return Ok(m);
+                }
+            }
+            if let Some(e) = fault {
+                return match cancel_multi(w, rank, req) {
+                    Some(m) => Ok(m),
+                    None => Err(e),
+                };
+            }
+            class = PathClass::Progress;
+            w.platform.compute(costs.poll_gap_ns);
+            if let Some(waited_ns) = self.liveness_exceeded(start) {
+                return match cancel_multi(w, rank, req) {
                     Some(m) => Ok(m),
                     None => Err(MpiError::Timeout {
                         rank,
@@ -357,57 +628,100 @@ impl RankHandle {
     /// Wait for all requests, fallibly; returns their messages in order.
     /// On error, completed requests are freed and pending ones cancelled
     /// before returning, keeping the ledger quiescent.
+    ///
+    /// Sharded worlds sweep per shard: each iteration enters one CS per
+    /// *distinct pending VCI* (fan-out wildcards are checked lock-free),
+    /// so a waitall whose requests all live on one shard never touches
+    /// the others.
     pub fn try_waitall(&self, reqs: Vec<Request>) -> Result<Vec<Msg>, MpiError> {
         let w = &self.world;
         let rank = self.rank;
         let costs = w.costs;
         let n = reqs.len();
         let mut out: Vec<Option<Msg>> = (0..n).map(|_| None).collect();
-        let mut pending: Vec<(usize, Request)> = reqs.into_iter().enumerate().collect();
-        for (_, r) in &pending {
+        let mut singles: Vec<(usize, Request)> = Vec::new();
+        let mut multis: Vec<(usize, Request)> = Vec::new();
+        for (i, r) in reqs.into_iter().enumerate() {
             assert_eq!(
                 r.inner.owner_rank, rank,
                 "waitall on another rank's request"
             );
+            if r.inner.multi {
+                multis.push((i, r));
+            } else {
+                singles.push((i, r));
+            }
         }
         w.platform.compute(costs.call_overhead_ns);
         let mut class = PathClass::Main;
         let start = w.platform.now_ns();
-        while !pending.is_empty() {
+        while !singles.is_empty() || !multis.is_empty() {
             let opath = wait_path(class);
-            // One CS entry per iteration: sweep-free completed requests,
-            // then poll once if any remain (the batched progress of the
-            // throughput benchmark, Fig 3b bottom).
-            let fail = w.cs_on(rank, class, opath, CsOp::Waitall, |st| {
-                pending.retain(|(i, r)| {
-                    // SAFETY: queue lock held.
-                    match unsafe { try_free_in_cs(w, st, rank, r) } {
-                        Some(m) => {
-                            out[*i] = Some(m);
-                            false
-                        }
-                        None => true,
-                    }
-                });
-                if !pending.is_empty() && !w.granularity.split_progress_lock() {
-                    let pkts = poll(w, rank, class, opath);
-                    deliver(w, rank, st, pkts);
+            // Fan-out wildcards first: completion pickup is lock-free.
+            multis.retain(|(i, r)| match free_multi(w, rank, r) {
+                Some(m) => {
+                    out[*i] = Some(m);
+                    false
                 }
-                st.fault_error.clone()
+                None => true,
             });
+            // One CS entry per distinct pending shard: sweep-free that
+            // shard's completed requests, then poll it once if any remain
+            // (the batched progress of the throughput benchmark, Fig 3b
+            // bottom).
+            let mut vcis: Vec<u32> = singles.iter().map(|(_, r)| r.inner.vci).collect();
+            vcis.sort_unstable();
+            vcis.dedup();
+            let mut fail: Option<MpiError> = None;
+            for &v in &vcis {
+                let f = w.cs_on(rank, v, class, opath, CsOp::Waitall, |st| {
+                    singles.retain(|(i, r)| {
+                        if r.inner.vci != v {
+                            return true;
+                        }
+                        // SAFETY: queue lock held.
+                        match unsafe { try_free_in_cs(w, st, rank, r) } {
+                            Some(m) => {
+                                out[*i] = Some(m);
+                                false
+                            }
+                            None => true,
+                        }
+                    });
+                    if singles.iter().any(|(_, r)| r.inner.vci == v)
+                        && !w.granularity.split_progress_lock()
+                    {
+                        let pkts = poll(w, rank, v, class, opath);
+                        deliver(w, rank, v, st, pkts);
+                    }
+                    st.fault_error.clone()
+                });
+                fail = fail.or(f);
+            }
+            if singles.is_empty() && !multis.is_empty() && fail.is_none() {
+                // Only fan-out wildcards left: pump every shard so their
+                // matches (and retransmit queues) advance.
+                for v in 0..w.vci_n() {
+                    if let Some(e) = progress_once(w, rank, v, class, opath) {
+                        fail.get_or_insert(e);
+                    }
+                }
+            }
             if let Some(e) = fail {
-                self.abandon_all(rank, &mut pending, &mut out);
+                self.abandon_all(rank, &mut singles, &mut multis, &mut out);
                 return Err(e);
             }
-            if !pending.is_empty() {
+            if !singles.is_empty() || !multis.is_empty() {
                 if w.granularity.split_progress_lock() {
-                    progress_once(w, rank, class, opath);
+                    for &v in &vcis {
+                        let _ = progress_once(w, rank, v, class, opath);
+                    }
                 }
                 class = PathClass::Progress;
                 w.platform.compute(costs.poll_gap_ns);
                 if let Some(waited_ns) = self.liveness_exceeded(start) {
-                    self.abandon_all(rank, &mut pending, &mut out);
-                    if pending.is_empty() {
+                    self.abandon_all(rank, &mut singles, &mut multis, &mut out);
+                    if singles.is_empty() && multis.is_empty() {
                         break; // everything completed in the final sweep
                     }
                     return Err(MpiError::Timeout {
@@ -422,28 +736,50 @@ impl RankHandle {
     }
 
     /// Final sweep on the error path: free whatever completed, cancel the
-    /// rest. `pending` retains only requests that completed in this very
-    /// sweep (their messages land in `out`).
-    fn abandon_all(&self, rank: u32, pending: &mut Vec<(usize, Request)>, out: &mut [Option<Msg>]) {
+    /// rest. `singles`/`multis` retain only requests that completed in
+    /// this very sweep (their messages land in `out`).
+    fn abandon_all(
+        &self,
+        rank: u32,
+        singles: &mut Vec<(usize, Request)>,
+        multis: &mut Vec<(usize, Request)>,
+        out: &mut [Option<Msg>],
+    ) {
         let w = &self.world;
-        w.cs_on(
-            rank,
-            PathClass::Progress,
-            Path::WaitSpin,
-            CsOp::Waitall,
-            |st| {
-                pending.retain(|(i, r)| {
-                    // SAFETY: queue lock held.
-                    if let Some(m) = unsafe { try_free_in_cs(w, st, rank, r) } {
-                        out[*i] = Some(m);
-                        return false;
-                    }
-                    // SAFETY: queue lock held.
-                    unsafe { cancel_in_cs(w, st, rank, r) };
-                    true
-                });
-            },
-        );
+        let mut vcis: Vec<u32> = singles.iter().map(|(_, r)| r.inner.vci).collect();
+        vcis.sort_unstable();
+        vcis.dedup();
+        for v in vcis {
+            w.cs_on(
+                rank,
+                v,
+                PathClass::Progress,
+                Path::WaitSpin,
+                CsOp::Waitall,
+                |st| {
+                    singles.retain(|(i, r)| {
+                        if r.inner.vci != v {
+                            return true;
+                        }
+                        // SAFETY: queue lock held.
+                        if let Some(m) = unsafe { try_free_in_cs(w, st, rank, r) } {
+                            out[*i] = Some(m);
+                            return false;
+                        }
+                        // SAFETY: queue lock held.
+                        unsafe { cancel_in_cs(w, st, rank, r) };
+                        true
+                    });
+                },
+            );
+        }
+        multis.retain(|(i, r)| match cancel_multi(w, rank, r) {
+            Some(m) => {
+                out[*i] = Some(m);
+                false
+            }
+            None => true,
+        });
     }
 
     /// Wait for all requests; returns their messages in order

@@ -1,5 +1,12 @@
 //! The communication progress engine (paper Fig 6a's "progress loop").
+//!
+//! With VCI sharding, progress is per-shard: each VCI has its own
+//! endpoint, reorder buffers, match queues, and retransmit state, so one
+//! progress pass polls one shard under that shard's lock. The fan-out
+//! entries of multi-shard wildcard receives are resolved here via the
+//! request claim token (see [`crate::request::ReqInner`]).
 
+use crate::errors::MpiError;
 use crate::faults::{process_ack, pump_retransmits, send_ack};
 use crate::packet::{Packet, PacketKind, RmaOp};
 use crate::state::{matches, SeqPacket, SharedState, UnexMsg};
@@ -7,20 +14,30 @@ use crate::types::{Msg, MsgData};
 use crate::world::WorldInner;
 use mtmpi_locks::PathClass;
 use mtmpi_obs::{CsOp, EventKind, Path, ReqPhase};
+use std::sync::atomic::Ordering;
 
-/// Drain the platform mailbox for `rank`. Charges the poll cost. May be
-/// called with or without the queue lock held (it touches no shared
-/// state). `class` arbitrates nothing here; `opath` is the observability
-/// path stamped into the poll-batch event — usually `obs_path(class)`,
-/// but blocking waits spinning on the progress class report
-/// [`Path::WaitSpin`] instead (they are application threads, not the
-/// progress engine).
-pub(crate) fn poll(w: &WorldInner, rank: u32, _class: PathClass, opath: Path) -> Vec<Packet> {
-    let p = &w.procs[rank as usize];
+/// Drain the platform mailbox for one shard of `rank`. Charges the poll
+/// cost. May be called with or without the queue lock held (it touches no
+/// shared state). `class` arbitrates nothing here; `opath` is the
+/// observability path stamped into the poll-batch event — usually
+/// `obs_path(class)`, but blocking waits spinning on the progress class
+/// report [`Path::WaitSpin`] instead (they are application threads, not
+/// the progress engine).
+pub(crate) fn poll(
+    w: &WorldInner,
+    rank: u32,
+    vci: u32,
+    _class: PathClass,
+    opath: Path,
+) -> Vec<Packet> {
+    let sh = w.shard(rank, vci);
     w.platform.compute(w.costs.poll_base_ns);
+    // Starvation signal for work stealing (monitoring only).
+    sh.last_poll_ns
+        .store(w.platform.now_ns(), Ordering::Relaxed);
     let pkts: Vec<Packet> = w
         .platform
-        .net_poll(p.endpoint)
+        .net_poll(sh.endpoint)
         .into_iter()
         .map(|b| {
             *b.downcast::<Packet>()
@@ -29,17 +46,24 @@ pub(crate) fn poll(w: &WorldInner, rank: u32, _class: PathClass, opath: Path) ->
         .collect();
     w.rec_now(|| EventKind::PollBatch {
         rank,
+        vci,
         path: opath,
         packets: pkts.len() as u32,
     });
     pkts
 }
 
-/// Deliver polled packets into the matching engine. Caller must hold the
-/// queue lock (i.e. run inside `WorldInner::cs`). On fault runs this also
-/// processes acks, drops duplicates, acknowledges progress back to the
-/// senders, and pumps the retransmit queue.
-pub(crate) fn deliver(w: &WorldInner, rank: u32, st: &mut SharedState, pkts: Vec<Packet>) {
+/// Deliver polled packets into one shard's matching engine. Caller must
+/// hold that shard's queue lock (i.e. run inside `WorldInner::cs`). On
+/// fault runs this also processes acks, drops duplicates, acknowledges
+/// progress back to the senders, and pumps the retransmit queue.
+pub(crate) fn deliver(
+    w: &WorldInner,
+    rank: u32,
+    vci: u32,
+    st: &mut SharedState,
+    pkts: Vec<Packet>,
+) {
     if st.faults.is_none() {
         for pkt in pkts {
             let src = pkt.src as usize;
@@ -52,7 +76,7 @@ pub(crate) fn deliver(w: &WorldInner, rank: u32, st: &mut SharedState, pkts: Vec
             {
                 let sp = st.reorder[src].pop().expect("peeked");
                 st.recv_next_seq[src] += 1;
-                process_in_order(w, rank, st, sp.0);
+                process_in_order(w, rank, vci, st, sp.0);
             }
         }
         return;
@@ -96,19 +120,19 @@ pub(crate) fn deliver(w: &WorldInner, rank: u32, st: &mut SharedState, pkts: Vec
             }
             st.recv_next_seq[src] += 1;
             want_ack[src] = true;
-            process_in_order(w, rank, st, sp.0);
+            process_in_order(w, rank, vci, st, sp.0);
         }
     }
     for (src, wanted) in want_ack.iter().enumerate() {
         if *wanted && src != rank as usize {
-            send_ack(w, st, rank, src as u32);
+            send_ack(w, st, rank, vci, src as u32);
         }
     }
-    pump_retransmits(w, st, rank);
+    pump_retransmits(w, st, rank, vci);
 }
 
-/// Handle one in-order packet.
-fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet) {
+/// Handle one in-order packet on one shard.
+fn process_in_order(w: &WorldInner, rank: u32, vci: u32, st: &mut SharedState, pkt: Packet) {
     match pkt.kind {
         PacketKind::Msg {
             comm,
@@ -117,38 +141,70 @@ fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet
             sent_ns,
         } => {
             // Search the posted queue FIFO; charge per scanned entry.
+            // Multi-shard wildcard entries need the claim protocol: a
+            // stale (already-claimed) entry is lazily removed, a live one
+            // must win the CAS before it may consume the message — losing
+            // means another shard matched concurrently, so this shard's
+            // copy is retired and the scan continues.
             let mut scanned = 0u64;
-            let pos = st.posted.iter().position(|pr| {
+            let mut i = 0usize;
+            let mut winner: Option<crate::state::PostedRecv> = None;
+            while i < st.posted.len() {
+                let pr = &st.posted[i];
+                if pr.req.multi && pr.req.is_claimed() {
+                    st.posted.remove(i);
+                    continue;
+                }
                 scanned += 1;
-                matches(pr.src, pr.tag, pr.comm, pkt.src, tag, comm)
-            });
-            w.platform.compute(scanned * w.costs.match_scan_ns);
-            match pos {
-                Some(i) => {
-                    let pr = st.posted.remove(i).expect("index valid");
-                    w.platform.compute(w.costs.complete_ns);
-                    // SAFETY: queue lock held (caller contract).
-                    unsafe {
-                        pr.req.complete(Msg {
-                            src: pkt.src,
-                            tag,
-                            data,
-                        });
+                if matches(pr.src, pr.tag, pr.comm, pkt.src, tag, comm) {
+                    if pr.req.multi && !pr.req.claim_complete() {
+                        // Lost the cross-shard race after the match check.
+                        st.posted.remove(i);
+                        continue;
                     }
-                    st.dangling_now += 1;
-                    st.ledger.note_completed();
+                    winner = st.posted.remove(i);
+                    break;
+                }
+                i += 1;
+            }
+            w.platform.compute(scanned * w.costs.match_scan_ns);
+            match winner {
+                Some(pr) => {
+                    w.platform.compute(w.costs.complete_ns);
+                    let msg = Msg {
+                        src: pkt.src,
+                        tag,
+                        data,
+                    };
                     st.msg_latency_ns
                         .record(w.platform.now_ns().saturating_sub(sent_ns));
+                    if pr.req.multi {
+                        // Claimed above; publish via the multi hand-off.
+                        // Multi requests are accounted on the process-wide
+                        // wildcard ledger and deliberately excluded from
+                        // this shard's dangling sampler: "dangling" is a
+                        // per-CS-owner metric, and a fan-out request has
+                        // no single owning shard.
+                        // SAFETY: we won the completion claim.
+                        unsafe { pr.req.multi_complete(msg) };
+                        w.procs[rank as usize].wild.note_completed();
+                    } else {
+                        // SAFETY: queue lock held (caller contract).
+                        unsafe { pr.req.complete(msg) };
+                        st.dangling_now += 1;
+                        st.ledger.note_completed();
+                    }
                     w.rec_now(|| EventKind::Req {
                         rank,
+                        vci,
                         phase: ReqPhase::Complete,
                     });
                     if w.selective {
                         // Selective wake-up (§9 future work): the owner of
                         // the freshly completed request is the thread most
                         // likely to do useful work next.
-                        let p = &w.procs[rank as usize];
-                        w.platform.lock_boost(p.cs_queue, pr.req.owner_tid);
+                        let sh = w.shard(rank, vci);
+                        w.platform.lock_boost(sh.cs_queue, pr.req.owner_tid);
                     }
                 }
                 None => {
@@ -170,7 +226,7 @@ fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet
             data,
             token,
         } => {
-            apply_rma(w, rank, st, pkt.src, op, offset, data, token);
+            apply_rma(w, rank, vci, st, pkt.src, op, offset, data, token);
         }
         PacketKind::RmaAck { token, data } => {
             w.platform.compute(w.costs.complete_ns);
@@ -189,6 +245,7 @@ fn process_in_order(w: &WorldInner, rank: u32, st: &mut SharedState, pkt: Packet
 fn apply_rma(
     w: &WorldInner,
     rank: u32,
+    vci: u32,
     st: &mut SharedState,
     origin: u32,
     op: RmaOp,
@@ -258,23 +315,32 @@ fn apply_rma(
         w,
         st,
         rank,
+        vci,
         origin,
         reply_bytes,
         PacketKind::RmaAck { token, data: reply },
     );
 }
 
-/// One progress iteration from the given path class, honouring the
-/// granularity mode's locking. `opath` is the observability attribution
-/// (see [`poll`]).
-pub(crate) fn progress_once(w: &WorldInner, rank: u32, class: PathClass, opath: Path) {
+/// One progress iteration of one shard from the given path class,
+/// honouring the granularity mode's locking. `opath` is the observability
+/// attribution (see [`poll`]). Returns the shard's sticky escalated fault
+/// (if any) so multi-shard wait loops can surface errors from every shard
+/// they pump, not just their home shard.
+pub(crate) fn progress_once(
+    w: &WorldInner,
+    rank: u32,
+    vci: u32,
+    class: PathClass,
+    opath: Path,
+) -> Option<MpiError> {
     if w.granularity.split_progress_lock() {
         // The split progress lock is taken manually (no state access), so
         // its CS span is recorded here rather than in `WorldInner::cs`.
         let t_req = w.platform.now_ns();
-        let (lock, token) = w.progress_lock(rank, class);
+        let (lock, token) = w.progress_lock(rank, vci, class);
         let t_acq = w.platform.now_ns();
-        let pkts = poll(w, rank, class, opath);
+        let pkts = poll(w, rank, vci, class, opath);
         let t_rel = w.platform.now_ns();
         w.platform.lock_release(lock, class, token);
         w.rec_at(t_rel, || EventKind::CsSpan {
@@ -282,20 +348,25 @@ pub(crate) fn progress_once(w: &WorldInner, rank: u32, class: PathClass, opath: 
             kind: w.lock.label(),
             path: opath,
             op: CsOp::Progress,
+            vci,
             t_req,
             t_acq,
         });
         // On fault runs the queue CS is entered even with nothing polled:
         // the retransmit queue must be pumped for recovery to progress.
         if !pkts.is_empty() || w.faults_enabled {
-            w.cs_on(rank, class, opath, CsOp::Progress, |st| {
-                deliver(w, rank, st, pkts);
-            });
+            w.cs_on(rank, vci, class, opath, CsOp::Progress, |st| {
+                deliver(w, rank, vci, st, pkts);
+                st.fault_error.clone()
+            })
+        } else {
+            None
         }
     } else {
-        w.cs_on(rank, class, opath, CsOp::Progress, |st| {
-            let pkts = poll(w, rank, class, opath);
-            deliver(w, rank, st, pkts);
-        });
+        w.cs_on(rank, vci, class, opath, CsOp::Progress, |st| {
+            let pkts = poll(w, rank, vci, class, opath);
+            deliver(w, rank, vci, st, pkts);
+            st.fault_error.clone()
+        })
     }
 }

@@ -32,7 +32,9 @@ impl RankHandle {
             _ => data.len() + costs.header_bytes,
         };
         let rank = self.rank;
-        w.cs(rank, PathClass::Main, CsOp::Rma, |st| {
+        // RMA state (window memory, token space, acks) is pinned to
+        // VCI 0; one-sided traffic never shards.
+        w.cs(rank, 0, PathClass::Main, CsOp::Rma, |st| {
             w.platform.compute(costs.alloc_ns + costs.enqueue_ns);
             let token = st.rma_next_token;
             st.rma_next_token += 1;
@@ -40,6 +42,7 @@ impl RankHandle {
                 w,
                 st,
                 rank,
+                0,
                 target,
                 wire_bytes,
                 PacketKind::Rma {
@@ -66,14 +69,14 @@ impl RankHandle {
         let start = w.platform.now_ns();
         loop {
             let opath = wait_path(class);
-            let got = w.cs_on(rank, class, opath, CsOp::Rma, |st| {
+            let got = w.cs_on(rank, 0, class, opath, CsOp::Rma, |st| {
                 if let Some(d) = st.rma_acks.remove(&token) {
                     w.platform.compute(costs.free_ns);
                     return Ok(Some(d));
                 }
                 if !w.granularity.split_progress_lock() {
-                    let pkts = crate::progress::poll(w, rank, class, opath);
-                    crate::progress::deliver(w, rank, st, pkts);
+                    let pkts = crate::progress::poll(w, rank, 0, class, opath);
+                    crate::progress::deliver(w, rank, 0, st, pkts);
                     if let Some(d) = st.rma_acks.remove(&token) {
                         w.platform.compute(costs.free_ns);
                         return Ok(Some(d));
@@ -88,7 +91,7 @@ impl RankHandle {
                 return Ok(d);
             }
             if w.granularity.split_progress_lock() {
-                progress_once(w, rank, class, opath);
+                let _ = progress_once(w, rank, 0, class, opath);
             }
             class = PathClass::Progress;
             w.platform.compute(costs.poll_gap_ns);
@@ -178,8 +181,12 @@ impl RankHandle {
     pub fn progress_loop(&self, stop: &AtomicBool) {
         let w = &self.world;
         let mut class = PathClass::Main;
+        // Round-robin over the rank's shards (one per iteration); with a
+        // single VCI this is exactly the pre-VCI loop.
+        let mut rotor = mtmpi_vci::Rotor::new();
         while !stop.load(Ordering::Acquire) {
-            progress_once(w, self.rank, class, obs_path(class));
+            let vci = rotor.next(w.vci_n());
+            let _ = progress_once(w, self.rank, vci, class, obs_path(class));
             class = PathClass::Progress;
             w.platform.compute(w.costs.poll_gap_ns);
         }

@@ -1,30 +1,57 @@
 //! World construction and the critical-section discipline.
+//!
+//! Since the VCI work, a process is a pool of *shards* (virtual
+//! communication interfaces): each shard owns its own endpoint, its own
+//! critical-section lock(s), and its own [`SharedState`] (match queues,
+//! sequence/ack space, retransmit queue, histograms). With one VCI —
+//! the default — the layout, platform-call order, and code paths are
+//! exactly the pre-VCI runtime's, so unsharded runs stay byte-identical.
 
 use crate::costs::RuntimeCosts;
 use crate::errors::BuildError;
 use crate::granularity::Granularity;
 use crate::state::SharedState;
 use crate::stats::RankStats;
+use mtmpi_check::SharedLedger;
 use mtmpi_locks::{CsToken, PathClass};
 use mtmpi_net::FaultPlan;
 use mtmpi_obs::{CsOp, Event, EventKind, Recorder};
 use mtmpi_sim::{LockId, LockKind, Platform};
+use mtmpi_vci::{VciMap, VciPool};
 use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
-/// One MPI process.
-pub(crate) struct Process {
+/// One virtual communication interface of one MPI process: an
+/// independent slice of the runtime with its own critical section.
+pub(crate) struct Shard {
     pub(crate) endpoint: usize,
     pub(crate) cs_queue: LockId,
     pub(crate) cs_progress: LockId,
+    /// Platform clock at this shard's last mailbox poll — the
+    /// work-stealing starvation signal. Monitoring only (plain
+    /// store/load, never a synchronization hand-off).
+    pub(crate) last_poll_ns: AtomicU64,
     state: UnsafeCell<SharedState>,
 }
 
-// SAFETY: `state` is only accessed through `WorldInner::cs`, which holds
-// the process's queue lock, or through the post-run diagnostics methods.
+/// One MPI process: its shards plus the cross-shard accounting that no
+/// single shard lock could guard.
+pub(crate) struct Process {
+    pub(crate) shards: VciPool<Shard>,
+    /// Life-cycle ledger for *multi-shard* wildcard receives (requests
+    /// fanned out to every shard). Their transitions happen under
+    /// varying shard locks — or none — so the counters are atomic.
+    pub(crate) wild: SharedLedger,
+}
+
+// SAFETY: each shard's `state` is only accessed through
+// `WorldInner::cs_on`, which holds that shard's queue lock, or through
+// the post-run diagnostics methods. `wild` and `last_poll_ns` are
+// atomic.
 unsafe impl Send for Process {}
-// SAFETY: same contract as Send — the queue lock serializes all shared
-// access to `state`.
+// SAFETY: same contract as Send — the per-shard queue lock serializes
+// all shared access to that shard's `state`.
 unsafe impl Sync for Process {}
 
 /// Map a lock path class onto the obs event model's path enum (the two
@@ -46,6 +73,8 @@ pub(crate) struct WorldInner {
     pub(crate) selective: bool,
     /// Arbitration of the CS locks (stamped into CS span events).
     pub(crate) lock: LockKind,
+    /// Envelope → VCI routing (count 1 = the unsharded global CS).
+    pub(crate) vci_map: VciMap,
     /// Structured-event sink; `None` costs one branch per record site.
     pub(crate) recorder: Option<Arc<dyn Recorder>>,
     /// Whether an active fault plan was installed (mirrors
@@ -88,25 +117,45 @@ impl WorldInner {
         }
     }
 
-    /// Run `f` with the process state under the queue lock, charging the
-    /// acquisition and feeding the dangling sampler (the §4.4 sampling
-    /// interval is "successive lock acquisitions"). Wait and hold times
-    /// go to the always-on per-rank histograms; reading the clock never
-    /// advances virtual time, so this does not perturb results. `op`
-    /// names the runtime operation this passage serves — it is stamped
-    /// into the CS span event so the prof layer can attribute blocked
-    /// time to what the holder was doing. The observability path is
-    /// derived from `class`; blocking waits spinning on the progress
-    /// class use [`Self::cs_on`] to report [`mtmpi_obs::Path::WaitSpin`]
-    /// instead.
+    /// Number of VCIs per rank.
+    #[inline]
+    pub(crate) fn vci_n(&self) -> u32 {
+        self.vci_map.count()
+    }
+
+    /// One shard of one rank.
+    #[inline]
+    pub(crate) fn shard(&self, rank: u32, vci: u32) -> &Shard {
+        &self.procs[rank as usize].shards[vci]
+    }
+
+    /// Route a fully known envelope (send side, or a selective receive)
+    /// to its VCI.
+    #[inline]
+    pub(crate) fn vci_for(&self, comm: crate::types::CommId, src: u32, dst: u32, tag: i32) -> u32 {
+        self.vci_map.select_for(comm.0, src, dst, tag)
+    }
+
+    /// Run `f` with the shard state under that shard's queue lock,
+    /// charging the acquisition and feeding the dangling sampler (the
+    /// §4.4 sampling interval is "successive lock acquisitions"). Wait
+    /// and hold times go to the always-on per-shard histograms; reading
+    /// the clock never advances virtual time, so this does not perturb
+    /// results. `op` names the runtime operation this passage serves —
+    /// it is stamped into the CS span event so the prof layer can
+    /// attribute blocked time to what the holder was doing. The
+    /// observability path is derived from `class`; blocking waits
+    /// spinning on the progress class use [`Self::cs_on`] to report
+    /// [`mtmpi_obs::Path::WaitSpin`] instead.
     pub(crate) fn cs<R>(
         &self,
         rank: u32,
+        vci: u32,
         class: PathClass,
         op: CsOp,
         f: impl FnOnce(&mut SharedState) -> R,
     ) -> R {
-        self.cs_on(rank, class, obs_path(class), op, f)
+        self.cs_on(rank, vci, class, obs_path(class), op, f)
     }
 
     /// [`Self::cs`] with an explicit observability path. Lock arbitration
@@ -115,16 +164,17 @@ impl WorldInner {
     pub(crate) fn cs_on<R>(
         &self,
         rank: u32,
+        vci: u32,
         class: PathClass,
         opath: mtmpi_obs::Path,
         op: CsOp,
         f: impl FnOnce(&mut SharedState) -> R,
     ) -> R {
-        let p = &self.procs[rank as usize];
+        let p = self.shard(rank, vci);
         let t_req = self.platform.now_ns();
         let token = self.platform.lock_acquire(p.cs_queue, class);
         let t_acq = self.platform.now_ns();
-        // SAFETY: we hold the queue lock for this process.
+        // SAFETY: we hold the queue lock for this shard.
         let st = unsafe { &mut *p.state.get() };
         st.cs_acquisitions += 1;
         st.cs_wait_ns.record(t_acq.saturating_sub(t_req));
@@ -139,16 +189,17 @@ impl WorldInner {
             kind: self.lock.label(),
             path: opath,
             op,
+            vci,
             t_req,
             t_acq,
         });
         r
     }
 
-    /// Acquire the progress lock (PerQueue mode only; otherwise this is
-    /// the queue lock). Does NOT grant state access.
-    pub(crate) fn progress_lock(&self, rank: u32, class: PathClass) -> (LockId, CsToken) {
-        let p = &self.procs[rank as usize];
+    /// Acquire a shard's progress lock (PerQueue mode only; otherwise
+    /// this is the shard's queue lock). Does NOT grant state access.
+    pub(crate) fn progress_lock(&self, rank: u32, vci: u32, class: PathClass) -> (LockId, CsToken) {
+        let p = self.shard(rank, vci);
         let id = if self.granularity.split_progress_lock() {
             p.cs_progress
         } else {
@@ -161,12 +212,12 @@ impl WorldInner {
         self.procs.len() as u32
     }
 
-    /// Post-run read of a process's state. Only sound once all workers
+    /// Post-run read of one shard's state. Only sound once all workers
     /// have finished (after `platform.run()` returns).
-    pub(crate) unsafe fn state_post_run(&self, rank: u32) -> &SharedState {
+    pub(crate) unsafe fn state_post_run(&self, rank: u32, vci: u32) -> &SharedState {
         // SAFETY: caller guarantees all workers have quiesced, so no
         // thread can be inside `cs` mutating the state concurrently.
-        unsafe { &*self.procs[rank as usize].state.get() }
+        unsafe { &*self.shard(rank, vci).state.get() }
     }
 }
 
@@ -175,15 +226,24 @@ impl Drop for WorldInner {
     /// goes away, every issued request must have completed its
     /// Issue→(Post)→Complete→Free life cycle (paper Fig 3b). A dropped
     /// `Request` handle or a lost completion panics here with the
-    /// per-rank [`mtmpi_check::LeakReport`].
+    /// per-rank [`mtmpi_check::LeakReport`]. Quiescence is checked *per
+    /// VCI* — each shard's ledger must balance on its own — plus the
+    /// process-level wildcard ledger for multi-shard receives.
     fn drop(&mut self) {
         if !cfg!(debug_assertions) || std::thread::panicking() {
             return;
         }
         for (rank, p) in self.procs.iter_mut().enumerate() {
-            let st = p.state.get_mut();
-            if let Err(report) = st.ledger.check_quiescent() {
-                panic!("rank {rank} leaked requests at World drop: {report}");
+            for (vci, sh) in p.shards.iter().enumerate() {
+                // SAFETY: `&mut self` proves no other thread can be
+                // inside a CS, so the plain read is sound.
+                let st = unsafe { &*sh.state.get() };
+                if let Err(report) = st.ledger.check_quiescent() {
+                    panic!("rank {rank} vci {vci} leaked requests at World drop: {report}");
+                }
+            }
+            if let Err(report) = p.wild.snapshot().check_quiescent() {
+                panic!("rank {rank} leaked wildcard (multi-VCI) requests at World drop: {report}");
             }
         }
     }
@@ -208,6 +268,8 @@ pub struct WorldBuilder {
     expect_rma: bool,
     recorder: Option<Arc<dyn Recorder>>,
     fault_plan: Option<FaultPlan>,
+    vci_count: u32,
+    vci_map: Option<VciMap>,
 }
 
 impl World {
@@ -225,12 +287,19 @@ impl World {
             expect_rma: false,
             recorder: None,
             fault_plan: None,
+            vci_count: 1,
+            vci_map: None,
         }
     }
 
     /// Number of ranks.
     pub fn nranks(&self) -> u32 {
         self.inner.nranks()
+    }
+
+    /// Number of virtual communication interfaces per rank.
+    pub fn vci_count(&self) -> u32 {
+        self.inner.vci_n()
     }
 
     /// Handle for issuing MPI calls as `rank`. Clone it into each of the
@@ -243,18 +312,46 @@ impl World {
         }
     }
 
-    /// The queue-lock id of a rank (to pair with
-    /// [`mtmpi_sim::PlatformReport::lock_traces`]).
+    /// The queue-lock id of a rank's VCI 0 (to pair with
+    /// [`mtmpi_sim::PlatformReport::lock_traces`]). See
+    /// [`Self::lock_of_vci`] for the other shards.
     pub fn lock_of(&self, rank: u32) -> LockId {
-        self.inner.procs[rank as usize].cs_queue
+        self.lock_of_vci(rank, 0)
+    }
+
+    /// The queue-lock id of one shard of a rank.
+    pub fn lock_of_vci(&self, rank: u32, vci: u32) -> LockId {
+        self.inner.shard(rank, vci).cs_queue
     }
 
     /// Unified introspection snapshot of a rank: every profiling metric
-    /// the runtime keeps, in one struct. **Post-run only** (after
+    /// the runtime keeps, merged across its VCIs (plus the wildcard
+    /// ledger), in one struct. **Post-run only** (after
     /// `platform.run()` has returned).
     pub fn stats(&self, rank: u32) -> RankStats {
+        let mut out = self.vci_stats(rank, 0);
+        for vci in 1..self.inner.vci_n() {
+            let s = self.vci_stats(rank, vci);
+            out.cs_acquisitions += s.cs_acquisitions;
+            out.cs_wait_ns.merge(&s.cs_wait_ns);
+            out.cs_hold_ns.merge(&s.cs_hold_ns);
+            out.msg_latency_ns.merge(&s.msg_latency_ns);
+            out.dangling.merge(&s.dangling);
+            out.ledger.merge(&s.ledger);
+            out.max_unexpected = out.max_unexpected.max(s.max_unexpected);
+            out.max_posted = out.max_posted.max(s.max_posted);
+        }
+        out.ledger
+            .merge(&self.inner.procs[rank as usize].wild.snapshot());
+        out
+    }
+
+    /// Introspection snapshot of one shard of a rank (the per-VCI view
+    /// of [`Self::stats`]; excludes the process-level wildcard ledger).
+    /// **Post-run only.**
+    pub fn vci_stats(&self, rank: u32, vci: u32) -> RankStats {
         // SAFETY: documented post-run contract.
-        let st = unsafe { self.inner.state_post_run(rank) };
+        let st = unsafe { self.inner.state_post_run(rank, vci) };
         RankStats {
             lock: self.inner.lock,
             cs_acquisitions: st.cs_acquisitions,
@@ -285,7 +382,8 @@ impl WorldBuilder {
     }
 
     /// Critical-section arbitration method (default mutex — the paper's
-    /// baseline).
+    /// baseline). With several VCIs, every shard uses this arbitration
+    /// for its own lock.
     pub fn lock(mut self, kind: LockKind) -> Self {
         self.lock = kind;
         self
@@ -343,16 +441,39 @@ impl WorldBuilder {
         self
     }
 
+    /// Shard every rank's runtime state into `n` virtual communication
+    /// interfaces routed by the default hash [`VciMap`] (default 1 — the
+    /// paper's single global critical section). Zero is rejected by
+    /// [`Self::build`].
+    pub fn vci_count(mut self, n: u32) -> Self {
+        self.vci_count = n;
+        self.vci_map = None;
+        self
+    }
+
+    /// Shard with an explicit [`VciMap`] (hash policy, tag buckets, or a
+    /// custom binding); the map's count decides the number of shards.
+    pub fn vci_map(mut self, map: VciMap) -> Self {
+        self.vci_count = map.count();
+        self.vci_map = Some(map);
+        self
+    }
+
     /// Construct the world: validates the configuration, then registers
     /// one endpoint and one (or two, for [`Granularity::PerQueue`]) locks
-    /// per rank on the platform.
+    /// per rank *per VCI* on the platform, in (rank, vci) order — the
+    /// creation order is part of the deterministic-replay contract.
     pub fn build(self) -> Result<World, BuildError> {
         if self.ranks == 0 {
             return Err(BuildError::ZeroRanks);
         }
+        if self.vci_count == 0 {
+            return Err(BuildError::ZeroVcis);
+        }
         if self.expect_rma && self.window_bytes == 0 {
             return Err(BuildError::ZeroWindowWithRma);
         }
+        let vci_map = self.vci_map.unwrap_or_else(|| VciMap::new(self.vci_count));
         let platform_nodes = self.platform.node_count();
         let active_plan = self.fault_plan.filter(FaultPlan::is_active);
         let mut procs = Vec::with_capacity(self.ranks as usize);
@@ -367,22 +488,31 @@ impl WorldBuilder {
                     });
                 }
             }
-            let endpoint = self.platform.register_endpoint(node);
-            let cs_queue = self.platform.lock_create(self.lock);
-            let cs_progress = if self.granularity.split_progress_lock() {
-                self.platform.lock_create(self.lock)
-            } else {
-                cs_queue
-            };
+            let shards = VciPool::build(self.vci_count, |vci| {
+                let endpoint = self.platform.register_endpoint(node);
+                let cs_queue = self.platform.lock_create(self.lock);
+                let cs_progress = if self.granularity.split_progress_lock() {
+                    self.platform.lock_create(self.lock)
+                } else {
+                    cs_queue
+                };
+                Shard {
+                    endpoint,
+                    cs_queue,
+                    cs_progress,
+                    last_poll_ns: AtomicU64::new(0),
+                    // RMA state is pinned to VCI 0 (one window per rank,
+                    // one token space); other shards carry none.
+                    state: UnsafeCell::new(SharedState::new(
+                        self.ranks,
+                        if vci == 0 { self.window_bytes } else { 0 },
+                        active_plan.clone(),
+                    )),
+                }
+            });
             procs.push(Process {
-                endpoint,
-                cs_queue,
-                cs_progress,
-                state: UnsafeCell::new(SharedState::new(
-                    self.ranks,
-                    self.window_bytes,
-                    active_plan.clone(),
-                )),
+                shards,
+                wild: SharedLedger::new(),
             });
         }
         Ok(World {
@@ -394,6 +524,7 @@ impl WorldBuilder {
                 liveness_limit_ns: self.liveness_limit_ns,
                 selective: matches!(self.lock, LockKind::Selective),
                 lock: self.lock,
+                vci_map,
                 recorder: self.recorder,
                 faults_enabled: active_plan.is_some(),
             }),

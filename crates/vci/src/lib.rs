@@ -1,0 +1,425 @@
+//! Virtual communication interfaces (VCIs): the partitioning remedy.
+//!
+//! The PPoPP'15 paper attacks contention on MPICH's single global
+//! critical section by changing *arbitration* (FCFS ticket, two-level
+//! priority). The follow-on literature (user-visible endpoints, MPIxT
+//! threads-as-contexts) shows the bigger win is *eliminating* the shared
+//! section: partition runtime state into N independent shards, each with
+//! its own lock, match queues, and sequence space, and route every
+//! operation to exactly one shard.
+//!
+//! This crate holds the runtime-agnostic pieces of that design:
+//!
+//! * [`VciMap`] — a deterministic map from a message's envelope
+//!   `(comm, src, dst, tag-bucket)` to a VCI index, with an explicit
+//!   custom-binding override for workloads that know their traffic
+//!   pattern (e.g. one VCI per thread-tag);
+//! * [`VciPool`] — a fixed-size container of per-VCI state, indexed by
+//!   the map's output;
+//! * [`Rotor`] — a round-robin cursor for progress engines that own
+//!   several VCIs;
+//! * [`pick_starved`] — the work-stealing victim selector: the shard
+//!   whose mailbox has gone unpolled the longest.
+//!
+//! Determinism contract: [`VciMap::select`] is a pure function of the
+//! envelope and the map configuration. Sender and receiver evaluate it
+//! on the same key (the *message's* `(src, dst)`, not "my rank"), so
+//! both sides independently agree on the shard and no coordination
+//! traffic is needed. With `count == 1` every key maps to VCI 0 and the
+//! runtime must collapse to the unsharded code path byte-for-byte.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The envelope fields a shard decision may depend on.
+///
+/// `src`/`dst` are the *message's* origin and target ranks — both ends
+/// of a transfer build the identical key, which is what makes the map a
+/// coordination-free agreement protocol. `tag_bucket` is the tag reduced
+/// by [`VciMap::tag_bucket`]; with the default single bucket it is
+/// always 0 and tags do not influence routing (so a receiver that knows
+/// the source but not the tag can still resolve the shard).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VciKey {
+    /// Communicator id (raw; the runtime's `CommId.0`).
+    pub comm: u16,
+    /// Sending rank of the message.
+    pub src: u32,
+    /// Receiving rank of the message.
+    pub dst: u32,
+    /// `tag` folded into `0..tag_buckets` (0 when tags are not sharded).
+    pub tag_bucket: u32,
+}
+
+/// Selection function type for explicit bindings. The returned index is
+/// reduced modulo the VCI count, so bindings may return raw values.
+pub type SelectFn = dyn Fn(VciKey) -> u32 + Send + Sync;
+
+/// Deterministic `(comm, src, dst, tag-bucket) → VCI` map.
+///
+/// The default policy hashes the key with splitmix64; [`Self::by_tag`]
+/// and [`Self::with_select`] install explicit bindings instead. Cloning
+/// is cheap (the custom binding is behind an [`Arc`]).
+#[derive(Clone)]
+pub struct VciMap {
+    count: u32,
+    tag_buckets: u32,
+    custom: Option<Arc<SelectFn>>,
+}
+
+impl fmt::Debug for VciMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VciMap")
+            .field("count", &self.count)
+            .field("tag_buckets", &self.tag_buckets)
+            .field("custom", &self.custom.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// splitmix64 finalizer — cheap, well-mixed, and stable across builds
+/// (no `RandomState`-style per-process seeding, which would break the
+/// byte-identical-replay contract).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl VciMap {
+    /// Hash-routed map over `count` VCIs with a single tag bucket: all
+    /// traffic between one `(comm, src, dst)` pair shares a shard, so
+    /// per-source ordering is whole-shard-local and a receiver never
+    /// needs the tag to resolve the shard.
+    pub fn new(count: u32) -> Self {
+        Self {
+            count,
+            tag_buckets: 1,
+            custom: None,
+        }
+    }
+
+    /// Hash-routed map that also folds the tag (reduced to
+    /// `tag_buckets` buckets) into the key. Spreads one peer pair's
+    /// traffic across shards at the cost of making tag-wildcard
+    /// receives multi-shard.
+    pub fn with_tag_buckets(count: u32, tag_buckets: u32) -> Self {
+        Self {
+            count,
+            tag_buckets: tag_buckets.max(1),
+            custom: None,
+        }
+    }
+
+    /// Explicit binding: `select` maps each key to a shard (reduced
+    /// modulo `count`). `tag_buckets` controls how much tag information
+    /// the binding sees via [`VciKey::tag_bucket`].
+    pub fn with_select<F>(count: u32, tag_buckets: u32, select: F) -> Self
+    where
+        F: Fn(VciKey) -> u32 + Send + Sync + 'static,
+    {
+        Self {
+            count,
+            tag_buckets: tag_buckets.max(1),
+            custom: Some(Arc::new(select)),
+        }
+    }
+
+    /// One shard per tag residue class: tag `t` → VCI `t mod count`.
+    /// The natural binding for "one tag per thread" workloads — traffic
+    /// is perfectly balanced and every selective receive resolves to a
+    /// single shard.
+    pub fn by_tag(count: u32) -> Self {
+        Self::with_select(count, count, |k| k.tag_bucket)
+    }
+
+    /// Number of VCIs this map routes across.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Number of tag buckets the key carries.
+    pub fn tag_buckets(&self) -> u32 {
+        self.tag_buckets
+    }
+
+    /// Fold a tag into its bucket (`rem_euclid`, so negative tags are
+    /// fine). With one bucket this is constantly 0.
+    pub fn tag_bucket(&self, tag: i32) -> u32 {
+        if self.tag_buckets <= 1 {
+            0
+        } else {
+            // i64 arithmetic: `i32::MIN.rem_euclid` can't overflow here.
+            (i64::from(tag).rem_euclid(i64::from(self.tag_buckets))) as u32
+        }
+    }
+
+    /// Route a fully known envelope to its VCI. Pure: same key, same
+    /// map ⇒ same answer on every rank and every run.
+    pub fn select(&self, key: VciKey) -> u32 {
+        debug_assert!(self.count > 0, "VciMap with zero VCIs is unusable");
+        if self.count <= 1 {
+            return 0;
+        }
+        match &self.custom {
+            Some(f) => f(key) % self.count,
+            None => {
+                let packed = (u64::from(key.comm) << 48)
+                    ^ (u64::from(key.src) << 24)
+                    ^ u64::from(key.dst)
+                    ^ (u64::from(key.tag_bucket) << 40);
+                (splitmix64(packed) % u64::from(self.count)) as u32
+            }
+        }
+    }
+
+    /// Convenience for the send side: build the key from raw envelope
+    /// fields and route it.
+    pub fn select_for(&self, comm: u16, src: u32, dst: u32, tag: i32) -> u32 {
+        self.select(VciKey {
+            comm,
+            src,
+            dst,
+            tag_bucket: self.tag_bucket(tag),
+        })
+    }
+
+    /// Route a receive that may hold wildcards. `None` means the shard
+    /// cannot be resolved from what the receiver knows — the receive
+    /// must be fanned out to every shard (two-phase wildcard protocol).
+    ///
+    /// Resolution fails only when `count > 1` **and** the source is
+    /// unknown, or the tag is unknown while tags participate in routing
+    /// (`tag_buckets > 1` or a custom binding that could read the
+    /// bucket).
+    pub fn select_recv(
+        &self,
+        comm: u16,
+        src: Option<u32>,
+        dst: u32,
+        tag: Option<i32>,
+    ) -> Option<u32> {
+        if self.count <= 1 {
+            return Some(0);
+        }
+        let src = src?;
+        let tag_bucket = match tag {
+            Some(t) => self.tag_bucket(t),
+            // With a single bucket the tag can't influence routing, so
+            // ANY_TAG still resolves; otherwise fan out.
+            None if self.tag_buckets <= 1 => 0,
+            None => return None,
+        };
+        Some(self.select(VciKey {
+            comm,
+            src,
+            dst,
+            tag_bucket,
+        }))
+    }
+}
+
+impl Default for VciMap {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+/// Fixed-size container of per-VCI state, indexed by [`VciMap`] output.
+#[derive(Debug)]
+pub struct VciPool<T> {
+    slots: Vec<T>,
+}
+
+impl<T> VciPool<T> {
+    /// Build a pool of `count` slots from a constructor called in index
+    /// order (creation order matters for deterministic replay — slot 0
+    /// first, always).
+    pub fn build(count: u32, make: impl FnMut(u32) -> T) -> Self {
+        Self {
+            slots: (0..count).map(make).collect(),
+        }
+    }
+
+    /// Number of VCIs in the pool.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the pool has no slots (never the case in a built world).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterate slots in VCI order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.slots.iter()
+    }
+}
+
+impl<T> std::ops::Index<u32> for VciPool<T> {
+    type Output = T;
+    fn index(&self, vci: u32) -> &T {
+        &self.slots[vci as usize]
+    }
+}
+
+impl<'a, T> IntoIterator for &'a VciPool<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.iter()
+    }
+}
+
+/// Round-robin cursor over `n` VCIs for progress engines that service
+/// all shards (the async progress thread, multi-shard waits).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Rotor {
+    next: u64,
+}
+
+impl Rotor {
+    /// A rotor starting at VCI 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next VCI in rotation (0, 1, …, n−1, 0, …).
+    pub fn next(&mut self, n: u32) -> u32 {
+        debug_assert!(n > 0);
+        let v = (self.next % u64::from(n)) as u32;
+        self.next += 1;
+        v
+    }
+}
+
+/// Work-stealing victim selection: among shards other than `home`, the
+/// one whose mailbox has gone unpolled the longest (smallest
+/// `last_poll_ns`; ties go to the lowest index, keeping the choice
+/// deterministic). `None` when there is no other shard.
+pub fn pick_starved(last_poll_ns: &[u64], home: u32) -> Option<u32> {
+    last_poll_ns
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| v as u32 != home)
+        .min_by_key(|&(v, &t)| (t, v))
+        .map(|(v, _)| v as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(src: u32, dst: u32, tag_bucket: u32) -> VciKey {
+        VciKey {
+            comm: 0,
+            src,
+            dst,
+            tag_bucket,
+        }
+    }
+
+    #[test]
+    fn count_one_maps_everything_to_zero() {
+        let m = VciMap::new(1);
+        for src in 0..8 {
+            assert_eq!(m.select(key(src, 1, 0)), 0);
+        }
+        assert_eq!(m.select_recv(0, None, 3, None), Some(0));
+    }
+
+    #[test]
+    fn select_is_deterministic_and_in_range() {
+        let m = VciMap::new(7);
+        for src in 0..32 {
+            for dst in 0..4 {
+                let a = m.select(key(src, dst, 0));
+                let b = m.select(key(src, dst, 0));
+                assert_eq!(a, b, "same key must route identically");
+                assert!(a < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_routing_spreads_sources() {
+        // Not a statistical claim — just "the map is not degenerate":
+        // 64 distinct sources to one destination hit more than one shard.
+        let m = VciMap::new(8);
+        let shards: std::collections::HashSet<u32> =
+            (0..64).map(|s| m.select(key(s, 0, 0))).collect();
+        assert!(shards.len() > 1, "all sources collapsed onto one VCI");
+    }
+
+    #[test]
+    fn sender_and_receiver_agree_on_the_shard() {
+        let m = VciMap::with_tag_buckets(4, 4);
+        for tag in [-5i32, 0, 3, 1000] {
+            let sender = m.select_for(2, 1, 0, tag);
+            let receiver = m.select_recv(2, Some(1), 0, Some(tag));
+            assert_eq!(Some(sender), receiver);
+        }
+    }
+
+    #[test]
+    fn wildcards_resolve_exactly_when_routing_ignores_them() {
+        let hash = VciMap::new(4); // tags not routed
+        assert!(hash.select_recv(0, Some(1), 0, None).is_some());
+        assert!(hash.select_recv(0, None, 0, Some(7)).is_none());
+        assert!(hash.select_recv(0, None, 0, None).is_none());
+
+        let tagged = VciMap::with_tag_buckets(4, 2); // tags routed
+        assert!(tagged.select_recv(0, Some(1), 0, None).is_none());
+        assert!(tagged.select_recv(0, Some(1), 0, Some(7)).is_some());
+    }
+
+    #[test]
+    fn by_tag_binds_tag_residues_to_shards() {
+        let m = VciMap::by_tag(4);
+        for t in 0..16 {
+            assert_eq!(m.select_for(0, 0, 1, t), (t % 4) as u32);
+        }
+        // Negative tags fold with rem_euclid, not truncation.
+        assert_eq!(m.select_for(0, 0, 1, -1), 3);
+        // Receiver with a known tag resolves; with ANY_TAG it fans out.
+        assert_eq!(m.select_recv(0, Some(0), 1, Some(6)), Some(2));
+        assert_eq!(m.select_recv(0, Some(0), 1, None), None);
+    }
+
+    #[test]
+    fn custom_select_overrides_the_hash() {
+        let m = VciMap::with_select(4, 1, |k| k.src + 100);
+        assert_eq!(m.select(key(1, 0, 0)), 101 % 4);
+        assert_eq!(m.select(key(2, 0, 0)), 102 % 4);
+    }
+
+    #[test]
+    fn pool_builds_in_index_order() {
+        let mut order = Vec::new();
+        let p = VciPool::build(4, |v| {
+            order.push(v);
+            v * 10
+        });
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p[3], 30);
+        assert_eq!(p.iter().copied().collect::<Vec<_>>(), vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn rotor_round_robins() {
+        let mut r = Rotor::new();
+        let seq: Vec<u32> = (0..7).map(|_| r.next(3)).collect();
+        assert_eq!(seq, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn pick_starved_prefers_oldest_poll_then_lowest_index() {
+        assert_eq!(pick_starved(&[5, 9, 2, 2], 0), Some(2));
+        assert_eq!(pick_starved(&[5, 9, 2, 2], 2), Some(3));
+        assert_eq!(pick_starved(&[5], 0), None);
+        assert_eq!(pick_starved(&[7, 7, 7], 1), Some(0));
+    }
+}

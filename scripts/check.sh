@@ -27,6 +27,10 @@
 #   faults     fault-injection smoke test: run the fig_fault drop-rate
 #              sweep twice in quick mode and require byte-identical
 #              BENCH output (the DESIGN.md §11 determinism contract).
+#   vci        sharding smoke test: the VCI integration suite (cross-
+#              shard wildcards, vci_count=1 byte-identity) plus the
+#              fig_vci sweep twice in quick mode with a byte-identity
+#              cmp — determinism must survive the sharded runtime too.
 #
 # Usage: scripts/check.sh [fast]   ("fast" skips loom/tsan/miri/obs/prof)
 set -uo pipefail
@@ -71,6 +75,21 @@ faults_smoke() {
     return $rc
 }
 
+# Sharding gate: the VCI integration tests, then the fig_vci sweep twice
+# with a byte-identity cmp (sharded runs replay exactly, like fault runs).
+vci_smoke() {
+    local snap
+    snap=$(mktemp) || return 1
+    cargo test --release -q -p mtmpi-integration-tests --test vci \
+        && cargo run --release -q -p mtmpi-bench --bin fig_vci -- --quick \
+        && cp results/BENCH_fig_vci.json "$snap" \
+        && cargo run --release -q -p mtmpi-bench --bin fig_vci -- --quick \
+        && cmp results/BENCH_fig_vci.json "$snap"
+    local rc=$?
+    rm -f "$snap"
+    return $rc
+}
+
 if [ "$FAST" = "fast" ]; then
     skip loom "fast mode"
     skip tsan "fast mode"
@@ -78,11 +97,13 @@ if [ "$FAST" = "fast" ]; then
     skip obs "fast mode"
     skip prof "fast mode"
     skip faults "fast mode"
+    skip vci "fast mode"
 else
     step loom cargo test -p mtmpi-locks --features loom-check --test loom
     step obs cargo run -q -p xtask -- trace fig2a
     step prof cargo run -q -p xtask -- bench-diff --quick
     step faults faults_smoke
+    step vci vci_smoke
 
     if ! cargo +nightly --version >/dev/null 2>&1; then
         skip tsan "no nightly toolchain"
