@@ -1,0 +1,54 @@
+//! L001 negative fixture — Relaxed mutations of hand-off fields.
+//!
+//! Not compiled: parsed by `tests/rules.rs`, which expects exactly the
+//! lines marked `FIRE: L001` to be flagged (and the `allow` site to be
+//! suppressed). Lives outside the engine's scan roots.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+pub struct Handoff {
+    locked: AtomicBool,
+    now_serving: AtomicU32,
+    claim: AtomicU8,
+    ready: AtomicBool,
+    count: AtomicU64,
+}
+
+impl Handoff {
+    pub fn unlock_wrong(&self) {
+        self.locked.store(false, Ordering::Relaxed); // FIRE: L001
+    }
+
+    pub fn serve_next_wrong(&self) {
+        self.now_serving.fetch_add(1, Ordering::Relaxed); // FIRE: L001
+    }
+
+    pub fn claim_wrong(&self) -> bool {
+        // Relaxed *success* ordering on the claim CAS: no Release edge.
+        self.claim.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Relaxed).is_ok() // FIRE: L001
+    }
+
+    pub fn claim_right(&self) -> bool {
+        // Relaxed *failure* ordering is idiomatic — must not fire.
+        self.claim.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed).is_ok()
+    }
+
+    pub fn publish_right(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn stat_ok(&self) {
+        // `count` is not a hand-off field — must not fire.
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn allowed_site(&self) {
+        // lint: allow(L001) fixture: proves per-site suppression works
+        self.locked.store(false, Ordering::Relaxed); // ALLOWED: L001
+    }
+
+    pub fn legacy_allowed_site(&self) {
+        // deliberate, lint: relaxed-ok (legacy spelling == allow(L001))
+        self.locked.store(false, Ordering::Relaxed); // ALLOWED: L001
+    }
+}

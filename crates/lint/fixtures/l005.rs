@@ -1,0 +1,61 @@
+//! L005 negative fixture — panics on typed-error (`try_*`) paths.
+//!
+//! Not compiled: parsed by `tests/rules.rs` with a `crates/runtime/src/`
+//! path so the rule is in scope. Lines marked `FIRE: L005` must be
+//! flagged; std conversions (`try_into`), test regions, and `ALLOWED`
+//! sites are exempt.
+
+pub struct MpiError;
+
+pub struct Handle;
+
+impl Handle {
+    pub fn try_thing(&self) -> Result<u32, MpiError> {
+        let v = self.raw().unwrap(); // FIRE: L005
+        if v == 0 {
+            panic!("zero is not a thing"); // FIRE: L005
+        }
+        Ok(v)
+    }
+
+    pub fn try_clean(&self) -> Result<u32, MpiError> {
+        self.raw().ok_or(MpiError)
+    }
+
+    fn raw(&self) -> Option<u32> {
+        Some(1)
+    }
+
+    pub fn call_site_wrong(&self) -> u32 {
+        self.try_thing().unwrap() // FIRE: L005
+    }
+
+    pub fn call_site_expect_wrong(&self) -> u32 {
+        self.try_clean().expect("thing exists") // FIRE: L005
+    }
+
+    pub fn call_site_right(&self) -> Result<u32, MpiError> {
+        self.try_thing()
+    }
+
+    pub fn conversion_ok(&self, b: &[u8]) -> u64 {
+        // std `try_into` has no MpiError equivalent — must not fire.
+        u64::from_le_bytes(b[..8].try_into().expect("8 bytes"))
+    }
+
+    pub fn allowed_site(&self) -> u32 {
+        // lint: allow(L005) fixture: invariant — raw() is always Some here
+        self.try_thing().unwrap() // ALLOWED: L005
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap() {
+        let h = Handle;
+        let _ = h.try_thing().unwrap();
+    }
+}

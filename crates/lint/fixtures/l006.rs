@@ -1,0 +1,45 @@
+//! L006 negative fixture — `unsafe` without a `// SAFETY:` comment.
+//!
+//! Not compiled: parsed by `tests/rules.rs`. Lines marked `FIRE: L006`
+//! must be flagged; documented sites, `unsafe fn` declarations, and
+//! `ALLOWED` sites are exempt.
+
+pub struct Raw(*mut u8);
+
+pub fn documented_block(p: &Raw) -> u8 {
+    // SAFETY: fixture — the pointer is valid by construction.
+    unsafe { p.0.read() }
+}
+
+pub fn documented_wrapped(p: &Raw) -> u8 {
+    // SAFETY: fixture — comment two lines above a wrapped statement
+    // still counts (the run ends on the preceding line).
+    let v = unsafe { p.0.read() };
+    v
+}
+
+pub fn undocumented_block(p: &Raw) -> u8 {
+    unsafe { p.0.read() } // FIRE: L006
+}
+
+pub fn wrong_comment_block(p: &Raw) -> u8 {
+    // this comment says nothing about safety
+    unsafe { p.0.read() } // FIRE: L006
+}
+
+unsafe impl Send for Raw {} // FIRE: L006
+
+// SAFETY: fixture — external synchronization guards all accesses.
+unsafe impl Sync for Raw {}
+
+/// `unsafe fn` declares a contract; the discharge sites carry the
+/// proof — must not fire.
+pub unsafe fn contract_only(p: &Raw) -> u8 {
+    // SAFETY: forwarding the caller's contract.
+    unsafe { p.0.read() }
+}
+
+pub fn allowed_site(p: &Raw) -> u8 {
+    // lint: allow(L006) fixture: proves suppression for unsafe sites
+    unsafe { p.0.read() } // ALLOWED: L006
+}

@@ -1,0 +1,175 @@
+//! The committed baseline: known findings that are accepted (with a
+//! written justification) rather than fixed or allow-commented.
+//!
+//! Format (one entry per line, `#` lines are comments — put the
+//! justification in a comment block directly above its entry):
+//!
+//! ```text
+//! # try_waitall's terminal expect is an invariant, not an error path:
+//! # every request was verified complete in the loop above.
+//! L005 f00d1234abcd5678 crates/runtime/src/p2p.rs :: m.expect("all completed")
+//! ```
+//!
+//! Matching is by `(rule, fingerprint)` — see
+//! [`crate::Diagnostic::fingerprint`]; the path and snippet are carried
+//! for human readers and regenerated on `--update-baseline`. Entries
+//! that no longer match anything are reported as *stale* (a warning,
+//! not a failure: the fix that removes a finding should also prune its
+//! entry, and the warning is the reminder).
+
+use crate::diag::Diagnostic;
+use std::fmt::Write as _;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub fingerprint: u64,
+    pub path: String,
+    pub snippet: String,
+}
+
+/// Parse the baseline file's text. Unparseable non-comment lines are
+/// returned as errors (a corrupt baseline must not silently accept
+/// findings).
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut out = Vec::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, snippet) = line
+            .split_once(" :: ")
+            .ok_or_else(|| format!("baseline line {}: missing ` :: ` separator", n + 1))?;
+        let mut parts = head.split_whitespace();
+        let (Some(rule), Some(fp), Some(path), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `RULE FINGERPRINT PATH :: snippet`",
+                n + 1
+            ));
+        };
+        let fingerprint = u64::from_str_radix(fp, 16)
+            .map_err(|_| format!("baseline line {}: bad fingerprint {fp:?}", n + 1))?;
+        out.push(BaselineEntry {
+            rule: rule.to_string(),
+            fingerprint,
+            path: path.to_string(),
+            snippet: snippet.to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Render a fresh baseline for `diags` under a standard header. The
+/// caller is expected to re-add justification comments by hand — the
+/// tool writes a `# TODO justify` marker above each entry to make an
+/// unjustified refresh obvious in review.
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "# mtmpi-lint baseline — accepted findings, one per line.\n\
+         # Format: RULE FINGERPRINT PATH :: snippet\n\
+         # Every entry MUST carry a justification comment above it.\n\
+         # Refresh with `cargo run -p xtask -- lint --update-baseline`\n\
+         # (then restore/write the justifications before committing).\n",
+    );
+    for d in diags {
+        let _ = write!(
+            out,
+            "\n# TODO justify\n{} {:016x} {} :: {}\n",
+            d.rule,
+            d.fingerprint(),
+            d.path,
+            d.snippet
+        );
+    }
+    out
+}
+
+/// Split `diags` into (fresh, baselined) against `entries`, and return
+/// the stale entries third. An entry may match several diagnostics
+/// (e.g. an identical snippet appearing twice in one file) — all of
+/// them are baselined by the one entry.
+pub fn apply(
+    diags: Vec<Diagnostic>,
+    entries: &[BaselineEntry],
+) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<BaselineEntry>) {
+    let mut fresh = Vec::new();
+    let mut baselined = Vec::new();
+    let mut used = vec![false; entries.len()];
+    for d in diags {
+        let fp = d.fingerprint();
+        match entries
+            .iter()
+            .position(|e| e.rule == d.rule && e.fingerprint == fp)
+        {
+            Some(i) => {
+                used[i] = true;
+                baselined.push(d);
+            }
+            None => fresh.push(d),
+        }
+    }
+    let stale = entries
+        .iter()
+        .zip(&used)
+        .filter(|&(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (fresh, baselined, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(rule: &'static str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 3,
+            msg: "m".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let diags = vec![d("L001", "x.store(1, Relaxed)"), d("L005", "y.unwrap()")];
+        let text = render(&diags);
+        let entries = parse(&text).unwrap();
+        assert_eq!(entries.len(), 2);
+        let (fresh, baselined, stale) = apply(diags, &entries);
+        assert!(fresh.is_empty());
+        assert_eq!(baselined.len(), 2);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn fresh_and_stale_are_separated() {
+        let old = render(&[d("L001", "x.store(1, Relaxed)")]);
+        let entries = parse(&old).unwrap();
+        let now = vec![d("L001", "z.store(1, Relaxed)")];
+        let (fresh, baselined, stale) = apply(now, &entries);
+        assert_eq!(fresh.len(), 1);
+        assert!(baselined.is_empty());
+        assert_eq!(stale.len(), 1);
+    }
+
+    #[test]
+    fn corrupt_lines_error() {
+        assert!(parse("L001 zzzz p :: s").is_err());
+        assert!(parse("not an entry").is_err());
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn snippet_change_invalidates() {
+        let old = render(&[d("L001", "x.store(1, Relaxed)")]);
+        let entries = parse(&old).unwrap();
+        let (fresh, ..) = apply(vec![d("L001", "x.store(2, Relaxed)")], &entries);
+        assert_eq!(fresh.len(), 1, "edited site must resurface");
+    }
+}

@@ -1,0 +1,46 @@
+//! mtmpi-lint: the workspace's concurrency-contract static analysis.
+//!
+//! The remedies this repo reproduces — priority arbitration (paper
+//! §5), VCI sharding, the lock-free wildcard claim token — stay correct
+//! through hand-maintained invariants: Release/Acquire publication on
+//! hand-off words, the no-two-shard-locks rule, and the fixed-seed
+//! byte-identical replay contract. This crate makes those invariants
+//! machine-checked at source level, in the spirit of lockdep: the
+//! checker and the code it disciplines live (and evolve) together.
+//!
+//! # Architecture
+//!
+//! No `syn`: the build environment is offline and the workspace vendors
+//! no external code (see `crates/shims/README.md`), so the engine
+//! carries its own token-level front end ([`lexer`]) and a light
+//! structural layer ([`source`]: fn items, `#[cfg(test)]` regions,
+//! allow comments). Rules ([`rules`]) match token patterns — exact
+//! about comments, strings, wrapped method chains, and `compare_
+//! exchange` success-vs-failure orderings, everything the old
+//! line-regex pass in xtask was fragile about.
+//!
+//! # Workflow
+//!
+//! * `cargo run -p xtask -- lint` — full-workspace run, exit 1 on any
+//!   finding not in the committed baseline (`crates/lint/baseline.txt`).
+//! * `… lint --json` — machine-readable report.
+//! * `… lint --update-baseline` — regenerate the baseline (justify
+//!   every entry before committing!).
+//! * Per-site suppression: `// lint: allow(L002) <why>` on the same or
+//!   the preceding line (the legacy `// lint: relaxed-ok` still means
+//!   `allow(L001)`).
+//!
+//! Rule catalogue: see [`rules::RULES`] and DESIGN.md §13. Each rule
+//! has a negative fixture under `crates/lint/fixtures/` proving it
+//! fires; `tests/rules.rs` pins the exact sites.
+
+pub mod baseline;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use diag::Diagnostic;
+pub use engine::{run, update_baseline, Report, BASELINE_PATH};
+pub use source::SourceFile;

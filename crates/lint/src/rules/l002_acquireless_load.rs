@@ -1,0 +1,53 @@
+//! L002 — Acquire-less (`Relaxed`) load of cross-thread-published state.
+//!
+//! The read side of L001's contract: consuming a claim token, the
+//! multi-request `ready` flag, seq/ack words, or a lock hand-off field
+//! with `Ordering::Relaxed` misses the Acquire that pairs with the
+//! publisher's Release, so the data "published before" the flag may not
+//! be visible yet. Deliberate relaxed *peeks* (TTAS fast paths,
+//! monitoring reads, `Drop` with `&mut self`) are fine — mark them with
+//! `// lint: allow(L002) <why>`.
+
+use super::l001_relaxed_handoff::HANDOFF_FIELDS;
+use crate::diag::Diagnostic;
+use crate::source::{matching, orderings_in, receiver_field, SourceFile};
+
+/// Published-state fields beyond the hand-off set: per-link sequence /
+/// cumulative-ack words and mailbox flags, should they ever become
+/// atomics read outside the shard CS.
+const EXTRA_PUBLISHED: &[&str] = &["seq", "ack", "mail_ready"];
+
+fn published(field: &str) -> bool {
+    HANDOFF_FIELDS.contains(&field) || EXTRA_PUBLISHED.contains(&field)
+}
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = file.toks();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_punct('.')
+            || !toks.get(i + 1).is_some_and(|t| t.is_ident("load"))
+            || !toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            continue;
+        }
+        let Some(field) = receiver_field(toks, i) else {
+            continue;
+        };
+        if !published(field) {
+            continue;
+        }
+        let close = matching(toks, i + 2);
+        if orderings_in(&toks[i + 2..=close]).contains(&"Relaxed") {
+            let line = toks[i].line;
+            out.push(Diagnostic {
+                rule: "L002",
+                path: file.path.clone(),
+                line,
+                msg: format!("Relaxed load of published field `{field}` (missing Acquire edge)"),
+                snippet: file.lexed.line_text(line).to_string(),
+            });
+        }
+    }
+    out
+}

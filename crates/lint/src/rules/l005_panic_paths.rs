@@ -1,0 +1,117 @@
+//! L005 — panic/unwrap/expect on paths with typed `MpiError` equivalents.
+//!
+//! PR 4 replaced liveness panics with typed errors: the `try_wait`
+//! family returns `Result<_, MpiError>` and cancels doomed requests
+//! leak-free. Two anti-patterns silently undo that work:
+//!
+//! 1. a `panic!`/`unwrap()`/`expect(` *inside* a `try_*` function —
+//!    the typed path itself panicking on what should be an `Err`;
+//! 2. `.try_xxx(…).unwrap()` / `.expect(` chains at call sites —
+//!    requesting the typed error and then crashing on it anyway (use
+//!    the panicking wrapper (`wait`) if that is really what you want;
+//!    it at least keeps the legacy diagnostic message).
+//!
+//! Invariant assertions that cannot be reached by fault escalation
+//! (e.g. "wait on a freed request is a caller bug") are legitimate:
+//! mark them `// lint: allow(L005) <why>`. Test regions are exempt.
+
+use crate::diag::Diagnostic;
+use crate::source::{matching, SourceFile};
+
+/// std `try_*` methods with their own error types and no `MpiError`
+/// equivalent: `try_into().expect("8 bytes")` on a slice-to-array
+/// conversion is an infallible-by-construction idiom, not a typed
+/// runtime path being crashed on.
+const STD_TRY: &[&str] = &[
+    "try_into",
+    "try_from",
+    "try_fold",
+    "try_for_each",
+    "try_reserve",
+    "try_reserve_exact",
+    "try_borrow",
+    "try_borrow_mut",
+    "try_clone",
+    "try_exists",
+];
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = file.toks();
+    let mut out = Vec::new();
+    let mut diag = |line: u32, msg: String| {
+        out.push(Diagnostic {
+            rule: "L005",
+            path: file.path.clone(),
+            line,
+            msg,
+            snippet: file.lexed.line_text(line).to_string(),
+        });
+    };
+
+    // 1. Panic machinery inside `fn try_*` bodies.
+    for f in &file.fns {
+        if !f.name.starts_with("try_")
+            || STD_TRY.contains(&f.name.as_str())
+            || file.in_test_region(f.body.0)
+        {
+            continue;
+        }
+        let (open, close) = f.body;
+        for i in open..=close {
+            let Some(w) = toks[i].ident() else { continue };
+            let flagged = match w {
+                "panic" => toks.get(i + 1).is_some_and(|t| t.is_punct('!')),
+                "unwrap" | "expect" => {
+                    i > 0
+                        && toks[i - 1].is_punct('.')
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                }
+                _ => false,
+            };
+            if flagged {
+                diag(
+                    toks[i].line,
+                    format!(
+                        "`{w}` inside `{}` — typed-error path must return MpiError, not panic",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+
+    // 2. `.try_*(…).unwrap()` / `.expect(` chains anywhere in scope.
+    for i in 0..toks.len() {
+        if file.in_test_region(i) {
+            continue;
+        }
+        let is_try_call = toks[i].is_punct('.')
+            && toks
+                .get(i + 1)
+                .and_then(|t| t.ident())
+                .is_some_and(|n| n.starts_with("try_") && !STD_TRY.contains(&n))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('));
+        if !is_try_call {
+            continue;
+        }
+        let close = matching(toks, i + 2);
+        let chained = toks.get(close + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(close + 2)
+                .and_then(|t| t.ident())
+                .is_some_and(|m| m == "unwrap" || m == "expect");
+        if chained {
+            let name = toks[i + 1].ident().unwrap_or("try_*");
+            let line = toks[close + 2].line;
+            diag(
+                line,
+                format!(
+                    "`{name}(…).{}()` discards the typed MpiError — propagate it or use the \
+                     panicking wrapper",
+                    toks[close + 2].ident().unwrap_or("unwrap")
+                ),
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,75 @@
+//! L006 — `unsafe` without a `// SAFETY:` comment, workspace-wide.
+//!
+//! The workspace lints table already warns on undocumented unsafe
+//! blocks (`clippy::undocumented_unsafe_blocks`) — but only in the
+//! crates that opted into `[lints] workspace = true`. This rule closes
+//! the gap for the rest (stencil, core, sim, net, bench, …) with one
+//! workspace-wide policy, and extends it to `unsafe impl` (every
+//! `Send`/`Sync` assertion must state its aliasing argument; the
+//! two-line tolerance below lets adjacent impls share one comment run,
+//! though separate comments per impl are the house style).
+//!
+//! Accepted placements: a comment containing `SAFETY` on the same line
+//! as the `unsafe` token, or a comment run ending on one of the two
+//! preceding lines (two, so `// SAFETY: …` above a wrapped `let … =
+//! unsafe {` statement still counts).
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Whether a SAFETY comment covers an `unsafe` token on `line`.
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    let lx = &file.lexed;
+    // Same line.
+    if lx.comment_text_on(line).contains("SAFETY") {
+        return true;
+    }
+    // A comment run ending at line-1 or line-2 (scan the run upward).
+    for start in [line.saturating_sub(1), line.saturating_sub(2)] {
+        if start == 0 || !lx.line_has_comment(start) {
+            continue;
+        }
+        let mut l = start;
+        loop {
+            if lx.comment_text_on(l).contains("SAFETY") {
+                return true;
+            }
+            if l <= 1 || !lx.line_has_comment(l - 1) {
+                break;
+            }
+            l -= 1;
+        }
+    }
+    false
+}
+
+pub fn check(file: &SourceFile) -> Vec<Diagnostic> {
+    let toks = file.toks();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("unsafe") {
+            continue;
+        }
+        // `unsafe fn` / `unsafe trait` declare a contract; the
+        // *discharge* sites (blocks, impls) carry the proof.
+        let next = toks.get(i + 1);
+        let site = if next.is_some_and(|t| t.is_punct('{')) {
+            "unsafe block"
+        } else if next.is_some_and(|t| t.is_ident("impl")) {
+            "unsafe impl"
+        } else {
+            continue;
+        };
+        let line = toks[i].line;
+        if !has_safety_comment(file, line) {
+            out.push(Diagnostic {
+                rule: "L006",
+                path: file.path.clone(),
+                line,
+                msg: format!("{site} without a `// SAFETY:` comment"),
+                snippet: file.lexed.line_text(line).to_string(),
+            });
+        }
+    }
+    out
+}

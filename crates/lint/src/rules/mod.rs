@@ -1,0 +1,107 @@
+//! The rule catalogue. Each rule is a function from a parsed
+//! [`SourceFile`] (plus, for L003, cross-file context) to diagnostics;
+//! the engine applies path scoping, allow comments, and the baseline.
+//!
+//! | id   | guards                                                        |
+//! |------|---------------------------------------------------------------|
+//! | L001 | no `Relaxed` mutation of lock hand-off / claim-token fields   |
+//! | L002 | no `Relaxed` (Acquire-less) load of cross-thread published state |
+//! | L003 | no nested critical-section entry (the two-shard-lock ban)     |
+//! | L004 | no nondeterminism sources in the deterministic core crates    |
+//! | L005 | no panic/unwrap/expect on typed-error (`try_*`) paths         |
+//! | L006 | no `unsafe` block/impl without a `// SAFETY:` comment         |
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+mod l001_relaxed_handoff;
+mod l002_acquireless_load;
+mod l003_nested_cs;
+mod l004_determinism;
+mod l005_panic_paths;
+mod l006_undocumented_unsafe;
+
+pub use l003_nested_cs::{cs_entering_fns, CsContext};
+
+/// Static description of one rule, for `--json` output and DESIGN.md.
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub summary: &'static str,
+}
+
+/// The full catalogue, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "L001",
+        summary: "Relaxed store/RMW on a lock hand-off or claim-token field breaks the \
+                  Release edge that publishes the critical section's writes",
+    },
+    RuleInfo {
+        id: "L002",
+        summary: "Relaxed load of cross-thread-published state (claim token, ready flag, \
+                  seq/ack, hand-off words) misses the Acquire edge pairing the publisher's \
+                  Release",
+    },
+    RuleInfo {
+        id: "L003",
+        summary: "entering a second critical section while one is held — the no-two-shard-locks \
+                  ban that keeps the VCI fan-out deadlock-free",
+    },
+    RuleInfo {
+        id: "L004",
+        summary: "nondeterminism source (wall clock, OS entropy, hash-order iteration) in the \
+                  deterministic-replay core crates",
+    },
+    RuleInfo {
+        id: "L005",
+        summary: "panic!/unwrap/expect on a runtime path that has a typed MpiError equivalent \
+                  (the try_* family)",
+    },
+    RuleInfo {
+        id: "L006",
+        summary: "unsafe block or unsafe impl without a `// SAFETY:` comment",
+    },
+];
+
+/// Run every rule applicable to `file` (path scoping included),
+/// returning raw diagnostics — allow comments and the baseline are
+/// applied by the engine, not here, so tests can see everything.
+pub fn check_file(file: &SourceFile, cs: &CsContext) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(l001_relaxed_handoff::check(file));
+    out.extend(l002_acquireless_load::check(file));
+    if in_scope(&file.path, L003_SCOPE) {
+        out.extend(l003_nested_cs::check(file, cs));
+    }
+    if in_scope(&file.path, L004_SCOPE) {
+        out.extend(l004_determinism::check(file));
+    }
+    if in_scope(&file.path, L005_SCOPE) {
+        out.extend(l005_panic_paths::check(file));
+    }
+    out.extend(l006_undocumented_unsafe::check(file));
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// Crates whose source is bound by the determinism contract (DESIGN.md
+/// §11/§12): fixed seed ⇒ byte-identical replay.
+pub const L004_SCOPE: &[&str] = &[
+    "crates/sim/src/",
+    "crates/runtime/src/",
+    "crates/net/src/",
+    "crates/vci/src/",
+    "crates/locks/src/",
+];
+
+/// Crates with typed `MpiError` paths (the `try_*` family).
+pub const L005_SCOPE: &[&str] = &["crates/runtime/src/", "crates/vci/src/"];
+
+/// The critical-section discipline lives in the runtime.
+pub const L003_SCOPE: &[&str] = &["crates/runtime/src/"];
+
+/// Whether `path` (workspace-relative, `/`-separated) falls under one
+/// of the scope prefixes.
+pub fn in_scope(path: &str, scope: &[&str]) -> bool {
+    scope.iter().any(|p| path.starts_with(p))
+}

@@ -86,6 +86,7 @@ impl ClhLock {
 impl Drop for ClhLock {
     fn drop(&mut self) {
         // Free the final tail node (dummy or last released node).
+        // lint: allow(L002) `&mut self` in Drop — exclusive access, no concurrent publisher
         let tail = self.tail.load(Ordering::Relaxed);
         if !tail.is_null() {
             // SAFETY: the lock must be unheld when dropped; the tail node

@@ -63,6 +63,7 @@ impl FutexMutex {
             // classic lost-wakeup (glibc locks with 2 here for the same
             // reason).
             for _ in 0..Self::SPIN_TRIES {
+                // lint: allow(L002) TTAS peek; the CAS below carries the Acquire edge
                 if self.state.load(Ordering::Relaxed) == FREE
                     && self
                         .state

@@ -89,6 +89,7 @@ impl RawLock for TtasLock {
     fn lock(&self) {
         let mut backoff = Backoff::new();
         loop {
+            // lint: allow(L002) TTAS peek; the winning swap carries the Acquire edge
             if !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire) {
                 return;
             }
@@ -97,6 +98,7 @@ impl RawLock for TtasLock {
     }
 
     fn try_lock(&self) -> bool {
+        // lint: allow(L002) TTAS peek; the winning swap carries the Acquire edge
         !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
     }
 

@@ -43,6 +43,7 @@ impl TicketLock {
         self.next_ticket
             .0
             .load(Ordering::Relaxed)
+            // lint: allow(L002) monitoring snapshot — approximate by design, no payload read
             .saturating_sub(self.now_serving.0.load(Ordering::Relaxed))
     }
 }
@@ -79,6 +80,7 @@ impl RawLock for TicketLock {
     }
 
     fn try_lock(&self) -> bool {
+        // lint: allow(L002) peek only feeds the CAS expected value; success ordering is Acquire
         let serving = self.now_serving.0.load(Ordering::Relaxed);
         // Only take a ticket if it would be served immediately; otherwise
         // taking one would *obligate* us to wait (tickets can't be

@@ -90,6 +90,7 @@ impl<L: CsLock> Traced<L> {
             waiting_per_socket: Default::default(),
             waiting_total: AtomicU32::new(0),
             trace: std::cell::UnsafeCell::new(CsTrace::new()),
+            // lint: allow(L004) Traced measures real wall time by design (host-timing wrapper)
             epoch: Instant::now(),
             acquisitions: AtomicU64::new(0),
             recorder: None,
@@ -151,6 +152,7 @@ impl<L: CsLock> CsLock for Traced<L> {
         let s = socket.0 as usize % MAX_SOCKETS;
         self.waiting_total.fetch_add(1, Ordering::AcqRel);
         self.waiting_per_socket[s].fetch_add(1, Ordering::AcqRel);
+        // lint: allow(L004) Traced measures real wall time by design (host-timing wrapper)
         let t0 = Instant::now();
         let token = self.inner.acquire(class);
         // We hold the lock: snapshot contention *excluding ourselves*.

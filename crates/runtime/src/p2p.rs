@@ -732,6 +732,7 @@ impl RankHandle {
                 }
             }
         }
+        // lint: allow(L005) invariant — the loop above only breaks once every slot is Some
         Ok(out.into_iter().map(|m| m.expect("all completed")).collect())
     }
 

@@ -216,6 +216,7 @@ impl ReqInner {
         match std::mem::replace(st, ReqState::Freed) {
             ReqState::Completed(msg) => Some(msg),
             ReqState::Active => unreachable!("ready published with state still Active"),
+            // lint: allow(L005) caller bug (double free), not a fault outcome — assert loudly
             ReqState::Freed => panic!("wait/test on a freed request"),
         }
     }
@@ -233,6 +234,7 @@ impl ReqInner {
                 Some(msg)
             }
             ReqState::Active => None,
+            // lint: allow(L005) caller bug (double free), not a fault outcome — assert loudly
             ReqState::Freed => panic!("wait/test on a freed request"),
         }
     }

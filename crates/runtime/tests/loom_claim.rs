@@ -1,0 +1,220 @@
+//! Loom model of the multi-request claim protocol (`request.rs`).
+//!
+//! A wildcard receive that no single VCI can serve is posted to every
+//! shard; since no thread may hold two shard locks, the cross-shard
+//! "exactly one completer" guarantee rests entirely on two atomics:
+//!
+//! * `claim: AtomicU8` — matchers CAS `NONE → COMPLETER`, a cancelling
+//!   owner CASes `NONE → CANCELLER`; exactly one transition succeeds;
+//! * `ready: AtomicBool` — the winning matcher writes the payload
+//!   non-atomically, then publishes with a Release store; the owner
+//!   Acquire-loads `ready` before touching the payload lock-free.
+//!
+//! These tests re-state that protocol on `loom` atomics — the fields,
+//! values, and orderings mirror `ReqInner` line for line — and let the
+//! model check every bounded interleaving. The shim explores SC
+//! schedules (orderings are not weakened); the Release/Acquire *choice*
+//! itself is what `mtmpi-lint` rules L001/L002 pin in the real source.
+
+use loom::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use loom::sync::Arc;
+use std::cell::UnsafeCell;
+
+// Mirror of request.rs's claim-token values.
+const CLAIM_NONE: u8 = 0;
+const CLAIM_COMPLETER: u8 = 1;
+const CLAIM_CANCELLER: u8 = 2;
+
+/// Model of `ReqInner`'s cross-shard hand-off surface.
+struct ModelReq {
+    claim: AtomicU8,
+    ready: AtomicBool,
+    /// Stands in for `ReqState`: written non-atomically by the claim
+    /// winner, read lock-free by the owner after `ready`.
+    payload: UnsafeCell<u64>,
+}
+
+// SAFETY: `payload` is only written by the unique claim-CAS winner and
+// only read by the owner after an Acquire load of `ready` observes the
+// winner's Release store — the exact contract the model verifies.
+unsafe impl Send for ModelReq {}
+// SAFETY: same contract as Send — the claim/ready protocol serializes
+// all access to `payload`.
+unsafe impl Sync for ModelReq {}
+
+impl ModelReq {
+    fn new() -> Self {
+        Self {
+            claim: AtomicU8::new(CLAIM_NONE),
+            ready: AtomicBool::new(false),
+            payload: UnsafeCell::new(0),
+        }
+    }
+
+    /// `ReqInner::claim_complete`, verbatim orderings.
+    fn claim_complete(&self) -> bool {
+        self.claim
+            .compare_exchange(
+                CLAIM_NONE,
+                CLAIM_COMPLETER,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// `ReqInner::claim_cancel`, verbatim orderings.
+    fn claim_cancel(&self) -> bool {
+        self.claim
+            .compare_exchange(
+                CLAIM_NONE,
+                CLAIM_CANCELLER,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// `ReqInner::multi_complete`: payload write, then Release publish.
+    fn multi_complete(&self, msg: u64) {
+        // SAFETY: caller won the claim CAS — unique writer until the
+        // Release store below hands the payload to the owner.
+        unsafe { *self.payload.get() = msg };
+        self.ready.store(true, Ordering::Release);
+    }
+
+    /// `ReqInner::try_free_multi`'s read side: Acquire `ready`, then
+    /// read the payload lock-free.
+    fn try_free(&self) -> Option<u64> {
+        if !self.ready.load(Ordering::Acquire) {
+            return None;
+        }
+        // SAFETY: the Acquire load observed the winner's Release store,
+        // so the payload write happens-before this read and no writer
+        // remains (the claim token admits exactly one).
+        Some(unsafe { *self.payload.get() })
+    }
+}
+
+/// Two shards race to complete the same wildcard request: the claim CAS
+/// must admit exactly one winner, and the owner must read the winner's
+/// payload, never a torn or default value.
+#[test]
+fn exactly_one_completer_wins() {
+    loom::model(|| {
+        let req = Arc::new(ModelReq::new());
+        let mut handles = Vec::new();
+        for shard in 1..=2u64 {
+            let req = Arc::clone(&req);
+            handles.push(loom::thread::spawn(move || {
+                if req.claim_complete() {
+                    req.multi_complete(shard * 10);
+                    1u32
+                } else {
+                    0u32
+                }
+            }));
+        }
+        let winners: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(winners, 1, "claim token admitted {winners} completers");
+        // Both matchers joined, so the winner's publication is complete.
+        let msg = req.try_free().expect("winner published ready");
+        assert!(msg == 10 || msg == 20, "owner read a torn payload: {msg}");
+    });
+}
+
+/// The publication edge itself: the owner spins on `ready` (Acquire)
+/// and must then observe the payload written *before* the Release
+/// store — the hand-off mtmpi-lint rules L001/L002 protect.
+#[test]
+fn ready_publishes_the_payload() {
+    loom::model(|| {
+        let req = Arc::new(ModelReq::new());
+        let matcher = {
+            let req = Arc::clone(&req);
+            loom::thread::spawn(move || {
+                assert!(req.claim_complete(), "uncontended claim cannot fail");
+                req.multi_complete(42);
+            })
+        };
+        let msg = loop {
+            if let Some(m) = req.try_free() {
+                break m;
+            }
+            loom::hint::spin_loop();
+        };
+        assert_eq!(msg, 42, "ready visible before the payload write");
+        matcher.join().unwrap();
+    });
+}
+
+/// A matcher races the owner's timeout cancellation. Exactly one side
+/// claims; a successful cancel means the payload is never published,
+/// and a failed cancel means the message won and must be readable.
+#[test]
+fn cancel_vs_complete_is_exclusive() {
+    loom::model(|| {
+        let req = Arc::new(ModelReq::new());
+        let matcher = {
+            let req = Arc::clone(&req);
+            loom::thread::spawn(move || {
+                if req.claim_complete() {
+                    req.multi_complete(7);
+                    true
+                } else {
+                    false
+                }
+            })
+        };
+        let cancelled = req.claim_cancel();
+        let completed = matcher.join().unwrap();
+        assert_ne!(
+            cancelled, completed,
+            "claim token must admit exactly one of canceller/completer"
+        );
+        if cancelled {
+            assert_eq!(req.try_free(), None, "cancelled request must never publish");
+        } else {
+            let msg = loop {
+                if let Some(m) = req.try_free() {
+                    break m;
+                }
+                loom::hint::spin_loop();
+            };
+            assert_eq!(msg, 7);
+        }
+    });
+}
+
+/// Regression guard for the model itself: weaken the protocol — check
+/// the token with a load instead of CASing it — and the explorer must
+/// find the interleaving where both matchers complete.
+#[test]
+fn model_catches_a_check_then_act_claim() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let req = Arc::new(ModelReq::new());
+            let mut handles = Vec::new();
+            for shard in 1..=2u64 {
+                let req = Arc::clone(&req);
+                handles.push(loom::thread::spawn(move || {
+                    // Broken: load-then-store instead of the CAS — both
+                    // matchers can observe NONE before either claims.
+                    if req.claim.load(Ordering::Acquire) == CLAIM_NONE {
+                        req.claim.store(CLAIM_COMPLETER, Ordering::Release);
+                        req.multi_complete(shard * 10);
+                        1u32
+                    } else {
+                        0u32
+                    }
+                }));
+            }
+            let winners: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(winners, 1, "check-then-act let {winners} matchers complete");
+        });
+    });
+    assert!(
+        result.is_err(),
+        "the model failed to catch the check-then-act claim race"
+    );
+}

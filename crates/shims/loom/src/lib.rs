@@ -690,6 +690,7 @@ pub mod sync {
         }
 
         model_atomic!(AtomicBool, AtomicBool, bool);
+        model_atomic!(AtomicU8, AtomicU8, u8);
         model_atomic!(AtomicU32, AtomicU32, u32);
         model_atomic!(AtomicU64, AtomicU64, u64);
         model_atomic!(AtomicUsize, AtomicUsize, usize);

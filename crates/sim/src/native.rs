@@ -90,6 +90,7 @@ impl NativePlatform {
             cluster,
             net,
             time_scale,
+            // lint: allow(L004) the native backend IS the wall-clock platform
             epoch: Instant::now(),
             locks: Mutex::new(Vec::new()),
             netstate: Mutex::new(NetState {
@@ -141,6 +142,7 @@ impl Platform for NativePlatform {
             return;
         }
         let wall_target = (ns as f64 * self.time_scale) as u64;
+        // lint: allow(L004) the native backend IS the wall-clock platform
         let start = Instant::now();
         // Spin for short waits, sleep for long ones.
         while (start.elapsed().as_nanos() as u64) < wall_target {

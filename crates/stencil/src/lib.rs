@@ -179,9 +179,11 @@ struct Grid {
     data: UnsafeCell<Vec<f64>>,
 }
 
+// SAFETY: a Grid is only moved while no thread borrows its buffers (the
+// owning RankStencil is built before the worker threads start).
+unsafe impl Send for Grid {}
 // SAFETY: threads write disjoint z-slabs between barriers; reads of the
 // previous buffer are shared-read-only during the compute phase.
-unsafe impl Send for Grid {}
 unsafe impl Sync for Grid {}
 
 /// Per-rank stencil state shared by its threads.

@@ -18,164 +18,21 @@
 //! * `top <fig>` — render the windowed contention view (who holds the
 //!   runtime critical section, when) of `results/BENCH_<fig>.json`.
 //!
-//! * `lint` — custom static pass over the lock and runtime sources that
-//!   flags *mutating* atomic operations with `Ordering::Relaxed` on lock
-//!   guard / hand-off fields. A Relaxed store to the field that transfers
-//!   lock ownership (e.g. a ticket lock's `now_serving`, a TAS lock's
-//!   `locked` flag, an MCS node's `next`/`tail` pointer) would break the
-//!   release→acquire edge that makes the critical section's writes
-//!   visible to the next owner — the exact class of bug loom and TSan
-//!   exist to catch, flagged here at source level so it never compiles in
-//!   unnoticed. Exit code 1 if any finding survives.
-//!
-//! Suppress a finding with a `// lint: relaxed-ok` comment on the same or
-//! the preceding source line (for the rare deliberate Relaxed, with a
-//! justification next to it).
+//! * `lint [--json] [--update-baseline]` — run mtmpi-lint, the
+//!   concurrency-contract static analysis (rules L001–L006: Relaxed
+//!   hand-off mutations, Acquire-less published loads, nested critical
+//!   sections, determinism sources, panics on typed-error paths,
+//!   undocumented unsafe), over the whole workspace. Exit code 1 if any
+//!   finding is not covered by `crates/lint/baseline.txt`. Suppress a
+//!   deliberate site with `// lint: allow(L00x) <why>` on the same or
+//!   preceding line (the legacy `// lint: relaxed-ok` still means
+//!   `allow(L001)`). See DESIGN.md §13 and `crates/lint`.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 mod bench;
 mod trace;
-
-/// Fields through which lock ownership is transferred or observed for
-/// acquisition. Mutating one with `Ordering::Relaxed` is (at minimum) a
-/// missing Release edge.
-const HANDOFF_FIELDS: &[&str] = &[
-    "now_serving",     // ticket / priority ticket grant counter
-    "locked",          // TAS/TTAS flag, MCS node spin flag
-    "state",           // futex mutex word
-    "tail",            // MCS/CLH queue tail
-    "next",            // MCS successor pointer
-    "already_blocked", // priority lock's burst hand-off flag
-    "grant",           // generic grant words
-];
-
-/// Mutating atomic operations (loads are judged by their consumers and
-/// left to loom/TSan).
-const MUTATING_OPS: &[&str] = &[
-    ".store(",
-    ".swap(",
-    ".fetch_add(",
-    ".fetch_sub(",
-    ".fetch_or(",
-    ".fetch_and(",
-    ".fetch_xor(",
-    ".compare_exchange(",
-    ".compare_exchange_weak(",
-];
-
-/// One lint finding.
-#[derive(Debug, PartialEq, Eq)]
-struct Finding {
-    file: PathBuf,
-    /// 1-based line of the statement (first line of a wrapped chain).
-    line: usize,
-    field: &'static str,
-    text: String,
-}
-
-impl std::fmt::Display for Finding {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{}:{}: Relaxed mutation of hand-off field `{}`: {}",
-            self.file.display(),
-            self.line,
-            self.field,
-            self.text.trim()
-        )
-    }
-}
-
-/// Join rustfmt-wrapped method chains into logical statements so the
-/// receiver, the method, and its `Ordering` arguments are analysed
-/// together. Returns `(first_line_number, joined_text, suppressed)`.
-fn logical_lines(src: &str) -> Vec<(usize, String, bool)> {
-    let mut out: Vec<(usize, String, bool)> = Vec::new();
-    let mut prev_suppressed = false;
-    for (i, raw) in src.lines().enumerate() {
-        let suppress_here = raw.contains("lint: relaxed-ok");
-        // Strip the comment part before analysis.
-        let code = raw.split("//").next().unwrap_or("").trim_end();
-        let trimmed = code.trim_start();
-        let continuation = trimmed.starts_with('.');
-        if continuation {
-            if let Some(last) = out.last_mut() {
-                last.1.push_str(trimmed);
-                last.2 |= suppress_here || prev_suppressed;
-                prev_suppressed = suppress_here;
-                continue;
-            }
-        }
-        out.push((i + 1, trimmed.to_string(), suppress_here || prev_suppressed));
-        prev_suppressed = suppress_here;
-    }
-    out
-}
-
-/// Whether a mutating call's *effective* ordering is Relaxed. For
-/// `compare_exchange{,_weak}` only the success ordering (the first
-/// `Ordering::` argument) counts; a Relaxed *failure* ordering is normal.
-fn effective_relaxed(call_tail: &str, is_cas: bool) -> bool {
-    if is_cas {
-        call_tail
-            .find("Ordering::")
-            .is_some_and(|p| call_tail[p..].starts_with("Ordering::Relaxed"))
-    } else {
-        call_tail.contains("Ordering::Relaxed")
-    }
-}
-
-/// Run the pass over one file's source text.
-fn lint_source(file: &Path, src: &str) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    for (line, text, suppressed) in logical_lines(src) {
-        if suppressed || !text.contains("Ordering::Relaxed") {
-            continue;
-        }
-        for op in MUTATING_OPS {
-            let Some(pos) = text.find(op) else { continue };
-            let before = &text[..pos];
-            let tail = &text[pos + op.len()..];
-            let is_cas = op.starts_with(".compare_exchange");
-            if !effective_relaxed(tail, is_cas) {
-                continue;
-            }
-            for field in HANDOFF_FIELDS {
-                // Receiver must end with the field (possibly through a
-                // cache-pad `.0` projection): `self.now_serving.0` etc.
-                let f_pad = format!("{field}.0");
-                if before.ends_with(field) || before.ends_with(&f_pad) {
-                    findings.push(Finding {
-                        file: file.to_path_buf(),
-                        line,
-                        field,
-                        text: text.clone(),
-                    });
-                    break;
-                }
-            }
-        }
-    }
-    findings
-}
-
-/// Collect `.rs` files under `dir`, recursively, in sorted order.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-    paths.sort();
-    for p in paths {
-        if p.is_dir() {
-            rust_files(&p, out);
-        } else if p.extension().is_some_and(|e| e == "rs") {
-            out.push(p);
-        }
-    }
-}
 
 fn workspace_root() -> PathBuf {
     // xtask lives at <root>/xtask.
@@ -185,40 +42,65 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
-fn run_lint() -> ExitCode {
+/// The mtmpi-lint gate. Exit-code contract (unchanged since the
+/// original regex pass): 0 when clean, 1 when any unbaselined finding
+/// survives; findings go to stdout, the failure summary to stderr.
+fn run_lint(json: bool, update_baseline: bool) -> ExitCode {
     let root = workspace_root();
-    let targets = [
-        root.join("crates/locks/src"),
-        root.join("crates/runtime/src"),
-    ];
-    let mut files = Vec::new();
-    for t in &targets {
-        rust_files(t, &mut files);
+    if update_baseline {
+        return match mtmpi_lint::update_baseline(&root) {
+            Ok(n) => {
+                println!(
+                    "xtask lint: baseline rewritten with {n} entr{} — justify each before committing",
+                    if n == 1 { "y" } else { "ies" }
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("xtask lint: cannot write baseline: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
-    let mut total = 0usize;
-    for f in &files {
-        let src = std::fs::read_to_string(f).unwrap_or_default();
-        for finding in lint_source(f.strip_prefix(&root).unwrap_or(f), &src) {
-            println!("{finding}");
-            total += 1;
+    match mtmpi_lint::run(&root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_text());
+            }
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("xtask lint: {} finding(s)", report.fresh.len());
+                ExitCode::FAILURE
+            }
         }
-    }
-    if total == 0 {
-        println!(
-            "xtask lint: {} files scanned, no Relaxed hand-off mutations",
-            files.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("xtask lint: {total} finding(s)");
-        ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::FAILURE
+        }
     }
 }
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
-        Some("lint") => run_lint(),
+        Some("lint") => {
+            let mut json = false;
+            let mut update = false;
+            for a in args {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--update-baseline" => update = true,
+                    other => {
+                        eprintln!("xtask lint: unknown argument {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            run_lint(json, update)
+        }
         Some("trace") => match args.next() {
             Some(fig) => trace::run_trace(&fig, &workspace_root()),
             None => {
@@ -258,100 +140,13 @@ fn main() -> ExitCode {
         other => {
             eprintln!(
                 "usage: cargo run -p xtask -- <lint|trace <fig>|bench-diff|top <fig>>\n  (got {:?})\n\n\
-                 lint         flag Ordering::Relaxed mutations of lock hand-off fields\n\
+                 lint         mtmpi-lint static analysis (L001–L006) vs crates/lint/baseline.txt\n\
                  trace <fig>  run a figure binary traced and validate its JSON outputs\n\
                  bench-diff   [--baseline <dir>] [--quick] gate BENCH_*.json vs baselines\n\
                  top <fig>    windowed contention view of results/BENCH_<fig>.json",
                 other
             );
             ExitCode::FAILURE
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lint_str(src: &str) -> Vec<Finding> {
-        lint_source(Path::new("test.rs"), src)
-    }
-
-    #[test]
-    fn flags_relaxed_store_on_handoff_field() {
-        let f = lint_str("self.now_serving.0.store(1, Ordering::Relaxed);");
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].field, "now_serving");
-        assert_eq!(f[0].line, 1);
-    }
-
-    #[test]
-    fn release_store_is_clean() {
-        assert!(lint_str("self.now_serving.0.store(1, Ordering::Release);").is_empty());
-    }
-
-    #[test]
-    fn relaxed_load_is_not_a_mutation() {
-        assert!(lint_str("let x = self.now_serving.0.load(Ordering::Relaxed);").is_empty());
-    }
-
-    #[test]
-    fn non_handoff_receiver_is_ignored() {
-        assert!(lint_str("counter.fetch_add(1, Ordering::Relaxed);").is_empty());
-    }
-
-    #[test]
-    fn cas_relaxed_failure_ordering_is_fine() {
-        let src = "self.state.compare_exchange(FREE, LOCKED, Ordering::Acquire, Ordering::Relaxed)";
-        assert!(lint_str(src).is_empty());
-    }
-
-    #[test]
-    fn cas_relaxed_success_ordering_is_flagged() {
-        let src = "self.state.compare_exchange(FREE, LOCKED, Ordering::Relaxed, Ordering::Relaxed)";
-        let f = lint_str(src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].field, "state");
-    }
-
-    #[test]
-    fn wrapped_chain_is_joined() {
-        let src = "        self.tail\n            .swap(node, Ordering::Relaxed)\n";
-        let f = lint_str(src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].field, "tail");
-        assert_eq!(
-            f[0].line, 1,
-            "finding anchors to the statement's first line"
-        );
-    }
-
-    #[test]
-    fn suppression_comment_works() {
-        let same = "self.locked.store(false, Ordering::Relaxed); // lint: relaxed-ok";
-        assert!(lint_str(same).is_empty());
-        let prev = "// deliberate, see proof sketch — lint: relaxed-ok\nself.locked.store(false, Ordering::Relaxed);";
-        assert!(lint_str(prev).is_empty());
-    }
-
-    #[test]
-    fn swap_relaxed_on_locked_is_flagged() {
-        let f = lint_str("if !self.locked.swap(true, Ordering::Relaxed) {");
-        assert_eq!(f.len(), 1);
-    }
-
-    #[test]
-    fn real_tree_is_clean() {
-        let root = workspace_root();
-        for dir in ["crates/locks/src", "crates/runtime/src"] {
-            let mut files = Vec::new();
-            rust_files(&root.join(dir), &mut files);
-            assert!(!files.is_empty(), "no sources under {dir}?");
-            for f in &files {
-                let src = std::fs::read_to_string(f).unwrap();
-                let findings = lint_source(f, &src);
-                assert!(findings.is_empty(), "unexpected findings: {findings:?}");
-            }
         }
     }
 }
