@@ -119,8 +119,9 @@ fn decode_records(bytes: &[u8]) -> impl Iterator<Item = (u64, u32, u8, u8)> + '_
 /// until a WALKDONE marker has arrived from every rank.
 pub fn assembly_receiver(sh: &AssemblyShared, h: &RankHandle) {
     let platform = h.platform().clone();
+    let c = h.world_comm();
     loop {
-        let m = h.recv(ANY_SOURCE, ANY_TAG);
+        let m = c.recv(ANY_SOURCE, ANY_TAG);
         match m.tag {
             TAG_BATCH => {
                 let bytes = m.data.as_bytes();
@@ -151,7 +152,7 @@ pub fn assembly_receiver(sh: &AssemblyShared, h: &RankHandle) {
                     }
                     None => reply.push(0),
                 }
-                h.send(m.src, TAG_REPLY, MsgData::Bytes(reply));
+                c.send(m.src, TAG_REPLY, MsgData::Bytes(reply));
             }
             TAG_REPLY => {
                 let b = m.data.as_bytes();
@@ -190,7 +191,7 @@ fn query_kmer(sh: &AssemblyShared, h: &RankHandle, kmer: u64) -> Option<KmerInfo
     let mut req = Vec::with_capacity(16);
     req.extend_from_slice(&kmer.to_le_bytes());
     req.extend_from_slice(&token.to_le_bytes());
-    h.send(owner, TAG_QUERY, MsgData::Bytes(req));
+    h.world_comm().send(owner, TAG_QUERY, MsgData::Bytes(req));
     // The reply is routed back through this rank's receiver thread.
     loop {
         if let Some(info) = sh.replies.lock().remove(&token) {
@@ -205,6 +206,7 @@ fn query_kmer(sh: &AssemblyShared, h: &RankHandle, kmer: u64) -> Option<KmerInfo
 /// the global stats on rank 0, `None` elsewhere.
 pub fn assembly_worker(sh: &AssemblyShared, h: &RankHandle) -> Option<ContigStats> {
     let platform = h.platform().clone();
+    let c = h.world_comm();
     let k = sh.cfg.k;
     let nranks = sh.nranks;
     // ---- phase 2: k-mer extraction and distribution ----
@@ -232,7 +234,7 @@ pub fn assembly_worker(sh: &AssemblyShared, h: &RankHandle) -> Option<ContigStat
             if outbuf[o].len() >= BATCH_RECORDS {
                 let bytes = encode_records(&outbuf[o]);
                 outbuf[o].clear();
-                h.send(o as u32, TAG_BATCH, MsgData::Bytes(bytes));
+                c.send(o as u32, TAG_BATCH, MsgData::Bytes(bytes));
             }
         }
         platform.compute(extracted * EXTRACT_NS);
@@ -241,11 +243,11 @@ pub fn assembly_worker(sh: &AssemblyShared, h: &RankHandle) -> Option<ContigStat
         if !buf.is_empty() {
             let bytes = encode_records(buf);
             buf.clear();
-            h.send(o as u32, TAG_BATCH, MsgData::Bytes(bytes));
+            c.send(o as u32, TAG_BATCH, MsgData::Bytes(bytes));
         }
     }
     for o in 0..nranks {
-        h.send(o, TAG_DONE, MsgData::Bytes(Vec::new()));
+        c.send(o, TAG_DONE, MsgData::Bytes(Vec::new()));
     }
     // Wait until the local shard is complete, then synchronize globally
     // so every shard is complete before queries start.
@@ -286,7 +288,7 @@ pub fn assembly_worker(sh: &AssemblyShared, h: &RankHandle) -> Option<ContigStat
         *c = my_contigs.clone();
     }
     for o in 0..nranks {
-        h.send(o, TAG_WALKDONE, MsgData::Bytes(Vec::new()));
+        c.send(o, TAG_WALKDONE, MsgData::Bytes(Vec::new()));
     }
     // ---- global stats ----
     let contigs = h.allreduce_sum_u64(my_contigs.len() as u64);

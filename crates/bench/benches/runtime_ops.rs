@@ -17,7 +17,7 @@ fn bench_pingpong_sim(c: &mut Criterion) {
                     .ranks_per_node(1)
                     .threads_per_rank(1),
                 |ctx| {
-                    let h = &ctx.rank;
+                    let h = ctx.rank.world_comm();
                     if h.rank() == 0 {
                         for _ in 0..100 {
                             h.send(1, 0, MsgData::Synthetic(8));
@@ -43,7 +43,7 @@ fn bench_pingpong_sim(c: &mut Criterion) {
                     .ranks_per_node(1)
                     .threads_per_rank(8),
                 |ctx| {
-                    let h = &ctx.rank;
+                    let h = ctx.rank.world_comm();
                     let j = ctx.thread as i32;
                     if h.rank() == 0 {
                         for _ in 0..2 {

@@ -37,7 +37,7 @@ fn main() {
                         .threads_per_rank(8)
                         .granularity(g),
                     move |ctx| {
-                        let h = &ctx.rank;
+                        let h = ctx.rank.world_comm();
                         let j = ctx.thread as i32;
                         if h.rank() == 0 {
                             for _ in 0..6 {

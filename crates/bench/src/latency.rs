@@ -28,7 +28,7 @@ pub fn latency_run(
             .ranks_per_node(1)
             .threads_per_rank(threads),
         move |ctx| {
-            let h = &ctx.rank;
+            let h = ctx.rank.world_comm();
             let tag = ctx.thread as i32;
             if h.rank() == 0 {
                 for _ in 0..iters {

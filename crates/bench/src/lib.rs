@@ -31,7 +31,7 @@ pub use n2n::{n2n_run, n2n_series};
 pub use report::{trace_mode, Fig};
 pub use rma::{rma_run, rma_series, RmaOpKind};
 pub use throughput::{
-    throughput_run, throughput_series, vci_throughput_run, ThroughputParams, ThroughputResult,
-    WINDOW,
+    stream_throughput_run, throughput_run, throughput_series, vci_throughput_run, ThroughputParams,
+    ThroughputResult, WINDOW,
 };
 pub use util::{msg_sizes, msg_sizes_quick, print_figure_header, quick_mode, rma_sizes};

@@ -29,7 +29,7 @@ pub fn n2n_run(
             .ranks_per_node(1)
             .threads_per_rank(threads),
         move |ctx| {
-            let h = &ctx.rank;
+            let h = ctx.rank.world_comm();
             let me = h.rank();
             let n = h.nranks();
             let tag = ctx.thread as i32; // peer thread pairing

@@ -58,7 +58,7 @@ pub fn rma_run(
                 // ends. The blocking receive keeps this rank's progress
                 // engine turning (as an ARMCI barrier would), and the
                 // async progress thread stays alive until we return.
-                let _ = h.recv(Some(0), Some(900));
+                let _ = h.world_comm().recv(Some(0), Some(900));
                 return;
             }
             let n = h.nranks();
@@ -71,7 +71,7 @@ pub fn rma_run(
                 }
             }
             for r in 1..n {
-                h.send(r, 900, MsgData::Synthetic(0));
+                h.world_comm().send(r, 900, MsgData::Synthetic(0));
             }
         },
     );

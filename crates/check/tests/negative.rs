@@ -79,7 +79,7 @@ fn seeded_leaked_request_is_detected_at_world_drop() {
         .ranks(1)
         .build()
         .expect("valid world");
-    let r0 = w.rank(0);
+    let r0 = w.rank(0).world_comm();
     spawn(&p, "leaker", 0, move || {
         // Post a receive that no sender will ever match, then drop the
         // handle without wait/test: Issue → Post, never Complete/Free.
@@ -119,7 +119,7 @@ fn seeded_unfreed_send_is_detected_at_world_drop() {
         .rank_on_node(|r| r)
         .build()
         .expect("valid world");
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     spawn(&p, "s", 0, move || {
         let req = a.isend(1, 4, MsgData::Bytes(vec![9]));
         drop(req); // leak: never waited
@@ -151,7 +151,7 @@ fn clean_exchange_is_quiescent() {
         .lock(LockKind::Ticket)
         .build()
         .expect("valid world");
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     spawn(&p, "s", 0, move || {
         let r = a.isend(1, 1, MsgData::Bytes(vec![1, 2]));
         let _ = a.wait(r);

@@ -132,6 +132,9 @@ impl Experiment {
         if let Some(map) = &cfg.vci_map {
             builder = builder.vci_map(map.clone());
         }
+        if cfg.streams > 0 {
+            builder = builder.streams(cfg.streams);
+        }
         if self.faults.is_active() {
             builder = builder.fault_plan(self.faults.clone());
         }
@@ -259,6 +262,9 @@ pub struct RunConfig {
     pub progress_thread: bool,
     /// VCI sharding policy; `None` = the single global critical section.
     pub vci_map: Option<VciMap>,
+    /// Single-owner stream shards appended after the sharded VCIs
+    /// (0 = none; requires a sharded pool, i.e. `vci_map`/`vci_count`).
+    pub streams: u32,
 }
 
 impl RunConfig {
@@ -275,6 +281,7 @@ impl RunConfig {
             window_bytes: 0,
             progress_thread: false,
             vci_map: None,
+            streams: 0,
         }
     }
 
@@ -330,6 +337,13 @@ impl RunConfig {
     /// Shard with an explicit [`VciMap`] policy.
     pub fn vci_map(mut self, map: VciMap) -> Self {
         self.vci_map = Some(map);
+        self
+    }
+
+    /// Give every rank `n` single-owner stream shards (bound at run time
+    /// with `ctx.rank.stream_at(..)`); needs a sharded pool.
+    pub fn streams(mut self, n: u32) -> Self {
+        self.streams = n;
         self
     }
 }

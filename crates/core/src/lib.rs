@@ -18,11 +18,13 @@
 //! let out = exp.run(
 //!     RunConfig::new(Method::Ticket).ranks_per_node(1).threads_per_rank(2),
 //!     |ctx| {
-//!         // Every (rank, thread) runs this body.
-//!         if ctx.rank.rank() == 0 {
-//!             ctx.rank.send(1, ctx.thread as i32, MsgData::Synthetic(64));
+//!         // Every (rank, thread) runs this body; ops issue through
+//!         // the communicator-first surface.
+//!         let c = ctx.rank.world_comm();
+//!         if c.rank() == 0 {
+//!             c.send(1, ctx.thread as i32, MsgData::Synthetic(64));
 //!         } else {
-//!             ctx.rank.recv(Some(0), Some(ctx.thread as i32));
+//!             c.recv(Some(0), Some(ctx.thread as i32));
 //!         }
 //!     },
 //! );

@@ -202,6 +202,7 @@ pub fn hybrid_bfs_thread(
     edge_ns: u64,
 ) -> Option<HybridStats> {
     let platform = h.platform().clone();
+    let c = h.world_comm();
     let nranks = bfs.nranks;
     let mut my_traversed = 0u64;
     let mut levels = 0u32;
@@ -243,7 +244,7 @@ pub fn hybrid_bfs_thread(
                         if outbuf[o].len() >= FLUSH_PAIRS {
                             let data = encode_pairs(&outbuf[o]);
                             outbuf[o].clear();
-                            send_reqs.push(h.isend(o as u32, edge_tag(thread, level), data.into()));
+                            send_reqs.push(c.isend(o as u32, edge_tag(thread, level), data.into()));
                             batches_sent[o] += 1;
                         }
                     }
@@ -262,14 +263,14 @@ pub fn hybrid_bfs_thread(
             if !buf.is_empty() {
                 let data = encode_pairs(buf);
                 buf.clear();
-                send_reqs.push(h.isend(o as u32, edge_tag(thread, level), data.into()));
+                send_reqs.push(c.isend(o as u32, edge_tag(thread, level), data.into()));
                 batches_sent[o] += 1;
             }
         }
         if nranks > 1 {
             for o in 0..nranks {
                 if o != bfs.rank {
-                    send_reqs.push(h.isend(
+                    send_reqs.push(c.isend(
                         o,
                         done_tag(thread, level),
                         batches_sent[o as usize].to_le_bytes().to_vec().into(),
@@ -278,7 +279,7 @@ pub fn hybrid_bfs_thread(
             }
             drain_incoming(bfs, h, thread, level, &platform);
         }
-        h.waitall(send_reqs);
+        c.waitall(send_reqs);
         // ---- level barrier + frontier swap ----
         bfs.barrier.wait(platform.as_ref());
         let mut global_next = 0;
@@ -340,11 +341,12 @@ fn drain_incoming(
     platform: &std::sync::Arc<dyn mtmpi_sim::Platform>,
 ) {
     let nranks = bfs.nranks;
+    let c = h.world_comm();
     let etag = edge_tag(thread, level);
     let dtag = done_tag(thread, level);
     let mut done_reqs: Vec<Request> = (0..nranks)
         .filter(|&o| o != bfs.rank)
-        .map(|o| h.irecv(Some(o), Some(dtag)))
+        .map(|o| c.irecv(Some(o), Some(dtag)))
         .collect();
     let mut expected = 0u64;
     let mut received = 0u64;
@@ -353,7 +355,7 @@ fn drain_incoming(
         // Collect DONE counts.
         let mut still = Vec::with_capacity(done_reqs.len());
         for r in done_reqs {
-            match h.test(r) {
+            match c.test(r) {
                 TestOutcome::Done(m) => {
                     let b = m.data.as_bytes();
                     expected += u64::from_le_bytes(b[..8].try_into().expect("u64"));
@@ -364,10 +366,10 @@ fn drain_incoming(
         done_reqs = still;
         // Keep exactly one edge receive posted while batches remain.
         if edge_req.is_none() && received < expected {
-            edge_req = Some(h.irecv(None, Some(etag)));
+            edge_req = Some(c.irecv(None, Some(etag)));
         }
         if let Some(r) = edge_req.take() {
-            match h.test(r) {
+            match c.test(r) {
                 TestOutcome::Done(m) => {
                     received += 1;
                     let bytes = m.data.as_bytes();

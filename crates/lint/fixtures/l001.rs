@@ -11,6 +11,7 @@ pub struct Handoff {
     now_serving: AtomicU32,
     claim: AtomicU8,
     ready: AtomicBool,
+    stream_owner: AtomicU64,
     count: AtomicU64,
 }
 
@@ -35,6 +36,25 @@ impl Handoff {
 
     pub fn publish_right(&self) {
         self.ready.store(true, Ordering::Release);
+    }
+
+    pub fn stream_unbind_wrong(&self) {
+        // Relaxed release of the stream claim word: the next binder's
+        // Acquire CAS has nothing to pair with.
+        self.stream_owner.store(0, Ordering::Relaxed); // FIRE: L001
+    }
+
+    pub fn stream_bind_wrong(&self, me: u64) -> bool {
+        self.stream_owner.compare_exchange(0, me, Ordering::Relaxed, Ordering::Relaxed).is_ok() // FIRE: L001
+    }
+
+    pub fn stream_bind_right(&self, me: u64) -> bool {
+        // The real bind: AcqRel success pairs with the unbind Release.
+        self.stream_owner.compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire).is_ok()
+    }
+
+    pub fn stream_unbind_right(&self) {
+        self.stream_owner.store(0, Ordering::Release);
     }
 
     pub fn stat_ok(&self) {

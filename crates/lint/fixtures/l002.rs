@@ -10,6 +10,7 @@ pub struct Published {
     seq: AtomicU64,
     ack: AtomicU64,
     mail_ready: AtomicBool,
+    stream_owner: AtomicU64,
     scratch: AtomicU32,
 }
 
@@ -28,6 +29,16 @@ impl Published {
 
     pub fn ack_right(&self) -> u64 {
         self.ack.load(Ordering::Acquire)
+    }
+
+    pub fn stream_owner_wrong(&self) -> u64 {
+        // Checking "is the stream free?" without the Acquire misses the
+        // previous owner's plain-state publication.
+        self.stream_owner.load(Ordering::Relaxed) // FIRE: L002
+    }
+
+    pub fn stream_owner_right(&self) -> u64 {
+        self.stream_owner.load(Ordering::Acquire)
     }
 
     pub fn scratch_ok(&self) -> u32 {

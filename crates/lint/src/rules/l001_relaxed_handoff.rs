@@ -25,6 +25,7 @@ pub const HANDOFF_FIELDS: &[&str] = &[
     "grant",           // generic grant words
     "claim",           // VCI wildcard claim token (NONE→COMPLETER/CANCELLER)
     "ready",           // multi-request completion publication flag
+    "stream_owner",    // stream claim word (bind CAS / unbind Release)
 ];
 
 /// Mutating atomic operations. Loads are L002's concern.

@@ -28,6 +28,11 @@ pub enum Path {
     /// Application thread spinning inside `wait`/`waitall`/`rma_wait`
     /// (low arbitration priority, but not the progress engine).
     WaitSpin,
+    /// Owner-mode passage through a stream-bound shard: no lock was
+    /// taken at all (the binding thread has exclusive access), so the
+    /// span's wait time is zero by construction. Tallied apart so the
+    /// lock-path asymmetry metrics never mix lock-free passages in.
+    Stream,
 }
 
 impl Path {
@@ -37,12 +42,13 @@ impl Path {
             Path::Main => "main",
             Path::Progress => "progress",
             Path::WaitSpin => "waitspin",
+            Path::Stream => "stream",
         }
     }
 
     /// All variants, in a stable order (for exhaustive tabulation;
     /// `Main` first so per-path tables lead with the application path).
-    pub const ALL: [Path; 3] = [Path::Main, Path::Progress, Path::WaitSpin];
+    pub const ALL: [Path; 4] = [Path::Main, Path::Progress, Path::WaitSpin, Path::Stream];
 
     /// Stable small index of the variant (position in [`Path::ALL`]).
     pub fn idx(self) -> u8 {
@@ -50,6 +56,7 @@ impl Path {
             Path::Main => 0,
             Path::Progress => 1,
             Path::WaitSpin => 2,
+            Path::Stream => 3,
         }
     }
 
@@ -270,6 +277,7 @@ mod tests {
         assert_eq!(Path::Main.label(), "main");
         assert_eq!(Path::Progress.label(), "progress");
         assert_eq!(Path::WaitSpin.label(), "waitspin");
+        assert_eq!(Path::Stream.label(), "stream");
         assert_eq!(ReqPhase::Issue.label(), "issue");
         assert_eq!(ReqPhase::Post.label(), "post");
         assert_eq!(ReqPhase::Complete.label(), "complete");

@@ -107,12 +107,19 @@ pub struct Starvation {
     /// path, but *not* the progress engine, so they are tallied apart
     /// and excluded from the starvation ratio.
     pub waitspin_spans: u64,
+    /// Owner-mode passages through stream-bound shards (`Path::Stream`).
+    /// These take no lock at all — wait is zero by construction — so
+    /// they are tallied apart and excluded from the starvation ratio.
+    pub stream_spans: u64,
     /// Mean wait of main-path passages.
     pub main_wait_mean_ns: f64,
     /// Mean wait of progress-path passages.
     pub progress_wait_mean_ns: f64,
     /// Mean wait of wait-spin passages.
     pub waitspin_wait_mean_ns: f64,
+    /// Mean wait of stream passages (0 unless the owner-mode contract
+    /// were ever violated — a nonzero value here is a bug signal).
+    pub stream_wait_mean_ns: f64,
     /// `progress_wait_mean / main_wait_mean` (0 when either side has no
     /// samples or the main mean is 0).
     pub ratio: f64,
@@ -307,6 +314,7 @@ pub fn vci_loads(t: &Timeline) -> (Vec<VciLoad>, f64) {
 /// starvation summary and the per-VCI breakdown).
 fn starvation_of(spans: &[CsSpanView]) -> Starvation {
     let (mut mn, mut mw, mut pn, mut pw, mut sn, mut sw) = (0u64, 0u64, 0u64, 0u64, 0u64, 0u64);
+    let (mut stn, mut stw) = (0u64, 0u64);
     for s in spans {
         match s.path {
             Path::Main => {
@@ -321,18 +329,29 @@ fn starvation_of(spans: &[CsSpanView]) -> Starvation {
                 sn += 1;
                 sw += s.wait_ns();
             }
+            Path::Stream => {
+                stn += 1;
+                stw += s.wait_ns();
+            }
         }
     }
     let main_mean = if mn == 0 { 0.0 } else { mw as f64 / mn as f64 };
     let prog_mean = if pn == 0 { 0.0 } else { pw as f64 / pn as f64 };
     let spin_mean = if sn == 0 { 0.0 } else { sw as f64 / sn as f64 };
+    let stream_mean = if stn == 0 {
+        0.0
+    } else {
+        stw as f64 / stn as f64
+    };
     Starvation {
         main_spans: mn,
         progress_spans: pn,
         waitspin_spans: sn,
+        stream_spans: stn,
         main_wait_mean_ns: main_mean,
         progress_wait_mean_ns: prog_mean,
         waitspin_wait_mean_ns: spin_mean,
+        stream_wait_mean_ns: stream_mean,
         ratio: if main_mean > 0.0 && pn > 0 {
             prog_mean / main_mean
         } else {

@@ -31,6 +31,7 @@ fn path_label(p: Path) -> &'static str {
         Path::Main => "main",
         Path::Progress => "progress",
         Path::WaitSpin => "waitspin",
+        Path::Stream => "stream",
     }
 }
 
@@ -94,14 +95,17 @@ impl ProfReport {
         let st = &self.blame.starvation;
         out.push_str(&format!(
             "],\"starvation\":{{\"main_spans\":{},\"progress_spans\":{},\
-             \"waitspin_spans\":{},\"main_wait_mean_ns\":{},\
-             \"progress_wait_mean_ns\":{},\"waitspin_wait_mean_ns\":{},\"ratio\":{}}}}}",
+             \"waitspin_spans\":{},\"stream_spans\":{},\"main_wait_mean_ns\":{},\
+             \"progress_wait_mean_ns\":{},\"waitspin_wait_mean_ns\":{},\
+             \"stream_wait_mean_ns\":{},\"ratio\":{}}}}}",
             st.main_spans,
             st.progress_spans,
             st.waitspin_spans,
+            st.stream_spans,
             fmt_f64(st.main_wait_mean_ns),
             fmt_f64(st.progress_wait_mean_ns),
             fmt_f64(st.waitspin_wait_mean_ns),
+            fmt_f64(st.stream_wait_mean_ns),
             fmt_f64(st.ratio)
         ));
         let d = &self.decomp;

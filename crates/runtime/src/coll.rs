@@ -37,13 +37,9 @@ impl RankHandle {
         while dist < n {
             let dst = (me + dist) % n;
             let src = (me + n - dist % n) % n;
-            let s = self.isend_on(
-                CommId::INTERNAL,
-                dst,
-                BARRIER_TAG + k,
-                MsgData::Synthetic(0),
-            );
-            let m = self.try_recv_on(CommId::INTERNAL, Some(src), Some(BARRIER_TAG + k))?;
+            let internal = self.comm(CommId::INTERNAL);
+            let s = internal.isend(dst, BARRIER_TAG + k, MsgData::Synthetic(0));
+            let m = internal.try_recv(Some(src), Some(BARRIER_TAG + k))?;
             debug_assert_eq!(m.src, src);
             self.try_wait(s)?;
             dist *= 2;
@@ -74,8 +70,7 @@ impl RankHandle {
         while dist < n {
             if me & dist != 0 {
                 // Sender: ship partial and leave the reduction.
-                self.try_send_on(
-                    CommId::INTERNAL,
+                self.comm(CommId::INTERNAL).try_send(
                     me - dist,
                     REDUCE_TAG,
                     MsgData::Bytes(value),
@@ -83,7 +78,9 @@ impl RankHandle {
                 value = Vec::new();
                 break;
             } else if me + dist < n {
-                let m = self.try_recv_on(CommId::INTERNAL, Some(me + dist), Some(REDUCE_TAG))?;
+                let m = self
+                    .comm(CommId::INTERNAL)
+                    .try_recv(Some(me + dist), Some(REDUCE_TAG))?;
                 combine(&mut value, m.data.as_bytes());
             }
             dist *= 2;
@@ -102,15 +99,16 @@ impl RankHandle {
         dist /= 2;
         if me != 0 {
             let lsb = me & me.wrapping_neg();
-            let m = self.try_recv_on(CommId::INTERNAL, Some(me - lsb), Some(BCAST_TAG))?;
+            let m = self
+                .comm(CommId::INTERNAL)
+                .try_recv(Some(me - lsb), Some(BCAST_TAG))?;
             value = m.data.into_bytes();
             dist = lsb / 2;
         }
         while dist >= 1 {
             let dst = me + dist;
             if dst < n && me.is_multiple_of(dist * 2) {
-                self.try_send_on(
-                    CommId::INTERNAL,
+                self.comm(CommId::INTERNAL).try_send(
                     dst,
                     BCAST_TAG,
                     MsgData::Bytes(value.clone()),

@@ -1,0 +1,127 @@
+//! The communicator-first issuing surface.
+//!
+//! A [`Comm`] pairs one rank's handle with one communicator id and is
+//! the single way to issue two-sided operations: `world.rank(r)` gives
+//! the per-thread [`RankHandle`], `rank.comm(id)` (or
+//! [`RankHandle::world_comm`]) the issuing surface. The historical
+//! free-method zoo (`isend`/`isend_on`/`send_on`/…) survives one
+//! release as deprecated shims over the same implementations.
+//!
+//! Completion calls (`test`/`wait`/`waitall` and their `try_` forms)
+//! are also mirrored here so a `Comm` is a self-sufficient handle — they
+//! forward to the rank-level completion paths, which accept any request
+//! issued on any communicator of the rank.
+
+use crate::errors::MpiError;
+use crate::request::{Request, TestOutcome};
+use crate::types::{CommId, Msg, MsgData, Tag};
+use crate::world::RankHandle;
+
+/// One rank's issuing surface on one communicator. Cheap to clone; make
+/// one per thread (it is `Send`, like the [`RankHandle`] it wraps).
+#[derive(Clone)]
+pub struct Comm {
+    h: RankHandle,
+    id: CommId,
+}
+
+impl RankHandle {
+    /// Issuing surface for communicator `id` as this rank.
+    pub fn comm(&self, id: CommId) -> Comm {
+        Comm {
+            h: self.clone(),
+            id,
+        }
+    }
+
+    /// Issuing surface for the world communicator as this rank.
+    pub fn world_comm(&self) -> Comm {
+        self.comm(CommId::WORLD)
+    }
+}
+
+impl Comm {
+    /// The communicator this handle issues on.
+    pub fn id(&self) -> CommId {
+        self.id
+    }
+
+    /// This handle's rank.
+    pub fn rank(&self) -> u32 {
+        self.h.rank()
+    }
+
+    /// Total ranks in the world.
+    pub fn nranks(&self) -> u32 {
+        self.h.nranks()
+    }
+
+    /// The rank handle this communicator issues through.
+    pub fn rank_handle(&self) -> &RankHandle {
+        &self.h
+    }
+
+    /// Nonblocking send.
+    ///
+    /// Under the eager model the request completes at issue time (the
+    /// payload is buffered/injected); `wait` on it frees it immediately.
+    pub fn isend(&self, dst: u32, tag: Tag, data: MsgData) -> Request {
+        self.h.isend_impl(self.id, dst, tag, data)
+    }
+
+    /// Nonblocking receive. `None` = wildcard. A receive the VCI map can
+    /// pin to one shard runs the classic single-CS protocol; otherwise
+    /// it fans out to every shard (see the [`crate::p2p`] module docs).
+    pub fn irecv(&self, src: Option<u32>, tag: Option<Tag>) -> Request {
+        self.h.irecv_impl(self.id, src, tag)
+    }
+
+    /// Blocking send.
+    pub fn send(&self, dst: u32, tag: Tag, data: MsgData) {
+        let r = self.isend(dst, tag, data);
+        let _ = self.h.wait(r);
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self, src: Option<u32>, tag: Option<Tag>) -> Msg {
+        let r = self.irecv(src, tag);
+        self.h.wait(r)
+    }
+
+    /// Fallible blocking send.
+    pub fn try_send(&self, dst: u32, tag: Tag, data: MsgData) -> Result<(), MpiError> {
+        let r = self.isend(dst, tag, data);
+        self.h.try_wait(r).map(|_| ())
+    }
+
+    /// Fallible blocking receive.
+    pub fn try_recv(&self, src: Option<u32>, tag: Option<Tag>) -> Result<Msg, MpiError> {
+        let r = self.irecv(src, tag);
+        self.h.try_wait(r)
+    }
+
+    /// Nonblocking completion test — see [`RankHandle::test`].
+    pub fn test(&self, req: Request) -> TestOutcome {
+        self.h.test(req)
+    }
+
+    /// Blocking completion wait — see [`RankHandle::wait`].
+    pub fn wait(&self, req: Request) -> Msg {
+        self.h.wait(req)
+    }
+
+    /// Fallible blocking wait — see [`RankHandle::try_wait`].
+    pub fn try_wait(&self, req: Request) -> Result<Msg, MpiError> {
+        self.h.try_wait(req)
+    }
+
+    /// Wait for all requests — see [`RankHandle::waitall`].
+    pub fn waitall(&self, reqs: Vec<Request>) -> Vec<Msg> {
+        self.h.waitall(reqs)
+    }
+
+    /// Fallible wait for all requests — see [`RankHandle::try_waitall`].
+    pub fn try_waitall(&self, reqs: Vec<Request>) -> Result<Vec<Msg>, MpiError> {
+        self.h.try_waitall(reqs)
+    }
+}

@@ -22,6 +22,13 @@ pub enum BuildError {
     /// `vci_count(0)` (or a zero-count [`mtmpi_vci::VciMap`]): every
     /// rank needs at least one virtual communication interface.
     ZeroVcis,
+    /// `streams(n)` with `n > 0` but `vci_count(0)`: stream-bound shards
+    /// extend the sharded pool, so a world with streams still needs at
+    /// least one regular VCI for unbound and wildcard traffic.
+    StreamsWithoutVcis {
+        /// How many streams were requested.
+        streams: u32,
+    },
 }
 
 impl std::fmt::Display for BuildError {
@@ -42,11 +49,77 @@ impl std::fmt::Display for BuildError {
                 "vci_count is 0: every rank needs at least one virtual \
                  communication interface (1 = the unsharded global CS)"
             ),
+            BuildError::StreamsWithoutVcis { streams } => write!(
+                f,
+                "streams({streams}) requested with vci_count 0: stream shards \
+                 extend the sharded pool, so keep at least one regular VCI \
+                 for unbound and wildcard traffic"
+            ),
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+/// Why [`crate::RankHandle::try_stream_at`] could not hand out a
+/// [`crate::Stream`].
+///
+/// Binding is a compare-and-swap on the stream shard's claim word, so
+/// these are the only failure modes; the panicking wrappers
+/// ([`crate::RankHandle::stream`], [`crate::RankHandle::stream_at`])
+/// surface them with this error's `Display` text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamBindError {
+    /// The stream index is not within `0..streams` for this world.
+    OutOfRange {
+        /// Rank that asked.
+        rank: u32,
+        /// The offending stream index.
+        sid: u32,
+        /// How many streams the world was built with.
+        streams: u32,
+    },
+    /// That stream is currently bound by another live [`crate::Stream`]
+    /// handle (single-binder rule: drop or `unbind` it first).
+    AlreadyBound {
+        /// Rank that asked.
+        rank: u32,
+        /// The contested stream index.
+        sid: u32,
+    },
+    /// Every stream of the rank is bound (the auto-picking
+    /// [`crate::RankHandle::stream`] found no free claim word).
+    AllBound {
+        /// Rank that asked.
+        rank: u32,
+        /// How many streams the world was built with.
+        streams: u32,
+    },
+}
+
+impl std::fmt::Display for StreamBindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamBindError::OutOfRange { rank, sid, streams } => write!(
+                f,
+                "rank {rank}: stream index {sid} out of range — the world \
+                 was built with streams({streams})"
+            ),
+            StreamBindError::AlreadyBound { rank, sid } => write!(
+                f,
+                "rank {rank}: stream {sid} is already bound by another \
+                 thread — one binder at a time (drop the other Stream first)"
+            ),
+            StreamBindError::AllBound { rank, streams } => write!(
+                f,
+                "rank {rank}: all {streams} stream(s) are bound — build the \
+                 world with more streams(n) or unbind one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamBindError {}
 
 /// Why a blocking completion call (`try_wait`, `try_waitall`,
 /// `try_rma_wait`, collectives) gave up.
@@ -127,6 +200,30 @@ mod tests {
         assert!(BuildError::ZeroWindowWithRma
             .to_string()
             .contains("window_bytes"));
+        assert!(BuildError::StreamsWithoutVcis { streams: 4 }
+            .to_string()
+            .contains("streams(4)"));
+    }
+
+    #[test]
+    fn stream_bind_errors_name_the_contested_stream() {
+        let e = StreamBindError::OutOfRange {
+            rank: 1,
+            sid: 7,
+            streams: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 1"), "{s}");
+        assert!(s.contains("index 7"), "{s}");
+        assert!(s.contains("streams(4)"), "{s}");
+        let s = StreamBindError::AlreadyBound { rank: 0, sid: 2 }.to_string();
+        assert!(s.contains("stream 2 is already bound"), "{s}");
+        let s = StreamBindError::AllBound {
+            rank: 3,
+            streams: 2,
+        }
+        .to_string();
+        assert!(s.contains("all 2 stream(s)"), "{s}");
     }
 
     #[test]

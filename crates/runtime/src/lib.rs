@@ -46,7 +46,7 @@
 //!     .lock(LockKind::Ticket)
 //!     .build()
 //!     .expect("valid configuration");
-//! let (a, b) = (world.rank(0), world.rank(1));
+//! let (a, b) = (world.rank(0).world_comm(), world.rank(1).world_comm());
 //! platform.spawn(
 //!     ThreadDesc { name: "sender".into(), node: 0, core: CoreId(0) },
 //!     Box::new(move || { a.send(1, 7, MsgData::Bytes(vec![42])); }));
@@ -60,6 +60,7 @@
 //! ```
 
 pub mod coll;
+pub mod comm;
 pub mod costs;
 pub mod errors;
 pub mod faults;
@@ -71,14 +72,17 @@ pub mod request;
 pub mod rma;
 pub mod state;
 pub mod stats;
+pub mod stream;
 pub mod types;
 pub mod world;
 
+pub use comm::Comm;
 pub use costs::RuntimeCosts;
-pub use errors::{BuildError, MpiError};
+pub use errors::{BuildError, MpiError, StreamBindError};
 pub use granularity::Granularity;
 pub use request::{Request, TestOutcome};
 pub use stats::RankStats;
+pub use stream::Stream;
 pub use types::{CommId, Msg, MsgData, Tag, ANY_SOURCE, ANY_TAG};
 pub use world::{RankHandle, World, WorldBuilder};
 // Re-exported so builder callers can configure sharding without naming
@@ -96,8 +100,9 @@ pub use mtmpi_vci::{VciKey, VciMap};
 /// the observability entry points — everything the `examples/` need.
 pub mod prelude {
     pub use crate::{
-        BuildError, CommId, Granularity, MpiError, Msg, MsgData, RankHandle, RankStats, Request,
-        RuntimeCosts, Tag, TestOutcome, VciKey, VciMap, World, WorldBuilder, ANY_SOURCE, ANY_TAG,
+        BuildError, Comm, CommId, Granularity, MpiError, Msg, MsgData, RankHandle, RankStats,
+        Request, RuntimeCosts, Stream, StreamBindError, Tag, TestOutcome, VciKey, VciMap, World,
+        WorldBuilder, ANY_SOURCE, ANY_TAG,
     };
     pub use mtmpi_locks::PathClass;
     pub use mtmpi_net::{FaultPlan, NetModel};

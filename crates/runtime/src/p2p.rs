@@ -34,10 +34,12 @@ use std::sync::Arc;
 ///
 /// # Safety
 ///
-/// The caller must hold the queue lock of `req`'s home shard (i.e. run
-/// inside [`WorldInner::cs`] on that shard), which serializes both the
-/// request state and the shared state.
-unsafe fn try_free_in_cs(
+/// The caller must serialize access to `req`'s home shard: hold its
+/// queue lock (run inside [`WorldInner::cs`] on that shard), or be the
+/// bound owner of that stream shard (run inside
+/// [`WorldInner::stream_pass`]). Either way both the request state and
+/// the shared state are exclusively held.
+pub(crate) unsafe fn try_free_in_cs(
     w: &WorldInner,
     st: &mut SharedState,
     rank: u32,
@@ -66,8 +68,9 @@ unsafe fn try_free_in_cs(
 ///
 /// # Safety
 ///
-/// The caller must hold the queue lock of `req`'s home shard.
-unsafe fn cancel_in_cs(w: &WorldInner, st: &mut SharedState, _rank: u32, req: &Request) {
+/// The caller must hold the queue lock of `req`'s home shard, or be the
+/// bound owner of that stream shard.
+pub(crate) unsafe fn cancel_in_cs(w: &WorldInner, st: &mut SharedState, _rank: u32, req: &Request) {
     // SAFETY: queue lock held (this function's contract).
     if unsafe { req.inner.cancel() } {
         if let Some(i) = st
@@ -123,7 +126,7 @@ fn retract_multi(w: &WorldInner, rank: u32, req: &Arc<ReqInner>) {
 /// Cancel a fan-out request (timeout/fault escalation). If a matcher
 /// already won the completion claim, the message wins the race: spin
 /// until its publication lands and return it.
-fn cancel_multi(w: &WorldInner, rank: u32, req: &Request) -> Option<Msg> {
+pub(crate) fn cancel_multi(w: &WorldInner, rank: u32, req: &Request) -> Option<Msg> {
     if req.inner.claim_cancel() {
         w.platform.compute(w.costs.free_ns);
         w.procs[rank as usize].wild.note_cancelled();
@@ -139,8 +142,9 @@ fn cancel_multi(w: &WorldInner, rank: u32, req: &Request) -> Option<Msg> {
     }
 }
 
-/// One iteration of a blocking wait loop, seen from inside the CS.
-enum WaitStep {
+/// One iteration of a blocking wait loop, seen from inside the CS (or a
+/// stream shard's owner-mode passage).
+pub(crate) enum WaitStep {
     Done(Msg),
     Fail(MpiError),
     Pending,
@@ -156,17 +160,183 @@ enum MultiPass {
     Posted,
 }
 
+/// Issue one eager send inside an exclusive shard passage: charge the
+/// in-CS costs, inject the payload, settle the ledger, and build the
+/// already-completed request. Shared by the sharded path
+/// ([`RankHandle::isend_impl`], under the queue lock) and the
+/// stream-bound path ([`crate::Stream::isend`], owner mode — `vci` is
+/// then the stream's shard index).
+///
+/// Caller must hold the shard exclusively (queue lock or stream
+/// ownership).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn issue_send(
+    w: &WorldInner,
+    st: &mut SharedState,
+    src_rank: u32,
+    vci: u32,
+    tid: u64,
+    comm: CommId,
+    dst: u32,
+    tag: Tag,
+    data: MsgData,
+) -> Arc<ReqInner> {
+    let costs = w.costs;
+    if !w.granularity.alloc_outside_cs() {
+        w.platform.compute(costs.alloc_ns);
+    }
+    w.platform.compute(costs.enqueue_ns);
+    let bytes = data.len() + costs.header_bytes;
+    crate::faults::send_data(
+        w,
+        st,
+        src_rank,
+        vci,
+        dst,
+        bytes,
+        PacketKind::Msg {
+            comm,
+            tag,
+            data,
+            sent_ns: w.platform.now_ns(),
+        },
+    );
+    // Eager send: issued and completed in one step.
+    st.ledger.note_issued();
+    st.ledger.note_completed();
+    w.rec_now(|| EventKind::Req {
+        rank: src_rank,
+        vci,
+        phase: ReqPhase::Issue,
+    });
+    w.rec_now(|| EventKind::Req {
+        rank: src_rank,
+        vci,
+        phase: ReqPhase::Complete,
+    });
+    ReqInner::new_completed(
+        src_rank,
+        tid,
+        ReqKind::Send,
+        vci,
+        Msg {
+            src: src_rank,
+            tag,
+            data: MsgData::Synthetic(0),
+        },
+    )
+}
+
+/// Issue one single-shard receive inside an exclusive shard passage:
+/// scan the unexpected queue, complete immediately on a hit, post on a
+/// miss. Shared by the sharded path ([`RankHandle::irecv_impl`], under
+/// the queue lock) and the stream-bound path ([`crate::Stream::irecv`],
+/// owner mode).
+///
+/// Caller must hold the shard exclusively (queue lock or stream
+/// ownership).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn issue_recv(
+    w: &WorldInner,
+    st: &mut SharedState,
+    rank: u32,
+    vci: u32,
+    tid: u64,
+    comm: CommId,
+    src: Option<u32>,
+    tag: Option<Tag>,
+) -> Arc<ReqInner> {
+    let costs = w.costs;
+    if !w.granularity.alloc_outside_cs() {
+        w.platform.compute(costs.alloc_ns);
+    }
+    // First look in the unexpected queue (Fig 3b "found in
+    // UnexpectedQ" arc); charge per scanned entry.
+    let mut scanned = 0u64;
+    let pos = st.unexpected.iter().position(|u| {
+        scanned += 1;
+        matches(src, tag, comm, u.src, u.tag, u.comm)
+    });
+    w.platform.compute(scanned * costs.match_scan_ns);
+    w.rec_now(|| EventKind::Req {
+        rank,
+        vci,
+        phase: ReqPhase::Issue,
+    });
+    match pos {
+        Some(i) => {
+            let u = st.unexpected.remove(i).expect("index valid");
+            // The eager payload was buffered; matching copies it
+            // out into the user buffer.
+            w.platform
+                .compute(costs.complete_ns + costs.unexpected_copy_ns(u.data.len()));
+            st.dangling_now += 1;
+            st.msg_latency_ns
+                .record(w.platform.now_ns().saturating_sub(u.sent_ns));
+            // Unexpected match: issued and completed immediately,
+            // never posted.
+            st.ledger.note_issued();
+            st.ledger.note_completed();
+            w.rec_now(|| EventKind::Req {
+                rank,
+                vci,
+                phase: ReqPhase::Complete,
+            });
+            ReqInner::new_completed(
+                rank,
+                tid,
+                ReqKind::Recv,
+                vci,
+                Msg {
+                    src: u.src,
+                    tag: u.tag,
+                    data: u.data,
+                },
+            )
+        }
+        None => {
+            w.platform.compute(costs.enqueue_ns);
+            let req = ReqInner::new(rank, tid, ReqKind::Recv, vci);
+            st.ledger.note_issued();
+            st.ledger.note_posted();
+            w.rec_now(|| EventKind::Req {
+                rank,
+                vci,
+                phase: ReqPhase::Post,
+            });
+            st.posted.push_back(crate::state::PostedRecv {
+                req: req.clone(),
+                src,
+                tag,
+                comm,
+            });
+            st.note_depths();
+            req
+        }
+    }
+}
+
 impl RankHandle {
     /// Nonblocking send on the world communicator.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.world_comm().isend(dst, tag, data)`")]
     pub fn isend(&self, dst: u32, tag: Tag, data: MsgData) -> Request {
-        self.isend_on(CommId::WORLD, dst, tag, data)
+        self.isend_impl(CommId::WORLD, dst, tag, data)
     }
 
     /// Nonblocking send on a communicator.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.comm(comm).isend(dst, tag, data)`")]
+    pub fn isend_on(&self, comm: CommId, dst: u32, tag: Tag, data: MsgData) -> Request {
+        self.isend_impl(comm, dst, tag, data)
+    }
+
+    /// Nonblocking send on a communicator (the one implementation all
+    /// surfaces funnel into).
     ///
     /// Under the eager model the request completes at issue time (the
     /// payload is buffered/injected); `wait` on it frees it immediately.
-    pub fn isend_on(&self, comm: CommId, dst: u32, tag: Tag, data: MsgData) -> Request {
+    pub(crate) fn isend_impl(&self, comm: CommId, dst: u32, tag: Tag, data: MsgData) -> Request {
         let w = &self.world;
         assert!(dst < w.nranks(), "destination rank out of range");
         let costs = w.costs;
@@ -176,67 +346,35 @@ impl RankHandle {
             // lock-free, outside the CS.
             w.platform.compute(costs.alloc_ns + 2 * costs.atomic_ns);
         }
-        let bytes = data.len() + costs.header_bytes;
         let src_rank = self.rank;
         let tid = w.platform.current_tid();
         // Sends are always fully addressed: route to one shard.
         let vci = w.vci_for(comm, src_rank, dst, tag);
         let inner = w.cs(self.rank, vci, PathClass::Main, CsOp::Isend, |st| {
-            if !w.granularity.alloc_outside_cs() {
-                w.platform.compute(costs.alloc_ns);
-            }
-            w.platform.compute(costs.enqueue_ns);
-            crate::faults::send_data(
-                w,
-                st,
-                src_rank,
-                vci,
-                dst,
-                bytes,
-                PacketKind::Msg {
-                    comm,
-                    tag,
-                    data,
-                    sent_ns: w.platform.now_ns(),
-                },
-            );
-            // Eager send: issued and completed in one step.
-            st.ledger.note_issued();
-            st.ledger.note_completed();
-            w.rec_now(|| EventKind::Req {
-                rank: src_rank,
-                vci,
-                phase: ReqPhase::Issue,
-            });
-            w.rec_now(|| EventKind::Req {
-                rank: src_rank,
-                vci,
-                phase: ReqPhase::Complete,
-            });
-            ReqInner::new_completed(
-                src_rank,
-                tid,
-                ReqKind::Send,
-                vci,
-                Msg {
-                    src: src_rank,
-                    tag,
-                    data: MsgData::Synthetic(0),
-                },
-            )
+            issue_send(w, st, src_rank, vci, tid, comm, dst, tag, data)
         });
         Request { inner }
     }
 
     /// Nonblocking receive on the world communicator. `None` = wildcard.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.world_comm().irecv(src, tag)`")]
     pub fn irecv(&self, src: Option<u32>, tag: Option<Tag>) -> Request {
-        self.irecv_on(CommId::WORLD, src, tag)
+        self.irecv_impl(CommId::WORLD, src, tag)
     }
 
-    /// Nonblocking receive on a communicator. A receive the VCI map can
-    /// pin to one shard runs the classic protocol; otherwise it fans out
-    /// to every shard (see the module docs).
+    /// Nonblocking receive on a communicator.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.comm(comm).irecv(src, tag)`")]
     pub fn irecv_on(&self, comm: CommId, src: Option<u32>, tag: Option<Tag>) -> Request {
+        self.irecv_impl(comm, src, tag)
+    }
+
+    /// Nonblocking receive on a communicator (the one implementation all
+    /// surfaces funnel into). A receive the VCI map can pin to one shard
+    /// runs the classic protocol; otherwise it fans out to every shard
+    /// (see the module docs).
+    pub(crate) fn irecv_impl(&self, comm: CommId, src: Option<u32>, tag: Option<Tag>) -> Request {
         let w = &self.world;
         if let Some(s) = src {
             assert!(s < w.nranks(), "source rank out of range");
@@ -252,73 +390,7 @@ impl RankHandle {
         };
         let tid = w.platform.current_tid();
         let inner = w.cs(rank, vci, PathClass::Main, CsOp::Irecv, |st| {
-            if !w.granularity.alloc_outside_cs() {
-                w.platform.compute(costs.alloc_ns);
-            }
-            // First look in the unexpected queue (Fig 3b "found in
-            // UnexpectedQ" arc); charge per scanned entry.
-            let mut scanned = 0u64;
-            let pos = st.unexpected.iter().position(|u| {
-                scanned += 1;
-                matches(src, tag, comm, u.src, u.tag, u.comm)
-            });
-            w.platform.compute(scanned * costs.match_scan_ns);
-            w.rec_now(|| EventKind::Req {
-                rank,
-                vci,
-                phase: ReqPhase::Issue,
-            });
-            match pos {
-                Some(i) => {
-                    let u = st.unexpected.remove(i).expect("index valid");
-                    // The eager payload was buffered; matching copies it
-                    // out into the user buffer.
-                    w.platform
-                        .compute(costs.complete_ns + costs.unexpected_copy_ns(u.data.len()));
-                    st.dangling_now += 1;
-                    st.msg_latency_ns
-                        .record(w.platform.now_ns().saturating_sub(u.sent_ns));
-                    // Unexpected match: issued and completed immediately,
-                    // never posted.
-                    st.ledger.note_issued();
-                    st.ledger.note_completed();
-                    w.rec_now(|| EventKind::Req {
-                        rank,
-                        vci,
-                        phase: ReqPhase::Complete,
-                    });
-                    ReqInner::new_completed(
-                        rank,
-                        tid,
-                        ReqKind::Recv,
-                        vci,
-                        Msg {
-                            src: u.src,
-                            tag: u.tag,
-                            data: u.data,
-                        },
-                    )
-                }
-                None => {
-                    w.platform.compute(costs.enqueue_ns);
-                    let req = ReqInner::new(rank, tid, ReqKind::Recv, vci);
-                    st.ledger.note_issued();
-                    st.ledger.note_posted();
-                    w.rec_now(|| EventKind::Req {
-                        rank,
-                        vci,
-                        phase: ReqPhase::Post,
-                    });
-                    st.posted.push_back(crate::state::PostedRecv {
-                        req: req.clone(),
-                        src,
-                        tag,
-                        comm,
-                    });
-                    st.note_depths();
-                    req
-                }
-            }
+            issue_recv(w, st, rank, vci, tid, comm, src, tag)
         });
         Request { inner }
     }
@@ -422,6 +494,10 @@ impl RankHandle {
             req.inner.owner_rank, self.rank,
             "test on another rank's request"
         );
+        assert!(
+            req.inner.multi || req.inner.vci < w.vci_n(),
+            "stream-bound request: complete it through its Stream handle"
+        );
         let rank = self.rank;
         let costs = w.costs;
         w.platform.compute(costs.call_overhead_ns);
@@ -494,6 +570,10 @@ impl RankHandle {
             req.inner.owner_rank, self.rank,
             "wait on another rank's request"
         );
+        assert!(
+            req.inner.multi || req.inner.vci < w.vci_n(),
+            "stream-bound request: complete it through its Stream handle"
+        );
         let rank = self.rank;
         let costs = w.costs;
         w.platform.compute(costs.call_overhead_ns);
@@ -538,9 +618,12 @@ impl RankHandle {
             // Never runs unsharded (vci_n() == 1 ⇒ no candidates).
             spins += 1;
             if spins.is_multiple_of(4) && w.vci_n() > 1 {
+                // Stream shards (past vci_n) are never steal victims:
+                // only their bound owner may progress them.
                 let snap: Vec<u64> = w.procs[rank as usize]
                     .shards
                     .iter()
+                    .take(w.vci_n() as usize)
                     .map(|s| s.last_poll_ns.load(Ordering::Relaxed))
                     .collect();
                 if let Some(victim) = mtmpi_vci::pick_starved(&snap, vci) {
@@ -645,6 +728,10 @@ impl RankHandle {
             assert_eq!(
                 r.inner.owner_rank, rank,
                 "waitall on another rank's request"
+            );
+            assert!(
+                r.inner.multi || r.inner.vci < w.vci_n(),
+                "stream-bound request: complete it through its Stream handle"
             );
             if r.inner.multi {
                 multis.push((i, r));
@@ -790,31 +877,41 @@ impl RankHandle {
         self.try_waitall(reqs).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Blocking send.
+    /// Blocking send on the world communicator.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.world_comm().send(dst, tag, data)`")]
     pub fn send(&self, dst: u32, tag: Tag, data: MsgData) {
-        let r = self.isend(dst, tag, data);
+        let r = self.isend_impl(CommId::WORLD, dst, tag, data);
         let _ = self.wait(r);
     }
 
-    /// Blocking receive.
+    /// Blocking receive on the world communicator.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.world_comm().recv(src, tag)`")]
     pub fn recv(&self, src: Option<u32>, tag: Option<Tag>) -> Msg {
-        let r = self.irecv(src, tag);
+        let r = self.irecv_impl(CommId::WORLD, src, tag);
         self.wait(r)
     }
 
     /// Blocking send on a communicator.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.comm(comm).send(dst, tag, data)`")]
     pub fn send_on(&self, comm: CommId, dst: u32, tag: Tag, data: MsgData) {
-        let r = self.isend_on(comm, dst, tag, data);
+        let r = self.isend_impl(comm, dst, tag, data);
         let _ = self.wait(r);
     }
 
     /// Blocking receive on a communicator.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.comm(comm).recv(src, tag)`")]
     pub fn recv_on(&self, comm: CommId, src: Option<u32>, tag: Option<Tag>) -> Msg {
-        let r = self.irecv_on(comm, src, tag);
+        let r = self.irecv_impl(comm, src, tag);
         self.wait(r)
     }
 
     /// Fallible blocking send on a communicator.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.comm(comm).try_send(dst, tag, data)`")]
     pub fn try_send_on(
         &self,
         comm: CommId,
@@ -822,18 +919,20 @@ impl RankHandle {
         tag: Tag,
         data: MsgData,
     ) -> Result<(), MpiError> {
-        let r = self.isend_on(comm, dst, tag, data);
+        let r = self.isend_impl(comm, dst, tag, data);
         self.try_wait(r).map(|_| ())
     }
 
     /// Fallible blocking receive on a communicator.
+    #[deprecated(note = "issue through a communicator handle: \
+                         `rank.comm(comm).try_recv(src, tag)`")]
     pub fn try_recv_on(
         &self,
         comm: CommId,
         src: Option<u32>,
         tag: Option<Tag>,
     ) -> Result<Msg, MpiError> {
-        let r = self.irecv_on(comm, src, tag);
+        let r = self.irecv_impl(comm, src, tag);
         self.try_wait(r)
     }
 
@@ -857,8 +956,13 @@ pub(crate) fn wait_path(class: PathClass) -> Path {
 /// Shared tail of one wait-loop CS passage: free if completed, surface a
 /// sticky fault error (cancelling the request) otherwise.
 ///
-/// Caller must hold the queue lock.
-fn wait_step(w: &WorldInner, st: &mut SharedState, rank: u32, req: &Request) -> WaitStep {
+/// Caller must hold the queue lock (or be the bound stream owner).
+pub(crate) fn wait_step(
+    w: &WorldInner,
+    st: &mut SharedState,
+    rank: u32,
+    req: &Request,
+) -> WaitStep {
     // SAFETY: queue lock held (this function's contract).
     if let Some(m) = unsafe { try_free_in_cs(w, st, rank, req) } {
         return WaitStep::Done(m);

@@ -8,7 +8,7 @@
 //! exactly the pre-VCI runtime's, so unsharded runs stay byte-identical.
 
 use crate::costs::RuntimeCosts;
-use crate::errors::BuildError;
+use crate::errors::{BuildError, StreamBindError};
 use crate::granularity::Granularity;
 use crate::state::SharedState;
 use crate::stats::RankStats;
@@ -19,7 +19,7 @@ use mtmpi_obs::{CsOp, Event, EventKind, Recorder};
 use mtmpi_sim::{LockId, LockKind, Platform};
 use mtmpi_vci::{VciMap, VciPool};
 use std::cell::UnsafeCell;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One virtual communication interface of one MPI process: an
@@ -32,6 +32,12 @@ pub(crate) struct Shard {
     /// work-stealing starvation signal. Monitoring only (plain
     /// store/load, never a synchronization hand-off).
     pub(crate) last_poll_ns: AtomicU64,
+    /// Stream claim word: 0 = unbound, otherwise `tid + 1` of the one
+    /// thread owning this stream shard. Bind is a CAS(0 → tid+1,
+    /// AcqRel); unbind quiesces, then stores 0 with Release so the next
+    /// binder's Acquire sees every plain write made while bound. Always
+    /// 0 on regular (non-stream) shards.
+    pub(crate) stream_owner: AtomicU64,
     state: UnsafeCell<SharedState>,
 }
 
@@ -46,12 +52,15 @@ pub(crate) struct Process {
 }
 
 // SAFETY: each shard's `state` is only accessed through
-// `WorldInner::cs_on`, which holds that shard's queue lock, or through
-// the post-run diagnostics methods. `wild` and `last_poll_ns` are
-// atomic.
+// `WorldInner::cs_on` (which holds that shard's queue lock), through
+// `WorldInner::stream_pass` (whose caller is the single thread holding
+// the shard's stream claim word, with Release/Acquire publication at
+// each bind/unbind hand-off), or through the post-run diagnostics
+// methods. `wild`, `last_poll_ns`, and `stream_owner` are atomic.
 unsafe impl Send for Process {}
-// SAFETY: same contract as Send — the per-shard queue lock serializes
-// all shared access to that shard's `state`.
+// SAFETY: same contract as Send — the per-shard queue lock (or, for a
+// stream shard, the claim word) serializes all shared access to that
+// shard's `state`.
 unsafe impl Sync for Process {}
 
 /// Map a lock path class onto the obs event model's path enum (the two
@@ -74,7 +83,13 @@ pub(crate) struct WorldInner {
     /// Arbitration of the CS locks (stamped into CS span events).
     pub(crate) lock: LockKind,
     /// Envelope → VCI routing (count 1 = the unsharded global CS).
+    /// Routes only across the sharded VCIs — stream shards sit past the
+    /// map's range and are reached solely through a bound
+    /// [`crate::Stream`].
     pub(crate) vci_map: VciMap,
+    /// Stream shards appended after the sharded VCIs (0 = none; the
+    /// pre-stream layout, byte-identical to PR-5 builds).
+    pub(crate) streams: u32,
     /// Structured-event sink; `None` costs one branch per record site.
     pub(crate) recorder: Option<Arc<dyn Recorder>>,
     /// Whether an active fault plan was installed (mirrors
@@ -117,10 +132,26 @@ impl WorldInner {
         }
     }
 
-    /// Number of VCIs per rank.
+    /// Number of *sharded* VCIs per rank (excludes stream shards, so
+    /// every `0..vci_n()` sweep — wildcard fan-out, work stealing,
+    /// multi-shard free — never touches another thread's stream).
     #[inline]
     pub(crate) fn vci_n(&self) -> u32 {
         self.vci_map.count()
+    }
+
+    /// Total shards per rank: sharded VCIs plus stream shards. The
+    /// post-run sweeps (stats, leak checks) cover this full range.
+    #[inline]
+    pub(crate) fn shard_total(&self) -> u32 {
+        self.vci_map.count() + self.streams
+    }
+
+    /// Pool index of stream `sid` of a rank (stream shards sit after
+    /// the sharded VCIs).
+    #[inline]
+    pub(crate) fn stream_shard(&self, sid: u32) -> u32 {
+        self.vci_n() + sid
     }
 
     /// One shard of one rank.
@@ -194,6 +225,83 @@ impl WorldInner {
             t_acq,
         });
         r
+    }
+
+    /// Owner-mode passage through a stream-bound shard: the CS-equivalent
+    /// of [`Self::cs_on`] with **no lock at all** — the caller *is* the
+    /// thread whose id sits in the shard's claim word, so the state is
+    /// private by construction. Wait time is recorded as 0 (there is
+    /// nothing to wait on) and the span is attributed to
+    /// [`mtmpi_obs::Path::Stream`] so lock-path metrics never mix
+    /// lock-free passages in.
+    ///
+    /// # Safety
+    ///
+    /// The caller must be the bound owner of stream shard `shard_idx`
+    /// (its claim word holds the caller's `tid + 1`). The live
+    /// [`crate::Stream`] handle is the capability that proves this.
+    pub(crate) unsafe fn stream_pass<R>(
+        &self,
+        rank: u32,
+        shard_idx: u32,
+        op: CsOp,
+        f: impl FnOnce(&mut SharedState) -> R,
+    ) -> R {
+        let p = self.shard(rank, shard_idx);
+        let t_acq = self.platform.now_ns();
+        // SAFETY: caller contract — this thread owns the claim word, so
+        // no other thread can be inside this shard's state.
+        let st = unsafe { &mut *p.state.get() };
+        st.cs_acquisitions += 1;
+        st.cs_wait_ns.record(0);
+        let d = st.dangling_now;
+        st.dangling.sample(d);
+        let r = f(st);
+        let t_rel = self.platform.now_ns();
+        st.cs_hold_ns.record(t_rel.saturating_sub(t_acq));
+        self.rec_at(t_rel, || EventKind::CsSpan {
+            lock: p.cs_queue.0 as u32,
+            kind: "stream",
+            path: mtmpi_obs::Path::Stream,
+            op,
+            vci: shard_idx,
+            t_req: t_acq,
+            t_acq,
+        });
+        r
+    }
+
+    /// Claim stream `sid` of `rank` for the calling thread. The CAS
+    /// acquires (pairing with the Release store of the previous owner's
+    /// unbind) so every plain write the old owner made inside the shard
+    /// is visible before the new owner's first [`Self::stream_pass`].
+    pub(crate) fn try_bind_stream(&self, rank: u32, sid: u32) -> Result<(), StreamBindError> {
+        if sid >= self.streams {
+            return Err(StreamBindError::OutOfRange {
+                rank,
+                sid,
+                streams: self.streams,
+            });
+        }
+        let sh = self.shard(rank, self.stream_shard(sid));
+        let me = self.platform.current_tid() + 1;
+        match sh
+            .stream_owner
+            .compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => Ok(()),
+            Err(_) => Err(StreamBindError::AlreadyBound { rank, sid }),
+        }
+    }
+
+    /// Publish the bound thread's plain-state writes and drop the claim.
+    /// Callers must have quiesced the stream first (drained its mailbox,
+    /// freed or cancelled its requests) — the Release store is the
+    /// publication edge the next binder's Acquire CAS synchronizes with.
+    pub(crate) fn release_stream(&self, rank: u32, sid: u32) {
+        self.shard(rank, self.stream_shard(sid))
+            .stream_owner
+            .store(0, Ordering::Release);
     }
 
     /// Acquire a shard's progress lock (PerQueue mode only; otherwise
@@ -270,6 +378,7 @@ pub struct WorldBuilder {
     fault_plan: Option<FaultPlan>,
     vci_count: u32,
     vci_map: Option<VciMap>,
+    streams: u32,
 }
 
 impl World {
@@ -289,6 +398,7 @@ impl World {
             fault_plan: None,
             vci_count: 1,
             vci_map: None,
+            streams: 0,
         }
     }
 
@@ -297,9 +407,16 @@ impl World {
         self.inner.nranks()
     }
 
-    /// Number of virtual communication interfaces per rank.
+    /// Number of sharded virtual communication interfaces per rank
+    /// (excludes stream shards — see [`Self::streams`]).
     pub fn vci_count(&self) -> u32 {
         self.inner.vci_n()
+    }
+
+    /// Number of stream shards per rank (0 unless the world was built
+    /// with [`WorldBuilder::streams`]).
+    pub fn streams(&self) -> u32 {
+        self.inner.streams
     }
 
     /// Handle for issuing MPI calls as `rank`. Clone it into each of the
@@ -325,12 +442,12 @@ impl World {
     }
 
     /// Unified introspection snapshot of a rank: every profiling metric
-    /// the runtime keeps, merged across its VCIs (plus the wildcard
-    /// ledger), in one struct. **Post-run only** (after
-    /// `platform.run()` has returned).
+    /// the runtime keeps, merged across its VCIs *and* stream shards
+    /// (plus the wildcard ledger), in one struct. **Post-run only**
+    /// (after `platform.run()` has returned).
     pub fn stats(&self, rank: u32) -> RankStats {
         let mut out = self.vci_stats(rank, 0);
-        for vci in 1..self.inner.vci_n() {
+        for vci in 1..self.inner.shard_total() {
             let s = self.vci_stats(rank, vci);
             out.cs_acquisitions += s.cs_acquisitions;
             out.cs_wait_ns.merge(&s.cs_wait_ns);
@@ -459,6 +576,17 @@ impl WorldBuilder {
         self
     }
 
+    /// Give every rank `n` stream shards (default 0): single-owner VCIs
+    /// a thread binds to with [`RankHandle::stream`] for the lock-free
+    /// fast path. They extend the pool *after* the sharded VCIs, so
+    /// `streams(0)` leaves the build byte-identical to a pre-stream
+    /// world. Requires `vci_count >= 1` (checked by [`Self::build`]) —
+    /// unbound and wildcard traffic still needs the sharded path.
+    pub fn streams(mut self, n: u32) -> Self {
+        self.streams = n;
+        self
+    }
+
     /// Construct the world: validates the configuration, then registers
     /// one endpoint and one (or two, for [`Granularity::PerQueue`]) locks
     /// per rank *per VCI* on the platform, in (rank, vci) order — the
@@ -466,6 +594,11 @@ impl WorldBuilder {
     pub fn build(self) -> Result<World, BuildError> {
         if self.ranks == 0 {
             return Err(BuildError::ZeroRanks);
+        }
+        if self.streams > 0 && self.vci_count == 0 {
+            return Err(BuildError::StreamsWithoutVcis {
+                streams: self.streams,
+            });
         }
         if self.vci_count == 0 {
             return Err(BuildError::ZeroVcis);
@@ -488,7 +621,14 @@ impl WorldBuilder {
                     });
                 }
             }
-            let shards = VciPool::build(self.vci_count, |vci| {
+            // Stream shards extend the pool after the sharded VCIs, with
+            // the same per-shard platform registrations (endpoint + lock
+            // ids) so the symmetric same-index endpoint pairing of
+            // `send_data` holds for stream↔stream traffic too. Their
+            // locks exist but are never taken: a bound stream reaches
+            // its state through `stream_pass`. With `streams == 0` the
+            // creation sequence is exactly the PR-5 one (byte-identity).
+            let shards = VciPool::build(self.vci_count + self.streams, |vci| {
                 let endpoint = self.platform.register_endpoint(node);
                 let cs_queue = self.platform.lock_create(self.lock);
                 let cs_progress = if self.granularity.split_progress_lock() {
@@ -501,6 +641,7 @@ impl WorldBuilder {
                     cs_queue,
                     cs_progress,
                     last_poll_ns: AtomicU64::new(0),
+                    stream_owner: AtomicU64::new(0),
                     // RMA state is pinned to VCI 0 (one window per rank,
                     // one token space); other shards carry none.
                     state: UnsafeCell::new(SharedState::new(
@@ -525,6 +666,7 @@ impl WorldBuilder {
                 selective: matches!(self.lock, LockKind::Selective),
                 lock: self.lock,
                 vci_map,
+                streams: self.streams,
                 recorder: self.recorder,
                 faults_enabled: active_plan.is_some(),
             }),

@@ -117,18 +117,19 @@ fn collectives_interleave_with_p2p() {
     // pt2pt traffic on user tags must not disturb collectives on the
     // internal communicator.
     run_all_ranks(4, LockKind::Mutex, 88, |h| {
+        let c = h.world_comm();
         let right = (h.rank() + 1) % h.nranks();
         let left = (h.rank() + h.nranks() - 1) % h.nranks();
-        let s = h.isend(
+        let s = c.isend(
             right,
             7,
             mtmpi_runtime::MsgData::Bytes(vec![h.rank() as u8]),
         );
         let sum = h.allreduce_sum_u64(1);
         assert_eq!(sum, 4);
-        let m = h.recv(Some(left), Some(7));
+        let m = c.recv(Some(left), Some(7));
         assert_eq!(m.data.as_bytes(), &[left as u8]);
-        h.wait(s);
+        c.wait(s);
         h.barrier();
     });
 }

@@ -1,0 +1,201 @@
+//! Loom model of the stream claim word (`world.rs`:
+//! `try_bind_stream` / `release_stream`).
+//!
+//! A bound stream's shard state is *plain* — no lock, no CAS on the
+//! issue/progress fast path — so the entire soundness argument is the
+//! claim word `stream_owner: AtomicU64`:
+//!
+//! * bind: `CAS(0 → tid+1, AcqRel, Acquire)` — at most one live binder,
+//!   and the Acquire pairs with the previous owner's Release so every
+//!   plain write the old owner made is visible to the new one;
+//! * unbind: quiesce the shard, then `store(0, Release)` — the
+//!   publication edge the next binder's CAS synchronizes with.
+//!
+//! These tests re-state the protocol on `loom` atomics — values and
+//! orderings mirror `try_bind_stream`/`release_stream` line for line —
+//! and let the model check every bounded interleaving. The shim
+//! explores SC schedules (orderings are not weakened); the
+//! Release/Acquire *choice* itself is pinned in the real source by
+//! mtmpi-lint rules L001/L002, which know `stream_owner` as a hand-off
+//! field.
+
+use loom::sync::atomic::{AtomicU64, Ordering};
+use loom::sync::Arc;
+use std::cell::UnsafeCell;
+
+/// Model of one stream shard: the claim word plus a stand-in for the
+/// shard's plain state (queues, sequence numbers, match list) that the
+/// owner mutates without any synchronization.
+struct ModelShard {
+    stream_owner: AtomicU64,
+    /// Stands in for `SharedState` behind `stream_pass`: only ever
+    /// touched by the thread whose CAS made it the owner.
+    seq: UnsafeCell<u64>,
+}
+
+// SAFETY: `seq` is only accessed between a successful owner CAS and the
+// matching Release store — the single-binder contract the model checks.
+unsafe impl Send for ModelShard {}
+// SAFETY: same contract as Send — the claim word serializes all access.
+unsafe impl Sync for ModelShard {}
+
+impl ModelShard {
+    fn new() -> Self {
+        Self {
+            stream_owner: AtomicU64::new(0),
+            seq: UnsafeCell::new(0),
+        }
+    }
+
+    /// `World::try_bind_stream`, verbatim orderings (`me` = tid + 1).
+    fn try_bind(&self, me: u64) -> bool {
+        self.stream_owner
+            .compare_exchange(0, me, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The owner's issue fast path: bump the plain sequence counter
+    /// `n` times with no atomics at all (what `stream_pass` permits).
+    fn issue(&self, n: u64) {
+        for _ in 0..n {
+            // SAFETY: caller won the bind CAS — unique accessor until
+            // its Release store in `unbind`.
+            unsafe { *self.seq.get() += 1 };
+        }
+    }
+
+    /// `World::release_stream`, verbatim ordering.
+    fn unbind(&self) {
+        self.stream_owner.store(0, Ordering::Release);
+    }
+}
+
+/// Two threads race to bind the same stream and each issues through it
+/// whenever it wins, retrying until done. The claim word must admit one
+/// binder at a time, and the rebind hand-off must lose or duplicate
+/// nothing: the final sequence count is exactly the sum of both
+/// threads' issues.
+#[test]
+fn bind_issue_unbind_rebind_loses_nothing() {
+    loom::model(|| {
+        let shard = Arc::new(ModelShard::new());
+        let mut handles = Vec::new();
+        for tid in 1..=2u64 {
+            let shard = Arc::clone(&shard);
+            handles.push(loom::thread::spawn(move || {
+                let mut issued = 0u64;
+                while issued < 2 {
+                    if shard.try_bind(tid) {
+                        shard.issue(1);
+                        issued += 1;
+                        shard.unbind();
+                    } else {
+                        loom::thread::yield_now();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Both workers joined; the claim word is free and every issue
+        // survived the hand-offs.
+        assert_eq!(shard.stream_owner.load(Ordering::Acquire), 0);
+        // SAFETY: all binders have released and joined.
+        let seq = unsafe { *shard.seq.get() };
+        assert_eq!(seq, 4, "rebind hand-off lost or duplicated issues");
+    });
+}
+
+/// The publication edge itself: a rebind that lands after the first
+/// owner's release must observe every plain write that owner made
+/// (Release store → Acquire CAS). The claim word is born 0, so "after
+/// the release" is witnessed by a monotonic done flag — Relaxed on
+/// purpose: it only gates the schedule, while the happens-before edge
+/// under test is the claim word's own store/CAS pair.
+#[test]
+fn rebind_observes_the_previous_owners_writes() {
+    loom::model(|| {
+        let shard = Arc::new(ModelShard::new());
+        let done = Arc::new(AtomicU64::new(0));
+        let first = {
+            let shard = Arc::clone(&shard);
+            let done = Arc::clone(&done);
+            loom::thread::spawn(move || {
+                assert!(shard.try_bind(1), "uncontended bind cannot fail");
+                shard.issue(3);
+                shard.unbind();
+                done.store(1, Ordering::Relaxed);
+            })
+        };
+        while done.load(Ordering::Relaxed) != 1 {
+            loom::hint::spin_loop();
+        }
+        // The first owner has released, and nobody else contends.
+        assert!(shard.try_bind(2), "released stream must be bindable");
+        // SAFETY: this thread holds the claim word.
+        let seq = unsafe { *shard.seq.get() };
+        assert_eq!(seq, 3, "new binder saw stale plain state");
+        shard.unbind();
+        first.join().unwrap();
+    });
+}
+
+/// A bind attempt while the stream is held must fail with the claim
+/// word reporting the holder — never silently succeed (the
+/// `AlreadyBound` contract).
+#[test]
+fn second_binder_is_rejected_while_held() {
+    loom::model(|| {
+        let shard = Arc::new(ModelShard::new());
+        assert!(shard.try_bind(1));
+        let contender = {
+            let shard = Arc::clone(&shard);
+            loom::thread::spawn(move || shard.try_bind(2))
+        };
+        let bound = contender.join().unwrap();
+        assert!(!bound, "claim word admitted a second binder");
+        assert_eq!(shard.stream_owner.load(Ordering::Acquire), 1);
+        shard.unbind();
+    });
+}
+
+/// Regression guard for the model itself: weaken the bind to
+/// check-then-act — a load of the claim word followed by a store — and
+/// the explorer must find the interleaving where both threads "own" the
+/// stream and corrupt the plain state.
+#[test]
+fn model_catches_a_check_then_act_bind() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let shard = Arc::new(ModelShard::new());
+            let mut handles = Vec::new();
+            for tid in 1..=2u64 {
+                let shard = Arc::clone(&shard);
+                handles.push(loom::thread::spawn(move || {
+                    // Broken: both threads can observe 0 before either
+                    // stores, so both enter the "owner-mode" fast path.
+                    if shard.stream_owner.load(Ordering::Acquire) == 0 {
+                        shard.stream_owner.store(tid, Ordering::Release);
+                        // SAFETY: not actually safe — that's the point.
+                        let s = unsafe { &mut *shard.seq.get() };
+                        let read = *s;
+                        loom::thread::yield_now();
+                        *s = read + 1;
+                        shard.unbind();
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            // SAFETY: all spawned threads joined.
+            let seq = unsafe { *shard.seq.get() };
+            assert_eq!(seq, 2, "check-then-act bind lost an issue: {seq}");
+        });
+    });
+    assert!(
+        result.is_err(),
+        "the model failed to catch the check-then-act bind race"
+    );
+}

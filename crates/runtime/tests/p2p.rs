@@ -47,7 +47,7 @@ fn two_rank_world(p: &Arc<dyn Platform>, kind: LockKind) -> World {
 fn blocking_send_recv_bytes() {
     let p = platform(2, 1);
     let w = two_rank_world(&p, LockKind::Ticket);
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     spawn(&p, "s", 0, 0, move || {
         a.send(1, 5, MsgData::Bytes(vec![1, 2, 3]));
     });
@@ -64,7 +64,7 @@ fn blocking_send_recv_bytes() {
 fn wildcard_receive_matches_any() {
     let p = platform(2, 2);
     let w = two_rank_world(&p, LockKind::Mutex);
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     spawn(&p, "s", 0, 0, move || {
         a.send(1, 42, MsgData::Bytes(vec![7]));
     });
@@ -82,7 +82,7 @@ fn tag_selective_matching_out_of_order() {
     // message must bypass the tag-1 one (which waits in unexpected).
     let p = platform(2, 3);
     let w = two_rank_world(&p, LockKind::Ticket);
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     spawn(&p, "s", 0, 0, move || {
         a.send(1, 1, MsgData::Bytes(vec![1]));
         a.send(1, 2, MsgData::Bytes(vec![2]));
@@ -103,7 +103,7 @@ fn same_tag_messages_arrive_in_order() {
     // raw wire arrivals).
     let p = platform(2, 4);
     let w = two_rank_world(&p, LockKind::Ticket);
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     spawn(&p, "s", 0, 0, move || {
         // Large (rendezvous) then small (eager): wire would reorder.
         a.send(1, 9, MsgData::Bytes(vec![1u8; 100_000]));
@@ -122,7 +122,7 @@ fn same_tag_messages_arrive_in_order() {
 fn isend_waitall_window() {
     let p = platform(2, 5);
     let w = two_rank_world(&p, LockKind::Priority);
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     const N: usize = 64;
     spawn(&p, "s", 0, 0, move || {
         let reqs: Vec<_> = (0..N)
@@ -145,17 +145,17 @@ fn isend_waitall_window() {
 fn test_returns_pending_then_done() {
     let p = platform(2, 6);
     let w = two_rank_world(&p, LockKind::Ticket);
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     let polls = Arc::new(AtomicU64::new(0));
     let polls2 = polls.clone();
     spawn(&p, "s", 0, 0, move || {
-        let pf = a.platform().clone();
+        let pf = a.rank_handle().platform().clone();
         pf.compute(50_000); // delay the send so test sees Pending first
         a.send(1, 0, MsgData::Bytes(vec![9]));
     });
     spawn(&p, "r", 1, 0, move || {
         let mut req = b.irecv(Some(0), Some(0));
-        let pf = b.platform().clone();
+        let pf = b.rank_handle().platform().clone();
         loop {
             match b.test(req) {
                 TestOutcome::Done(m) => {
@@ -185,15 +185,15 @@ fn cross_thread_completion_same_rank() {
     // requests inside the runtime, §4.4).
     let p = platform(2, 7);
     let w = two_rank_world(&p, LockKind::Ticket);
-    let (r0, r1) = (w.rank(0), w.rank(1));
-    let r1b = w.rank(1);
+    let (r0, r1) = (w.rank(0).world_comm(), w.rank(1).world_comm());
+    let r1b = w.rank(1).world_comm();
     spawn(&p, "sender", 0, 0, move || {
         r0.send(1, 1, MsgData::Bytes(vec![1]));
         r0.send(1, 2, MsgData::Bytes(vec![2]));
     });
     spawn(&p, "slow", 1, 0, move || {
         let req = r1.irecv(Some(0), Some(1));
-        let pf = r1.platform().clone();
+        let pf = r1.rank_handle().platform().clone();
         // Park long enough that the fast thread's progress engine is the
         // one that completes this request.
         pf.compute(10_000_000);
@@ -215,19 +215,19 @@ fn dangling_requests_counted() {
     // dangling sampler while the fast thread keeps polling.
     let p = platform(2, 8);
     let w = two_rank_world(&p, LockKind::Ticket);
-    let (r0, r1) = (w.rank(0), w.rank(1));
-    let r1b = w.rank(1);
+    let (r0, r1) = (w.rank(0).world_comm(), w.rank(1).world_comm());
+    let r1b = w.rank(1).world_comm();
     spawn(&p, "sender", 0, 0, move || {
         r0.send(1, 1, MsgData::Bytes(vec![1]));
         // Give the receiver's fast thread something to chew on for a
         // while after tag-1 has arrived.
-        let pf = r0.platform().clone();
+        let pf = r0.rank_handle().platform().clone();
         pf.compute(5_000_000);
         r0.send(1, 2, MsgData::Bytes(vec![2]));
     });
     spawn(&p, "slow", 1, 0, move || {
         let req = r1.irecv(Some(0), Some(1));
-        let pf = r1.platform().clone();
+        let pf = r1.rank_handle().platform().clone();
         pf.compute(50_000_000);
         assert!(matches!(r1.test(req), TestOutcome::Done(_)));
     });
@@ -257,7 +257,7 @@ fn many_ranks_ring_exchange() {
         .expect("valid world");
     let total = Arc::new(AtomicU64::new(0));
     for r in 0..n {
-        let h = w.rank(r);
+        let h = w.rank(r).world_comm();
         let total = total.clone();
         spawn(&p, &format!("r{r}"), r, 0, move || {
             let right = (h.rank() + 1) % h.nranks();
@@ -356,7 +356,7 @@ fn synthetic_payload_sizes_affect_timing() {
     let time_for = |bytes: u64| {
         let p = platform(2, 13);
         let w = two_rank_world(&p, LockKind::Ticket);
-        let (a, b) = (w.rank(0), w.rank(1));
+        let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
         spawn(&p, "s", 0, 0, move || {
             a.send(1, 0, MsgData::Synthetic(bytes));
         });
@@ -378,7 +378,7 @@ fn deterministic_end_to_end() {
     let run = || {
         let p = platform(2, 99);
         let w = two_rank_world(&p, LockKind::Mutex);
-        let (a, b) = (w.rank(0), w.rank(1));
+        let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
         spawn(&p, "s", 0, 0, move || {
             for i in 0..50 {
                 a.send(1, i, MsgData::Synthetic(256));
@@ -405,7 +405,7 @@ fn liveness_guard_fires_on_missing_sender() {
         .liveness_limit_ns(3_000_000)
         .build()
         .expect("valid world");
-    let b = w.rank(1);
+    let b = w.rank(1).world_comm();
     // Rank 0 never sends; rank 1's recv must abort loudly.
     let a = w.rank(0);
     spawn(&p, "idle", 0, 0, move || {
@@ -413,6 +413,29 @@ fn liveness_guard_fires_on_missing_sender() {
     });
     spawn(&p, "r", 1, 0, move || {
         let _ = b.recv(Some(0), Some(0));
+    });
+    p.run();
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_rank_handle_shims_still_work() {
+    // The pre-Comm issuing surface is kept as thin shims for one release;
+    // this pins that they still route through the same machinery.
+    let p = platform(2, 15);
+    let w = two_rank_world(&p, LockKind::Ticket);
+    let (a, b) = (w.rank(0), w.rank(1));
+    spawn(&p, "s", 0, 0, move || {
+        a.send(1, 3, MsgData::Bytes(vec![9]));
+        let r = a.isend(1, 4, MsgData::Bytes(vec![8]));
+        a.wait(r);
+    });
+    spawn(&p, "r", 1, 0, move || {
+        let m = b.recv(Some(0), Some(3));
+        assert_eq!(m.data.as_bytes(), &[9]);
+        let r = b.irecv(Some(0), Some(4));
+        let m = b.wait(r);
+        assert_eq!(m.data.as_bytes(), &[8]);
     });
     p.run();
 }

@@ -353,6 +353,7 @@ fn unpack_ghost(st: &RankStencil, buf: &mut [f64], dir: Dir, z0: usize, z1: usiz
 /// this; thread 0 returns the rank's summed phase stats.
 pub fn stencil_thread(st: &RankStencil, h: &RankHandle, thread: u32) -> Option<PhaseStats> {
     let platform = h.platform().clone();
+    let c = h.world_comm();
     let (z0, z1) = st.slab(thread);
     let mut mine = PhaseStats::default();
     let top_thread = thread == st.cfg.threads - 1;
@@ -386,18 +387,18 @@ pub fn stencil_thread(st: &RankStencil, h: &RankHandle, thread: u32) -> Option<P
             if let Some(nb) = st.neighbor(dir) {
                 recvs.push((
                     dir,
-                    h.irecv(Some(nb), Some(halo_tag(dir.opposite(), portion, iter))),
+                    c.irecv(Some(nb), Some(halo_tag(dir.opposite(), portion, iter))),
                 ));
                 let face = pack_face(st, old, dir, z0, z1);
-                sends.push(h.isend(nb, halo_tag(dir, portion, iter), MsgData::Bytes(face)));
+                sends.push(c.isend(nb, halo_tag(dir, portion, iter), MsgData::Bytes(face)));
             }
         }
         let dirs: Vec<Dir> = recvs.iter().map(|(d, _)| *d).collect();
-        let msgs = h.waitall(recvs.into_iter().map(|(_, r)| r).collect());
+        let msgs = c.waitall(recvs.into_iter().map(|(_, r)| r).collect());
         for (dir, m) in dirs.into_iter().zip(msgs) {
             unpack_ghost(st, old, dir, z0, z1, m.data.as_bytes());
         }
-        h.waitall(sends);
+        c.waitall(sends);
         mine.mpi_ns += platform.now_ns() - t_mpi;
         // ---- compute: Jacobi update of my slab ----
         let t_comp = platform.now_ns();

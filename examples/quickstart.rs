@@ -17,15 +17,17 @@ fn main() {
                 .ranks_per_node(1)
                 .threads_per_rank(4),
             |ctx| {
-                let h = &ctx.rank;
+                // Communicator-first issuing surface: ops go through a
+                // `Comm` handle (here the world communicator).
+                let c = ctx.rank.world_comm();
                 let tag = ctx.thread as i32;
-                if h.rank() == 0 {
+                if c.rank() == 0 {
                     for i in 0..1_000u32 {
-                        h.send(1, tag, MsgData::Bytes(i.to_le_bytes().to_vec()));
+                        c.send(1, tag, MsgData::Bytes(i.to_le_bytes().to_vec()));
                     }
                 } else {
                     for i in 0..1_000u32 {
-                        let m = h.recv(Some(0), Some(tag));
+                        let m = c.recv(Some(0), Some(tag));
                         let v = u32::from_le_bytes(m.data.as_bytes().try_into().unwrap());
                         assert_eq!(v, i, "messages arrive in order");
                     }

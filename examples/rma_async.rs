@@ -30,11 +30,11 @@ fn main() {
                 let v = f64::from_le_bytes(back.try_into().unwrap());
                 assert_eq!(v, 9.0, "put + 2x accumulate must read back 9.0");
                 println!("semantics check: put(4.0); acc(2.5); acc(2.5); get() == {v}  ✓\n");
-                h.send(1, 900, MsgData::Synthetic(0)); // release the target
+                h.world_comm().send(1, 900, MsgData::Synthetic(0)); // release the target
             } else {
                 // Target stays in MPI until the origin's epoch ends, so
                 // its progress engine keeps serving the one-sided ops.
-                let _ = h.recv(Some(0), Some(900));
+                let _ = h.world_comm().recv(Some(0), Some(900));
             }
         },
     );
@@ -60,10 +60,10 @@ fn main() {
                         h.put(target, 0, MsgData::Synthetic(1024));
                     }
                     for r in 1..h.nranks() {
-                        h.send(r, 900, MsgData::Synthetic(0));
+                        h.world_comm().send(r, 900, MsgData::Synthetic(0));
                     }
                 } else {
-                    let _ = h.recv(Some(0), Some(900));
+                    let _ = h.world_comm().recv(Some(0), Some(900));
                 }
             },
         );

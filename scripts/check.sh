@@ -12,9 +12,10 @@
 #              crates/lint/baseline.txt (DESIGN.md section 13)
 #   test       workspace test suite (includes mtmpi-check negative tests
 #              and mtmpi-lint's fixture + whole-tree tests)
-#   loom       model checking of the lock algorithms and the VCI claim
-#              protocol (serialized-thread shim; see crates/locks/src/
-#              sys.rs and crates/runtime/tests/loom_claim.rs)
+#   loom       model checking of the lock algorithms, the VCI claim
+#              protocol, and the stream claim word (serialized-thread
+#              shim; see crates/locks/src/sys.rs and crates/runtime/
+#              tests/loom_claim.rs + loom_stream.rs)
 #   tsan       ThreadSanitizer over the locks crate. Prefers an
 #              instrumented std (`-Zbuild-std`, rust-src component):
 #              with the prebuilt std, every Mutex/Condvar edge is
@@ -43,6 +44,11 @@
 #              shard wildcards, vci_count=1 byte-identity) plus the
 #              fig_vci sweep twice in quick mode with a byte-identity
 #              cmp — determinism must survive the sharded runtime too.
+#   stream     stream smoke test: the stream integration suite
+#              (streams=0 byte-identity, bind/rebind claim word,
+#              lock-free wait timeouts, wildcard fallback) plus the
+#              fig_stream sweep twice in quick mode with a byte-identity
+#              cmp (DESIGN.md section 14).
 #
 # Usage: scripts/check.sh [fast]   ("fast" skips loom/tsan/miri/obs/prof)
 set -uo pipefail
@@ -102,6 +108,21 @@ vci_smoke() {
     return $rc
 }
 
+# Stream gate: the stream integration tests, then the fig_stream sweep
+# twice with a byte-identity cmp (the lock-free fast path replays too).
+stream_smoke() {
+    local snap
+    snap=$(mktemp) || return 1
+    cargo test --release -q -p mtmpi-integration-tests --test streams \
+        && cargo run --release -q -p mtmpi-bench --bin fig_stream -- --quick \
+        && cp results/BENCH_fig_stream.json "$snap" \
+        && cargo run --release -q -p mtmpi-bench --bin fig_stream -- --quick \
+        && cmp results/BENCH_fig_stream.json "$snap"
+    local rc=$?
+    rm -f "$snap"
+    return $rc
+}
+
 if [ "$FAST" = "fast" ]; then
     skip loom "fast mode"
     skip tsan "fast mode"
@@ -110,12 +131,15 @@ if [ "$FAST" = "fast" ]; then
     skip prof "fast mode"
     skip faults "fast mode"
     skip vci "fast mode"
+    skip stream "fast mode"
 else
     step loom cargo test -p mtmpi-locks --features loom-check --test loom
+    step loom cargo test -p mtmpi-runtime --test loom_claim --test loom_stream
     step obs cargo run -q -p xtask -- trace fig2a
     step prof cargo run -q -p xtask -- bench-diff --quick
     step faults faults_smoke
     step vci vci_smoke
+    step stream stream_smoke
 
     if ! cargo +nightly --version >/dev/null 2>&1; then
         skip tsan "no nightly toolchain"

@@ -20,17 +20,18 @@ fn composite(method: Method, seed: u64) -> (u64, f64) {
             .progress_thread(true),
         move |ctx| {
             let h = &ctx.rank;
+            let c = h.world_comm();
             let tag = ctx.thread as i32;
             // pt2pt ping-pong per thread pair
             if h.rank() == 0 {
                 for _ in 0..50 {
-                    h.send(1, tag, MsgData::Synthetic(512));
-                    let _ = h.recv(Some(1), Some(tag));
+                    c.send(1, tag, MsgData::Synthetic(512));
+                    let _ = c.recv(Some(1), Some(tag));
                 }
             } else {
                 for _ in 0..50 {
-                    let _ = h.recv(Some(0), Some(tag));
-                    h.send(0, tag, MsgData::Synthetic(512));
+                    let _ = c.recv(Some(0), Some(tag));
+                    c.send(0, tag, MsgData::Synthetic(512));
                 }
             }
             // Collective: one thread per rank joins the allreduce.
@@ -82,7 +83,7 @@ fn ticket_beats_mutex_under_heavy_contention() {
                 .ranks_per_node(1)
                 .threads_per_rank(8),
             |ctx| {
-                let h = &ctx.rank;
+                let h = ctx.rank.world_comm();
                 if h.rank() == 0 {
                     for _ in 0..4 {
                         let reqs: Vec<_> = (0..64)
@@ -127,7 +128,7 @@ fn granularity_modes_are_correct() {
                 .threads_per_rank(2)
                 .granularity(g),
             move |ctx| {
-                let h = &ctx.rank;
+                let h = ctx.rank.world_comm();
                 let tag = ctx.thread as i32;
                 if h.rank() == 0 {
                     for i in 0..30u64 {
@@ -176,8 +177,8 @@ fn native_platform_end_to_end() {
             .expect("valid world");
         let total = Arc::new(AtomicU64::new(0));
         for t in 0..2u32 {
-            let a = w.rank(0);
-            let b = w.rank(1);
+            let a = w.rank(0).world_comm();
+            let b = w.rank(1).world_comm();
             let total2 = total.clone();
             p.spawn(
                 ThreadDesc {
@@ -223,7 +224,7 @@ fn single_method_matches_one_thread() {
                 .ranks_per_node(1)
                 .threads_per_rank(t),
             |ctx| {
-                let h = &ctx.rank;
+                let h = ctx.rank.world_comm();
                 if h.rank() == 0 {
                     for _ in 0..100 {
                         h.send(1, ctx.thread as i32, MsgData::Synthetic(64));

@@ -28,7 +28,7 @@ fn wildcard_run(seed: u64, plan: Option<FaultPlan>) -> (RunOutcome, Vec<(u32, i3
             .ranks_per_node(1)
             .threads_per_rank(1),
         move |ctx| {
-            let h = &ctx.rank;
+            let h = ctx.rank.world_comm();
             if h.rank() == 0 {
                 for _ in 0..2 * N_MSGS {
                     let m = h.recv(None, None);
@@ -109,7 +109,7 @@ fn lossy_run(seed: u64, trace: bool) -> RunOutcome {
             .ranks_per_node(1)
             .threads_per_rank(1),
         |ctx| {
-            let h = &ctx.rank;
+            let h = ctx.rank.world_comm();
             if h.rank() == 0 {
                 for i in 0..N_MSGS {
                     h.send(1, i, MsgData::Synthetic(128));
@@ -182,7 +182,7 @@ fn inert_plans_leave_the_run_byte_identical() {
                 .ranks_per_node(1)
                 .threads_per_rank(2),
             |ctx| {
-                let h = &ctx.rank;
+                let h = ctx.rank.world_comm();
                 let tag = ctx.thread as i32;
                 if h.rank() == 0 {
                     for _ in 0..20 {
@@ -238,7 +238,7 @@ fn timeout_surfaces_a_typed_error_and_cancels_the_posted_recv() {
         .liveness_limit_ns(3_000_000)
         .build()
         .expect("valid world");
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     spawn_on(&p, "idle", 0, move || {
         let _ = a; // rank 0 never sends
     });
@@ -275,7 +275,7 @@ fn total_packet_loss_escalates_to_peer_unreachable() {
         .liveness_limit_ns(5_000_000_000) // backstop well past escalation
         .build()
         .expect("valid world");
-    let (a, b) = (w.rank(0), w.rank(1));
+    let (a, b) = (w.rank(0).world_comm(), w.rank(1).world_comm());
     spawn_on(&p, "s", 0, move || {
         // The eager send "completes" locally but every copy is dropped;
         // spinning in the subsequent recv drives this rank's retransmit

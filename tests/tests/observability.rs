@@ -15,7 +15,7 @@ fn run(seed: u64, trace: bool) -> RunOutcome {
             .threads_per_rank(4)
             .window_bytes(128),
         |ctx| {
-            let h = &ctx.rank;
+            let h = ctx.rank.world_comm();
             let tag = ctx.thread as i32;
             if h.rank() == 0 {
                 for _ in 0..25 {
@@ -84,14 +84,15 @@ fn stats_snapshot_is_complete_and_consistent() {
             .window_bytes(64),
         |ctx| {
             let h = &ctx.rank;
+            let c = h.world_comm();
             let tag = ctx.thread as i32;
             if h.rank() == 0 {
-                h.send(1, tag, MsgData::Synthetic(8));
+                c.send(1, tag, MsgData::Synthetic(8));
                 if ctx.thread == 0 {
                     h.put(1, 0, MsgData::Bytes(vec![9u8; 8]));
                 }
             } else {
-                let _ = h.recv(Some(0), Some(tag));
+                let _ = c.recv(Some(0), Some(tag));
             }
             if ctx.thread == 0 {
                 h.barrier();

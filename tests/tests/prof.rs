@@ -15,7 +15,7 @@ fn traced_run(seed: u64) -> RunOutcome {
             .threads_per_rank(4)
             .window_bytes(128),
         |ctx| {
-            let h = &ctx.rank;
+            let h = ctx.rank.world_comm();
             let tag = ctx.thread as i32;
             if h.rank() == 0 {
                 for _ in 0..25 {

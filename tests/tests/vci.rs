@@ -37,7 +37,7 @@ fn cross_shard_wildcard_run(seed: u64, plan: Option<FaultPlan>) -> (RunOutcome, 
             .threads_per_rank(1)
             .vci_map(VciMap::with_select(3, 1, |k| k.src)),
         move |ctx| {
-            let h = &ctx.rank;
+            let h = ctx.rank.world_comm();
             if h.rank() == 0 {
                 for _ in 0..2 * N_MSGS {
                     let m = h.recv(None, None);
@@ -138,7 +138,7 @@ fn tag_spread_wildcard_recv_survives_drops_and_dups() {
             .threads_per_rank(1)
             .vci_map(VciMap::by_tag(4)),
         move |ctx| {
-            let h = &ctx.rank;
+            let h = ctx.rank.world_comm();
             if h.rank() == 0 {
                 for i in 0..N_MSGS {
                     h.send(1, i, MsgData::Synthetic(128));
@@ -199,7 +199,7 @@ fn sharded_run(seed: u64, map: Option<VciMap>, trace: bool) -> RunOutcome {
         cfg = cfg.vci_map(m);
     }
     exp.run(cfg, |ctx| {
-        let h = &ctx.rank;
+        let h = ctx.rank.world_comm();
         let tag = ctx.thread as i32;
         if h.rank() == 0 {
             for _ in 0..25 {
@@ -296,16 +296,17 @@ fn rma_and_sharded_pt2pt_coexist() {
             .vci_count(4),
         |ctx| {
             let h = &ctx.rank;
+            let c = h.world_comm();
             let tag = ctx.thread as i32;
             if h.rank() == 0 {
                 for _ in 0..10 {
-                    h.send(1, tag, MsgData::Synthetic(64));
-                    let _ = h.recv(Some(1), Some(tag));
+                    c.send(1, tag, MsgData::Synthetic(64));
+                    let _ = c.recv(Some(1), Some(tag));
                 }
             } else {
                 for _ in 0..10 {
-                    let _ = h.recv(Some(0), Some(tag));
-                    h.send(0, tag, MsgData::Synthetic(64));
+                    let _ = c.recv(Some(0), Some(tag));
+                    c.send(0, tag, MsgData::Synthetic(64));
                 }
             }
             if ctx.thread == 0 {
