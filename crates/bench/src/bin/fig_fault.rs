@@ -46,10 +46,15 @@ fn main() {
             if ppm > 0 {
                 exp = exp.faults(FaultPlan::drop(FAULT_SEED, ppm));
             }
+            // Distinct label per point: timeline retention and run
+            // keying are per-label, and a traced faulted run must keep
+            // its own timeline (the retransmit flows live there).
             let r = throughput_run(
                 &exp,
                 method,
-                ThroughputParams::new(size, threads).windows(windows),
+                ThroughputParams::new(size, threads)
+                    .windows(windows)
+                    .label(format!("{} drop={ppm}ppm", method.label())),
             );
             s.push(f64::from(ppm), r.rate / 1e3);
         }

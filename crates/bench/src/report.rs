@@ -98,6 +98,17 @@ impl Fig {
         let mut out = String::from("{");
         out.push_str(&format!("\"id\":\"{}\"", self.id));
         out.push_str(&format!(",\"traced\":{}", self.trace));
+        // Combined replay-identity hash: order-sensitive FNV-1a fold of
+        // every run's scheduler-trace hash. Hex string — JSON numbers are
+        // f64 and cannot hold a u64 exactly.
+        let mut combined: u64 = 0xcbf2_9ce4_8422_2325;
+        for r in &runs {
+            for b in r.sched_trace_hash.to_le_bytes() {
+                combined ^= u64::from(b);
+                combined = combined.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        out.push_str(&format!(",\"sched_trace_hash\":\"{combined:016x}\""));
         out.push_str(",\"runs\":[");
         for (i, r) in runs.iter().enumerate() {
             if i > 0 {
@@ -105,11 +116,13 @@ impl Fig {
             }
             out.push_str(&format!(
                 "{{\"label\":\"{}\",\"threads\":{},\"nodes\":{},\"end_ns\":{},\
+                 \"sched_trace_hash\":\"{:016x}\",\
                  \"cs_wait\":{},\"cs_hold\":{},\"msg_latency\":{}",
                 r.label.replace('"', "'"),
                 r.threads,
                 r.nodes,
                 r.end_ns,
+                r.sched_trace_hash,
                 CsStats::of(&r.cs_wait).to_json(),
                 CsStats::of(&r.cs_hold).to_json(),
                 CsStats::of(&r.msg_latency).to_json(),
@@ -269,6 +282,7 @@ mod tests {
         let j = fig.summary_json();
         assert!(j.contains("\"id\":\"figtest\""));
         assert!(j.contains("\"label\":\"mutex\""));
+        assert_eq!(j.matches("\"sched_trace_hash\":\"").count(), 2);
         assert!(j.contains("\"cs_wait\":{\"count\":0"));
         assert!(j.contains("\"points\":[[1,2]]"));
         assert!(j.contains("\"degradation\":3.5"));

@@ -29,7 +29,7 @@ pub struct ThroughputResult {
 }
 
 /// Parameters of a throughput run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ThroughputParams {
     /// Payload bytes per message.
     pub size: u64,
@@ -39,6 +39,11 @@ pub struct ThroughputParams {
     pub windows: u32,
     /// Thread binding.
     pub binding: BindingPolicy,
+    /// Run label override (`None` = the method label). Labels key
+    /// timeline retention and baseline diffing, so sweeps whose runs
+    /// differ in more than the method (e.g. fault rates) must set one
+    /// per point to keep each point's timeline.
+    pub run_label: Option<String>,
 }
 
 impl ThroughputParams {
@@ -57,6 +62,7 @@ impl ThroughputParams {
             threads,
             windows,
             binding: BindingPolicy::Compact,
+            run_label: None,
         }
     }
 
@@ -71,6 +77,12 @@ impl ThroughputParams {
         self.windows = w;
         self
     }
+
+    /// Override the run label recorded in bench output.
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.run_label = Some(l.into());
+        self
+    }
 }
 
 /// Run the benchmark: rank 0 (node 0) streams to rank 1 (node 1), `threads`
@@ -78,35 +90,36 @@ impl ThroughputParams {
 pub fn throughput_run(exp: &Experiment, method: Method, p: ThroughputParams) -> ThroughputResult {
     let size = p.size;
     let windows = p.windows;
-    let out = exp.run(
-        RunConfig::new(method)
-            .nodes(2)
-            .ranks_per_node(1)
-            .threads_per_rank(p.threads)
-            .binding(p.binding),
-        move |ctx| {
-            let h = ctx.rank.world_comm();
-            let j = ctx.thread as i32;
-            if h.rank() == 0 {
-                // Sender: window of isends, waitall, wait for the ack.
-                for _ in 0..windows {
-                    let reqs: Vec<_> = (0..WINDOW)
-                        .map(|_| h.isend(1, 0, MsgData::Synthetic(size)))
-                        .collect();
-                    h.waitall(reqs);
-                    let _ = h.recv(Some(1), Some(ACK + j));
-                }
-            } else {
-                // Receiver: window of irecvs (shared tag: any thread's
-                // receive matches any arrival), waitall, ack.
-                for _ in 0..windows {
-                    let reqs: Vec<_> = (0..WINDOW).map(|_| h.irecv(Some(0), Some(0))).collect();
-                    h.waitall(reqs);
-                    h.send(0, ACK + j, MsgData::Synthetic(1));
-                }
+    let mut cfg = RunConfig::new(method)
+        .nodes(2)
+        .ranks_per_node(1)
+        .threads_per_rank(p.threads)
+        .binding(p.binding);
+    if let Some(l) = p.run_label {
+        cfg = cfg.label(l);
+    }
+    let out = exp.run(cfg, move |ctx| {
+        let h = ctx.rank.world_comm();
+        let j = ctx.thread as i32;
+        if h.rank() == 0 {
+            // Sender: window of isends, waitall, wait for the ack.
+            for _ in 0..windows {
+                let reqs: Vec<_> = (0..WINDOW)
+                    .map(|_| h.isend(1, 0, MsgData::Synthetic(size)))
+                    .collect();
+                h.waitall(reqs);
+                let _ = h.recv(Some(1), Some(ACK + j));
             }
-        },
-    );
+        } else {
+            // Receiver: window of irecvs (shared tag: any thread's
+            // receive matches any arrival), waitall, ack.
+            for _ in 0..windows {
+                let reqs: Vec<_> = (0..WINDOW).map(|_| h.irecv(Some(0), Some(0))).collect();
+                h.waitall(reqs);
+                h.send(0, ACK + j, MsgData::Synthetic(1));
+            }
+        }
+    });
     let threads = out.threads_per_rank;
     let messages = u64::from(threads) * u64::from(windows) * WINDOW as u64;
     let dangling = out.dangling(1);
@@ -169,6 +182,9 @@ pub fn vci_throughput_run(
     if vci_count > 1 {
         cfg = cfg.vci_map(VciMap::by_tag(vci_count));
     }
+    if let Some(l) = p.run_label {
+        cfg = cfg.label(l);
+    }
     let out = exp.run(cfg, move |ctx| {
         let h = ctx.rank.world_comm();
         let j = ctx.thread as i32;
@@ -219,12 +235,15 @@ pub fn stream_throughput_run(
 ) -> ThroughputResult {
     let size = p.size;
     let windows = p.windows;
-    let cfg = RunConfig::new(method)
+    let mut cfg = RunConfig::new(method)
         .nodes(2)
         .ranks_per_node(1)
         .threads_per_rank(p.threads)
         .binding(p.binding)
         .streams(p.threads);
+    if let Some(l) = p.run_label {
+        cfg = cfg.label(l);
+    }
     let out = exp.run(cfg, move |ctx| {
         let s = ctx.rank.stream_at(ctx.thread);
         let j = ctx.thread as i32;
@@ -275,6 +294,7 @@ pub fn quick_rate(method: Method, threads: u32, size: u64) -> f64 {
             threads,
             windows: 2,
             binding: BindingPolicy::Compact,
+            run_label: None,
         },
     )
     .rate

@@ -1,6 +1,7 @@
 //! The experiment harness: deterministic rank × thread grids.
 
 use crate::method::Method;
+use mtmpi_live::{LiveCollector, LiveConfig};
 use mtmpi_metrics::{CsTrace, DanglingSampler, Histogram};
 use mtmpi_net::{FaultPlan, NetModel};
 use mtmpi_obs::{RingRecorder, RunRecord, Sink, Timeline, DEFAULT_SHARD_CAP};
@@ -20,6 +21,13 @@ pub struct ObsConfig {
     /// life-cycle, poll batches, RMA services). Off by default: the
     /// histograms are always on, the timeline costs memory.
     pub trace: bool,
+    /// Run the mtmpi-live online collector alongside the workload (also
+    /// enabled by `MTMPI_LIVE=1`). Implies tracing. **Perturbs the
+    /// schedule**: the collector participates in the simulation as one
+    /// extra virtual thread, so `end_ns` and `sched_trace_hash` differ
+    /// from a non-live run of the same seed — which is why this is an
+    /// explicit opt-in and the committed baselines never enable it.
+    pub live: bool,
 }
 
 /// What every worker closure receives.
@@ -88,6 +96,13 @@ impl Experiment {
         self
     }
 
+    /// Run the online collector alongside every run (see
+    /// [`ObsConfig::live`] for the perturbation caveat).
+    pub fn live(mut self, on: bool) -> Self {
+        self.obs.live = on;
+        self
+    }
+
     /// Inject deterministic link faults into every run (see
     /// [`FaultPlan`]). Same experiment seed + same plan ⇒ byte-identical
     /// results, fault decisions included.
@@ -117,10 +132,15 @@ impl Experiment {
         };
         let nranks = nodes * cfg.ranks_per_node;
         let ranks_per_node = cfg.ranks_per_node;
-        let recorder = self
-            .obs
-            .trace
+        let live_enabled = self.obs.live || std::env::var("MTMPI_LIVE").is_ok_and(|v| v == "1");
+        let recorder = (self.obs.trace || live_enabled)
             .then(|| Arc::new(RingRecorder::new(DEFAULT_SHARD_CAP)));
+        let live = live_enabled.then(|| {
+            Arc::new(LiveCollector::new(
+                recorder.as_ref().expect("live implies trace").clone(),
+                LiveConfig::default(),
+            ))
+        });
         let mut builder = World::builder(platform.clone())
             .ranks(nranks)
             .rank_on_node(move |r| r / ranks_per_node)
@@ -141,6 +161,9 @@ impl Experiment {
         if let Some(rec) = &recorder {
             builder = builder.recorder(rec.clone());
         }
+        if let Some(c) = &live {
+            builder = builder.live(c.clone());
+        }
         let world = builder
             .build()
             .unwrap_or_else(|e| panic!("invalid run configuration: {e}"));
@@ -155,6 +178,14 @@ impl Experiment {
                 0
             };
         let binding = Binding::new(&self.cluster.node, cfg.binding, slots_per_node);
+
+        // Workload threads still running — the live collector's pump
+        // thread parks itself once this hits zero. Decrements are plain
+        // host atomics: they never advance virtual time, so counting is
+        // free even when no collector is installed.
+        let workload_threads =
+            nranks * threads_per_rank + if cfg.progress_thread { nranks } else { 0 };
+        let live_remaining = Arc::new(AtomicU32::new(workload_threads));
 
         let body = Arc::new(body);
         for r in 0..nranks {
@@ -171,6 +202,7 @@ impl Experiment {
                 let body = body.clone();
                 let stop = stop.clone();
                 let remaining = remaining.clone();
+                let live_remaining = live_remaining.clone();
                 platform.spawn(
                     ThreadDesc {
                         name: format!("r{r}t{t}"),
@@ -186,6 +218,7 @@ impl Experiment {
                         if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                             stop.store(true, Ordering::Release);
                         }
+                        live_remaining.fetch_sub(1, Ordering::Release);
                     }),
                 );
             }
@@ -193,18 +226,84 @@ impl Experiment {
                 let slot = (cfg.ranks_per_node * threads_per_rank + local_rank) as usize;
                 let core = binding.core_of(slot);
                 let handle = world.rank(r);
+                let live_remaining = live_remaining.clone();
                 platform.spawn(
                     ThreadDesc {
                         name: format!("r{r}prog"),
                         node,
                         core,
                     },
-                    Box::new(move || handle.progress_loop(&stop)),
+                    Box::new(move || {
+                        handle.progress_loop(&stop);
+                        live_remaining.fetch_sub(1, Ordering::Release);
+                    }),
                 );
             }
         }
 
+        // The online collector runs as one more simulated thread: it
+        // alternates a coarse virtual-time tick with a bounded drain of
+        // the ring, so live statistics advance *on the virtual clock*,
+        // not behind a post-run barrier. It exits once every workload
+        // thread has finished, then folds the tail.
+        if let Some(c) = &live {
+            let c = c.clone();
+            let lr = live_remaining.clone();
+            let p = platform.clone();
+            let watch = std::env::var("MTMPI_LIVE_WATCH").is_ok_and(|v| v == "1");
+            platform.spawn(
+                ThreadDesc {
+                    name: "live".to_string(),
+                    node: 0,
+                    core: mtmpi_topology::CoreId(0),
+                },
+                Box::new(move || {
+                    // A quarter of the default 1ms window: frequent
+                    // enough for fresh snapshots, coarse enough that the
+                    // collector stays a spectator of the schedule.
+                    const TICK_NS: u64 = 250_000;
+                    let mut ticks = 0u64;
+                    while lr.load(Ordering::Acquire) > 0 {
+                        p.compute(TICK_NS);
+                        // The round-trip that actually lets the workload
+                        // run up to our tick (`compute` alone only banks
+                        // local virtual time).
+                        p.yield_now();
+                        c.pump(p.now_ns());
+                        ticks += 1;
+                        if watch && ticks.is_multiple_of(16) {
+                            eprintln!("{}", c.snapshot().text());
+                        }
+                    }
+                    c.finalize();
+                    if watch {
+                        eprintln!("{}", c.snapshot().text());
+                    }
+                }),
+            );
+        }
+
         let report = platform.run();
+        if let Some(c) = &live {
+            if let Ok(path) = std::env::var("MTMPI_LIVE_OUT") {
+                if !path.is_empty() {
+                    use std::io::Write as _;
+                    let mut f = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)
+                        .unwrap_or_else(|e| panic!("open MTMPI_LIVE_OUT={path}: {e}"));
+                    let _ = writeln!(
+                        f,
+                        "# mtmpi-live run label={} threads={} nodes={}",
+                        cfg.effective_label(),
+                        threads_per_rank,
+                        nodes
+                    );
+                    let _ = f.write_all(c.snapshot().prom().as_bytes());
+                }
+            }
+        }
         // SAFETY: `Platform::run` has returned, so every worker (and any
         // progress thread) has been joined — no thread is still writing.
         let timeline = recorder.map(|rec| unsafe { rec.drain_unsynced() });
@@ -227,13 +326,14 @@ impl Experiment {
                 msg_latency.merge(&st.msg_latency_ns);
             }
             sink.push(RunRecord {
-                label: cfg.method.label().to_string(),
+                label: cfg.effective_label(),
                 threads: threads_per_rank,
                 nodes,
                 end_ns: out.end_ns,
                 cs_wait,
                 cs_hold,
                 msg_latency,
+                sched_trace_hash: out.report.sched_trace_hash,
                 timeline: out.timeline.clone(),
             });
         }
@@ -265,6 +365,11 @@ pub struct RunConfig {
     /// Single-owner stream shards appended after the sharded VCIs
     /// (0 = none; requires a sharded pool, i.e. `vci_map`/`vci_count`).
     pub streams: u32,
+    /// Run label recorded in bench output (`None` = the method label).
+    /// Labels key baseline diffing and timeline retention, so runs of
+    /// one figure that differ beyond `(method, threads, nodes)` — e.g.
+    /// a fault-plan sweep — should carry distinct labels.
+    pub label: Option<String>,
 }
 
 impl RunConfig {
@@ -282,6 +387,7 @@ impl RunConfig {
             progress_thread: false,
             vci_map: None,
             streams: 0,
+            label: None,
         }
     }
 
@@ -345,6 +451,19 @@ impl RunConfig {
     pub fn streams(mut self, n: u32) -> Self {
         self.streams = n;
         self
+    }
+
+    /// Override the recorded run label (defaults to the method label).
+    pub fn label(mut self, l: impl Into<String>) -> Self {
+        self.label = Some(l.into());
+        self
+    }
+
+    /// The label this run is recorded under.
+    pub fn effective_label(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| self.method.label().to_string())
     }
 }
 

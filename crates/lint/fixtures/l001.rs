@@ -12,6 +12,7 @@ pub struct Handoff {
     claim: AtomicU8,
     ready: AtomicBool,
     stream_owner: AtomicU64,
+    published: AtomicU64,
     count: AtomicU64,
 }
 
@@ -55,6 +56,16 @@ impl Handoff {
 
     pub fn stream_unbind_right(&self) {
         self.stream_owner.store(0, Ordering::Release);
+    }
+
+    pub fn publish_watermark_wrong(&self, n: u64) {
+        // Relaxed advance of the recorder watermark: the reader's
+        // Acquire load would see the count without the event slots.
+        self.published.store(n, Ordering::Relaxed); // FIRE: L001
+    }
+
+    pub fn publish_watermark_right(&self, n: u64) {
+        self.published.store(n, Ordering::Release);
     }
 
     pub fn stat_ok(&self) {

@@ -11,6 +11,7 @@ pub struct Published {
     ack: AtomicU64,
     mail_ready: AtomicBool,
     stream_owner: AtomicU64,
+    published: AtomicU64,
     scratch: AtomicU32,
 }
 
@@ -39,6 +40,21 @@ impl Published {
 
     pub fn stream_owner_right(&self) -> u64 {
         self.stream_owner.load(Ordering::Acquire)
+    }
+
+    pub fn watermark_wrong(&self) -> u64 {
+        // Draining up to the watermark without the Acquire can read
+        // uninitialised slots the writer published after.
+        self.published.load(Ordering::Relaxed) // FIRE: L002
+    }
+
+    pub fn watermark_right(&self) -> u64 {
+        self.published.load(Ordering::Acquire)
+    }
+
+    pub fn watermark_self_read_allowed(&self) -> u64 {
+        // lint: allow(L002) single-writer shard reads back its own watermark
+        self.published.load(Ordering::Relaxed) // ALLOWED: L002
     }
 
     pub fn scratch_ok(&self) -> u32 {

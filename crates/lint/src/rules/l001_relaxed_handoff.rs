@@ -26,6 +26,7 @@ pub const HANDOFF_FIELDS: &[&str] = &[
     "claim",           // VCI wildcard claim token (NONE→COMPLETER/CANCELLER)
     "ready",           // multi-request completion publication flag
     "stream_owner",    // stream claim word (bind CAS / unbind Release)
+    "published",       // recorder shard watermark (event slots → reader)
 ];
 
 /// Mutating atomic operations. Loads are L002's concern.

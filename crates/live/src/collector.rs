@@ -1,0 +1,606 @@
+//! The incremental collector: drain the ring in bounded batches on the
+//! virtual clock and fold events into windowed statistics online.
+//!
+//! ## Watermark contract
+//!
+//! On the virtual platform, worker segments execute atomically in
+//! `(t, seq)` event order, and recording never advances the clock. So
+//! once the collector has observed virtual time `T` (its `pump(now)`
+//! argument) *and* drained every shard to its current watermark, no
+//! event with `t_ns < T` can appear later: a segment that records at
+//! `τ < T` must have started at `t0 ≤ τ < T` and therefore ran — and
+//! published — before any segment at `T`. Events below the watermark are
+//! final; events at or above it are buffered until the watermark passes
+//! them. (If a bounded drain stops early, the watermark simply does not
+//! advance that pump — correctness is never traded for the bound.)
+//!
+//! ## Streaming blame exactness
+//!
+//! A wait `[t_req, t_acq)` on lock `L` is only ever charged to holds of
+//! `L` with `t_end ≤ t_acq ≤ t_end(wait)` (one owner at a time), so every
+//! hold a wait can be charged to is anchored no later than the wait
+//! itself. Folding each finalized batch holds-first therefore reproduces
+//! the post-run [`BlameMatrix`]-style attribution *exactly*, including
+//! the per-window conservation `Σ charges + unattributed == wait` to the
+//! nanosecond.
+//!
+//! Memory: the per-lock hold lists grow with the trace (a later long
+//! wait may reach arbitrarily far back), i.e. O(spans) — the same order
+//! as the post-run timeline this collector replaces, traded for zero
+//! post-run barrier.
+//!
+//! [`BlameMatrix`]: https://docs.rs/mtmpi-prof (crate `mtmpi-prof`, `blame::BlameMatrix`)
+
+use crate::stats::{LiveCell, LiveStats, LiveVci, LiveWindow};
+use mtmpi_metrics::{gini, Histogram};
+use mtmpi_obs::{CsOp, CsSpanView, DrainCursor, Event, EventKind, Path, RingRecorder};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+/// Collector tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// Aggregation window width (virtual ns).
+    pub window_ns: u64,
+    /// Multiplier applied to every decayed blame cell at each window
+    /// flush (`1.0` disables decay, smaller forgets faster).
+    pub decay: f64,
+    /// Maximum events drained per [`LiveCollector::pump`] call (the
+    /// bounded-batch guarantee; the watermark only advances on a
+    /// complete drain, so a small batch never loses events).
+    pub batch: usize,
+    /// How many flushed windows the snapshot retains.
+    pub keep_windows: usize,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        Self {
+            window_ns: 1_000_000,
+            decay: 0.8,
+            batch: 4096,
+            keep_windows: 8,
+        }
+    }
+}
+
+/// Exact + decayed accumulator of one blame cell.
+struct CellAcc {
+    ns: u64,
+    decayed: f64,
+}
+
+/// The currently open aggregation window.
+struct WinAcc {
+    start: u64,
+    spans: u64,
+    hist: Histogram,
+    wait: u64,
+    hold: u64,
+    charged: u64,
+    unattr: u64,
+}
+
+impl WinAcc {
+    fn open(start: u64) -> Self {
+        Self {
+            start,
+            spans: 0,
+            hist: Histogram::new(),
+            wait: 0,
+            hold: 0,
+            charged: 0,
+            unattr: 0,
+        }
+    }
+}
+
+/// `(tid, path_idx, op_idx, vci)` — same shape (and order) as the prof
+/// layer's `HolderKey`, kept as a plain tuple so this crate does not
+/// depend on mtmpi-prof.
+type CellKey = (u64, u8, u8, u32);
+
+fn op_idx(op: CsOp) -> u8 {
+    CsOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u8
+}
+
+/// Project a recorded event onto the CS-span view (same mapping as
+/// `Timeline::cs_spans`).
+fn cs_view(e: &Event) -> Option<CsSpanView> {
+    match e.kind {
+        EventKind::CsSpan {
+            lock,
+            kind,
+            path,
+            op,
+            vci,
+            t_req,
+            t_acq,
+        } => Some(CsSpanView {
+            tid: e.tid,
+            core: e.core,
+            socket: e.socket,
+            lock,
+            kind,
+            path,
+            op,
+            vci,
+            t_req,
+            t_acq,
+            t_end: e.t_ns,
+        }),
+        _ => None,
+    }
+}
+
+struct Inner {
+    cursor: DrainCursor,
+    /// Drained but not yet finalizable events (`t_ns >= watermark`).
+    pending: Vec<Event>,
+    watermark: u64,
+    /// Per-lock hold intervals, sorted by `(t_acq, t_end, tid)` — the
+    /// same order the post-run attribution sorts into.
+    holds: BTreeMap<u32, Vec<CsSpanView>>,
+    cells: BTreeMap<CellKey, CellAcc>,
+    total_wait_ns: u64,
+    charged_ns: u64,
+    unattributed_ns: u64,
+    /// Per-thread `(acquisitions, hold_ns)`.
+    per_tid: BTreeMap<u64, (u64, u64)>,
+    /// Per-path `(spans, wait_ns)`, indexed by `Path::idx`.
+    starv: [(u64, u64); 4],
+    /// Per-VCI `(acquisitions, hold_ns, wait_ns)`.
+    per_vci: BTreeMap<u32, (u64, u64, u64)>,
+    window: Option<WinAcc>,
+    windows_flushed: u64,
+    recent: VecDeque<LiveWindow>,
+    events: u64,
+    spans: u64,
+    flow_sends: u64,
+    flow_recvs: u64,
+}
+
+/// The online collector: wraps one [`RingRecorder`] and folds its event
+/// stream into live statistics, a bounded batch at a time.
+///
+/// All methods take `&self`; internal state is behind one mutex, so a
+/// dedicated pump thread and snapshot readers can share the collector.
+pub struct LiveCollector {
+    rec: Arc<RingRecorder>,
+    cfg: LiveConfig,
+    inner: Mutex<Inner>,
+}
+
+impl LiveCollector {
+    /// A collector over `rec` with the given knobs.
+    pub fn new(rec: Arc<RingRecorder>, cfg: LiveConfig) -> Self {
+        Self {
+            rec,
+            cfg,
+            inner: Mutex::new(Inner {
+                cursor: DrainCursor::new(),
+                pending: Vec::new(),
+                watermark: 0,
+                holds: BTreeMap::new(),
+                cells: BTreeMap::new(),
+                total_wait_ns: 0,
+                charged_ns: 0,
+                unattributed_ns: 0,
+                per_tid: BTreeMap::new(),
+                starv: [(0, 0); 4],
+                per_vci: BTreeMap::new(),
+                window: None,
+                windows_flushed: 0,
+                recent: VecDeque::new(),
+                events: 0,
+                spans: 0,
+                flow_sends: 0,
+                flow_recvs: 0,
+            }),
+        }
+    }
+
+    /// The recorder this collector drains.
+    pub fn recorder(&self) -> &Arc<RingRecorder> {
+        &self.rec
+    }
+
+    /// Drain up to `cfg.batch` newly committed events, advance the
+    /// watermark to `now_ns` if the drain was complete, and fold every
+    /// event below the watermark. Returns whether the drain reached the
+    /// recorder's current tail (a `false` means another pump will make
+    /// progress immediately).
+    pub fn pump(&self, now_ns: u64) -> bool {
+        let mut guard = self.inner.lock().expect("live collector mutex poisoned");
+        let inner = &mut *guard;
+        let (batch, done) = self
+            .rec
+            .drain_incremental(&mut inner.cursor, self.cfg.batch.max(1));
+        inner.pending.extend(batch);
+        if done {
+            inner.watermark = inner.watermark.max(now_ns);
+        }
+        let wm = inner.watermark;
+        let mut ready: Vec<Event> = Vec::new();
+        inner.pending.retain(|e| {
+            if e.t_ns < wm {
+                ready.push(e.clone());
+                false
+            } else {
+                true
+            }
+        });
+        ready.sort_by_key(|e| (e.t_ns, e.tid));
+        // Holds first: every hold a wait in this batch can be charged to
+        // is anchored no later than the wait, i.e. already ingested or in
+        // this very batch (see module docs).
+        for e in &ready {
+            if let Some(s) = cs_view(e) {
+                let hs = inner.holds.entry(s.lock).or_default();
+                let pos =
+                    hs.partition_point(|h| (h.t_acq, h.t_end, h.tid) <= (s.t_acq, s.t_end, s.tid));
+                hs.insert(pos, s);
+            }
+        }
+        for e in &ready {
+            Self::fold(inner, &self.cfg, e);
+        }
+        // Flush every window whose end the watermark has passed: nothing
+        // below the watermark can still arrive.
+        while let Some(w) = &inner.window {
+            if w.start.saturating_add(self.cfg.window_ns) <= wm {
+                Self::flush_window(inner, &self.cfg);
+            } else {
+                break;
+            }
+        }
+        done
+    }
+
+    /// Pump to completion: drain everything recorded so far and fold it,
+    /// flushing all windows. Writers must have quiesced for the result
+    /// to be the whole run (otherwise it is simply "everything so far").
+    pub fn finalize(&self) {
+        while !self.pump(u64::MAX) {}
+    }
+
+    /// Fold one finalized event (its holds are already ingested).
+    fn fold(inner: &mut Inner, cfg: &LiveConfig, e: &Event) {
+        inner.events += 1;
+        match &e.kind {
+            EventKind::FlowSend { .. } => inner.flow_sends += 1,
+            EventKind::FlowRecv { .. } => inner.flow_recvs += 1,
+            EventKind::CsSpan { .. } => {}
+            _ => return,
+        }
+        let Some(s) = cs_view(e) else { return };
+        inner.spans += 1;
+        let wait = s.wait_ns();
+        let hold = s.hold_ns();
+        {
+            let t = inner.per_tid.entry(s.tid).or_default();
+            t.0 += 1;
+            t.1 += hold;
+        }
+        {
+            let p = &mut inner.starv[usize::from(s.path.idx())];
+            p.0 += 1;
+            p.1 += wait;
+        }
+        {
+            let v = inner.per_vci.entry(s.vci).or_default();
+            v.0 += 1;
+            v.1 += hold;
+            v.2 += wait;
+        }
+        inner.total_wait_ns += wait;
+        // Window of the span's anchor (its release time). Spans arrive
+        // sorted, so the target window never moves backwards.
+        let target = s.t_end - s.t_end % cfg.window_ns.max(1);
+        loop {
+            match &inner.window {
+                None => {
+                    inner.window = Some(WinAcc::open(target));
+                    break;
+                }
+                Some(w) if w.start == target => break,
+                Some(w) if target > w.start => Self::flush_window(inner, cfg),
+                Some(_) => {
+                    debug_assert!(false, "span window moved backwards");
+                    break;
+                }
+            }
+        }
+        let w = inner.window.as_mut().expect("opened above");
+        w.spans += 1;
+        w.hist.record(wait);
+        w.wait += wait;
+        w.hold += hold;
+        if wait == 0 {
+            return;
+        }
+        // Charge the wait to its concurrent holders — the exact post-run
+        // attribution, streamed.
+        let hs = inner.holds.get(&s.lock).expect("own hold was ingested");
+        let start = hs.partition_point(|h| h.t_end <= s.t_req);
+        let mut charged = 0u64;
+        for h in &hs[start..] {
+            if h.t_acq >= s.t_acq {
+                break;
+            }
+            if h.tid == s.tid && h.t_acq == s.t_acq {
+                continue;
+            }
+            let lo = h.t_acq.max(s.t_req);
+            let hi = h.t_end.min(s.t_acq);
+            if hi > lo {
+                let ns = hi - lo;
+                charged += ns;
+                let cell = inner
+                    .cells
+                    .entry((h.tid, h.path.idx(), op_idx(h.op), h.vci))
+                    .or_insert(CellAcc {
+                        ns: 0,
+                        decayed: 0.0,
+                    });
+                cell.ns += ns;
+                cell.decayed += ns as f64;
+            }
+        }
+        inner.charged_ns += charged;
+        inner.unattributed_ns += wait - charged;
+        let w = inner.window.as_mut().expect("opened above");
+        w.charged += charged;
+        w.unattr += wait - charged;
+    }
+
+    fn flush_window(inner: &mut Inner, cfg: &LiveConfig) {
+        let Some(w) = inner.window.take() else { return };
+        inner.windows_flushed += 1;
+        inner.recent.push_back(LiveWindow {
+            start_ns: w.start,
+            width_ns: cfg.window_ns,
+            spans: w.spans,
+            wait_p50_ns: w.hist.p50(),
+            wait_p99_ns: w.hist.p99(),
+            wait_ns: w.wait,
+            hold_ns: w.hold,
+            charged_ns: w.charged,
+            unattributed_ns: w.unattr,
+        });
+        while inner.recent.len() > cfg.keep_windows.max(1) {
+            inner.recent.pop_front();
+        }
+        for c in inner.cells.values_mut() {
+            c.decayed *= cfg.decay;
+        }
+    }
+
+    /// A point-in-time snapshot of everything folded so far.
+    pub fn snapshot(&self) -> LiveStats {
+        let inner = self.inner.lock().expect("live collector mutex poisoned");
+        let total_ns: u64 = inner.cells.values().map(|c| c.ns).sum();
+        let total_decayed: f64 = inner.cells.values().map(|c| c.decayed).sum();
+        let blame: Vec<LiveCell> = inner
+            .cells
+            .iter()
+            .map(|(&(tid, path_idx, op_idx, vci), c)| LiveCell {
+                tid,
+                path: Path::from_idx(path_idx),
+                op: CsOp::ALL[usize::from(op_idx)],
+                vci,
+                ns: c.ns,
+                share: if total_ns == 0 {
+                    0.0
+                } else {
+                    c.ns as f64 / total_ns as f64
+                },
+                decayed: c.decayed,
+                decayed_share: if total_decayed == 0.0 {
+                    0.0
+                } else {
+                    c.decayed / total_decayed
+                },
+            })
+            .collect();
+        let acq_counts: Vec<u64> = inner.per_tid.values().map(|v| v.0).collect();
+        let hold_totals: Vec<u64> = inner.per_tid.values().map(|v| v.1).collect();
+        let vci_counts: Vec<u64> = inner.per_vci.values().map(|v| v.0).collect();
+        let (mn, mw) = inner.starv[usize::from(Path::Main.idx())];
+        let (pn, pw) = inner.starv[usize::from(Path::Progress.idx())];
+        let main_mean = if mn == 0 { 0.0 } else { mw as f64 / mn as f64 };
+        let prog_mean = if pn == 0 { 0.0 } else { pw as f64 / pn as f64 };
+        let starvation_ratio = if main_mean > 0.0 && pn > 0 {
+            prog_mean / main_mean
+        } else {
+            0.0
+        };
+        LiveStats {
+            watermark_ns: inner.watermark,
+            events: inner.events,
+            spans: inner.spans,
+            dropped: self.rec.dropped(),
+            flow_sends: inner.flow_sends,
+            flow_recvs: inner.flow_recvs,
+            windows_flushed: inner.windows_flushed,
+            recent_windows: inner.recent.iter().copied().collect(),
+            blame,
+            total_wait_ns: inner.total_wait_ns,
+            charged_ns: inner.charged_ns,
+            unattributed_ns: inner.unattributed_ns,
+            hold_gini: gini(&hold_totals),
+            acq_gini: gini(&acq_counts),
+            vci_gini: gini(&vci_counts),
+            starvation_ratio,
+            main_spans: mn,
+            progress_spans: pn,
+            vcis: inner
+                .per_vci
+                .iter()
+                .map(|(&vci, &(acquisitions, hold_ns, wait_ns))| LiveVci {
+                    vci,
+                    acquisitions,
+                    hold_ns,
+                    wait_ns,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtmpi_obs::Recorder;
+
+    fn span(t_req: u64, t_acq: u64, t_end: u64, tid: u64, lock: u32, path: Path) -> Event {
+        Event {
+            t_ns: t_end,
+            tid,
+            core: 0,
+            socket: 0,
+            kind: EventKind::CsSpan {
+                lock,
+                kind: "mutex",
+                path,
+                op: CsOp::Other,
+                vci: lock,
+                t_req,
+                t_acq,
+            },
+        }
+    }
+
+    #[test]
+    fn watermark_holds_back_unfinalized_events() {
+        let rec = Arc::new(RingRecorder::new(1024));
+        let c = LiveCollector::new(rec.clone(), LiveConfig::default());
+        rec.record(span(0, 10, 500, 1, 0, Path::Main));
+        assert!(c.pump(400));
+        assert_eq!(c.snapshot().spans, 0, "t=500 is not final at watermark 400");
+        assert!(c.pump(501));
+        assert_eq!(c.snapshot().spans, 1);
+    }
+
+    #[test]
+    fn streaming_blame_matches_the_post_run_attribution_shape() {
+        // Thread 1 holds [10, 110); thread 2 waits [20, 110) then holds
+        // [110, 150). The wait must charge exactly 90ns to thread 1 and
+        // leave 0 unattributed; conservation is exact.
+        let rec = Arc::new(RingRecorder::new(1024));
+        let c = LiveCollector::new(
+            rec.clone(),
+            LiveConfig {
+                window_ns: 1000,
+                ..Default::default()
+            },
+        );
+        rec.record(span(10, 10, 110, 1, 0, Path::Main));
+        rec.record(span(20, 110, 150, 2, 0, Path::Progress));
+        c.finalize();
+        let s = c.snapshot();
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.total_wait_ns, 90);
+        assert_eq!(s.charged_ns, 90);
+        assert_eq!(s.unattributed_ns, 0);
+        assert_eq!(s.blame.len(), 1);
+        assert_eq!(s.blame[0].tid, 1);
+        assert_eq!(s.blame[0].ns, 90);
+        assert!((s.blame[0].share - 1.0).abs() < 1e-12);
+        // Both spans anchor in window 0, flushed by finalize.
+        assert_eq!(s.windows_flushed, 1);
+        let w = s.recent_windows[0];
+        assert_eq!(w.charged_ns + w.unattributed_ns, w.wait_ns);
+        assert_eq!(w.spans, 2);
+    }
+
+    #[test]
+    fn incremental_pumps_equal_one_final_pump() {
+        // Fold the same stream two ways — many bounded pumps with a
+        // creeping watermark vs. one finalize — and require identical
+        // snapshots (modulo the watermark itself).
+        let mk = || {
+            let rec = Arc::new(RingRecorder::new(4096));
+            for i in 0..200u64 {
+                let tid = i % 3;
+                let base = i * 50;
+                rec.record(span(
+                    base,
+                    base + 7,
+                    base + 40,
+                    tid,
+                    (i % 2) as u32,
+                    Path::Main,
+                ));
+            }
+            LiveCollector::new(
+                rec,
+                LiveConfig {
+                    window_ns: 500,
+                    batch: 17,
+                    ..Default::default()
+                },
+            )
+        };
+        let a = mk();
+        let mut now = 0;
+        while now < 20_000 {
+            now += 333;
+            a.pump(now);
+        }
+        a.finalize();
+        let b = mk();
+        b.finalize();
+        let (mut sa, mut sb) = (a.snapshot(), b.snapshot());
+        sa.watermark_ns = 0;
+        sb.watermark_ns = 0;
+        assert_eq!(sa, sb);
+        // Per-window conservation held throughout.
+        for w in &sa.recent_windows {
+            assert_eq!(w.charged_ns + w.unattributed_ns, w.wait_ns);
+        }
+    }
+
+    #[test]
+    fn decay_forgets_old_windows_while_exact_cells_do_not() {
+        let rec = Arc::new(RingRecorder::new(1024));
+        let c = LiveCollector::new(
+            rec.clone(),
+            LiveConfig {
+                window_ns: 100,
+                decay: 0.5,
+                ..Default::default()
+            },
+        );
+        // One contended pair in window 0, then quiet windows.
+        rec.record(span(0, 0, 50, 1, 0, Path::Main));
+        rec.record(span(10, 50, 60, 2, 0, Path::Main));
+        // A lone span far later forces several window flushes.
+        rec.record(span(900, 900, 910, 1, 0, Path::Main));
+        c.finalize();
+        let s = c.snapshot();
+        let cell = s.blame.iter().find(|b| b.tid == 1).expect("charged cell");
+        assert_eq!(cell.ns, 40, "exact cumulative charge survives");
+        assert!(cell.decayed < cell.ns as f64, "decayed view forgot some");
+        assert!(cell.decayed > 0.0);
+    }
+
+    #[test]
+    fn prom_and_text_render_headline_gauges() {
+        let rec = Arc::new(RingRecorder::new(64));
+        let c = LiveCollector::new(rec.clone(), LiveConfig::default());
+        rec.record(span(0, 5, 20, 1, 0, Path::Main));
+        c.finalize();
+        let s = c.snapshot();
+        let prom = s.prom();
+        for needle in [
+            "mtmpi_live_watermark_ns{} ",
+            "mtmpi_live_wait_ns_total{} 5",
+            "mtmpi_live_spans_total{} 1",
+            "mtmpi_live_starvation_ratio{} ",
+        ] {
+            assert!(prom.contains(needle), "missing {needle:?} in:\n{prom}");
+        }
+        assert!(s.text().contains("live @"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # mtmpi-live — online windowed profiling over the event ring
+//!
+//! The prof layer answers "where did the time go" *after* a run: drain
+//! the recorder, sort, attribute. This crate answers the same question
+//! **while the run is still going**, with no post-run barrier:
+//!
+//! * [`collector`] — [`LiveCollector`] incrementally drains the
+//!   [`mtmpi_obs::RingRecorder`]'s committed prefix in bounded batches
+//!   (`RingRecorder::drain_incremental`), finalizes everything below a
+//!   virtual-clock watermark, and streams the blame attribution — the
+//!   exact same charges the post-run `BlameMatrix` computes, plus an
+//!   exponentially-decayed view that tracks *recent* contention.
+//! * [`stats`] — [`LiveStats`] snapshots (per-window wait p50/p99,
+//!   blame shares, hold-time Gini, progress-starvation ratio, per-VCI
+//!   load Gini) with deterministic Prometheus-style (`.live.prom`) and
+//!   fixed-width text renderings.
+//!
+//! The runtime exposes a collector through `World::live_stats()`; the
+//! harness pumps it from a dedicated virtual-platform thread when
+//! `MTMPI_LIVE=1` (see `xtask watch`).
+
+pub mod collector;
+pub mod stats;
+
+pub use collector::{LiveCollector, LiveConfig};
+pub use stats::{LiveCell, LiveStats, LiveVci, LiveWindow};

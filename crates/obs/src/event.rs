@@ -236,6 +236,35 @@ pub enum EventKind {
         /// Link sequence number of the duplicate.
         seq: u64,
     },
+    /// Causal flow origin: `rank` handed one data packet to the fabric.
+    /// `(rank, dst, vci, seq)` names the message for its whole life —
+    /// retransmits and duplicates reuse the same seq, so every later
+    /// event of the message carries the same flow id. Renders as the
+    /// start (`"s"`) of a Perfetto flow arrow on the sender's track.
+    FlowSend {
+        /// Sending rank (flow id `src`).
+        rank: u32,
+        /// Destination rank.
+        dst: u32,
+        /// VCI shard the message was issued on.
+        vci: u32,
+        /// Per-(src,dst) link sequence number.
+        seq: u64,
+    },
+    /// Causal flow terminus: `rank` accepted the packet in order and
+    /// matched/processed it. Renders as the finish (`"f"`) of the
+    /// Perfetto flow arrow on the receiver's track, closing the arrow
+    /// the matching [`EventKind::FlowSend`] opened.
+    FlowRecv {
+        /// Receiving rank.
+        rank: u32,
+        /// Originating rank (flow id `src`).
+        src: u32,
+        /// VCI shard the packet arrived on.
+        vci: u32,
+        /// Per-(src,dst) link sequence number.
+        seq: u64,
+    },
 }
 
 /// One timeline record.

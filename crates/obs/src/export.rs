@@ -14,8 +14,35 @@ use crate::json::{escape, fmt_f64, fmt_us};
 use crate::recorder::Timeline;
 use mtmpi_metrics::{Histogram, Table};
 
+/// Stable Perfetto flow-event id of one message. The link sequence
+/// number is only unique per `(src, dst)` pair, so the id must fold in
+/// both endpoints; FNV-1a keeps it deterministic and collision-sparse.
+/// `vci` rides along as an arg, not in the id: retransmit steps (which
+/// don't know the shard) must produce the same id as the send/recv ends.
+pub fn flow_id(src: u32, dst: u32, seq: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for w in [u64::from(src), u64::from(dst), seq] {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Zero-preserving mixer used to scope flow ids per trace "process".
+fn scramble64(v: u64) -> u64 {
+    v.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
 /// Render one event as its Chrome trace-event JSON object(s).
 fn chrome_event(ev: &Event, pid: u32, out: &mut Vec<String>) {
+    // Chrome/Perfetto match flow events by id across the whole document,
+    // but a merged multi-run trace reuses (src, dst, seq) in every run
+    // ("process"). Scoping the rendered id by pid keeps each run's
+    // arrows inside its own track group; pid 0 (single-run documents)
+    // renders `flow_id` verbatim.
+    let fid = |src: u32, dst: u32, seq: u64| flow_id(src, dst, seq) ^ scramble64(u64::from(pid));
     let head = |name: &str, cat: &str, ph: &str, ts: u64| {
         format!(
             "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
@@ -109,15 +136,24 @@ fn chrome_event(ev: &Event, pid: u32, out: &mut Vec<String>) {
             seq,
             attempt,
             backoff_ns,
-        } => out.push(format!(
-            "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"dst\":{},\"seq\":{},\"attempt\":{},\"backoff_ns\":{}}}}}",
-            head("retransmit", "fault", "i", ev.t_ns),
-            rank,
-            dst,
-            seq,
-            attempt,
-            backoff_ns
-        )),
+        } => {
+            out.push(format!(
+                "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"dst\":{},\"seq\":{},\"attempt\":{},\"backoff_ns\":{}}}}}",
+                head("retransmit", "fault", "i", ev.t_ns),
+                rank,
+                dst,
+                seq,
+                attempt,
+                backoff_ns
+            ));
+            // Flow step: the retry becomes a waypoint on the message's
+            // arrow, so a recovered message still renders as one flow.
+            out.push(format!(
+                "{},\"id\":\"{:x}\"}}",
+                head("msg", "flow", "t", ev.t_ns),
+                fid(*rank, *dst, *seq)
+            ));
+        }
         EventKind::DupDrop { rank, src, seq } => out.push(format!(
             "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"src\":{},\"seq\":{}}}}}",
             head("dup drop", "fault", "i", ev.t_ns),
@@ -125,6 +161,50 @@ fn chrome_event(ev: &Event, pid: u32, out: &mut Vec<String>) {
             src,
             seq
         )),
+        EventKind::FlowSend {
+            rank,
+            dst,
+            vci,
+            seq,
+        } => {
+            // An instant marks the spot on the sender's track; the "s"
+            // flow event with the same (cat, id) opens the arrow there.
+            out.push(format!(
+                "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"dst\":{},\"vci\":{},\"seq\":{}}}}}",
+                head("msg send", "flow", "i", ev.t_ns),
+                rank,
+                dst,
+                vci,
+                seq
+            ));
+            out.push(format!(
+                "{},\"id\":\"{:x}\"}}",
+                head("msg", "flow", "s", ev.t_ns),
+                fid(*rank, *dst, *seq)
+            ));
+        }
+        EventKind::FlowRecv {
+            rank,
+            src,
+            vci,
+            seq,
+        } => {
+            out.push(format!(
+                "{},\"s\":\"t\",\"args\":{{\"rank\":{},\"src\":{},\"vci\":{},\"seq\":{}}}}}",
+                head("msg recv", "flow", "i", ev.t_ns),
+                rank,
+                src,
+                vci,
+                seq
+            ));
+            // "bp":"e" binds the finish to the enclosing slice's end —
+            // the binding chrome://tracing and Perfetto both accept.
+            out.push(format!(
+                "{},\"bp\":\"e\",\"id\":\"{:x}\"}}",
+                head("msg", "flow", "f", ev.t_ns),
+                fid(*src, *rank, *seq)
+            ));
+        }
     }
 }
 
@@ -313,6 +393,24 @@ pub fn jsonl(t: &Timeline) -> String {
                 "\"ev\":\"dupdrop\",\"rank\":{},\"src\":{},\"seq\":{}",
                 rank, src, seq
             ),
+            EventKind::FlowSend {
+                rank,
+                dst,
+                vci,
+                seq,
+            } => format!(
+                "\"ev\":\"flowsend\",\"rank\":{},\"dst\":{},\"vci\":{},\"seq\":{}",
+                rank, dst, vci, seq
+            ),
+            EventKind::FlowRecv {
+                rank,
+                src,
+                vci,
+                seq,
+            } => format!(
+                "\"ev\":\"flowrecv\",\"rank\":{},\"src\":{},\"vci\":{},\"seq\":{}",
+                rank, src, vci, seq
+            ),
         };
         out.push_str(&head);
         out.push(',');
@@ -482,6 +580,101 @@ mod tests {
         assert!(s.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
         assert!(s.contains("\"ev\":\"cs\""));
         assert!(s.contains("\"ev\":\"poll\""));
+    }
+
+    #[test]
+    fn flow_send_recv_and_retransmit_share_one_id() {
+        let t = Timeline {
+            events: vec![
+                Event {
+                    t_ns: 1_000,
+                    tid: 1,
+                    core: 0,
+                    socket: 0,
+                    kind: EventKind::FlowSend {
+                        rank: 0,
+                        dst: 1,
+                        vci: 0,
+                        seq: 7,
+                    },
+                },
+                Event {
+                    t_ns: 2_000,
+                    tid: 1,
+                    core: 0,
+                    socket: 0,
+                    kind: EventKind::Retransmit {
+                        rank: 0,
+                        dst: 1,
+                        seq: 7,
+                        attempt: 1,
+                        backoff_ns: 500,
+                    },
+                },
+                Event {
+                    t_ns: 3_000,
+                    tid: 2,
+                    core: 1,
+                    socket: 0,
+                    kind: EventKind::FlowRecv {
+                        rank: 1,
+                        src: 0,
+                        vci: 0,
+                        seq: 7,
+                    },
+                },
+            ],
+            dropped: 0,
+        };
+        let doc = chrome_trace(&t);
+        let id = format!("\"id\":\"{:x}\"", flow_id(0, 1, 7));
+        assert!(doc.contains("\"ph\":\"s\""), "flow start");
+        assert!(doc.contains("\"ph\":\"t\""), "flow step at the retransmit");
+        assert!(doc.contains("\"ph\":\"f\""), "flow finish");
+        assert_eq!(
+            doc.matches(&id).count(),
+            3,
+            "send, step, finish share the id"
+        );
+        assert!(doc.contains("\"bp\":\"e\""));
+        // A different message gets a different id — dst is in the fold,
+        // so per-pair seq reuse cannot collide.
+        assert_ne!(flow_id(0, 1, 7), flow_id(0, 2, 7));
+        assert_ne!(flow_id(0, 1, 7), flow_id(1, 0, 7));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        let lines = jsonl(&t);
+        assert!(lines.contains("\"ev\":\"flowsend\""));
+        assert!(lines.contains("\"ev\":\"flowrecv\""));
+    }
+
+    #[test]
+    fn multi_run_traces_scope_flow_ids_per_process() {
+        let mk = |rank, dst, seq| Timeline {
+            events: vec![Event {
+                t_ns: 1_000,
+                tid: 1,
+                core: 0,
+                socket: 0,
+                kind: EventKind::FlowSend {
+                    rank,
+                    dst,
+                    vci: 0,
+                    seq,
+                },
+            }],
+            dropped: 0,
+        };
+        // Two runs send the same (src, dst, seq): the merged document
+        // must NOT reuse one flow id, or Perfetto stitches run 0's send
+        // to run 1's receive.
+        let (a, b) = (mk(0, 1, 7), mk(0, 1, 7));
+        let doc = chrome_trace_multi(&[("run0", &a), ("run1", &b)]);
+        let raw = format!("\"id\":\"{:x}\"", flow_id(0, 1, 7));
+        // pid 0 keeps the raw id (so single-run docs are unchanged)...
+        assert_eq!(doc.matches(&raw).count(), 1, "pid 0 renders the raw id");
+        // ...and pid 1's id differs.
+        let scoped = format!("\"id\":\"{:x}\"", flow_id(0, 1, 7) ^ scramble64(1));
+        assert_eq!(doc.matches(&scoped).count(), 1, "pid 1 is scoped");
     }
 
     #[test]

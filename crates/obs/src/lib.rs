@@ -35,10 +35,11 @@ pub mod summary;
 pub use event::{CsOp, Event, EventKind, Path, ReqPhase};
 pub use export::{
     chrome_trace, chrome_trace_doc, chrome_trace_events, chrome_trace_multi,
-    chrome_trace_multi_events, chrome_vci_lane_events, jsonl, text_report, VCI_LANE_TID_BASE,
+    chrome_trace_multi_events, chrome_vci_lane_events, flow_id, jsonl, text_report,
+    VCI_LANE_TID_BASE,
 };
 pub use recorder::{
-    CsSpanView, NullRecorder, Recorder, RingRecorder, Timeline, TimelineWindows, DEFAULT_SHARD_CAP,
-    MAX_SHARDS,
+    CsSpanView, DrainCursor, NullRecorder, Recorder, RingRecorder, Timeline, TimelineWindows,
+    DEFAULT_SHARD_CAP, MAX_SHARDS,
 };
 pub use summary::{CsStats, RunRecord, Sink};

@@ -10,7 +10,8 @@
 
 use crate::event::{CsOp, Event, EventKind, Path};
 use std::cell::{Cell, UnsafeCell};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Maximum concurrently recording threads per [`RingRecorder`].
 pub const MAX_SHARDS: usize = 256;
@@ -187,23 +188,100 @@ impl<'a> Iterator for TimelineWindows<'a> {
     }
 }
 
-struct Shard {
-    events: UnsafeCell<Vec<Event>>,
+/// Events per storage chunk. Chunks are allocated lazily by the owning
+/// writer and never moved or freed while the recorder lives, so a
+/// concurrent reader holding a pointer into one stays valid.
+const CHUNK: usize = 1024;
+
+/// One fixed-size block of event storage. Slots are written exactly once
+/// by the shard's owning thread before the shard's `published` watermark
+/// covers them; after that they are immutable until the recorder is
+/// reset (`drain_unsynced`) or dropped.
+struct Chunk {
+    slots: [UnsafeCell<MaybeUninit<Event>>; CHUNK],
 }
 
-// SAFETY: each shard's `events` cell is written only by the unique thread
-// that claimed the shard's slot (see `shard_for_current_thread`), and read
-// only by `drain_unsynced`, whose contract requires all recording threads
-// to have quiesced first.
-unsafe impl Sync for Shard {}
+impl Chunk {
+    fn new_boxed() -> Box<Chunk> {
+        Box::new(Chunk {
+            slots: [const { UnsafeCell::new(MaybeUninit::uninit()) }; CHUNK],
+        })
+    }
+}
+
+// SAFETY: slots below a shard's `published` watermark are immutable and
+// only ever read; the single slot being written at any moment is touched
+// only by the shard's unique owning thread. The Release store of
+// `published` / Acquire load by readers orders the slot write before any
+// cross-thread read.
+unsafe impl Sync for Chunk {}
+// SAFETY: `Event` is `Send` (plain data, `&'static str` labels); moving
+// the storage to another thread moves only owned plain data.
+unsafe impl Send for Chunk {}
+
+struct Shard {
+    /// Stable chunk table (fixed length `cap.div_ceil(CHUNK)`): each
+    /// entry is null until the owning writer allocates it. Entries are
+    /// published with Release *before* `published` covers any slot in
+    /// them, and never change again until reset/drop.
+    chunks: Vec<AtomicPtr<Chunk>>,
+    /// Number of committed events: the owning writer stores `n + 1` with
+    /// Release only after slot `n` is fully written, so a reader that
+    /// Acquire-loads `published` may safely read every slot below it.
+    published: AtomicUsize,
+}
+
+impl Shard {
+    fn new(cap: usize) -> Self {
+        Self {
+            chunks: (0..cap.div_ceil(CHUNK))
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            published: AtomicUsize::new(0),
+        }
+    }
+
+    /// Read committed event `i` (must be `< published` as Acquire-loaded
+    /// by the caller).
+    fn get(&self, i: usize) -> Event {
+        let chunk = self.chunks[i / CHUNK].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null(), "published index without a chunk");
+        // SAFETY: `i < published` (caller contract, Acquire-loaded), so
+        // the owning writer fully initialized this slot before the
+        // Release store of `published` that made `i` visible, and
+        // committed slots are never written again.
+        unsafe { (*(*chunk).slots[i % CHUNK].get()).assume_init_ref().clone() }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        for c in &self.chunks {
+            let p = c.load(Ordering::Relaxed);
+            if !p.is_null() {
+                // SAFETY: chunk pointers come from `Box::into_raw` in
+                // `record` and are freed exactly once, here. `Event` has
+                // no drop glue, so skipping per-slot drops leaks nothing.
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
 
 /// Per-thread lock-free event buffers.
 ///
 /// Each recording thread claims a private shard on its first `record`
-/// (one `fetch_add`) and appends to it with no further synchronization.
-/// Shards have a fixed capacity; overflow increments a shared drop
-/// counter instead of reallocating without bound, so a runaway trace
-/// degrades gracefully.
+/// (one `fetch_add`) and appends to it with no further synchronization
+/// beyond one Release store per event. Shards have a fixed capacity;
+/// overflow increments a shared drop counter instead of reallocating
+/// without bound, so a runaway trace degrades gracefully.
+///
+/// Storage is chunked and append-only: committed events never move, so a
+/// concurrent reader ([`RingRecorder::drain_incremental`]) can stream the
+/// committed prefix of every shard *while writers are still recording* —
+/// the contract the mtmpi-live online collector is built on. The
+/// destructive drains ([`RingRecorder::into_timeline`],
+/// [`RingRecorder::drain_unsynced`]) still require quiesced writers.
 pub struct RingRecorder {
     /// Identity of this recorder, to key the thread-local slot cache.
     id: u64,
@@ -229,15 +307,12 @@ impl Default for RingRecorder {
 impl RingRecorder {
     /// A recorder keeping up to `cap_per_thread` events per thread.
     pub fn new(cap_per_thread: usize) -> Self {
+        let cap = cap_per_thread.max(1);
         Self {
             id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
-            shards: (0..MAX_SHARDS)
-                .map(|_| Shard {
-                    events: UnsafeCell::new(Vec::new()),
-                })
-                .collect(),
+            shards: (0..MAX_SHARDS).map(|_| Shard::new(cap)).collect(),
             next_slot: AtomicUsize::new(0),
-            cap: cap_per_thread.max(1),
+            cap,
             dropped: AtomicU64::new(0),
         }
     }
@@ -264,11 +339,14 @@ impl RingRecorder {
 
     /// Drain all shards into a time-ordered [`Timeline`], consuming the
     /// recorder (sole ownership proves no thread is still recording).
-    pub fn into_timeline(mut self) -> Timeline {
+    pub fn into_timeline(self) -> Timeline {
         let dropped = self.dropped();
         let mut events = Vec::new();
-        for shard in &mut self.shards {
-            events.append(shard.events.get_mut());
+        for shard in &self.shards {
+            let n = shard.published.load(Ordering::Acquire);
+            for i in 0..n {
+                events.push(shard.get(i));
+            }
         }
         events.sort_by_key(|e| (e.t_ns, e.tid));
         Timeline { events, dropped }
@@ -281,17 +359,84 @@ impl RingRecorder {
     ///
     /// Every thread that ever called [`Recorder::record`] on this
     /// recorder must have quiesced (e.g. `Platform::run` has returned),
-    /// and no thread may record concurrently with this call.
+    /// and no thread may record concurrently with this call. Any
+    /// outstanding [`DrainCursor`] is invalidated by the reset and must
+    /// not be reused afterwards.
     pub unsafe fn drain_unsynced(&self) -> Timeline {
         let dropped = self.dropped.swap(0, Ordering::Relaxed);
         let mut events = Vec::new();
         for shard in &self.shards {
-            // SAFETY: caller guarantees all recording threads have
-            // quiesced, so no shard is being appended to.
-            events.append(unsafe { &mut *shard.events.get() });
+            let n = shard.published.load(Ordering::Acquire);
+            for i in 0..n {
+                events.push(shard.get(i));
+            }
+            // Reset the watermark so the recorder reads as empty. Chunk
+            // storage is retained (stale contents are unreachable — they
+            // sit above the watermark and will be overwritten before
+            // being republished). Release pairs with the next reader's
+            // Acquire.
+            shard.published.store(0, Ordering::Release);
         }
         events.sort_by_key(|e| (e.t_ns, e.tid));
         Timeline { events, dropped }
+    }
+
+    /// Incrementally drain up to `max` *newly committed* events across all
+    /// shards, resuming from `cursor`. Safe to call while writers are
+    /// still recording: only the committed prefix of each shard (its
+    /// Acquire-loaded `published` watermark) is read, and nothing is
+    /// consumed — the cursor just advances.
+    ///
+    /// Returns the batch (each shard's slice is in program order; batches
+    /// from different shards are concatenated, *not* globally sorted) and
+    /// whether every shard was drained to its current watermark. A
+    /// `false` means `max` was hit and another call will make progress
+    /// immediately.
+    ///
+    /// The drop counter is *not* consumed; read it via
+    /// [`RingRecorder::dropped`].
+    pub fn drain_incremental(&self, cursor: &mut DrainCursor, max: usize) -> (Vec<Event>, bool) {
+        let mut out = Vec::new();
+        for (s, shard) in self.shards.iter().enumerate() {
+            let n = shard.published.load(Ordering::Acquire);
+            let seen = &mut cursor.seen[s];
+            while *seen < n {
+                if out.len() >= max {
+                    return (out, false);
+                }
+                out.push(shard.get(*seen));
+                *seen += 1;
+            }
+        }
+        (out, true)
+    }
+}
+
+/// Resume point for [`RingRecorder::drain_incremental`]: how many
+/// committed events of each shard have already been handed out. A fresh
+/// cursor starts at the beginning of every shard.
+#[derive(Debug, Clone)]
+pub struct DrainCursor {
+    seen: [usize; MAX_SHARDS],
+}
+
+impl Default for DrainCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DrainCursor {
+    /// A cursor positioned at the start of every shard.
+    pub fn new() -> Self {
+        Self {
+            seen: [0; MAX_SHARDS],
+        }
+    }
+
+    /// Total events handed out through this cursor so far.
+    pub fn drained(&self) -> usize {
+        self.seen.iter().sum()
     }
 }
 
@@ -301,18 +446,35 @@ impl Recorder for RingRecorder {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         };
-        // SAFETY: `slot` was claimed by this thread alone (thread-local
-        // cache keyed by recorder id; claims hand out unique indices), so
-        // this cell has a single writer.
-        let events = unsafe { &mut *self.shards[slot].events.get() };
-        if events.len() < self.cap {
-            if events.capacity() == 0 {
-                events.reserve(self.cap.min(1024));
-            }
-            events.push(ev);
-        } else {
+        let shard = &self.shards[slot];
+        // Single-writer shard: this thread is the only one that ever
+        // stores `published`, so a Relaxed self-read is exact.
+        let n = shard.published.load(Ordering::Relaxed); // lint: allow(L002) single-writer shard reads back its own watermark
+        if n >= self.cap {
             self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
         }
+        let slot_in_chunk = n % CHUNK;
+        let chunk_idx = n / CHUNK;
+        let mut chunk = shard.chunks[chunk_idx].load(Ordering::Relaxed); // lint: allow(L002) single-writer shard reads back its own chunk table
+        if chunk.is_null() {
+            chunk = Box::into_raw(Chunk::new_boxed());
+            // Release: the chunk's initialization happens-before any
+            // reader that observes the pointer.
+            shard.chunks[chunk_idx].store(chunk, Ordering::Release);
+        }
+        // SAFETY: slot `n` is above the published watermark, so no reader
+        // touches it, and this thread is the shard's unique writer, so no
+        // other writer does either. The chunk pointer is valid: allocated
+        // above or by this same thread earlier, freed only on drop.
+        unsafe {
+            (*chunk).slots[slot_in_chunk]
+                .get()
+                .write(MaybeUninit::new(ev));
+        }
+        // Commit: Release orders the slot write (and chunk store) before
+        // any reader's Acquire load of the new watermark.
+        shard.published.store(n + 1, Ordering::Release);
     }
 }
 
@@ -464,6 +626,101 @@ mod tests {
         let t2 = unsafe { r.drain_unsynced() };
         assert!(t2.is_empty());
         assert_eq!(t2.dropped, 0);
+    }
+
+    #[test]
+    fn incremental_drain_matches_full_drain_under_concurrent_writers() {
+        // Writers record while the main thread streams the committed
+        // prefix in small bounded batches. The union of all incremental
+        // batches must equal a post-run full drain as a multiset: no
+        // event lost, none double-counted.
+        let r = std::sync::Arc::new(RingRecorder::new(4096));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let handles: Vec<_> = (0..4u64)
+            .map(|tid| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        r.record(ev(tid * 10_000 + i, tid));
+                        if i % 64 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let r = r.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut cursor = DrainCursor::new();
+                let mut got = Vec::new();
+                loop {
+                    let (batch, done) = r.drain_incremental(&mut cursor, 97);
+                    got.extend(batch);
+                    if done && stop.load(Ordering::Relaxed) {
+                        // One more pass after the writers are known to
+                        // have finished, to pick up the tail.
+                        let (tail, done) = r.drain_incremental(&mut cursor, usize::MAX);
+                        assert!(done);
+                        got.extend(tail);
+                        return got;
+                    }
+                    std::thread::yield_now();
+                }
+            })
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut inc = reader.join().unwrap();
+        assert_eq!(r.dropped(), 0);
+        let full = std::sync::Arc::try_unwrap(r).ok().unwrap().into_timeline();
+        inc.sort_by_key(|e| (e.t_ns, e.tid));
+        assert_eq!(inc.len(), 2000);
+        assert_eq!(
+            inc, full.events,
+            "incremental union == full drain, as a multiset"
+        );
+    }
+
+    #[test]
+    fn incremental_drain_sees_exact_drop_count_under_mid_stream_overflow() {
+        // A shard overflows while an incremental reader is mid-stream:
+        // the reader ends with exactly the bounded prefix, and the
+        // recorder's drop counter accounts for each overflowed event —
+        // no drift from the concurrent draining.
+        let r = std::sync::Arc::new(RingRecorder::new(8));
+        let writer = {
+            let r = r.clone();
+            std::thread::spawn(move || {
+                for i in 0..20u64 {
+                    r.record(ev(i, 7));
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let mut cursor = DrainCursor::new();
+        let mut got = Vec::new();
+        loop {
+            let (batch, _) = r.drain_incremental(&mut cursor, 3);
+            got.extend(batch);
+            if writer.is_finished() && got.len() >= 8 {
+                break;
+            }
+            std::thread::yield_now();
+        }
+        writer.join().unwrap();
+        let (tail, done) = r.drain_incremental(&mut cursor, usize::MAX);
+        assert!(done);
+        got.extend(tail);
+        assert_eq!(got.len(), 8, "exactly the bounded prefix");
+        let times: Vec<u64> = got.iter().map(|e| e.t_ns).collect();
+        assert_eq!(times, (0..8).collect::<Vec<u64>>());
+        assert_eq!(r.dropped(), 12, "every overflowed event counted once");
+        // Incremental draining never consumes the counter.
+        assert_eq!(r.dropped(), 12);
     }
 
     #[test]

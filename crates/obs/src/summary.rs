@@ -62,6 +62,10 @@ pub struct RunRecord {
     pub cs_hold: Histogram,
     /// Receive-side message latency merged over all ranks.
     pub msg_latency: Histogram,
+    /// Order-sensitive hash of the virtual scheduler's decision trace
+    /// (0 on the native platform). Equal across same-seed replays;
+    /// any schedule divergence changes it.
+    pub sched_trace_hash: u64,
     /// Event timeline (present only when tracing was on for the run).
     pub timeline: Option<Timeline>,
 }

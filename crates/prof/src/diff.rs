@@ -19,6 +19,21 @@
 //! with identical labels, and the sweep order is deterministic. A run
 //! present on only one side is itself a failure (the run set is part of
 //! the contract).
+//!
+//! Two asymmetries in the missing-value policy:
+//!
+//! * A metric **absent from the baseline** but present in the current
+//!   document is *informational*, never a failure — that is exactly what
+//!   a freshly added scalar (e.g. `sched_trace_hash`) looks like against
+//!   a baseline committed before it existed. A metric absent from the
+//!   *current* side while the baseline has it is still a failure: the
+//!   schema regressed.
+//! * `sched_trace_hash` (per run and the combined top-level fold) is not
+//!   a tolerance metric at all: when both sides carry it, it is compared
+//!   for **exact equality**. The platform is deterministic, so any
+//!   difference means the scheduler replayed a different decision
+//!   sequence — a behaviour change by definition, however the quantiles
+//!   look.
 
 use crate::json::Json;
 
@@ -128,6 +143,9 @@ pub struct DiffReport {
     pub deltas: Vec<Delta>,
     /// Human-readable failure lines (breaching metrics and missing runs).
     pub failures: Vec<String>,
+    /// Informational notes that never gate: metrics the baseline simply
+    /// does not carry yet (refresh it to start pinning them).
+    pub info: Vec<String>,
     /// Metrics compared.
     pub compared: usize,
     /// Metrics skipped under the min-count floor.
@@ -154,6 +172,12 @@ impl DiffReport {
             out.push('\n');
             for f in &self.failures {
                 out.push_str(&format!("- **{f}**\n"));
+            }
+        }
+        if !self.info.is_empty() {
+            out.push('\n');
+            for i in &self.info {
+                out.push_str(&format!("- _info_: {i}\n"));
             }
         }
         let breaching: Vec<&Delta> = self.deltas.iter().filter(|d| d.failed).collect();
@@ -210,9 +234,35 @@ fn metric_of(run: &Json, rule: &Rule) -> (Option<f64>, u64) {
     }
 }
 
+/// Exact-equality gate for the deterministic scheduler-trace hash.
+/// `scope` names what the hash covers (`"combined"` or a run key).
+fn check_hash(scope: &str, base: &Json, cur: &Json, report: &mut DiffReport) {
+    let b = base.get("sched_trace_hash").and_then(Json::as_str);
+    let c = cur.get("sched_trace_hash").and_then(Json::as_str);
+    match (b, c) {
+        (Some(b), Some(c)) => {
+            report.compared += 1;
+            if b != c {
+                report.failures.push(format!(
+                    "{scope}: sched_trace_hash {b} \u{2192} {c} — the scheduler replayed a \
+                     different decision sequence (exact-equality gate, no tolerance)"
+                ));
+            }
+        }
+        (None, Some(c)) => report.info.push(format!(
+            "{scope}: sched_trace_hash {c} not in baseline — refresh the baseline to pin it"
+        )),
+        (Some(_), None) => report.failures.push(format!(
+            "{scope}: sched_trace_hash missing from current results (schema regressed)"
+        )),
+        (None, None) => {}
+    }
+}
+
 /// Diff one figure's current `BENCH_*.json` text against its baseline
 /// text. Errors on unparseable documents; missing runs and breaching
-/// metrics land in [`DiffReport::failures`].
+/// metrics land in [`DiffReport::failures`]; metrics the baseline does
+/// not carry yet land in [`DiffReport::info`].
 pub fn bench_diff(baseline: &str, current: &str, opts: &DiffOptions) -> Result<DiffReport, String> {
     let base_doc = Json::parse(baseline).map_err(|e| format!("baseline: {e}"))?;
     let cur_doc = Json::parse(current).map_err(|e| format!("current: {e}"))?;
@@ -228,9 +278,12 @@ pub fn bench_diff(baseline: &str, current: &str, opts: &DiffOptions) -> Result<D
         fig,
         deltas: Vec::new(),
         failures: Vec::new(),
+        info: Vec::new(),
         compared: 0,
         skipped: 0,
     };
+
+    check_hash("combined", &base_doc, &cur_doc, &mut report);
 
     let cur_keys: std::collections::BTreeSet<&str> =
         cur_runs.iter().map(|(k, _)| k.as_str()).collect();
@@ -255,17 +308,36 @@ pub fn bench_diff(baseline: &str, current: &str, opts: &DiffOptions) -> Result<D
         let Some((_, cur_run)) = cur_runs.iter().find(|(k, _)| k == key) else {
             continue;
         };
+        check_hash(key, base_run, cur_run, &mut report);
         for rule in &opts.rules {
             let (bv, bcount) = metric_of(base_run, rule);
             let (cv, ccount) = metric_of(cur_run, rule);
-            let (Some(bv), Some(cv)) = (bv, cv) else {
-                report.failures.push(format!(
-                    "{key}: metric {}{}{} absent on one side",
+            let metric_name = || {
+                format!(
+                    "{}{}{}",
                     rule.hist,
                     if rule.hist.is_empty() { "" } else { "." },
                     rule.field
-                ));
-                continue;
+                )
+            };
+            let (bv, cv) = match (bv, cv) {
+                (Some(bv), Some(cv)) => (bv, cv),
+                // New metric the baseline predates: informational only.
+                (None, Some(cv)) => {
+                    report.info.push(format!(
+                        "{key}: {} = {cv} not in baseline — refresh the baseline to gate it",
+                        metric_name()
+                    ));
+                    continue;
+                }
+                (Some(_), None) => {
+                    report.failures.push(format!(
+                        "{key}: metric {} missing from current results",
+                        metric_name()
+                    ));
+                    continue;
+                }
+                (None, None) => continue,
             };
             // The floor uses the *smaller* sample count: either side being
             // under-sampled makes the comparison noise.
@@ -429,6 +501,78 @@ mod tests {
                 .unwrap()
                 .ok()
         );
+    }
+
+    /// A document with a per-run and combined `sched_trace_hash`.
+    fn hashed_doc(run_hash: &str, combined: &str) -> String {
+        format!(
+            "{{\"id\":\"figX\",\"traced\":false,\"sched_trace_hash\":\"{combined}\",\"runs\":[{{\
+             \"label\":\"mutex\",\"threads\":4,\"nodes\":1,\"end_ns\":1000000,\
+             \"sched_trace_hash\":\"{run_hash}\",\
+             \"cs_wait\":{{\"count\":1000,\"p50\":100,\"p99\":500,\"max\":500,\"mean\":120}},\
+             \"cs_hold\":{{\"count\":1000,\"p50\":50,\"p99\":80,\"max\":90,\"mean\":55}},\
+             \"msg_latency\":{{\"count\":200,\"p50\":1000,\"p99\":4000,\"max\":5000,\"mean\":1500}}\
+             }}],\"series\":[],\"scalars\":{{}}}}"
+        )
+    }
+
+    #[test]
+    fn matching_hashes_pass_and_are_counted() {
+        let d = hashed_doc("00000000deadbeef", "00000000cafef00d");
+        let r = bench_diff(&d, &d, &DiffOptions::default()).unwrap();
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        // 7 tolerance metrics + combined hash + per-run hash.
+        assert_eq!(r.compared, 9);
+        assert!(r.info.is_empty());
+    }
+
+    #[test]
+    fn hash_drift_fails_exactly_with_zero_tolerance() {
+        let base = hashed_doc("00000000deadbeef", "00000000cafef00d");
+        let cur = hashed_doc("00000000deadbee0", "00000000cafef00d");
+        let r = bench_diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(!r.ok());
+        assert!(
+            r.failures
+                .iter()
+                .any(|f| f.contains("sched_trace_hash") && f.contains("deadbee0")),
+            "failures: {:?}",
+            r.failures
+        );
+    }
+
+    #[test]
+    fn hash_absent_from_baseline_is_informational_not_a_failure() {
+        let base = doc(500, 1000, 1_000_000); // pre-hash baseline
+        let cur = hashed_doc("00000000deadbeef", "00000000cafef00d");
+        let r = bench_diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert_eq!(r.info.len(), 2, "info: {:?}", r.info);
+        assert!(r.info.iter().all(|i| i.contains("not in baseline")));
+        assert!(r.markdown().contains("_info_"));
+    }
+
+    #[test]
+    fn hash_dropped_from_current_is_a_schema_regression() {
+        let base = hashed_doc("00000000deadbeef", "00000000cafef00d");
+        let cur = doc(500, 1000, 1_000_000);
+        let r = bench_diff(&base, &cur, &DiffOptions::default()).unwrap();
+        assert!(!r.ok());
+        assert!(r.failures.iter().any(|f| f.contains("schema regressed")));
+    }
+
+    #[test]
+    fn scalar_metric_absent_from_baseline_is_informational() {
+        // A baseline run with no end_ns: the current side's end_ns must
+        // not gate (informational), while the reverse direction fails.
+        let strip = |d: &str| d.replace("\"end_ns\":1000000,", "");
+        let full = doc(500, 1000, 1_000_000);
+        let r = bench_diff(&strip(&full), &full, &DiffOptions::default()).unwrap();
+        assert!(r.ok(), "failures: {:?}", r.failures);
+        assert!(r.info.iter().any(|i| i.contains("end_ns")), "{:?}", r.info);
+        let r2 = bench_diff(&full, &strip(&full), &DiffOptions::default()).unwrap();
+        assert!(!r2.ok());
+        assert!(r2.failures.iter().any(|f| f.contains("end_ns")));
     }
 
     #[test]

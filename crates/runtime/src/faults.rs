@@ -53,6 +53,16 @@ pub(crate) fn send_data(
     st.send_seq[dst as usize] += 1;
     let src_ep = w.shard(rank, vci).endpoint;
     let dst_ep = w.shard(dst, vci).endpoint;
+    // Flow origin: every data packet — fast path or fault path — gets its
+    // (src, dst, vci, seq) identity stamped exactly once, here, where the
+    // sequence number is allocated. Retransmits and duplicates reuse the
+    // seq, so the whole recovery story shares this one flow id.
+    w.rec_now(|| EventKind::FlowSend {
+        rank,
+        dst,
+        vci,
+        seq,
+    });
     if st.faults.is_none() {
         // Fault-free fast path: identical to the pre-fault runtime.
         w.platform.net_send(

@@ -317,20 +317,6 @@ pub(crate) fn issue_recv(
 }
 
 impl RankHandle {
-    /// Nonblocking send on the world communicator.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.world_comm().isend(dst, tag, data)`")]
-    pub fn isend(&self, dst: u32, tag: Tag, data: MsgData) -> Request {
-        self.isend_impl(CommId::WORLD, dst, tag, data)
-    }
-
-    /// Nonblocking send on a communicator.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.comm(comm).isend(dst, tag, data)`")]
-    pub fn isend_on(&self, comm: CommId, dst: u32, tag: Tag, data: MsgData) -> Request {
-        self.isend_impl(comm, dst, tag, data)
-    }
-
     /// Nonblocking send on a communicator (the one implementation all
     /// surfaces funnel into).
     ///
@@ -354,20 +340,6 @@ impl RankHandle {
             issue_send(w, st, src_rank, vci, tid, comm, dst, tag, data)
         });
         Request { inner }
-    }
-
-    /// Nonblocking receive on the world communicator. `None` = wildcard.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.world_comm().irecv(src, tag)`")]
-    pub fn irecv(&self, src: Option<u32>, tag: Option<Tag>) -> Request {
-        self.irecv_impl(CommId::WORLD, src, tag)
-    }
-
-    /// Nonblocking receive on a communicator.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.comm(comm).irecv(src, tag)`")]
-    pub fn irecv_on(&self, comm: CommId, src: Option<u32>, tag: Option<Tag>) -> Request {
-        self.irecv_impl(comm, src, tag)
     }
 
     /// Nonblocking receive on a communicator (the one implementation all
@@ -875,65 +847,6 @@ impl RankHandle {
     /// [`Self::try_waitall`].
     pub fn waitall(&self, reqs: Vec<Request>) -> Vec<Msg> {
         self.try_waitall(reqs).unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Blocking send on the world communicator.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.world_comm().send(dst, tag, data)`")]
-    pub fn send(&self, dst: u32, tag: Tag, data: MsgData) {
-        let r = self.isend_impl(CommId::WORLD, dst, tag, data);
-        let _ = self.wait(r);
-    }
-
-    /// Blocking receive on the world communicator.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.world_comm().recv(src, tag)`")]
-    pub fn recv(&self, src: Option<u32>, tag: Option<Tag>) -> Msg {
-        let r = self.irecv_impl(CommId::WORLD, src, tag);
-        self.wait(r)
-    }
-
-    /// Blocking send on a communicator.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.comm(comm).send(dst, tag, data)`")]
-    pub fn send_on(&self, comm: CommId, dst: u32, tag: Tag, data: MsgData) {
-        let r = self.isend_impl(comm, dst, tag, data);
-        let _ = self.wait(r);
-    }
-
-    /// Blocking receive on a communicator.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.comm(comm).recv(src, tag)`")]
-    pub fn recv_on(&self, comm: CommId, src: Option<u32>, tag: Option<Tag>) -> Msg {
-        let r = self.irecv_impl(comm, src, tag);
-        self.wait(r)
-    }
-
-    /// Fallible blocking send on a communicator.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.comm(comm).try_send(dst, tag, data)`")]
-    pub fn try_send_on(
-        &self,
-        comm: CommId,
-        dst: u32,
-        tag: Tag,
-        data: MsgData,
-    ) -> Result<(), MpiError> {
-        let r = self.isend_impl(comm, dst, tag, data);
-        self.try_wait(r).map(|_| ())
-    }
-
-    /// Fallible blocking receive on a communicator.
-    #[deprecated(note = "issue through a communicator handle: \
-                         `rank.comm(comm).try_recv(src, tag)`")]
-    pub fn try_recv_on(
-        &self,
-        comm: CommId,
-        src: Option<u32>,
-        tag: Option<Tag>,
-    ) -> Result<Msg, MpiError> {
-        let r = self.irecv_impl(comm, src, tag);
-        self.try_wait(r)
     }
 
     /// Model time spent past the liveness limit, if exceeded.

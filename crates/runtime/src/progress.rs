@@ -133,6 +133,16 @@ pub(crate) fn deliver(
 
 /// Handle one in-order packet on one shard.
 fn process_in_order(w: &WorldInner, rank: u32, vci: u32, st: &mut SharedState, pkt: Packet) {
+    // Flow terminus: the packet survived loss/duplication/reordering and
+    // is being accepted in order — close the arrow its FlowSend opened.
+    // Recorded before matching so the flow id pairs with the send even
+    // when the message parks in the unexpected queue.
+    w.rec_now(|| EventKind::FlowRecv {
+        rank,
+        src: pkt.src,
+        vci,
+        seq: pkt.seq,
+    });
     match pkt.kind {
         PacketKind::Msg {
             comm,

@@ -92,6 +92,10 @@ pub(crate) struct WorldInner {
     pub(crate) streams: u32,
     /// Structured-event sink; `None` costs one branch per record site.
     pub(crate) recorder: Option<Arc<dyn Recorder>>,
+    /// Online collector over the recorder (mtmpi-live); `None` unless
+    /// the harness installed one. The runtime itself never pumps it —
+    /// it only exposes snapshots through [`World::live_stats`].
+    pub(crate) live: Option<Arc<mtmpi_live::LiveCollector>>,
     /// Whether an active fault plan was installed (mirrors
     /// `SharedState::faults`, readable without the CS).
     pub(crate) faults_enabled: bool,
@@ -375,6 +379,7 @@ pub struct WorldBuilder {
     liveness_limit_ns: u64,
     expect_rma: bool,
     recorder: Option<Arc<dyn Recorder>>,
+    live: Option<Arc<mtmpi_live::LiveCollector>>,
     fault_plan: Option<FaultPlan>,
     vci_count: u32,
     vci_map: Option<VciMap>,
@@ -395,6 +400,7 @@ impl World {
             liveness_limit_ns: 120_000_000_000, // 120 virtual seconds
             expect_rma: false,
             recorder: None,
+            live: None,
             fault_plan: None,
             vci_count: 1,
             vci_map: None,
@@ -482,6 +488,22 @@ impl World {
             window: st.win_mem.clone(),
         }
     }
+
+    /// Point-in-time online profiling snapshot (per-window wait
+    /// quantiles, streaming blame shares, Gini indices, starvation
+    /// ratio), or `None` when no collector was installed via
+    /// [`WorldBuilder::live`]. Unlike [`Self::stats`], this is safe
+    /// *during* the run: it reads only what the collector has finalized
+    /// below its watermark.
+    pub fn live_stats(&self) -> Option<mtmpi_live::LiveStats> {
+        self.inner.live.as_ref().map(|c| c.snapshot())
+    }
+
+    /// The installed online collector, if any (the harness's pump thread
+    /// drives it through this handle).
+    pub fn live_collector(&self) -> Option<&Arc<mtmpi_live::LiveCollector>> {
+        self.inner.live.as_ref()
+    }
 }
 
 impl WorldBuilder {
@@ -536,6 +558,16 @@ impl WorldBuilder {
     /// one, event sites cost a single branch.
     pub fn recorder(mut self, r: Arc<dyn Recorder>) -> Self {
         self.recorder = Some(r);
+        self
+    }
+
+    /// Install an online collector (see [`mtmpi_live`]). The collector
+    /// must wrap the same recorder passed to [`WorldBuilder::recorder`];
+    /// the runtime exposes its snapshots through [`World::live_stats`]
+    /// but never pumps it — that is the harness's collector thread's
+    /// job.
+    pub fn live(mut self, c: Arc<mtmpi_live::LiveCollector>) -> Self {
+        self.live = Some(c);
         self
     }
 
@@ -668,6 +700,7 @@ impl WorldBuilder {
                 vci_map,
                 streams: self.streams,
                 recorder: self.recorder,
+                live: self.live,
                 faults_enabled: active_plan.is_some(),
             }),
         })

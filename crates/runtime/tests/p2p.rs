@@ -416,26 +416,3 @@ fn liveness_guard_fires_on_missing_sender() {
     });
     p.run();
 }
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_rank_handle_shims_still_work() {
-    // The pre-Comm issuing surface is kept as thin shims for one release;
-    // this pins that they still route through the same machinery.
-    let p = platform(2, 15);
-    let w = two_rank_world(&p, LockKind::Ticket);
-    let (a, b) = (w.rank(0), w.rank(1));
-    spawn(&p, "s", 0, 0, move || {
-        a.send(1, 3, MsgData::Bytes(vec![9]));
-        let r = a.isend(1, 4, MsgData::Bytes(vec![8]));
-        a.wait(r);
-    });
-    spawn(&p, "r", 1, 0, move || {
-        let m = b.recv(Some(0), Some(3));
-        assert_eq!(m.data.as_bytes(), &[9]);
-        let r = b.irecv(Some(0), Some(4));
-        let m = b.wait(r);
-        assert_eq!(m.data.as_bytes(), &[8]);
-    });
-    p.run();
-}

@@ -296,6 +296,7 @@ impl Platform for NativePlatform {
         PlatformReport {
             end_ns: self.now_ns(),
             lock_traces: traces,
+            sched_trace_hash: 0,
         }
     }
 }

@@ -137,6 +137,12 @@ pub struct PlatformReport {
     pub end_ns: u64,
     /// Acquisition trace per lock, indexed by [`LockId`].
     pub lock_traces: Vec<CsTrace>,
+    /// Order-sensitive FNV-1a 64 hash of every scheduler decision the
+    /// virtual platform made (event dequeue order, grant outcomes).
+    /// Same seed + same workload → same hash; any divergence in the
+    /// schedule changes it. The native platform is not deterministic and
+    /// reports 0.
+    pub sched_trace_hash: u64,
 }
 
 /// Execution platform abstraction. See the crate docs for the contract.

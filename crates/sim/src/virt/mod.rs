@@ -169,6 +169,62 @@ fn in_worker() -> bool {
     CTX.with(|c| c.borrow().is_some())
 }
 
+/// Order-sensitive FNV-1a 64 accumulator over scheduler decisions.
+///
+/// Every event popped from the heap (the dequeue order *is* the
+/// scheduler's decision trace) folds its virtual time, kind, and payload
+/// into the hash, and every lock grant folds the granted thread and
+/// grant time. Two runs with identical seeds and workloads produce
+/// byte-identical event sequences, hence equal hashes; any schedule
+/// divergence — a different interleaving, a different grant winner, a
+/// shifted arrival — changes it. Exposed per run as
+/// [`PlatformReport::sched_trace_hash`] so replay identity can be
+/// asserted without comparing full traces.
+#[derive(Debug, Clone, Copy)]
+struct SchedHash(u64);
+
+impl SchedHash {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    fn mix(&mut self, word: u64) {
+        // FNV-1a over the 8 little-endian bytes of `word`.
+        for b in word.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn event(&mut self, ev: &Ev) {
+        self.mix(ev.t);
+        match ev.kind {
+            EvKind::Start(tid) => {
+                self.mix(1);
+                self.mix(tid as u64);
+            }
+            EvKind::Exec(tid) => {
+                self.mix(2);
+                self.mix(tid as u64);
+            }
+            EvKind::Grant { lock, gen } => {
+                self.mix(3);
+                self.mix(lock as u64);
+                self.mix(gen);
+            }
+        }
+    }
+
+    fn grant(&mut self, tid: usize, at: u64) {
+        self.mix(4);
+        self.mix(tid as u64);
+        self.mix(at);
+    }
+}
+
 /// Scheduler event.
 #[derive(Debug, PartialEq, Eq)]
 enum EvKind {
@@ -444,6 +500,7 @@ struct Scheduler<'p> {
     live: usize,
     done: Vec<bool>,
     end_ns: u64,
+    hash: SchedHash,
 }
 
 impl<'p> Scheduler<'p> {
@@ -546,6 +603,7 @@ impl<'p> Scheduler<'p> {
             live: n_threads,
             done: vec![false; n_threads],
             end_ns: 0,
+            hash: SchedHash::new(),
         };
 
         for tid in 0..n_threads {
@@ -560,6 +618,7 @@ impl<'p> Scheduler<'p> {
         PlatformReport {
             end_ns: sched.end_ns,
             lock_traces: sched.vlocks.into_iter().map(VLock::into_trace).collect(),
+            sched_trace_hash: sched.hash.0,
         }
     }
 
@@ -581,6 +640,7 @@ impl<'p> Scheduler<'p> {
                 None => self.deadlock_panic(),
             };
             n_events += 1;
+            self.hash.event(&ev);
             if debug_every > 0 && n_events.is_multiple_of(debug_every) {
                 eprintln!(
                     "[sim] {n_events} events, t={} us, live={}, heap={}",
@@ -600,6 +660,7 @@ impl<'p> Scheduler<'p> {
                 EvKind::Grant { lock, gen } => match self.vlocks[lock].try_finalize(gen) {
                     GrantOutcome::Stale => {}
                     GrantOutcome::Granted { tid, at } => {
+                        self.hash.grant(tid, at);
                         self.resume_and_wait(tid, Reply::Go { now: at });
                     }
                 },
@@ -620,6 +681,7 @@ impl<'p> Scheduler<'p> {
                 let info = &self.threads[tid];
                 match self.vlocks[lock].acquire(t, tid, info.core, info.socket, class) {
                     AcquireOutcome::Granted { at } => {
+                        self.hash.grant(tid, at);
                         self.resume_and_wait(tid, Reply::Go { now: at });
                     }
                     AcquireOutcome::Queued => {}

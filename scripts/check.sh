@@ -49,6 +49,12 @@
 #              lock-free wait timeouts, wildcard fallback) plus the
 #              fig_stream sweep twice in quick mode with a byte-identity
 #              cmp (DESIGN.md section 14).
+#   live       live-observability smoke test: the mtmpi-live integration
+#              suite (streaming blame == post-run BlameMatrix, window
+#              conservation), fig2a twice same-seed under MTMPI_LIVE=1
+#              asserting sched_trace_hash equality, then `xtask watch
+#              fig2a --headless`, which validates results/fig2a.live.prom
+#              (DESIGN.md section 15).
 #
 # Usage: scripts/check.sh [fast]   ("fast" skips loom/tsan/miri/obs/prof)
 set -uo pipefail
@@ -108,6 +114,22 @@ vci_smoke() {
     return $rc
 }
 
+# Live gate: the mtmpi-live integration tests, then fig2a twice under
+# the online collector comparing the scheduler-trace hashes (same seed
+# must replay the exact same decision sequence), then one headless
+# `xtask watch` pass, which validates the .live.prom export.
+live_smoke() {
+    local h1 h2
+    cargo test --release -q -p mtmpi-integration-tests --test live || return 1
+    MTMPI_LIVE=1 cargo run --release -q -p mtmpi-bench --bin fig2a -- --quick || return 1
+    h1=$(grep -o '"sched_trace_hash":"[0-9a-f]*"' results/BENCH_fig2a.json)
+    [ -n "$h1" ] || { echo "no sched_trace_hash in BENCH_fig2a.json"; return 1; }
+    MTMPI_LIVE=1 cargo run --release -q -p mtmpi-bench --bin fig2a -- --quick || return 1
+    h2=$(grep -o '"sched_trace_hash":"[0-9a-f]*"' results/BENCH_fig2a.json)
+    [ "$h1" = "$h2" ] || { echo "sched_trace_hash diverged between same-seed runs"; return 1; }
+    cargo run -q -p xtask -- watch fig2a --headless
+}
+
 # Stream gate: the stream integration tests, then the fig_stream sweep
 # twice with a byte-identity cmp (the lock-free fast path replays too).
 stream_smoke() {
@@ -132,6 +154,7 @@ if [ "$FAST" = "fast" ]; then
     skip faults "fast mode"
     skip vci "fast mode"
     skip stream "fast mode"
+    skip live "fast mode"
 else
     step loom cargo test -p mtmpi-locks --features loom-check --test loom
     step loom cargo test -p mtmpi-runtime --test loom_claim --test loom_stream
@@ -140,6 +163,7 @@ else
     step faults faults_smoke
     step vci vci_smoke
     step stream stream_smoke
+    step live live_smoke
 
     if ! cargo +nightly --version >/dev/null 2>&1; then
         skip tsan "no nightly toolchain"

@@ -18,6 +18,13 @@
 //! * `top <fig>` — render the windowed contention view (who holds the
 //!   runtime critical section, when) of `results/BENCH_<fig>.json`.
 //!
+//! * `watch <fig> [--headless]` — run one figure binary with the
+//!   mtmpi-live online collector enabled: periodic live-stats snapshots
+//!   stream to stderr while the simulation runs, and each run appends
+//!   its Prometheus-style gauge block to `results/<fig>.live.prom`,
+//!   which is validated afterwards. `--headless` keeps only the export
+//!   (CI mode). See [`watch`].
+//!
 //! * `lint [--json] [--update-baseline]` — run mtmpi-lint, the
 //!   concurrency-contract static analysis (rules L001–L006: Relaxed
 //!   hand-off mutations, Acquire-less published loads, nested critical
@@ -33,6 +40,7 @@ use std::process::ExitCode;
 
 mod bench;
 mod trace;
+mod watch;
 
 fn workspace_root() -> PathBuf {
     // xtask lives at <root>/xtask.
@@ -130,6 +138,31 @@ fn main() -> ExitCode {
             }
             bench::run_bench_diff(&workspace_root(), &baseline, quick)
         }
+        Some("watch") => {
+            let mut fig = None;
+            let mut headless = false;
+            for a in args {
+                match a.as_str() {
+                    "--headless" => headless = true,
+                    other if fig.is_none() && !other.starts_with('-') => {
+                        fig = Some(other.to_string());
+                    }
+                    other => {
+                        eprintln!("xtask watch: unknown argument {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            match fig {
+                Some(fig) => watch::run_watch(&fig, headless, &workspace_root()),
+                None => {
+                    eprintln!(
+                        "usage: cargo run -p xtask -- watch <fig> [--headless]   (e.g. watch fig2a)"
+                    );
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("top") => match args.next() {
             Some(fig) => bench::run_top(&fig, &workspace_root()),
             None => {
@@ -139,11 +172,13 @@ fn main() -> ExitCode {
         },
         other => {
             eprintln!(
-                "usage: cargo run -p xtask -- <lint|trace <fig>|bench-diff|top <fig>>\n  (got {:?})\n\n\
+                "usage: cargo run -p xtask -- <lint|trace <fig>|bench-diff|top <fig>|watch <fig>>\n  (got {:?})\n\n\
                  lint         mtmpi-lint static analysis (L001–L006) vs crates/lint/baseline.txt\n\
                  trace <fig>  run a figure binary traced and validate its JSON outputs\n\
                  bench-diff   [--baseline <dir>] [--quick] gate BENCH_*.json vs baselines\n\
-                 top <fig>    windowed contention view of results/BENCH_<fig>.json",
+                 top <fig>    windowed contention view of results/BENCH_<fig>.json\n\
+                 watch <fig>  [--headless] run a figure with the mtmpi-live collector,\n\
+                              stream snapshots, validate results/<fig>.live.prom",
                 other
             );
             ExitCode::FAILURE

@@ -211,7 +211,7 @@ fn check_file(path: &Path, required_key: &str) -> Result<u64, String> {
 /// Figure names are plain binary names; anything else (path separators,
 /// dashes that cargo would parse as flags) is rejected before it
 /// reaches the command line.
-fn valid_fig_name(fig: &str) -> bool {
+pub(crate) fn valid_fig_name(fig: &str) -> bool {
     !fig.is_empty() && fig.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
