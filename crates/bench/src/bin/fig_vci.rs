@@ -27,7 +27,10 @@ fn main() {
         "tag-routed sharded critical sections; vci_count=1 is the paper's global CS",
     );
     let quick = quick_mode();
-    let vci_counts: &[u32] = &[1, 2, 4, 8];
+    // 16 shards oversubscribes the partition (threads < shards): the
+    // point where the burst steal in `try_wait` matters — one victim
+    // per spin window cannot keep 15 other mailboxes drained.
+    let vci_counts: &[u32] = &[1, 2, 4, 8, 16];
     let threads = 8u32;
     let windows = if quick { 2 } else { 4 };
     let size = 32u64;
@@ -63,6 +66,14 @@ fn main() {
         fig.scalar(
             format!("speedup_vci8_{}", method.label().to_lowercase()),
             r8 / r1,
+        );
+        // The 16-shard scalar gates the burst-steal path: without it,
+        // oversubscribed shards serialize on one steal victim and this
+        // ratio collapses.
+        let r16 = rates[&(method.label(), 16)];
+        fig.scalar(
+            format!("speedup_vci16_{}", method.label().to_lowercase()),
+            r16 / r1,
         );
     }
     // The partitioning-beats-arbitration headline.

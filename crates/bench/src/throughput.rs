@@ -26,6 +26,9 @@ pub struct ThroughputResult {
     pub end_ns: u64,
     /// Total messages moved.
     pub messages: u64,
+    /// Scheduler decision-trace hash of the run — byte-identical across
+    /// event cores (calendar vs heap) for the same seed and workload.
+    pub sched_trace_hash: u64,
 }
 
 /// Parameters of a throughput run.
@@ -130,6 +133,7 @@ pub fn throughput_run(exp: &Experiment, method: Method, p: ThroughputParams) -> 
         bias,
         end_ns: out.end_ns,
         messages,
+        sched_trace_hash: out.report.sched_trace_hash,
     }
 }
 
@@ -216,6 +220,7 @@ pub fn vci_throughput_run(
         bias,
         end_ns: out.end_ns,
         messages,
+        sched_trace_hash: out.report.sched_trace_hash,
     }
 }
 
@@ -273,6 +278,7 @@ pub fn stream_throughput_run(
         bias,
         end_ns: out.end_ns,
         messages,
+        sched_trace_hash: out.report.sched_trace_hash,
     }
 }
 

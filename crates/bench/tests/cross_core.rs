@@ -1,0 +1,34 @@
+//! Cross-core schedule parity on a paper workload: the calendar-queue
+//! event core must replay the fig2a throughput benchmark with a
+//! `sched_trace_hash` byte-identical to the reference binary-heap core.
+//! (`fig_scale` asserts the same in-process for its ring workload; this
+//! test pins it for the windowed osu_bw-style exchange, whose waitall
+//! and ack traffic stress same-timestamp tie-breaking much harder.)
+
+use mtmpi::prelude::*;
+use mtmpi_bench::{throughput_run, ThroughputParams, ThroughputResult};
+
+fn fig2a_point(core: EventCore, threads: u32) -> ThroughputResult {
+    let exp = Experiment::quick(2).event_core(core);
+    throughput_run(
+        &exp,
+        Method::Mutex,
+        ThroughputParams::new(64, threads).windows(2),
+    )
+}
+
+#[test]
+fn fig2a_workload_hashes_match_across_cores() {
+    for threads in [1u32, 4] {
+        let cal = fig2a_point(EventCore::Calendar, threads);
+        let heap = fig2a_point(EventCore::Heap, threads);
+        assert_eq!(
+            cal.sched_trace_hash, heap.sched_trace_hash,
+            "fig2a @{threads} tpn: calendar core diverged from the heap core"
+        );
+        // Same schedule ⇒ same virtual timings, not just the same hash.
+        assert_eq!(cal.end_ns, heap.end_ns);
+        assert_eq!(cal.messages, heap.messages);
+        assert!(cal.sched_trace_hash != 0, "hash must be populated");
+    }
+}

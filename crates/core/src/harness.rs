@@ -6,7 +6,9 @@ use mtmpi_metrics::{CsTrace, DanglingSampler, Histogram};
 use mtmpi_net::{FaultPlan, NetModel};
 use mtmpi_obs::{RingRecorder, RunRecord, Sink, Timeline, DEFAULT_SHARD_CAP};
 use mtmpi_runtime::{Granularity, RankHandle, RankStats, RuntimeCosts, VciMap, World};
-use mtmpi_sim::{LockModelParams, Platform, PlatformReport, ThreadDesc, VirtualPlatform};
+use mtmpi_sim::{
+    EventCore, LockModelParams, Platform, PlatformReport, SimError, ThreadDesc, VirtualPlatform,
+};
 use mtmpi_topology::{presets, Binding, BindingPolicy, ClusterTopology};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -60,6 +62,15 @@ pub struct Experiment {
     /// ([`FaultPlan::none`]) leaves every run on the fault-free fast
     /// paths, byte-identical to a harness without the knob.
     pub faults: FaultPlan,
+    /// Scheduler-event budget per run (`None` = unlimited). With a
+    /// bound, a livelocked run fails [`Experiment::try_run`] with
+    /// [`SimError::FuelExhausted`] instead of spinning forever.
+    pub fuel: Option<u64>,
+    /// Event-queue core override (`None` = platform default, i.e. the
+    /// calendar queue unless `MTMPI_SIM_CORE` says otherwise). Set
+    /// explicitly in cross-core parity tests — unlike an env toggle this
+    /// cannot race a parallel test harness.
+    pub event_core: Option<EventCore>,
 }
 
 impl Experiment {
@@ -73,6 +84,8 @@ impl Experiment {
             seed: 0x5EED,
             obs: ObsConfig::default(),
             faults: FaultPlan::none(),
+            fuel: None,
+            event_core: None,
         }
     }
 
@@ -111,20 +124,50 @@ impl Experiment {
         self
     }
 
+    /// Bound every run to at most `max_events` scheduler events (see
+    /// [`Experiment::fuel`] field docs).
+    pub fn fuel(mut self, max_events: u64) -> Self {
+        self.fuel = Some(max_events);
+        self
+    }
+
+    /// Pin the event-queue core for every run (see
+    /// [`Experiment::event_core`] field docs).
+    pub fn event_core(mut self, core: EventCore) -> Self {
+        self.event_core = Some(core);
+        self
+    }
+
     /// Run `body` on every (rank, thread) of the grid described by `cfg`,
-    /// on a fresh virtual platform.
+    /// on a fresh virtual platform. Panics (with the [`SimError`]
+    /// rendering) on fuel exhaustion or deadlock — see
+    /// [`Experiment::try_run`] for the typed surface.
     pub fn run<F>(&self, cfg: RunConfig, body: F) -> RunOutcome
+    where
+        F: Fn(ThreadCtx) + Send + Sync + 'static,
+    {
+        self.try_run(cfg, body).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Experiment::run`], but fuel exhaustion and deadlock come back
+    /// as typed [`SimError`]s carrying the per-thread blocked-state
+    /// snapshot.
+    pub fn try_run<F>(&self, cfg: RunConfig, body: F) -> Result<RunOutcome, SimError>
     where
         F: Fn(ThreadCtx) + Send + Sync + 'static,
     {
         let nodes = cfg.nodes;
         assert!(nodes <= self.cluster.nodes, "config exceeds cluster size");
-        let platform: Arc<dyn Platform> = Arc::new(VirtualPlatform::new(
+        let vplatform = Arc::new(VirtualPlatform::new(
             self.cluster.clone(),
             self.net.clone(),
             self.lock_params,
             self.seed,
         ));
+        if let Some(core) = self.event_core {
+            vplatform.set_event_core(core);
+        }
+        let platform: Arc<dyn Platform> = vplatform;
         let threads_per_rank = if cfg.method.forces_single_thread() {
             1
         } else {
@@ -157,6 +200,9 @@ impl Experiment {
         }
         if self.faults.is_active() {
             builder = builder.fault_plan(self.faults.clone());
+        }
+        if let Some(f) = self.fuel {
+            builder = builder.fuel(f);
         }
         if let Some(rec) = &recorder {
             builder = builder.recorder(rec.clone());
@@ -283,7 +329,15 @@ impl Experiment {
             );
         }
 
-        let report = platform.run();
+        let report = match platform.try_run() {
+            Ok(r) => r,
+            Err(e) => {
+                // Threads died mid-operation; their in-flight requests
+                // are the error's snapshot, not leaks.
+                world.mark_aborted();
+                return Err(e);
+            }
+        };
         if let Some(c) = &live {
             if let Ok(path) = std::env::var("MTMPI_LIVE_OUT") {
                 if !path.is_empty() {
@@ -337,7 +391,7 @@ impl Experiment {
                 timeline: out.timeline.clone(),
             });
         }
-        out
+        Ok(out)
     }
 }
 

@@ -585,9 +585,13 @@ impl RankHandle {
             }
             class = PathClass::Progress;
             // Work stealing: a spinner parked on one shard occasionally
-            // progresses the most-starved *other* shard, so a shard whose
+            // progresses the most-starved *other* shards, so a shard whose
             // owner threads are all blocked elsewhere still advances.
-            // Never runs unsharded (vci_n() == 1 ⇒ no candidates).
+            // Burst size scales with the shard count (1 up to 4 shards —
+            // identical to the old single-victim steal — then vci_n/4,
+            // capped at 4): at 16 shards a single victim per spin window
+            // serializes recovery on one mailbox while the other 14
+            // starve. Never runs unsharded (vci_n() == 1 ⇒ no candidates).
             spins += 1;
             if spins.is_multiple_of(4) && w.vci_n() > 1 {
                 // Stream shards (past vci_n) are never steal victims:
@@ -598,7 +602,8 @@ impl RankHandle {
                     .take(w.vci_n() as usize)
                     .map(|s| s.last_poll_ns.load(Ordering::Relaxed))
                     .collect();
-                if let Some(victim) = mtmpi_vci::pick_starved(&snap, vci) {
+                let burst = (w.vci_n() as usize / 4).clamp(1, 4);
+                for victim in mtmpi_vci::pick_starved_burst(&snap, &[vci], burst) {
                     let _ = progress_once(w, rank, victim, PathClass::Progress, Path::WaitSpin);
                 }
             }
@@ -714,6 +719,7 @@ impl RankHandle {
         w.platform.compute(costs.call_overhead_ns);
         let mut class = PathClass::Main;
         let start = w.platform.now_ns();
+        let mut spins = 0u32;
         while !singles.is_empty() || !multis.is_empty() {
             let opath = wait_path(class);
             // Fan-out wildcards first: completion pickup is lock-free.
@@ -774,6 +780,25 @@ impl RankHandle {
                 if w.granularity.split_progress_lock() {
                     for &v in &vcis {
                         let _ = progress_once(w, rank, v, class, opath);
+                    }
+                }
+                // Multi-shard steal sweep (the waitall counterpart of the
+                // try_wait burst steal): a waitall pinned to a few shards
+                // occasionally progresses the most-starved shards *outside*
+                // its pending set, so completions that depend on another
+                // shard's matcher — a peer's ack routed elsewhere — still
+                // advance at high shard counts.
+                spins += 1;
+                if spins.is_multiple_of(4) && w.vci_n() > 1 && !singles.is_empty() {
+                    let snap: Vec<u64> = w.procs[rank as usize]
+                        .shards
+                        .iter()
+                        .take(w.vci_n() as usize)
+                        .map(|s| s.last_poll_ns.load(Ordering::Relaxed))
+                        .collect();
+                    let burst = (w.vci_n() as usize / 4).clamp(1, 4);
+                    for victim in mtmpi_vci::pick_starved_burst(&snap, &vcis, burst) {
+                        let _ = progress_once(w, rank, victim, PathClass::Progress, Path::WaitSpin);
                     }
                 }
                 class = PathClass::Progress;

@@ -19,7 +19,7 @@ use mtmpi_obs::{CsOp, Event, EventKind, Recorder};
 use mtmpi_sim::{LockId, LockKind, Platform};
 use mtmpi_vci::{VciMap, VciPool};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// One virtual communication interface of one MPI process: an
@@ -99,6 +99,11 @@ pub(crate) struct WorldInner {
     /// Whether an active fault plan was installed (mirrors
     /// `SharedState::faults`, readable without the CS).
     pub(crate) faults_enabled: bool,
+    /// Set when the platform run failed (fuel exhaustion, deadlock).
+    /// An aborted run has in-flight requests *by definition* — they are
+    /// the content of the error snapshot, not leaks — so the drop-time
+    /// quiescence check stands down. See [`World::mark_aborted`].
+    pub(crate) aborted: AtomicBool,
 }
 
 impl WorldInner {
@@ -342,7 +347,10 @@ impl Drop for WorldInner {
     /// VCI* — each shard's ledger must balance on its own — plus the
     /// process-level wildcard ledger for multi-shard receives.
     fn drop(&mut self) {
-        if !cfg!(debug_assertions) || std::thread::panicking() {
+        if !cfg!(debug_assertions)
+            || std::thread::panicking()
+            || self.aborted.load(Ordering::Acquire)
+        {
             return;
         }
         for (rank, p) in self.procs.iter_mut().enumerate() {
@@ -384,9 +392,19 @@ pub struct WorldBuilder {
     vci_count: u32,
     vci_map: Option<VciMap>,
     streams: u32,
+    fuel: Option<u64>,
 }
 
 impl World {
+    /// Mark the run as aborted (fuel exhaustion, deadlock): threads were
+    /// stopped mid-operation, so the drop-time request-leak check would
+    /// fire on state that is *diagnosis*, not leakage. Callers returning
+    /// a typed [`mtmpi_sim::SimError`] must flip this before the last
+    /// `World` clone drops.
+    pub fn mark_aborted(&self) {
+        self.inner.aborted.store(true, Ordering::Release);
+    }
+
     /// Start building a world on `platform`.
     pub fn builder(platform: Arc<dyn Platform>) -> WorldBuilder {
         WorldBuilder {
@@ -405,6 +423,7 @@ impl World {
             vci_count: 1,
             vci_map: None,
             streams: 0,
+            fuel: None,
         }
     }
 
@@ -578,6 +597,20 @@ impl WorldBuilder {
         self
     }
 
+    /// Bound the run to at most `max_events` scheduler events (the x07
+    /// determinism contract): on the virtual platform an exhausted bound
+    /// fails `try_run` with `SimError::FuelExhausted` carrying a
+    /// per-thread blocked-state snapshot, instead of spinning forever.
+    /// Complements [`Self::liveness_limit_ns`]: fuel counts *events*, so
+    /// a tight livelock (which advances virtual time only slowly) trips
+    /// it long before the virtual-time guard. The `MTMPI_FUEL` env var
+    /// provides the same bound without a code change; this builder
+    /// setting wins when both are present.
+    pub fn fuel(mut self, max_events: u64) -> Self {
+        self.fuel = Some(max_events);
+        self
+    }
+
     /// Inject deterministic link faults (see [`mtmpi_net::FaultPlan`])
     /// and enable the runtime's recovery machinery: sequenced sends with
     /// cumulative acks, a retransmit queue with exponential backoff, and
@@ -639,6 +672,9 @@ impl WorldBuilder {
             return Err(BuildError::ZeroWindowWithRma);
         }
         let vci_map = self.vci_map.unwrap_or_else(|| VciMap::new(self.vci_count));
+        if let Some(f) = self.fuel {
+            self.platform.set_fuel(Some(f));
+        }
         let platform_nodes = self.platform.node_count();
         let active_plan = self.fault_plan.filter(FaultPlan::is_active);
         let mut procs = Vec::with_capacity(self.ranks as usize);
@@ -702,6 +738,7 @@ impl WorldBuilder {
                 recorder: self.recorder,
                 live: self.live,
                 faults_enabled: active_plan.is_some(),
+                aborted: AtomicBool::new(false),
             }),
         })
     }

@@ -25,14 +25,18 @@
 //! lock and network operations, which keeps simulation overhead
 //! proportional to synchronization, not to work.
 
+pub mod errors;
 pub mod native;
 pub mod platform;
 pub mod sync;
 pub mod virt;
 
+pub use errors::{BlockedOn, BlockedThread, LockDiag, SimError};
 pub use native::NativePlatform;
 pub use platform::{
     LockId, LockKind, LockModelParams, Payload, Platform, PlatformReport, ThreadDesc,
 };
 pub use sync::SpinBarrier;
-pub use virt::VirtualPlatform;
+pub use virt::arena::Arena;
+pub use virt::calendar::{CalendarQueue, Keyed};
+pub use virt::{EventCore, VirtualPlatform};

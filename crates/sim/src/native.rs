@@ -297,6 +297,7 @@ impl Platform for NativePlatform {
             end_ns: self.now_ns(),
             lock_traces: traces,
             sched_trace_hash: 0,
+            events: 0,
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The [`Platform`] trait and its shared types.
 
+use crate::errors::SimError;
 use mtmpi_metrics::CsTrace;
 use mtmpi_topology::CoreId;
 use std::any::Any;
@@ -143,6 +144,10 @@ pub struct PlatformReport {
     /// schedule changes it. The native platform is not deterministic and
     /// reports 0.
     pub sched_trace_hash: u64,
+    /// Scheduler events processed during the run (the quantity the fuel
+    /// bound counts, and the numerator of `sim_events_per_sec`). The
+    /// native platform has no event loop and reports 0.
+    pub events: u64,
 }
 
 /// Execution platform abstraction. See the crate docs for the contract.
@@ -238,6 +243,22 @@ pub trait Platform: Send + Sync {
     /// Register a worker thread. Pre-run only.
     fn spawn(&self, desc: ThreadDesc, f: Box<dyn FnOnce() + Send>);
 
+    /// Bound the next run to at most `max_events` scheduler events
+    /// (`None` = unlimited). On the virtual platform an exhausted bound
+    /// fails the run with [`SimError::FuelExhausted`]; platforms without
+    /// an event loop ignore the hint. Pre-run only.
+    fn set_fuel(&self, _max_events: Option<u64>) {}
+
     /// Run all registered workers to completion and report.
+    ///
+    /// Panics (with the [`SimError`] rendering) on livelock/deadlock;
+    /// use [`Platform::try_run`] for the typed surface.
     fn run(&self) -> PlatformReport;
+
+    /// Like [`Platform::run`], but fuel exhaustion and deadlock come
+    /// back as typed [`SimError`]s instead of panics. The default
+    /// forwards to `run` for platforms that cannot fail this way.
+    fn try_run(&self) -> Result<PlatformReport, SimError> {
+        Ok(self.run())
+    }
 }

@@ -1,0 +1,136 @@
+//! Free-list slab arena for scheduler-owned payloads.
+//!
+//! The virtual platform's mailboxes used to heap-allocate one `Arriving`
+//! node per in-flight packet and free it on delivery — per-message heap
+//! traffic on the hottest path. The arena replaces that with slot
+//! recycling: [`Arena::insert`] hands out a `u32` slot (reusing a freed
+//! slot when one exists), [`Arena::take`] moves the value out and pushes
+//! the slot onto the free list. After warm-up the slab stops growing and
+//! steady-state message flow performs **zero allocations** — mailbox
+//! heaps order small `(at, seq, slot)` keys and the payloads stay put.
+//!
+//! Lifetime rule (DESIGN.md §16): a slot is live from `insert` (packet
+//! injected) to exactly one `take` (packet delivered by `NetPoll`).
+//! Slots are recycled *keyed off completion* — never while the mailbox
+//! key referencing them is still queued. Dropping the arena drops any
+//! still-live values (undelivered packets at end of run).
+
+/// Slot-recycling slab. See module docs.
+#[derive(Debug)]
+pub struct Arena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Store `v`, returning its slot. Reuses a freed slot when possible.
+    pub fn insert(&mut self, v: T) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                debug_assert!(self.slots[i as usize].is_none(), "free-list slot live");
+                self.slots[i as usize] = Some(v);
+                i
+            }
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "arena full");
+                self.slots.push(Some(v));
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Move the value out of `slot` and recycle the slot.
+    ///
+    /// Panics if the slot is not live — that is a scheduler bug (a
+    /// mailbox key delivered twice, or a key referencing a freed slot).
+    pub fn take(&mut self, slot: u32) -> T {
+        let v = self.slots[slot as usize]
+            .take()
+            .expect("arena slot taken twice");
+        self.free.push(slot);
+        v
+    }
+
+    /// Live values.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Whether no value is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total slots ever allocated (high-water mark of live values).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_take_roundtrip() {
+        let mut a = Arena::new();
+        let s0 = a.insert("a");
+        let s1 = a.insert("b");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.take(s0), "a");
+        assert_eq!(a.take(s1), "b");
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn slots_are_recycled_lifo_and_capacity_stops_growing() {
+        let mut a = Arena::new();
+        let s = a.insert(1u64);
+        a.take(s);
+        // Steady state: one live value at a time never grows the slab.
+        for i in 0..1000u64 {
+            let s2 = a.insert(i);
+            assert_eq!(s2, s, "freed slot must be reused");
+            assert_eq!(a.take(s2), i);
+        }
+        assert_eq!(a.capacity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "taken twice")]
+    fn double_take_is_a_bug() {
+        let mut a = Arena::new();
+        let s = a.insert(5);
+        a.take(s);
+        a.take(s);
+    }
+
+    #[test]
+    fn interleaved_population_keeps_len_exact() {
+        let mut a = Arena::new();
+        let mut live = Vec::new();
+        for i in 0..64u32 {
+            live.push(a.insert(i));
+            if i % 3 == 0 {
+                let s = live.remove(0);
+                a.take(s);
+            }
+        }
+        assert_eq!(a.len(), live.len());
+        assert!(a.capacity() <= 64);
+    }
+}

@@ -12,11 +12,16 @@
 //! serialized, and all randomness (CAS-race jitter, per-thread RNG
 //! streams) derives from the run's seed.
 
+pub mod arena;
+pub mod calendar;
 pub(crate) mod vlock;
 
+use crate::errors::{BlockedOn, BlockedThread, LockDiag, SimError};
 use crate::platform::{
     LockId, LockKind, LockModelParams, Payload, Platform, PlatformReport, ThreadDesc,
 };
+use arena::Arena;
+use calendar::CalendarQueue;
 use mtmpi_locks::{CsToken, PathClass};
 use mtmpi_net::NetModel;
 use mtmpi_topology::{ClusterTopology, CoreId, SocketId};
@@ -26,8 +31,50 @@ use std::cell::{Cell, RefCell};
 use std::collections::BinaryHeap;
 use std::rc::Rc;
 use std::sync::mpsc;
-use std::sync::Mutex;
+use std::sync::{Mutex, Once};
 use vlock::{AcquireOutcome, GrantOutcome, ReleaseOutcome, VLock};
+
+/// Which event-queue implementation the scheduler runs on.
+///
+/// The calendar core is the default; the legacy global-heap core is kept
+/// behind this toggle (env `MTMPI_SIM_CORE=heap`, or
+/// [`VirtualPlatform::set_event_core`]) so hash parity between the two
+/// can be asserted on any workload — `xtask bench-diff --cross-core`
+/// does exactly that over the committed baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventCore {
+    /// Bucketed calendar queue with batch dequeue ([`calendar`]).
+    #[default]
+    Calendar,
+    /// The pre-calendar global `BinaryHeap` core.
+    Heap,
+}
+
+impl EventCore {
+    /// Parse an `MTMPI_SIM_CORE` value; unknown strings mean "default".
+    fn parse(v: &str) -> Option<Self> {
+        match v.trim().to_ascii_lowercase().as_str() {
+            "heap" | "binaryheap" => Some(EventCore::Heap),
+            "calendar" => Some(EventCore::Calendar),
+            _ => None,
+        }
+    }
+
+    fn from_env() -> Option<Self> {
+        std::env::var("MTMPI_SIM_CORE")
+            .ok()
+            .as_deref()
+            .and_then(Self::parse)
+    }
+}
+
+/// Parse an `MTMPI_FUEL` value: a positive event count. `0`, empty, or
+/// unparsable all mean "unlimited" so `MTMPI_FUEL=0` can switch the
+/// bound off in scripts.
+fn fuel_from_env(v: Option<&str>) -> Option<u64> {
+    v.and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&f| f > 0)
+}
 
 /// Operations a worker submits to the scheduler.
 enum Op {
@@ -135,20 +182,44 @@ thread_local! {
     static CTX: RefCell<Option<Rc<WorkerCtx>>> = const { RefCell::new(None) };
 }
 
+/// Panic payload used to unwind a worker when the scheduler has shut
+/// down early (fuel exhaustion / typed deadlock). The worker wrapper
+/// swallows it, and the process panic hook stays silent for it, so an
+/// aborted run produces exactly one diagnostic: the [`SimError`].
+struct SimAbort;
+
+/// Install (once, process-wide) a panic hook that suppresses printing
+/// for [`SimAbort`] unwinds and defers to the previous hook otherwise.
+fn install_abort_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<SimAbort>().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
 impl WorkerCtx {
     fn now(&self) -> u64 {
         self.base.get() + self.offset.get()
     }
 
     fn sync(&self, op: Op) -> Reply {
-        self.req_tx
-            .send(Request::Op {
-                tid: self.tid,
-                at: self.now(),
-                op,
-            })
-            .expect("scheduler alive");
-        let reply = self.go_rx.recv().expect("scheduler alive");
+        let sent = self.req_tx.send(Request::Op {
+            tid: self.tid,
+            at: self.now(),
+            op,
+        });
+        let reply = sent.ok().and_then(|()| self.go_rx.recv().ok());
+        let Some(reply) = reply else {
+            // The scheduler hung up mid-run: it stopped with a typed
+            // error and is waiting for workers to unwind.
+            std::panic::panic_any(SimAbort);
+        };
         self.base.set(reply.now());
         self.offset.set(0);
         reply
@@ -226,14 +297,14 @@ impl SchedHash {
 }
 
 /// Scheduler event.
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EvKind {
     Start(usize),
     Exec(usize),
     Grant { lock: usize, gen: u64 },
 }
 
-#[derive(Debug, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Ev {
     t: u64,
     seq: u64,
@@ -253,25 +324,90 @@ impl PartialOrd for Ev {
     }
 }
 
-/// A packet waiting in (or in flight to) a mailbox.
-struct Arriving {
-    at: u64,
-    seq: u64,
-    payload: Payload,
+impl calendar::Keyed for Ev {
+    fn time(&self) -> u64 {
+        self.t
+    }
+    fn seq(&self) -> u64 {
+        self.seq
+    }
 }
 
-impl PartialEq for Arriving {
+/// The scheduler's event queue: either the calendar core or the legacy
+/// global heap, selected per run by [`EventCore`]. Both pop in exact
+/// `(t, seq)` order, and `pop_batch` on both yields one full
+/// same-timestamp run, so the decision trace (and `sched_trace_hash`)
+/// is identical across cores.
+enum EvQueue {
+    Heap(BinaryHeap<Ev>),
+    Calendar(Box<CalendarQueue<Ev>>),
+}
+
+impl EvQueue {
+    fn new(core: EventCore) -> Self {
+        match core {
+            EventCore::Heap => EvQueue::Heap(BinaryHeap::new()),
+            EventCore::Calendar => EvQueue::Calendar(Box::default()),
+        }
+    }
+
+    fn push(&mut self, ev: Ev) {
+        match self {
+            EvQueue::Heap(h) => h.push(ev),
+            EvQueue::Calendar(c) => c.push(ev),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            EvQueue::Heap(h) => h.len(),
+            EvQueue::Calendar(c) => c.len(),
+        }
+    }
+
+    /// Pop the minimum event and every further event sharing its `t`,
+    /// in `(t, seq)` order, into `out`. Returns the count (0 = empty).
+    fn pop_batch(&mut self, out: &mut Vec<Ev>) -> usize {
+        match self {
+            EvQueue::Heap(h) => {
+                let Some(first) = h.pop() else { return 0 };
+                let t = first.t;
+                out.push(first);
+                let mut n = 1;
+                while h.peek().is_some_and(|e| e.t == t) {
+                    out.push(h.pop().expect("peeked"));
+                    n += 1;
+                }
+                n
+            }
+            EvQueue::Calendar(c) => c.pop_batch(out),
+        }
+    }
+}
+
+/// A mailbox entry: the ordering key of a packet in flight (or waiting)
+/// plus the arena slot holding its payload. Keeping payloads out of the
+/// per-mailbox heaps means heap sifting moves 20-byte keys, and payload
+/// storage is recycled through the [`Arena`] free list — zero
+/// per-message allocation in steady state.
+struct MailKey {
+    at: u64,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for MailKey {
     fn eq(&self, other: &Self) -> bool {
         (self.at, self.seq) == (other.at, other.seq)
     }
 }
-impl Eq for Arriving {}
-impl Ord for Arriving {
+impl Eq for MailKey {}
+impl Ord for MailKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
-impl PartialOrd for Arriving {
+impl PartialOrd for MailKey {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
@@ -298,6 +434,8 @@ pub struct VirtualPlatform {
     params: LockModelParams,
     seed: u64,
     reg: Mutex<Option<Registration>>,
+    fuel: Mutex<Option<u64>>,
+    core: Mutex<EventCore>,
 }
 
 impl VirtualPlatform {
@@ -318,12 +456,22 @@ impl VirtualPlatform {
                 endpoints: Vec::new(),
                 threads: Vec::new(),
             })),
+            fuel: Mutex::new(None),
+            core: Mutex::new(EventCore::from_env().unwrap_or_default()),
         }
     }
 
     /// The cluster this platform models.
     pub fn cluster(&self) -> &ClusterTopology {
         &self.cluster
+    }
+
+    /// Select the event-queue core for the next run. Overrides the
+    /// `MTMPI_SIM_CORE` env toggle read at construction (use this from
+    /// tests — it cannot race the way `set_var` does under a parallel
+    /// test harness).
+    pub fn set_event_core(&self, core: EventCore) {
+        *self.core.lock().unwrap() = core;
     }
 
     fn reg_mut<R>(&self, what: &str, f: impl FnOnce(&mut Registration) -> R) -> R {
@@ -473,24 +621,39 @@ impl Platform for VirtualPlatform {
         self.reg_mut("spawn", |r| r.threads.push((desc, f)));
     }
 
+    fn set_fuel(&self, max_events: Option<u64>) {
+        *self.fuel.lock().unwrap() = max_events;
+    }
+
     fn run(&self) -> PlatformReport {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn try_run(&self) -> Result<PlatformReport, SimError> {
         let reg = self
             .reg
             .lock()
             .unwrap()
             .take()
             .expect("run() may only be called once");
-        Scheduler::execute(self, reg)
+        let fuel = self
+            .fuel
+            .lock()
+            .unwrap()
+            .or_else(|| fuel_from_env(std::env::var("MTMPI_FUEL").ok().as_deref()));
+        let core = *self.core.lock().unwrap();
+        Scheduler::execute(self, reg, fuel, core)
     }
 }
 
 /// The event-loop state (lives only inside `run`).
 struct Scheduler<'p> {
     platform: &'p VirtualPlatform,
-    heap: BinaryHeap<Ev>,
+    q: EvQueue,
     seq: u64,
     vlocks: Vec<VLock>,
-    mailboxes: Vec<BinaryHeap<Arriving>>,
+    mailboxes: Vec<BinaryHeap<MailKey>>,
+    packets: Arena<Payload>,
     nic_free: Vec<u64>,
     ep_node: Vec<u32>,
     threads: Vec<ThreadInfo>,
@@ -504,7 +667,13 @@ struct Scheduler<'p> {
 }
 
 impl<'p> Scheduler<'p> {
-    fn execute(platform: &'p VirtualPlatform, reg: Registration) -> PlatformReport {
+    fn execute(
+        platform: &'p VirtualPlatform,
+        reg: Registration,
+        fuel: Option<u64>,
+        core: EventCore,
+    ) -> Result<PlatformReport, SimError> {
+        install_abort_hook();
         let topo = platform.cluster.node.clone();
         let handoff = platform.cluster.handoff;
         let vlocks: Vec<VLock> = reg
@@ -549,8 +718,9 @@ impl<'p> Scheduler<'p> {
             let handle = std::thread::Builder::new()
                 .name(format!("sim-{name}"))
                 .spawn(move || {
-                    // Wait for the scheduler's Start.
-                    let first = grx.recv().expect("scheduler alive");
+                    // Wait for the scheduler's Start. A hangup before it
+                    // arrives means the run was aborted pre-start.
+                    let Ok(first) = grx.recv() else { return };
                     let ctx = Rc::new(WorkerCtx {
                         tid,
                         base: Cell::new(first.now()),
@@ -569,9 +739,13 @@ impl<'p> Scheduler<'p> {
                     CTX.with(|c| *c.borrow_mut() = None);
                     drop(ctx);
                     match result {
-                        Ok(()) => rtx
-                            .send(Request::Done { tid, at })
-                            .expect("scheduler alive"),
+                        Ok(()) => {
+                            let _ = rtx.send(Request::Done { tid, at });
+                        }
+                        Err(e) if e.is::<SimAbort>() => {
+                            // Scheduler-initiated shutdown (typed error):
+                            // unwind quietly, the SimError is the report.
+                        }
                         Err(e) => {
                             let msg = e
                                 .downcast_ref::<String>()
@@ -588,12 +762,13 @@ impl<'p> Scheduler<'p> {
 
         let mut sched = Scheduler {
             platform,
-            heap: BinaryHeap::new(),
+            q: EvQueue::new(core),
             seq: 0,
             vlocks,
             mailboxes: (0..reg.endpoints.len())
                 .map(|_| BinaryHeap::new())
                 .collect(),
+            packets: Arena::new(),
             nic_free: vec![0; platform.cluster.nodes as usize],
             ep_node: reg.endpoints,
             threads: infos,
@@ -609,63 +784,99 @@ impl<'p> Scheduler<'p> {
         for tid in 0..n_threads {
             sched.push(0, EvKind::Start(tid));
         }
-        sched.event_loop();
-
-        for j in joins {
-            j.join().expect("sim worker panicked");
-        }
-
-        PlatformReport {
-            end_ns: sched.end_ns,
-            lock_traces: sched.vlocks.into_iter().map(VLock::into_trace).collect(),
-            sched_trace_hash: sched.hash.0,
+        match sched.event_loop(fuel) {
+            Ok(n_events) => {
+                for j in joins {
+                    j.join().expect("sim worker panicked");
+                }
+                Ok(PlatformReport {
+                    end_ns: sched.end_ns,
+                    lock_traces: sched.vlocks.into_iter().map(VLock::into_trace).collect(),
+                    sched_trace_hash: sched.hash.0,
+                    events: n_events,
+                })
+            }
+            Err(e) => {
+                // Hang up on every worker: their blocked `go_rx.recv()`
+                // fails, `sync` unwinds with `SimAbort`, and the joins
+                // complete. The typed error is the sole diagnostic.
+                sched.go_tx.clear();
+                for j in joins {
+                    let _ = j.join();
+                }
+                Err(e)
+            }
         }
     }
 
     fn push(&mut self, t: u64, kind: EvKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Ev { t, seq, kind });
+        self.q.push(Ev { t, seq, kind });
     }
 
-    fn event_loop(&mut self) {
+    /// Run the simulation to completion (all threads `Done`) or to a
+    /// typed failure. Returns the number of events executed.
+    ///
+    /// Events are dequeued one same-timestamp batch at a time. This is
+    /// trace-identical to the old pop-one loop: every event pushed while
+    /// a batch is processed carries `t` ≥ the batch time (virtual time
+    /// is monotone) and, at equal `t`, a `seq` above every batched
+    /// event — so it sorts after the whole batch either way. The one
+    /// asymmetry the old loop had is reproduced exactly: when the last
+    /// thread finishes mid-batch, the remaining (stale-grant) events are
+    /// dropped *unhashed*, as the old loop left them unpopped.
+    fn event_loop(&mut self, fuel: Option<u64>) -> Result<u64, SimError> {
         let debug_every: u64 = std::env::var("MTMPI_SIM_DEBUG")
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
         let mut n_events: u64 = 0;
-        while self.live > 0 {
-            let ev = match self.heap.pop() {
-                Some(ev) => ev,
-                None => self.deadlock_panic(),
-            };
-            n_events += 1;
-            self.hash.event(&ev);
-            if debug_every > 0 && n_events.is_multiple_of(debug_every) {
-                eprintln!(
-                    "[sim] {n_events} events, t={} us, live={}, heap={}",
-                    ev.t / 1000,
-                    self.live,
-                    self.heap.len()
-                );
+        let mut batch: Vec<Ev> = Vec::new();
+        'outer: while self.live > 0 {
+            batch.clear();
+            if self.q.pop_batch(&mut batch) == 0 {
+                return Err(self.deadlock_error());
             }
-            match ev.kind {
-                EvKind::Start(tid) => {
-                    self.resume_and_wait(tid, Reply::Go { now: ev.t });
+            for (i, &ev) in batch.iter().enumerate() {
+                if self.live == 0 {
+                    break 'outer;
                 }
-                EvKind::Exec(tid) => {
-                    let op = self.pending_op[tid].take().expect("exec without op");
-                    self.exec(ev.t, tid, op);
-                }
-                EvKind::Grant { lock, gen } => match self.vlocks[lock].try_finalize(gen) {
-                    GrantOutcome::Stale => {}
-                    GrantOutcome::Granted { tid, at } => {
-                        self.hash.grant(tid, at);
-                        self.resume_and_wait(tid, Reply::Go { now: at });
+                if let Some(f) = fuel {
+                    if n_events >= f {
+                        let queued = self.q.len() + (batch.len() - i);
+                        return Err(self.fuel_error(f, n_events, ev.t, queued));
                     }
-                },
+                }
+                n_events += 1;
+                self.hash.event(&ev);
+                if debug_every > 0 && n_events.is_multiple_of(debug_every) {
+                    eprintln!(
+                        "[sim] {n_events} events, t={} us, live={}, queued={}",
+                        ev.t / 1000,
+                        self.live,
+                        self.q.len()
+                    );
+                }
+                match ev.kind {
+                    EvKind::Start(tid) => {
+                        self.resume_and_wait(tid, Reply::Go { now: ev.t });
+                    }
+                    EvKind::Exec(tid) => {
+                        let op = self.pending_op[tid].take().expect("exec without op");
+                        self.exec(ev.t, tid, op);
+                    }
+                    EvKind::Grant { lock, gen } => match self.vlocks[lock].try_finalize(gen) {
+                        GrantOutcome::Stale => {}
+                        GrantOutcome::Granted { tid, at } => {
+                            self.hash.grant(tid, at);
+                            self.resume_and_wait(tid, Reply::Go { now: at });
+                        }
+                    },
+                }
             }
         }
+        Ok(n_events)
     }
 
     fn exec(&mut self, t: u64, tid: usize, op: Op) {
@@ -717,13 +928,15 @@ impl<'p> Scheduler<'p> {
                 let at = self.nic_free[src_node] + mt.wire_ns + extra_delay_ns;
                 let seq = self.seq;
                 self.seq += 1;
-                self.mailboxes[dst].push(Arriving { at, seq, payload });
+                let slot = self.packets.insert(payload);
+                self.mailboxes[dst].push(MailKey { at, seq, slot });
                 self.resume_and_wait(tid, Reply::Go { now: t });
             }
             Op::NetPoll { endpoint } => {
                 let mut pkts = Vec::new();
                 while self.mailboxes[endpoint].peek().is_some_and(|a| a.at <= t) {
-                    pkts.push(self.mailboxes[endpoint].pop().expect("peeked").payload);
+                    let k = self.mailboxes[endpoint].pop().expect("peeked");
+                    pkts.push(self.packets.take(k.slot));
                 }
                 self.resume_and_wait(tid, Reply::Packets { now: t, pkts });
             }
@@ -754,26 +967,106 @@ impl<'p> Scheduler<'p> {
         }
     }
 
-    fn deadlock_panic(&self) -> ! {
-        let mut msg = String::from("virtual platform deadlock: no runnable events\n");
+    /// Snapshot every live thread's blocked state: parked in a lock
+    /// queue, mid-round-trip on a submitted op, or runnable (its resume
+    /// event is still queued). Index-vector based — iteration order is
+    /// tid order, deterministically.
+    fn blocked_threads(&self) -> Vec<BlockedThread> {
+        let mut lock_of: Vec<Option<usize>> = vec![None; self.threads.len()];
         for (i, l) in self.vlocks.iter().enumerate() {
-            if !l.is_idle() {
-                msg.push_str(&format!(
-                    "  lock {i}: pending={:?} waiters={:?} ({} queued)\n",
-                    l.pending_tid(),
-                    l.waiter_tids(),
-                    l.queued()
-                ));
+            for tid in l.waiter_tids() {
+                lock_of[tid] = Some(i);
+            }
+            if let Some(tid) = l.pending_tid() {
+                lock_of[tid] = Some(i);
             }
         }
-        for (tid, info) in self.threads.iter().enumerate() {
-            if !self.done[tid] {
-                msg.push_str(&format!(
-                    "  thread {tid} `{}` (node {}, core {:?}) blocked\n",
-                    info.name, info.node, info.core
-                ));
-            }
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|&(tid, _)| !self.done[tid])
+            .map(|(tid, info)| {
+                let on = if let Some(lock) = lock_of[tid] {
+                    BlockedOn::Lock { lock }
+                } else if let Some(op) = &self.pending_op[tid] {
+                    BlockedOn::Op {
+                        desc: format!("{op:?}"),
+                    }
+                } else {
+                    BlockedOn::Runnable
+                };
+                BlockedThread {
+                    tid,
+                    name: info.name.clone(),
+                    node: info.node,
+                    on,
+                }
+            })
+            .collect()
+    }
+
+    /// `(endpoint, packets)` for every mailbox still holding packets.
+    fn undelivered(&self) -> Vec<(usize, usize)> {
+        self.mailboxes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| !m.is_empty())
+            .map(|(i, m)| (i, m.len()))
+            .collect()
+    }
+
+    fn deadlock_error(&self) -> SimError {
+        SimError::Deadlock {
+            threads: self.blocked_threads(),
+            locks: self
+                .vlocks
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.is_idle())
+                .map(|(i, l)| LockDiag {
+                    lock: i,
+                    pending: l.pending_tid(),
+                    waiters: l.waiter_tids(),
+                    queued: l.queued(),
+                })
+                .collect(),
+            undelivered: self.undelivered(),
         }
-        panic!("{msg}");
+    }
+
+    fn fuel_error(&self, fuel: u64, executed: u64, now_ns: u64, queued: usize) -> SimError {
+        SimError::FuelExhausted {
+            fuel,
+            executed,
+            now_ns,
+            queued_events: queued,
+            threads: self.blocked_threads(),
+            undelivered: self.undelivered(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuel_env_parsing() {
+        assert_eq!(fuel_from_env(None), None);
+        assert_eq!(fuel_from_env(Some("")), None);
+        assert_eq!(fuel_from_env(Some("0")), None, "0 means unlimited");
+        assert_eq!(fuel_from_env(Some("not-a-number")), None);
+        assert_eq!(fuel_from_env(Some("50000")), Some(50_000));
+        assert_eq!(fuel_from_env(Some("  1234 ")), Some(1234));
+    }
+
+    #[test]
+    fn event_core_parsing() {
+        assert_eq!(EventCore::parse("heap"), Some(EventCore::Heap));
+        assert_eq!(EventCore::parse("HEAP"), Some(EventCore::Heap));
+        assert_eq!(EventCore::parse("binaryheap"), Some(EventCore::Heap));
+        assert_eq!(EventCore::parse("calendar"), Some(EventCore::Calendar));
+        assert_eq!(EventCore::parse("banana"), None);
+        assert_eq!(EventCore::default(), EventCore::Calendar);
     }
 }

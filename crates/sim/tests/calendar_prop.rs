@@ -1,0 +1,170 @@
+//! Property: the calendar queue dequeues in **byte-identical** `(t, seq)`
+//! order to a reference `BinaryHeap` — over randomized seeded streams,
+//! same-bucket ties, far-future overflow pushes, and interleaved
+//! push/pop/pop_batch traffic. This is the ordering contract the
+//! scheduler's `sched_trace_hash` stability rests on.
+
+use mtmpi_sim::{CalendarQueue, Keyed};
+use proptest::prelude::*;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct It {
+    t: u64,
+    seq: u64,
+}
+
+impl Keyed for It {
+    fn time(&self) -> u64 {
+        self.t
+    }
+    fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Min-order wrapper for the reference heap.
+#[derive(PartialEq, Eq)]
+struct Rev(It);
+impl Ord for Rev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.0.t, other.0.seq).cmp(&(self.0.t, self.0.seq))
+    }
+}
+impl PartialOrd for Rev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Push(u64),
+    Pop,
+    PopBatch,
+}
+
+/// Mixed op stream biased toward the shapes that stress the calendar:
+/// pushes on a same-bucket tie grid, generic in-window pushes,
+/// far-future overflow pushes, and interleaved pops.
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (0u64..10, 0u64..64, 0u64..(1u64 << 34)).prop_map(|(kind, bucket, raw)| match kind {
+        0..=2 => Step::Push(bucket * 256),
+        3 | 4 => Step::Push(raw % 100_000),
+        5 => Step::Push(raw),
+        6..=8 => Step::Pop,
+        _ => Step::PopBatch,
+    })
+}
+
+fn drain_batch_reference(reference: &mut BinaryHeap<Rev>) -> Vec<It> {
+    let mut out = Vec::new();
+    let Some(first) = reference.pop() else {
+        return out;
+    };
+    let t = first.0.t;
+    out.push(first.0);
+    while reference.peek().is_some_and(|r| r.0.t == t) {
+        out.push(reference.pop().expect("peeked").0);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn interleaved_ops_match_reference_heap(
+        steps in proptest::collection::vec(step_strategy(), 1..300),
+    ) {
+        // Small geometry (16 ns buckets × 32 slots = 512 ns window) so
+        // the test exercises rotation and overflow constantly.
+        let mut cal = CalendarQueue::with_geometry(4, 32);
+        let mut reference: BinaryHeap<Rev> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for step in &steps {
+            match step {
+                Step::Push(t) => {
+                    cal.push(It { t: *t, seq });
+                    reference.push(Rev(It { t: *t, seq }));
+                    seq += 1;
+                }
+                Step::Pop => {
+                    prop_assert_eq!(cal.pop(), reference.pop().map(|r| r.0));
+                    prop_assert_eq!(cal.len(), reference.len());
+                }
+                Step::PopBatch => {
+                    let mut got = Vec::new();
+                    cal.pop_batch(&mut got);
+                    let want = drain_batch_reference(&mut reference);
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Full drain: the tails must agree element-for-element too.
+        while let Some(want) = reference.pop() {
+            prop_assert_eq!(cal.pop(), Some(want.0));
+        }
+        prop_assert!(cal.is_empty());
+    }
+}
+
+/// splitmix64 — seeded stream generator (no external RNG needed).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[test]
+fn seeded_bulk_streams_drain_identically() {
+    for seed in [1u64, 42, 0xDEAD_BEEF] {
+        let mut s = seed;
+        let mut cal = CalendarQueue::new();
+        let mut reference: BinaryHeap<Rev> = BinaryHeap::new();
+        for seq in 0..10_000u64 {
+            let r = splitmix(&mut s);
+            // Tie-heavy grid with a 1-in-16 far-future overflow jump.
+            let t = if r.is_multiple_of(16) {
+                (r >> 8) % (1 << 36)
+            } else {
+                ((r >> 8) % 4096) * 256
+            };
+            cal.push(It { t, seq });
+            reference.push(Rev(It { t, seq }));
+        }
+        let mut n = 0u64;
+        while let Some(want) = reference.pop() {
+            assert_eq!(cal.pop(), Some(want.0), "seed {seed}, position {n}");
+            n += 1;
+        }
+        assert!(cal.is_empty());
+    }
+}
+
+#[test]
+fn batched_drain_concatenation_equals_single_pops() {
+    let mut s = 7u64;
+    let mut cal = CalendarQueue::with_geometry(6, 64);
+    let mut reference: BinaryHeap<Rev> = BinaryHeap::new();
+    for seq in 0..4_000u64 {
+        let r = splitmix(&mut s);
+        let t = ((r >> 8) % 512) * 64;
+        cal.push(It { t, seq });
+        reference.push(Rev(It { t, seq }));
+    }
+    let mut got = Vec::new();
+    let mut batch = Vec::new();
+    while cal.pop_batch(&mut batch) > 0 {
+        assert!(
+            batch.iter().all(|it| it.t == batch[0].t),
+            "batch spans timestamps"
+        );
+        got.append(&mut batch);
+    }
+    let mut want = Vec::new();
+    while let Some(r) = reference.pop() {
+        want.push(r.0);
+    }
+    assert_eq!(got, want);
+}

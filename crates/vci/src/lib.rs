@@ -308,6 +308,25 @@ pub fn pick_starved(last_poll_ns: &[u64], home: u32) -> Option<u32> {
         .map(|(v, _)| v as u32)
 }
 
+/// Burst variant of [`pick_starved`]: up to `max` victims, starved-first
+/// (ascending `(last_poll_ns, index)` — same deterministic order the
+/// single-victim pick heads), excluding every shard in `exclude`. With
+/// `max == 1` and a single-element `exclude` this selects exactly
+/// [`pick_starved`]'s victim. At high shard counts a single steal per
+/// spin window serializes recovery on one mailbox while the rest keep
+/// starving; a burst drains the backlog in one pass.
+pub fn pick_starved_burst(last_poll_ns: &[u64], exclude: &[u32], max: usize) -> Vec<u32> {
+    let mut victims: Vec<(u64, u32)> = last_poll_ns
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| !exclude.contains(&(v as u32)))
+        .map(|(v, &t)| (t, v as u32))
+        .collect();
+    victims.sort_unstable();
+    victims.truncate(max);
+    victims.into_iter().map(|(_, v)| v).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,5 +440,35 @@ mod tests {
         assert_eq!(pick_starved(&[5, 9, 2, 2], 2), Some(3));
         assert_eq!(pick_starved(&[5], 0), None);
         assert_eq!(pick_starved(&[7, 7, 7], 1), Some(0));
+    }
+
+    #[test]
+    fn burst_of_one_matches_single_victim_pick() {
+        for home in 0..4u32 {
+            let snap = [5, 9, 2, 2];
+            assert_eq!(
+                pick_starved_burst(&snap, &[home], 1),
+                pick_starved(&snap, home).into_iter().collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(pick_starved_burst(&[5], &[0], 1), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn burst_orders_starved_first_and_caps_at_max() {
+        let snap = [50, 10, 30, 10, 0, 20];
+        assert_eq!(pick_starved_burst(&snap, &[4], 3), vec![1, 3, 5]);
+        assert_eq!(pick_starved_burst(&snap, &[4], 10), vec![1, 3, 5, 2, 0]);
+        assert_eq!(pick_starved_burst(&snap, &[4], 0), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn burst_excludes_every_listed_shard() {
+        let snap = [1, 2, 3, 4];
+        assert_eq!(
+            pick_starved_burst(&snap, &[0, 1, 2, 3], 4),
+            Vec::<u32>::new()
+        );
+        assert_eq!(pick_starved_burst(&snap, &[0, 2], 4), vec![1, 3]);
     }
 }

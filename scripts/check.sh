@@ -35,8 +35,10 @@
 #              (including its prof blocks) and results/fig2a.trace.json
 #              are well-formed JSON.
 #   prof       bench regression gate: re-run the baselined figures in
-#              quick mode and diff their BENCH_*.json quantiles against
-#              results/baseline/ (`xtask bench-diff --quick`).
+#              quick mode, diff their BENCH_*.json quantiles and scalars
+#              against results/baseline/, and replay each figure under
+#              the reference heap event core requiring byte-identical
+#              sched_trace_hashes (`xtask bench-diff --cross-core`).
 #   faults     fault-injection smoke test: run the fig_fault drop-rate
 #              sweep twice in quick mode and require byte-identical
 #              BENCH output (the DESIGN.md §11 determinism contract).
@@ -49,6 +51,14 @@
 #              lock-free wait timeouts, wildcard fallback) plus the
 #              fig_stream sweep twice in quick mode with a byte-identity
 #              cmp (DESIGN.md section 14).
+#   scale      event-core gate: the fuel integration suite (livelock →
+#              typed SimError::FuelExhausted through the full runtime),
+#              then the fig_scale calendar-vs-heap sweep twice in quick
+#              mode requiring byte-identical output after zeroing the
+#              wall-clock scalars (sim_events_per_sec*/speedup_vs_heap*
+#              measure *host* throughput and legitimately vary; every
+#              other byte — ring results, churn parity hashes,
+#              cross-core hash-match flags — must replay exactly).
 #   live       live-observability smoke test: the mtmpi-live integration
 #              suite (streaming blame == post-run BlameMatrix, window
 #              conservation), fig2a twice same-seed under MTMPI_LIVE=1
@@ -114,6 +124,27 @@ vci_smoke() {
     return $rc
 }
 
+# Event-core gate: fuel-exhaustion diagnosis through the runtime, then
+# fig_scale twice with the measured-rate scalars normalized to zero
+# (they are wall-clock, everything else in the document is virtual and
+# must be byte-identical — including the in-process cross-core checks).
+scale_smoke() {
+    local s1 s2
+    s1=$(mktemp) && s2=$(mktemp) || return 1
+    strip_rates() {
+        sed -E 's/"((sim_events_per_sec|speedup_vs_heap)[^"]*)":[-+0-9.eE]+/"\1":0/g' "$1"
+    }
+    cargo test --release -q -p mtmpi-integration-tests --test fuel \
+        && cargo run --release -q -p mtmpi-bench --bin fig_scale -- --quick \
+        && strip_rates results/BENCH_fig_scale.json > "$s1" \
+        && cargo run --release -q -p mtmpi-bench --bin fig_scale -- --quick \
+        && strip_rates results/BENCH_fig_scale.json > "$s2" \
+        && cmp "$s1" "$s2"
+    local rc=$?
+    rm -f "$s1" "$s2"
+    return $rc
+}
+
 # Live gate: the mtmpi-live integration tests, then fig2a twice under
 # the online collector comparing the scheduler-trace hashes (same seed
 # must replay the exact same decision sequence), then one headless
@@ -154,15 +185,17 @@ if [ "$FAST" = "fast" ]; then
     skip faults "fast mode"
     skip vci "fast mode"
     skip stream "fast mode"
+    skip scale "fast mode"
     skip live "fast mode"
 else
     step loom cargo test -p mtmpi-locks --features loom-check --test loom
     step loom cargo test -p mtmpi-runtime --test loom_claim --test loom_stream
     step obs cargo run -q -p xtask -- trace fig2a
-    step prof cargo run -q -p xtask -- bench-diff --quick
+    step prof cargo run -q -p xtask -- bench-diff --cross-core
     step faults faults_smoke
     step vci vci_smoke
     step stream stream_smoke
+    step scale scale_smoke
     step live live_smoke
 
     if ! cargo +nightly --version >/dev/null 2>&1; then

@@ -1,0 +1,113 @@
+//! Fuel-bounded execution through the full MPI runtime: livelocks that
+//! would hang a test suite forever come back from [`Experiment::try_run`]
+//! as typed [`SimError::FuelExhausted`] values whose snapshot names every
+//! live thread and the operation it is stuck in.
+//!
+//! Both failure shapes here *spin* — `recv` polls its mailbox in a
+//! `try_wait` loop, re-pushing poll events forever — so the event queue
+//! never drains and only the fuel bound can catch them (DESIGN.md §16).
+//! The sim-level companion (`crates/sim/tests/fuel.rs`) pins the raw
+//! platform contract; these tests pin the runtime-level diagnosis an
+//! actual MPI user would see.
+
+use mtmpi::prelude::*;
+
+const FUEL: u64 = 60_000;
+
+/// Rank 0 receives a message that rank 1 never sends.
+fn unmatched_recv(seed: u64) -> SimError {
+    Experiment::with_seed(1, seed)
+        .fuel(FUEL)
+        .try_run(
+            RunConfig::new(Method::Mutex)
+                .nodes(1)
+                .ranks_per_node(2)
+                .threads_per_rank(1),
+            |ctx| {
+                let h = ctx.rank.world_comm();
+                if h.rank() == 0 {
+                    let _ = h.recv(Some(1), Some(7));
+                }
+            },
+        )
+        .err()
+        .expect("an unmatched recv must not complete")
+}
+
+#[test]
+fn unmatched_recv_livelock_becomes_typed_fuel_exhaustion() {
+    let err = unmatched_recv(3);
+    let SimError::FuelExhausted {
+        fuel,
+        executed,
+        threads,
+        ..
+    } = &err
+    else {
+        panic!("expected FuelExhausted, got {err:?}");
+    };
+    assert_eq!(*fuel, FUEL);
+    assert_eq!(*executed, FUEL, "the bound stops exactly at `fuel` events");
+    // The snapshot names the spinning receiver; rank 1's thread has
+    // exited, so it must NOT appear as live.
+    assert!(
+        threads.iter().any(|t| t.name == "r0t0"),
+        "receiver r0t0 missing from snapshot: {err}"
+    );
+    assert!(
+        threads.iter().all(|t| t.name != "r1t0"),
+        "finished thread r1t0 reported live: {err}"
+    );
+    let text = err.to_string();
+    assert!(text.contains("fuel exhausted"), "rendering: {text}");
+    assert!(text.contains("r0t0"), "rendering names the thread: {text}");
+}
+
+#[test]
+fn fuel_exhaustion_is_deterministic_across_runs() {
+    // Same seed + same fuel ⇒ the run stops on the same event with the
+    // same snapshot — the whole point of diagnosing livelock in the
+    // deterministic simulator rather than under a wall-clock timeout.
+    assert_eq!(unmatched_recv(3), unmatched_recv(3));
+}
+
+/// The classic recv/recv deadlock: both ranks post a blocking receive
+/// before their send, so neither send is ever reached. Because blocking
+/// receives spin, this is a *livelock* in simulator terms (the queue
+/// never drains), and the fuel bound is what converts it into a report —
+/// one that must name both stuck threads so the user can see the cycle.
+#[test]
+fn recv_recv_deadlock_report_names_both_threads() {
+    let err = Experiment::with_seed(1, 5)
+        .fuel(FUEL)
+        .try_run(
+            RunConfig::new(Method::Mutex)
+                .nodes(1)
+                .ranks_per_node(2)
+                .threads_per_rank(1),
+            |ctx| {
+                let h = ctx.rank.world_comm();
+                let peer = 1 - h.rank();
+                // Bug under test (ordering): recv-before-send on both
+                // sides. Swapping the two lines on either rank unhangs it.
+                let _ = h.recv(Some(peer), Some(0));
+                h.send(peer, 0, MsgData::Synthetic(64));
+            },
+        )
+        .err()
+        .expect("recv/recv cycle must not complete");
+    let SimError::FuelExhausted { threads, .. } = &err else {
+        panic!("expected FuelExhausted, got {err:?}");
+    };
+    for name in ["r0t0", "r1t0"] {
+        assert!(
+            threads.iter().any(|t| t.name == name),
+            "{name} missing from deadlock report: {err}"
+        );
+    }
+    let text = err.to_string();
+    assert!(
+        text.contains("r0t0") && text.contains("r1t0"),
+        "report must name both sides of the cycle: {text}"
+    );
+}

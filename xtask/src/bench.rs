@@ -1,12 +1,17 @@
 //! `xtask bench-diff` and `xtask top` — the regression gate and the
 //! terminal contention viewer over `results/BENCH_*.json`.
 //!
-//! `bench-diff [--baseline <dir>] [--quick]` compares every
-//! `BENCH_<fig>.json` committed under the baseline directory (default
-//! `results/baseline/`) against the corresponding fresh copy in
+//! `bench-diff [--baseline <dir>] [--quick] [--cross-core]` compares
+//! every `BENCH_<fig>.json` committed under the baseline directory
+//! (default `results/baseline/`) against the corresponding fresh copy in
 //! `results/`, using `mtmpi_prof::bench_diff`'s per-metric tolerance
 //! table. With `--quick`, each baselined figure binary is re-run in
-//! quick mode first, so the command is self-contained in CI. The verdict
+//! quick mode first, so the command is self-contained in CI. With
+//! `--cross-core`, each figure is replayed a second time with the
+//! reference heap event core (`MTMPI_SIM_CORE=heap`) and every
+//! `sched_trace_hash` must match the calendar run position by position —
+//! the PR 9 replay-identity contract, enforced on all four committed
+//! baselines. The verdict
 //! is written to `results/bench-diff.md`; the exit code is nonzero on
 //! any breaching metric, missing run, or missing file. To accept an
 //! intentional change, regenerate and commit the baseline (see
@@ -36,22 +41,27 @@ fn baseline_figs(dir: &Path) -> Vec<String> {
     figs
 }
 
-fn rerun_quick(fig: &str, root: &Path) -> Result<(), String> {
-    println!("xtask bench-diff: running {fig} --quick ...");
-    let status = Command::new("cargo")
-        .args([
-            "run",
-            "--release",
-            "-p",
-            "mtmpi-bench",
-            "--bin",
-            fig,
-            "--",
-            "--quick",
-        ])
-        .current_dir(root)
-        .status()
-        .map_err(|e| format!("cannot run cargo: {e}"))?;
+fn rerun_quick(fig: &str, root: &Path, core: Option<&str>) -> Result<(), String> {
+    let core_note = core
+        .map(|c| format!(" (MTMPI_SIM_CORE={c})"))
+        .unwrap_or_default();
+    println!("xtask bench-diff: running {fig} --quick{core_note} ...");
+    let mut cmd = Command::new("cargo");
+    cmd.args([
+        "run",
+        "--release",
+        "-p",
+        "mtmpi-bench",
+        "--bin",
+        fig,
+        "--",
+        "--quick",
+    ])
+    .current_dir(root);
+    if let Some(c) = core {
+        cmd.env("MTMPI_SIM_CORE", c);
+    }
+    let status = cmd.status().map_err(|e| format!("cannot run cargo: {e}"))?;
     if status.success() {
         Ok(())
     } else {
@@ -59,8 +69,67 @@ fn rerun_quick(fig: &str, root: &Path) -> Result<(), String> {
     }
 }
 
+/// Every `"sched_trace_hash":"..."` value in a `BENCH_*.json` document,
+/// in document order (the combined fold plus one per traced run).
+fn trace_hashes(doc: &str) -> Vec<String> {
+    let needle = "\"sched_trace_hash\":\"";
+    let mut out = Vec::new();
+    let mut rest = doc;
+    while let Some(i) = rest.find(needle) {
+        rest = &rest[i + needle.len()..];
+        let end = rest.find('"').unwrap_or(rest.len());
+        out.push(rest[..end].to_owned());
+        rest = &rest[end..];
+    }
+    out
+}
+
+/// Cross-core replay gate for one figure: rerun the quick figure with
+/// the reference heap core forced via `MTMPI_SIM_CORE=heap` and require
+/// every `sched_trace_hash` in the output to match the calendar run's,
+/// position by position. `cal_doc` is the calendar run's document text;
+/// the heap document left in `results/` must be rewritten by the caller
+/// afterwards (the calendar run is the one the tolerance gate reads).
+fn cross_core_check(fig: &str, root: &Path, cal_doc: &str) -> Result<(), String> {
+    rerun_quick(fig, root, Some("heap"))?;
+    let cur_path = root.join(format!("results/BENCH_{fig}.json"));
+    let heap_doc = std::fs::read_to_string(&cur_path)
+        .map_err(|e| format!("cannot read {}: {e}", cur_path.display()))?;
+    let cal = trace_hashes(cal_doc);
+    let heap = trace_hashes(&heap_doc);
+    if cal.is_empty() {
+        return Err(format!(
+            "{fig}: no sched_trace_hash in output — cannot cross-check cores"
+        ));
+    }
+    if cal.len() != heap.len() {
+        return Err(format!(
+            "{fig}: {} hash(es) under the calendar core but {} under the heap core",
+            cal.len(),
+            heap.len()
+        ));
+    }
+    for (i, (c, h)) in cal.iter().zip(&heap).enumerate() {
+        if c != h {
+            return Err(format!(
+                "{fig}: sched_trace_hash #{i} diverges across event cores \
+                 (calendar {c}, heap {h}) — the calendar queue replayed a \
+                 different schedule"
+            ));
+        }
+    }
+    println!(
+        "xtask bench-diff: {fig}: cross-core OK ({} hash(es) identical under both cores)",
+        cal.len()
+    );
+    Ok(())
+}
+
 /// The gate. `baseline` is relative to `root` unless absolute.
-pub fn run_bench_diff(root: &Path, baseline: &Path, quick: bool) -> ExitCode {
+/// `cross_core` additionally reruns each figure with the reference heap
+/// event core and requires hash-identical schedules (implies rerunning,
+/// like `quick`).
+pub fn run_bench_diff(root: &Path, baseline: &Path, quick: bool, cross_core: bool) -> ExitCode {
     let baseline_dir = if baseline.is_absolute() {
         baseline.to_path_buf()
     } else {
@@ -86,8 +155,8 @@ pub fn run_bench_diff(root: &Path, baseline: &Path, quick: bool) -> ExitCode {
     let mut failures = 0usize;
     let opts = DiffOptions::default();
     for fig in &figs {
-        if quick {
-            if let Err(e) = rerun_quick(fig, root) {
+        if quick || cross_core {
+            if let Err(e) = rerun_quick(fig, root, None) {
                 eprintln!("xtask bench-diff: FAIL {e}");
                 md.push_str(&format!("## {fig} — FAIL\n\nfigure binary failed: {e}\n\n"));
                 failures += 1;
@@ -123,6 +192,17 @@ pub fn run_bench_diff(root: &Path, baseline: &Path, quick: bool) -> ExitCode {
                 continue;
             }
         };
+        if cross_core {
+            let verdict = cross_core_check(fig, root, &cur);
+            // Leave the calendar (default-core) document on disk — it
+            // is the text the tolerance gate below actually read.
+            let _ = std::fs::write(&cur_path, &cur);
+            if let Err(e) = verdict {
+                eprintln!("xtask bench-diff: FAIL {e}");
+                md.push_str(&format!("## {fig} — FAIL\n\ncross-core: {e}\n\n"));
+                failures += 1;
+            }
+        }
         match bench_diff(&base, &cur, &opts) {
             Ok(report) => {
                 println!(
@@ -209,5 +289,13 @@ mod tests {
     #[test]
     fn missing_baseline_dir_is_empty() {
         assert!(baseline_figs(Path::new("/nonexistent/nowhere")).is_empty());
+    }
+
+    #[test]
+    fn trace_hashes_extracts_in_document_order() {
+        let doc = "{\"sched_trace_hash\":\"00aa\",\"runs\":[\
+                   {\"sched_trace_hash\":\"11bb\"},{\"sched_trace_hash\":\"22cc\"}]}";
+        assert_eq!(trace_hashes(doc), vec!["00aa", "11bb", "22cc"]);
+        assert!(trace_hashes("{\"runs\":[]}").is_empty());
     }
 }

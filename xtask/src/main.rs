@@ -8,12 +8,15 @@
 //!   written and are well-formed JSON (checked by xtask's own minimal
 //!   parser — the workspace carries no JSON dependency). See [`trace`].
 //!
-//! * `bench-diff [--baseline <dir>] [--quick]` — the noise-aware bench
-//!   regression gate: compare fresh `results/BENCH_*.json` against the
-//!   committed baselines (default `results/baseline/`), write
-//!   `results/bench-diff.md`, exit nonzero on drift beyond the
-//!   per-metric tolerances. `--quick` re-runs each baselined figure
-//!   binary first. See [`bench`].
+//! * `bench-diff [--baseline <dir>] [--quick] [--cross-core]` — the
+//!   noise-aware bench regression gate: compare fresh
+//!   `results/BENCH_*.json` against the committed baselines (default
+//!   `results/baseline/`), write `results/bench-diff.md`, exit nonzero
+//!   on drift beyond the per-metric tolerances. `--quick` re-runs each
+//!   baselined figure binary first; `--cross-core` additionally replays
+//!   each figure with the reference heap event core
+//!   (`MTMPI_SIM_CORE=heap`) and requires every `sched_trace_hash` to
+//!   be byte-identical to the calendar run's. See [`bench`].
 //!
 //! * `top <fig>` — render the windowed contention view (who holds the
 //!   runtime critical section, when) of `results/BENCH_<fig>.json`.
@@ -119,6 +122,7 @@ fn main() -> ExitCode {
         Some("bench-diff") => {
             let mut baseline = PathBuf::from("results/baseline");
             let mut quick = false;
+            let mut cross_core = false;
             loop {
                 match args.next().as_deref() {
                     Some("--baseline") => match args.next() {
@@ -129,6 +133,7 @@ fn main() -> ExitCode {
                         }
                     },
                     Some("--quick") => quick = true,
+                    Some("--cross-core") => cross_core = true,
                     Some(other) => {
                         eprintln!("xtask bench-diff: unknown argument {other:?}");
                         return ExitCode::FAILURE;
@@ -136,7 +141,7 @@ fn main() -> ExitCode {
                     None => break,
                 }
             }
-            bench::run_bench_diff(&workspace_root(), &baseline, quick)
+            bench::run_bench_diff(&workspace_root(), &baseline, quick, cross_core)
         }
         Some("watch") => {
             let mut fig = None;
@@ -175,7 +180,7 @@ fn main() -> ExitCode {
                 "usage: cargo run -p xtask -- <lint|trace <fig>|bench-diff|top <fig>|watch <fig>>\n  (got {:?})\n\n\
                  lint         mtmpi-lint static analysis (L001–L006) vs crates/lint/baseline.txt\n\
                  trace <fig>  run a figure binary traced and validate its JSON outputs\n\
-                 bench-diff   [--baseline <dir>] [--quick] gate BENCH_*.json vs baselines\n\
+                 bench-diff   [--baseline <dir>] [--quick] [--cross-core] gate BENCH_*.json vs baselines\n\
                  top <fig>    windowed contention view of results/BENCH_<fig>.json\n\
                  watch <fig>  [--headless] run a figure with the mtmpi-live collector,\n\
                               stream snapshots, validate results/<fig>.live.prom",
