@@ -7,7 +7,8 @@ use mtmpi_net::{FaultPlan, NetModel};
 use mtmpi_obs::{RingRecorder, RunRecord, Sink, Timeline, DEFAULT_SHARD_CAP};
 use mtmpi_runtime::{Granularity, RankHandle, RankStats, RuntimeCosts, VciMap, World};
 use mtmpi_sim::{
-    EventCore, LockModelParams, Platform, PlatformReport, SimError, ThreadDesc, VirtualPlatform,
+    EventCore, LockModelParams, Platform, PlatformReport, SimError, StepOutcome, ThreadDesc,
+    VirtualPlatform,
 };
 use mtmpi_topology::{presets, Binding, BindingPolicy, ClusterTopology};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -156,6 +157,25 @@ impl Experiment {
     where
         F: Fn(ThreadCtx) + Send + Sync + 'static,
     {
+        let mut run = self.try_start(cfg, body);
+        // An effectively-unbounded quantum: identical to the monolithic
+        // platform run (fuel or completion wins first).
+        run.step(u64::MAX)?;
+        Ok(run.finish())
+    }
+
+    /// Launch the run described by `cfg` without driving it: build the
+    /// world, spawn every simulated thread, and return a parked
+    /// [`TenantRun`] — a `Send` work item a scheduler (mtmpi-serve)
+    /// steps in bounded quanta, possibly from a different OS thread each
+    /// quantum. [`Experiment::try_run`] is exactly `try_start` +
+    /// `step(u64::MAX)` + `finish`, so quantum-stepped tenants replay
+    /// monolithic runs byte-identically (same `end_ns`, same
+    /// `sched_trace_hash`).
+    pub fn try_start<F>(&self, cfg: RunConfig, body: F) -> TenantRun
+    where
+        F: Fn(ThreadCtx) + Send + Sync + 'static,
+    {
         let nodes = cfg.nodes;
         assert!(nodes <= self.cluster.nodes, "config exceeds cluster size");
         let vplatform = Arc::new(VirtualPlatform::new(
@@ -167,7 +187,7 @@ impl Experiment {
         if let Some(core) = self.event_core {
             vplatform.set_event_core(core);
         }
-        let platform: Arc<dyn Platform> = vplatform;
+        let platform: Arc<dyn Platform> = vplatform.clone();
         let threads_per_rank = if cfg.method.forces_single_thread() {
             1
         } else {
@@ -176,8 +196,19 @@ impl Experiment {
         let nranks = nodes * cfg.ranks_per_node;
         let ranks_per_node = cfg.ranks_per_node;
         let live_enabled = self.obs.live || std::env::var("MTMPI_LIVE").is_ok_and(|v| v == "1");
-        let recorder = (self.obs.trace || live_enabled)
-            .then(|| Arc::new(RingRecorder::new(DEFAULT_SHARD_CAP)));
+        // Right-size the recorder's shard table to this world's actual
+        // recording-thread population (workers + progress threads, with
+        // headroom for the scheduler thread) instead of the full
+        // 256-shard pre-allocation — a service stepping thousands of
+        // small tenant worlds would otherwise pay it per tenant.
+        let recording_threads =
+            nranks * threads_per_rank + if cfg.progress_thread { nranks } else { 0 } + 4;
+        let recorder = (self.obs.trace || live_enabled).then(|| {
+            Arc::new(RingRecorder::with_shards(
+                (recording_threads as usize).min(mtmpi_obs::MAX_SHARDS),
+                DEFAULT_SHARD_CAP,
+            ))
+        });
         let live = live_enabled.then(|| {
             Arc::new(LiveCollector::new(
                 recorder.as_ref().expect("live implies trace").clone(),
@@ -205,7 +236,9 @@ impl Experiment {
             builder = builder.fuel(f);
         }
         if let Some(rec) = &recorder {
-            builder = builder.recorder(rec.clone());
+            builder = builder
+                .recorder(rec.clone())
+                .recorder_shards(rec.shard_count());
         }
         if let Some(c) = &live {
             builder = builder.live(c.clone());
@@ -329,16 +362,83 @@ impl Experiment {
             );
         }
 
-        let report = match platform.try_run() {
-            Ok(r) => r,
+        TenantRun {
+            handle: vplatform.start(),
+            world: Some(world),
+            recorder,
+            live,
+            sink: self.obs.sink.clone(),
+            label: cfg.effective_label(),
+            nodes,
+            nranks,
+            threads_per_rank,
+        }
+    }
+}
+
+/// A launched-but-parked run: the `Send` work item behind
+/// [`Experiment::try_start`]. Holds the platform's [`RunHandle`]
+/// together with everything the post-run bookkeeping needs (world,
+/// recorder, sink), so a worker pool can step it in quanta on whatever
+/// OS thread is free and finish it wherever it completes.
+pub struct TenantRun {
+    handle: mtmpi_sim::RunHandle,
+    // `Option` so `finish` can move the world into the outcome while
+    // `Drop`-time abort marking still has it on error paths.
+    world: Option<World>,
+    recorder: Option<Arc<RingRecorder>>,
+    live: Option<Arc<LiveCollector>>,
+    sink: Option<Arc<Sink>>,
+    label: String,
+    nodes: u32,
+    nranks: u32,
+    threads_per_rank: u32,
+}
+
+// A tenant must be parkable on one worker and resumable on another.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TenantRun>();
+};
+
+impl TenantRun {
+    /// Advance the run by at most `quantum` scheduler events. On a typed
+    /// failure the world is marked aborted (in-flight requests are the
+    /// error's snapshot, not leaks) and the run refuses further steps.
+    pub fn step(&mut self, quantum: u64) -> Result<StepOutcome, SimError> {
+        match self.handle.step(quantum) {
+            Ok(o) => Ok(o),
             Err(e) => {
-                // Threads died mid-operation; their in-flight requests
-                // are the error's snapshot, not leaks.
-                world.mark_aborted();
-                return Err(e);
+                if let Some(w) = &self.world {
+                    w.mark_aborted();
+                }
+                Err(e)
             }
-        };
-        if let Some(c) = &live {
+        }
+    }
+
+    /// Scheduler events executed so far.
+    pub fn events(&self) -> u64 {
+        self.handle.events()
+    }
+
+    /// Latest virtual end time observed from finished threads.
+    pub fn end_ns(&self) -> u64 {
+        self.handle.end_ns()
+    }
+
+    /// `true` once the run reached [`StepOutcome::Done`].
+    pub fn is_finished(&self) -> bool {
+        self.handle.is_finished()
+    }
+
+    /// Collect the completed run: join workers, drain observability,
+    /// feed the sink. Panics if the run has not reached
+    /// [`StepOutcome::Done`] (same contract as `RunHandle::finish`).
+    pub fn finish(mut self) -> RunOutcome {
+        let report = self.handle.finish();
+        let world = self.world.take().expect("finish() called once");
+        if let Some(c) = &self.live {
             if let Ok(path) = std::env::var("MTMPI_LIVE_OUT") {
                 if !path.is_empty() {
                     use std::io::Write as _;
@@ -350,39 +450,39 @@ impl Experiment {
                     let _ = writeln!(
                         f,
                         "# mtmpi-live run label={} threads={} nodes={}",
-                        cfg.effective_label(),
-                        threads_per_rank,
-                        nodes
+                        self.label, self.threads_per_rank, self.nodes
                     );
                     let _ = f.write_all(c.snapshot().prom().as_bytes());
                 }
             }
         }
-        // SAFETY: `Platform::run` has returned, so every worker (and any
-        // progress thread) has been joined — no thread is still writing.
-        let timeline = recorder.map(|rec| unsafe { rec.drain_unsynced() });
+        let timeline = self.recorder.take().map(|rec| {
+            // SAFETY: `RunHandle::finish` has joined every worker (and
+            // any progress thread) — no thread is still writing.
+            unsafe { rec.drain_unsynced() }
+        });
         let out = RunOutcome {
             end_ns: report.end_ns,
             report,
             world,
-            nranks,
-            threads_per_rank,
+            nranks: self.nranks,
+            threads_per_rank: self.threads_per_rank,
             timeline,
         };
-        if let Some(sink) = &self.obs.sink {
+        if let Some(sink) = &self.sink {
             let mut cs_wait = Histogram::new();
             let mut cs_hold = Histogram::new();
             let mut msg_latency = Histogram::new();
-            for r in 0..nranks {
+            for r in 0..self.nranks {
                 let st = out.world.stats(r);
                 cs_wait.merge(&st.cs_wait_ns);
                 cs_hold.merge(&st.cs_hold_ns);
                 msg_latency.merge(&st.msg_latency_ns);
             }
             sink.push(RunRecord {
-                label: cfg.effective_label(),
-                threads: threads_per_rank,
-                nodes,
+                label: self.label.clone(),
+                threads: self.threads_per_rank,
+                nodes: self.nodes,
                 end_ns: out.end_ns,
                 cs_wait,
                 cs_hold,
@@ -391,7 +491,7 @@ impl Experiment {
                 timeline: out.timeline.clone(),
             });
         }
-        Ok(out)
+        out
     }
 }
 

@@ -3,7 +3,7 @@
 //! Not compiled: parsed by `tests/rules.rs`; lines marked `FIRE: L002`
 //! must be flagged, `ALLOWED` sites suppressed.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 pub struct Published {
     ready: AtomicBool,
@@ -12,6 +12,7 @@ pub struct Published {
     mail_ready: AtomicBool,
     stream_owner: AtomicU64,
     published: AtomicU64,
+    tenant_state: AtomicU8,
     scratch: AtomicU32,
 }
 
@@ -50,6 +51,16 @@ impl Published {
 
     pub fn watermark_right(&self) -> u64 {
         self.published.load(Ordering::Acquire)
+    }
+
+    pub fn tenant_state_wrong(&self) -> u8 {
+        // Observing Pending/Running without the Acquire misses the
+        // parker's Release of the tenant's work item.
+        self.tenant_state.load(Ordering::Relaxed) // FIRE: L002
+    }
+
+    pub fn tenant_state_right(&self) -> u8 {
+        self.tenant_state.load(Ordering::Acquire)
     }
 
     pub fn watermark_self_read_allowed(&self) -> u64 {

@@ -27,6 +27,7 @@ pub const HANDOFF_FIELDS: &[&str] = &[
     "ready",           // multi-request completion publication flag
     "stream_owner",    // stream claim word (bind CAS / unbind Release)
     "published",       // recorder shard watermark (event slots → reader)
+    "tenant_state",    // serve tenant cell word (Idle→Pending→Running)
 ];
 
 /// Mutating atomic operations. Loads are L002's concern.

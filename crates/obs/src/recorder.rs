@@ -305,31 +305,55 @@ impl Default for RingRecorder {
 }
 
 impl RingRecorder {
-    /// A recorder keeping up to `cap_per_thread` events per thread.
+    /// A recorder keeping up to `cap_per_thread` events per thread, with
+    /// the full [`MAX_SHARDS`] shard table.
     pub fn new(cap_per_thread: usize) -> Self {
+        Self::with_shards(MAX_SHARDS, cap_per_thread)
+    }
+
+    /// A recorder with exactly `shards` per-thread buffers — the
+    /// `shards + 1`-th recording thread starts dropping. Small worlds
+    /// (e.g. mtmpi-serve tenants, a few simulated threads each) size
+    /// this to their thread count instead of paying the full 256-shard
+    /// pre-allocation.
+    ///
+    /// # Panics
+    /// If `shards` is 0 or exceeds [`MAX_SHARDS`] ([`DrainCursor`] is a
+    /// fixed-size array). Builders gate the 0 case with a typed error
+    /// before reaching here (`BuildError::ZeroRecorderShards`).
+    pub fn with_shards(shards: usize, cap_per_thread: usize) -> Self {
+        assert!(
+            (1..=MAX_SHARDS).contains(&shards),
+            "recorder shards must be in 1..={MAX_SHARDS}, got {shards}"
+        );
         let cap = cap_per_thread.max(1);
         Self {
             id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
-            shards: (0..MAX_SHARDS).map(|_| Shard::new(cap)).collect(),
+            shards: (0..shards).map(|_| Shard::new(cap)).collect(),
             next_slot: AtomicUsize::new(0),
             cap,
             dropped: AtomicU64::new(0),
         }
     }
 
+    /// How many concurrent recording threads this recorder can seat.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
     /// Slot of the calling thread, claiming one on first use. `None` when
-    /// more than [`MAX_SHARDS`] threads record. The cache holds one entry
-    /// per thread, so a thread alternating between two live recorders
-    /// re-claims a fresh slot at each switch — fine for the intended
-    /// one-recorder-per-run usage, wasteful otherwise.
+    /// more than [`RingRecorder::shard_count`] threads record. The cache
+    /// holds one entry per thread, so a thread alternating between two
+    /// live recorders re-claims a fresh slot at each switch — fine for
+    /// the intended one-recorder-per-run usage, wasteful otherwise.
     fn slot(&self) -> Option<usize> {
         let (rec, slot) = SLOT.with(Cell::get);
         if rec == self.id {
-            return Some(slot).filter(|&s| s < MAX_SHARDS);
+            return Some(slot).filter(|&s| s < self.shards.len());
         }
         let s = self.next_slot.fetch_add(1, Ordering::Relaxed);
         SLOT.with(|c| c.set((self.id, s)));
-        (s < MAX_SHARDS).then_some(s)
+        (s < self.shards.len()).then_some(s)
     }
 
     /// Events dropped so far (capacity overflow or shard exhaustion).
@@ -721,6 +745,41 @@ mod tests {
         assert_eq!(r.dropped(), 12, "every overflowed event counted once");
         // Incremental draining never consumes the counter.
         assert_eq!(r.dropped(), 12);
+    }
+
+    #[test]
+    fn small_shard_table_seats_exactly_that_many_threads() {
+        // A 2-shard recorder: the first two recording threads keep
+        // their events, the third drops all of its.
+        let r = std::sync::Arc::new(RingRecorder::with_shards(2, 64));
+        assert_eq!(r.shard_count(), 2);
+        let handles: Vec<_> = (0..3u64)
+            .map(|tid| {
+                let r = r.clone();
+                std::thread::spawn(move || {
+                    for i in 0..5u64 {
+                        r.record(ev(i, tid));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let t = std::sync::Arc::try_unwrap(r).ok().unwrap().into_timeline();
+        assert_eq!(t.len(), 10, "two seated threads keep 5 events each");
+        assert_eq!(t.dropped, 5, "the unseated thread drops all 5");
+    }
+
+    #[test]
+    #[should_panic(expected = "recorder shards must be in 1..=")]
+    fn zero_shards_is_rejected_loudly() {
+        let _ = RingRecorder::with_shards(0, 64);
+    }
+
+    #[test]
+    fn default_keeps_the_full_shard_table() {
+        assert_eq!(RingRecorder::new(8).shard_count(), MAX_SHARDS);
     }
 
     #[test]

@@ -156,6 +156,30 @@ impl Default for DiffOptions {
                     name_prefix: "speedup_vs_heap",
                     tol: 0.50,
                 },
+                // Service-pool wall-clock aggregates (fig_serve):
+                // throughput, completion latency, and hold-time share
+                // depend on host core count and load — a single-core CI
+                // runner and an 8-core laptop legitimately differ by
+                // orders of magnitude. Context, not contract: the
+                // deterministic serve scalars (event totals, grant
+                // counts/Gini, digest match) carry the exact gate, so
+                // these get an unbounded band rather than a guess.
+                ScalarRule {
+                    name_prefix: "serve_events_per_sec",
+                    tol: f64::INFINITY,
+                },
+                ScalarRule {
+                    name_prefix: "serve_p99_latency_ms",
+                    tol: f64::INFINITY,
+                },
+                ScalarRule {
+                    name_prefix: "serve_hold_gini",
+                    tol: f64::INFINITY,
+                },
+                ScalarRule {
+                    name_prefix: "serve_wall_ms",
+                    tol: f64::INFINITY,
+                },
             ],
             abs_floor_ns: 1000.0,
         }

@@ -15,7 +15,7 @@ use crate::stats::RankStats;
 use mtmpi_check::SharedLedger;
 use mtmpi_locks::{CsToken, PathClass};
 use mtmpi_net::FaultPlan;
-use mtmpi_obs::{CsOp, Event, EventKind, Recorder};
+use mtmpi_obs::{CsOp, Event, EventKind, Recorder, RingRecorder, DEFAULT_SHARD_CAP, MAX_SHARDS};
 use mtmpi_sim::{LockId, LockKind, Platform};
 use mtmpi_vci::{VciMap, VciPool};
 use std::cell::UnsafeCell;
@@ -387,6 +387,7 @@ pub struct WorldBuilder {
     liveness_limit_ns: u64,
     expect_rma: bool,
     recorder: Option<Arc<dyn Recorder>>,
+    recorder_shards: Option<usize>,
     live: Option<Arc<mtmpi_live::LiveCollector>>,
     fault_plan: Option<FaultPlan>,
     vci_count: u32,
@@ -405,6 +406,13 @@ impl World {
         self.inner.aborted.store(true, Ordering::Release);
     }
 
+    /// The installed structured-event recorder, if any — explicit
+    /// ([`WorldBuilder::recorder`]) or the right-sized one
+    /// [`WorldBuilder::recorder_shards`] auto-installed.
+    pub fn recorder(&self) -> Option<&Arc<dyn Recorder>> {
+        self.inner.recorder.as_ref()
+    }
+
     /// Start building a world on `platform`.
     pub fn builder(platform: Arc<dyn Platform>) -> WorldBuilder {
         WorldBuilder {
@@ -418,6 +426,7 @@ impl World {
             liveness_limit_ns: 120_000_000_000, // 120 virtual seconds
             expect_rma: false,
             recorder: None,
+            recorder_shards: None,
             live: None,
             fault_plan: None,
             vci_count: 1,
@@ -580,6 +589,20 @@ impl WorldBuilder {
         self
     }
 
+    /// Size the world's event recorder to `shards` concurrent recording
+    /// threads instead of the full [`mtmpi_obs::MAX_SHARDS`]-shard
+    /// pre-allocation — a small world (an mtmpi-serve tenant runs a
+    /// handful of simulated threads) has no use for 256 buffers. Without
+    /// [`WorldBuilder::recorder`], `build` installs a right-sized
+    /// [`RingRecorder`] itself; with one, the knob only validates (the
+    /// caller already chose the recorder's geometry). Values above
+    /// `MAX_SHARDS` are clamped; 0 is a loud
+    /// [`BuildError::ZeroRecorderShards`].
+    pub fn recorder_shards(mut self, shards: usize) -> Self {
+        self.recorder_shards = Some(shards);
+        self
+    }
+
     /// Install an online collector (see [`mtmpi_live`]). The collector
     /// must wrap the same recorder passed to [`WorldBuilder::recorder`];
     /// the runtime exposes its snapshots through [`World::live_stats`]
@@ -671,6 +694,19 @@ impl WorldBuilder {
         if self.expect_rma && self.window_bytes == 0 {
             return Err(BuildError::ZeroWindowWithRma);
         }
+        let recorder = match self.recorder_shards {
+            Some(0) => return Err(BuildError::ZeroRecorderShards),
+            // Right-size the recorder to the requested seat count. An
+            // explicitly installed recorder wins — the caller already
+            // chose its geometry — so the knob only validated.
+            Some(n) => self.recorder.or_else(|| {
+                Some(Arc::new(RingRecorder::with_shards(
+                    n.min(MAX_SHARDS),
+                    DEFAULT_SHARD_CAP,
+                )) as Arc<dyn Recorder>)
+            }),
+            None => self.recorder,
+        };
         let vci_map = self.vci_map.unwrap_or_else(|| VciMap::new(self.vci_count));
         if let Some(f) = self.fuel {
             self.platform.set_fuel(Some(f));
@@ -735,7 +771,7 @@ impl WorldBuilder {
                 lock: self.lock,
                 vci_map,
                 streams: self.streams,
-                recorder: self.recorder,
+                recorder,
                 live: self.live,
                 faults_enabled: active_plan.is_some(),
                 aborted: AtomicBool::new(false),

@@ -1,0 +1,73 @@
+//! The `WorldBuilder::recorder_shards` knob: right-sized recorder shard
+//! tables for small worlds (mtmpi-serve tenants), with a loud typed
+//! error on the degenerate zero-shard request.
+
+use mtmpi_net::NetModel;
+use mtmpi_obs::{RingRecorder, MAX_SHARDS};
+use mtmpi_runtime::{BuildError, World};
+use mtmpi_sim::{LockModelParams, Platform, VirtualPlatform};
+use mtmpi_topology::presets::nehalem_cluster_scaled;
+use std::sync::Arc;
+
+fn platform() -> Arc<dyn Platform> {
+    Arc::new(VirtualPlatform::new(
+        nehalem_cluster_scaled(1),
+        NetModel::qdr(),
+        LockModelParams::default(),
+        7,
+    ))
+}
+
+#[test]
+fn zero_shards_is_a_loud_build_error() {
+    let Err(err) = World::builder(platform())
+        .ranks(1)
+        .recorder_shards(0)
+        .build()
+    else {
+        panic!("recorder_shards(0) must not build")
+    };
+    assert!(matches!(err, BuildError::ZeroRecorderShards));
+    assert!(
+        err.to_string().contains("recorder_shards(0)"),
+        "error must name the knob: {err}"
+    );
+}
+
+#[test]
+fn knob_without_recorder_installs_a_right_sized_one() {
+    let world = World::builder(platform())
+        .ranks(1)
+        .recorder_shards(3)
+        .build()
+        .expect("valid world");
+    let rec = world.recorder().expect("knob auto-installs a recorder");
+    assert!(rec.enabled());
+}
+
+#[test]
+fn explicit_recorder_wins_over_the_knob() {
+    let mine = Arc::new(RingRecorder::with_shards(2, 64));
+    let world = World::builder(platform())
+        .ranks(1)
+        .recorder(mine.clone())
+        .recorder_shards(2)
+        .build()
+        .expect("valid world");
+    assert!(world.recorder().is_some());
+    assert_eq!(mine.shard_count(), 2);
+    // Oversized requests clamp instead of panicking through the
+    // RingRecorder constructor's assert.
+    let clamped = World::builder(platform())
+        .ranks(1)
+        .recorder_shards(MAX_SHARDS * 4)
+        .build()
+        .expect("oversized shard request clamps");
+    assert!(clamped.recorder().is_some());
+}
+
+#[test]
+fn default_builder_installs_no_recorder() {
+    let world = World::builder(platform()).ranks(1).build().expect("valid");
+    assert!(world.recorder().is_none(), "recording stays opt-in");
+}

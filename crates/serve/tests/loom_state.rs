@@ -1,0 +1,307 @@
+//! Loom model of the tenant state word (`crates/serve/src/tenant.rs`).
+//!
+//! The service pool's entire synchronization story is one `AtomicU8`
+//! per tenant plus the FIFO mutex:
+//!
+//! * `tenant_state` — enqueuers CAS `IDLE→PENDING` (exactly one wins,
+//!   so a tenant is queued at most once); a dequeueing worker CASes
+//!   `PENDING→RUNNING` (Acquire) to claim the work item the previous
+//!   worker published with its `Release` park store;
+//! * the queue lock — `pop` and the `shutdown` check happen in the
+//!   same critical section, pop first, so a shutdown racing a final
+//!   re-enqueue never strands a queued tenant.
+//!
+//! These tests re-state that protocol on `loom` atomics — field name,
+//! state values, and orderings mirror `TenantCell` line for line — and
+//! let the model check every bounded interleaving. The shim explores SC
+//! schedules (orderings are not weakened); the Release/Acquire *choice*
+//! itself is what `mtmpi-lint` rules L001/L002 pin in the real source.
+
+use loom::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use loom::sync::Arc;
+use std::cell::UnsafeCell;
+
+// Mirror of tenant.rs's state-word values.
+const IDLE: u8 = 0;
+const PENDING: u8 = 1;
+const RUNNING: u8 = 2;
+
+/// Model of `TenantCell`'s hand-off surface.
+struct ModelCell {
+    tenant_state: AtomicU8,
+    /// Stands in for `TenantWork`: written non-atomically by whichever
+    /// worker holds the `RUNNING` claim, republished by the park store.
+    work: UnsafeCell<u64>,
+}
+
+// SAFETY: `work` is only touched by the worker that won the
+// `PENDING→RUNNING` CAS (exclusive until its park store) — the exact
+// contract the model verifies.
+unsafe impl Send for ModelCell {}
+// SAFETY: same contract as Send — the state-word protocol serializes
+// all access to `work`.
+unsafe impl Sync for ModelCell {}
+
+impl ModelCell {
+    fn new(state: u8) -> Self {
+        Self {
+            tenant_state: AtomicU8::new(state),
+            work: UnsafeCell::new(0),
+        }
+    }
+
+    /// `TenantCell::try_enqueue`, verbatim orderings.
+    fn try_enqueue(&self) -> bool {
+        self.tenant_state
+            .compare_exchange(IDLE, PENDING, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// `TenantCell::begin_running`'s CAS (spinning here because the
+    /// model has no FIFO to sequence the dequeue).
+    fn spin_begin_running(&self) {
+        while self
+            .tenant_state
+            .compare_exchange(PENDING, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            loom::hint::spin_loop();
+        }
+    }
+
+    /// `TenantCell::park_idle`, verbatim ordering.
+    fn park_idle(&self) {
+        self.tenant_state.store(IDLE, Ordering::Release);
+    }
+}
+
+/// Two schedulers race to wake the same idle tenant (a completing
+/// worker's `on_complete` admission vs. a parking worker's re-enqueue):
+/// the `IDLE→PENDING` CAS must admit exactly one pusher, or the tenant
+/// would sit in the FIFO twice and two workers could claim it at once.
+#[test]
+fn exactly_one_enqueuer_from_idle() {
+    loom::model(|| {
+        let cell = Arc::new(ModelCell::new(IDLE));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let cell = Arc::clone(&cell);
+            handles.push(loom::thread::spawn(move || u32::from(cell.try_enqueue())));
+        }
+        let winners: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(winners, 1, "state word admitted {winners} enqueuers");
+    });
+}
+
+/// The cross-thread resume edge: worker A steps the tenant (writes the
+/// parked run non-atomically under its `RUNNING` claim), parks with the
+/// `Release` store, and re-enqueues; worker B's Acquire `PENDING→RUNNING`
+/// CAS must then observe A's writes — through the intervening
+/// `IDLE→PENDING` RMW, since release sequences chain through RMWs.
+#[test]
+fn park_publishes_the_run_to_the_next_worker() {
+    loom::model(|| {
+        // A starts holding the claim, as after a successful dequeue.
+        let cell = Arc::new(ModelCell::new(RUNNING));
+        let parker = {
+            let cell = Arc::clone(&cell);
+            loom::thread::spawn(move || {
+                // SAFETY: this thread holds the RUNNING claim until the
+                // park store below — access is exclusive.
+                unsafe { *cell.work.get() = 42 };
+                cell.park_idle();
+                assert!(cell.try_enqueue(), "parked tenant must be enqueueable");
+            })
+        };
+        cell.spin_begin_running();
+        // SAFETY: this thread just won the PENDING→RUNNING CAS — the
+        // claim is exclusive again.
+        let resumed = unsafe { *cell.work.get() };
+        assert_eq!(resumed, 42, "claim CAS must publish the parked run");
+        parker.join().unwrap();
+    });
+}
+
+/// Mini-model of the pool's work queue: the FIFO and the shutdown latch
+/// live under one lock (a spinlock here — the shim has no Mutex), and
+/// workers pop *before* honoring shutdown in the same critical section.
+struct ModelQueue {
+    locked: AtomicBool,
+    inner: UnsafeCell<QueueInner>,
+}
+
+struct QueueInner {
+    fifo: Vec<u32>,
+    shutdown: bool,
+}
+
+// SAFETY: `inner` is only touched between a successful `lock` CAS and
+// the matching `unlock` store — the spinlock serializes all access.
+unsafe impl Send for ModelQueue {}
+// SAFETY: same contract as Send.
+unsafe impl Sync for ModelQueue {}
+
+impl ModelQueue {
+    fn new(fifo: Vec<u32>) -> Self {
+        Self {
+            locked: AtomicBool::new(false),
+            inner: UnsafeCell::new(QueueInner {
+                fifo,
+                shutdown: false,
+            }),
+        }
+    }
+
+    #[allow(clippy::mut_from_ref)]
+    fn lock(&self) -> &mut QueueInner {
+        while self
+            .locked
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            loom::hint::spin_loop();
+        }
+        // SAFETY: the CAS above won the lock; exclusive until `unlock`.
+        unsafe { &mut *self.inner.get() }
+    }
+
+    fn unlock(&self) {
+        self.locked.store(false, Ordering::Release);
+    }
+}
+
+/// A final re-enqueue races the shutdown latch: the producer pushes the
+/// last runnable tenant, then (separately) flips `shutdown`. Because a
+/// worker pops before checking `shutdown` under the same lock, it can
+/// never exit on shutdown while the tenant is still queued.
+#[test]
+fn shutdown_vs_dequeue_loses_no_tenant() {
+    loom::model(|| {
+        let q = Arc::new(ModelQueue::new(Vec::new()));
+        let producer = {
+            let q = Arc::clone(&q);
+            loom::thread::spawn(move || {
+                q.lock().fifo.push(7);
+                q.unlock();
+                q.lock().shutdown = true;
+                q.unlock();
+            })
+        };
+        let mut processed = 0u32;
+        let mut exited_on_shutdown = false;
+        // Bounded polling stands in for the condvar waits.
+        for _ in 0..4 {
+            let inner = q.lock();
+            if inner.fifo.pop().is_some() {
+                processed += 1;
+                q.unlock();
+                continue;
+            }
+            if inner.shutdown {
+                exited_on_shutdown = true;
+                q.unlock();
+                break;
+            }
+            q.unlock();
+            loom::thread::yield_now();
+        }
+        producer.join().unwrap();
+        if exited_on_shutdown {
+            // shutdown happens-after the push, and pop runs first in the
+            // same critical section — so a shutdown exit implies the
+            // tenant was served.
+            assert_eq!(
+                processed, 1,
+                "worker exited on shutdown over a queued tenant"
+            );
+        }
+        let leftover = q.lock().fifo.len();
+        q.unlock();
+        assert_eq!(
+            u32::from(processed == 1) + u32::try_from(leftover).unwrap(),
+            1,
+            "tenant neither served nor queued"
+        );
+    });
+}
+
+/// Regression guard for the model itself: weaken the enqueue to a
+/// check-then-act (load `IDLE`, then store `PENDING`) and the explorer
+/// must find the interleaving where both schedulers push the tenant.
+#[test]
+fn model_catches_a_check_then_act_enqueue() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let cell = Arc::new(ModelCell::new(IDLE));
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let cell = Arc::clone(&cell);
+                handles.push(loom::thread::spawn(move || {
+                    // Broken: both schedulers can observe IDLE before
+                    // either stores — a double-enqueue.
+                    if cell.tenant_state.load(Ordering::Acquire) == IDLE {
+                        cell.tenant_state.store(PENDING, Ordering::Release);
+                        1u32
+                    } else {
+                        0u32
+                    }
+                }));
+            }
+            let winners: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(
+                winners, 1,
+                "check-then-act let {winners} schedulers enqueue"
+            );
+        });
+    });
+    assert!(
+        result.is_err(),
+        "the model failed to catch the check-then-act enqueue race"
+    );
+}
+
+/// Same guard for the queue: check `shutdown` *before* popping and the
+/// explorer must find the schedule where the worker exits over a queued
+/// tenant.
+#[test]
+fn model_catches_shutdown_before_pop() {
+    let result = std::panic::catch_unwind(|| {
+        loom::model(|| {
+            let q = Arc::new(ModelQueue::new(Vec::new()));
+            let producer = {
+                let q = Arc::clone(&q);
+                loom::thread::spawn(move || {
+                    q.lock().fifo.push(7);
+                    q.unlock();
+                    q.lock().shutdown = true;
+                    q.unlock();
+                })
+            };
+            let mut processed = 0u32;
+            for _ in 0..4 {
+                let inner = q.lock();
+                // Broken: honoring shutdown first strands the queued id.
+                if inner.shutdown {
+                    q.unlock();
+                    break;
+                }
+                if inner.fifo.pop().is_some() {
+                    processed += 1;
+                }
+                q.unlock();
+                loom::thread::yield_now();
+            }
+            producer.join().unwrap();
+            let leftover = q.lock().fifo.len();
+            q.unlock();
+            assert!(
+                processed == 1 || leftover == 0,
+                "worker exited on shutdown over a queued tenant"
+            );
+        });
+    });
+    assert!(
+        result.is_err(),
+        "the model failed to catch the shutdown-before-pop race"
+    );
+}

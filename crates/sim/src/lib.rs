@@ -39,4 +39,4 @@ pub use platform::{
 pub use sync::SpinBarrier;
 pub use virt::arena::Arena;
 pub use virt::calendar::{CalendarQueue, Keyed};
-pub use virt::{EventCore, VirtualPlatform};
+pub use virt::{EventCore, RunHandle, StepOutcome, VirtualPlatform};

@@ -630,6 +630,25 @@ impl Platform for VirtualPlatform {
     }
 
     fn try_run(&self) -> Result<PlatformReport, SimError> {
+        let mut handle = self.start();
+        // An effectively-unbounded budget: fuel or completion wins first.
+        handle.step(u64::MAX)?;
+        Ok(handle.finish())
+    }
+}
+
+impl VirtualPlatform {
+    /// Launch the registered threads and hand back a resumable
+    /// [`RunHandle`] instead of running to completion. The handle is a
+    /// `Send` work item: a worker pool (mtmpi-serve) can park it after a
+    /// bounded [`RunHandle::step`] and resume it on a *different* OS
+    /// thread. [`Platform::try_run`] is exactly
+    /// `start()` + `step(u64::MAX)` + `finish()`, so stepping in any
+    /// quantum series produces the same event order, `end_ns`, and
+    /// `sched_trace_hash` as a monolithic run.
+    ///
+    /// Panics if called twice (same contract as `run()`).
+    pub fn start(&self) -> RunHandle {
         let reg = self
             .reg
             .lock()
@@ -642,13 +661,15 @@ impl Platform for VirtualPlatform {
             .unwrap()
             .or_else(|| fuel_from_env(std::env::var("MTMPI_FUEL").ok().as_deref()));
         let core = *self.core.lock().unwrap();
-        Scheduler::execute(self, reg, fuel, core)
+        RunHandle::launch(self, reg, fuel, core)
     }
 }
 
-/// The event-loop state (lives only inside `run`).
-struct Scheduler<'p> {
-    platform: &'p VirtualPlatform,
+/// The event-loop state. Owned by a [`RunHandle`]: no borrow of the
+/// platform survives `start()` (the network model is cloned in), so the
+/// whole scheduler is a movable, `Send` work item.
+struct Scheduler {
+    net: NetModel,
     q: EvQueue,
     seq: u64,
     vlocks: Vec<VLock>,
@@ -666,13 +687,63 @@ struct Scheduler<'p> {
     hash: SchedHash,
 }
 
-impl<'p> Scheduler<'p> {
-    fn execute(
-        platform: &'p VirtualPlatform,
+/// Progress report from one [`RunHandle::step`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The event budget ran out while threads are still live; call
+    /// [`RunHandle::step`] again (from any thread) to continue.
+    Pending,
+    /// Every thread finished. [`RunHandle::finish`] yields the report.
+    Done,
+}
+
+/// A launched-but-resumable simulation: the scheduler state of one
+/// [`VirtualPlatform::start`] call, steppable in bounded event quanta.
+///
+/// The handle is `Send` — the worker OS threads it spawned rendezvous
+/// with *whichever* thread currently calls [`RunHandle::step`] over the
+/// same channels, so a pool can park a run after a quantum and resume it
+/// elsewhere. Exactly one thread may step a handle at a time (guaranteed
+/// by `&mut self`).
+///
+/// Determinism contract: the event order consumed by `step` depends only
+/// on the registered workload and seed, never on the quantum series —
+/// `step(3)` four times hashes the same trace as `step(12)` once.
+///
+/// Dropping a handle before completion aborts the run: scheduler-side
+/// channels hang up and every worker unwinds quietly (the same
+/// machinery as fuel/deadlock shutdown), making drop a cancellation
+/// point for half-finished tenants.
+pub struct RunHandle {
+    sched: Scheduler,
+    joins: Vec<std::thread::JoinHandle<()>>,
+    fuel: Option<u64>,
+    n_events: u64,
+    /// Current same-timestamp batch plus the resume cursor into it: a
+    /// quantum boundary may land mid-batch, so the remainder must survive
+    /// the park.
+    batch: Vec<Ev>,
+    batch_pos: usize,
+    debug_every: u64,
+    finished: bool,
+    aborted: bool,
+}
+
+// The point of the refactor: a run is a movable work item. Compile-time
+// proof so a stray `Rc`/borrow in the scheduler can't silently pin runs
+// to their launching thread again.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RunHandle>();
+};
+
+impl RunHandle {
+    fn launch(
+        platform: &VirtualPlatform,
         reg: Registration,
         fuel: Option<u64>,
         core: EventCore,
-    ) -> Result<PlatformReport, SimError> {
+    ) -> RunHandle {
         install_abort_hook();
         let topo = platform.cluster.node.clone();
         let handoff = platform.cluster.handoff;
@@ -761,7 +832,7 @@ impl<'p> Scheduler<'p> {
         }
 
         let mut sched = Scheduler {
-            platform,
+            net: platform.net.clone(),
             q: EvQueue::new(core),
             seq: 0,
             vlocks,
@@ -784,39 +855,23 @@ impl<'p> Scheduler<'p> {
         for tid in 0..n_threads {
             sched.push(0, EvKind::Start(tid));
         }
-        match sched.event_loop(fuel) {
-            Ok(n_events) => {
-                for j in joins {
-                    j.join().expect("sim worker panicked");
-                }
-                Ok(PlatformReport {
-                    end_ns: sched.end_ns,
-                    lock_traces: sched.vlocks.into_iter().map(VLock::into_trace).collect(),
-                    sched_trace_hash: sched.hash.0,
-                    events: n_events,
-                })
-            }
-            Err(e) => {
-                // Hang up on every worker: their blocked `go_rx.recv()`
-                // fails, `sync` unwinds with `SimAbort`, and the joins
-                // complete. The typed error is the sole diagnostic.
-                sched.go_tx.clear();
-                for j in joins {
-                    let _ = j.join();
-                }
-                Err(e)
-            }
+        RunHandle {
+            sched,
+            joins,
+            fuel,
+            n_events: 0,
+            batch: Vec::new(),
+            batch_pos: 0,
+            debug_every: std::env::var("MTMPI_SIM_DEBUG")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
+            finished: false,
+            aborted: false,
         }
     }
 
-    fn push(&mut self, t: u64, kind: EvKind) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.q.push(Ev { t, seq, kind });
-    }
-
-    /// Run the simulation to completion (all threads `Done`) or to a
-    /// typed failure. Returns the number of events executed.
+    /// Execute up to `budget` further scheduler events.
     ///
     /// Events are dequeued one same-timestamp batch at a time. This is
     /// trace-identical to the old pop-one loop: every event pushed while
@@ -826,57 +881,161 @@ impl<'p> Scheduler<'p> {
     /// asymmetry the old loop had is reproduced exactly: when the last
     /// thread finishes mid-batch, the remaining (stale-grant) events are
     /// dropped *unhashed*, as the old loop left them unpopped.
-    fn event_loop(&mut self, fuel: Option<u64>) -> Result<u64, SimError> {
-        let debug_every: u64 = std::env::var("MTMPI_SIM_DEBUG")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(0);
-        let mut n_events: u64 = 0;
-        let mut batch: Vec<Ev> = Vec::new();
-        'outer: while self.live > 0 {
-            batch.clear();
-            if self.q.pop_batch(&mut batch) == 0 {
-                return Err(self.deadlock_error());
-            }
-            for (i, &ev) in batch.iter().enumerate() {
-                if self.live == 0 {
-                    break 'outer;
-                }
-                if let Some(f) = fuel {
-                    if n_events >= f {
-                        let queued = self.q.len() + (batch.len() - i);
-                        return Err(self.fuel_error(f, n_events, ev.t, queued));
-                    }
-                }
-                n_events += 1;
-                self.hash.event(&ev);
-                if debug_every > 0 && n_events.is_multiple_of(debug_every) {
-                    eprintln!(
-                        "[sim] {n_events} events, t={} us, live={}, queued={}",
-                        ev.t / 1000,
-                        self.live,
-                        self.q.len()
-                    );
-                }
-                match ev.kind {
-                    EvKind::Start(tid) => {
-                        self.resume_and_wait(tid, Reply::Go { now: ev.t });
-                    }
-                    EvKind::Exec(tid) => {
-                        let op = self.pending_op[tid].take().expect("exec without op");
-                        self.exec(ev.t, tid, op);
-                    }
-                    EvKind::Grant { lock, gen } => match self.vlocks[lock].try_finalize(gen) {
-                        GrantOutcome::Stale => {}
-                        GrantOutcome::Granted { tid, at } => {
-                            self.hash.grant(tid, at);
-                            self.resume_and_wait(tid, Reply::Go { now: at });
-                        }
-                    },
-                }
-            }
+    ///
+    /// Errors (deadlock, [`SimError::FuelExhausted`]) abort the run —
+    /// workers are unwound and joined before the error returns, and the
+    /// handle refuses further stepping. A quantum boundary is *not* a
+    /// deadlock probe: when the budget expires exactly at a batch edge,
+    /// the next batch stays queued for the next call, so `Pending` never
+    /// converts a would-be deadlock report into silence (the next `step`
+    /// reports it).
+    pub fn step(&mut self, budget: u64) -> Result<StepOutcome, SimError> {
+        assert!(!self.aborted, "step() after the run aborted");
+        if self.finished {
+            return Ok(StepOutcome::Done);
         }
-        Ok(n_events)
+        let mut stepped: u64 = 0;
+        loop {
+            if self.batch_pos == self.batch.len() {
+                if self.sched.live == 0 {
+                    self.finished = true;
+                    return Ok(StepOutcome::Done);
+                }
+                if stepped >= budget {
+                    return Ok(StepOutcome::Pending);
+                }
+                self.batch.clear();
+                self.batch_pos = 0;
+                if self.sched.q.pop_batch(&mut self.batch) == 0 {
+                    let e = self.sched.deadlock_error();
+                    self.abort();
+                    return Err(e);
+                }
+            }
+            if self.sched.live == 0 {
+                // Last thread finished mid-batch: drop the remaining
+                // (stale-grant) events unhashed.
+                self.finished = true;
+                return Ok(StepOutcome::Done);
+            }
+            if stepped >= budget {
+                return Ok(StepOutcome::Pending);
+            }
+            let ev = self.batch[self.batch_pos];
+            if let Some(f) = self.fuel {
+                if self.n_events >= f {
+                    let queued = self.sched.q.len() + (self.batch.len() - self.batch_pos);
+                    let e = self.sched.fuel_error(f, self.n_events, ev.t, queued);
+                    self.abort();
+                    return Err(e);
+                }
+            }
+            self.batch_pos += 1;
+            self.n_events += 1;
+            stepped += 1;
+            self.sched.hash.event(&ev);
+            if self.debug_every > 0 && self.n_events.is_multiple_of(self.debug_every) {
+                eprintln!(
+                    "[sim] {} events, t={} us, live={}, queued={}",
+                    self.n_events,
+                    ev.t / 1000,
+                    self.sched.live,
+                    self.sched.q.len()
+                );
+            }
+            self.sched.dispatch(ev);
+        }
+    }
+
+    /// Events executed so far (monotone across `step` calls).
+    pub fn events(&self) -> u64 {
+        self.n_events
+    }
+
+    /// Latest virtual end time observed from finished threads.
+    pub fn end_ns(&self) -> u64 {
+        self.sched.end_ns
+    }
+
+    /// `true` once every thread has finished ([`StepOutcome::Done`]).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Join the (already-exited) workers and produce the report.
+    /// Panics if the run has not reached [`StepOutcome::Done`].
+    pub fn finish(mut self) -> PlatformReport {
+        assert!(
+            self.finished,
+            "finish() before the run completed (step to Done first)"
+        );
+        for j in self.joins.drain(..) {
+            j.join().expect("sim worker panicked");
+        }
+        PlatformReport {
+            end_ns: self.sched.end_ns,
+            lock_traces: std::mem::take(&mut self.sched.vlocks)
+                .into_iter()
+                .map(VLock::into_trace)
+                .collect(),
+            sched_trace_hash: self.sched.hash.0,
+            events: self.n_events,
+        }
+    }
+
+    /// Hang up on every worker: their blocked `go_rx.recv()` fails,
+    /// `sync` unwinds with `SimAbort`, and the joins complete. The typed
+    /// error is the sole diagnostic.
+    fn abort(&mut self) {
+        self.aborted = true;
+        self.sched.go_tx.clear();
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for RunHandle {
+    fn drop(&mut self) {
+        // Cancellation: a handle dropped mid-run (tenant evicted, error
+        // elsewhere, panic unwinding through a worker pool) shuts its
+        // workers down exactly like a fuel abort. After `finish()` or
+        // `abort()` the joins are empty and this is a no-op.
+        if self.joins.is_empty() {
+            return;
+        }
+        self.sched.go_tx.clear();
+        for j in self.joins.drain(..) {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Scheduler {
+    fn push(&mut self, t: u64, kind: EvKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.q.push(Ev { t, seq, kind });
+    }
+
+    /// Execute one dequeued event.
+    fn dispatch(&mut self, ev: Ev) {
+        match ev.kind {
+            EvKind::Start(tid) => {
+                self.resume_and_wait(tid, Reply::Go { now: ev.t });
+            }
+            EvKind::Exec(tid) => {
+                let op = self.pending_op[tid].take().expect("exec without op");
+                self.exec(ev.t, tid, op);
+            }
+            EvKind::Grant { lock, gen } => match self.vlocks[lock].try_finalize(gen) {
+                GrantOutcome::Stale => {}
+                GrantOutcome::Granted { tid, at } => {
+                    self.hash.grant(tid, at);
+                    self.resume_and_wait(tid, Reply::Go { now: at });
+                }
+            },
+        }
     }
 
     fn exec(&mut self, t: u64, tid: usize, op: Op) {
@@ -920,7 +1079,7 @@ impl<'p> Scheduler<'p> {
             } => {
                 let src_node = self.ep_node[src] as usize;
                 let same = self.ep_node[src] == self.ep_node[dst];
-                let mt = self.platform.net.timing(same, bytes);
+                let mt = self.net.timing(same, bytes);
                 let start = self.nic_free[src_node].max(t);
                 self.nic_free[src_node] = start + mt.inject_ns;
                 // Extra (fault-injected) delay happens in flight: the NIC

@@ -1,0 +1,151 @@
+//! Quantum-stepped execution ([`VirtualPlatform::start`] +
+//! [`RunHandle::step`]): the serve-layer contract that any quantum
+//! series replays the monolithic run byte-identically, that a parked
+//! handle resumes on a different OS thread, and that dropping a handle
+//! mid-run cancels cleanly.
+
+use mtmpi_locks::PathClass;
+use mtmpi_net::NetModel;
+use mtmpi_sim::{
+    LockKind, LockModelParams, Platform, RunHandle, SimError, StepOutcome, ThreadDesc,
+    VirtualPlatform,
+};
+use mtmpi_topology::presets::nehalem_cluster_scaled;
+use mtmpi_topology::CoreId;
+use std::sync::Arc;
+
+fn platform(seed: u64) -> Arc<VirtualPlatform> {
+    Arc::new(VirtualPlatform::new(
+        nehalem_cluster_scaled(2),
+        NetModel::qdr(),
+        LockModelParams::default(),
+        seed,
+    ))
+}
+
+fn desc(name: &str, core: u32) -> ThreadDesc {
+    ThreadDesc {
+        name: name.into(),
+        node: 0,
+        core: CoreId(core),
+    }
+}
+
+/// A small lock-contending workload: enough events to cross several
+/// quantum boundaries, deterministic under a fixed seed.
+fn spawn_workload(p: &Arc<VirtualPlatform>) {
+    let lock = p.lock_create(LockKind::Ticket);
+    for i in 0..4u32 {
+        let p2 = p.clone();
+        p.spawn(
+            desc(&format!("t{i}"), i),
+            Box::new(move || {
+                for round in 0..8u64 {
+                    p2.compute(100 + u64::from(i) * 10 + round);
+                    let tok = p2.lock_acquire(lock, PathClass::Main);
+                    p2.compute(500);
+                    p2.lock_release(lock, PathClass::Main, tok);
+                    p2.yield_now();
+                }
+            }),
+        );
+    }
+}
+
+#[test]
+fn quantum_series_replays_monolithic_run() {
+    let p = platform(0xA11CE);
+    spawn_workload(&p);
+    let reference = p.run();
+    assert!(reference.events > 10, "workload too small to step");
+
+    for quantum in [1u64, 3, 7, 64] {
+        let p = platform(0xA11CE);
+        spawn_workload(&p);
+        let mut h = p.start();
+        let mut grants = 0u64;
+        while let StepOutcome::Pending = h.step(quantum).expect("no deadlock") {
+            grants += 1;
+        }
+        let report = h.finish();
+        assert_eq!(report.events, reference.events, "quantum {quantum}");
+        assert_eq!(report.end_ns, reference.end_ns, "quantum {quantum}");
+        assert_eq!(
+            report.sched_trace_hash, reference.sched_trace_hash,
+            "quantum {quantum}"
+        );
+        // ceil(events / quantum) full-or-partial quanta minus the final
+        // one, whose budget check never fires before Done.
+        assert_eq!(grants, reference.events.div_ceil(quantum) - 1);
+    }
+}
+
+#[test]
+fn handle_resumes_on_a_different_os_thread() {
+    let p = platform(0xBEE);
+    spawn_workload(&p);
+    let reference = p.run();
+
+    let p = platform(0xBEE);
+    spawn_workload(&p);
+    let mut h = p.start();
+    // Park/resume across real OS threads: each hop moves the handle to a
+    // fresh thread that steps one quantum, exactly what a serve worker
+    // pool does.
+    let report = loop {
+        let (done, h2) = std::thread::spawn(move || {
+            let mut h = h;
+            let done = matches!(h.step(50).expect("no deadlock"), StepOutcome::Done);
+            (done, h)
+        })
+        .join()
+        .expect("stepper thread");
+        h = h2;
+        if done {
+            break h.finish();
+        }
+    };
+    assert_eq!(report.sched_trace_hash, reference.sched_trace_hash);
+    assert_eq!(report.end_ns, reference.end_ns);
+}
+
+#[test]
+fn drop_mid_run_cancels_workers() {
+    let p = platform(0xD0);
+    spawn_workload(&p);
+    let mut h = p.start();
+    assert_eq!(h.step(5).expect("no deadlock"), StepOutcome::Pending);
+    assert!(!h.is_finished());
+    assert!(h.events() >= 5);
+    // Dropping the half-finished run must hang up and join every worker
+    // without panicking the test process.
+    drop(h);
+}
+
+#[test]
+fn fuel_error_surfaces_through_step() {
+    let p = platform(0xF0E1);
+    spawn_workload(&p);
+    p.set_fuel(Some(10));
+    let mut h = p.start();
+    let mut last = Ok(StepOutcome::Pending);
+    for _ in 0..64 {
+        last = h.step(4);
+        if last.is_err() {
+            break;
+        }
+    }
+    match last {
+        Err(SimError::FuelExhausted { fuel, executed, .. }) => {
+            assert_eq!(fuel, 10);
+            assert_eq!(executed, 10);
+        }
+        other => panic!("expected FuelExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn run_handle_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<RunHandle>();
+}

@@ -59,6 +59,12 @@
 #              measure *host* throughput and legitimately vary; every
 #              other byte — ring results, churn parity hashes,
 #              cross-core hash-match flags — must replay exactly).
+#   serve      multi-tenant service gate: the mtmpi-serve suite (state
+#              word, determinism across worker counts, fairness), then
+#              the fig_serve sweep twice in quick mode — per-tenant
+#              digests (results/fig_serve.tenants.txt) byte-identical,
+#              BENCH output byte-identical after zeroing the wall-clock
+#              serve_* scalars (DESIGN.md section 17).
 #   live       live-observability smoke test: the mtmpi-live integration
 #              suite (streaming blame == post-run BlameMatrix, window
 #              conservation), fig2a twice same-seed under MTMPI_LIVE=1
@@ -145,6 +151,32 @@ scale_smoke() {
     return $rc
 }
 
+# Service gate: the mtmpi-serve suite (includes the tenant-state loom
+# models), then fig_serve twice in quick mode. The per-tenant digest is
+# pure virtual-platform output and must replay byte-identically; the
+# BENCH document must too once the wall-clock serve scalars
+# (events/sec, p99 latency, hold Gini, wall ms — host-dependent) are
+# zeroed. Everything else — event totals, grant counts/Gini, the
+# digest-match and quantum-invariance flags — is exact.
+serve_smoke() {
+    local s1 s2 d1
+    s1=$(mktemp) && s2=$(mktemp) && d1=$(mktemp) || return 1
+    strip_serve_rates() {
+        sed -E 's/"(serve_(events_per_sec|p99_latency_ms|hold_gini|wall_ms)[^"]*)":[-+0-9.eE]+/"\1":0/g' "$1"
+    }
+    cargo test --release -q -p mtmpi-serve \
+        && cargo run --release -q -p mtmpi-bench --bin fig_serve -- --quick \
+        && strip_serve_rates results/BENCH_fig_serve.json > "$s1" \
+        && cp results/fig_serve.tenants.txt "$d1" \
+        && cargo run --release -q -p mtmpi-bench --bin fig_serve -- --quick \
+        && strip_serve_rates results/BENCH_fig_serve.json > "$s2" \
+        && cmp "$s1" "$s2" \
+        && cmp results/fig_serve.tenants.txt "$d1"
+    local rc=$?
+    rm -f "$s1" "$s2" "$d1"
+    return $rc
+}
+
 # Live gate: the mtmpi-live integration tests, then fig2a twice under
 # the online collector comparing the scheduler-trace hashes (same seed
 # must replay the exact same decision sequence), then one headless
@@ -186,16 +218,19 @@ if [ "$FAST" = "fast" ]; then
     skip vci "fast mode"
     skip stream "fast mode"
     skip scale "fast mode"
+    skip serve "fast mode"
     skip live "fast mode"
 else
     step loom cargo test -p mtmpi-locks --features loom-check --test loom
     step loom cargo test -p mtmpi-runtime --test loom_claim --test loom_stream
+    step loom cargo test -p mtmpi-serve --test loom_state
     step obs cargo run -q -p xtask -- trace fig2a
     step prof cargo run -q -p xtask -- bench-diff --cross-core
     step faults faults_smoke
     step vci vci_smoke
     step stream stream_smoke
     step scale scale_smoke
+    step serve serve_smoke
     step live live_smoke
 
     if ! cargo +nightly --version >/dev/null 2>&1; then
